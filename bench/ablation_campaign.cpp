@@ -1,0 +1,61 @@
+/// Ablation: multi-allocation campaigns.  Real leadership jobs finish as
+/// chains of fixed allocations with queue gaps; the cost that matters is
+/// total machine hours billed until the science completes.
+
+#include "sim/campaign.hpp"
+
+#include "bench_common.hpp"
+
+using namespace lazyckpt;
+using namespace lazyckpt::bench;
+
+int main() {
+  print_banner("Ablation — campaigns of one-week allocations");
+  print_params("500 h of science, 168 h allocations, 24 h queue gaps, "
+               "MTBF 11 h, k=0.6, beta=0.5 h, 60 campaign replicas, "
+               "seed 71");
+
+  const auto weibull = stats::Weibull::from_mtbf_and_shape(11.0, 0.6);
+  const io::ConstantStorage storage(0.5, 0.5);
+
+  TextTable table({"policy", "allocations (mean)", "machine hours (mean)",
+                   "completed", "ckpt I/O (h)"});
+  for (const char* spec :
+       {"hourly", "static-oci", "ilazy:0.6", "bounded-ilazy:0.6"}) {
+    double allocations = 0.0;
+    double machine_hours = 0.0;
+    double ckpt = 0.0;
+    int completed = 0;
+    const int replicas = 60;
+    Rng master(71);
+    for (int i = 0; i < replicas; ++i) {
+      sim::CampaignConfig config;
+      config.base.compute_hours = 500.0;
+      config.base.alpha_oci_hours = core::daly_oci(0.5, 11.0);
+      config.base.mtbf_hint_hours = 11.0;
+      config.base.shape_hint = 0.6;
+      config.allocation_hours = 168.0;
+      config.gap_hours = 24.0;
+      sim::RenewalFailureSource source(weibull.clone(), master.split());
+      const auto policy = core::make_policy(spec);
+      const auto result =
+          sim::run_campaign(config, *policy, source, storage);
+      allocations += static_cast<double>(result.allocations_used);
+      machine_hours += result.machine_hours;
+      completed += result.completed ? 1 : 0;
+      for (const auto& run : result.runs) ckpt += run.checkpoint_hours;
+    }
+    table.add_row({spec, TextTable::num(allocations / replicas, 2),
+                   TextTable::num(machine_hours / replicas, 1),
+                   TextTable::num(100.0 * completed / replicas, 0) + "%",
+                   TextTable::num(ckpt / replicas, 1)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading: per-campaign machine hours follow the makespan story —\n"
+      "OCI-family schedules finish the science in fewer billed hours than\n"
+      "hourly checkpointing, with iLazy cutting the storage traffic on\n"
+      "top; allocation truncation (work in flight at each cut) adds a\n"
+      "roughly policy-independent overhead per allocation.\n");
+  return 0;
+}

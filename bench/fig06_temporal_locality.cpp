@@ -1,0 +1,47 @@
+/// Reproduces paper Fig. 6: histograms of failure inter-arrival times for
+/// multiple HPC systems, against each system's observed MTBF.  The headline
+/// statistic: the fraction of failures arriving within 3 hours of the
+/// previous failure despite much larger MTBFs.
+
+#include "common/histogram.hpp"
+#include "failures/generator.hpp"
+
+#include "bench_common.hpp"
+
+using namespace lazyckpt;
+using namespace lazyckpt::bench;
+
+int main() {
+  print_banner("Fig. 6 — temporal locality of failures across HPC systems");
+  print_params(
+      "synthetic logs drawn from each system's published Weibull fit "
+      "(DESIGN.md §3); fixed per-system seeds");
+
+  TextTable table({"system", "events", "observed MTBF (h)", "shape k",
+                   "< 1 h", "< 3 h", "< MTBF"});
+  for (const auto& spec : failures::paper_system_specs()) {
+    const auto trace = failures::generate_trace(spec);
+    table.add_row({spec.system_name, std::to_string(trace.size()),
+                   TextTable::num(trace.observed_mtbf()),
+                   TextTable::num(spec.weibull_shape),
+                   TextTable::percent(trace.fraction_within(1.0)),
+                   TextTable::percent(trace.fraction_within(3.0)),
+                   TextTable::percent(
+                       trace.fraction_within(trace.observed_mtbf()))});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Histogram for the OLCF-like system (the paper's featured panel).
+  const auto olcf = failures::generate_trace(
+      failures::paper_system_specs().front());
+  const auto gaps = olcf.inter_arrival_times();
+  Histogram histogram(0.0, 30.0, 15);
+  histogram.add(gaps);
+  std::printf("OLCF inter-arrival histogram (hours; MTBF %.1f h):\n%s\n",
+              olcf.observed_mtbf(), histogram.render(48).c_str());
+  std::printf(
+      "Reading (Obs. 3): a large fraction of failures arrive on the heels\n"
+      "of the previous failure — ~45%% within 3 h on the OLCF system whose\n"
+      "MTBF is 7.5 h.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+/// Reproduces paper Fig. 8: QQ-plot data — sample quantiles of the failure
+/// inter-arrival times against the theoretical quantiles of each fitted
+/// candidate.  A good fit tracks the slope-1 line; we print decile pairs
+/// and the QQ correlation for three representative systems, as the paper
+/// plots three panels.
+
+#include "failures/generator.hpp"
+#include "stats/fitting.hpp"
+#include "stats/qq.hpp"
+
+#include "bench_common.hpp"
+
+using namespace lazyckpt;
+using namespace lazyckpt::bench;
+
+namespace {
+
+void qq_for(const failures::SyntheticLogSpec& spec) {
+  auto gaps = failures::generate_trace(spec).inter_arrival_times();
+  if (gaps.size() > 2000) gaps.resize(2000);
+
+  const auto weibull = stats::fit_weibull(gaps);
+  const auto exponential = stats::fit_exponential(gaps);
+  const auto normal = stats::fit_normal(gaps);
+
+  std::printf("--- %s ---\n", spec.system_name.c_str());
+  std::printf("QQ correlation: weibull %.4f | exponential %.4f | normal %.4f\n",
+              stats::qq_correlation(gaps, weibull),
+              stats::qq_correlation(gaps, exponential),
+              stats::qq_correlation(gaps, normal));
+
+  const auto points = stats::qq_points(gaps, weibull);
+  TextTable table({"quantile", "sample (h)", "weibull theoretical (h)",
+                   "ratio"});
+  for (int decile = 1; decile <= 9; ++decile) {
+    const std::size_t index = points.size() * decile / 10;
+    const auto& p = points[index];
+    table.add_row({TextTable::num(decile * 0.1, 1),
+                   TextTable::num(p.sample_quantile),
+                   TextTable::num(p.theoretical_quantile),
+                   TextTable::num(p.sample_quantile /
+                                  std::max(p.theoretical_quantile, 1e-9))});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Fig. 8 — QQ plots of failure inter-arrival samples");
+  print_params("three representative systems, fitted by MLE");
+  const auto& specs = failures::paper_system_specs();
+  qq_for(specs[0]);  // OLCF
+  qq_for(specs[1]);  // LANL-4
+  qq_for(specs[5]);  // LANL-20
+  std::printf(
+      "Reading: Weibull QQ points hug the slope-1 line (ratio ~1 across\n"
+      "deciles, correlation ~1); the alternatives bend away in the tails.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+/// Reproduces paper Fig. 10: the average lost-work fraction under Weibull
+/// (k = 0.6) failures is lower than under exponential failures with the
+/// same MTBF — the quantitative basis for Fig. 9's runtime gap.
+
+#include "common/random.hpp"
+#include "core/model/lost_work.hpp"
+
+#include "bench_common.hpp"
+
+using namespace lazyckpt;
+using namespace lazyckpt::bench;
+
+int main() {
+  print_banner("Fig. 10 — lost-work fraction: Weibull vs exponential");
+  print_params("MTBF 10 h, k=0.6, 400,000 Monte-Carlo samples, seed 10");
+
+  const double mtbf = 10.0;
+  const auto exponential = stats::Exponential::from_mean(mtbf);
+  const auto weibull = stats::Weibull::from_mtbf_and_shape(mtbf, 0.6);
+  Rng rng(10);
+
+  TextTable table({"segment (h)", "eps exponential", "eps weibull",
+                   "difference"});
+  for (const double c : {0.5, 1.0, 2.0, 3.0, 5.0, 7.5, 10.0, 15.0, 20.0}) {
+    const double eps_e =
+        core::lost_work_fraction_monte_carlo(exponential, c, 400'000, rng);
+    const double eps_w =
+        core::lost_work_fraction_monte_carlo(weibull, c, 400'000, rng);
+    table.add_row({TextTable::num(c, 1), TextTable::num(eps_e, 4),
+                   TextTable::num(eps_w, 4),
+                   TextTable::num(eps_e - eps_w, 4)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading: the Weibull lost-work fraction sits below the exponential\n"
+      "one at every segment length — failures cluster early, so less work\n"
+      "is outstanding when they strike.\n");
+  return 0;
+}

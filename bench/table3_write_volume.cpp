@@ -1,0 +1,66 @@
+/// Reproduces paper Table 3: average checkpoint data volume written to
+/// persistent storage per strategy over the log-driven runs — showing that
+/// I/O-time savings reflect genuinely less data moved, not lucky placement
+/// of checkpoints at high-bandwidth moments.
+
+#include "apps/catalog.hpp"
+#include "common/units.hpp"
+#include "cr/trace_replay.hpp"
+#include "failures/generator.hpp"
+
+#include "bench_common.hpp"
+
+using namespace lazyckpt;
+using namespace lazyckpt::bench;
+
+int main() {
+  print_banner("Table 3 — checkpoint write volume per strategy");
+  print_params(
+      "same 6-month synthetic Titan/Spider logs and offsets as Fig. 23");
+
+  const auto failure_log = failures::generate_trace(
+      {"titan-6mo", 7.5, 0.6, 4320.0, 18688, 2718});
+  const auto io_log = io::BandwidthTrace::synthetic_spider(4320.0);
+  cr::ReplayConfig config;
+  const cr::TraceReplayHarness harness(failure_log, io_log, config);
+
+  const std::vector<std::string> strategies = {
+      "static-oci", "dynamic-oci", "skip2:static-oci", "ilazy:0.6"};
+  const std::vector<double> offsets = {0.0, 500.0, 1000.0, 1500.0, 2000.0,
+                                       2500.0};
+
+  std::vector<double> totals(strategies.size(), 0.0);
+  TextTable table({"application", "static-oci (TB)", "dynamic-oci (TB)",
+                   "skip2 (TB)", "ilazy (TB)"});
+  for (const auto& app : apps::leadership_applications()) {
+    const cr::ReplayAppSpec spec{app.name, app.checkpoint_size_gb,
+                                 app.compute_hours};
+    const auto outcomes = harness.evaluate(spec, strategies, offsets);
+    std::vector<std::string> row = {app.name};
+    for (std::size_t s = 0; s < strategies.size(); ++s) {
+      const double tb =
+          gb_to_tb(outcomes[s].metrics.mean_data_written_gb);
+      totals[s] += tb;
+      row.push_back(TextTable::num(tb, 1));
+    }
+    table.add_row(row);
+  }
+  std::vector<std::string> total_row = {"TOTAL"};
+  for (const double tb : totals) total_row.push_back(TextTable::num(tb, 1));
+  table.add_row(total_row);
+  std::printf("%s\n", table.to_string().c_str());
+
+  TextTable savings({"strategy", "volume saved vs static-oci (PB)",
+                     "relative"});
+  for (std::size_t s = 1; s < strategies.size(); ++s) {
+    savings.add_row({strategies[s],
+                     TextTable::num((totals[0] - totals[s]) / 1000.0, 3),
+                     TextTable::percent(saving(totals[0], totals[s]))});
+  }
+  std::printf("%s\n", savings.to_string().c_str());
+  std::printf(
+      "Reading: the relative saving in data volume is consistent with the\n"
+      "observed reduction in I/O time — the schemes genuinely move less\n"
+      "data (paper reports 4.02/4.48/5.18 PB saved at Titan scale).\n");
+  return 0;
+}

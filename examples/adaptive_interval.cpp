@@ -1,0 +1,86 @@
+/// \file adaptive_interval.cpp
+/// \brief Shows the dynamic-OCI and iLazy strategies adapting on line as
+/// the machine's failure behaviour shifts: a calm regime (MTBF 20 h), a
+/// failure storm (MTBF 2 h), then recovery.  The failure-log agent's
+/// moving-average MTBF drives the interval down during the storm and back
+/// up afterwards; iLazy meanwhile stretches with failure-free time.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/table.hpp"
+#include "core/model/oci.hpp"
+#include "core/policy/dynamic_oci.hpp"
+#include "core/policy/ilazy.hpp"
+#include "failures/agent.hpp"
+#include "failures/generator.hpp"
+#include "failures/trace.hpp"
+#include "stats/exponential.hpp"
+
+using namespace lazyckpt;
+
+namespace {
+
+/// Three-regime synthetic log: calm, storm, calm.
+failures::FailureTrace regime_log() {
+  Rng rng(2026);
+  std::vector<failures::FailureEvent> events;
+  const auto append = [&](double from, double to, double mtbf) {
+    const auto exp_dist = stats::Exponential::from_mean(mtbf);
+    double t = from;
+    while (true) {
+      t += exp_dist.sample(rng);
+      if (t >= to) break;
+      events.push_back({t, 0, failures::FailureCategory::kHardware});
+    }
+  };
+  append(0.0, 200.0, 20.0);    // calm
+  append(200.0, 300.0, 2.0);   // storm
+  append(300.0, 500.0, 20.0);  // recovered
+  return failures::FailureTrace(std::move(events));
+}
+
+}  // namespace
+
+int main() {
+  print_banner("adaptive checkpoint intervals across failure regimes");
+
+  const auto log = regime_log();
+  const failures::FailureLogAgent agent(log, /*history_window=*/8);
+  const double beta = 0.5;
+  const double static_mtbf = 20.0;
+  const double static_oci = core::daly_oci(beta, static_mtbf);
+  std::printf(
+      "log: calm (MTBF 20 h) -> storm at t=200 h (MTBF 2 h) -> calm at "
+      "t=300 h\nstatic OCI from historical MTBF: %.2f h\n\n",
+      static_oci);
+
+  core::DynamicOciPolicy dynamic_policy;
+  core::ILazyPolicy ilazy_policy(0.6);
+
+  TextTable table({"t (h)", "failures seen", "MTBF estimate (h)",
+                   "dynamic OCI (h)", "iLazy interval (h)"});
+  for (double t = 25.0; t <= 475.0; t += 25.0) {
+    core::PolicyContext ctx;
+    ctx.now_hours = t;
+    ctx.time_since_failure_hours = agent.time_since_failure(t);
+    ctx.alpha_oci_hours = static_oci;
+    ctx.checkpoint_time_hours = beta;
+    ctx.mtbf_estimate_hours = agent.mtbf_estimate(t, static_mtbf);
+    ctx.weibull_shape_estimate = 0.6;
+
+    table.add_row({TextTable::num(t, 0),
+                   std::to_string(agent.failures_before(t)),
+                   TextTable::num(ctx.mtbf_estimate_hours),
+                   TextTable::num(dynamic_policy.next_interval(ctx)),
+                   TextTable::num(ilazy_policy.next_interval(ctx))});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading: during the storm the moving-average MTBF collapses and the\n"
+      "dynamic OCI tightens to protect work; once calm returns both the\n"
+      "estimate and the interval recover.  iLazy stretches whenever\n"
+      "failure-free time accumulates, independent of the MTBF estimate.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "apps/catalog.hpp"
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "failures/scaling.hpp"
+
+namespace lazyckpt::apps {
+
+const std::vector<Application>& leadership_applications() {
+  // Sizes and runtimes from paper Table 1.  compute_hours is the job
+  // runtime discounted by the traditional hourly-checkpoint overhead the
+  // table's runtimes were observed under.
+  static const std::vector<Application> apps = {
+      {"CHIMERA", "Astrophysics", tb_to_gb(160.0), 360.0, 300.0},
+      {"VULCUN", "Astrophysics", 0.83, 720.0, 700.0},
+      {"POP", "Climate", 26.0, 480.0, 460.0},
+      {"S3D", "Combustion", tb_to_gb(5.0), 240.0, 210.0},
+      {"GTC", "Fusion", tb_to_gb(20.0), 120.0, 100.0},
+      {"GYRO", "Fusion", 50.0, 120.0, 110.0},
+  };
+  return apps;
+}
+
+const Application& application_by_name(const std::string& name) {
+  for (const auto& app : leadership_applications()) {
+    if (app.name == name) return app;
+  }
+  throw InvalidArgument("unknown application: " + name);
+}
+
+const std::vector<SystemDesignPoint>& system_design_points() {
+  static const std::vector<SystemDesignPoint> points = {
+      {"petascale-10K", 10000, failures::system_mtbf(kNodeMtbfHours, 10000),
+       kTitanObservedBandwidthGbps},
+      {"petascale-20K", 20000, failures::system_mtbf(kNodeMtbfHours, 20000),
+       kTitanObservedBandwidthGbps},
+      {"titan", 18688, kTitanObservedMtbfHours, kTitanObservedBandwidthGbps},
+      {"exascale-100K", 100000,
+       failures::system_mtbf(kNodeMtbfHours, 100000),
+       kTitanObservedBandwidthGbps},
+  };
+  return points;
+}
+
+const SystemDesignPoint& design_point_by_name(const std::string& name) {
+  for (const auto& point : system_design_points()) {
+    if (point.name == name) return point;
+  }
+  throw InvalidArgument("unknown system design point: " + name);
+}
+
+}  // namespace lazyckpt::apps

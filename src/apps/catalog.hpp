@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file catalog.hpp
+/// \brief Leadership-application portfolio (paper Table 1) and the system
+/// design points used across the evaluation (Titan, petascale, exascale).
+
+#include <string>
+#include <vector>
+
+namespace lazyckpt::apps {
+
+/// One leadership application (paper Table 1).
+struct Application {
+  std::string name;             ///< e.g. "GTC"
+  std::string domain;           ///< e.g. "Fusion"
+  double checkpoint_size_gb;    ///< application-level checkpoint size
+  double job_runtime_hours;     ///< end-to-end job allocation (wall hours)
+  double compute_hours;         ///< useful computation in the job; we model
+                                ///< it as the runtime of a failure-free,
+                                ///< checkpoint-free execution
+};
+
+/// The six applications of Table 1: CHIMERA, VULCUN/2D, POP, S3D, GTC, GYRO.
+const std::vector<Application>& leadership_applications();
+
+/// Look up an application by name.  Throws InvalidArgument if unknown.
+const Application& application_by_name(const std::string& name);
+
+/// A machine design point for hero runs.
+struct SystemDesignPoint {
+  std::string name;           ///< e.g. "petascale-20K"
+  int node_count;             ///< compute nodes used by the hero run
+  double mtbf_hours;          ///< system MTBF at this scale
+  double io_bandwidth_gbps;   ///< observed storage bandwidth
+};
+
+/// Per-node MTBF calibrated so a 20K-node system has an 11 h MTBF, which
+/// puts the Daly OCI at 2.98 h for a 30-minute checkpoint — the anchor
+/// numbers of the paper's Fig. 13.
+inline constexpr double kNodeMtbfHours = 220000.0;
+
+/// Observed (not peak) Spider bandwidth used for Table 2.
+inline constexpr double kTitanObservedBandwidthGbps = 10.0;
+
+/// Titan's observed system MTBF from the OLCF failure logs (Sec. 4.1).
+inline constexpr double kTitanObservedMtbfHours = 7.5;
+
+/// Design points: 10K / 20K (petascale), Titan (18,688 nodes),
+/// 100K (exascale).  MTBF scales inversely with node count from
+/// kNodeMtbfHours; Titan uses its observed MTBF instead.
+const std::vector<SystemDesignPoint>& system_design_points();
+
+/// Look up a design point by name.  Throws InvalidArgument if unknown.
+const SystemDesignPoint& design_point_by_name(const std::string& name);
+
+}  // namespace lazyckpt::apps

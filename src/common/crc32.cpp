@@ -1,0 +1,48 @@
+#include "common/crc32.hpp"
+
+#include <array>
+
+namespace lazyckpt {
+namespace {
+
+constexpr std::uint32_t kPolynomial = 0xedb88320u;  // reflected IEEE 802.3
+
+std::array<std::uint32_t, 256> make_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPolynomial : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() noexcept {
+  static const std::array<std::uint32_t, 256> instance = make_table();
+  return instance;
+}
+
+}  // namespace
+
+void Crc32::update(std::span<const std::byte> data) noexcept {
+  const auto& t = table();
+  std::uint32_t crc = state_;
+  for (const std::byte b : data) {
+    crc = (crc >> 8) ^ t[(crc ^ static_cast<std::uint32_t>(b)) & 0xffu];
+  }
+  state_ = crc;
+}
+
+void Crc32::update(const void* data, std::size_t size) noexcept {
+  update(std::span<const std::byte>(static_cast<const std::byte*>(data), size));
+}
+
+std::uint32_t crc32(std::span<const std::byte> data) noexcept {
+  Crc32 crc;
+  crc.update(data);
+  return crc.value();
+}
+
+}  // namespace lazyckpt

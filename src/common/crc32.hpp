@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file crc32.hpp
+/// \brief CRC-32 (IEEE 802.3 polynomial) for checkpoint-file integrity.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace lazyckpt {
+
+/// Incremental CRC-32 computation.  Feed data with update(), read the
+/// digest with value().  The empty input has CRC 0x00000000.
+class Crc32 {
+ public:
+  /// Fold `data` into the running checksum.
+  void update(std::span<const std::byte> data) noexcept;
+
+  /// Convenience overload for raw buffers.
+  void update(const void* data, std::size_t size) noexcept;
+
+  /// Final CRC-32 value of everything fed so far.
+  [[nodiscard]] std::uint32_t value() const noexcept { return state_ ^ 0xffffffffu; }
+
+ private:
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+/// One-shot CRC-32 of a buffer.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::byte> data) noexcept;
+
+}  // namespace lazyckpt

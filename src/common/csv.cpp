@@ -1,0 +1,129 @@
+#include "common/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace lazyckpt {
+namespace {
+
+std::vector<std::string> split_fields(std::string_view line) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      fields.emplace_back(line.substr(start));
+      return fields;
+    }
+    fields.emplace_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+}  // namespace
+
+CsvDocument::CsvDocument(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  require(!header_.empty(), "CSV header must have at least one column");
+}
+
+CsvDocument CsvDocument::parse(std::string_view text) {
+  std::vector<std::vector<std::string>> parsed;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!line.empty() && line.front() != '#') {
+      parsed.push_back(split_fields(line));
+    }
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  if (parsed.empty()) throw IoError("CSV text has no header row");
+
+  CsvDocument doc(std::move(parsed.front()));
+  for (std::size_t i = 1; i < parsed.size(); ++i) {
+    if (parsed[i].size() != doc.header_.size()) {
+      throw IoError("CSV row " + std::to_string(i) + " has " +
+                    std::to_string(parsed[i].size()) + " fields, expected " +
+                    std::to_string(doc.header_.size()));
+    }
+    doc.rows_.push_back(std::move(parsed[i]));
+  }
+  return doc;
+}
+
+CsvDocument CsvDocument::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open CSV file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+void CsvDocument::add_row(std::vector<std::string> row) {
+  require(row.size() == header_.size(),
+          "CSV row width " + std::to_string(row.size()) +
+              " does not match header width " +
+              std::to_string(header_.size()));
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvDocument::to_string() const {
+  std::ostringstream out;
+  auto emit = [&out](const std::vector<std::string>& fields) {
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i != 0) out << ',';
+      out << fields[i];
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void CsvDocument::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw IoError("cannot open CSV file for writing: " + path);
+  out << to_string();
+  if (!out) throw IoError("failed writing CSV file: " + path);
+}
+
+std::size_t CsvDocument::column_index(std::string_view name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return i;
+  }
+  throw InvalidArgument("CSV column not found: " + std::string(name));
+}
+
+std::vector<double> CsvDocument::numeric_column(std::string_view name) const {
+  const std::size_t col = column_index(name);
+  std::vector<double> values;
+  values.reserve(rows_.size());
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    values.push_back(parse_double(
+        rows_[i][col], "column '" + std::string(name) + "' row " +
+                           std::to_string(i)));
+  }
+  return values;
+}
+
+double parse_double(std::string_view text, const std::string& context) {
+  double value = 0.0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) {
+    throw IoError("cannot parse '" + std::string(text) + "' as number (" +
+                  context + ")");
+  }
+  return value;
+}
+
+}  // namespace lazyckpt

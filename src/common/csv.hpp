@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file csv.hpp
+/// \brief Minimal CSV reader/writer for failure logs and bandwidth traces.
+///
+/// The dialect is deliberately simple (the LANL public failure-data release
+/// and our synthetic traces both fit it): comma-separated fields, first row
+/// is a header, fields never contain embedded commas or newlines, lines
+/// starting with '#' are comments.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lazyckpt {
+
+/// An in-memory CSV document: a header plus data rows of equal width.
+class CsvDocument {
+ public:
+  /// Create an empty document with the given column names.
+  explicit CsvDocument(std::vector<std::string> header);
+
+  /// Parse CSV text.  Throws IoError on ragged rows or a missing header.
+  static CsvDocument parse(std::string_view text);
+
+  /// Load and parse a CSV file.  Throws IoError if unreadable.
+  static CsvDocument load(const std::string& path);
+
+  /// Append a data row.  Throws InvalidArgument if the width differs from
+  /// the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Serialize back to CSV text (header + rows, '\n' separated).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Write to a file.  Throws IoError on failure.
+  void save(const std::string& path) const;
+
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const noexcept {
+    return header_.size();
+  }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const {
+    return rows_.at(i);
+  }
+
+  /// Index of the named column.  Throws InvalidArgument if absent.
+  [[nodiscard]] std::size_t column_index(std::string_view name) const;
+
+  /// The named column of every row parsed as double.
+  /// Throws IoError if any cell fails to parse.
+  [[nodiscard]] std::vector<double> numeric_column(
+      std::string_view name) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parse a string as double, throwing IoError with `context` on failure.
+double parse_double(std::string_view text, const std::string& context);
+
+}  // namespace lazyckpt

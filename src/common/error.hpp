@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file error.hpp
+/// \brief Exception hierarchy and argument-validation helpers for lazyckpt.
+
+#include <stdexcept>
+#include <string>
+
+namespace lazyckpt {
+
+/// Base class for all lazyckpt errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// An argument supplied to a lazyckpt API was outside its documented domain.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A file could not be read, written, or parsed.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// A checkpoint file failed integrity verification (bad magic, truncated
+/// payload, or CRC mismatch).
+class CorruptCheckpoint : public Error {
+ public:
+  explicit CorruptCheckpoint(const std::string& what) : Error(what) {}
+};
+
+/// Throw InvalidArgument with `message` unless `condition` holds.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw InvalidArgument(message);
+}
+
+/// Throw InvalidArgument unless `value` is finite and strictly positive.
+void require_positive(double value, const std::string& name);
+
+/// Throw InvalidArgument unless `value` is finite and non-negative.
+void require_non_negative(double value, const std::string& name);
+
+}  // namespace lazyckpt

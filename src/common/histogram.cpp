@@ -1,0 +1,74 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace lazyckpt {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  require(std::isfinite(lo) && std::isfinite(hi) && lo < hi,
+          "Histogram range must satisfy lo < hi");
+  require(bins >= 1, "Histogram needs at least one bin");
+}
+
+void Histogram::add(double value) noexcept {
+  ++total_;
+  if (!(value >= lo_)) {  // also catches NaN
+    ++underflow_;
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double scaled =
+      (value - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size());
+  auto bin = static_cast<std::size_t>(scaled);
+  bin = std::min(bin, counts_.size() - 1);
+  ++counts_[bin];
+}
+
+void Histogram::add(std::span<const double> values) noexcept {
+  for (const double v : values) add(v);
+}
+
+double Histogram::bin_left(std::size_t bin) const {
+  require(bin < counts_.size(), "Histogram bin index out of range");
+  return lo_ + bin_width() * static_cast<double>(bin);
+}
+
+double Histogram::bin_width() const noexcept {
+  return (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+double Histogram::fraction_below(double x) const noexcept {
+  if (total_ == 0) return 0.0;
+  std::size_t below = underflow_;
+  for (std::size_t bin = 0; bin < counts_.size(); ++bin) {
+    if (bin_left(bin) + bin_width() <= x) below += counts_[bin];
+  }
+  if (x >= hi_) below += overflow_;
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  const std::size_t peak =
+      counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+  std::ostringstream out;
+  for (std::size_t bin = 0; bin < counts_.size(); ++bin) {
+    const double left = bin_left(bin);
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[bin] * width / std::max<std::size_t>(peak, 1);
+    out << "[" << std::fixed;
+    out.precision(2);
+    out << left << ", " << left + bin_width() << ") ";
+    out << std::string(bar, '#') << " " << counts_[bin] << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace lazyckpt

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file histogram.hpp
+/// \brief Fixed-width-bin histogram used for the failure inter-arrival
+/// analysis (paper Fig. 6) and for rendering distributions in bench output.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lazyckpt {
+
+/// Histogram over [lo, hi) with `bins` equal-width bins.  Samples outside
+/// the range are counted in underflow/overflow tallies but not binned.
+class Histogram {
+ public:
+  /// Construct an empty histogram.  Requires lo < hi and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Add one sample.
+  void add(double value) noexcept;
+
+  /// Add many samples.
+  void add(std::span<const double> values) noexcept;
+
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+
+  /// Total samples added (including out-of-range ones).
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+  /// Left edge of a bin.
+  [[nodiscard]] double bin_left(std::size_t bin) const;
+
+  /// Width of every bin.
+  [[nodiscard]] double bin_width() const noexcept;
+
+  /// Fraction of all added samples that are strictly below `x`
+  /// (empirical CDF evaluated on the raw tallies; `x` is clamped to the
+  /// histogram range with bin resolution).
+  [[nodiscard]] double fraction_below(double x) const noexcept;
+
+  /// Render an ASCII bar chart, `width` characters at the widest bar.
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace lazyckpt

@@ -1,0 +1,63 @@
+#include "common/random.hpp"
+
+namespace lazyckpt {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_positive() noexcept {
+  return 1.0 - uniform();  // (0, 1]
+}
+
+double Rng::uniform_in(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
+  // Rejection-free multiply-shift (Lemire); bias is < 2^-64 * n which is
+  // negligible for simulation bucket selection.
+  __extension__ using Uint128 = unsigned __int128;
+  const Uint128 product = static_cast<Uint128>((*this)()) * n;
+  return static_cast<std::uint64_t>(product >> 64);
+}
+
+Rng Rng::split() noexcept {
+  // Use two fresh outputs to seed an independent SplitMix64 chain.
+  const std::uint64_t seed = (*this)() ^ rotl((*this)(), 31);
+  return Rng(seed);
+}
+
+}  // namespace lazyckpt

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file random.hpp
+/// \brief Deterministic, platform-independent pseudo-random number engine.
+///
+/// Simulation results must be reproducible bit-for-bit across platforms and
+/// standard-library implementations, so lazyckpt does not use the
+/// distribution classes from <random> (their output is unspecified).  We use
+/// xoshiro256** seeded via SplitMix64 and do all variate generation with
+/// explicit inverse-CDF transforms in src/stats/.
+
+#include <array>
+#include <cstdint>
+
+namespace lazyckpt {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain), seeded through
+/// SplitMix64.  Satisfies the UniformRandomBitGenerator requirements.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Construct from a 64-bit seed; any value (including 0) is valid.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  /// Next 64 uniformly distributed bits.
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() noexcept;
+
+  /// Uniform double in (0, 1] — safe as input to -log(u) style transforms.
+  double uniform_positive() noexcept;
+
+  /// Uniform double in [lo, hi).  Requires lo < hi.
+  double uniform_in(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n).  Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  /// Derive an independent child generator (stream split).  Used to give
+  /// each simulation replica its own statistically independent stream.
+  Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace lazyckpt

@@ -1,0 +1,92 @@
+#include "common/rle.hpp"
+
+#include <cstring>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace lazyckpt {
+namespace {
+
+void append_u32(std::vector<std::byte>& out, std::uint32_t value) {
+  std::byte bytes[4];
+  std::memcpy(bytes, &value, sizeof(value));
+  out.insert(out.end(), bytes, bytes + 4);
+}
+
+std::uint32_t read_u32(std::span<const std::byte> data, std::size_t& offset) {
+  if (offset + 4 > data.size()) {
+    throw CorruptCheckpoint("RLE stream truncated");
+  }
+  std::uint32_t value = 0;
+  std::memcpy(&value, data.data() + offset, sizeof(value));
+  offset += 4;
+  return value;
+}
+
+constexpr std::size_t kMaxRun = std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace
+
+std::vector<std::byte> rle_encode(std::span<const std::byte> data) {
+  std::vector<std::byte> out;
+  std::size_t i = 0;
+  while (i < data.size()) {
+    // Count the zero run.
+    std::size_t zeros = 0;
+    while (i + zeros < data.size() &&
+           data[i + zeros] == std::byte{0} && zeros < kMaxRun) {
+      ++zeros;
+    }
+    // Count the literal run: up to the next "profitable" zero run (>= 8
+    // zeros, the record header size) or the end.
+    std::size_t literal_start = i + zeros;
+    std::size_t literal_end = literal_start;
+    std::size_t pending_zeros = 0;
+    while (literal_end + pending_zeros < data.size() &&
+           literal_end + pending_zeros - literal_start < kMaxRun) {
+      if (data[literal_end + pending_zeros] == std::byte{0}) {
+        ++pending_zeros;
+        if (pending_zeros >= 8) break;  // stop: a new zero record pays off
+      } else {
+        literal_end += pending_zeros + 1;
+        pending_zeros = 0;
+      }
+    }
+    append_u32(out, static_cast<std::uint32_t>(zeros));
+    append_u32(out,
+               static_cast<std::uint32_t>(literal_end - literal_start));
+    out.insert(out.end(), data.begin() + literal_start,
+               data.begin() + literal_end);
+    i = literal_end;
+    if (literal_end == literal_start && zeros == 0) break;  // defensive
+  }
+  return out;
+}
+
+std::vector<std::byte> rle_decode(std::span<const std::byte> encoded,
+                                  std::size_t expected_size) {
+  std::vector<std::byte> out;
+  out.reserve(expected_size);
+  std::size_t offset = 0;
+  while (offset < encoded.size()) {
+    const std::uint32_t zeros = read_u32(encoded, offset);
+    const std::uint32_t literals = read_u32(encoded, offset);
+    out.insert(out.end(), zeros, std::byte{0});
+    if (offset + literals > encoded.size()) {
+      throw CorruptCheckpoint("RLE literal run exceeds stream");
+    }
+    out.insert(out.end(), encoded.begin() + offset,
+               encoded.begin() + offset + literals);
+    offset += literals;
+    if (out.size() > expected_size) {
+      throw CorruptCheckpoint("RLE stream decodes beyond expected size");
+    }
+  }
+  if (out.size() != expected_size) {
+    throw CorruptCheckpoint("RLE stream decodes to wrong size");
+  }
+  return out;
+}
+
+}  // namespace lazyckpt

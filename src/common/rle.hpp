@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file rle.hpp
+/// \brief Zero-run-length codec for sparse byte streams.
+///
+/// Delta checkpoints XOR the current state against the previous one;
+/// unchanged bytes become zero, so the XOR stream is overwhelmingly zeros.
+/// This codec stores it as records of [zero-run length][literal length]
+/// [literal bytes], each length a little-endian u32.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lazyckpt {
+
+/// Encode `data` as zero-run records.  Always decodable back to exactly
+/// `data`; worst case (no zeros) adds 8 bytes per 4 GiB literal record.
+std::vector<std::byte> rle_encode(std::span<const std::byte> data);
+
+/// Decode into exactly `expected_size` bytes.  Throws CorruptCheckpoint on
+/// malformed input or a size mismatch.
+std::vector<std::byte> rle_decode(std::span<const std::byte> encoded,
+                                  std::size_t expected_size);
+
+}  // namespace lazyckpt

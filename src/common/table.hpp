@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file table.hpp
+/// \brief Aligned ASCII table rendering for the benchmark harness output.
+///
+/// Every bench binary reproduces one paper table/figure and prints its rows
+/// through this class so output is uniform and diffable.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lazyckpt {
+
+/// A text table with a fixed set of columns and cell-by-cell row append.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> columns);
+
+  /// Append a full row of preformatted cells.  Width must match.
+  void add_row(std::vector<std::string> cells);
+
+  /// Format helpers: fixed-point double and integer cells.
+  static std::string num(double value, int precision = 2);
+  static std::string percent(double fraction, int precision = 1);
+
+  /// Render with a header rule and space-padded, right-aligned numeric look.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner (title between rules) to stdout — used by bench
+/// binaries to announce which paper artifact follows.
+void print_banner(const std::string& title);
+
+}  // namespace lazyckpt

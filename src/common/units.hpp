@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file units.hpp
+/// \brief Unit conventions and conversion helpers used across lazyckpt.
+///
+/// The entire library uses a single set of units:
+///   - time:      hours (double)
+///   - data size: gigabytes, GB (double)
+///   - bandwidth: gigabytes per second, GB/s (double)
+///
+/// These helpers make the intent explicit at call sites and centralize the
+/// conversion constants so no magic numbers appear elsewhere.
+
+namespace lazyckpt {
+
+/// Number of seconds in one hour.
+inline constexpr double kSecondsPerHour = 3600.0;
+
+/// Number of hours in one day.
+inline constexpr double kHoursPerDay = 24.0;
+
+/// Gigabytes per terabyte.
+inline constexpr double kGbPerTb = 1000.0;
+
+/// Gigabytes per petabyte.
+inline constexpr double kGbPerPb = 1000.0 * 1000.0;
+
+/// Convert seconds to hours.
+constexpr double seconds_to_hours(double seconds) noexcept {
+  return seconds / kSecondsPerHour;
+}
+
+/// Convert hours to seconds.
+constexpr double hours_to_seconds(double hours) noexcept {
+  return hours * kSecondsPerHour;
+}
+
+/// Convert days to hours.
+constexpr double days_to_hours(double days) noexcept {
+  return days * kHoursPerDay;
+}
+
+/// Convert terabytes to gigabytes.
+constexpr double tb_to_gb(double tb) noexcept { return tb * kGbPerTb; }
+
+/// Convert gigabytes to terabytes.
+constexpr double gb_to_tb(double gb) noexcept { return gb / kGbPerTb; }
+
+/// Convert gigabytes to petabytes.
+constexpr double gb_to_pb(double gb) noexcept { return gb / kGbPerPb; }
+
+/// Time (in hours) needed to move `size_gb` gigabytes at `bandwidth_gbps`
+/// gigabytes per second.  This is the paper's "time-to-checkpoint" (beta)
+/// given a checkpoint size and an observed storage bandwidth.
+constexpr double transfer_time_hours(double size_gb,
+                                     double bandwidth_gbps) noexcept {
+  return seconds_to_hours(size_gb / bandwidth_gbps);
+}
+
+}  // namespace lazyckpt

@@ -1,0 +1,63 @@
+#include "core/model/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lazyckpt::core {
+namespace {
+
+/// Conditional probability of a failure within the next `alpha` hours given
+/// survival to `t` since the previous failure.
+double conditional_failure_probability(const stats::Distribution& d, double t,
+                                       double alpha) {
+  const double survival = 1.0 - d.cdf(t);
+  if (survival <= 1e-300) return 1.0;
+  return std::clamp((d.cdf(t + alpha) - d.cdf(t)) / survival, 0.0, 1.0);
+}
+
+}  // namespace
+
+double max_lazy_interval(const stats::Distribution& inter_arrival,
+                         double time_since_failure_hours,
+                         const IntervalBoundParams& params) {
+  require_positive(params.alpha_oci_hours, "IntervalBoundParams.alpha_oci");
+  require_positive(params.checkpoint_time_hours,
+                   "IntervalBoundParams.checkpoint_time");
+  require(params.max_stretch >= 1.0, "IntervalBoundParams.max_stretch >= 1");
+  require_non_negative(time_since_failure_hours, "time_since_failure_hours");
+
+  const double oci = params.alpha_oci_hours;
+  const double beta = params.checkpoint_time_hours;
+  const double t = time_since_failure_hours;
+
+  // admissible(alpha): extra expected lost work does not exceed I/O saved.
+  const auto admissible = [&](double alpha) {
+    const double extra_loss =
+        conditional_failure_probability(inter_arrival, t, alpha) *
+        (alpha - oci);
+    const double io_saved = beta * (alpha / oci - 1.0);
+    return extra_loss <= io_saved;
+  };
+
+  const double cap = params.max_stretch * oci;
+  if (admissible(cap)) return cap;
+
+  // Bisect on the admissibility frontier in (oci, cap).  alpha = oci is
+  // trivially admissible (both sides are zero).
+  double lo = oci;
+  double hi = cap;
+  for (int iteration = 0; iteration < 100 && (hi - lo) > 1e-9 * oci;
+       ++iteration) {
+    const double mid = 0.5 * (lo + hi);
+    if (admissible(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace lazyckpt::core

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file bounds.hpp
+/// \brief No-performance-loss upper bound for the iLazy interval
+/// (paper Sec. 5, Observation 9, Fig. 21).
+///
+/// iLazy lets the checkpoint interval grow without limit between failures;
+/// if a failure finally lands late, the extra lost work can exceed the I/O
+/// saved.  The paper's conservative cap: an extended interval α > α_oci is
+/// admissible only while the probability-weighted *additional* lost work
+/// (relative to running at α_oci) does not exceed the checkpoint cost the
+/// extension saves.  With F the inter-arrival CDF and t the time since the
+/// last failure at the start of the interval:
+///
+///   P[fail in (t, t+α) | alive at t] · (α − α_oci)  ≤  β · (α/α_oci − 1)
+///
+/// The right-hand side is the expected checkpoint I/O avoided by taking one
+/// checkpoint of a stretched interval instead of α/α_oci OCI checkpoints.
+
+#include "stats/distribution.hpp"
+
+namespace lazyckpt::core {
+
+/// Parameters of the bound computation.
+struct IntervalBoundParams {
+  double alpha_oci_hours = 0.0;       ///< reference OCI
+  double checkpoint_time_hours = 0.0; ///< β
+  double max_stretch = 64.0;          ///< never return more than this × OCI
+};
+
+/// Largest admissible interval (hours) starting `time_since_failure_hours`
+/// after the last failure, under inter-arrival distribution `inter_arrival`.
+/// Always returns a value in [alpha_oci, max_stretch × alpha_oci].
+double max_lazy_interval(const stats::Distribution& inter_arrival,
+                         double time_since_failure_hours,
+                         const IntervalBoundParams& params);
+
+}  // namespace lazyckpt::core

@@ -1,0 +1,34 @@
+#include "core/model/lost_work.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lazyckpt::core {
+
+double lost_work_fraction_exponential(double segment_hours,
+                                      double mtbf_hours) {
+  require_positive(segment_hours, "segment_hours");
+  require_positive(mtbf_hours, "mtbf_hours");
+  const double lambda = 1.0 / mtbf_hours;
+  const double lc = lambda * segment_hours;
+  // E[X mod c] = 1/λ − c e^{−λc} / (1 − e^{−λc}); divide by c.
+  const double expected_mod =
+      mtbf_hours - segment_hours * std::exp(-lc) / (-std::expm1(-lc));
+  return expected_mod / segment_hours;
+}
+
+double lost_work_fraction_monte_carlo(const stats::Distribution& inter_arrival,
+                                      double segment_hours,
+                                      std::size_t samples, Rng& rng) {
+  require_positive(segment_hours, "segment_hours");
+  require(samples >= 1, "lost_work_fraction_monte_carlo needs samples >= 1");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double x = inter_arrival.sample(rng);
+    sum += std::fmod(x, segment_hours);
+  }
+  return sum / (static_cast<double>(samples) * segment_hours);
+}
+
+}  // namespace lazyckpt::core

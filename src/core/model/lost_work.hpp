@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file lost_work.hpp
+/// \brief The "fraction of lost work" ε (paper Sec. 3.1, Figs. 3 and 10).
+///
+/// When a failure interrupts a compute+checkpoint segment of length c, the
+/// work completed since the start of the segment is lost.  ε(c) is the
+/// expected lost fraction of a segment, conditioned on a failure landing in
+/// it.  The classic analysis assumes ε = 0.5 (failures land uniformly in a
+/// segment); the paper shows ε grows with c for exponential failures and is
+/// systematically lower for Weibull failures with shape < 1 — temporal
+/// locality means failures land early, losing less work.
+
+#include <cstddef>
+
+#include "common/random.hpp"
+#include "stats/distribution.hpp"
+
+namespace lazyckpt::core {
+
+/// Closed-form ε(c) for exponential inter-arrival times with mean `mtbf`:
+///   ε(c) = E[X mod c] / c  with  E[X mod c] = 1/λ − c·e^{−λc}/(1 − e^{−λc}).
+/// Requires segment_hours > 0 and mtbf_hours > 0.
+double lost_work_fraction_exponential(double segment_hours,
+                                      double mtbf_hours);
+
+/// Monte-Carlo ε(c) for any inter-arrival distribution: draw `samples`
+/// failure times from the renewal process's stationary segment phase —
+/// equivalently, draw inter-arrival times X and average (X mod c) / c as
+/// the paper does with one million exponential samples.
+/// Requires segment_hours > 0 and samples >= 1.
+double lost_work_fraction_monte_carlo(const stats::Distribution& inter_arrival,
+                                      double segment_hours,
+                                      std::size_t samples, Rng& rng);
+
+}  // namespace lazyckpt::core

@@ -1,0 +1,18 @@
+#include "core/model/machine.hpp"
+
+#include "common/error.hpp"
+
+namespace lazyckpt::core {
+
+void MachineParams::validate() const {
+  require_positive(mtbf_hours, "MachineParams.mtbf_hours");
+  require_positive(checkpoint_time_hours,
+                   "MachineParams.checkpoint_time_hours");
+  require_non_negative(restart_time_hours, "MachineParams.restart_time_hours");
+}
+
+void WorkloadParams::validate() const {
+  require_positive(compute_hours, "WorkloadParams.compute_hours");
+}
+
+}  // namespace lazyckpt::core

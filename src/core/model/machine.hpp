@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file machine.hpp
+/// \brief Parameter bundles shared by the analytical model and simulator.
+
+#include <cstdint>
+
+namespace lazyckpt::core {
+
+/// Failure/recovery parameters of the machine an application runs on.
+/// All times in hours (see common/units.hpp for the unit conventions).
+struct MachineParams {
+  double mtbf_hours = 0.0;             ///< system mean time between failures (M)
+  double checkpoint_time_hours = 0.0;  ///< time-to-checkpoint (beta)
+  double restart_time_hours = 0.0;     ///< restart/recovery overhead (gamma)
+
+  /// Throws InvalidArgument unless all fields are positive (restart may be 0).
+  void validate() const;
+};
+
+/// The application's resource demand.
+struct WorkloadParams {
+  double compute_hours = 0.0;  ///< useful computation to complete (W)
+
+  /// Throws InvalidArgument unless compute_hours > 0.
+  void validate() const;
+};
+
+}  // namespace lazyckpt::core

@@ -1,0 +1,65 @@
+#include "core/model/oci.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lazyckpt::core {
+
+double young_oci(double checkpoint_time_hours, double mtbf_hours) {
+  require_positive(checkpoint_time_hours, "checkpoint_time_hours");
+  require_positive(mtbf_hours, "mtbf_hours");
+  return std::sqrt(2.0 * checkpoint_time_hours * mtbf_hours);
+}
+
+double daly_oci(double checkpoint_time_hours, double mtbf_hours) {
+  require_positive(checkpoint_time_hours, "checkpoint_time_hours");
+  require_positive(mtbf_hours, "mtbf_hours");
+  const double beta = checkpoint_time_hours;
+  const double m = mtbf_hours;
+  if (beta >= 2.0 * m) return m;
+  const double ratio = beta / (2.0 * m);
+  const double sqrt_term = std::sqrt(2.0 * beta * m);
+  return sqrt_term * (1.0 + std::sqrt(ratio) / 3.0 + ratio / 9.0) - beta;
+}
+
+double numeric_oci(const RuntimeModel& model) {
+  // Bracket the feasible range.  The lower edge is an interval much smaller
+  // than beta (pure overhead); the upper edge is where the model loses
+  // feasibility or several MTBFs, whichever comes first.
+  const double beta = model.machine().checkpoint_time_hours;
+  const double mtbf = model.machine().mtbf_hours;
+  double lo = std::min(beta, mtbf) * 1e-3;
+  double hi = 10.0 * mtbf;
+  while (hi > lo && !model.feasible(hi)) hi *= 0.5;
+  require(model.feasible(lo) && hi > lo,
+          "numeric_oci: no feasible checkpoint interval exists");
+
+  // Golden-section search; expected_runtime is unimodal in alpha over the
+  // feasible range (decreasing overhead vs increasing waste).
+  const double phi = 0.5 * (std::sqrt(5.0) - 1.0);  // ~0.618
+  double a = lo;
+  double b = hi;
+  double x1 = b - phi * (b - a);
+  double x2 = a + phi * (b - a);
+  double f1 = model.expected_runtime(x1);
+  double f2 = model.expected_runtime(x2);
+  for (int iteration = 0; iteration < 200 && (b - a) > 1e-9 * b; ++iteration) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - phi * (b - a);
+      f1 = model.expected_runtime(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + phi * (b - a);
+      f2 = model.expected_runtime(x2);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+}  // namespace lazyckpt::core

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file oci.hpp
+/// \brief Optimal checkpoint interval (OCI) estimators (paper Sec. 3).
+///
+/// Three estimators, in increasing fidelity:
+///   - Young's first-order formula       α = √(2βM)
+///   - Daly's higher-order formula       (used throughout the paper)
+///   - numeric minimization of the full RuntimeModel.
+
+#include "core/model/runtime_model.hpp"
+
+namespace lazyckpt::core {
+
+/// Young (1974): α = √(2βM).  Requires β, M > 0.
+double young_oci(double checkpoint_time_hours, double mtbf_hours);
+
+/// Daly (2006) higher-order approximation:
+///   for β < 2M: α = √(2βM)·[1 + (1/3)√(β/2M) + (1/9)(β/2M)] − β
+///   otherwise:  α = M.
+/// Requires β, M > 0.
+double daly_oci(double checkpoint_time_hours, double mtbf_hours);
+
+/// Numeric OCI: golden-section minimization of model.expected_runtime over
+/// the feasible interval range.  Throws Error if no feasible interval
+/// exists (machine too unreliable to progress at any interval).
+double numeric_oci(const RuntimeModel& model);
+
+}  // namespace lazyckpt::core

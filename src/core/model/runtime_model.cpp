@@ -1,0 +1,63 @@
+#include "core/model/runtime_model.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace lazyckpt::core {
+
+RuntimeModel::RuntimeModel(MachineParams machine, WorkloadParams workload,
+                           double lost_work_fraction)
+    : RuntimeModel(machine, workload,
+                   [lost_work_fraction](double) { return lost_work_fraction; }) {
+  require(lost_work_fraction > 0.0 && lost_work_fraction < 1.0,
+          "lost_work_fraction must lie in (0, 1)");
+}
+
+RuntimeModel::RuntimeModel(MachineParams machine, WorkloadParams workload,
+                           LostWorkFn lost_work)
+    : machine_(machine), workload_(workload), lost_work_(std::move(lost_work)) {
+  machine_.validate();
+  workload_.validate();
+  require(static_cast<bool>(lost_work_), "lost_work function must be set");
+}
+
+double RuntimeModel::denominator(double alpha_hours) const {
+  const double segment = alpha_hours + machine_.checkpoint_time_hours;
+  const double per_failure_cost =
+      machine_.restart_time_hours + lost_work_(segment) * segment;
+  return 1.0 - per_failure_cost / machine_.mtbf_hours;
+}
+
+bool RuntimeModel::feasible(double alpha_hours) const {
+  if (!(alpha_hours > 0.0) || !std::isfinite(alpha_hours)) return false;
+  return denominator(alpha_hours) > 0.0;
+}
+
+double RuntimeModel::expected_runtime(double alpha_hours) const {
+  require_positive(alpha_hours, "alpha_hours");
+  const double denom = denominator(alpha_hours);
+  require(denom > 0.0,
+          "model infeasible: expected per-failure cost exceeds MTBF at this "
+          "checkpoint interval");
+  const double failure_free =
+      workload_.compute_hours *
+      (1.0 + machine_.checkpoint_time_hours / alpha_hours);
+  return failure_free / denom;
+}
+
+ModelBreakdown RuntimeModel::breakdown(double alpha_hours) const {
+  ModelBreakdown b;
+  b.total_hours = expected_runtime(alpha_hours);
+  b.compute_hours = workload_.compute_hours;
+  b.checkpoint_hours = workload_.compute_hours / alpha_hours *
+                       machine_.checkpoint_time_hours;
+  b.expected_failures = b.total_hours / machine_.mtbf_hours;
+  b.restart_hours = b.expected_failures * machine_.restart_time_hours;
+  const double segment = alpha_hours + machine_.checkpoint_time_hours;
+  b.wasted_hours = b.expected_failures * lost_work_(segment) * segment;
+  return b;
+}
+
+}  // namespace lazyckpt::core

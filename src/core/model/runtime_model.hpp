@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file runtime_model.hpp
+/// \brief First-order analytical model of application runtime under periodic
+/// checkpointing (paper Sec. 3.1, Eqs. 1–10).
+///
+/// The execution is a sequence of segments: α hours of computation followed
+/// by β hours of checkpoint I/O.  Failures arrive at rate 1/M; each failure
+/// costs a restart γ plus the expected lost fraction ε of a segment.
+/// Solving the resulting fixed point gives the expected makespan:
+///
+///   T(α) = W · (1 + β/α) / (1 − (γ + ε·(α+β)) / M)
+///
+/// valid while the denominator is positive, i.e. the machine makes forward
+/// progress.  The optimal checkpoint interval (OCI) minimizes T(α).
+
+#include <functional>
+
+#include "core/model/machine.hpp"
+
+namespace lazyckpt::core {
+
+/// Expected-time breakdown predicted by the model for one interval choice.
+struct ModelBreakdown {
+  double total_hours = 0.0;       ///< expected makespan T
+  double compute_hours = 0.0;     ///< useful work W
+  double checkpoint_hours = 0.0;  ///< checkpoint I/O (W/α)·β
+  double wasted_hours = 0.0;      ///< lost work, (T/M)·ε·(α+β)
+  double restart_hours = 0.0;     ///< restart overhead, (T/M)·γ
+  double expected_failures = 0.0; ///< T / M
+};
+
+/// Analytical runtime model.  ε may be a constant (the classic 0.5) or a
+/// function of the segment length for distribution-aware evaluation.
+class RuntimeModel {
+ public:
+  /// Map from segment length (α+β, hours) to expected lost-work fraction.
+  using LostWorkFn = std::function<double(double segment_hours)>;
+
+  /// Construct with constant ε (default 0.5, the uniform-landing value).
+  RuntimeModel(MachineParams machine, WorkloadParams workload,
+               double lost_work_fraction = 0.5);
+
+  /// Construct with a segment-length-dependent ε.
+  RuntimeModel(MachineParams machine, WorkloadParams workload,
+               LostWorkFn lost_work);
+
+  /// Expected makespan for checkpoint interval `alpha_hours`.
+  /// Throws InvalidArgument if alpha_hours <= 0 or the machine cannot make
+  /// forward progress at this interval (denominator <= 0).
+  [[nodiscard]] double expected_runtime(double alpha_hours) const;
+
+  /// True if the model is defined (progress is possible) at this interval.
+  [[nodiscard]] bool feasible(double alpha_hours) const;
+
+  /// Full expected breakdown at `alpha_hours`.
+  [[nodiscard]] ModelBreakdown breakdown(double alpha_hours) const;
+
+  [[nodiscard]] const MachineParams& machine() const noexcept {
+    return machine_;
+  }
+  [[nodiscard]] const WorkloadParams& workload() const noexcept {
+    return workload_;
+  }
+
+ private:
+  [[nodiscard]] double denominator(double alpha_hours) const;
+
+  MachineParams machine_;
+  WorkloadParams workload_;
+  LostWorkFn lost_work_;
+};
+
+}  // namespace lazyckpt::core

@@ -1,0 +1,40 @@
+#include "core/policy/bounded_ilazy.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/policy/ilazy.hpp"
+#include "stats/weibull.hpp"
+
+namespace lazyckpt::core {
+
+BoundedILazyPolicy::BoundedILazyPolicy(double shape, double max_stretch)
+    : shape_(shape), max_stretch_(max_stretch) {
+  require(shape > 0.0 && shape <= 1.0,
+          "BoundedILazyPolicy shape must lie in (0, 1]");
+  require(max_stretch >= 1.0, "BoundedILazyPolicy max_stretch must be >= 1");
+}
+
+double BoundedILazyPolicy::next_interval(const PolicyContext& ctx) {
+  const double proposed = ILazyPolicy::lazy_interval(
+      ctx.alpha_oci_hours, ctx.time_since_failure_hours, shape_);
+
+  require_positive(ctx.mtbf_estimate_hours,
+                   "PolicyContext.mtbf_estimate_hours");
+  const auto weibull =
+      stats::Weibull::from_mtbf_and_shape(ctx.mtbf_estimate_hours, shape_);
+
+  IntervalBoundParams params;
+  params.alpha_oci_hours = ctx.alpha_oci_hours;
+  params.checkpoint_time_hours = ctx.checkpoint_time_hours;
+  params.max_stretch = max_stretch_;
+  const double cap =
+      max_lazy_interval(weibull, ctx.time_since_failure_hours, params);
+  return std::min(proposed, cap);
+}
+
+PolicyPtr BoundedILazyPolicy::clone() const {
+  return std::make_unique<BoundedILazyPolicy>(*this);
+}
+
+}  // namespace lazyckpt::core

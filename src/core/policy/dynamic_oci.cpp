@@ -1,0 +1,20 @@
+#include "core/policy/dynamic_oci.hpp"
+
+#include "common/error.hpp"
+#include "core/model/oci.hpp"
+
+namespace lazyckpt::core {
+
+double DynamicOciPolicy::next_interval(const PolicyContext& ctx) {
+  require_positive(ctx.checkpoint_time_hours,
+                   "PolicyContext.checkpoint_time_hours");
+  require_positive(ctx.mtbf_estimate_hours,
+                   "PolicyContext.mtbf_estimate_hours");
+  return daly_oci(ctx.checkpoint_time_hours, ctx.mtbf_estimate_hours);
+}
+
+PolicyPtr DynamicOciPolicy::clone() const {
+  return std::make_unique<DynamicOciPolicy>(*this);
+}
+
+}  // namespace lazyckpt::core

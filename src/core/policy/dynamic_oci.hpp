@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file dynamic_oci.hpp
+/// \brief Dynamic OCI (paper Sec. 6.1): recompute the Daly interval from a
+/// moving-average MTBF and the currently observed time-to-checkpoint.
+///
+/// The MTBF and β estimates arrive through the PolicyContext; the engine or
+/// the C/R library keeps them current (moving average of failure
+/// inter-arrivals from the failure-log agent, observed bandwidth from the
+/// I/O-log agent).  The policy itself stays stateless.
+
+#include "core/policy/policy.hpp"
+
+namespace lazyckpt::core {
+
+/// Recomputes α = daly_oci(β_est, MTBF_est) at every scheduling point.
+class DynamicOciPolicy final : public CheckpointPolicy {
+ public:
+  [[nodiscard]] double next_interval(const PolicyContext& ctx) override;
+  [[nodiscard]] std::string name() const override { return "dynamic-oci"; }
+  [[nodiscard]] PolicyPtr clone() const override;
+};
+
+}  // namespace lazyckpt::core

@@ -1,0 +1,72 @@
+#include "core/policy/equal_risk.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace lazyckpt::core {
+
+EqualRiskPolicy::EqualRiskPolicy(stats::DistributionPtr inter_arrival,
+                                 double max_stretch)
+    : inter_arrival_(std::move(inter_arrival)), max_stretch_(max_stretch) {
+  require(inter_arrival_ != nullptr, "EqualRiskPolicy needs a distribution");
+  require(max_stretch >= 1.0, "EqualRiskPolicy max_stretch must be >= 1");
+}
+
+EqualRiskPolicy::EqualRiskPolicy(const EqualRiskPolicy& other)
+    : inter_arrival_(other.inter_arrival_->clone()),
+      max_stretch_(other.max_stretch_) {}
+
+double EqualRiskPolicy::interval_at(double alpha_oci_hours,
+                                    double time_since_failure_hours) const {
+  require_positive(alpha_oci_hours, "alpha_oci_hours");
+  require_non_negative(time_since_failure_hours, "time_since_failure_hours");
+
+  const double t = time_since_failure_hours;
+  // Risk budget: what the exponential-based OCI design accepted per
+  // interval at this distribution's MTBF.
+  const double target_risk =
+      -std::expm1(-alpha_oci_hours / inter_arrival_->mean());
+
+  const double survival = 1.0 - inter_arrival_->cdf(t);
+  const double cap = max_stretch_ * alpha_oci_hours;
+  if (survival <= 1e-12) return cap;  // deep tail: risk is exhausted
+
+  const auto conditional_risk = [&](double alpha) {
+    return (inter_arrival_->cdf(t + alpha) - inter_arrival_->cdf(t)) /
+           survival;
+  };
+
+  if (conditional_risk(cap) <= target_risk) return cap;
+  // Risk is monotone in alpha: bisect for the equal-risk interval.
+  double lo = 0.0;
+  double hi = cap;
+  for (int iteration = 0;
+       iteration < 100 && (hi - lo) > 1e-9 * alpha_oci_hours; ++iteration) {
+    const double mid = 0.5 * (lo + hi);
+    if (conditional_risk(mid) < target_risk) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  // Never schedule below the OCI: right after a failure the equation
+  // returns alpha_oci exactly; numerical noise should not undercut it.
+  return std::max(0.5 * (lo + hi), alpha_oci_hours);
+}
+
+double EqualRiskPolicy::next_interval(const PolicyContext& ctx) {
+  return interval_at(ctx.alpha_oci_hours, ctx.time_since_failure_hours);
+}
+
+std::string EqualRiskPolicy::name() const {
+  return "equal-risk(" + inter_arrival_->name() + ")";
+}
+
+PolicyPtr EqualRiskPolicy::clone() const {
+  return std::make_unique<EqualRiskPolicy>(*this);
+}
+
+}  // namespace lazyckpt::core

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file equal_risk.hpp
+/// \brief Equal-risk interval scheduling — a principled generalization of
+/// iLazy to arbitrary inter-arrival distributions.
+///
+/// iLazy's Eq. 11 inverts the *Weibull* hazard slope.  The equal-risk
+/// scheduler derives the same laziness from first principles and for any
+/// distribution: pick each interval so that the conditional probability of
+/// a failure landing inside it never exceeds the per-interval risk budget
+/// the classic exponential-based OCI design accepted:
+///
+///   P[fail in (t, t+α(t)) | alive at t]  =  1 − e^(−α_oci / MTBF)
+///
+/// clamped below at α_oci (right after a failure the decreasing hazard is
+/// *above* its exponential equivalent, so the budget alone would shrink
+/// the interval — the paper's reset-to-OCI rule applies instead).  With a
+/// decreasing hazard, later intervals stretch to accumulate the same risk;
+/// with exponential failures the conditional risk is memoryless and
+/// α(t) ≡ α_oci, recovering OCI checkpointing exactly.  Solved per
+/// decision by bisection on the distribution's CDF.
+
+#include "core/policy/policy.hpp"
+#include "stats/distribution.hpp"
+
+namespace lazyckpt::core {
+
+/// Equal-conditional-risk intervals under an explicit inter-arrival model.
+class EqualRiskPolicy final : public CheckpointPolicy {
+ public:
+  /// `inter_arrival` is the fitted failure model (any Distribution).
+  /// `max_stretch` caps the interval at that multiple of the OCI.
+  explicit EqualRiskPolicy(stats::DistributionPtr inter_arrival,
+                           double max_stretch = 64.0);
+
+  EqualRiskPolicy(const EqualRiskPolicy& other);
+  EqualRiskPolicy& operator=(const EqualRiskPolicy&) = delete;
+
+  [[nodiscard]] double next_interval(const PolicyContext& ctx) override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] PolicyPtr clone() const override;
+
+  /// The interval solving the equal-risk equation at time-since-failure
+  /// `t`, exposed for tests.  Always in [alpha_oci, max_stretch*alpha_oci].
+  [[nodiscard]] double interval_at(double alpha_oci_hours,
+                                   double time_since_failure_hours) const;
+
+ private:
+  stats::DistributionPtr inter_arrival_;
+  double max_stretch_;
+};
+
+}  // namespace lazyckpt::core

@@ -1,0 +1,68 @@
+#include "core/policy/factory.hpp"
+
+#include <charconv>
+#include <string>
+
+#include "common/error.hpp"
+#include "core/policy/bounded_ilazy.hpp"
+#include "core/policy/dynamic_oci.hpp"
+#include "core/policy/ilazy.hpp"
+#include "core/policy/linear.hpp"
+#include "core/policy/periodic.hpp"
+#include "core/policy/skip.hpp"
+
+namespace lazyckpt::core {
+namespace {
+
+double parse_number(std::string_view text, std::string_view spec) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    throw InvalidArgument("malformed number '" + std::string(text) +
+                          "' in policy spec '" + std::string(spec) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+PolicyPtr make_policy(std::string_view spec) {
+  require(!spec.empty(), "empty policy spec");
+
+  // skip<N>:<base-spec>
+  if (spec.starts_with("skip")) {
+    const std::size_t colon = spec.find(':');
+    require(colon != std::string_view::npos && colon > 4,
+            "skip spec must look like 'skip<N>:<base>': " + std::string(spec));
+    const int index =
+        static_cast<int>(parse_number(spec.substr(4, colon - 4), spec));
+    return std::make_unique<SkipPolicy>(make_policy(spec.substr(colon + 1)),
+                                        index);
+  }
+
+  if (spec == "hourly") return std::make_unique<PeriodicPolicy>(1.0);
+  if (spec == "static-oci") return std::make_unique<StaticOciPolicy>();
+  if (spec == "dynamic-oci") return std::make_unique<DynamicOciPolicy>();
+  if (spec == "ilazy") return std::make_unique<ILazyPolicy>();
+
+  if (spec.starts_with("periodic:")) {
+    return std::make_unique<PeriodicPolicy>(
+        parse_number(spec.substr(9), spec));
+  }
+  if (spec.starts_with("ilazy:")) {
+    return std::make_unique<ILazyPolicy>(parse_number(spec.substr(6), spec));
+  }
+  if (spec.starts_with("bounded-ilazy:")) {
+    return std::make_unique<BoundedILazyPolicy>(
+        parse_number(spec.substr(14), spec));
+  }
+  if (spec.starts_with("linear:")) {
+    return std::make_unique<LinearIncreasePolicy>(
+        parse_number(spec.substr(7), spec));
+  }
+
+  throw InvalidArgument("unknown policy spec: " + std::string(spec));
+}
+
+}  // namespace lazyckpt::core

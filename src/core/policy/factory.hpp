@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file factory.hpp
+/// \brief Construct checkpoint policies from compact textual specs.
+///
+/// Spec grammar (used by examples and the bench harness):
+///   "hourly"                — PeriodicPolicy(1.0)
+///   "periodic:<hours>"      — PeriodicPolicy(hours)
+///   "static-oci"            — StaticOciPolicy
+///   "dynamic-oci"           — DynamicOciPolicy
+///   "ilazy"                 — ILazyPolicy (shape from context)
+///   "ilazy:<k>"             — ILazyPolicy with fixed shape k
+///   "bounded-ilazy:<k>"     — BoundedILazyPolicy(k)
+///   "linear:<x>"            — LinearIncreasePolicy(x hours)
+///   "skip<N>:<base-spec>"   — SkipPolicy over any of the above, e.g.
+///                             "skip2:static-oci", "skip1:ilazy:0.6"
+
+#include <string>
+#include <string_view>
+
+#include "core/policy/policy.hpp"
+
+namespace lazyckpt::core {
+
+/// Parse `spec` and build the policy.  Throws InvalidArgument on a
+/// malformed or unknown spec.
+PolicyPtr make_policy(std::string_view spec);
+
+}  // namespace lazyckpt::core

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file ilazy.hpp
+/// \brief iLazy checkpointing (paper Sec. 5, Eq. 11) — the paper's primary
+/// contribution.
+///
+/// Weibull-distributed failures with shape k < 1 have a hazard rate that
+/// *decreases* with the time t since the last failure.  iLazy stretches the
+/// checkpoint interval with the inverse of that slope:
+///
+///   α_lazy(t) = α_oci · (t / α_oci)^(1−k)
+///
+/// clamped below at α_oci (immediately after a failure) and reset on every
+/// failure.  With k = 1 (exponential failures) this degenerates exactly to
+/// OCI checkpointing — no harm, no benefit.
+
+#include <optional>
+
+#include "core/policy/policy.hpp"
+
+namespace lazyckpt::core {
+
+/// iLazy: increasingly lazy checkpoint intervals between failures.
+class ILazyPolicy final : public CheckpointPolicy {
+ public:
+  /// Construct with an explicit Weibull shape, or (default) take the shape
+  /// from the context's running estimate.
+  explicit ILazyPolicy(std::optional<double> shape = std::nullopt);
+
+  [[nodiscard]] double next_interval(const PolicyContext& ctx) override;
+  [[nodiscard]] std::string name() const override { return "ilazy"; }
+  [[nodiscard]] PolicyPtr clone() const override;
+
+  /// Eq. 11 as a pure function: the interval to use when the last failure
+  /// was `time_since_failure` hours ago.  Clamped below at alpha_oci.
+  /// Requires alpha_oci > 0, shape in (0, 1].
+  static double lazy_interval(double alpha_oci_hours,
+                              double time_since_failure_hours, double shape);
+
+ private:
+  [[nodiscard]] double effective_shape(const PolicyContext& ctx) const;
+
+  std::optional<double> shape_;
+};
+
+}  // namespace lazyckpt::core

@@ -1,0 +1,30 @@
+#include "core/policy/linear.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace lazyckpt::core {
+
+LinearIncreasePolicy::LinearIncreasePolicy(double step_hours)
+    : step_(step_hours) {
+  require_non_negative(step_hours, "LinearIncreasePolicy step");
+}
+
+double LinearIncreasePolicy::next_interval(const PolicyContext& ctx) {
+  require_positive(ctx.alpha_oci_hours, "PolicyContext.alpha_oci_hours");
+  return ctx.alpha_oci_hours +
+         step_ * static_cast<double>(ctx.checkpoints_since_failure);
+}
+
+std::string LinearIncreasePolicy::name() const {
+  std::ostringstream out;
+  out << "linear(x=" << step_ << "h)";
+  return out.str();
+}
+
+PolicyPtr LinearIncreasePolicy::clone() const {
+  return std::make_unique<LinearIncreasePolicy>(*this);
+}
+
+}  // namespace lazyckpt::core

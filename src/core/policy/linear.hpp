@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file linear.hpp
+/// \brief Linearly increasing checkpoint intervals (paper Fig. 16).
+///
+/// A tuned alternative to iLazy: the j-th interval since the last failure is
+/// α_oci + j·x.  The linear ramp does not track the Weibull hazard slope, so
+/// x needs tuning per shape (the paper uses x = 0.10 h for k = 0.6); it
+/// loses less work than iLazy but also saves less checkpoint I/O.
+
+#include "core/policy/policy.hpp"
+
+namespace lazyckpt::core {
+
+/// α_j = α_oci + j · step, j = checkpoints since the last failure.
+class LinearIncreasePolicy final : public CheckpointPolicy {
+ public:
+  /// Requires step_hours >= 0.
+  explicit LinearIncreasePolicy(double step_hours);
+
+  [[nodiscard]] double next_interval(const PolicyContext& ctx) override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] PolicyPtr clone() const override;
+
+ private:
+  double step_;
+};
+
+}  // namespace lazyckpt::core

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file periodic.hpp
+/// \brief Fixed-interval policies: the naive hourly baseline and static OCI.
+
+#include "core/policy/policy.hpp"
+
+namespace lazyckpt::core {
+
+/// Checkpoints every `interval_hours` regardless of failures — the paper's
+/// "traditional hourly checkpointing" when constructed with 1.0, or any
+/// other fixed operating interval for the Fig. 15 sweeps.
+class PeriodicPolicy final : public CheckpointPolicy {
+ public:
+  explicit PeriodicPolicy(double interval_hours);
+
+  [[nodiscard]] double next_interval(const PolicyContext& ctx) override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] PolicyPtr clone() const override;
+
+  [[nodiscard]] double interval_hours() const noexcept { return interval_; }
+
+ private:
+  double interval_;
+};
+
+/// Checkpoints at the context's reference OCI (ctx.alpha_oci_hours).  With a
+/// fixed context estimate this is the paper's "static OCI" strategy; the
+/// engine computes the estimate once from historical MTBF and bandwidth.
+class StaticOciPolicy final : public CheckpointPolicy {
+ public:
+  [[nodiscard]] double next_interval(const PolicyContext& ctx) override;
+  [[nodiscard]] std::string name() const override { return "static-oci"; }
+  [[nodiscard]] PolicyPtr clone() const override;
+};
+
+}  // namespace lazyckpt::core

@@ -1,0 +1,11 @@
+#include "core/policy/policy.hpp"
+
+namespace lazyckpt::core {
+
+bool CheckpointPolicy::should_skip(const PolicyContext&) { return false; }
+
+void CheckpointPolicy::on_failure(const PolicyContext&) {}
+
+void CheckpointPolicy::on_checkpoint_complete(const PolicyContext&) {}
+
+}  // namespace lazyckpt::core

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file policy.hpp
+/// \brief Checkpoint-interval scheduling policy interface (paper Sec. 5).
+///
+/// A policy decides, at each scheduling point, how long the application
+/// should compute before attempting the next checkpoint, and whether a
+/// reached checkpoint boundary should actually be written (Skip).  Policies
+/// are driven entirely through the PolicyContext snapshot, so the same
+/// implementations run inside the event-driven simulator, the trace-replay
+/// harness, and the prototype C/R library.
+
+#include <memory>
+#include <string>
+
+namespace lazyckpt::core {
+
+/// Snapshot of everything a policy may consult.  Times in hours.
+struct PolicyContext {
+  double now_hours = 0.0;                 ///< time since the run started
+  double time_since_failure_hours = 0.0;  ///< time since the last failure
+                                          ///< (since run start if none yet)
+  double alpha_oci_hours = 0.0;           ///< reference OCI estimate
+  double checkpoint_time_hours = 0.0;     ///< current β estimate
+  double mtbf_estimate_hours = 0.0;       ///< current MTBF estimate
+  double weibull_shape_estimate = 1.0;    ///< current shape (k) estimate
+  int checkpoints_since_failure = 0;      ///< boundaries reached since the
+                                          ///< last failure (written or not)
+  int failures_so_far = 0;                ///< failures observed so far
+};
+
+/// Abstract checkpoint-interval policy.
+class CheckpointPolicy {
+ public:
+  virtual ~CheckpointPolicy() = default;
+
+  /// Hours of computation to perform before the next checkpoint boundary.
+  /// Must return a positive, finite value.
+  [[nodiscard]] virtual double next_interval(const PolicyContext& ctx) = 0;
+
+  /// Consulted when a checkpoint boundary is reached: return true to skip
+  /// the write (the work since the last completed checkpoint stays at risk
+  /// and the application immediately continues computing).
+  [[nodiscard]] virtual bool should_skip(const PolicyContext& ctx);
+
+  /// Notification hooks (default: no-op).
+  virtual void on_failure(const PolicyContext& ctx);
+  virtual void on_checkpoint_complete(const PolicyContext& ctx);
+
+  /// Stable identifier for reports ("static-oci", "ilazy", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Deep copy — each simulation replica clones its own policy instance.
+  [[nodiscard]] virtual std::unique_ptr<CheckpointPolicy> clone() const = 0;
+};
+
+using PolicyPtr = std::unique_ptr<CheckpointPolicy>;
+
+}  // namespace lazyckpt::core

@@ -1,0 +1,45 @@
+#include "core/policy/skip.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace lazyckpt::core {
+
+SkipPolicy::SkipPolicy(PolicyPtr base, int skip_index)
+    : base_(std::move(base)), skip_index_(skip_index) {
+  require(base_ != nullptr, "SkipPolicy needs a base policy");
+  require(skip_index >= 1, "SkipPolicy skip_index must be >= 1");
+}
+
+double SkipPolicy::next_interval(const PolicyContext& ctx) {
+  return base_->next_interval(ctx);
+}
+
+bool SkipPolicy::should_skip(const PolicyContext& ctx) {
+  // ctx.checkpoints_since_failure counts boundaries reached since the last
+  // failure, *including* the one being decided (1-based at this call).
+  if (ctx.checkpoints_since_failure == skip_index_) return true;
+  return base_->should_skip(ctx);
+}
+
+void SkipPolicy::on_failure(const PolicyContext& ctx) {
+  base_->on_failure(ctx);
+}
+
+void SkipPolicy::on_checkpoint_complete(const PolicyContext& ctx) {
+  base_->on_checkpoint_complete(ctx);
+}
+
+std::string SkipPolicy::name() const {
+  std::ostringstream out;
+  out << "skip-" << skip_index_ << "(" << base_->name() << ")";
+  return out.str();
+}
+
+PolicyPtr SkipPolicy::clone() const {
+  return std::make_unique<SkipPolicy>(base_->clone(), skip_index_);
+}
+
+}  // namespace lazyckpt::core

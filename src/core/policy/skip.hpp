@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file skip.hpp
+/// \brief Skip checkpointing (paper Sec. 5, Observation 8, Fig. 19).
+///
+/// A static, temporal-locality-aware technique: after each failure, exactly
+/// one scheduled checkpoint — the n-th boundary since that failure — is
+/// skipped.  Skipping a *later* checkpoint (n = 2, 3) is cheap in expected
+/// lost work because, with Weibull k < 1 failures, another failure is
+/// unlikely that long after the previous one; skipping the *first* saves
+/// the most I/O (first boundaries are the most numerous) but risks the most
+/// work.  Implemented as a decorator so it composes with any base policy,
+/// including iLazy (paper: "Coupled with iLazy, it mitigates the
+/// checkpointing overhead more than what iLazy alone can achieve").
+
+#include "core/policy/policy.hpp"
+
+namespace lazyckpt::core {
+
+/// Decorator skipping the `skip_index`-th checkpoint boundary (1-based)
+/// after every failure.
+class SkipPolicy final : public CheckpointPolicy {
+ public:
+  /// Wrap `base`; requires base != nullptr and skip_index >= 1.
+  SkipPolicy(PolicyPtr base, int skip_index);
+
+  [[nodiscard]] double next_interval(const PolicyContext& ctx) override;
+  [[nodiscard]] bool should_skip(const PolicyContext& ctx) override;
+  void on_failure(const PolicyContext& ctx) override;
+  void on_checkpoint_complete(const PolicyContext& ctx) override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] PolicyPtr clone() const override;
+
+  [[nodiscard]] int skip_index() const noexcept { return skip_index_; }
+
+ private:
+  PolicyPtr base_;
+  int skip_index_;
+};
+
+}  // namespace lazyckpt::core

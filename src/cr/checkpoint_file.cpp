@@ -1,0 +1,195 @@
+#include "cr/checkpoint_file.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+
+namespace lazyckpt::cr {
+namespace {
+
+constexpr char kMagic[4] = {'L', 'Z', 'C', 'K'};
+constexpr std::uint32_t kVersion = 1;
+
+void append_bytes(std::vector<std::byte>& out, const void* data,
+                  std::size_t size) {
+  const auto* bytes = static_cast<const std::byte*>(data);
+  out.insert(out.end(), bytes, bytes + size);
+}
+
+template <typename T>
+void append_value(std::vector<std::byte>& out, const T& value) {
+  append_bytes(out, &value, sizeof(T));
+}
+
+class Reader {
+ public:
+  Reader(const std::byte* data, std::size_t size, std::string path)
+      : data_(data), size_(size), path_(std::move(path)) {}
+
+  void read_into(void* out, std::size_t size) {
+    require_available(size);
+    std::memcpy(out, data_ + offset_, size);
+    offset_ += size;
+  }
+
+  template <typename T>
+  T read_value() {
+    T value{};
+    read_into(&value, sizeof(T));
+    return value;
+  }
+
+  std::string read_string(std::size_t length) {
+    require_available(length);
+    std::string value(reinterpret_cast<const char*>(data_ + offset_), length);
+    offset_ += length;
+    return value;
+  }
+
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  void require_available(std::size_t size) {
+    if (offset_ + size > size_) {
+      throw CorruptCheckpoint("truncated checkpoint file: " + path_);
+    }
+  }
+
+  const std::byte* data_;
+  std::size_t size_;
+  std::size_t offset_ = 0;
+  std::string path_;
+};
+
+std::vector<std::byte> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw IoError("cannot open checkpoint file: " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::byte> buffer(static_cast<std::size_t>(size));
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(buffer.data()), size)) {
+    throw IoError("failed reading checkpoint file: " + path);
+  }
+  return buffer;
+}
+
+/// Parse and CRC-verify; calls `on_region` for each region's name and
+/// payload view.
+template <typename OnRegion>
+CheckpointMetadata parse(const std::string& path, OnRegion&& on_region) {
+  const std::vector<std::byte> buffer = read_file(path);
+  if (buffer.size() < sizeof(kMagic) + sizeof(std::uint32_t)) {
+    throw CorruptCheckpoint("checkpoint file too small: " + path);
+  }
+
+  // CRC covers everything except the 4-byte trailer.
+  const std::size_t body_size = buffer.size() - sizeof(std::uint32_t);
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, buffer.data() + body_size, sizeof(stored_crc));
+  const std::uint32_t computed_crc =
+      crc32({buffer.data(), body_size});
+  if (stored_crc != computed_crc) {
+    throw CorruptCheckpoint("CRC mismatch in checkpoint file: " + path);
+  }
+
+  Reader reader(buffer.data(), body_size, path);
+  char magic[4];
+  reader.read_into(magic, sizeof(magic));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw CorruptCheckpoint("bad magic in checkpoint file: " + path);
+  }
+  const auto version = reader.read_value<std::uint32_t>();
+  if (version != kVersion) {
+    throw CorruptCheckpoint("unsupported checkpoint version " +
+                            std::to_string(version) + " in " + path);
+  }
+  const auto region_count = reader.read_value<std::uint64_t>();
+  CheckpointMetadata metadata;
+  metadata.app_time_hours = reader.read_value<double>();
+
+  for (std::uint64_t i = 0; i < region_count; ++i) {
+    const auto name_len = reader.read_value<std::uint32_t>();
+    const std::string name = reader.read_string(name_len);
+    const auto data_len = reader.read_value<std::uint64_t>();
+    if (data_len > body_size) {
+      throw CorruptCheckpoint("implausible region size in " + path);
+    }
+    on_region(name, reader, static_cast<std::size_t>(data_len));
+  }
+  return metadata;
+}
+
+}  // namespace
+
+void write_checkpoint(const std::string& path, const RegionRegistry& registry,
+                      const CheckpointMetadata& metadata) {
+  std::vector<std::byte> body;
+  body.reserve(64 + registry.total_bytes());
+  append_bytes(body, kMagic, sizeof(kMagic));
+  append_value(body, kVersion);
+  append_value(body, static_cast<std::uint64_t>(registry.count()));
+  append_value(body, metadata.app_time_hours);
+  for (const auto& region : registry.regions()) {
+    append_value(body, static_cast<std::uint32_t>(region.name.size()));
+    append_bytes(body, region.name.data(), region.name.size());
+    append_value(body, static_cast<std::uint64_t>(region.size));
+    append_bytes(body, region.data, region.size);
+  }
+  const std::uint32_t crc = crc32({body.data(), body.size()});
+  append_value(body, crc);
+
+  // Atomic publish: write a sibling temp file, then rename over the target,
+  // so a crash mid-write never leaves a torn "latest checkpoint".
+  const std::string temp = path + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) throw IoError("cannot open checkpoint temp file: " + temp);
+    out.write(reinterpret_cast<const char*>(body.data()),
+              static_cast<std::streamsize>(body.size()));
+    if (!out) throw IoError("failed writing checkpoint temp file: " + temp);
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    throw IoError("failed renaming checkpoint into place: " + path);
+  }
+}
+
+CheckpointMetadata read_checkpoint(const std::string& path,
+                                   const RegionRegistry& registry) {
+  std::size_t matched = 0;
+  const CheckpointMetadata metadata = parse(
+      path, [&](const std::string& name, Reader& reader, std::size_t size) {
+        const CheckpointRegion* region = registry.find(name);
+        if (region == nullptr) {
+          throw CorruptCheckpoint("checkpoint contains unregistered region '" +
+                                  name + "': " + path);
+        }
+        if (region->size != size) {
+          throw CorruptCheckpoint(
+              "size mismatch for region '" + name + "' in " + path +
+              ": file has " + std::to_string(size) + ", registry has " +
+              std::to_string(region->size));
+        }
+        reader.read_into(region->data, size);
+        ++matched;
+      });
+  if (matched != registry.count()) {
+    throw CorruptCheckpoint("checkpoint is missing registered regions: " +
+                            path);
+  }
+  return metadata;
+}
+
+CheckpointMetadata verify_checkpoint(const std::string& path) {
+  return parse(path,
+               [&](const std::string&, Reader& reader, std::size_t size) {
+                 std::vector<std::byte> sink(size);
+                 if (size > 0) reader.read_into(sink.data(), size);
+               });
+}
+
+}  // namespace lazyckpt::cr

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file checkpoint_file.hpp
+/// \brief On-disk checkpoint format with integrity verification.
+///
+/// Layout (little-endian):
+///   magic "LZCK" | u32 version | u64 region_count | f64 app_time_hours
+///   per region: u32 name_len | name bytes | u64 data_len | data bytes
+///   trailer: u32 CRC-32 over everything before the trailer
+///
+/// Readers verify magic, version, structural bounds, and the CRC; any
+/// mismatch throws CorruptCheckpoint so a restart never consumes torn or
+/// bit-flipped state.
+
+#include <cstdint>
+#include <string>
+
+#include "cr/region.hpp"
+
+namespace lazyckpt::cr {
+
+/// Metadata stored alongside the payload.
+struct CheckpointMetadata {
+  double app_time_hours = 0.0;  ///< application progress marker; restart
+                                ///< resumes from this virtual position
+};
+
+/// Serialize all regions of `registry` plus `metadata` to `path`
+/// (atomically: written to a temp file, then renamed).  Throws IoError on
+/// filesystem failure.
+void write_checkpoint(const std::string& path, const RegionRegistry& registry,
+                      const CheckpointMetadata& metadata);
+
+/// Read `path` back into the (already registered) regions of `registry`.
+/// The file's regions must exactly match the registry's names and sizes.
+/// Returns the stored metadata.  Throws CorruptCheckpoint on any integrity
+/// violation and IoError on filesystem failure.
+CheckpointMetadata read_checkpoint(const std::string& path,
+                                   const RegionRegistry& registry);
+
+/// Validate integrity without touching application memory.  Returns the
+/// metadata.  Throws like read_checkpoint.
+CheckpointMetadata verify_checkpoint(const std::string& path);
+
+}  // namespace lazyckpt::cr

@@ -1,0 +1,17 @@
+#include "cr/clock.hpp"
+
+#include "common/error.hpp"
+
+namespace lazyckpt::cr {
+
+void VirtualClock::advance(double hours) {
+  require_non_negative(hours, "VirtualClock::advance hours");
+  now_ += hours;
+}
+
+void VirtualClock::set(double hours) {
+  require(hours >= now_, "VirtualClock cannot move backwards");
+  now_ = hours;
+}
+
+}  // namespace lazyckpt::cr

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file clock.hpp
+/// \brief Clock abstraction so the C/R library runs identically under real
+/// time (production) and virtual time (tests and trace replay).
+
+#include <chrono>
+
+namespace lazyckpt::cr {
+
+/// A monotonic clock reporting hours since an arbitrary epoch.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual double now_hours() const = 0;
+};
+
+/// Wall-clock time, measured from construction.
+class SystemClock final : public Clock {
+ public:
+  SystemClock() : start_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] double now_hours() const override {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const double seconds =
+        std::chrono::duration<double>(elapsed).count();
+    return seconds / 3600.0;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Manually advanced clock for deterministic tests and replay.
+class VirtualClock final : public Clock {
+ public:
+  [[nodiscard]] double now_hours() const override { return now_; }
+
+  /// Advance by `hours` (must be >= 0).
+  void advance(double hours);
+
+  /// Jump to an absolute time (must not move backwards).
+  void set(double hours);
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace lazyckpt::cr

@@ -1,0 +1,47 @@
+#include "cr/driver.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace lazyckpt::cr {
+
+ThreadedCheckpointDriver::ThreadedCheckpointDriver(
+    CheckpointManager& manager, const Clock& clock,
+    std::function<double()> progress, double poll_interval_seconds)
+    : manager_(&manager),
+      clock_(&clock),
+      progress_(std::move(progress)),
+      poll_interval_seconds_(poll_interval_seconds) {
+  require(static_cast<bool>(progress_), "driver needs a progress callback");
+  require_positive(poll_interval_seconds, "poll_interval_seconds");
+  thread_ = std::thread([this] { run(); });
+}
+
+ThreadedCheckpointDriver::~ThreadedCheckpointDriver() { stop(); }
+
+void ThreadedCheckpointDriver::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      // Already requested; still join below if needed.
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ThreadedCheckpointDriver::run() {
+  const auto poll = std::chrono::duration<double>(poll_interval_seconds_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    if (clock_->now_hours() >= manager_->next_checkpoint_due()) {
+      manager_->checkpoint_if_due(progress_());
+    }
+    cv_.wait_for(lock, poll, [this] { return stopping_; });
+  }
+}
+
+}  // namespace lazyckpt::cr

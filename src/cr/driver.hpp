@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file driver.hpp
+/// \brief Background checkpoint thread (paper: "our implementation adds
+/// adaptive control of checkpointing intervals in a separate thread").
+///
+/// The driver owns a thread that sleeps until the manager's next due time
+/// and then invokes the checkpoint.  Simulated hours are mapped to wall
+/// time through `hours_per_second`, so examples and tests can run a
+/// "multi-hour" schedule in milliseconds.
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "cr/manager.hpp"
+
+namespace lazyckpt::cr {
+
+/// Runs CheckpointManager::checkpoint_if_due on a background thread.
+class ThreadedCheckpointDriver {
+ public:
+  /// `progress` is polled at each checkpoint to obtain the application
+  /// progress marker stored in the file.  `hours_per_second` scales
+  /// simulated hours to real seconds of sleeping (e.g. 3600.0 means one
+  /// simulated hour passes per millisecond... per 1/3600 s).  The clock
+  /// passed to the manager must be the same wall-clock scale.
+  ThreadedCheckpointDriver(CheckpointManager& manager, const Clock& clock,
+                           std::function<double()> progress,
+                           double poll_interval_seconds = 0.001);
+
+  ThreadedCheckpointDriver(const ThreadedCheckpointDriver&) = delete;
+  ThreadedCheckpointDriver& operator=(const ThreadedCheckpointDriver&) =
+      delete;
+
+  /// Stops and joins the thread.
+  ~ThreadedCheckpointDriver();
+
+  /// Request shutdown and join (idempotent).
+  void stop();
+
+  /// Serialize external manager access (notify_failure / restore) against
+  /// the driver thread.
+  template <typename Fn>
+  auto with_manager(Fn&& fn) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return fn(*manager_);
+  }
+
+ private:
+  void run();
+
+  CheckpointManager* manager_;
+  const Clock* clock_;
+  std::function<double()> progress_;
+  double poll_interval_seconds_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace lazyckpt::cr

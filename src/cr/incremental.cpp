@@ -1,0 +1,210 @@
+#include "cr/incremental.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+#include "common/rle.hpp"
+
+namespace lazyckpt::cr {
+namespace {
+
+constexpr char kDeltaMagic[4] = {'L', 'Z', 'D', 'L'};
+constexpr std::uint32_t kDeltaVersion = 1;
+
+struct DeltaHeader {
+  double app_time_hours = 0.0;
+  std::uint64_t full_size = 0;
+};
+
+void write_delta_file(const std::string& path, const DeltaHeader& header,
+                      std::span<const std::byte> encoded) {
+  std::vector<std::byte> body;
+  body.reserve(32 + encoded.size());
+  const auto append = [&body](const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const std::byte*>(data);
+    body.insert(body.end(), bytes, bytes + size);
+  };
+  append(kDeltaMagic, sizeof(kDeltaMagic));
+  append(&kDeltaVersion, sizeof(kDeltaVersion));
+  append(&header.app_time_hours, sizeof(header.app_time_hours));
+  append(&header.full_size, sizeof(header.full_size));
+  const std::uint64_t encoded_size = encoded.size();
+  append(&encoded_size, sizeof(encoded_size));
+  body.insert(body.end(), encoded.begin(), encoded.end());
+  const std::uint32_t crc = crc32({body.data(), body.size()});
+  append(&crc, sizeof(crc));
+
+  const std::string temp = path + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) throw IoError("cannot open delta temp file: " + temp);
+    out.write(reinterpret_cast<const char*>(body.data()),
+              static_cast<std::streamsize>(body.size()));
+    if (!out) throw IoError("failed writing delta file: " + temp);
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    throw IoError("failed renaming delta into place: " + path);
+  }
+}
+
+std::pair<DeltaHeader, std::vector<std::byte>> read_delta_file(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw IoError("cannot open delta file: " + path);
+  const auto file_size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::byte> buffer(file_size);
+  if (file_size > 0 &&
+      !in.read(reinterpret_cast<char*>(buffer.data()),
+               static_cast<std::streamsize>(file_size))) {
+    throw IoError("failed reading delta file: " + path);
+  }
+  if (file_size < sizeof(kDeltaMagic) + sizeof(kDeltaVersion) + 24 + 4) {
+    throw CorruptCheckpoint("delta file too small: " + path);
+  }
+
+  const std::size_t body_size = file_size - sizeof(std::uint32_t);
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, buffer.data() + body_size, sizeof(stored_crc));
+  if (stored_crc != crc32({buffer.data(), body_size})) {
+    throw CorruptCheckpoint("CRC mismatch in delta file: " + path);
+  }
+
+  std::size_t offset = 0;
+  const auto read = [&](void* out, std::size_t size) {
+    if (offset + size > body_size) {
+      throw CorruptCheckpoint("truncated delta file: " + path);
+    }
+    std::memcpy(out, buffer.data() + offset, size);
+    offset += size;
+  };
+  char magic[4];
+  read(magic, sizeof(magic));
+  if (std::memcmp(magic, kDeltaMagic, sizeof(kDeltaMagic)) != 0) {
+    throw CorruptCheckpoint("bad magic in delta file: " + path);
+  }
+  std::uint32_t version = 0;
+  read(&version, sizeof(version));
+  if (version != kDeltaVersion) {
+    throw CorruptCheckpoint("unsupported delta version in " + path);
+  }
+  DeltaHeader header;
+  read(&header.app_time_hours, sizeof(header.app_time_hours));
+  read(&header.full_size, sizeof(header.full_size));
+  std::uint64_t encoded_size = 0;
+  read(&encoded_size, sizeof(encoded_size));
+  if (offset + encoded_size != body_size) {
+    throw CorruptCheckpoint("delta payload size mismatch in " + path);
+  }
+  std::vector<std::byte> encoded(buffer.begin() + offset,
+                                 buffer.begin() + offset + encoded_size);
+  return {header, std::move(encoded)};
+}
+
+}  // namespace
+
+IncrementalCheckpointer::IncrementalCheckpointer(
+    const RegionRegistry& registry, std::string directory, int full_every)
+    : registry_(&registry),
+      directory_(std::move(directory)),
+      full_every_(full_every) {
+  require(!directory_.empty(), "IncrementalCheckpointer needs a directory");
+  require(full_every >= 1,
+          "IncrementalCheckpointer full_every must be >= 1");
+  require(registry.count() > 0,
+          "IncrementalCheckpointer needs registered regions");
+}
+
+std::vector<std::byte> IncrementalCheckpointer::gather_state() const {
+  std::vector<std::byte> bytes;
+  bytes.reserve(registry_->total_bytes());
+  for (const auto& region : registry_->regions()) {
+    const auto* data = static_cast<const std::byte*>(region.data);
+    bytes.insert(bytes.end(), data, data + region.size);
+  }
+  return bytes;
+}
+
+void IncrementalCheckpointer::scatter_state(
+    const std::vector<std::byte>& bytes) const {
+  require(bytes.size() == registry_->total_bytes(),
+          "state size mismatch on scatter");
+  std::size_t offset = 0;
+  for (const auto& region : registry_->regions()) {
+    std::memcpy(region.data, bytes.data() + offset, region.size);
+    offset += region.size;
+  }
+}
+
+std::string IncrementalCheckpointer::path_for(std::uint64_t seq,
+                                              bool full) const {
+  return directory_ + "/inc_" + std::to_string(seq) +
+         (full ? ".full" : ".delta");
+}
+
+SaveResult IncrementalCheckpointer::save(const CheckpointMetadata& metadata) {
+  ++sequence_;
+  const bool full =
+      chain_.empty() ||
+      static_cast<int>(chain_.size()) >= full_every_;
+
+  auto current = gather_state();
+  SaveResult result;
+  result.full = full;
+  result.path = path_for(sequence_, full);
+
+  if (full) {
+    write_checkpoint(result.path, *registry_, metadata);
+    result.bytes_written = registry_->total_bytes();
+    chain_.clear();
+    ++stats_.full_saves;
+  } else {
+    // XOR against the previous save; unchanged bytes become zero runs.
+    std::vector<std::byte> delta(current.size());
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      delta[i] = current[i] ^ baseline_[i];
+    }
+    const auto encoded = rle_encode(delta);
+    DeltaHeader header;
+    header.app_time_hours = metadata.app_time_hours;
+    header.full_size = current.size();
+    write_delta_file(result.path, header, encoded);
+    result.bytes_written = encoded.size();
+    ++stats_.delta_saves;
+  }
+
+  chain_.push_back({sequence_, full});
+  baseline_ = std::move(current);
+  stats_.bytes_written += result.bytes_written;
+  stats_.logical_bytes_saved += registry_->total_bytes();
+  return result;
+}
+
+std::optional<CheckpointMetadata> IncrementalCheckpointer::restore_latest() {
+  if (chain_.empty()) return std::nullopt;
+  require(chain_.front().full,
+          "internal error: incremental chain must start with a full save");
+
+  // Load the anchoring full checkpoint into the regions, then replay the
+  // deltas over a linear byte image.
+  CheckpointMetadata metadata =
+      read_checkpoint(path_for(chain_.front().seq, true), *registry_);
+  auto bytes = gather_state();
+  for (std::size_t i = 1; i < chain_.size(); ++i) {
+    const auto [header, encoded] =
+        read_delta_file(path_for(chain_[i].seq, false));
+    if (header.full_size != bytes.size()) {
+      throw CorruptCheckpoint("delta chain size mismatch");
+    }
+    const auto delta = rle_decode(encoded, bytes.size());
+    for (std::size_t b = 0; b < bytes.size(); ++b) bytes[b] ^= delta[b];
+    metadata.app_time_hours = header.app_time_hours;
+  }
+  scatter_state(bytes);
+  return metadata;
+}
+
+}  // namespace lazyckpt::cr

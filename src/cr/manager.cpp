@@ -1,0 +1,136 @@
+#include "cr/manager.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace lazyckpt::cr {
+
+void ManagerConfig::validate() const {
+  require(!checkpoint_dir.empty(), "ManagerConfig.checkpoint_dir must be set");
+  require_positive(alpha_oci_hours, "ManagerConfig.alpha_oci_hours");
+  require(shape_estimate > 0.0 && shape_estimate <= 1.0,
+          "ManagerConfig.shape_estimate must lie in (0, 1]");
+  require_positive(checkpoint_size_gb, "ManagerConfig.checkpoint_size_gb");
+  require_positive(fallback_mtbf_hours, "ManagerConfig.fallback_mtbf_hours");
+  require_positive(fallback_beta_hours, "ManagerConfig.fallback_beta_hours");
+  require(incremental_full_every >= 1,
+          "ManagerConfig.incremental_full_every must be >= 1");
+}
+
+CheckpointManager::CheckpointManager(ManagerConfig config,
+                                     core::PolicyPtr policy,
+                                     const RegionRegistry& registry,
+                                     const Clock& clock,
+                                     const failures::FailureLogAgent* failure_agent,
+                                     const io::IoLogAgent* io_agent)
+    : config_(std::move(config)),
+      policy_(std::move(policy)),
+      registry_(&registry),
+      clock_(&clock),
+      failure_agent_(failure_agent),
+      io_agent_(io_agent) {
+  config_.validate();
+  require(policy_ != nullptr, "CheckpointManager needs a policy");
+  if (config_.incremental_full_every > 1) {
+    incremental_.emplace(registry, config_.checkpoint_dir,
+                         config_.incremental_full_every);
+  }
+  start_time_ = clock_->now_hours();
+  reschedule();
+}
+
+core::PolicyContext CheckpointManager::make_context() const {
+  const double now = clock_->now_hours();
+  core::PolicyContext ctx;
+  ctx.now_hours = now - start_time_;
+  if (failure_agent_ != nullptr) {
+    ctx.time_since_failure_hours = failure_agent_->time_since_failure(now);
+    ctx.mtbf_estimate_hours =
+        failure_agent_->mtbf_estimate(now, config_.fallback_mtbf_hours);
+  } else {
+    ctx.time_since_failure_hours =
+        any_failure_ ? now - last_failure_time_ : now - start_time_;
+    ctx.mtbf_estimate_hours = config_.fallback_mtbf_hours;
+  }
+  ctx.alpha_oci_hours = config_.alpha_oci_hours;
+  ctx.checkpoint_time_hours =
+      io_agent_ != nullptr
+          ? io_agent_->estimated_checkpoint_time(now,
+                                                 config_.checkpoint_size_gb)
+          : config_.fallback_beta_hours;
+  ctx.weibull_shape_estimate = config_.shape_estimate;
+  ctx.checkpoints_since_failure = boundaries_since_failure_;
+  ctx.failures_so_far = static_cast<int>(stats_.restarts);
+  return ctx;
+}
+
+void CheckpointManager::reschedule() {
+  due_ = clock_->now_hours() + policy_->next_interval(make_context());
+}
+
+double CheckpointManager::current_interval() const {
+  return policy_->next_interval(make_context());
+}
+
+std::optional<std::string> CheckpointManager::checkpoint_if_due(
+    double app_progress_hours) {
+  if (clock_->now_hours() < due_) return std::nullopt;
+
+  ++boundaries_since_failure_;
+  if (policy_->should_skip(make_context())) {
+    ++stats_.checkpoints_skipped;
+    reschedule();
+    return std::nullopt;
+  }
+
+  ++sequence_;
+  CheckpointMetadata metadata;
+  metadata.app_time_hours = app_progress_hours;
+  std::string path;
+  if (incremental_) {
+    const SaveResult saved = incremental_->save(metadata);
+    path = saved.path;
+    incremental_latest_ = saved.path;
+    stats_.bytes_written += static_cast<double>(saved.bytes_written);
+  } else {
+    path = config_.checkpoint_dir + "/checkpoint_" +
+           std::to_string(sequence_) + ".ckpt";
+    write_checkpoint(path, *registry_, metadata);
+    stats_.bytes_written += static_cast<double>(registry_->total_bytes());
+  }
+  ++stats_.checkpoints_written;
+  policy_->on_checkpoint_complete(make_context());
+  reschedule();
+  return path;
+}
+
+void CheckpointManager::notify_failure() {
+  last_failure_time_ = clock_->now_hours();
+  any_failure_ = true;
+  boundaries_since_failure_ = 0;
+  policy_->on_failure(make_context());
+  reschedule();
+}
+
+std::optional<std::string> CheckpointManager::latest_path() const {
+  if (incremental_) return incremental_latest_;
+  if (sequence_ == 0) return std::nullopt;
+  return config_.checkpoint_dir + "/checkpoint_" + std::to_string(sequence_) +
+         ".ckpt";
+}
+
+std::optional<CheckpointMetadata> CheckpointManager::restore_latest() {
+  std::optional<CheckpointMetadata> metadata;
+  if (incremental_) {
+    metadata = incremental_->restore_latest();
+  } else if (const auto path = latest_path()) {
+    metadata = read_checkpoint(*path, *registry_);
+  }
+  if (!metadata) return std::nullopt;
+  ++stats_.restarts;
+  reschedule();
+  return metadata;
+}
+
+}  // namespace lazyckpt::cr

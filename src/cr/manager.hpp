@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file manager.hpp
+/// \brief Adaptive checkpoint-interval control for the prototype C/R
+/// library (paper Sec. 6.1, Fig. 22).
+///
+/// The manager glues together: the registered application state
+/// (RegionRegistry), a checkpoint-interval strategy (any
+/// core::CheckpointPolicy), the failure-log and I/O-log agents supplying
+/// dynamic estimates, and the on-disk checkpoint format.  A checkpoint
+/// timer decides when the next checkpoint starts; the timestamp of the most
+/// recent failure is retained across restarts, exactly as the paper's
+/// implementation does.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include <optional>
+
+#include "core/policy/policy.hpp"
+#include "cr/checkpoint_file.hpp"
+#include "cr/clock.hpp"
+#include "cr/incremental.hpp"
+#include "cr/region.hpp"
+#include "failures/agent.hpp"
+#include "io/io_agent.hpp"
+
+namespace lazyckpt::cr {
+
+/// Static configuration of a CheckpointManager.
+struct ManagerConfig {
+  std::string checkpoint_dir;        ///< directory for checkpoint files
+  double alpha_oci_hours = 1.0;      ///< static reference OCI
+  double shape_estimate = 0.6;       ///< Weibull shape handed to policies
+  double checkpoint_size_gb = 1.0;   ///< β estimation input for the agents
+  double fallback_mtbf_hours = 7.5;  ///< MTBF before any failure observed
+  double fallback_beta_hours = 0.5;  ///< β before any bandwidth observed
+
+  /// 1 = every checkpoint is a full file (default).  N > 1 enables
+  /// incremental mode: a full checkpoint every N saves, zero-run-encoded
+  /// XOR deltas in between (see cr/incremental.hpp).
+  int incremental_full_every = 1;
+
+  /// Throws InvalidArgument on invalid values.
+  void validate() const;
+};
+
+/// Counters exposed for tests and reporting.
+struct ManagerStats {
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t checkpoints_skipped = 0;
+  std::uint64_t restarts = 0;
+  double bytes_written = 0.0;
+};
+
+/// Adaptive checkpoint control.  Not thread-safe by itself; see
+/// ThreadedCheckpointDriver for the background-thread wrapper.
+class CheckpointManager {
+ public:
+  /// `registry`, `clock` and the agents must outlive the manager.  Agents
+  /// are optional: without them the manager falls back to the static
+  /// estimates in `config`.
+  CheckpointManager(ManagerConfig config, core::PolicyPtr policy,
+                    const RegionRegistry& registry, const Clock& clock,
+                    const failures::FailureLogAgent* failure_agent = nullptr,
+                    const io::IoLogAgent* io_agent = nullptr);
+
+  /// Absolute clock time (hours) at which the next checkpoint is due.
+  [[nodiscard]] double next_checkpoint_due() const noexcept { return due_; }
+
+  /// If the clock has reached the due time, consult the policy (Skip may
+  /// decline), write the checkpoint file, and schedule the next one.
+  /// `app_progress_hours` is the application's own progress marker stored
+  /// in the checkpoint metadata.  Returns the written path, or nullopt when
+  /// nothing was due or the boundary was skipped.
+  std::optional<std::string> checkpoint_if_due(double app_progress_hours);
+
+  /// Record a failure observed now; resets the policy's failure-relative
+  /// state and reschedules.
+  void notify_failure();
+
+  /// Restore the most recent checkpoint into the registered regions.
+  /// Returns its metadata, or nullopt when no checkpoint exists yet.
+  /// Counts as a restart and reschedules.
+  std::optional<CheckpointMetadata> restore_latest();
+
+  /// Path of the most recently written checkpoint, if any.
+  [[nodiscard]] std::optional<std::string> latest_path() const;
+
+  [[nodiscard]] const ManagerStats& stats() const noexcept { return stats_; }
+
+  /// The interval the policy currently proposes (diagnostic).
+  [[nodiscard]] double current_interval() const;
+
+ private:
+  [[nodiscard]] core::PolicyContext make_context() const;
+  void reschedule();
+
+  ManagerConfig config_;
+  core::PolicyPtr policy_;
+  const RegionRegistry* registry_;
+  const Clock* clock_;
+  const failures::FailureLogAgent* failure_agent_;
+  const io::IoLogAgent* io_agent_;
+
+  double start_time_ = 0.0;
+  double last_failure_time_ = 0.0;
+  bool any_failure_ = false;
+  int boundaries_since_failure_ = 0;
+  std::uint64_t sequence_ = 0;
+  double due_ = 0.0;
+  ManagerStats stats_;
+  std::optional<IncrementalCheckpointer> incremental_;
+  std::optional<std::string> incremental_latest_;
+};
+
+}  // namespace lazyckpt::cr

@@ -1,0 +1,29 @@
+#include "cr/region.hpp"
+
+#include "common/error.hpp"
+
+namespace lazyckpt::cr {
+
+void RegionRegistry::register_region(const std::string& name, void* data,
+                                     std::size_t size) {
+  require(!name.empty(), "region name must not be empty");
+  require(data != nullptr, "region data must not be null");
+  require(size > 0, "region size must be > 0");
+  require(find(name) == nullptr, "duplicate region name: " + name);
+  regions_.push_back({name, data, size});
+}
+
+std::size_t RegionRegistry::total_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& region : regions_) total += region.size;
+  return total;
+}
+
+const CheckpointRegion* RegionRegistry::find(const std::string& name) const {
+  for (const auto& region : regions_) {
+    if (region.name == name) return &region;
+  }
+  return nullptr;
+}
+
+}  // namespace lazyckpt::cr

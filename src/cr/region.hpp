@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file region.hpp
+/// \brief Application-state registration, mirroring the Indiana University
+/// C/R library's "pointer to a data structure that needs to be saved" API
+/// (paper Sec. 6.1).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lazyckpt::cr {
+
+/// One registered memory region.  The application owns the memory; the
+/// library reads it at checkpoint time and writes it back at restart.
+struct CheckpointRegion {
+  std::string name;       ///< unique, stable identifier
+  void* data = nullptr;   ///< application-owned buffer
+  std::size_t size = 0;   ///< bytes
+};
+
+/// The set of regions that constitutes a checkpoint.
+class RegionRegistry {
+ public:
+  /// Register a region.  Throws InvalidArgument on a null pointer, zero
+  /// size, empty name, or duplicate name.
+  void register_region(const std::string& name, void* data,
+                       std::size_t size);
+
+  /// Typed convenience: register `count` elements of T at `data`.
+  template <typename T>
+  void register_array(const std::string& name, T* data, std::size_t count) {
+    register_region(name, static_cast<void*>(data), count * sizeof(T));
+  }
+
+  /// Typed convenience: register one object.
+  template <typename T>
+  void register_value(const std::string& name, T* value) {
+    register_array(name, value, 1);
+  }
+
+  [[nodiscard]] const std::vector<CheckpointRegion>& regions() const noexcept {
+    return regions_;
+  }
+  [[nodiscard]] std::size_t count() const noexcept { return regions_.size(); }
+
+  /// Total registered bytes.
+  [[nodiscard]] std::size_t total_bytes() const noexcept;
+
+  /// Find a region by name; nullptr when absent.
+  [[nodiscard]] const CheckpointRegion* find(const std::string& name) const;
+
+ private:
+  std::vector<CheckpointRegion> regions_;
+};
+
+}  // namespace lazyckpt::cr

@@ -1,0 +1,125 @@
+#include "cr/trace_replay.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "core/model/oci.hpp"
+#include "core/policy/factory.hpp"
+#include "io/io_agent.hpp"
+#include "io/storage_model.hpp"
+#include "sim/failure_source.hpp"
+
+namespace lazyckpt::cr {
+
+TraceReplayHarness::TraceReplayHarness(const failures::FailureTrace& failure_log,
+                                       const io::BandwidthTrace& io_log,
+                                       ReplayConfig config)
+    : failure_log_(&failure_log),
+      io_log_(&io_log),
+      config_(config),
+      failure_agent_(failure_log, config.mtbf_window) {
+  require_positive(config_.historical_mtbf_hours,
+                   "ReplayConfig.historical_mtbf_hours");
+  require_positive(config_.historical_bandwidth_gbps,
+                   "ReplayConfig.historical_bandwidth_gbps");
+  require(config_.shape_estimate > 0.0 && config_.shape_estimate <= 1.0,
+          "ReplayConfig.shape_estimate must lie in (0, 1]");
+}
+
+double TraceReplayHarness::static_oci_hours(const ReplayAppSpec& app) const {
+  const double beta = transfer_time_hours(app.checkpoint_size_gb,
+                                          config_.historical_bandwidth_gbps);
+  return core::daly_oci(beta, config_.historical_mtbf_hours);
+}
+
+sim::RunMetrics TraceReplayHarness::run(const ReplayAppSpec& app,
+                                        const std::string& policy_spec,
+                                        double offset_hours) const {
+  require_positive(app.compute_hours, "ReplayAppSpec.compute_hours");
+  require_positive(app.checkpoint_size_gb, "ReplayAppSpec.checkpoint_size_gb");
+
+  sim::SimulationConfig config;
+  config.compute_hours = app.compute_hours;
+  config.alpha_oci_hours = static_oci_hours(app);
+  config.mtbf_hint_hours = config_.historical_mtbf_hours;
+  config.shape_hint = config_.shape_estimate;
+  config.mtbf_window = config_.mtbf_window;
+
+  const io::TraceStorage storage(app.checkpoint_size_gb, *io_log_,
+                                 offset_hours);
+  const io::IoLogAgent io_agent(*io_log_);
+  sim::TraceFailureSource failures(*failure_log_, offset_hours);
+  const core::PolicyPtr policy = core::make_policy(policy_spec);
+
+  // The agents see machine history from before the job started; everything
+  // they report is derived from log entries at or before "now".
+  const sim::ContextHook hook = [&](core::PolicyContext& ctx) {
+    const double log_now = offset_hours + ctx.now_hours;
+    ctx.time_since_failure_hours = failure_agent_.time_since_failure(log_now);
+    ctx.mtbf_estimate_hours = failure_agent_.mtbf_estimate(
+        log_now, config_.historical_mtbf_hours);
+    ctx.checkpoint_time_hours =
+        io_agent.estimated_checkpoint_time(log_now, app.checkpoint_size_gb);
+  };
+
+  return sim::simulate(config, *policy, failures, storage, hook);
+}
+
+std::vector<StrategyOutcome> TraceReplayHarness::evaluate(
+    const ReplayAppSpec& app, std::span<const std::string> policy_specs,
+    std::span<const double> offsets) const {
+  require(!policy_specs.empty(), "evaluate needs at least one strategy");
+  require(!offsets.empty(), "evaluate needs at least one offset");
+
+  // Baseline runs, one per offset.
+  std::vector<sim::RunMetrics> baseline;
+  baseline.reserve(offsets.size());
+  for (const double offset : offsets) {
+    baseline.push_back(run(app, std::string(policy_specs.front()), offset));
+  }
+
+  std::vector<StrategyOutcome> outcomes;
+  outcomes.reserve(policy_specs.size());
+  for (const auto& spec : policy_specs) {
+    StrategyOutcome outcome;
+    outcome.policy_spec = spec;
+
+    std::vector<sim::RunMetrics> runs;
+    runs.reserve(offsets.size());
+    bool first = true;
+    for (std::size_t i = 0; i < offsets.size(); ++i) {
+      const sim::RunMetrics metrics =
+          spec == policy_specs.front() ? baseline[i]
+                                       : run(app, spec, offsets[i]);
+      const double io_saving =
+          baseline[i].checkpoint_hours > 0.0
+              ? 1.0 - metrics.checkpoint_hours / baseline[i].checkpoint_hours
+              : 0.0;
+      const double time_saving =
+          1.0 - metrics.makespan_hours / baseline[i].makespan_hours;
+      if (first) {
+        outcome.min_io_saving = outcome.max_io_saving = io_saving;
+        outcome.min_time_saving = outcome.max_time_saving = time_saving;
+        first = false;
+      }
+      outcome.mean_io_saving += io_saving;
+      outcome.mean_time_saving += time_saving;
+      outcome.min_io_saving = std::min(outcome.min_io_saving, io_saving);
+      outcome.max_io_saving = std::max(outcome.max_io_saving, io_saving);
+      outcome.min_time_saving =
+          std::min(outcome.min_time_saving, time_saving);
+      outcome.max_time_saving =
+          std::max(outcome.max_time_saving, time_saving);
+      runs.push_back(metrics);
+    }
+    const auto n = static_cast<double>(offsets.size());
+    outcome.mean_io_saving /= n;
+    outcome.mean_time_saving /= n;
+    outcome.metrics = sim::aggregate(runs);
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+}  // namespace lazyckpt::cr

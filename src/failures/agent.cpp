@@ -1,0 +1,43 @@
+#include "failures/agent.hpp"
+
+#include "common/error.hpp"
+
+namespace lazyckpt::failures {
+
+FailureLogAgent::FailureLogAgent(const FailureTrace& trace,
+                                 std::size_t history_window)
+    : trace_(trace), history_window_(history_window) {
+  require(history_window >= 1, "FailureLogAgent history_window must be >= 1");
+}
+
+std::optional<double> FailureLogAgent::last_failure_before(
+    double now_hours) const {
+  const std::size_t count = trace_.count_until(now_hours);
+  if (count == 0) return std::nullopt;
+  return trace_.at(count - 1).time_hours;
+}
+
+std::size_t FailureLogAgent::failures_before(double now_hours) const {
+  return trace_.count_until(now_hours);
+}
+
+double FailureLogAgent::mtbf_estimate(double now_hours,
+                                      double fallback) const {
+  const std::size_t count = trace_.count_until(now_hours);
+  if (count < 2) return fallback;
+  const std::size_t gaps = count - 1;
+  const std::size_t used = std::min(gaps, history_window_);
+  double sum = 0.0;
+  for (std::size_t i = gaps - used; i < gaps; ++i) {
+    sum += trace_.at(i + 1).time_hours - trace_.at(i).time_hours;
+  }
+  return sum / static_cast<double>(used);
+}
+
+double FailureLogAgent::time_since_failure(double now_hours) const {
+  require_non_negative(now_hours, "now_hours");
+  const auto last = last_failure_before(now_hours);
+  return last ? now_hours - *last : now_hours;
+}
+
+}  // namespace lazyckpt::failures

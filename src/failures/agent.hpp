@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file agent.hpp
+/// \brief Failure-log agent (paper Sec. 6.1, Fig. 22).
+///
+/// The prototype C/R library queries the machine's failure database for new
+/// failure events and maintains a moving-average MTBF estimate for the
+/// dynamic-OCI and iLazy strategies.  All queries are parameterized by the
+/// caller's current time, so the agent can never look ahead of the replayed
+/// log — the property the paper's trace-driven evaluation depends on
+/// ("without any look-ahead or prediction").
+
+#include <cstddef>
+#include <optional>
+
+#include "failures/trace.hpp"
+#include "stats/descriptive.hpp"
+
+namespace lazyckpt::failures {
+
+/// Read-only, no-look-ahead view over a failure log.
+class FailureLogAgent {
+ public:
+  /// `history_window` is the moving-average window (in events) for the MTBF
+  /// estimate; the paper's dynamic OCI uses a short recent-history window.
+  explicit FailureLogAgent(const FailureTrace& trace,
+                           std::size_t history_window = 16);
+
+  /// Timestamp of the most recent failure at or before `now_hours`.
+  [[nodiscard]] std::optional<double> last_failure_before(
+      double now_hours) const;
+
+  /// Number of failures at or before `now_hours`.
+  [[nodiscard]] std::size_t failures_before(double now_hours) const;
+
+  /// Moving-average MTBF over the most recent `history_window` inter-arrival
+  /// gaps that completed at or before `now_hours`.  Returns `fallback` when
+  /// fewer than two failures have been observed.
+  [[nodiscard]] double mtbf_estimate(double now_hours, double fallback) const;
+
+  /// Time elapsed since the last failure, or since the log start when no
+  /// failure has been observed yet.
+  [[nodiscard]] double time_since_failure(double now_hours) const;
+
+ private:
+  const FailureTrace& trace_;
+  std::size_t history_window_;
+};
+
+}  // namespace lazyckpt::failures

@@ -1,0 +1,96 @@
+#include "failures/analysis.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace lazyckpt::failures {
+
+std::vector<CategoryStats> category_breakdown(const FailureTrace& trace) {
+  require(!trace.empty(), "category_breakdown needs a non-empty trace");
+  std::array<std::size_t, 5> counts{};
+  for (const auto& event : trace.events()) {
+    ++counts[static_cast<std::size_t>(event.category)];
+  }
+
+  std::vector<CategoryStats> stats;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    CategoryStats entry;
+    entry.category = static_cast<FailureCategory>(i);
+    entry.count = counts[i];
+    entry.fraction =
+        static_cast<double>(counts[i]) / static_cast<double>(trace.size());
+    const FailureTrace sub = filter_by_category(trace, entry.category);
+    entry.mtbf_hours = sub.size() >= 2 ? sub.observed_mtbf() : 0.0;
+    stats.push_back(entry);
+  }
+  std::sort(stats.begin(), stats.end(),
+            [](const CategoryStats& a, const CategoryStats& b) {
+              return a.count > b.count;
+            });
+  return stats;
+}
+
+std::vector<NodeStats> top_offender_nodes(const FailureTrace& trace,
+                                          std::size_t top_n) {
+  require(top_n >= 1, "top_offender_nodes needs top_n >= 1");
+  std::map<std::int32_t, std::size_t> counts;
+  for (const auto& event : trace.events()) ++counts[event.node_id];
+
+  std::vector<NodeStats> nodes;
+  nodes.reserve(counts.size());
+  for (const auto& [node, count] : counts) nodes.push_back({node, count});
+  std::sort(nodes.begin(), nodes.end(),
+            [](const NodeStats& a, const NodeStats& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.node_id < b.node_id;
+            });
+  if (nodes.size() > top_n) nodes.resize(top_n);
+  return nodes;
+}
+
+FailureTrace filter_by_category(const FailureTrace& trace,
+                                FailureCategory category) {
+  std::vector<FailureEvent> selected;
+  for (const auto& event : trace.events()) {
+    if (event.category == category) selected.push_back(event);
+  }
+  return FailureTrace(std::move(selected));
+}
+
+FailureTrace filter_by_node(const FailureTrace& trace,
+                            std::int32_t node_id) {
+  std::vector<FailureEvent> selected;
+  for (const auto& event : trace.events()) {
+    if (event.node_id == node_id) selected.push_back(event);
+  }
+  return FailureTrace(std::move(selected));
+}
+
+FailureTrace merge(std::span<const FailureTrace> traces) {
+  std::vector<FailureEvent> all;
+  for (const auto& trace : traces) {
+    all.insert(all.end(), trace.events().begin(), trace.events().end());
+  }
+  return FailureTrace(std::move(all));  // constructor sorts
+}
+
+FailureTrace coalesce(const FailureTrace& trace, double window_hours) {
+  require_positive(window_hours, "window_hours");
+  std::vector<FailureEvent> kept;
+  double last_kept = -window_hours;  // accept the first event always
+  bool any = false;
+  for (const auto& event : trace.events()) {
+    if (!any || event.time_hours - last_kept >= window_hours) {
+      kept.push_back(event);
+      last_kept = event.time_hours;
+      any = true;
+    }
+  }
+  return FailureTrace(std::move(kept));
+}
+
+}  // namespace lazyckpt::failures

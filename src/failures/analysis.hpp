@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file analysis.hpp
+/// \brief Failure-log analytics beyond inter-arrival fitting: root-cause
+/// category breakdowns, per-node hot spots, and filtered sub-traces —
+/// the standard cuts of the LANL failure-data studies the paper builds on.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "failures/trace.hpp"
+
+namespace lazyckpt::failures {
+
+/// Share and rate of one root-cause category in a log.
+struct CategoryStats {
+  FailureCategory category = FailureCategory::kUnknown;
+  std::size_t count = 0;
+  double fraction = 0.0;    ///< of all events
+  double mtbf_hours = 0.0;  ///< observed MTBF of this category alone
+                            ///< (0 when fewer than two events)
+};
+
+/// Per-category statistics, ordered by descending count.  Categories with
+/// zero events are omitted.  Requires a non-empty trace.
+std::vector<CategoryStats> category_breakdown(const FailureTrace& trace);
+
+/// A node and its failure count.
+struct NodeStats {
+  std::int32_t node_id = 0;
+  std::size_t count = 0;
+};
+
+/// The `top_n` nodes with the most failures, descending (ties by id).
+/// Fewer rows are returned when the log has fewer distinct nodes.
+std::vector<NodeStats> top_offender_nodes(const FailureTrace& trace,
+                                          std::size_t top_n);
+
+/// Events of one category, timestamps preserved.
+FailureTrace filter_by_category(const FailureTrace& trace,
+                                FailureCategory category);
+
+/// Events of one node, timestamps preserved.
+FailureTrace filter_by_node(const FailureTrace& trace, std::int32_t node_id);
+
+/// Merge several subsystem logs into one system log (the union, sorted).
+/// Typical use: CPU, network and filesystem consoles recorded separately.
+FailureTrace merge(std::span<const FailureTrace> traces);
+
+/// Collapse cascades: events within `window_hours` of an accepted event
+/// are treated as symptoms of the same incident and dropped (first event
+/// of each cluster wins).  This is the standard coalescing step applied
+/// to raw console logs before MTBF analysis — raw logs often record one
+/// physical failure as a burst of messages.
+FailureTrace coalesce(const FailureTrace& trace, double window_hours);
+
+}  // namespace lazyckpt::failures

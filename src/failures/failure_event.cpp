@@ -1,0 +1,24 @@
+#include "failures/failure_event.hpp"
+
+#include <array>
+
+namespace lazyckpt::failures {
+
+namespace {
+constexpr std::array<const char*, 5> kNames = {
+    "hardware", "software", "network", "environment", "unknown"};
+}
+
+const char* to_string(FailureCategory category) noexcept {
+  const auto index = static_cast<std::size_t>(category);
+  return index < kNames.size() ? kNames[index] : "unknown";
+}
+
+FailureCategory category_from_string(const std::string& text) noexcept {
+  for (std::size_t i = 0; i < kNames.size(); ++i) {
+    if (text == kNames[i]) return static_cast<FailureCategory>(i);
+  }
+  return FailureCategory::kUnknown;
+}
+
+}  // namespace lazyckpt::failures

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file failure_event.hpp
+/// \brief A single system failure record, LANL-public-failure-data style.
+
+#include <cstdint>
+#include <string>
+
+namespace lazyckpt::failures {
+
+/// Coarse root-cause categories used in the LANL failure-data release.
+enum class FailureCategory : std::uint8_t {
+  kHardware = 0,
+  kSoftware,
+  kNetwork,
+  kEnvironment,
+  kUnknown,
+};
+
+/// Stable string form of a category ("hardware", ...).
+const char* to_string(FailureCategory category) noexcept;
+
+/// Parse a category string; unknown strings map to kUnknown.
+FailureCategory category_from_string(const std::string& text) noexcept;
+
+/// One failure event.  Times are hours since the start of the log.
+struct FailureEvent {
+  double time_hours = 0.0;
+  std::int32_t node_id = 0;
+  FailureCategory category = FailureCategory::kUnknown;
+
+  friend bool operator<(const FailureEvent& a, const FailureEvent& b) noexcept {
+    return a.time_hours < b.time_hours;
+  }
+};
+
+}  // namespace lazyckpt::failures

@@ -1,0 +1,19 @@
+#include "failures/scaling.hpp"
+
+#include "common/error.hpp"
+
+namespace lazyckpt::failures {
+
+double system_mtbf(double node_mtbf_hours, int node_count) {
+  require_positive(node_mtbf_hours, "node_mtbf_hours");
+  require(node_count >= 1, "node_count must be >= 1");
+  return node_mtbf_hours / static_cast<double>(node_count);
+}
+
+double node_mtbf(double system_mtbf_hours, int node_count) {
+  require_positive(system_mtbf_hours, "system_mtbf_hours");
+  require(node_count >= 1, "node_count must be >= 1");
+  return system_mtbf_hours * static_cast<double>(node_count);
+}
+
+}  // namespace lazyckpt::failures

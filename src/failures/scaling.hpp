@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file scaling.hpp
+/// \brief Node-count scaling of system reliability.
+///
+/// With independent node failures, the system-level failure process is the
+/// superposition of the per-node processes, so the system MTBF shrinks
+/// inversely with node count — the mechanism behind the paper's "OCI
+/// decreases as the system size increases" (Observation 1).
+
+namespace lazyckpt::failures {
+
+/// System MTBF (hours) for `node_count` nodes with per-node MTBF
+/// `node_mtbf_hours`.  Requires both positive.
+double system_mtbf(double node_mtbf_hours, int node_count);
+
+/// Per-node MTBF implied by an observed system MTBF — the inverse mapping,
+/// used to calibrate design points against a measured machine.
+double node_mtbf(double system_mtbf_hours, int node_count);
+
+}  // namespace lazyckpt::failures

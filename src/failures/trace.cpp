@@ -1,0 +1,102 @@
+#include "failures/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace lazyckpt::failures {
+
+FailureTrace::FailureTrace(std::vector<FailureEvent> events)
+    : events_(std::move(events)) {
+  for (const auto& e : events_) {
+    require(std::isfinite(e.time_hours) && e.time_hours >= 0.0,
+            "FailureTrace timestamps must be finite and non-negative");
+  }
+  std::sort(events_.begin(), events_.end());
+}
+
+FailureTrace FailureTrace::load_csv(const std::string& path) {
+  const CsvDocument doc = CsvDocument::load(path);
+  const std::size_t time_col = doc.column_index("time_hours");
+  const std::size_t node_col = doc.column_index("node_id");
+  const std::size_t cat_col = doc.column_index("category");
+
+  std::vector<FailureEvent> events;
+  events.reserve(doc.row_count());
+  for (std::size_t i = 0; i < doc.row_count(); ++i) {
+    const auto& row = doc.row(i);
+    FailureEvent event;
+    event.time_hours =
+        parse_double(row[time_col], "failure trace row " + std::to_string(i));
+    event.node_id = static_cast<std::int32_t>(parse_double(
+        row[node_col], "failure trace node_id row " + std::to_string(i)));
+    event.category = category_from_string(row[cat_col]);
+    events.push_back(event);
+  }
+  return FailureTrace(std::move(events));
+}
+
+void FailureTrace::save_csv(const std::string& path) const {
+  CsvDocument doc({"time_hours", "node_id", "category"});
+  for (const auto& e : events_) {
+    doc.add_row({std::to_string(e.time_hours), std::to_string(e.node_id),
+                 to_string(e.category)});
+  }
+  doc.save(path);
+}
+
+double FailureTrace::span_hours() const noexcept {
+  return events_.empty() ? 0.0 : events_.back().time_hours;
+}
+
+std::vector<double> FailureTrace::inter_arrival_times() const {
+  std::vector<double> gaps;
+  if (events_.size() < 2) return gaps;
+  gaps.reserve(events_.size() - 1);
+  for (std::size_t i = 1; i < events_.size(); ++i) {
+    gaps.push_back(events_[i].time_hours - events_[i - 1].time_hours);
+  }
+  return gaps;
+}
+
+double FailureTrace::observed_mtbf() const {
+  require(events_.size() >= 2, "observed_mtbf needs at least two failures");
+  return (events_.back().time_hours - events_.front().time_hours) /
+         static_cast<double>(events_.size() - 1);
+}
+
+double FailureTrace::fraction_within(double window_hours) const {
+  require_positive(window_hours, "window_hours");
+  const auto gaps = inter_arrival_times();
+  require(!gaps.empty(), "fraction_within needs at least two failures");
+  std::size_t hits = 0;
+  for (const double g : gaps) {
+    if (g < window_hours) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(gaps.size());
+}
+
+FailureTrace FailureTrace::window(double from_hours, double to_hours) const {
+  require(from_hours >= 0.0 && to_hours > from_hours,
+          "FailureTrace::window needs 0 <= from < to");
+  std::vector<FailureEvent> selected;
+  for (const auto& e : events_) {
+    if (e.time_hours >= from_hours && e.time_hours < to_hours) {
+      FailureEvent shifted = e;
+      shifted.time_hours -= from_hours;
+      selected.push_back(shifted);
+    }
+  }
+  return FailureTrace(std::move(selected));
+}
+
+std::size_t FailureTrace::count_until(double now_hours) const noexcept {
+  const auto upper = std::upper_bound(
+      events_.begin(), events_.end(), now_hours,
+      [](double t, const FailureEvent& e) { return t < e.time_hours; });
+  return static_cast<std::size_t>(upper - events_.begin());
+}
+
+}  // namespace lazyckpt::failures

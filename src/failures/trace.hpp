@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file trace.hpp
+/// \brief A time-ordered failure log with CSV persistence and the
+/// derived statistics the paper's analysis consumes (Sec. 4).
+
+#include <string>
+#include <vector>
+
+#include "failures/failure_event.hpp"
+
+namespace lazyckpt::failures {
+
+/// An immutable-after-build, time-sorted failure log.
+class FailureTrace {
+ public:
+  FailureTrace() = default;
+
+  /// Build from events (sorted internally).  Negative timestamps rejected.
+  explicit FailureTrace(std::vector<FailureEvent> events);
+
+  /// CSV round-trip.  Columns: time_hours,node_id,category.
+  static FailureTrace load_csv(const std::string& path);
+  void save_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] const std::vector<FailureEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] const FailureEvent& at(std::size_t i) const {
+    return events_.at(i);
+  }
+
+  /// Timestamp of the last event (0 for an empty trace).
+  [[nodiscard]] double span_hours() const noexcept;
+
+  /// Successive differences of event timestamps (size() - 1 values).
+  /// This is the sample the paper fits distributions to.
+  [[nodiscard]] std::vector<double> inter_arrival_times() const;
+
+  /// Observed mean time between failures.  Requires size() >= 2.
+  [[nodiscard]] double observed_mtbf() const;
+
+  /// Fraction of inter-arrival gaps strictly shorter than `window_hours` —
+  /// the paper's temporal-locality headline ("~45% of failures occur within
+  /// 3 hours of the last failure").  Requires size() >= 2.
+  [[nodiscard]] double fraction_within(double window_hours) const;
+
+  /// Sub-trace with events in [from_hours, to_hours), times re-based to 0.
+  [[nodiscard]] FailureTrace window(double from_hours, double to_hours) const;
+
+  /// Number of events with time <= `now_hours` (no look-ahead helper).
+  [[nodiscard]] std::size_t count_until(double now_hours) const noexcept;
+
+ private:
+  std::vector<FailureEvent> events_;
+};
+
+}  // namespace lazyckpt::failures

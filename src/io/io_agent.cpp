@@ -1,0 +1,33 @@
+#include "io/io_agent.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace lazyckpt::io {
+
+IoLogAgent::IoLogAgent(const BandwidthTrace& trace) : trace_(&trace) {}
+
+double IoLogAgent::current_bandwidth(double now_hours) const {
+  return trace_->at(now_hours);
+}
+
+double IoLogAgent::historical_average(double now_hours) const {
+  const double upto = std::max(now_hours, trace_->step_hours());
+  return trace_->average(0.0, upto);
+}
+
+double IoLogAgent::historical_harmonic_average(double now_hours) const {
+  const double upto = std::max(now_hours, trace_->step_hours());
+  return trace_->harmonic_average(0.0, upto);
+}
+
+double IoLogAgent::estimated_checkpoint_time(double now_hours,
+                                             double size_gb) const {
+  require_positive(size_gb, "size_gb");
+  return transfer_time_hours(size_gb,
+                             historical_harmonic_average(now_hours));
+}
+
+}  // namespace lazyckpt::io

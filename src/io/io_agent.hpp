@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file io_agent.hpp
+/// \brief I/O-log agent (paper Sec. 6.1, Fig. 22).
+///
+/// Counterpart of the failure-log agent: exposes current and historical
+/// observed storage bandwidth to the C/R library without looking ahead of
+/// the replayed log.  Lag in log updates does not matter because callers
+/// use averaged statistics (paper: "A lag in updating I/O log does not
+/// affect our approach because we use an average observed statistics").
+
+#include "io/bandwidth_trace.hpp"
+
+namespace lazyckpt::io {
+
+/// No-look-ahead view over a bandwidth log.
+class IoLogAgent {
+ public:
+  /// `trace` must outlive the agent.
+  explicit IoLogAgent(const BandwidthTrace& trace);
+
+  /// Bandwidth observed at `now_hours`.
+  [[nodiscard]] double current_bandwidth(double now_hours) const;
+
+  /// Mean observed bandwidth from the log start through `now_hours`.
+  [[nodiscard]] double historical_average(double now_hours) const;
+
+  /// Harmonic-mean observed bandwidth from the log start through
+  /// `now_hours` — the rate governing expected transfer time
+  /// (E[size/bw] = size · E[1/bw]), hence the estimate the dynamic-OCI
+  /// strategy feeds into the interval computation.
+  [[nodiscard]] double historical_harmonic_average(double now_hours) const;
+
+  /// Expected time (hours) to write `size_gb`, using the harmonic-mean
+  /// observed bandwidth at `now_hours`.
+  [[nodiscard]] double estimated_checkpoint_time(double now_hours,
+                                                 double size_gb) const;
+
+ private:
+  const BandwidthTrace* trace_;
+};
+
+}  // namespace lazyckpt::io

@@ -1,0 +1,51 @@
+#include "io/storage_model.hpp"
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace lazyckpt::io {
+
+ConstantStorage::ConstantStorage(double checkpoint_time_hours,
+                                 double restart_time_hours, double size_gb)
+    : beta_(checkpoint_time_hours),
+      gamma_(restart_time_hours),
+      size_gb_(size_gb) {
+  require_positive(checkpoint_time_hours, "checkpoint_time_hours");
+  require_non_negative(restart_time_hours, "restart_time_hours");
+  require_non_negative(size_gb, "size_gb");
+}
+
+double ConstantStorage::checkpoint_time(double) const { return beta_; }
+
+double ConstantStorage::restart_time(double) const { return gamma_; }
+
+StorageModelPtr ConstantStorage::clone() const {
+  return std::make_unique<ConstantStorage>(*this);
+}
+
+TraceStorage::TraceStorage(double checkpoint_size_gb,
+                           const BandwidthTrace& trace, double offset_hours,
+                           double read_speedup)
+    : size_gb_(checkpoint_size_gb),
+      trace_(&trace),
+      offset_(offset_hours),
+      read_speedup_(read_speedup) {
+  require_positive(checkpoint_size_gb, "checkpoint_size_gb");
+  require_non_negative(offset_hours, "offset_hours");
+  require(read_speedup >= 1.0, "read_speedup must be >= 1");
+}
+
+double TraceStorage::checkpoint_time(double now_hours) const {
+  return transfer_time_hours(size_gb_, trace_->at(offset_ + now_hours));
+}
+
+double TraceStorage::restart_time(double now_hours) const {
+  return transfer_time_hours(size_gb_, trace_->at(offset_ + now_hours)) /
+         read_speedup_;
+}
+
+StorageModelPtr TraceStorage::clone() const {
+  return std::make_unique<TraceStorage>(*this);
+}
+
+}  // namespace lazyckpt::io

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file storage_model.hpp
+/// \brief Time-to-checkpoint / time-to-restart models used by the simulator
+/// and the trace-replay harness.
+
+#include <memory>
+
+#include "io/bandwidth_trace.hpp"
+
+namespace lazyckpt::io {
+
+/// Maps simulation time to checkpoint and restart costs.  The simulator
+/// asks at the moment each checkpoint or restart begins, which lets the
+/// trace-driven model reflect the bandwidth observed at that moment.
+class StorageModel {
+ public:
+  virtual ~StorageModel() = default;
+
+  /// β at time `now_hours`: hours to write one checkpoint.
+  [[nodiscard]] virtual double checkpoint_time(double now_hours) const = 0;
+
+  /// γ at time `now_hours`: hours to read the last checkpoint back and
+  /// restart (0 is allowed).
+  [[nodiscard]] virtual double restart_time(double now_hours) const = 0;
+
+  /// Data written per checkpoint (GB) — drives the Table 3 write-volume
+  /// accounting.
+  [[nodiscard]] virtual double checkpoint_size_gb() const = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<StorageModel> clone() const = 0;
+};
+
+using StorageModelPtr = std::unique_ptr<StorageModel>;
+
+/// Fixed β/γ — the analytical-model and simulation-study configuration.
+class ConstantStorage final : public StorageModel {
+ public:
+  /// `size_gb` is only used for write-volume accounting and may be 0 when
+  /// the experiment does not track volume.
+  ConstantStorage(double checkpoint_time_hours, double restart_time_hours,
+                  double size_gb = 0.0);
+
+  [[nodiscard]] double checkpoint_time(double) const override;
+  [[nodiscard]] double restart_time(double) const override;
+  [[nodiscard]] double checkpoint_size_gb() const override { return size_gb_; }
+  [[nodiscard]] StorageModelPtr clone() const override;
+
+ private:
+  double beta_;
+  double gamma_;
+  double size_gb_;
+};
+
+/// Bandwidth-trace-driven storage: β(t) = size / bw(t), γ(t) = read back at
+/// the same observed bandwidth (reads and writes contend on the same
+/// controllers in Spider-class storage).
+class TraceStorage final : public StorageModel {
+ public:
+  /// `trace` must outlive this model.  `offset_hours` re-bases run time 0
+  /// to trace time `offset_hours` (trace-replay runs start mid-log).
+  /// `read_speedup` scales restart reads relative to writes (>= 1; Spider-
+  /// class storage typically reads back faster than it absorbs contended
+  /// checkpoint writes).
+  TraceStorage(double checkpoint_size_gb, const BandwidthTrace& trace,
+               double offset_hours = 0.0, double read_speedup = 1.0);
+
+  [[nodiscard]] double checkpoint_time(double now_hours) const override;
+  [[nodiscard]] double restart_time(double now_hours) const override;
+  [[nodiscard]] double checkpoint_size_gb() const override { return size_gb_; }
+  [[nodiscard]] StorageModelPtr clone() const override;
+
+ private:
+  double size_gb_;
+  const BandwidthTrace* trace_;
+  double offset_;
+  double read_speedup_;
+};
+
+}  // namespace lazyckpt::io

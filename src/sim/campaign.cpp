@@ -1,0 +1,80 @@
+#include "sim/campaign.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace lazyckpt::sim {
+namespace {
+
+/// View of the campaign's continuous failure stream re-based so that the
+/// current allocation starts at time 0.  Events that fell into the queue
+/// gap (before the allocation began) are drained on construction.
+class ShiftedFailureSource final : public FailureSource {
+ public:
+  ShiftedFailureSource(FailureSource& inner, double shift)
+      : inner_(&inner), shift_(shift) {
+    while (inner_->peek_next() <= shift_) inner_->pop();
+  }
+
+  [[nodiscard]] double peek_next() const override {
+    const double next = inner_->peek_next();
+    if (next == std::numeric_limits<double>::infinity()) return next;
+    return next - shift_;
+  }
+
+  void pop() override { inner_->pop(); }
+
+ private:
+  FailureSource* inner_;
+  double shift_;
+};
+
+}  // namespace
+
+void CampaignConfig::validate() const {
+  base.validate();
+  require_positive(allocation_hours, "CampaignConfig.allocation_hours");
+  require_non_negative(gap_hours, "CampaignConfig.gap_hours");
+  require(max_allocations >= 1,
+          "CampaignConfig.max_allocations must be >= 1");
+}
+
+CampaignResult run_campaign(const CampaignConfig& config,
+                            core::CheckpointPolicy& policy,
+                            FailureSource& failures,
+                            const io::StorageModel& storage) {
+  config.validate();
+
+  CampaignResult result;
+  double remaining = config.base.compute_hours;
+  double machine_clock = 0.0;  // continuous time across the campaign
+
+  while (result.allocations_used < config.max_allocations &&
+         remaining > 0.0) {
+    SimulationConfig allocation = config.base;
+    allocation.compute_hours = remaining;
+    allocation.time_budget_hours = config.allocation_hours;
+
+    ShiftedFailureSource shifted(failures, machine_clock);
+    const RunMetrics run = simulate(allocation, policy, shifted, storage);
+
+    ++result.allocations_used;
+    result.committed_hours += run.compute_hours;
+    result.machine_hours += run.makespan_hours;
+    remaining -= run.compute_hours;
+    machine_clock += run.makespan_hours + config.gap_hours;
+    result.runs.push_back(run);
+
+    if (remaining <= 1e-9) {
+      result.completed = true;
+      remaining = 0.0;
+      break;
+    }
+    // An allocation that commits nothing forever would spin; the
+    // max_allocations bound still terminates the loop.
+  }
+  return result;
+}
+
+}  // namespace lazyckpt::sim

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file campaign.hpp
+/// \brief Multi-allocation campaigns: how real leadership jobs actually
+/// finish.  A 360-hour CHIMERA run does not get one contiguous allocation;
+/// it runs as a chain of fixed-size allocations, each resuming from the
+/// last committed checkpoint of the previous one, with queue-wait gaps in
+/// between during which the machine keeps failing.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/policy/policy.hpp"
+#include "io/storage_model.hpp"
+#include "sim/engine.hpp"
+#include "sim/failure_source.hpp"
+
+namespace lazyckpt::sim {
+
+/// Configuration of a campaign.
+struct CampaignConfig {
+  SimulationConfig base;          ///< per-allocation engine settings; its
+                                  ///< time_budget_hours is overridden
+  double allocation_hours = 0.0;  ///< size of each allocation
+  double gap_hours = 0.0;         ///< queue wait between allocations
+  std::size_t max_allocations = 100;  ///< give up after this many
+
+  /// Throws InvalidArgument on invalid values.
+  void validate() const;
+};
+
+/// Outcome of a campaign.
+struct CampaignResult {
+  bool completed = false;            ///< all work committed
+  std::size_t allocations_used = 0;  ///< including the final partial one
+  double committed_hours = 0.0;      ///< total committed work
+  double machine_hours = 0.0;        ///< allocation time consumed (the bill)
+  std::vector<RunMetrics> runs;      ///< per-allocation metrics
+};
+
+/// Run a campaign: repeat fixed-budget allocations, carrying committed
+/// work forward, until the workload completes or max_allocations is hit.
+/// The failure stream is continuous across allocations and gaps (the
+/// machine does not stop failing while the job queues).
+CampaignResult run_campaign(const CampaignConfig& config,
+                            core::CheckpointPolicy& policy,
+                            FailureSource& failures,
+                            const io::StorageModel& storage);
+
+}  // namespace lazyckpt::sim

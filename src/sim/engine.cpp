@@ -1,0 +1,269 @@
+#include "sim/engine.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+
+namespace lazyckpt::sim {
+
+void SimulationConfig::validate() const {
+  require_positive(compute_hours, "SimulationConfig.compute_hours");
+  require_positive(alpha_oci_hours, "SimulationConfig.alpha_oci_hours");
+  require_positive(mtbf_hint_hours, "SimulationConfig.mtbf_hint_hours");
+  require(shape_hint > 0.0 && shape_hint <= 1.0,
+          "SimulationConfig.shape_hint must lie in (0, 1]");
+  require(mtbf_window >= 1, "SimulationConfig.mtbf_window must be >= 1");
+  require(checkpoint_blocking_fraction > 0.0 &&
+              checkpoint_blocking_fraction <= 1.0,
+          "SimulationConfig.checkpoint_blocking_fraction must lie in (0, 1]");
+  require_non_negative(time_budget_hours,
+                       "SimulationConfig.time_budget_hours");
+  require(max_events >= 1, "SimulationConfig.max_events must be >= 1");
+}
+
+namespace {
+
+/// Mutable state of one run, grouped so the failure-handling helper can
+/// operate on it without a long parameter list.
+struct RunState {
+  double now = 0.0;
+  double committed = 0.0;    ///< work protected by the last checkpoint
+  double uncommitted = 0.0;  ///< work at risk since the last checkpoint
+  double last_failure = 0.0; ///< time of the most recent failure (0 = none)
+  bool any_failure = false;
+  int boundaries_since_failure = 0;
+
+  // In-flight asynchronous checkpoint write (blocking fraction < 1).
+  bool has_pending = false;
+  double pending_commit_time = 0.0;  ///< when the async write drains
+  double pending_work = 0.0;         ///< work the write will protect
+
+  RunMetrics metrics;
+  stats::MovingAverage mtbf_ma;
+
+  explicit RunState(std::size_t window) : mtbf_ma(window) {}
+};
+
+}  // namespace
+
+RunMetrics simulate(const SimulationConfig& config,
+                    core::CheckpointPolicy& policy, FailureSource& failures,
+                    const io::StorageModel& storage,
+                    const ContextHook& hook) {
+  config.validate();
+
+  RunState st(config.mtbf_window);
+  const double work_target = config.compute_hours;
+  const double budget = config.time_budget_hours > 0.0
+                            ? config.time_budget_hours
+                            : std::numeric_limits<double>::infinity();
+  bool truncated = false;
+
+  // The allocation expires mid-phase: time since the phase began (and any
+  // uncommitted work) is lost, exactly as when the scheduler kills a job.
+  const auto truncate_at_budget = [&]() {
+    st.metrics.wasted_hours += budget - st.now + st.uncommitted;
+    st.uncommitted = 0.0;
+    st.now = budget;
+    st.has_pending = false;
+    truncated = true;
+  };
+
+  const auto make_context = [&]() {
+    core::PolicyContext ctx;
+    ctx.now_hours = st.now;
+    ctx.time_since_failure_hours =
+        st.any_failure ? st.now - st.last_failure : st.now;
+    ctx.alpha_oci_hours = config.alpha_oci_hours;
+    ctx.checkpoint_time_hours = storage.checkpoint_time(st.now);
+    ctx.mtbf_estimate_hours = st.mtbf_ma.value_or(config.mtbf_hint_hours);
+    ctx.weibull_shape_estimate = config.shape_hint;
+    ctx.checkpoints_since_failure = st.boundaries_since_failure;
+    ctx.failures_so_far = static_cast<int>(st.metrics.failures);
+    if (hook) hook(ctx);
+    return ctx;
+  };
+
+  const auto snapshot = [&]() {
+    if (!config.record_timeline) return;
+    st.metrics.timeline.push_back({st.now, st.committed,
+                                   st.metrics.checkpoint_hours,
+                                   st.metrics.wasted_hours,
+                                   st.metrics.restart_hours});
+  };
+
+  // Commit the in-flight asynchronous write: the covered work becomes
+  // safe.  Costs no time by itself.
+  const auto commit_pending = [&]() {
+    st.committed += st.pending_work;
+    st.uncommitted -= st.pending_work;
+    st.has_pending = false;
+    ++st.metrics.checkpoints_written;
+    st.metrics.data_written_gb += storage.checkpoint_size_gb();
+    policy.on_checkpoint_complete(make_context());
+    snapshot();
+  };
+
+  // Process a commit that drains before `limit` and before the next
+  // failure (commit events consume no simulated time).
+  const auto process_commit_before = [&](double limit) {
+    if (st.has_pending && st.pending_commit_time <= limit &&
+        st.pending_commit_time <= failures.peek_next()) {
+      commit_pending();
+    }
+  };
+
+  // Register a failure at the stream head: roll back, account the MTBF
+  // observation, notify the policy, then pay (possibly repeated) restarts.
+  const auto handle_failure = [&]() {
+    const double failure_time = failures.peek_next();
+    // An async write that drained before the failure still counts.
+    process_commit_before(failure_time);
+    st.has_pending = false;  // anything still in flight is torn
+    // Work (and time) since the last commit point is lost.
+    st.metrics.wasted_hours += failure_time - st.now + st.uncommitted;
+    st.uncommitted = 0.0;
+    st.now = failure_time;
+
+    const auto register_failure = [&]() {
+      if (st.any_failure) {
+        st.mtbf_ma.add(st.now - st.last_failure);
+      } else {
+        st.mtbf_ma.add(st.now);  // first gap measured from run start
+      }
+      st.any_failure = true;
+      st.last_failure = st.now;
+      st.boundaries_since_failure = 0;
+      ++st.metrics.failures;
+      failures.pop();
+      policy.on_failure(make_context());
+    };
+    register_failure();
+
+    // Restart; another failure may interrupt the restart itself, and the
+    // allocation may expire during it.
+    while (true) {
+      const double gamma = storage.restart_time(st.now);
+      if (gamma <= 0.0) break;
+      const double next = failures.peek_next();
+      if (next < st.now + gamma && next < budget) {
+        st.metrics.wasted_hours += next - st.now;
+        st.now = next;
+        register_failure();
+        continue;
+      }
+      if (st.now + gamma > budget) {
+        truncate_at_budget();
+        break;
+      }
+      st.now += gamma;
+      st.metrics.restart_hours += gamma;
+      break;
+    }
+    snapshot();
+  };
+
+  std::uint64_t events = 0;
+  while (st.committed + st.uncommitted < work_target) {
+    require(++events <= config.max_events,
+            "simulation exceeded max_events: the machine cannot make "
+            "progress under this configuration");
+
+    const core::PolicyContext ctx = make_context();
+    double alpha = policy.next_interval(ctx);
+    require(std::isfinite(alpha) && alpha > 0.0,
+            "policy returned a non-positive checkpoint interval");
+
+    // --- compute phase -------------------------------------------------
+    const double remaining = work_target - st.committed - st.uncommitted;
+    const double chunk = std::min(alpha, remaining);
+    process_commit_before(std::min(st.now + chunk, budget));
+    if (failures.peek_next() < std::min(st.now + chunk, budget)) {
+      handle_failure();
+      if (truncated) break;
+      continue;
+    }
+    if (st.now + chunk > budget) {
+      truncate_at_budget();
+      break;
+    }
+    st.now += chunk;
+    st.uncommitted += chunk;
+
+    if (st.committed + st.uncommitted >= work_target) {
+      break;  // final segment needs no checkpoint
+    }
+
+    // --- checkpoint boundary -------------------------------------------
+    ++st.boundaries_since_failure;
+    if (policy.should_skip(make_context())) {
+      ++st.metrics.checkpoints_skipped;
+      continue;  // work stays at risk; computing resumes immediately
+    }
+
+    // Serialize writes: if an async write is still draining, the app
+    // stalls until it commits (stall time is checkpoint I/O wait).
+    if (st.has_pending) {
+      if (failures.peek_next() < std::min(st.pending_commit_time, budget)) {
+        handle_failure();
+        if (truncated) break;
+        continue;
+      }
+      if (st.pending_commit_time > budget) {
+        truncate_at_budget();
+        break;
+      }
+      st.metrics.checkpoint_hours += st.pending_commit_time - st.now;
+      st.now = st.pending_commit_time;
+      commit_pending();
+    }
+
+    const double beta = storage.checkpoint_time(st.now);
+    require(std::isfinite(beta) && beta > 0.0,
+            "storage model returned a non-positive checkpoint time");
+    const double blocking = beta * config.checkpoint_blocking_fraction;
+    if (failures.peek_next() < std::min(st.now + blocking, budget)) {
+      handle_failure();  // partial checkpoint discarded with the work
+      if (truncated) break;
+      continue;
+    }
+    if (st.now + blocking > budget) {
+      truncate_at_budget();
+      break;
+    }
+    const double covered = st.uncommitted;  // work this write protects
+    st.now += blocking;
+    st.metrics.checkpoint_hours += blocking;
+    st.has_pending = true;
+    st.pending_work = covered;
+    st.pending_commit_time = st.now + (beta - blocking);
+    if (config.checkpoint_blocking_fraction >= 1.0) {
+      commit_pending();  // synchronous: commits immediately
+    }
+  }
+
+  // The last in-flight segment completes the job without a checkpoint —
+  // unless the allocation expired, in which case only committed work
+  // survives (it is what a follow-up job could restart from).
+  if (!truncated) {
+    st.committed += st.uncommitted;
+    st.uncommitted = 0.0;
+  }
+
+  st.metrics.makespan_hours = st.now;
+  st.metrics.compute_hours = st.committed;
+  snapshot();
+
+  // Conservation check: every simulated hour is attributed exactly once.
+  const double attributed =
+      st.metrics.compute_hours + st.metrics.checkpoint_hours +
+      st.metrics.wasted_hours + st.metrics.restart_hours;
+  require(std::abs(attributed - st.metrics.makespan_hours) <=
+              1e-6 * std::max(1.0, st.metrics.makespan_hours),
+          "internal error: time attribution does not balance");
+  return st.metrics;
+}
+
+}  // namespace lazyckpt::sim

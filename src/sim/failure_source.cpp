@@ -1,0 +1,41 @@
+#include "sim/failure_source.hpp"
+
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace lazyckpt::sim {
+
+RenewalFailureSource::RenewalFailureSource(stats::DistributionPtr inter_arrival,
+                                           Rng rng)
+    : inter_arrival_(std::move(inter_arrival)), rng_(rng) {
+  require(inter_arrival_ != nullptr,
+          "RenewalFailureSource needs a distribution");
+  next_ = inter_arrival_->sample(rng_);
+}
+
+void RenewalFailureSource::pop() {
+  next_ += inter_arrival_->sample(rng_);
+}
+
+TraceFailureSource::TraceFailureSource(const failures::FailureTrace& trace,
+                                       double offset_hours)
+    : trace_(&trace), offset_(offset_hours) {
+  require_non_negative(offset_hours, "offset_hours");
+  index_ = trace_->count_until(offset_hours);
+}
+
+double TraceFailureSource::peek_next() const {
+  if (index_ >= trace_->size()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return trace_->at(index_).time_hours - offset_;
+}
+
+void TraceFailureSource::pop() {
+  require(index_ < trace_->size(), "TraceFailureSource exhausted");
+  ++index_;
+}
+
+}  // namespace lazyckpt::sim

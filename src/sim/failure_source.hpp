@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file failure_source.hpp
+/// \brief Streams of absolute failure times feeding the simulator.
+///
+/// Two implementations: a renewal process drawing i.i.d. inter-arrival
+/// times from any stats::Distribution (the paper's simulation studies), and
+/// a replay of a recorded FailureTrace (the paper's prototype evaluation).
+
+#include <memory>
+
+#include "common/random.hpp"
+#include "failures/trace.hpp"
+#include "stats/distribution.hpp"
+
+namespace lazyckpt::sim {
+
+/// A monotone stream of failure times (hours since run start).
+class FailureSource {
+ public:
+  virtual ~FailureSource() = default;
+
+  /// Absolute time of the next failure; +infinity when exhausted.
+  [[nodiscard]] virtual double peek_next() const = 0;
+
+  /// Consume the pending failure and schedule its successor.
+  virtual void pop() = 0;
+};
+
+using FailureSourcePtr = std::unique_ptr<FailureSource>;
+
+/// Renewal process: failure n+1 happens an i.i.d. inter-arrival after
+/// failure n.  Deterministic in the supplied Rng.
+class RenewalFailureSource final : public FailureSource {
+ public:
+  RenewalFailureSource(stats::DistributionPtr inter_arrival, Rng rng);
+
+  [[nodiscard]] double peek_next() const override { return next_; }
+  void pop() override;
+
+ private:
+  stats::DistributionPtr inter_arrival_;
+  Rng rng_;
+  double next_ = 0.0;
+};
+
+/// Replay of a recorded trace starting at `offset_hours` (event times are
+/// re-based so the run starts at trace time `offset_hours`).  Exhausts when
+/// the log ends — the paper's trace-driven runs are shorter than the log.
+class TraceFailureSource final : public FailureSource {
+ public:
+  /// `trace` must outlive the source.
+  explicit TraceFailureSource(const failures::FailureTrace& trace,
+                              double offset_hours = 0.0);
+
+  [[nodiscard]] double peek_next() const override;
+  void pop() override;
+
+ private:
+  const failures::FailureTrace* trace_;
+  double offset_;
+  std::size_t index_;
+};
+
+}  // namespace lazyckpt::sim

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file metrics.hpp
+/// \brief Per-run accounting and cross-replica aggregation.
+///
+/// Every hour of simulated wall time lands in exactly one bucket:
+/// useful compute (work that ultimately committed), checkpoint I/O
+/// (completed checkpoint writes), restart (completed recoveries), or waste
+/// (compute lost to a failure, interrupted checkpoints, interrupted
+/// restarts).  Conservation — makespan equals the bucket sum — is asserted
+/// by the engine and re-checked by the property test suite.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lazyckpt::sim {
+
+/// One point of the cumulative-progress timeline (paper Fig. 13).
+struct TimelinePoint {
+  double time_hours = 0.0;
+  double compute_hours = 0.0;     ///< committed so far
+  double checkpoint_hours = 0.0;  ///< checkpoint I/O so far
+  double wasted_hours = 0.0;      ///< lost work so far
+  double restart_hours = 0.0;     ///< restart overhead so far
+};
+
+/// Accounting for one simulated run.
+struct RunMetrics {
+  double makespan_hours = 0.0;
+  double compute_hours = 0.0;
+  double checkpoint_hours = 0.0;
+  double wasted_hours = 0.0;
+  double restart_hours = 0.0;
+
+  std::uint64_t failures = 0;
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t checkpoints_skipped = 0;
+
+  double data_written_gb = 0.0;  ///< checkpoints_written × checkpoint size
+
+  /// Populated only when SimulationConfig.record_timeline is set.
+  std::vector<TimelinePoint> timeline;
+
+  /// Everything that is not useful compute.
+  [[nodiscard]] double overhead_hours() const noexcept {
+    return makespan_hours - compute_hours;
+  }
+};
+
+/// Summary statistics over replicas of the same experiment.
+struct AggregateMetrics {
+  std::size_t replicas = 0;
+  double mean_makespan_hours = 0.0;
+  double min_makespan_hours = 0.0;
+  double max_makespan_hours = 0.0;
+  double mean_compute_hours = 0.0;
+  double mean_checkpoint_hours = 0.0;
+  double min_checkpoint_hours = 0.0;
+  double max_checkpoint_hours = 0.0;
+  double mean_wasted_hours = 0.0;
+  double mean_restart_hours = 0.0;
+  double mean_failures = 0.0;
+  double mean_checkpoints_written = 0.0;
+  double mean_checkpoints_skipped = 0.0;
+  double mean_data_written_gb = 0.0;
+};
+
+/// Aggregate a non-empty set of runs.
+AggregateMetrics aggregate(std::span<const RunMetrics> runs);
+
+}  // namespace lazyckpt::sim

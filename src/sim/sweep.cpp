@@ -1,0 +1,80 @@
+#include "sim/sweep.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/policy/periodic.hpp"
+
+namespace lazyckpt::sim {
+
+std::vector<RunMetrics> run_replicas_raw(const SimulationConfig& config,
+                                         const core::CheckpointPolicy& policy,
+                                         const stats::Distribution& inter_arrival,
+                                         const io::StorageModel& storage,
+                                         std::size_t replicas,
+                                         std::uint64_t seed) {
+  require(replicas >= 1, "run_replicas needs replicas >= 1");
+  std::vector<RunMetrics> runs;
+  runs.reserve(replicas);
+  Rng master(seed);
+  for (std::size_t i = 0; i < replicas; ++i) {
+    RenewalFailureSource source(inter_arrival.clone(), master.split());
+    const core::PolicyPtr replica_policy = policy.clone();
+    runs.push_back(simulate(config, *replica_policy, source, storage));
+  }
+  return runs;
+}
+
+AggregateMetrics run_replicas(const SimulationConfig& config,
+                              const core::CheckpointPolicy& policy,
+                              const stats::Distribution& inter_arrival,
+                              const io::StorageModel& storage,
+                              std::size_t replicas, std::uint64_t seed) {
+  const auto runs = run_replicas_raw(config, policy, inter_arrival, storage,
+                                     replicas, seed);
+  return aggregate(runs);
+}
+
+std::vector<IntervalPoint> runtime_vs_interval(
+    const SimulationConfig& base_config,
+    const stats::Distribution& inter_arrival,
+    const io::StorageModel& storage, std::span<const double> intervals,
+    std::size_t replicas, std::uint64_t seed) {
+  require(!intervals.empty(), "runtime_vs_interval needs intervals");
+  std::vector<IntervalPoint> curve;
+  curve.reserve(intervals.size());
+  for (const double interval : intervals) {
+    SimulationConfig config = base_config;
+    config.alpha_oci_hours = interval;
+    const core::PeriodicPolicy policy(interval);
+    curve.push_back({interval, run_replicas(config, policy, inter_arrival,
+                                            storage, replicas, seed)});
+  }
+  return curve;
+}
+
+double simulated_oci(std::span<const IntervalPoint> curve) {
+  require(!curve.empty(), "simulated_oci needs a non-empty curve");
+  const IntervalPoint* best = &curve.front();
+  for (const auto& point : curve) {
+    if (point.metrics.mean_makespan_hours <
+        best->metrics.mean_makespan_hours) {
+      best = &point;
+    }
+  }
+  return best->interval_hours;
+}
+
+std::vector<double> log_spaced(double lo, double hi, std::size_t count) {
+  require(lo > 0.0 && hi > lo, "log_spaced needs 0 < lo < hi");
+  require(count >= 2, "log_spaced needs count >= 2");
+  std::vector<double> grid;
+  grid.reserve(count);
+  const double ratio = std::log(hi / lo) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    grid.push_back(lo * std::exp(ratio * static_cast<double>(i)));
+  }
+  return grid;
+}
+
+}  // namespace lazyckpt::sim

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file tiered.hpp
+/// \brief Two-level (burst-buffer + parallel-filesystem) checkpoint
+/// simulation — an extension beyond the paper's single-level model.
+///
+/// The paper's Observation 7 argues iLazy gets *more* attractive on
+/// SSD-class storage.  Production SSD deployments are burst buffers in a
+/// two-level scheme (SCR/VeloC style): every checkpoint lands on the fast
+/// local tier (L1), and every `l2_every`-th is also flushed to the slow
+/// global tier (L2).  Node-local L1 state does not survive all failures:
+/// a fraction of failures (process crashes, software) can restart from L1,
+/// the rest (node loss) must fall back to the older L2 checkpoint, losing
+/// extra work.  This module simulates that scheme exactly, with any
+/// lazyckpt checkpoint policy driving the interval.
+
+#include <cstdint>
+
+#include "common/random.hpp"
+#include "core/policy/policy.hpp"
+#include "sim/failure_source.hpp"
+
+namespace lazyckpt::sim {
+
+/// Configuration of a two-level run.  Times in hours.
+struct TieredConfig {
+  double compute_hours = 0.0;     ///< useful work to finish
+  double alpha_oci_hours = 0.0;   ///< reference OCI handed to the policy
+  double mtbf_hint_hours = 0.0;   ///< MTBF estimate for the policy context
+  double shape_hint = 1.0;        ///< Weibull shape estimate
+
+  double beta_l1_hours = 0.0;     ///< write one checkpoint to L1
+  double beta_l2_hours = 0.0;     ///< additionally flush it to L2
+  double gamma_l1_hours = 0.0;    ///< restart from L1 (may be 0)
+  double gamma_l2_hours = 0.0;    ///< restart from L2
+  int l2_every = 1;               ///< every Nth written checkpoint hits L2
+
+  /// Fraction of failures recoverable from the node-local L1 tier.
+  double l1_survivable_fraction = 0.8;
+
+  std::uint64_t max_events = 50'000'000;  ///< livelock guard
+
+  /// Throws InvalidArgument on invalid values.
+  void validate() const;
+};
+
+/// Accounting for one two-level run.  Conservation holds:
+/// makespan == compute + l1_io + l2_io + wasted + restart.
+struct TieredMetrics {
+  double makespan_hours = 0.0;
+  double compute_hours = 0.0;
+  double l1_io_hours = 0.0;
+  double l2_io_hours = 0.0;
+  double wasted_hours = 0.0;
+  double restart_hours = 0.0;
+
+  std::uint64_t failures = 0;
+  std::uint64_t l1_checkpoints = 0;  ///< checkpoints written (all hit L1)
+  std::uint64_t l2_checkpoints = 0;  ///< subset also flushed to L2
+  std::uint64_t checkpoints_skipped = 0;
+  std::uint64_t l1_restarts = 0;
+  std::uint64_t l2_restarts = 0;
+
+  [[nodiscard]] double io_hours() const noexcept {
+    return l1_io_hours + l2_io_hours;
+  }
+};
+
+/// Run one two-level simulation.  `severity_rng` decides per failure
+/// whether L1 survives.  Throws Error when max_events is exceeded.
+TieredMetrics simulate_tiered(const TieredConfig& config,
+                              core::CheckpointPolicy& policy,
+                              FailureSource& failures, Rng severity_rng);
+
+}  // namespace lazyckpt::sim

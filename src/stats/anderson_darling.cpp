@@ -1,0 +1,49 @@
+#include "stats/anderson_darling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace lazyckpt::stats {
+
+double ad_statistic(std::span<const double> samples,
+                    const Distribution& candidate) {
+  require(!samples.empty(), "ad_statistic needs samples");
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = sorted.size();
+  const auto nd = static_cast<double>(n);
+
+  const auto clamped_cdf = [&](double x) {
+    return std::clamp(candidate.cdf(x), 1e-12, 1.0 - 1e-12);
+  };
+
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double weight = 2.0 * static_cast<double>(i) + 1.0;
+    sum += weight * (std::log(clamped_cdf(sorted[i])) +
+                     std::log1p(-clamped_cdf(sorted[n - 1 - i])));
+  }
+  return -nd - sum / nd;
+}
+
+double ad_critical_value(double alpha) {
+  if (alpha == 0.10) return 1.933;
+  if (alpha == 0.05) return 2.492;
+  if (alpha == 0.01) return 3.857;
+  throw InvalidArgument("ad_critical_value: unsupported alpha");
+}
+
+AdResult ad_test(std::span<const double> samples,
+                 const Distribution& candidate, double alpha) {
+  AdResult result;
+  result.distribution_name = candidate.name();
+  result.a_squared = ad_statistic(samples, candidate);
+  result.critical_value = ad_critical_value(alpha);
+  result.rejected = result.a_squared > result.critical_value;
+  return result;
+}
+
+}  // namespace lazyckpt::stats

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file anderson_darling.hpp
+/// \brief One-sample Anderson–Darling goodness-of-fit test.
+///
+/// A tail-weighted complement to the K-S test of paper Fig. 7: A² weights
+/// deviations in the distribution tails, where failure inter-arrival fits
+/// differ most.  Used by the fit-candidate ablation bench.
+
+#include <span>
+#include <string>
+
+#include "stats/distribution.hpp"
+
+namespace lazyckpt::stats {
+
+/// Result of an Anderson–Darling test.
+struct AdResult {
+  std::string distribution_name;
+  double a_squared = 0.0;       ///< the A² statistic
+  double critical_value = 0.0;  ///< case-0 critical value at the level
+  bool rejected = false;
+};
+
+/// A² statistic of `samples` against `candidate`.  Requires a non-empty
+/// sample; candidate cdf values are clamped away from {0,1} for stability.
+double ad_statistic(std::span<const double> samples,
+                    const Distribution& candidate);
+
+/// Case-0 (fully specified distribution) critical value.  Supported
+/// alpha: 0.10 (1.933), 0.05 (2.492), 0.01 (3.857).
+double ad_critical_value(double alpha);
+
+/// Full test at significance `alpha` (default 0.05).
+AdResult ad_test(std::span<const double> samples,
+                 const Distribution& candidate, double alpha = 0.05);
+
+}  // namespace lazyckpt::stats

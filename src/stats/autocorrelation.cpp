@@ -1,0 +1,64 @@
+#include "stats/autocorrelation.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+
+namespace lazyckpt::stats {
+
+double autocorrelation(std::span<const double> series, std::size_t lag) {
+  require(lag >= 1, "autocorrelation needs lag >= 1");
+  require(series.size() > lag, "autocorrelation needs series.size() > lag");
+  const double m = mean(series);
+  double denom = 0.0;
+  for (const double x : series) denom += (x - m) * (x - m);
+  require(denom > 0.0, "autocorrelation of a constant series");
+  double numer = 0.0;
+  for (std::size_t i = 0; i + lag < series.size(); ++i) {
+    numer += (series[i] - m) * (series[i + lag] - m);
+  }
+  return numer / denom;
+}
+
+std::vector<double> autocorrelations(std::span<const double> series,
+                                     std::size_t max_lag) {
+  require(max_lag >= 1, "autocorrelations needs max_lag >= 1");
+  std::vector<double> result;
+  result.reserve(max_lag);
+  for (std::size_t lag = 1; lag <= max_lag; ++lag) {
+    result.push_back(autocorrelation(series, lag));
+  }
+  return result;
+}
+
+double coefficient_of_variation(std::span<const double> series) {
+  const double m = mean(series);
+  require(m != 0.0, "coefficient_of_variation: zero mean");
+  return stddev(series) / std::abs(m);
+}
+
+double index_of_dispersion(std::span<const double> gaps,
+                           double window_hours) {
+  require_positive(window_hours, "window_hours");
+  require(!gaps.empty(), "index_of_dispersion needs gaps");
+
+  // Rebuild event times from the gap series, then count per window.
+  double span = 0.0;
+  for (const double g : gaps) span += g;
+  const auto windows = static_cast<std::size_t>(span / window_hours);
+  require(windows >= 2, "index_of_dispersion needs at least 2 full windows");
+
+  std::vector<double> counts(windows, 0.0);
+  double t = 0.0;
+  for (const double g : gaps) {
+    t += g;
+    const auto w = static_cast<std::size_t>(t / window_hours);
+    if (w < windows) counts[w] += 1.0;
+  }
+  const double m = mean(counts);
+  require(m > 0.0, "index_of_dispersion: no events inside windows");
+  return variance(counts) / m;
+}
+
+}  // namespace lazyckpt::stats

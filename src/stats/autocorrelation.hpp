@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file autocorrelation.hpp
+/// \brief Serial-dependence diagnostics for failure inter-arrival series.
+///
+/// The paper models failures as a renewal process (i.i.d. gaps).  Real logs
+/// can carry serial correlation — storms of short gaps — which these
+/// diagnostics quantify: lag-k autocorrelation of the gap series, the
+/// coefficient of variation (CV > 1 ⇒ burstier than Poisson), and the
+/// index of dispersion of counts.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lazyckpt::stats {
+
+/// Lag-k sample autocorrelation of `series`.  Requires series.size() > k
+/// and a non-constant series.
+double autocorrelation(std::span<const double> series, std::size_t lag);
+
+/// First `max_lag` autocorrelations (lags 1..max_lag).
+std::vector<double> autocorrelations(std::span<const double> series,
+                                     std::size_t max_lag);
+
+/// Coefficient of variation sd/mean.  Requires n >= 2 and mean != 0.
+/// Exponential gaps give CV = 1; CV > 1 indicates temporal clustering.
+double coefficient_of_variation(std::span<const double> series);
+
+/// Index of dispersion of counts: split the event timeline (given by gap
+/// series) into windows of `window_hours` and return var/mean of the
+/// per-window event counts.  1 for a Poisson process, > 1 for clustered
+/// failures.  Requires at least 2 full windows.
+double index_of_dispersion(std::span<const double> gaps, double window_hours);
+
+}  // namespace lazyckpt::stats

@@ -1,0 +1,54 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+
+namespace lazyckpt::stats {
+
+BootstrapInterval bootstrap_ci(std::span<const double> samples,
+                               const Statistic& statistic,
+                               std::size_t resamples, double confidence,
+                               Rng& rng) {
+  require(!samples.empty(), "bootstrap_ci needs samples");
+  require(static_cast<bool>(statistic), "bootstrap_ci needs a statistic");
+  require(resamples >= 10, "bootstrap_ci needs resamples >= 10");
+  require(confidence > 0.0 && confidence < 1.0,
+          "bootstrap_ci confidence must lie in (0, 1)");
+
+  BootstrapInterval result;
+  result.estimate = statistic(samples);
+
+  std::vector<double> replicate_values;
+  replicate_values.reserve(resamples);
+  std::vector<double> resample(samples.size());
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (auto& value : resample) {
+      value = samples[rng.uniform_index(samples.size())];
+    }
+    try {
+      replicate_values.push_back(statistic(resample));
+    } catch (const Error&) {
+      // Degenerate resample (e.g. all-equal values break an MLE); skip.
+    }
+  }
+  require(replicate_values.size() >= resamples / 2,
+          "bootstrap_ci: statistic failed on most resamples");
+
+  const double alpha = 1.0 - confidence;
+  result.lower = percentile(replicate_values, 100.0 * (alpha / 2.0));
+  result.upper = percentile(replicate_values, 100.0 * (1.0 - alpha / 2.0));
+  return result;
+}
+
+BootstrapInterval bootstrap_mean_ci(std::span<const double> samples,
+                                    std::size_t resamples, double confidence,
+                                    Rng& rng) {
+  return bootstrap_ci(
+      samples, [](std::span<const double> s) { return mean(s); }, resamples,
+      confidence, rng);
+}
+
+}  // namespace lazyckpt::stats

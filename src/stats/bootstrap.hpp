@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file bootstrap.hpp
+/// \brief Nonparametric bootstrap confidence intervals.
+///
+/// Failure logs are one realization of a noisy process; point estimates of
+/// the MTBF or the Weibull shape deserve error bars.  Percentile-method
+/// bootstrap: resample the data with replacement, recompute the statistic,
+/// take the empirical quantiles.
+
+#include <cstddef>
+#include <functional>
+#include <span>
+
+#include "common/random.hpp"
+
+namespace lazyckpt::stats {
+
+/// A point estimate with its confidence interval.
+struct BootstrapInterval {
+  double estimate = 0.0;  ///< statistic on the original sample
+  double lower = 0.0;     ///< CI lower bound
+  double upper = 0.0;     ///< CI upper bound
+
+  [[nodiscard]] double width() const noexcept { return upper - lower; }
+};
+
+/// Statistic evaluated on a (re)sample.
+using Statistic = std::function<double(std::span<const double>)>;
+
+/// Percentile bootstrap CI of `statistic` on `samples`.
+/// `confidence` in (0, 1), e.g. 0.95; `resamples` >= 10.  Resamples for
+/// which the statistic throws are skipped (rare, e.g. a degenerate fit);
+/// throws Error if more than half are skipped.
+BootstrapInterval bootstrap_ci(std::span<const double> samples,
+                               const Statistic& statistic,
+                               std::size_t resamples, double confidence,
+                               Rng& rng);
+
+/// Convenience: CI of the sample mean (for failure gaps, the MTBF).
+BootstrapInterval bootstrap_mean_ci(std::span<const double> samples,
+                                    std::size_t resamples, double confidence,
+                                    Rng& rng);
+
+}  // namespace lazyckpt::stats

@@ -1,0 +1,74 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lazyckpt::stats {
+
+double mean(std::span<const double> values) {
+  require(!values.empty(), "mean of an empty sample");
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  require(values.size() >= 2, "variance needs at least two samples");
+  const double m = mean(values);
+  double sum_sq = 0.0;
+  for (const double v : values) sum_sq += (v - m) * (v - m);
+  return sum_sq / static_cast<double>(values.size() - 1);
+}
+
+double stddev(std::span<const double> values) {
+  return std::sqrt(variance(values));
+}
+
+double min_value(std::span<const double> values) {
+  require(!values.empty(), "min of an empty sample");
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_value(std::span<const double> values) {
+  require(!values.empty(), "max of an empty sample");
+  return *std::max_element(values.begin(), values.end());
+}
+
+double percentile(std::span<const double> values, double p) {
+  require(!values.empty(), "percentile of an empty sample");
+  require(p >= 0.0 && p <= 100.0, "percentile p must be in [0, 100]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto below = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(below);
+  if (below + 1 >= sorted.size()) return sorted.back();
+  return sorted[below] * (1.0 - frac) + sorted[below + 1] * frac;
+}
+
+double median(std::span<const double> values) {
+  return percentile(values, 50.0);
+}
+
+MovingAverage::MovingAverage(std::size_t window) : window_(window) {
+  require(window >= 1, "MovingAverage window must be >= 1");
+}
+
+void MovingAverage::add(double value) {
+  window_values_.push_back(value);
+  sum_ += value;
+  if (window_values_.size() > window_) {
+    sum_ -= window_values_.front();
+    window_values_.pop_front();
+  }
+}
+
+double MovingAverage::value_or(double fallback) const noexcept {
+  if (window_values_.empty()) return fallback;
+  return sum_ / static_cast<double>(window_values_.size());
+}
+
+}  // namespace lazyckpt::stats

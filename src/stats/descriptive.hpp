@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file descriptive.hpp
+/// \brief Descriptive statistics and moving averages.
+///
+/// The moving average is the estimator the paper's "dynamic OCI" strategy
+/// uses over observed failure inter-arrival times (Sec. 6.1).
+
+#include <cstddef>
+#include <deque>
+#include <span>
+#include <vector>
+
+namespace lazyckpt::stats {
+
+/// Arithmetic mean.  Requires a non-empty sample.
+double mean(std::span<const double> values);
+
+/// Unbiased sample variance (n-1 denominator).  Requires n >= 2.
+double variance(std::span<const double> values);
+
+/// Sample standard deviation.  Requires n >= 2.
+double stddev(std::span<const double> values);
+
+/// Minimum / maximum.  Require non-empty samples.
+double min_value(std::span<const double> values);
+double max_value(std::span<const double> values);
+
+/// Linear-interpolated percentile, p in [0, 100].  Requires non-empty.
+double percentile(std::span<const double> values, double p);
+
+/// Median (50th percentile).
+double median(std::span<const double> values);
+
+/// Fixed-window moving average used by the dynamic-OCI MTBF estimator.
+/// Until the window fills, the average is taken over what has been seen.
+class MovingAverage {
+ public:
+  /// Requires window >= 1.
+  explicit MovingAverage(std::size_t window);
+
+  /// Fold in an observation.
+  void add(double value);
+
+  /// Current average.  Returns `fallback` before any observation arrives.
+  [[nodiscard]] double value_or(double fallback) const noexcept;
+
+  [[nodiscard]] bool empty() const noexcept { return window_values_.empty(); }
+  [[nodiscard]] std::size_t count() const noexcept {
+    return window_values_.size();
+  }
+
+ private:
+  std::size_t window_;
+  std::deque<double> window_values_;
+  double sum_ = 0.0;
+};
+
+}  // namespace lazyckpt::stats

@@ -1,0 +1,19 @@
+#include "stats/distribution.hpp"
+
+namespace lazyckpt::stats {
+
+double Distribution::hazard(double x) const {
+  const double survival = 1.0 - cdf(x);
+  if (survival <= 0.0) return 0.0;
+  return pdf(x) / survival;
+}
+
+double Distribution::sample(Rng& rng) const {
+  // uniform_positive() returns u in (0, 1]; map to (0, 1) for quantile
+  // functions that diverge at 1.
+  double u = rng.uniform_positive();
+  if (u >= 1.0) u = 1.0 - 1e-16;
+  return quantile(u);
+}
+
+}  // namespace lazyckpt::stats

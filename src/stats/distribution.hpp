@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file distribution.hpp
+/// \brief Abstract probability distribution of failure inter-arrival times.
+///
+/// Concrete distributions (Exponential, Weibull, LogNormal, Normal) implement
+/// this interface; everything downstream — the simulator's failure source,
+/// the K-S goodness-of-fit test, the QQ-plot, the lost-work Monte Carlo —
+/// is written against it.
+
+#include <memory>
+#include <string>
+
+#include "common/random.hpp"
+
+namespace lazyckpt::stats {
+
+/// A one-dimensional continuous probability distribution.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Probability density f(x).
+  [[nodiscard]] virtual double pdf(double x) const = 0;
+
+  /// Cumulative distribution F(x) = P[X <= x].
+  [[nodiscard]] virtual double cdf(double x) const = 0;
+
+  /// Quantile (inverse CDF): the x with F(x) = p, p in (0, 1).
+  [[nodiscard]] virtual double quantile(double p) const = 0;
+
+  /// Hazard (instantaneous failure) rate h(x) = f(x) / (1 - F(x)).
+  /// For failure inter-arrival times this is the failure rate at time x
+  /// since the previous failure — the quantity the iLazy policy tracks.
+  [[nodiscard]] virtual double hazard(double x) const;
+
+  /// Distribution mean (for inter-arrival models, the MTBF).
+  [[nodiscard]] virtual double mean() const = 0;
+
+  /// Human-readable name ("weibull", "exponential", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Draw one variate via inverse-CDF sampling (deterministic given `rng`).
+  [[nodiscard]] virtual double sample(Rng& rng) const;
+
+  /// Deep copy.
+  [[nodiscard]] virtual std::unique_ptr<Distribution> clone() const = 0;
+};
+
+using DistributionPtr = std::unique_ptr<Distribution>;
+
+}  // namespace lazyckpt::stats

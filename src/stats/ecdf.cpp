@@ -1,0 +1,23 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace lazyckpt::stats {
+
+Ecdf::Ecdf(std::span<const double> samples)
+    : sorted_(samples.begin(), samples.end()) {
+  require(!sorted_.empty(), "Ecdf needs a non-empty sample");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::operator()(double x) const noexcept {
+  const auto upper = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(upper - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::order_statistic(std::size_t i) const { return sorted_.at(i); }
+
+}  // namespace lazyckpt::stats

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file ecdf.hpp
+/// \brief Empirical cumulative distribution function.
+
+#include <span>
+#include <vector>
+
+namespace lazyckpt::stats {
+
+/// Empirical CDF of a sample; O(n log n) build, O(log n) evaluation.
+class Ecdf {
+ public:
+  /// Requires a non-empty sample.
+  explicit Ecdf(std::span<const double> samples);
+
+  /// F_n(x) = (#samples <= x) / n.
+  [[nodiscard]] double operator()(double x) const noexcept;
+
+  /// i-th smallest sample (0-based).
+  [[nodiscard]] double order_statistic(std::size_t i) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+  [[nodiscard]] const std::vector<double>& sorted() const noexcept {
+    return sorted_;
+  }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace lazyckpt::stats

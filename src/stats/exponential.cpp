@@ -1,0 +1,41 @@
+#include "stats/exponential.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lazyckpt::stats {
+
+Exponential::Exponential(double rate) : rate_(rate) {
+  require_positive(rate, "Exponential rate");
+}
+
+Exponential Exponential::from_mean(double mtbf) {
+  require_positive(mtbf, "Exponential mean");
+  return Exponential(1.0 / mtbf);
+}
+
+double Exponential::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  return rate_ * std::exp(-rate_ * x);
+}
+
+double Exponential::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return -std::expm1(-rate_ * x);
+}
+
+double Exponential::quantile(double p) const {
+  require(p > 0.0 && p < 1.0, "Exponential quantile requires p in (0, 1)");
+  return -std::log1p(-p) / rate_;
+}
+
+double Exponential::hazard(double x) const {
+  return x < 0.0 ? 0.0 : rate_;  // memoryless: constant failure rate
+}
+
+DistributionPtr Exponential::clone() const {
+  return std::make_unique<Exponential>(*this);
+}
+
+}  // namespace lazyckpt::stats

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file exponential.hpp
+/// \brief Exponential distribution — the memoryless baseline failure model
+/// assumed by the classic Young/Daly optimal-checkpoint-interval analysis.
+
+#include "stats/distribution.hpp"
+
+namespace lazyckpt::stats {
+
+/// Exponential(rate λ): f(x) = λ e^{-λx} for x >= 0.  Mean (MTBF) = 1/λ.
+class Exponential final : public Distribution {
+ public:
+  /// Construct from rate λ > 0.
+  explicit Exponential(double rate);
+
+  /// Construct the exponential whose mean equals `mtbf` hours.
+  static Exponential from_mean(double mtbf);
+
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double hazard(double x) const override;
+  [[nodiscard]] double mean() const override { return 1.0 / rate_; }
+  [[nodiscard]] std::string name() const override { return "exponential"; }
+  [[nodiscard]] DistributionPtr clone() const override;
+
+ private:
+  double rate_;
+};
+
+}  // namespace lazyckpt::stats

@@ -1,0 +1,163 @@
+#include "stats/fitting.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/special.hpp"
+
+namespace lazyckpt::stats {
+namespace {
+
+void require_positive_samples(std::span<const double> samples,
+                              const char* who) {
+  require(samples.size() >= 2,
+          std::string(who) + " needs at least two samples");
+  for (const double x : samples) {
+    require(std::isfinite(x) && x > 0.0,
+            std::string(who) + " requires strictly positive samples");
+  }
+}
+
+}  // namespace
+
+Exponential fit_exponential(std::span<const double> samples) {
+  require(!samples.empty(), "fit_exponential needs samples");
+  const double m = mean(samples);
+  require_positive(m, "fit_exponential sample mean");
+  return Exponential::from_mean(m);
+}
+
+Weibull fit_weibull(std::span<const double> samples) {
+  require_positive_samples(samples, "fit_weibull");
+
+  const auto n = static_cast<double>(samples.size());
+  double mean_log = 0.0;
+  for (const double x : samples) mean_log += std::log(x);
+  mean_log /= n;
+
+  // Solve g(k) = S1(k)/S0(k) - 1/k - mean_log = 0 where
+  // S0 = sum x^k, S1 = sum x^k ln x, S2 = sum x^k (ln x)^2.
+  // g'(k) = S2/S0 - (S1/S0)^2 + 1/k^2  > 0, so Newton converges from a
+  // reasonable start; we safeguard with bisection-style clamping.
+  double k = 1.0;
+  // Method-of-moments style initial guess from the coefficient of
+  // variation of the logs (Menon's estimator).
+  {
+    double var_log = 0.0;
+    for (const double x : samples) {
+      const double d = std::log(x) - mean_log;
+      var_log += d * d;
+    }
+    var_log /= n;
+    if (var_log > 1e-12) {
+      k = 1.2825498301618641 / std::sqrt(var_log);  // pi/sqrt(6) / sd(log x)
+    }
+  }
+  k = std::min(std::max(k, 1e-3), 1e3);
+
+  bool converged = false;
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    double s0 = 0.0;
+    double s1 = 0.0;
+    double s2 = 0.0;
+    for (const double x : samples) {
+      const double lx = std::log(x);
+      const double xk = std::exp(k * lx);  // x^k without pow-domain issues
+      s0 += xk;
+      s1 += xk * lx;
+      s2 += xk * lx * lx;
+    }
+    const double ratio = s1 / s0;
+    const double g = ratio - 1.0 / k - mean_log;
+    const double dg = s2 / s0 - ratio * ratio + 1.0 / (k * k);
+    double step = g / dg;
+    // Clamp to keep k positive and the iteration stable.
+    if (step > 0.5 * k) step = 0.5 * k;
+    if (step < -2.0 * k) step = -2.0 * k;
+    const double next = k - step;
+    if (std::abs(next - k) <= 1e-12 * std::max(1.0, k)) {
+      k = next;
+      converged = true;
+      break;
+    }
+    k = next;
+  }
+  require(converged && std::isfinite(k) && k > 0.0,
+          "fit_weibull: shape iteration failed to converge");
+
+  double s0 = 0.0;
+  for (const double x : samples) s0 += std::pow(x, k);
+  const double scale = std::pow(s0 / n, 1.0 / k);
+  return Weibull(k, scale);
+}
+
+LogNormal fit_lognormal(std::span<const double> samples) {
+  require_positive_samples(samples, "fit_lognormal");
+  const auto n = static_cast<double>(samples.size());
+  double mu = 0.0;
+  for (const double x : samples) mu += std::log(x);
+  mu /= n;
+  double var = 0.0;
+  for (const double x : samples) {
+    const double d = std::log(x) - mu;
+    var += d * d;
+  }
+  var /= n;  // MLE uses n denominator
+  require(var > 0.0, "fit_lognormal: degenerate (constant) sample");
+  return LogNormal(mu, std::sqrt(var));
+}
+
+Gamma fit_gamma(std::span<const double> samples) {
+  require_positive_samples(samples, "fit_gamma");
+  const auto n = static_cast<double>(samples.size());
+  double sample_mean = 0.0;
+  double mean_log = 0.0;
+  for (const double x : samples) {
+    sample_mean += x;
+    mean_log += std::log(x);
+  }
+  sample_mean /= n;
+  mean_log /= n;
+
+  // s = ln(mean) - mean(ln x) > 0 unless the sample is constant.
+  const double s = std::log(sample_mean) - mean_log;
+  require(s > 1e-12, "fit_gamma: degenerate (constant) sample");
+
+  // Minka's closed-form initializer, then Newton on
+  // g(a) = ln(a) - psi(a) - s  (g is decreasing in a).
+  double a = (3.0 - s + std::sqrt((s - 3.0) * (s - 3.0) + 24.0 * s)) /
+             (12.0 * s);
+  for (int iteration = 0; iteration < 100; ++iteration) {
+    const double g = std::log(a) - digamma(a) - s;
+    // g'(a) = 1/a - psi'(a); approximate psi' by central difference of psi.
+    const double h = 1e-6 * a;
+    const double trigamma = (digamma(a + h) - digamma(a - h)) / (2.0 * h);
+    const double dg = 1.0 / a - trigamma;
+    double step = g / dg;
+    if (step > 0.5 * a) step = 0.5 * a;
+    if (step < -0.5 * a) step = -0.5 * a;
+    const double next = a - step;
+    if (std::abs(next - a) <= 1e-12 * a) {
+      a = next;
+      break;
+    }
+    a = next;
+  }
+  require(std::isfinite(a) && a > 0.0, "fit_gamma: iteration diverged");
+  return Gamma(a, sample_mean / a);
+}
+
+Normal fit_normal(std::span<const double> samples) {
+  require(samples.size() >= 2, "fit_normal needs at least two samples");
+  const double mu = mean(samples);
+  const auto n = static_cast<double>(samples.size());
+  double var = 0.0;
+  for (const double x : samples) var += (x - mu) * (x - mu);
+  var /= n;  // MLE
+  require(var > 0.0, "fit_normal: degenerate (constant) sample");
+  return Normal(mu, std::sqrt(var));
+}
+
+}  // namespace lazyckpt::stats

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file fitting.hpp
+/// \brief Maximum-likelihood fitting of the four candidate distributions the
+/// paper tests against failure logs (Sec. 4.1, Fig. 7).
+
+#include <span>
+
+#include "stats/exponential.hpp"
+#include "stats/gamma.hpp"
+#include "stats/lognormal.hpp"
+#include "stats/normal.hpp"
+#include "stats/weibull.hpp"
+
+namespace lazyckpt::stats {
+
+/// MLE exponential fit: rate = 1 / sample mean.  Requires a non-empty,
+/// positive-mean sample.
+Exponential fit_exponential(std::span<const double> samples);
+
+/// MLE Weibull fit via Newton iteration on the profile-likelihood shape
+/// equation; scale follows in closed form.  Requires n >= 2 strictly
+/// positive samples that are not all equal.  Throws Error if the iteration
+/// fails to converge (pathological data).
+Weibull fit_weibull(std::span<const double> samples);
+
+/// MLE log-normal fit: μ, σ are the mean and (MLE, n-denominator) standard
+/// deviation of the log sample.  Requires n >= 2 strictly positive samples.
+LogNormal fit_lognormal(std::span<const double> samples);
+
+/// MLE normal fit.  Requires n >= 2 samples.
+Normal fit_normal(std::span<const double> samples);
+
+/// MLE gamma fit: closed-form shape approximation (Minka) refined by
+/// Newton iterations on the digamma likelihood equation; scale in closed
+/// form.  Requires n >= 2 strictly positive, non-constant samples.
+Gamma fit_gamma(std::span<const double> samples);
+
+}  // namespace lazyckpt::stats

@@ -1,0 +1,61 @@
+#include "stats/gamma.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/special.hpp"
+
+namespace lazyckpt::stats {
+
+Gamma::Gamma(double shape, double scale) : shape_(shape), scale_(scale) {
+  require_positive(shape, "Gamma shape");
+  require_positive(scale, "Gamma scale");
+}
+
+Gamma Gamma::from_mtbf_and_shape(double mtbf, double shape) {
+  require_positive(mtbf, "Gamma MTBF");
+  require_positive(shape, "Gamma shape");
+  return Gamma(shape, mtbf / shape);
+}
+
+double Gamma::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) {
+    if (shape_ > 1.0) return 0.0;
+    if (shape_ == 1.0) return 1.0 / scale_;
+    x = 1e-12 * scale_;  // density diverges at 0 for shape < 1
+  }
+  const double log_pdf = (shape_ - 1.0) * std::log(x) - x / scale_ -
+                         std::lgamma(shape_) - shape_ * std::log(scale_);
+  return std::exp(log_pdf);
+}
+
+double Gamma::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return regularized_gamma_p(shape_, x / scale_);
+}
+
+double Gamma::quantile(double p) const {
+  require(p > 0.0 && p < 1.0, "Gamma quantile requires p in (0, 1)");
+  // Bracket: the cdf is monotone; expand hi until it covers p.
+  double lo = 0.0;
+  double hi = mean();
+  while (cdf(hi) < p) {
+    hi *= 2.0;
+    require(hi < 1e300, "Gamma quantile failed to bracket");
+  }
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const double mid = 0.5 * (lo + hi);
+    if (cdf(mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo <= 1e-13 * hi) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+DistributionPtr Gamma::clone() const { return std::make_unique<Gamma>(*this); }
+
+}  // namespace lazyckpt::stats

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file gamma.hpp
+/// \brief Gamma distribution — a fifth inter-arrival candidate beyond the
+/// paper's four.  LANL failure studies (Schroeder & Gibson) also test
+/// gamma fits, so the goodness-of-fit ablation bench includes it.
+
+#include "stats/distribution.hpp"
+
+namespace lazyckpt::stats {
+
+/// Gamma(shape a, scale θ): f(x) = x^{a−1} e^{−x/θ} / (Γ(a) θ^a), x > 0.
+/// Mean = aθ.  Like the Weibull, shape < 1 means a decreasing hazard.
+class Gamma final : public Distribution {
+ public:
+  /// Requires shape > 0 and scale > 0.
+  Gamma(double shape, double scale);
+
+  /// The gamma with the given shape whose mean equals `mtbf`.
+  static Gamma from_mtbf_and_shape(double mtbf, double shape);
+
+  [[nodiscard]] double shape() const noexcept { return shape_; }
+  [[nodiscard]] double scale() const noexcept { return scale_; }
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  /// Quantile by monotone bisection on the cdf (~1e-12 relative).
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override { return shape_ * scale_; }
+  [[nodiscard]] std::string name() const override { return "gamma"; }
+  [[nodiscard]] DistributionPtr clone() const override;
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+}  // namespace lazyckpt::stats

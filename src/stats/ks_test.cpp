@@ -1,0 +1,123 @@
+#include "stats/ks_test.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "stats/ecdf.hpp"
+
+namespace lazyckpt::stats {
+
+double ks_statistic(std::span<const double> samples,
+                    const Distribution& candidate) {
+  require(!samples.empty(), "ks_statistic needs samples");
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(sorted.size());
+
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double f = candidate.cdf(sorted[i]);
+    const double above = static_cast<double>(i + 1) / n - f;  // D+
+    const double below = f - static_cast<double>(i) / n;      // D-
+    d = std::max({d, above, below});
+  }
+  return d;
+}
+
+double ks_critical_value(std::size_t n, double alpha) {
+  require(n >= 1, "ks_critical_value needs n >= 1");
+  double c = 0.0;
+  if (alpha == 0.10) {
+    c = 1.224;
+  } else if (alpha == 0.05) {
+    c = 1.358;
+  } else if (alpha == 0.025) {
+    c = 1.480;
+  } else if (alpha == 0.01) {
+    c = 1.628;
+  } else {
+    throw InvalidArgument("ks_critical_value: unsupported alpha");
+  }
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+  return c / (sqrt_n + 0.12 + 0.11 / sqrt_n);  // Stephens (1974)
+}
+
+double ks_p_value(double d_statistic, std::size_t n) {
+  require(n >= 1, "ks_p_value needs n >= 1");
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+  const double lambda =
+      (sqrt_n + 0.12 + 0.11 / sqrt_n) * std::max(d_statistic, 0.0);
+  // Kolmogorov series Q(λ) = 2 Σ (-1)^{j-1} e^{-2 j² λ²}.  The series
+  // converges too slowly for tiny λ, where Q is 1 to machine precision.
+  if (lambda < 0.04) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * j * j * lambda * lambda);
+    sum += sign * term;
+    sign = -sign;
+    if (term < 1e-12) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+KsResult ks_test(std::span<const double> samples,
+                 const Distribution& candidate, double alpha) {
+  KsResult result;
+  result.distribution_name = candidate.name();
+  result.d_statistic = ks_statistic(samples, candidate);
+  result.critical_value = ks_critical_value(samples.size(), alpha);
+  result.p_value = ks_p_value(result.d_statistic, samples.size());
+  result.rejected = result.d_statistic > result.critical_value;
+  return result;
+}
+
+FittedKsResult ks_test_fitted(std::span<const double> samples,
+                              const Refit& refit, std::size_t resamples,
+                              double alpha, Rng& rng) {
+  require(!samples.empty(), "ks_test_fitted needs samples");
+  require(static_cast<bool>(refit), "ks_test_fitted needs a refit function");
+  require(resamples >= 20, "ks_test_fitted needs resamples >= 20");
+  require(alpha > 0.0 && alpha < 1.0,
+          "ks_test_fitted alpha must lie in (0, 1)");
+
+  const DistributionPtr fitted = refit(samples);
+  require(fitted != nullptr, "refit returned null");
+
+  FittedKsResult result;
+  result.d_statistic = ks_statistic(samples, *fitted);
+
+  // Null distribution of D when parameters are re-estimated per sample.
+  std::vector<double> null_d;
+  null_d.reserve(resamples);
+  std::vector<double> synthetic(samples.size());
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (auto& value : synthetic) value = fitted->sample(rng);
+    try {
+      const DistributionPtr refitted = refit(synthetic);
+      null_d.push_back(ks_statistic(synthetic, *refitted));
+    } catch (const Error&) {
+      // Degenerate synthetic sample; skip.
+    }
+  }
+  require(null_d.size() >= resamples / 2,
+          "ks_test_fitted: refit failed on most resamples");
+
+  std::sort(null_d.begin(), null_d.end());
+  const auto quantile_index = static_cast<std::size_t>(
+      (1.0 - alpha) * static_cast<double>(null_d.size() - 1));
+  result.critical_value = null_d[quantile_index];
+
+  std::size_t at_least = 0;
+  for (const double d : null_d) {
+    if (d >= result.d_statistic) ++at_least;
+  }
+  result.p_value =
+      static_cast<double>(at_least) / static_cast<double>(null_d.size());
+  result.rejected = result.d_statistic > result.critical_value;
+  return result;
+}
+
+}  // namespace lazyckpt::stats

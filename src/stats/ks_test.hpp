@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file ks_test.hpp
+/// \brief One-sample Kolmogorov–Smirnov goodness-of-fit test (paper Fig. 7).
+///
+/// The paper rejects the null hypothesis "the failure inter-arrival sample
+/// comes from distribution F" at level 0.05 when the K-S D-statistic exceeds
+/// the critical D-value; Weibull wins for all but one system.
+
+#include <functional>
+#include <span>
+#include <string>
+
+#include "common/random.hpp"
+#include "stats/distribution.hpp"
+
+namespace lazyckpt::stats {
+
+/// Result of a one-sample K-S test.
+struct KsResult {
+  std::string distribution_name;  ///< candidate distribution tested
+  double d_statistic = 0.0;       ///< sup_x |F_n(x) - F(x)|
+  double critical_value = 0.0;    ///< critical D at the chosen level
+  double p_value = 0.0;           ///< asymptotic Kolmogorov p-value
+  bool rejected = false;          ///< d_statistic > critical_value
+
+  /// True when the sample is statistically consistent with the candidate.
+  [[nodiscard]] bool accepted() const noexcept { return !rejected; }
+};
+
+/// sup-norm distance between the empirical CDF of `samples` and `candidate`.
+/// Requires a non-empty sample.
+double ks_statistic(std::span<const double> samples,
+                    const Distribution& candidate);
+
+/// Critical D-value at significance `alpha` for sample size n
+/// (Stephens' approximation; exact enough for n >= 8).  Supported alpha:
+/// 0.10, 0.05, 0.025, 0.01.
+double ks_critical_value(std::size_t n, double alpha);
+
+/// Asymptotic Kolmogorov p-value for a given D and n.
+double ks_p_value(double d_statistic, std::size_t n);
+
+/// Run the full test at significance `alpha` (default 0.05 as in the paper).
+KsResult ks_test(std::span<const double> samples,
+                 const Distribution& candidate, double alpha = 0.05);
+
+/// Result of a parametric-bootstrap K-S test for a *fitted* candidate.
+struct FittedKsResult {
+  double d_statistic = 0.0;     ///< D of the sample vs its own fit
+  double critical_value = 0.0;  ///< bootstrap (1-alpha) quantile of D*
+  double p_value = 0.0;         ///< bootstrap p-value
+  bool rejected = false;
+};
+
+/// Maps a sample to its fitted distribution.
+using Refit = std::function<DistributionPtr(std::span<const double>)>;
+
+/// Parametric-bootstrap K-S test (Lilliefors-style).  The classic critical
+/// values (ks_critical_value) assume a fully specified null; when the
+/// candidate's parameters are estimated from the *same sample* — as in the
+/// paper's Fig. 7 — D is biased low and the table is anti-conservative.
+/// This routine estimates the correct null distribution of D by sampling
+/// synthetic data of the same size from the fitted model, refitting, and
+/// recomputing D.  `resamples` >= 20.  Refits that throw are skipped
+/// (throws Error if more than half fail).
+FittedKsResult ks_test_fitted(std::span<const double> samples,
+                              const Refit& refit, std::size_t resamples,
+                              double alpha, Rng& rng);
+
+}  // namespace lazyckpt::stats

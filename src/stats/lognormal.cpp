@@ -1,0 +1,38 @@
+#include "stats/lognormal.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/special.hpp"
+
+namespace lazyckpt::stats {
+
+LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  require(std::isfinite(mu), "LogNormal mu must be finite");
+  require_positive(sigma, "LogNormal sigma");
+}
+
+double LogNormal::pdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double z = (std::log(x) - mu_) / sigma_;
+  return normal_pdf(z) / (x * sigma_);
+}
+
+double LogNormal::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return normal_cdf((std::log(x) - mu_) / sigma_);
+}
+
+double LogNormal::quantile(double p) const {
+  return std::exp(mu_ + sigma_ * normal_quantile(p));
+}
+
+double LogNormal::mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+DistributionPtr LogNormal::clone() const {
+  return std::make_unique<LogNormal>(*this);
+}
+
+}  // namespace lazyckpt::stats

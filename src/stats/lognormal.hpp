@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file lognormal.hpp
+/// \brief Log-normal distribution — one of the four candidate fits the
+/// paper's K-S analysis (Fig. 7) evaluates against failure logs.
+
+#include "stats/distribution.hpp"
+
+namespace lazyckpt::stats {
+
+/// LogNormal(μ, σ): ln X ~ Normal(μ, σ²), X > 0.
+class LogNormal final : public Distribution {
+ public:
+  /// Construct from the location μ and scale σ > 0 of ln X.
+  LogNormal(double mu, double sigma);
+
+  [[nodiscard]] double mu() const noexcept { return mu_; }
+  [[nodiscard]] double sigma() const noexcept { return sigma_; }
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] std::string name() const override { return "lognormal"; }
+  [[nodiscard]] DistributionPtr clone() const override;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+}  // namespace lazyckpt::stats

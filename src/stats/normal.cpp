@@ -1,0 +1,29 @@
+#include "stats/normal.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/special.hpp"
+
+namespace lazyckpt::stats {
+
+Normal::Normal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  require(std::isfinite(mu), "Normal mu must be finite");
+  require_positive(sigma, "Normal sigma");
+}
+
+double Normal::pdf(double x) const {
+  return normal_pdf((x - mu_) / sigma_) / sigma_;
+}
+
+double Normal::cdf(double x) const { return normal_cdf((x - mu_) / sigma_); }
+
+double Normal::quantile(double p) const {
+  return mu_ + sigma_ * normal_quantile(p);
+}
+
+DistributionPtr Normal::clone() const {
+  return std::make_unique<Normal>(*this);
+}
+
+}  // namespace lazyckpt::stats

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file normal.hpp
+/// \brief Normal distribution — a deliberately poor candidate for failure
+/// inter-arrival times, included because the paper's Fig. 7 tests it.
+
+#include "stats/distribution.hpp"
+
+namespace lazyckpt::stats {
+
+/// Normal(μ, σ).
+class Normal final : public Distribution {
+ public:
+  Normal(double mu, double sigma);
+
+  [[nodiscard]] double mu() const noexcept { return mu_; }
+  [[nodiscard]] double sigma() const noexcept { return sigma_; }
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override { return mu_; }
+  [[nodiscard]] std::string name() const override { return "normal"; }
+  [[nodiscard]] DistributionPtr clone() const override;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+}  // namespace lazyckpt::stats

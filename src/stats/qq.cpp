@@ -1,0 +1,57 @@
+#include "stats/qq.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lazyckpt::stats {
+
+std::vector<QqPoint> qq_points(std::span<const double> samples,
+                               const Distribution& candidate) {
+  require(!samples.empty(), "qq_points needs samples");
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(sorted.size());
+
+  std::vector<QqPoint> points;
+  points.reserve(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double p = (static_cast<double>(i) + 0.5) / n;
+    points.push_back({sorted[i], candidate.quantile(p)});
+  }
+  return points;
+}
+
+double qq_correlation(std::span<const QqPoint> points) {
+  require(points.size() >= 2, "qq_correlation needs at least two points");
+  const auto n = static_cast<double>(points.size());
+  double mx = 0.0;
+  double my = 0.0;
+  for (const auto& p : points) {
+    mx += p.sample_quantile;
+    my += p.theoretical_quantile;
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (const auto& p : points) {
+    const double dx = p.sample_quantile - mx;
+    const double dy = p.theoretical_quantile - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  require(sxx > 0.0 && syy > 0.0, "qq_correlation: degenerate coordinates");
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double qq_correlation(std::span<const double> samples,
+                      const Distribution& candidate) {
+  const auto points = qq_points(samples, candidate);
+  return qq_correlation(points);
+}
+
+}  // namespace lazyckpt::stats

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file qq.hpp
+/// \brief Quantile–quantile plot data (paper Fig. 8).
+///
+/// If the sample statistically comes from the candidate distribution, the
+/// (sample quantile, theoretical quantile) points fall on the slope-1 line
+/// through the origin.  We also compute the QQ correlation coefficient, a
+/// scalar summary used by tests and bench output.
+
+#include <span>
+#include <vector>
+
+#include "stats/distribution.hpp"
+
+namespace lazyckpt::stats {
+
+/// One point of a QQ plot.
+struct QqPoint {
+  double sample_quantile = 0.0;       ///< x-axis: i-th order statistic
+  double theoretical_quantile = 0.0;  ///< y-axis: F⁻¹((i - 0.5) / n)
+};
+
+/// QQ-plot points for `samples` against `candidate` using the Hazen
+/// plotting positions (i - 0.5)/n.  Requires a non-empty sample.
+std::vector<QqPoint> qq_points(std::span<const double> samples,
+                               const Distribution& candidate);
+
+/// Pearson correlation of the QQ points; ~1 indicates a good fit.
+/// Requires at least two points with non-degenerate coordinates.
+double qq_correlation(std::span<const QqPoint> points);
+
+/// Convenience: correlation of `samples` against `candidate`.
+double qq_correlation(std::span<const double> samples,
+                      const Distribution& candidate);
+
+}  // namespace lazyckpt::stats

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file special.hpp
+/// \brief Special functions needed by the distribution layer.
+
+namespace lazyckpt::stats {
+
+/// Standard normal cumulative distribution function Φ(x).
+double normal_cdf(double x) noexcept;
+
+/// Inverse of the standard normal CDF, Φ⁻¹(p) for p in (0, 1).
+/// Throws InvalidArgument outside that open interval.
+double normal_quantile(double p);
+
+/// Standard normal density φ(x).
+double normal_pdf(double x) noexcept;
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a, x) / Γ(a) for a > 0,
+/// x >= 0.  Series expansion for x < a + 1, Lentz continued fraction
+/// otherwise (Numerical Recipes scheme); ~1e-14 relative accuracy.
+/// Throws InvalidArgument for a <= 0 or x < 0.
+double regularized_gamma_p(double a, double x);
+
+/// Digamma function ψ(x) for x > 0 (recurrence + asymptotic series).
+/// Throws InvalidArgument for x <= 0.
+double digamma(double x);
+
+}  // namespace lazyckpt::stats

@@ -1,0 +1,60 @@
+#include "stats/weibull.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lazyckpt::stats {
+
+Weibull::Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
+  require_positive(shape, "Weibull shape");
+  require_positive(scale, "Weibull scale");
+}
+
+Weibull Weibull::from_mtbf_and_shape(double mtbf, double shape) {
+  require_positive(mtbf, "Weibull MTBF");
+  require_positive(shape, "Weibull shape");
+  const double scale = mtbf / std::tgamma(1.0 + 1.0 / shape);
+  return Weibull(shape, scale);
+}
+
+double Weibull::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) {
+    // Density at zero: 0 for k > 1, 1/λ for k == 1, +inf for k < 1;
+    // return the k == 1 limit and a large-but-finite stand-in for k < 1
+    // to keep downstream arithmetic well behaved.
+    if (shape_ > 1.0) return 0.0;
+    if (shape_ == 1.0) return 1.0 / scale_;
+    x = 1e-12 * scale_;
+  }
+  const double z = x / scale_;
+  return (shape_ / scale_) * std::pow(z, shape_ - 1.0) *
+         std::exp(-std::pow(z, shape_));
+}
+
+double Weibull::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return -std::expm1(-std::pow(x / scale_, shape_));
+}
+
+double Weibull::quantile(double p) const {
+  require(p > 0.0 && p < 1.0, "Weibull quantile requires p in (0, 1)");
+  return scale_ * std::pow(-std::log1p(-p), 1.0 / shape_);
+}
+
+double Weibull::hazard(double x) const {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) x = 1e-12 * scale_;  // h(0+) diverges for k < 1
+  return (shape_ / scale_) * std::pow(x / scale_, shape_ - 1.0);
+}
+
+double Weibull::mean() const {
+  return scale_ * std::tgamma(1.0 + 1.0 / shape_);
+}
+
+DistributionPtr Weibull::clone() const {
+  return std::make_unique<Weibull>(*this);
+}
+
+}  // namespace lazyckpt::stats

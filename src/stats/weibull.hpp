@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file weibull.hpp
+/// \brief Weibull distribution — the paper's empirically best-fitting model
+/// of failure inter-arrival times on leadership-class systems (Sec. 4).
+///
+/// Shape k < 1 produces a decreasing hazard rate: failures cluster on the
+/// heels of previous failures ("temporal locality"), which is exactly the
+/// property the iLazy policy exploits.
+
+#include "stats/distribution.hpp"
+
+namespace lazyckpt::stats {
+
+/// Weibull(shape k, scale λ): F(x) = 1 - e^{-(x/λ)^k} for x >= 0.
+/// Mean = λ Γ(1 + 1/k); hazard h(x) = (k/λ)(x/λ)^{k-1}.
+class Weibull final : public Distribution {
+ public:
+  /// Construct from shape k > 0 and scale λ > 0.
+  Weibull(double shape, double scale);
+
+  /// Construct the Weibull with the given shape whose mean equals `mtbf`
+  /// hours — the paper's construction for Fig. 12 ("we determine λ using a
+  /// Γ function for k = 0.6 such that the MTBF ... remains the same").
+  static Weibull from_mtbf_and_shape(double mtbf, double shape);
+
+  [[nodiscard]] double shape() const noexcept { return shape_; }
+  [[nodiscard]] double scale() const noexcept { return scale_; }
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double hazard(double x) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] std::string name() const override { return "weibull"; }
+  [[nodiscard]] DistributionPtr clone() const override;
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+}  // namespace lazyckpt::stats

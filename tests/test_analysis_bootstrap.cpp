@@ -1,0 +1,231 @@
+// Failure-log analytics (category breakdown, hot nodes, filters) and
+// bootstrap confidence intervals.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "failures/analysis.hpp"
+#include "failures/generator.hpp"
+#include "stats/bootstrap.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/exponential.hpp"
+#include "stats/fitting.hpp"
+#include "stats/weibull.hpp"
+
+namespace lazyckpt {
+namespace {
+
+using failures::FailureCategory;
+using failures::FailureEvent;
+using failures::FailureTrace;
+
+FailureTrace mixed_trace() {
+  return FailureTrace({
+      {1.0, 1, FailureCategory::kHardware},
+      {2.0, 2, FailureCategory::kHardware},
+      {3.0, 1, FailureCategory::kSoftware},
+      {5.0, 1, FailureCategory::kHardware},
+      {8.0, 3, FailureCategory::kNetwork},
+      {9.0, 2, FailureCategory::kHardware},
+  });
+}
+
+// ---------------------------------------------------------------- analysis
+TEST(Analysis, CategoryBreakdown) {
+  const auto stats = failures::category_breakdown(mixed_trace());
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_EQ(stats[0].category, FailureCategory::kHardware);
+  EXPECT_EQ(stats[0].count, 4u);
+  EXPECT_NEAR(stats[0].fraction, 4.0 / 6.0, 1e-12);
+  // Hardware events at 1, 2, 5, 9: MTBF = 8/3.
+  EXPECT_NEAR(stats[0].mtbf_hours, 8.0 / 3.0, 1e-12);
+  // Single-event categories report 0 MTBF.
+  EXPECT_EQ(stats[1].count, 1u);
+  EXPECT_DOUBLE_EQ(stats[1].mtbf_hours, 0.0);
+}
+
+TEST(Analysis, CategoryBreakdownRejectsEmpty) {
+  EXPECT_THROW(failures::category_breakdown(FailureTrace{}),
+               InvalidArgument);
+}
+
+TEST(Analysis, TopOffenderNodes) {
+  const auto top = failures::top_offender_nodes(mixed_trace(), 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].node_id, 1);
+  EXPECT_EQ(top[0].count, 3u);
+  EXPECT_EQ(top[1].node_id, 2);
+  EXPECT_EQ(top[1].count, 2u);
+}
+
+TEST(Analysis, TopOffendersCapAtDistinctNodes) {
+  const auto top = failures::top_offender_nodes(mixed_trace(), 99);
+  EXPECT_EQ(top.size(), 3u);
+  EXPECT_THROW(failures::top_offender_nodes(mixed_trace(), 0),
+               InvalidArgument);
+}
+
+TEST(Analysis, Filters) {
+  const auto hardware = failures::filter_by_category(
+      mixed_trace(), FailureCategory::kHardware);
+  EXPECT_EQ(hardware.size(), 4u);
+  EXPECT_DOUBLE_EQ(hardware.at(0).time_hours, 1.0);  // timestamps preserved
+
+  const auto node1 = failures::filter_by_node(mixed_trace(), 1);
+  EXPECT_EQ(node1.size(), 3u);
+  const auto node9 = failures::filter_by_node(mixed_trace(), 9);
+  EXPECT_TRUE(node9.empty());
+}
+
+TEST(Analysis, BreakdownOnSyntheticLogIsHardwareDominated) {
+  const auto trace = failures::generate_trace(
+      failures::paper_system_specs().front());
+  const auto stats = failures::category_breakdown(trace);
+  ASSERT_GE(stats.size(), 3u);
+  EXPECT_EQ(stats[0].category, FailureCategory::kHardware);
+  EXPECT_GT(stats[0].fraction, 0.4);
+  double total = 0.0;
+  for (const auto& s : stats) total += s.fraction;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+// ----------------------------------------------------------- merge/coalesce
+TEST(Analysis, MergeUnionsAndSorts) {
+  const FailureTrace cpu({{1.0, 0, FailureCategory::kHardware},
+                          {5.0, 1, FailureCategory::kHardware}});
+  const FailureTrace net({{3.0, 2, FailureCategory::kNetwork}});
+  const std::vector<FailureTrace> parts = {cpu, net};
+  const auto merged = failures::merge(parts);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_DOUBLE_EQ(merged.at(0).time_hours, 1.0);
+  EXPECT_DOUBLE_EQ(merged.at(1).time_hours, 3.0);
+  EXPECT_EQ(merged.at(1).category, FailureCategory::kNetwork);
+  EXPECT_DOUBLE_EQ(merged.at(2).time_hours, 5.0);
+}
+
+TEST(Analysis, MergeOfNothingIsEmpty) {
+  const auto merged = failures::merge({});
+  EXPECT_TRUE(merged.empty());
+}
+
+TEST(Analysis, CoalesceCollapsesCascades) {
+  // A burst at 10.0/10.1/10.3 is one incident; 12.0 is a fresh one.
+  const FailureTrace raw({{10.0, 0, {}},
+                          {10.1, 1, {}},
+                          {10.3, 2, {}},
+                          {12.0, 0, {}}});
+  const auto cleaned = failures::coalesce(raw, 1.0);
+  ASSERT_EQ(cleaned.size(), 2u);
+  EXPECT_DOUBLE_EQ(cleaned.at(0).time_hours, 10.0);  // first of the burst
+  EXPECT_DOUBLE_EQ(cleaned.at(1).time_hours, 12.0);
+}
+
+TEST(Analysis, CoalesceChainedBurstsAnchorOnFirstEvent) {
+  // The window anchors at the first *kept* event, so a long drizzle
+  // spaced below the window collapses to periodic survivors.
+  const FailureTrace raw(
+      {{0.0, 0, {}}, {0.6, 0, {}}, {1.2, 0, {}}, {1.8, 0, {}}});
+  const auto cleaned = failures::coalesce(raw, 1.0);
+  ASSERT_EQ(cleaned.size(), 2u);
+  EXPECT_DOUBLE_EQ(cleaned.at(1).time_hours, 1.2);
+}
+
+TEST(Analysis, CoalesceRaisesObservedMtbf) {
+  const auto raw = failures::generate_trace(
+      failures::paper_system_specs().front());
+  const auto cleaned = failures::coalesce(raw, 0.5);
+  EXPECT_LT(cleaned.size(), raw.size());
+  EXPECT_GT(cleaned.observed_mtbf(), raw.observed_mtbf());
+  EXPECT_THROW(failures::coalesce(raw, 0.0), InvalidArgument);
+}
+
+// ---------------------------------------------------------------- bootstrap
+std::vector<double> draw_exponential(double mean, std::size_t n,
+                                     std::uint64_t seed) {
+  const auto d = stats::Exponential::from_mean(mean);
+  Rng rng(seed);
+  std::vector<double> samples;
+  for (std::size_t i = 0; i < n; ++i) samples.push_back(d.sample(rng));
+  return samples;
+}
+
+TEST(Bootstrap, MeanCiCoversTruth) {
+  const auto samples = draw_exponential(10.0, 2000, 11);
+  Rng rng(12);
+  const auto ci = stats::bootstrap_mean_ci(samples, 400, 0.95, rng);
+  EXPECT_GT(ci.estimate, 9.0);
+  EXPECT_LT(ci.estimate, 11.0);
+  EXPECT_LT(ci.lower, 10.0);
+  EXPECT_GT(ci.upper, 10.0);
+  EXPECT_LT(ci.lower, ci.estimate);
+  EXPECT_GT(ci.upper, ci.estimate);
+}
+
+TEST(Bootstrap, WiderIntervalForSmallerSample) {
+  Rng rng(13);
+  const auto big = draw_exponential(10.0, 4000, 14);
+  const auto small = draw_exponential(10.0, 100, 15);
+  const auto ci_big = stats::bootstrap_mean_ci(big, 300, 0.95, rng);
+  const auto ci_small = stats::bootstrap_mean_ci(small, 300, 0.95, rng);
+  EXPECT_GT(ci_small.width(), ci_big.width());
+}
+
+TEST(Bootstrap, HigherConfidenceIsWider) {
+  const auto samples = draw_exponential(10.0, 500, 16);
+  Rng rng_a(17);
+  Rng rng_b(17);
+  const auto ci90 = stats::bootstrap_mean_ci(samples, 400, 0.90, rng_a);
+  const auto ci99 = stats::bootstrap_mean_ci(samples, 400, 0.99, rng_b);
+  EXPECT_GT(ci99.width(), ci90.width());
+}
+
+TEST(Bootstrap, CustomStatisticWeibullShape) {
+  const auto truth = stats::Weibull::from_mtbf_and_shape(7.5, 0.6);
+  Rng gen(18);
+  std::vector<double> samples;
+  for (int i = 0; i < 1500; ++i) samples.push_back(truth.sample(gen));
+
+  Rng rng(19);
+  const auto ci = stats::bootstrap_ci(
+      samples,
+      [](std::span<const double> s) { return stats::fit_weibull(s).shape(); },
+      200, 0.95, rng);
+  // The CI must bracket the point estimate, sit near the truth, and be
+  // tight for n=1500 (a 95% CI can legitimately miss the truth itself).
+  EXPECT_LE(ci.lower, ci.estimate);
+  EXPECT_GE(ci.upper, ci.estimate);
+  EXPECT_NEAR(ci.estimate, 0.6, 0.05);
+  EXPECT_LT(ci.width(), 0.15);
+  EXPECT_GT(ci.width(), 0.005);
+}
+
+TEST(Bootstrap, Validation) {
+  const std::vector<double> samples = {1.0, 2.0, 3.0};
+  Rng rng(20);
+  const auto mean_stat = [](std::span<const double> s) {
+    return stats::mean(s);
+  };
+  EXPECT_THROW(stats::bootstrap_ci({}, mean_stat, 100, 0.95, rng),
+               InvalidArgument);
+  EXPECT_THROW(stats::bootstrap_ci(samples, mean_stat, 5, 0.95, rng),
+               InvalidArgument);
+  EXPECT_THROW(stats::bootstrap_ci(samples, mean_stat, 100, 1.0, rng),
+               InvalidArgument);
+  EXPECT_THROW(stats::bootstrap_ci(samples, nullptr, 100, 0.95, rng),
+               InvalidArgument);
+}
+
+TEST(Bootstrap, SkipsThrowingResamplesButBoundsFailures) {
+  // A statistic that always throws must make bootstrap_ci fail loudly.
+  const std::vector<double> samples = {1.0, 2.0, 3.0, 4.0};
+  Rng rng(21);
+  const auto bad = [](std::span<const double>) -> double {
+    throw Error("nope");
+  };
+  EXPECT_THROW(stats::bootstrap_ci(samples, bad, 100, 0.95, rng), Error);
+}
+
+}  // namespace
+}  // namespace lazyckpt

@@ -1,0 +1,78 @@
+// Application catalog (Table 1) and system design points, plus the Table 2
+// OCI structure they imply.
+
+#include <gtest/gtest.h>
+
+#include "apps/catalog.hpp"
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "core/model/oci.hpp"
+
+namespace lazyckpt::apps {
+namespace {
+
+TEST(Catalog, ContainsAllSixApplications) {
+  const auto& apps = leadership_applications();
+  ASSERT_EQ(apps.size(), 6u);
+  for (const char* name :
+       {"CHIMERA", "VULCUN", "POP", "S3D", "GTC", "GYRO"}) {
+    EXPECT_NO_THROW(application_by_name(name)) << name;
+  }
+  EXPECT_THROW(application_by_name("NOPE"), InvalidArgument);
+}
+
+TEST(Catalog, Table1Values) {
+  EXPECT_DOUBLE_EQ(application_by_name("CHIMERA").checkpoint_size_gb,
+                   160000.0);
+  EXPECT_DOUBLE_EQ(application_by_name("GTC").checkpoint_size_gb, 20000.0);
+  EXPECT_DOUBLE_EQ(application_by_name("VULCUN").checkpoint_size_gb, 0.83);
+  EXPECT_DOUBLE_EQ(application_by_name("GYRO").job_runtime_hours, 120.0);
+  EXPECT_EQ(application_by_name("POP").domain, "Climate");
+}
+
+TEST(Catalog, ComputeHoursWithinJobRuntime) {
+  for (const auto& app : leadership_applications()) {
+    EXPECT_GT(app.compute_hours, 0.0) << app.name;
+    EXPECT_LE(app.compute_hours, app.job_runtime_hours) << app.name;
+  }
+}
+
+TEST(DesignPoints, ScalesAndMtbfs) {
+  const auto& points = system_design_points();
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_DOUBLE_EQ(design_point_by_name("petascale-20K").mtbf_hours, 11.0);
+  EXPECT_DOUBLE_EQ(design_point_by_name("exascale-100K").mtbf_hours, 2.2);
+  EXPECT_DOUBLE_EQ(design_point_by_name("titan").mtbf_hours, 7.5);
+  EXPECT_EQ(design_point_by_name("titan").node_count, 18688);
+  EXPECT_THROW(design_point_by_name("laptop"), InvalidArgument);
+}
+
+TEST(DesignPoints, MtbfDecreasesWithScale) {
+  EXPECT_GT(design_point_by_name("petascale-10K").mtbf_hours,
+            design_point_by_name("petascale-20K").mtbf_hours);
+  EXPECT_GT(design_point_by_name("petascale-20K").mtbf_hours,
+            design_point_by_name("exascale-100K").mtbf_hours);
+}
+
+TEST(Table2, SmallerCheckpointsWantShorterIntervals) {
+  // The grey-box insight of Table 2: VULCUN/POP/GYRO (small checkpoints)
+  // should checkpoint *more* often than hourly; CHIMERA/GTC less often.
+  const double mtbf = kTitanObservedMtbfHours;
+  const auto oci_of = [&](const char* name) {
+    const auto& app = application_by_name(name);
+    const double beta = transfer_time_hours(app.checkpoint_size_gb,
+                                            kTitanObservedBandwidthGbps);
+    return core::daly_oci(beta, mtbf);
+  };
+  EXPECT_LT(oci_of("VULCUN"), 1.0);
+  EXPECT_LT(oci_of("POP"), 1.0);
+  EXPECT_LT(oci_of("GYRO"), 1.0);
+  EXPECT_GT(oci_of("CHIMERA"), 1.0);
+  EXPECT_GT(oci_of("GTC"), 1.0);
+  // Ordering follows checkpoint size.
+  EXPECT_LT(oci_of("VULCUN"), oci_of("GYRO"));
+  EXPECT_LT(oci_of("GTC"), oci_of("CHIMERA"));
+}
+
+}  // namespace
+}  // namespace lazyckpt::apps

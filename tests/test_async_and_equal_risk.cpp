@@ -1,0 +1,245 @@
+// Asynchronous (overlapped) checkpointing in the engine and the
+// equal-risk generalized lazy policy.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/error.hpp"
+#include "core/policy/equal_risk.hpp"
+#include "core/policy/factory.hpp"
+#include "core/policy/ilazy.hpp"
+#include "core/policy/periodic.hpp"
+#include "failures/trace.hpp"
+#include "io/storage_model.hpp"
+#include "sim/sweep.hpp"
+#include "stats/exponential.hpp"
+#include "stats/gamma.hpp"
+#include "stats/lognormal.hpp"
+#include "stats/weibull.hpp"
+
+namespace lazyckpt {
+namespace {
+
+failures::FailureTrace trace_at(std::vector<double> times) {
+  std::vector<failures::FailureEvent> events;
+  for (const double t : times) events.push_back({t, 0, {}});
+  return failures::FailureTrace(std::move(events));
+}
+
+sim::SimulationConfig async_config(double work, double blocking) {
+  sim::SimulationConfig config;
+  config.compute_hours = work;
+  config.alpha_oci_hours = 2.0;
+  config.mtbf_hint_hours = 11.0;
+  config.shape_hint = 0.6;
+  config.checkpoint_blocking_fraction = blocking;
+  return config;
+}
+
+// ------------------------------------------------------------- async engine
+TEST(AsyncCheckpoint, FailureFreeExactArithmetic) {
+  // W=10, alpha=2, beta=0.5, sigma=0.5: each boundary blocks 0.25 h and
+  // drains 0.25 h into the next chunk.  Makespan = 10 + 4*0.25 = 11.
+  const auto trace = trace_at({});
+  sim::TraceFailureSource source(trace);
+  core::PeriodicPolicy policy(2.0);
+  const io::ConstantStorage storage(0.5, 0.25);
+  const auto m = simulate(async_config(10.0, 0.5), policy, source, storage);
+
+  EXPECT_DOUBLE_EQ(m.compute_hours, 10.0);
+  EXPECT_EQ(m.checkpoints_written, 4u);
+  EXPECT_DOUBLE_EQ(m.checkpoint_hours, 1.0);
+  EXPECT_DOUBLE_EQ(m.makespan_hours, 11.0);
+  EXPECT_DOUBLE_EQ(m.wasted_hours, 0.0);
+}
+
+TEST(AsyncCheckpoint, SigmaOneMatchesSynchronousEngine) {
+  const auto weibull = stats::Weibull::from_mtbf_and_shape(11.0, 0.6);
+  const io::ConstantStorage storage(0.5, 0.5);
+  const core::PeriodicPolicy policy(2.98);
+  auto config = async_config(200.0, 1.0);
+  config.alpha_oci_hours = 2.98;
+  const auto a = sim::run_replicas(config, policy, weibull, storage, 20, 3);
+  config.checkpoint_blocking_fraction = 1.0;  // explicit default
+  const auto b = sim::run_replicas(config, policy, weibull, storage, 20, 3);
+  EXPECT_DOUBLE_EQ(a.mean_makespan_hours, b.mean_makespan_hours);
+  EXPECT_DOUBLE_EQ(a.mean_checkpoint_hours, b.mean_checkpoint_hours);
+}
+
+TEST(AsyncCheckpoint, StallWhenNextBoundaryArrivesFirst) {
+  // alpha=0.1, beta=1.0, sigma=0.1: async tail 0.9 h, next boundary after
+  // only 0.1 h of compute -> the app stalls for the drain.
+  const auto trace = trace_at({});
+  sim::TraceFailureSource source(trace);
+  core::PeriodicPolicy policy(0.1);
+  const io::ConstantStorage storage(1.0, 0.25);
+  auto config = async_config(0.3, 0.1);
+  const auto m = simulate(config, policy, source, storage);
+
+  // Chronology: chunk [0,0.1]; block [0.1,0.2]; chunk [0.2,0.3];
+  // stall [0.3,1.1] (drain); commit; block [1.1,1.2]; final chunk
+  // [1.2,1.3] completes W=0.3.
+  EXPECT_DOUBLE_EQ(m.compute_hours, 0.3);
+  EXPECT_NEAR(m.makespan_hours, 1.3, 1e-12);
+  // checkpoint bucket: 0.1 block + 0.8 stall + 0.1 block = 1.0
+  EXPECT_NEAR(m.checkpoint_hours, 1.0, 1e-12);
+  EXPECT_EQ(m.checkpoints_written, 1u);  // the second never drained
+}
+
+TEST(AsyncCheckpoint, FailureDuringDrainLosesCoveredWork) {
+  // Failure at t=2.4, inside the async tail [2.25, 2.5) of the first
+  // write: the covered 2 h are lost along with 0.15 h of overlapped
+  // compute.
+  const auto trace = trace_at({2.4});
+  sim::TraceFailureSource source(trace);
+  core::PeriodicPolicy policy(2.0);
+  const io::ConstantStorage storage(0.5, 0.25);
+  const auto m = simulate(async_config(4.0, 0.5), policy, source, storage);
+
+  // waste = (2.4 - 2.25 overlapped compute) + 2.0 covered = 2.15
+  EXPECT_NEAR(m.wasted_hours, 2.15, 1e-12);
+  EXPECT_EQ(m.failures, 1u);
+  EXPECT_DOUBLE_EQ(m.compute_hours, 4.0);
+}
+
+TEST(AsyncCheckpoint, CommitBeforeFailureSavesWork) {
+  // Failure at t=2.6, after the async tail drained at 2.5: only the
+  // 0.1 h computed since the commit is lost.
+  const auto trace = trace_at({2.6});
+  sim::TraceFailureSource source(trace);
+  core::PeriodicPolicy policy(2.0);
+  const io::ConstantStorage storage(0.5, 0.25);
+  const auto m = simulate(async_config(4.0, 0.5), policy, source, storage);
+
+  EXPECT_NEAR(m.wasted_hours, 0.35, 1e-12);  // 0.25 overlap + 0.1 since
+  EXPECT_EQ(m.checkpoints_written, 1u);
+}
+
+TEST(AsyncCheckpoint, LowerBlockingFractionNeverSlower) {
+  const auto weibull = stats::Weibull::from_mtbf_and_shape(11.0, 0.6);
+  const io::ConstantStorage storage(0.5, 0.5);
+  const core::PeriodicPolicy policy(2.98);
+  double previous = 1e300;
+  for (const double sigma : {1.0, 0.5, 0.1}) {
+    auto config = async_config(300.0, sigma);
+    config.alpha_oci_hours = 2.98;
+    const auto m =
+        sim::run_replicas(config, policy, weibull, storage, 60, 5);
+    EXPECT_LT(m.mean_makespan_hours, previous * 1.001) << "sigma=" << sigma;
+    previous = m.mean_makespan_hours;
+  }
+}
+
+TEST(AsyncCheckpoint, ConfigValidation) {
+  auto config = async_config(10.0, 0.0);
+  EXPECT_THROW(config.validate(), InvalidArgument);
+  config = async_config(10.0, 1.5);
+  EXPECT_THROW(config.validate(), InvalidArgument);
+  EXPECT_NO_THROW(async_config(10.0, 0.3).validate());
+}
+
+// ------------------------------------------------------------- equal risk
+core::PolicyContext context_at(double t) {
+  core::PolicyContext ctx;
+  ctx.now_hours = t;
+  ctx.time_since_failure_hours = t;
+  ctx.alpha_oci_hours = 2.98;
+  ctx.checkpoint_time_hours = 0.5;
+  ctx.mtbf_estimate_hours = 11.0;
+  ctx.weibull_shape_estimate = 0.6;
+  return ctx;
+}
+
+TEST(EqualRisk, ExponentialDegeneratesToOci) {
+  // Memoryless failures: the conditional risk never changes, so the
+  // interval stays at the OCI for any time since failure.
+  core::EqualRiskPolicy policy(
+      std::make_unique<stats::Exponential>(stats::Exponential::from_mean(11.0)));
+  for (const double t : {0.0, 5.0, 50.0}) {
+    EXPECT_NEAR(policy.next_interval(context_at(t)), 2.98, 1e-6) << t;
+  }
+}
+
+TEST(EqualRisk, WeibullIntervalsGrow) {
+  core::EqualRiskPolicy policy(std::make_unique<stats::Weibull>(
+      stats::Weibull::from_mtbf_and_shape(11.0, 0.6)));
+  const double at0 = policy.next_interval(context_at(0.0));
+  const double at10 = policy.next_interval(context_at(10.0));
+  const double at40 = policy.next_interval(context_at(40.0));
+  EXPECT_NEAR(at0, 2.98, 1e-6);
+  EXPECT_GT(at10, at0);
+  EXPECT_GT(at40, at10);
+}
+
+TEST(EqualRisk, WorksForGammaAndLognormal) {
+  // The generalization beyond iLazy: any decreasing-hazard model yields
+  // growing intervals.
+  core::EqualRiskPolicy gamma_policy(std::make_unique<stats::Gamma>(
+      stats::Gamma::from_mtbf_and_shape(11.0, 0.5)));
+  EXPECT_GT(gamma_policy.next_interval(context_at(30.0)),
+            gamma_policy.next_interval(context_at(0.0)));
+
+  core::EqualRiskPolicy lognormal_policy(
+      std::make_unique<stats::LogNormal>(1.5, 1.2));
+  EXPECT_GT(lognormal_policy.next_interval(context_at(30.0)),
+            lognormal_policy.next_interval(context_at(1.0)));
+}
+
+TEST(EqualRisk, RespectsMaxStretch) {
+  core::EqualRiskPolicy policy(
+      std::make_unique<stats::Weibull>(
+          stats::Weibull::from_mtbf_and_shape(11.0, 0.3)),
+      4.0);
+  EXPECT_LE(policy.next_interval(context_at(500.0)), 4.0 * 2.98 + 1e-9);
+}
+
+TEST(EqualRisk, CloneIsIndependent) {
+  core::EqualRiskPolicy policy(std::make_unique<stats::Weibull>(
+      stats::Weibull::from_mtbf_and_shape(11.0, 0.6)));
+  const auto copy = policy.clone();
+  EXPECT_EQ(copy->name(), "equal-risk(weibull)");
+  EXPECT_DOUBLE_EQ(copy->next_interval(context_at(12.0)),
+                   policy.next_interval(context_at(12.0)));
+}
+
+TEST(EqualRisk, TracksILazyCloselyOnWeibull) {
+  // On the Weibull model both schedules invert the same hazard decay, so
+  // their intervals agree within a modest factor over the relevant range.
+  core::EqualRiskPolicy equal_risk(std::make_unique<stats::Weibull>(
+      stats::Weibull::from_mtbf_and_shape(11.0, 0.6)));
+  core::ILazyPolicy ilazy(0.6);
+  for (const double t : {5.0, 10.0, 20.0, 40.0}) {
+    const double a = equal_risk.next_interval(context_at(t));
+    const double b = ilazy.next_interval(context_at(t));
+    EXPECT_LT(std::abs(std::log(a / b)), std::log(2.0)) << "t=" << t;
+  }
+}
+
+TEST(EqualRisk, EndToEndSavesCheckpointIo) {
+  const auto weibull = stats::Weibull::from_mtbf_and_shape(11.0, 0.6);
+  const io::ConstantStorage storage(0.5, 0.5);
+  sim::SimulationConfig config;
+  config.compute_hours = 300.0;
+  config.alpha_oci_hours = 2.98;
+  config.mtbf_hint_hours = 11.0;
+  config.shape_hint = 0.6;
+
+  const core::EqualRiskPolicy policy(weibull.clone());
+  const auto base = sim::run_replicas(
+      config, *core::make_policy("static-oci"), weibull, storage, 60, 9);
+  const auto er = sim::run_replicas(config, policy, weibull, storage, 60, 9);
+  EXPECT_LT(er.mean_checkpoint_hours, base.mean_checkpoint_hours * 0.85);
+  EXPECT_LT(er.mean_makespan_hours, base.mean_makespan_hours * 1.03);
+}
+
+TEST(EqualRisk, Validation) {
+  EXPECT_THROW(core::EqualRiskPolicy(nullptr), InvalidArgument);
+  EXPECT_THROW(core::EqualRiskPolicy(
+                   std::make_unique<stats::Exponential>(1.0), 0.5),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace lazyckpt

@@ -1,0 +1,202 @@
+// Multi-allocation campaigns and the parametric-bootstrap (Lilliefors)
+// K-S test for fitted distributions.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/policy/factory.hpp"
+#include "core/policy/periodic.hpp"
+#include "failures/trace.hpp"
+#include "io/storage_model.hpp"
+#include "sim/campaign.hpp"
+#include "stats/fitting.hpp"
+#include "stats/ks_test.hpp"
+#include "stats/weibull.hpp"
+
+namespace lazyckpt {
+namespace {
+
+// ---------------------------------------------------------------- campaign
+sim::CampaignConfig campaign_config(double work, double allocation,
+                                    double gap = 0.0) {
+  sim::CampaignConfig config;
+  config.base.compute_hours = work;
+  config.base.alpha_oci_hours = 2.0;
+  config.base.mtbf_hint_hours = 11.0;
+  config.base.shape_hint = 0.6;
+  config.allocation_hours = allocation;
+  config.gap_hours = gap;
+  return config;
+}
+
+TEST(Campaign, FailureFreeExactAllocationCount) {
+  // W=10, alpha=2, beta=0.5, allocations of 5 h.
+  // Alloc 1: [0,2]c [2,2.5]k [2.5,4.5]c then ckpt [4.5,5) truncated ->
+  // committed 2 (first ckpt only), 3 h wasted? chronology: the 2nd ckpt
+  // [4.5,5.0] would end exactly at 5.0 — not truncated — committed 4.
+  // Alloc 2: remaining 6: [0,2]c [2,2.5]k [2.5,4.5]c [4.5,5]k commits 4.
+  // Alloc 3: remaining 2: [0,2]c completes at 2.0.
+  const failures::FailureTrace trace;
+  sim::TraceFailureSource source(trace);
+  core::PeriodicPolicy policy(2.0);
+  const io::ConstantStorage storage(0.5, 0.25);
+  const auto result =
+      sim::run_campaign(campaign_config(10.0, 5.0), policy, source, storage);
+
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.allocations_used, 3u);
+  EXPECT_DOUBLE_EQ(result.committed_hours, 10.0);
+  EXPECT_DOUBLE_EQ(result.runs[0].compute_hours, 4.0);
+  EXPECT_DOUBLE_EQ(result.runs[1].compute_hours, 4.0);
+  EXPECT_DOUBLE_EQ(result.runs[2].compute_hours, 2.0);
+  EXPECT_DOUBLE_EQ(result.machine_hours, 5.0 + 5.0 + 2.0);
+}
+
+TEST(Campaign, SingleAllocationWhenItFits) {
+  const failures::FailureTrace trace;
+  sim::TraceFailureSource source(trace);
+  core::PeriodicPolicy policy(2.0);
+  const io::ConstantStorage storage(0.5, 0.25);
+  const auto result = sim::run_campaign(campaign_config(10.0, 100.0), policy,
+                                        source, storage);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.allocations_used, 1u);
+}
+
+TEST(Campaign, FailuresKeepArrivingAcrossGaps) {
+  // Machine-time failures at 6.0 and 12.5.  Allocation 5 h, gap 2 h:
+  // alloc 1 covers machine [0,5] (no failure), gap [5,7] swallows the
+  // 6.0 failure, alloc 2 covers [7,12] (no failure), gap [12,14]
+  // swallows 12.5.  No failure ever interrupts a run.
+  const failures::FailureTrace trace({{6.0, 0, {}}, {12.5, 0, {}}});
+  sim::TraceFailureSource source(trace);
+  core::PeriodicPolicy policy(2.0);
+  const io::ConstantStorage storage(0.5, 0.25);
+  const auto result = sim::run_campaign(campaign_config(20.0, 5.0, 2.0),
+                                        policy, source, storage);
+  std::uint64_t total_failures = 0;
+  for (const auto& run : result.runs) total_failures += run.failures;
+  EXPECT_EQ(total_failures, 0u);
+
+  // Without gaps the 6.0 failure lands inside allocation 2 at local 1.0.
+  sim::TraceFailureSource source_b(trace);
+  const auto no_gap = sim::run_campaign(campaign_config(20.0, 5.0, 0.0),
+                                        policy, source_b, storage);
+  std::uint64_t no_gap_failures = 0;
+  for (const auto& run : no_gap.runs) no_gap_failures += run.failures;
+  EXPECT_GE(no_gap_failures, 1u);
+}
+
+TEST(Campaign, StopsAtMaxAllocations) {
+  // Allocation shorter than one interval+checkpoint: nothing ever
+  // commits; the campaign must stop at the bound, incomplete.
+  const failures::FailureTrace trace;
+  sim::TraceFailureSource source(trace);
+  core::PeriodicPolicy policy(2.0);
+  const io::ConstantStorage storage(0.5, 0.25);
+  auto config = campaign_config(10.0, 1.0);
+  config.max_allocations = 7;
+  const auto result = sim::run_campaign(config, policy, source, storage);
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.allocations_used, 7u);
+  EXPECT_DOUBLE_EQ(result.committed_hours, 0.0);
+}
+
+TEST(Campaign, RandomFailuresConservationPerAllocation) {
+  const auto weibull = stats::Weibull::from_mtbf_and_shape(11.0, 0.6);
+  Rng rng(31);
+  sim::RenewalFailureSource source(weibull.clone(), rng);
+  const auto policy = core::make_policy("ilazy:0.6");
+  const io::ConstantStorage storage(0.5, 0.5);
+  const auto result = sim::run_campaign(campaign_config(300.0, 168.0, 12.0),
+                                        *policy, source, storage);
+  EXPECT_TRUE(result.completed);
+  double committed = 0.0;
+  for (const auto& run : result.runs) {
+    EXPECT_NEAR(run.makespan_hours,
+                run.compute_hours + run.checkpoint_hours + run.wasted_hours +
+                    run.restart_hours,
+                1e-6 * run.makespan_hours);
+    committed += run.compute_hours;
+  }
+  EXPECT_DOUBLE_EQ(committed, 300.0);
+  EXPECT_DOUBLE_EQ(result.committed_hours, 300.0);
+}
+
+TEST(Campaign, Validation) {
+  auto config = campaign_config(10.0, 0.0);
+  EXPECT_THROW(config.validate(), InvalidArgument);
+  config = campaign_config(10.0, 5.0);
+  config.max_allocations = 0;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+  config = campaign_config(10.0, 5.0, -1.0);
+  EXPECT_THROW(config.validate(), InvalidArgument);
+}
+
+// ---------------------------------------------------------------- fitted KS
+std::vector<double> draw(const stats::Distribution& d, std::size_t n,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> samples;
+  for (std::size_t i = 0; i < n; ++i) samples.push_back(d.sample(rng));
+  return samples;
+}
+
+stats::Refit weibull_refit() {
+  return [](std::span<const double> s) -> stats::DistributionPtr {
+    return std::make_unique<stats::Weibull>(stats::fit_weibull(s));
+  };
+}
+
+TEST(FittedKs, AcceptsTrueModel) {
+  const auto truth = stats::Weibull::from_mtbf_and_shape(7.5, 0.6);
+  const auto samples = draw(truth, 800, 41);
+  Rng rng(42);
+  const auto result =
+      stats::ks_test_fitted(samples, weibull_refit(), 60, 0.05, rng);
+  EXPECT_FALSE(result.rejected) << "D=" << result.d_statistic
+                                << " crit=" << result.critical_value;
+  EXPECT_GT(result.p_value, 0.05);
+}
+
+TEST(FittedKs, BootstrapCriticalValueIsTighterThanTable) {
+  // The Lilliefors effect: refitting per sample shrinks D under the null,
+  // so the correct critical value sits well below the fixed-null table.
+  const auto truth = stats::Weibull::from_mtbf_and_shape(7.5, 0.6);
+  const auto samples = draw(truth, 800, 43);
+  Rng rng(44);
+  const auto result =
+      stats::ks_test_fitted(samples, weibull_refit(), 60, 0.05, rng);
+  EXPECT_LT(result.critical_value,
+            stats::ks_critical_value(samples.size(), 0.05));
+}
+
+TEST(FittedKs, RejectsWrongFamily) {
+  // Lognormal data pushed through a Weibull refit: the bootstrap test
+  // must reject what the anti-conservative table might let pass.
+  const stats::LogNormal truth(1.0, 1.4);
+  const auto samples = draw(truth, 800, 45);
+  Rng rng(46);
+  const auto result =
+      stats::ks_test_fitted(samples, weibull_refit(), 60, 0.05, rng);
+  EXPECT_TRUE(result.rejected);
+  EXPECT_LT(result.p_value, 0.05);
+}
+
+TEST(FittedKs, Validation) {
+  const auto samples = draw(stats::Weibull(1.0, 1.0), 100, 47);
+  Rng rng(48);
+  EXPECT_THROW(
+      stats::ks_test_fitted(samples, weibull_refit(), 5, 0.05, rng),
+      InvalidArgument);
+  EXPECT_THROW(stats::ks_test_fitted(samples, nullptr, 60, 0.05, rng),
+               InvalidArgument);
+  EXPECT_THROW(
+      stats::ks_test_fitted({}, weibull_refit(), 60, 0.05, rng),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace lazyckpt

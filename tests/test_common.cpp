@@ -1,0 +1,269 @@
+// Unit tests for src/common: units, errors, RNG, CRC32, CSV, histogram,
+// table rendering.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <set>
+
+#include "common/crc32.hpp"
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/histogram.hpp"
+#include "common/random.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace lazyckpt {
+namespace {
+
+// ---------------------------------------------------------------- units
+TEST(Units, TimeConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(hours_to_seconds(seconds_to_hours(1234.5)), 1234.5);
+  EXPECT_DOUBLE_EQ(seconds_to_hours(3600.0), 1.0);
+  EXPECT_DOUBLE_EQ(days_to_hours(2.0), 48.0);
+}
+
+TEST(Units, SizeConversions) {
+  EXPECT_DOUBLE_EQ(tb_to_gb(20.0), 20000.0);
+  EXPECT_DOUBLE_EQ(gb_to_tb(500.0), 0.5);
+  EXPECT_DOUBLE_EQ(gb_to_pb(2.0e6), 2.0);
+}
+
+TEST(Units, TransferTimeMatchesHandComputation) {
+  // 20 TB at 10 GB/s = 2000 s = 0.5556 h.
+  EXPECT_NEAR(transfer_time_hours(tb_to_gb(20.0), 10.0), 2000.0 / 3600.0,
+              1e-12);
+}
+
+// ---------------------------------------------------------------- error
+TEST(Error, RequirePositiveRejectsBadValues) {
+  EXPECT_THROW(require_positive(0.0, "x"), InvalidArgument);
+  EXPECT_THROW(require_positive(-1.0, "x"), InvalidArgument);
+  EXPECT_THROW(require_positive(std::nan(""), "x"), InvalidArgument);
+  EXPECT_NO_THROW(require_positive(1e-300, "x"));
+}
+
+TEST(Error, RequireNonNegativeAcceptsZero) {
+  EXPECT_NO_THROW(require_non_negative(0.0, "x"));
+  EXPECT_THROW(require_non_negative(-1e-9, "x"), InvalidArgument);
+}
+
+TEST(Error, HierarchyIsCatchable) {
+  try {
+    throw CorruptCheckpoint("boom");
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+}
+
+// ---------------------------------------------------------------- rng
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformPositiveNeverZero) {
+  Rng rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_GT(rng.uniform_positive(), 0.0);
+    ASSERT_LE(rng.uniform_positive(), 1.0);
+  }
+}
+
+TEST(Rng, UniformIndexInRange) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_index(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all buckets hit
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(99);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() == child()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+// ---------------------------------------------------------------- crc32
+TEST(Crc32, KnownVector) {
+  // The canonical CRC-32 check value.
+  const char* text = "123456789";
+  Crc32 crc;
+  crc.update(text, std::strlen(text));
+  EXPECT_EQ(crc.value(), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInput) {
+  Crc32 crc;
+  EXPECT_EQ(crc.value(), 0x00000000u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  Crc32 split_crc;
+  split_crc.update(data.data(), 10);
+  split_crc.update(data.data() + 10, data.size() - 10);
+  Crc32 whole;
+  whole.update(data.data(), data.size());
+  EXPECT_EQ(split_crc.value(), whole.value());
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::string data = "checkpoint payload";
+  Crc32 before;
+  before.update(data.data(), data.size());
+  data[3] = static_cast<char>(data[3] ^ 0x01);
+  Crc32 after;
+  after.update(data.data(), data.size());
+  EXPECT_NE(before.value(), after.value());
+}
+
+// ---------------------------------------------------------------- csv
+TEST(Csv, ParseAndAccess) {
+  const auto doc =
+      CsvDocument::parse("a,b,c\n1,2,3\n4,5,6\n# comment\n7,8,9\n");
+  EXPECT_EQ(doc.row_count(), 3u);
+  EXPECT_EQ(doc.column_count(), 3u);
+  EXPECT_EQ(doc.column_index("b"), 1u);
+  const auto column = doc.numeric_column("c");
+  ASSERT_EQ(column.size(), 3u);
+  EXPECT_DOUBLE_EQ(column[2], 9.0);
+}
+
+TEST(Csv, RejectsRaggedRows) {
+  EXPECT_THROW(CsvDocument::parse("a,b\n1,2,3\n"), IoError);
+}
+
+TEST(Csv, RejectsUnknownColumn) {
+  const auto doc = CsvDocument::parse("a,b\n1,2\n");
+  EXPECT_THROW((void)doc.column_index("z"), InvalidArgument);
+}
+
+TEST(Csv, RejectsNonNumericCell) {
+  const auto doc = CsvDocument::parse("a\nhello\n");
+  EXPECT_THROW(doc.numeric_column("a"), IoError);
+}
+
+TEST(Csv, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "lazyckpt_csv_test.csv")
+          .string();
+  CsvDocument doc({"time_hours", "value"});
+  doc.add_row({"1.5", "10"});
+  doc.add_row({"2.5", "20"});
+  doc.save(path);
+  const auto loaded = CsvDocument::load(path);
+  EXPECT_EQ(loaded.row_count(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.numeric_column("time_hours")[1], 2.5);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, AddRowValidatesWidth) {
+  CsvDocument doc({"a", "b"});
+  EXPECT_THROW(doc.add_row({"1"}), InvalidArgument);
+}
+
+TEST(Csv, HandlesCrLf) {
+  const auto doc = CsvDocument::parse("a,b\r\n1,2\r\n");
+  EXPECT_EQ(doc.row_count(), 1u);
+  EXPECT_DOUBLE_EQ(doc.numeric_column("b")[0], 2.0);
+}
+
+// ---------------------------------------------------------------- histogram
+TEST(Histogram, BinsAndTallies) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_EQ(h.total(), 10u);
+  for (std::size_t bin = 0; bin < 10; ++bin) EXPECT_EQ(h.count(bin), 1u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, OutOfRangeCounted) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.5);
+  h.add(2.0);
+  h.add(1.0);  // hi edge is exclusive
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, FractionBelow) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_NEAR(h.fraction_below(3.0), 0.3, 1e-12);
+  EXPECT_NEAR(h.fraction_below(10.0), 1.0, 1e-12);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), InvalidArgument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgument);
+}
+
+TEST(Histogram, RenderContainsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string text = h.render(10);
+  EXPECT_NE(text.find(" 1"), std::string::npos);
+  EXPECT_NE(text.find(" 2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- table
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"x", "1.00"});
+  table.add_row({"longer-name", "2.50"});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("longer-name"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::percent(0.345, 1), "34.5%");
+}
+
+TEST(TextTable, RejectsWidthMismatch) {
+  TextTable table({"a"});
+  EXPECT_THROW(table.add_row({"1", "2"}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace lazyckpt

@@ -1,0 +1,182 @@
+// On-disk checkpoint format: bit-exact round trips, corruption detection,
+// structural validation, atomic publish.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "cr/checkpoint_file.hpp"
+#include "cr/region.hpp"
+
+namespace lazyckpt::cr {
+namespace {
+
+class CheckpointFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "lazyckpt_ckpt_test";
+    std::filesystem::create_directories(dir_);
+    path_ = (dir_ / "state.ckpt").string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+  std::string path_;
+};
+
+// ---------------------------------------------------------------- registry
+TEST(RegionRegistry, RegistersAndFinds) {
+  RegionRegistry registry;
+  double value = 3.5;
+  std::vector<int> field(10, 7);
+  registry.register_value("scalar", &value);
+  registry.register_array("field", field.data(), field.size());
+  EXPECT_EQ(registry.count(), 2u);
+  EXPECT_EQ(registry.total_bytes(), sizeof(double) + 10 * sizeof(int));
+  EXPECT_NE(registry.find("scalar"), nullptr);
+  EXPECT_EQ(registry.find("missing"), nullptr);
+}
+
+TEST(RegionRegistry, RejectsBadRegistrations) {
+  RegionRegistry registry;
+  double value = 0.0;
+  EXPECT_THROW(registry.register_region("", &value, 8), InvalidArgument);
+  EXPECT_THROW(registry.register_region("x", nullptr, 8), InvalidArgument);
+  EXPECT_THROW(registry.register_region("x", &value, 0), InvalidArgument);
+  registry.register_value("x", &value);
+  EXPECT_THROW(registry.register_value("x", &value), InvalidArgument);
+}
+
+// ---------------------------------------------------------------- format
+TEST_F(CheckpointFileTest, RoundTripIsBitExact) {
+  std::vector<double> field(257);
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    field[i] = 0.001 * static_cast<double>(i * i);
+  }
+  std::uint64_t step = 42;
+  RegionRegistry registry;
+  registry.register_array("field", field.data(), field.size());
+  registry.register_value("step", &step);
+
+  write_checkpoint(path_, registry, {12.5});
+
+  const auto original = field;
+  for (auto& v : field) v = -1.0;  // scribble
+  step = 0;
+
+  const auto metadata = read_checkpoint(path_, registry);
+  EXPECT_DOUBLE_EQ(metadata.app_time_hours, 12.5);
+  EXPECT_EQ(field, original);
+  EXPECT_EQ(step, 42u);
+}
+
+TEST_F(CheckpointFileTest, VerifyWithoutRestoring) {
+  double value = 1.0;
+  RegionRegistry registry;
+  registry.register_value("v", &value);
+  write_checkpoint(path_, registry, {3.0});
+  value = 9.0;
+  const auto metadata = verify_checkpoint(path_);
+  EXPECT_DOUBLE_EQ(metadata.app_time_hours, 3.0);
+  EXPECT_DOUBLE_EQ(value, 9.0);  // untouched
+}
+
+TEST_F(CheckpointFileTest, DetectsBitFlip) {
+  std::vector<std::uint8_t> blob(1024, 0xAB);
+  RegionRegistry registry;
+  registry.register_array("blob", blob.data(), blob.size());
+  write_checkpoint(path_, registry, {});
+
+  // Flip one payload bit.
+  std::fstream file(path_,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(200);
+  char byte = 0;
+  file.seekg(200);
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x10);
+  file.seekp(200);
+  file.write(&byte, 1);
+  file.close();
+
+  EXPECT_THROW(read_checkpoint(path_, registry), CorruptCheckpoint);
+  EXPECT_THROW(verify_checkpoint(path_), CorruptCheckpoint);
+}
+
+TEST_F(CheckpointFileTest, DetectsTruncation) {
+  std::vector<std::uint8_t> blob(512, 1);
+  RegionRegistry registry;
+  registry.register_array("blob", blob.data(), blob.size());
+  write_checkpoint(path_, registry, {});
+  std::filesystem::resize_file(path_, 100);
+  EXPECT_THROW(verify_checkpoint(path_), CorruptCheckpoint);
+}
+
+TEST_F(CheckpointFileTest, DetectsBadMagic) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "NOPEnopeNOPEnopeNOPEnopenope";
+  }
+  EXPECT_THROW(verify_checkpoint(path_), CorruptCheckpoint);
+}
+
+TEST_F(CheckpointFileTest, RejectsSizeMismatch) {
+  std::vector<std::uint8_t> small(16, 1);
+  RegionRegistry writer;
+  writer.register_array("blob", small.data(), small.size());
+  write_checkpoint(path_, writer, {});
+
+  std::vector<std::uint8_t> large(32, 1);
+  RegionRegistry reader;
+  reader.register_array("blob", large.data(), large.size());
+  EXPECT_THROW(read_checkpoint(path_, reader), CorruptCheckpoint);
+}
+
+TEST_F(CheckpointFileTest, RejectsUnknownRegion) {
+  double value = 1.0;
+  RegionRegistry writer;
+  writer.register_value("old-name", &value);
+  write_checkpoint(path_, writer, {});
+
+  RegionRegistry reader;
+  reader.register_value("new-name", &value);
+  EXPECT_THROW(read_checkpoint(path_, reader), CorruptCheckpoint);
+}
+
+TEST_F(CheckpointFileTest, RejectsMissingRegion) {
+  double a = 1.0;
+  double b = 2.0;
+  RegionRegistry writer;
+  writer.register_value("a", &a);
+  write_checkpoint(path_, writer, {});
+
+  RegionRegistry reader;
+  reader.register_value("a", &a);
+  reader.register_value("b", &b);
+  EXPECT_THROW(read_checkpoint(path_, reader), CorruptCheckpoint);
+}
+
+TEST_F(CheckpointFileTest, OverwriteIsAtomicNoTempLeftBehind) {
+  double value = 1.0;
+  RegionRegistry registry;
+  registry.register_value("v", &value);
+  write_checkpoint(path_, registry, {1.0});
+  value = 2.0;
+  write_checkpoint(path_, registry, {2.0});
+  EXPECT_FALSE(std::filesystem::exists(path_ + ".tmp"));
+  value = 0.0;
+  const auto metadata = read_checkpoint(path_, registry);
+  EXPECT_DOUBLE_EQ(metadata.app_time_hours, 2.0);
+  EXPECT_DOUBLE_EQ(value, 2.0);
+}
+
+TEST_F(CheckpointFileTest, MissingFileIsIoError) {
+  EXPECT_THROW(verify_checkpoint((dir_ / "nope.ckpt").string()), IoError);
+}
+
+}  // namespace
+}  // namespace lazyckpt::cr

@@ -1,0 +1,206 @@
+// RLE codec and incremental (delta) checkpointing: round trips, chain
+// restore, corruption detection, and size accounting.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "common/rle.hpp"
+#include "cr/incremental.hpp"
+
+namespace lazyckpt::cr {
+namespace {
+
+// ---------------------------------------------------------------- rle
+std::vector<std::byte> to_bytes(std::initializer_list<int> values) {
+  std::vector<std::byte> bytes;
+  for (const int v : values) bytes.push_back(static_cast<std::byte>(v));
+  return bytes;
+}
+
+TEST(Rle, RoundTripMixed) {
+  const auto data = to_bytes({0, 0, 0, 5, 6, 0, 7, 0, 0, 0, 0, 0, 0, 0, 0,
+                              0, 0, 9});
+  const auto encoded = rle_encode(data);
+  EXPECT_EQ(rle_decode(encoded, data.size()), data);
+}
+
+TEST(Rle, AllZerosCompressesHard) {
+  const std::vector<std::byte> zeros(100000, std::byte{0});
+  const auto encoded = rle_encode(zeros);
+  EXPECT_LT(encoded.size(), 32u);
+  EXPECT_EQ(rle_decode(encoded, zeros.size()), zeros);
+}
+
+TEST(Rle, NoZerosSmallOverhead) {
+  std::vector<std::byte> noisy(4096);
+  Rng rng(1);
+  for (auto& b : noisy) {
+    b = static_cast<std::byte>(1 + rng.uniform_index(255));
+  }
+  const auto encoded = rle_encode(noisy);
+  EXPECT_LE(encoded.size(), noisy.size() + 64);
+  EXPECT_EQ(rle_decode(encoded, noisy.size()), noisy);
+}
+
+TEST(Rle, EmptyInput) {
+  const std::vector<std::byte> empty;
+  const auto encoded = rle_encode(empty);
+  EXPECT_TRUE(rle_decode(encoded, 0).empty());
+}
+
+TEST(Rle, RandomRoundTripSweep) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::byte> data(1 + rng.uniform_index(5000));
+    for (auto& b : data) {
+      // 70% zeros to mimic a sparse delta.
+      b = rng.uniform() < 0.7
+              ? std::byte{0}
+              : static_cast<std::byte>(rng.uniform_index(256));
+    }
+    const auto encoded = rle_encode(data);
+    ASSERT_EQ(rle_decode(encoded, data.size()), data) << "trial " << trial;
+  }
+}
+
+TEST(Rle, DecodeRejectsCorruptStreams) {
+  const auto data = to_bytes({1, 2, 3, 0, 0, 0, 0, 0, 0, 0, 0, 4});
+  auto encoded = rle_encode(data);
+  EXPECT_THROW(rle_decode(encoded, data.size() + 1), CorruptCheckpoint);
+  EXPECT_THROW(rle_decode(encoded, data.size() - 1), CorruptCheckpoint);
+  encoded.resize(encoded.size() / 2);  // truncate
+  EXPECT_THROW(rle_decode(encoded, data.size()), CorruptCheckpoint);
+}
+
+// --------------------------------------------------------- incremental
+class IncrementalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "lazyckpt_inc_test";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    state_.assign(4096, 1.0);
+    registry_.register_array("state", state_.data(), state_.size());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+  std::vector<double> state_;
+  RegionRegistry registry_;
+};
+
+TEST_F(IncrementalTest, FullThenDeltasThenRestore) {
+  IncrementalCheckpointer inc(registry_, dir_.string(), /*full_every=*/4);
+
+  const auto first = inc.save({1.0});
+  EXPECT_TRUE(first.full);
+
+  state_[7] = 42.0;  // tiny change
+  const auto second = inc.save({2.0});
+  EXPECT_FALSE(second.full);
+  // A one-double change must cost far less than the 32 KiB full size.
+  EXPECT_LT(second.bytes_written, 256u);
+
+  state_[100] = -3.0;
+  inc.save({3.0});
+  const auto expected = state_;
+
+  // Wipe and restore: full + two deltas replayed.
+  state_.assign(state_.size(), 0.0);
+  const auto metadata = inc.restore_latest();
+  ASSERT_TRUE(metadata.has_value());
+  EXPECT_DOUBLE_EQ(metadata->app_time_hours, 3.0);
+  EXPECT_EQ(state_, expected);
+}
+
+TEST_F(IncrementalTest, FullEverySchedule) {
+  IncrementalCheckpointer inc(registry_, dir_.string(), /*full_every=*/2);
+  EXPECT_TRUE(inc.save({}).full);    // 1: full
+  EXPECT_FALSE(inc.save({}).full);   // 2: delta
+  EXPECT_TRUE(inc.save({}).full);    // 3: full again (chain length 2)
+  EXPECT_FALSE(inc.save({}).full);
+  EXPECT_EQ(inc.stats().full_saves, 2u);
+  EXPECT_EQ(inc.stats().delta_saves, 2u);
+}
+
+TEST_F(IncrementalTest, FullEveryOneIsAlwaysFull) {
+  IncrementalCheckpointer inc(registry_, dir_.string(), 1);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(inc.save({}).full);
+}
+
+TEST_F(IncrementalTest, RestoreWithoutSaveReturnsNullopt) {
+  IncrementalCheckpointer inc(registry_, dir_.string(), 4);
+  EXPECT_FALSE(inc.restore_latest().has_value());
+}
+
+TEST_F(IncrementalTest, BytesWrittenReflectChangeRate) {
+  IncrementalCheckpointer inc(registry_, dir_.string(), 100);
+  inc.save({});
+  // Change 1% of the state.
+  for (std::size_t i = 0; i < state_.size(); i += 100) state_[i] += 1.0;
+  const auto sparse = inc.save({});
+  // Change all of it.
+  for (auto& v : state_) v += 1.0;
+  const auto dense = inc.save({});
+  EXPECT_LT(sparse.bytes_written, dense.bytes_written / 10);
+  EXPECT_LT(inc.stats().bytes_written, inc.stats().logical_bytes_saved);
+}
+
+TEST_F(IncrementalTest, CorruptDeltaDetectedOnRestore) {
+  IncrementalCheckpointer inc(registry_, dir_.string(), 4);
+  inc.save({1.0});
+  state_[0] = 9.0;
+  const auto delta = inc.save({2.0});
+  ASSERT_FALSE(delta.full);
+
+  // Flip a byte inside the delta file.
+  std::fstream file(delta.path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(20);
+  char byte = 0;
+  file.seekg(20);
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  file.seekp(20);
+  file.write(&byte, 1);
+  file.close();
+
+  EXPECT_THROW(inc.restore_latest(), CorruptCheckpoint);
+}
+
+TEST_F(IncrementalTest, LongChainRestoresExactly) {
+  IncrementalCheckpointer inc(registry_, dir_.string(), 16);
+  Rng rng(9);
+  for (int save = 0; save < 12; ++save) {
+    for (int touch = 0; touch < 5; ++touch) {
+      state_[rng.uniform_index(state_.size())] = rng.uniform();
+    }
+    inc.save({static_cast<double>(save)});
+  }
+  const auto expected = state_;
+  state_.assign(state_.size(), -1.0);
+  const auto metadata = inc.restore_latest();
+  ASSERT_TRUE(metadata.has_value());
+  EXPECT_DOUBLE_EQ(metadata->app_time_hours, 11.0);
+  EXPECT_EQ(state_, expected);
+  EXPECT_EQ(inc.stats().full_saves, 1u);
+  EXPECT_EQ(inc.stats().delta_saves, 11u);
+}
+
+TEST_F(IncrementalTest, Validation) {
+  EXPECT_THROW(IncrementalCheckpointer(registry_, "", 4), InvalidArgument);
+  EXPECT_THROW(IncrementalCheckpointer(registry_, dir_.string(), 0),
+               InvalidArgument);
+  RegionRegistry empty;
+  EXPECT_THROW(IncrementalCheckpointer(empty, dir_.string(), 4),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace lazyckpt::cr

@@ -1,0 +1,226 @@
+// CheckpointManager scheduling under a virtual clock, restart semantics,
+// agent integration, and the background driver thread.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/policy/factory.hpp"
+#include "cr/driver.hpp"
+#include "cr/manager.hpp"
+#include "failures/trace.hpp"
+#include "io/bandwidth_trace.hpp"
+
+namespace lazyckpt::cr {
+namespace {
+
+class ManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "lazyckpt_mgr_test";
+    std::filesystem::create_directories(dir_);
+    registry_.register_array("state", state_.data(), state_.size());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  ManagerConfig config() const {
+    ManagerConfig cfg;
+    cfg.checkpoint_dir = dir_.string();
+    cfg.alpha_oci_hours = 2.0;
+    cfg.shape_estimate = 0.6;
+    cfg.checkpoint_size_gb = 1.0;
+    cfg.fallback_mtbf_hours = 10.0;
+    cfg.fallback_beta_hours = 0.5;
+    return cfg;
+  }
+
+  std::filesystem::path dir_;
+  std::vector<double> state_ = std::vector<double>(64, 1.0);
+  RegionRegistry registry_;
+};
+
+TEST_F(ManagerTest, SchedulesAtPolicyInterval) {
+  VirtualClock clock;
+  CheckpointManager manager(config(), core::make_policy("static-oci"),
+                            registry_, clock);
+  EXPECT_DOUBLE_EQ(manager.next_checkpoint_due(), 2.0);
+  EXPECT_DOUBLE_EQ(manager.current_interval(), 2.0);
+}
+
+TEST_F(ManagerTest, CheckpointIfDueWritesAndReschedules) {
+  VirtualClock clock;
+  CheckpointManager manager(config(), core::make_policy("static-oci"),
+                            registry_, clock);
+  EXPECT_FALSE(manager.checkpoint_if_due(0.5).has_value());  // not due
+
+  clock.set(2.0);
+  const auto path = manager.checkpoint_if_due(2.0);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_TRUE(std::filesystem::exists(*path));
+  EXPECT_EQ(manager.stats().checkpoints_written, 1u);
+  EXPECT_DOUBLE_EQ(manager.next_checkpoint_due(), 4.0);
+  EXPECT_EQ(manager.latest_path().value(), *path);
+}
+
+TEST_F(ManagerTest, ILazyIntervalsStretchBetweenFailures) {
+  VirtualClock clock;
+  CheckpointManager manager(config(), core::make_policy("ilazy:0.6"),
+                            registry_, clock);
+  // At t=0 the interval equals OCI.
+  EXPECT_DOUBLE_EQ(manager.next_checkpoint_due(), 2.0);
+  clock.set(2.5);  // past the OCI: the clamp no longer binds
+  ASSERT_TRUE(manager.checkpoint_if_due(2.5).has_value());
+  // Next interval computed at t=2.5 with no failure observed: lazier.
+  const double second_gap = manager.next_checkpoint_due() - 2.5;
+  EXPECT_GT(second_gap, 2.0);
+
+  clock.set(manager.next_checkpoint_due());
+  ASSERT_TRUE(manager.checkpoint_if_due(clock.now_hours()).has_value());
+  const double third_gap =
+      manager.next_checkpoint_due() - clock.now_hours();
+  EXPECT_GT(third_gap, second_gap);
+
+  // A failure resets the interval back to the OCI.
+  clock.advance(0.1);
+  manager.notify_failure();
+  EXPECT_NEAR(manager.next_checkpoint_due() - clock.now_hours(), 2.0, 1e-9);
+}
+
+TEST_F(ManagerTest, SkipPolicySkipsBoundary) {
+  VirtualClock clock;
+  CheckpointManager manager(config(),
+                            core::make_policy("skip1:static-oci"),
+                            registry_, clock);
+  clock.set(2.0);
+  EXPECT_FALSE(manager.checkpoint_if_due(2.0).has_value());  // skipped
+  EXPECT_EQ(manager.stats().checkpoints_skipped, 1u);
+  EXPECT_EQ(manager.stats().checkpoints_written, 0u);
+  clock.set(manager.next_checkpoint_due());
+  EXPECT_TRUE(manager.checkpoint_if_due(clock.now_hours()).has_value());
+}
+
+TEST_F(ManagerTest, RestoreLatestRoundTripsState) {
+  VirtualClock clock;
+  CheckpointManager manager(config(), core::make_policy("static-oci"),
+                            registry_, clock);
+  state_.assign(state_.size(), 7.0);
+  clock.set(2.0);
+  ASSERT_TRUE(manager.checkpoint_if_due(2.0).has_value());
+
+  state_.assign(state_.size(), -1.0);  // "crash"
+  clock.advance(0.5);
+  manager.notify_failure();
+  const auto metadata = manager.restore_latest();
+  ASSERT_TRUE(metadata.has_value());
+  EXPECT_DOUBLE_EQ(metadata->app_time_hours, 2.0);
+  for (const double v : state_) EXPECT_DOUBLE_EQ(v, 7.0);
+  EXPECT_EQ(manager.stats().restarts, 1u);
+}
+
+TEST_F(ManagerTest, RestoreWithoutCheckpointReturnsNullopt) {
+  VirtualClock clock;
+  CheckpointManager manager(config(), core::make_policy("static-oci"),
+                            registry_, clock);
+  EXPECT_FALSE(manager.restore_latest().has_value());
+}
+
+TEST_F(ManagerTest, AgentsDriveDynamicOci) {
+  // Failures every 1 h in the log => dynamic OCI shrinks well below the
+  // static 2 h reference once history is visible.
+  std::vector<failures::FailureEvent> events;
+  for (int i = 1; i <= 20; ++i) {
+    events.push_back({static_cast<double>(i), 0, {}});
+  }
+  const failures::FailureTrace trace(std::move(events));
+  const failures::FailureLogAgent failure_agent(trace);
+  const io::BandwidthTrace bandwidth(1.0, std::vector<double>(48, 10.0));
+  const io::IoLogAgent io_agent(bandwidth);
+
+  VirtualClock clock;
+  auto cfg = config();
+  cfg.checkpoint_size_gb = 18000.0;  // beta = 0.5 h at 10 GB/s
+  CheckpointManager manager(cfg, core::make_policy("dynamic-oci"), registry_,
+                            clock, &failure_agent, &io_agent);
+  clock.set(21.0);  // all 20 failures visible, observed MTBF = 1 h
+  manager.notify_failure();
+  // Daly OCI for beta 0.5, MTBF 1.0 is 0.5 h — far below 2 h.
+  const double interval = manager.current_interval();
+  EXPECT_LT(interval, 1.0);
+  EXPECT_GT(interval, 0.2);
+}
+
+TEST_F(ManagerTest, IncrementalModeWritesDeltasAndRestores) {
+  VirtualClock clock;
+  auto cfg = config();
+  cfg.incremental_full_every = 4;
+  CheckpointManager manager(cfg, core::make_policy("static-oci"), registry_,
+                            clock);
+
+  state_.assign(state_.size(), 1.0);
+  clock.set(2.0);
+  const auto first = manager.checkpoint_if_due(2.0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_NE(first->find(".full"), std::string::npos);
+  const double bytes_after_full = manager.stats().bytes_written;
+
+  state_[3] = 5.0;  // tiny change -> tiny delta
+  clock.set(4.0);
+  const auto second = manager.checkpoint_if_due(4.0);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NE(second->find(".delta"), std::string::npos);
+  EXPECT_LT(manager.stats().bytes_written - bytes_after_full, 256.0);
+
+  const auto expected = state_;
+  state_.assign(state_.size(), -9.0);
+  clock.advance(0.1);
+  manager.notify_failure();
+  const auto metadata = manager.restore_latest();
+  ASSERT_TRUE(metadata.has_value());
+  EXPECT_DOUBLE_EQ(metadata->app_time_hours, 4.0);
+  EXPECT_EQ(state_, expected);
+}
+
+TEST_F(ManagerTest, ConfigValidation) {
+  auto cfg = config();
+  cfg.checkpoint_dir = "";
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg = config();
+  cfg.shape_estimate = 0.0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  VirtualClock clock;
+  EXPECT_THROW(
+      CheckpointManager(config(), nullptr, registry_, clock),
+      InvalidArgument);
+}
+
+TEST_F(ManagerTest, DriverThreadWritesCheckpoints) {
+  // Real clock scaled tight: OCI of 1e-6 hours (3.6 ms) with a 1 ms poll.
+  auto cfg = config();
+  cfg.alpha_oci_hours = 1e-6;
+  SystemClock clock;
+  CheckpointManager manager(cfg, core::make_policy("static-oci"), registry_,
+                            clock);
+  std::atomic<int> progress{0};
+  {
+    ThreadedCheckpointDriver driver(
+        manager, clock,
+        [&progress] { return static_cast<double>(progress.load()); },
+        /*poll_interval_seconds=*/0.001);
+    for (int i = 0; i < 50; ++i) {
+      progress.store(i);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    driver.stop();
+  }
+  EXPECT_GE(manager.stats().checkpoints_written, 3u);
+  ASSERT_TRUE(manager.latest_path().has_value());
+  EXPECT_NO_THROW(verify_checkpoint(*manager.latest_path()));
+}
+
+}  // namespace
+}  // namespace lazyckpt::cr

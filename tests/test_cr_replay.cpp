@@ -1,0 +1,131 @@
+// Trace-replay harness (paper Sec. 6.2): static OCI computation, run
+// determinism, offset sensitivity, and the strategy-evaluation output.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "core/model/oci.hpp"
+#include "cr/trace_replay.hpp"
+#include "failures/generator.hpp"
+#include "io/bandwidth_trace.hpp"
+
+namespace lazyckpt::cr {
+namespace {
+
+class ReplayTest : public ::testing::Test {
+ protected:
+  ReplayTest()
+      : failure_log_(failures::generate_trace(
+            {"titan-like", 7.5, 0.6, 4320.0, 18688, 2718})),
+        io_log_(io::BandwidthTrace::synthetic_spider(4320.0)) {}
+
+  ReplayConfig config() const {
+    ReplayConfig cfg;
+    cfg.historical_mtbf_hours = 7.5;
+    cfg.historical_bandwidth_gbps = 10.0;
+    cfg.shape_estimate = 0.6;
+    return cfg;
+  }
+
+  ReplayAppSpec small_app() const {
+    // 18 TB checkpoints => beta = 0.5 h at the historical 10 GB/s.
+    return {"toy", 18000.0, 120.0};
+  }
+
+  failures::FailureTrace failure_log_;
+  io::BandwidthTrace io_log_;
+};
+
+TEST_F(ReplayTest, StaticOciFromHistoricalEstimates) {
+  const TraceReplayHarness harness(failure_log_, io_log_, config());
+  const double beta = transfer_time_hours(18000.0, 10.0);
+  EXPECT_NEAR(harness.static_oci_hours(small_app()),
+              core::daly_oci(beta, 7.5), 1e-12);
+}
+
+TEST_F(ReplayTest, RunsAreDeterministic) {
+  const TraceReplayHarness harness(failure_log_, io_log_, config());
+  const auto a = harness.run(small_app(), "static-oci", 100.0);
+  const auto b = harness.run(small_app(), "static-oci", 100.0);
+  EXPECT_DOUBLE_EQ(a.makespan_hours, b.makespan_hours);
+  EXPECT_DOUBLE_EQ(a.checkpoint_hours, b.checkpoint_hours);
+  EXPECT_EQ(a.failures, b.failures);
+}
+
+TEST_F(ReplayTest, CompletesRequestedWork) {
+  const TraceReplayHarness harness(failure_log_, io_log_, config());
+  const auto run = harness.run(small_app(), "ilazy:0.6", 200.0);
+  EXPECT_DOUBLE_EQ(run.compute_hours, 120.0);
+  EXPECT_GT(run.makespan_hours, 120.0);
+}
+
+TEST_F(ReplayTest, DifferentOffsetsSeeDifferentFailures) {
+  const TraceReplayHarness harness(failure_log_, io_log_, config());
+  const auto a = harness.run(small_app(), "static-oci", 0.0);
+  const auto b = harness.run(small_app(), "static-oci", 1500.0);
+  EXPECT_NE(a.makespan_hours, b.makespan_hours);
+}
+
+TEST_F(ReplayTest, EvaluateProducesBaselineRelativeSavings) {
+  const TraceReplayHarness harness(failure_log_, io_log_, config());
+  const std::vector<std::string> specs = {"static-oci", "dynamic-oci",
+                                          "skip2:static-oci", "ilazy:0.6"};
+  const std::vector<double> offsets = {0.0, 720.0, 1440.0, 2160.0};
+  const auto outcomes = harness.evaluate(small_app(), specs, offsets);
+  ASSERT_EQ(outcomes.size(), specs.size());
+
+  // Baseline savings vs itself are exactly zero.
+  EXPECT_DOUBLE_EQ(outcomes[0].mean_io_saving, 0.0);
+  EXPECT_DOUBLE_EQ(outcomes[0].mean_time_saving, 0.0);
+
+  // iLazy reduces checkpoint I/O on average (the paper's headline).
+  const auto& ilazy = outcomes[3];
+  EXPECT_GT(ilazy.mean_io_saving, 0.05);
+  EXPECT_LE(ilazy.min_io_saving, ilazy.mean_io_saving);
+  EXPECT_GE(ilazy.max_io_saving, ilazy.mean_io_saving);
+  // And costs little wall time in either direction.
+  EXPECT_GT(ilazy.mean_time_saving, -0.05);
+
+  // Skip writes fewer checkpoints than the baseline.
+  EXPECT_LT(outcomes[2].metrics.mean_checkpoints_written,
+            outcomes[0].metrics.mean_checkpoints_written);
+  EXPECT_GT(outcomes[2].metrics.mean_checkpoints_skipped, 0.0);
+
+  // Write volume ordering follows I/O time savings (Table 3's point).
+  EXPECT_LT(ilazy.metrics.mean_data_written_gb,
+            outcomes[0].metrics.mean_data_written_gb);
+}
+
+TEST_F(ReplayTest, EvaluateValidatesArguments) {
+  const TraceReplayHarness harness(failure_log_, io_log_, config());
+  const std::vector<std::string> specs = {"static-oci"};
+  const std::vector<double> offsets = {0.0};
+  EXPECT_THROW(harness.evaluate(small_app(), {}, offsets), InvalidArgument);
+  EXPECT_THROW(harness.evaluate(small_app(), specs, {}), InvalidArgument);
+}
+
+TEST_F(ReplayTest, RejectsBadAppSpec) {
+  const TraceReplayHarness harness(failure_log_, io_log_, config());
+  EXPECT_THROW(harness.run({"x", 0.0, 100.0}, "static-oci", 0.0),
+               InvalidArgument);
+  EXPECT_THROW(harness.run({"x", 100.0, 0.0}, "static-oci", 0.0),
+               InvalidArgument);
+}
+
+TEST_F(ReplayTest, ConfigValidation) {
+  auto bad = config();
+  bad.historical_mtbf_hours = 0.0;
+  EXPECT_THROW(TraceReplayHarness(failure_log_, io_log_, bad),
+               InvalidArgument);
+  bad = config();
+  bad.shape_estimate = 1.5;
+  EXPECT_THROW(TraceReplayHarness(failure_log_, io_log_, bad),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace lazyckpt::cr

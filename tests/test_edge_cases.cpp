@@ -1,0 +1,210 @@
+// Edge cases across modules that the mainline suites don't reach:
+// empty/degenerate inputs, boundary timings, idempotent shutdowns, and
+// cross-feature interactions.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/histogram.hpp"
+#include "core/policy/factory.hpp"
+#include "core/policy/skip.hpp"
+#include "cr/driver.hpp"
+#include "cr/manager.hpp"
+#include "failures/trace.hpp"
+#include "io/storage_model.hpp"
+#include "sim/engine.hpp"
+#include "sim/failure_source.hpp"
+#include "stats/weibull.hpp"
+
+namespace lazyckpt {
+namespace {
+
+// ---------------------------------------------------------------- csv
+TEST(EdgeCsv, HeaderOnlyDocument) {
+  const auto doc = CsvDocument::parse("a,b\n");
+  EXPECT_EQ(doc.row_count(), 0u);
+  EXPECT_TRUE(doc.numeric_column("a").empty());
+}
+
+TEST(EdgeCsv, CommentOnlyBodyIsHeaderless) {
+  EXPECT_THROW(CsvDocument::parse("# nothing here\n"), IoError);
+  EXPECT_THROW(CsvDocument::parse(""), IoError);
+}
+
+TEST(EdgeCsv, TrailingNewlineOptional) {
+  const auto with = CsvDocument::parse("a\n1\n");
+  const auto without = CsvDocument::parse("a\n1");
+  EXPECT_EQ(with.row_count(), without.row_count());
+}
+
+// ------------------------------------------------------------ histogram
+TEST(EdgeHistogram, RenderOnEmptyHistogram) {
+  Histogram h(0.0, 1.0, 3);
+  EXPECT_FALSE(h.render().empty());
+  EXPECT_DOUBLE_EQ(h.fraction_below(0.5), 0.0);
+}
+
+TEST(EdgeHistogram, NanSamplesCountAsUnderflow) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(std::nan(""));
+  EXPECT_EQ(h.underflow(), 1u);
+}
+
+// ---------------------------------------------------------------- trace
+TEST(EdgeTrace, EmptyTraceQueries) {
+  const failures::FailureTrace empty;
+  EXPECT_DOUBLE_EQ(empty.span_hours(), 0.0);
+  EXPECT_TRUE(empty.inter_arrival_times().empty());
+  EXPECT_EQ(empty.count_until(100.0), 0u);
+}
+
+TEST(EdgeTrace, SimultaneousFailuresAllowed) {
+  // Two components can fail at the same console timestamp.
+  const failures::FailureTrace trace(
+      {{1.0, 0, {}}, {1.0, 1, {}}, {2.0, 0, {}}});
+  EXPECT_EQ(trace.size(), 3u);
+  const auto gaps = trace.inter_arrival_times();
+  EXPECT_DOUBLE_EQ(gaps[0], 0.0);
+  EXPECT_DOUBLE_EQ(trace.fraction_within(0.5), 0.5);
+}
+
+TEST(EdgeTrace, WindowValidation) {
+  const failures::FailureTrace trace({{1.0, 0, {}}});
+  EXPECT_THROW(trace.window(2.0, 1.0), InvalidArgument);
+  EXPECT_THROW(trace.window(-1.0, 1.0), InvalidArgument);
+}
+
+// ---------------------------------------------------------------- engine
+TEST(EdgeEngine, FailureAtExactStartIsPreHistory) {
+  // Convention: a trace event exactly at the replay offset belongs to the
+  // machine's history, not to the run (count_until is inclusive).
+  const failures::FailureTrace trace({{0.0, 0, {}}});
+  sim::TraceFailureSource source(trace);
+  EXPECT_TRUE(std::isinf(source.peek_next()));
+
+  // An instant later, the failure interrupts the run with ~zero loss.
+  const failures::FailureTrace just_after({{1e-9, 0, {}}});
+  sim::TraceFailureSource source_b(just_after);
+  core::PolicyPtr policy = core::make_policy("periodic:2");
+  const io::ConstantStorage storage(0.5, 0.25);
+  sim::SimulationConfig config;
+  config.compute_hours = 4.0;
+  config.alpha_oci_hours = 2.0;
+  config.mtbf_hint_hours = 11.0;
+  config.shape_hint = 0.6;
+  const auto m = sim::simulate(config, *policy, source_b, storage);
+  EXPECT_EQ(m.failures, 1u);
+  EXPECT_DOUBLE_EQ(m.compute_hours, 4.0);
+  EXPECT_NEAR(m.wasted_hours, 0.0, 1e-8);
+  EXPECT_DOUBLE_EQ(m.restart_hours, 0.25);
+}
+
+TEST(EdgeEngine, WorkSmallerThanOneInterval) {
+  // The job finishes inside the first chunk: no checkpoint at all.
+  const failures::FailureTrace trace;
+  sim::TraceFailureSource source(trace);
+  core::PolicyPtr policy = core::make_policy("periodic:10");
+  const io::ConstantStorage storage(0.5, 0.25);
+  sim::SimulationConfig config;
+  config.compute_hours = 3.0;
+  config.alpha_oci_hours = 10.0;
+  config.mtbf_hint_hours = 11.0;
+  config.shape_hint = 0.6;
+  const auto m = sim::simulate(config, *policy, source, storage);
+  EXPECT_EQ(m.checkpoints_written, 0u);
+  EXPECT_DOUBLE_EQ(m.makespan_hours, 3.0);
+}
+
+TEST(EdgeEngine, BackToBackFailures) {
+  // Failures at 1.0 and 1.0 + gamma/2: the second lands mid-restart.
+  const failures::FailureTrace trace({{1.0, 0, {}}, {1.125, 0, {}}});
+  sim::TraceFailureSource source(trace);
+  core::PolicyPtr policy = core::make_policy("periodic:2");
+  const io::ConstantStorage storage(0.5, 0.25);
+  sim::SimulationConfig config;
+  config.compute_hours = 4.0;
+  config.alpha_oci_hours = 2.0;
+  config.mtbf_hint_hours = 11.0;
+  config.shape_hint = 0.6;
+  const auto m = sim::simulate(config, *policy, source, storage);
+  EXPECT_EQ(m.failures, 2u);
+  // waste: 1.0 (chunk) + 0.125 (first restart attempt)
+  EXPECT_NEAR(m.wasted_hours, 1.125, 1e-12);
+  EXPECT_DOUBLE_EQ(m.restart_hours, 0.25);
+}
+
+TEST(EdgeEngine, SkipCounterSurvivesSkippedBoundary) {
+  // skip-2 with no failures: boundary 1 written, boundary 2 skipped,
+  // boundary 3 written (the counter keeps advancing past the skip).
+  const failures::FailureTrace trace;
+  sim::TraceFailureSource source(trace);
+  const auto policy = core::make_policy("skip2:periodic:2");
+  const io::ConstantStorage storage(0.5, 0.25);
+  sim::SimulationConfig config;
+  config.compute_hours = 8.0;
+  config.alpha_oci_hours = 2.0;
+  config.mtbf_hint_hours = 11.0;
+  config.shape_hint = 0.6;
+  const auto m = sim::simulate(config, *policy, source, storage);
+  EXPECT_EQ(m.checkpoints_skipped, 1u);
+  EXPECT_EQ(m.checkpoints_written, 2u);
+}
+
+// ---------------------------------------------------------------- renewal
+TEST(EdgeRenewal, SourceIsStrictlyIncreasing) {
+  const auto weibull = stats::Weibull::from_mtbf_and_shape(5.0, 0.6);
+  sim::RenewalFailureSource source(weibull.clone(), Rng(3));
+  double previous = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double next = source.peek_next();
+    EXPECT_GT(next, previous);
+    previous = next;
+    source.pop();
+  }
+}
+
+// ---------------------------------------------------------------- driver
+TEST(EdgeDriver, StopIsIdempotent) {
+  std::vector<double> state(8, 0.0);
+  cr::RegionRegistry registry;
+  registry.register_array("state", state.data(), state.size());
+  const auto dir =
+      std::filesystem::temp_directory_path() / "lazyckpt_edge_driver";
+  std::filesystem::create_directories(dir);
+  cr::ManagerConfig config;
+  config.checkpoint_dir = dir.string();
+  config.alpha_oci_hours = 1000.0;  // never fires
+  cr::SystemClock clock;
+  cr::CheckpointManager manager(config, core::make_policy("static-oci"),
+                                registry, clock);
+  {
+    cr::ThreadedCheckpointDriver driver(manager, clock, [] { return 0.0; });
+    driver.stop();
+    driver.stop();  // second stop must be a no-op
+  }  // destructor stops again
+  std::filesystem::remove_all(dir);
+  SUCCEED();
+}
+
+// ---------------------------------------------------------------- factory
+TEST(EdgeFactory, NestedSkipComposition) {
+  // skip policies compose: skip1 over skip2 skips boundaries 1 and 2.
+  const auto policy = core::make_policy("skip1:skip2:static-oci");
+  core::PolicyContext ctx;
+  ctx.alpha_oci_hours = 2.0;
+  ctx.checkpoints_since_failure = 1;
+  EXPECT_TRUE(policy->should_skip(ctx));
+  ctx.checkpoints_since_failure = 2;
+  EXPECT_TRUE(policy->should_skip(ctx));
+  ctx.checkpoints_since_failure = 3;
+  EXPECT_FALSE(policy->should_skip(ctx));
+}
+
+}  // namespace
+}  // namespace lazyckpt

@@ -1,0 +1,153 @@
+// Bandwidth traces, storage models, and the I/O-log agent.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "io/bandwidth_trace.hpp"
+#include "io/io_agent.hpp"
+#include "io/storage_model.hpp"
+
+namespace lazyckpt::io {
+namespace {
+
+// ---------------------------------------------------------------- trace
+TEST(BandwidthTrace, PiecewiseLookup) {
+  const BandwidthTrace trace(1.0, {10.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(trace.at(-1.0), 10.0);
+  EXPECT_DOUBLE_EQ(trace.at(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(trace.at(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(trace.at(2.5), 30.0);
+  EXPECT_DOUBLE_EQ(trace.at(99.0), 30.0);  // clamped to the end
+  EXPECT_DOUBLE_EQ(trace.span_hours(), 3.0);
+}
+
+TEST(BandwidthTrace, AverageOverRange) {
+  const BandwidthTrace trace(1.0, {10.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(trace.average(0.0, 2.9), 20.0);
+  EXPECT_DOUBLE_EQ(trace.average(0.0, 0.5), 10.0);
+}
+
+TEST(BandwidthTrace, HarmonicAverageBelowArithmetic) {
+  const BandwidthTrace trace(1.0, {5.0, 20.0});
+  // Harmonic mean of {5, 20} = 2 / (1/5 + 1/20) = 8.
+  EXPECT_DOUBLE_EQ(trace.harmonic_average(0.0, 2.0), 8.0);
+  EXPECT_LT(trace.harmonic_average(0.0, 2.0), trace.average(0.0, 2.0));
+  // Constant bandwidth: both means agree.
+  const BandwidthTrace flat(1.0, {10.0, 10.0});
+  EXPECT_DOUBLE_EQ(flat.harmonic_average(0.0, 2.0), 10.0);
+}
+
+TEST(BandwidthTrace, RejectsBadConstruction) {
+  EXPECT_THROW(BandwidthTrace(0.0, {1.0}), InvalidArgument);
+  EXPECT_THROW(BandwidthTrace(1.0, {}), InvalidArgument);
+  EXPECT_THROW(BandwidthTrace(1.0, {1.0, -2.0}), InvalidArgument);
+}
+
+TEST(BandwidthTrace, SyntheticSpiderStatistics) {
+  const auto trace = BandwidthTrace::synthetic_spider(4320.0);
+  EXPECT_GT(trace.size(), 1000u);
+  double lo = 1e9;
+  double hi = 0.0;
+  for (const double s : trace.samples()) {
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  EXPECT_GE(lo, 1.0);
+  EXPECT_LE(hi, 110.0);
+  // Mean near the observed ~10 GB/s the paper reports for Spider.
+  const double mean = trace.average(0.0, trace.span_hours() - 0.5);
+  EXPECT_GT(mean, 6.0);
+  EXPECT_LT(mean, 16.0);
+}
+
+TEST(BandwidthTrace, SyntheticIsDeterministicInSeed) {
+  const auto a = BandwidthTrace::synthetic_spider(100.0, 10.0, 1.0, 110.0, 3);
+  const auto b = BandwidthTrace::synthetic_spider(100.0, 10.0, 1.0, 110.0, 3);
+  const auto c = BandwidthTrace::synthetic_spider(100.0, 10.0, 1.0, 110.0, 4);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.samples(), b.samples());
+  EXPECT_NE(a.samples(), c.samples());
+}
+
+TEST(BandwidthTrace, CsvRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "lazyckpt_bw_test.csv")
+          .string();
+  const BandwidthTrace trace(0.5, {5.0, 6.0, 7.0});
+  trace.save_csv(path);
+  const auto loaded = BandwidthTrace::load_csv(path);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_DOUBLE_EQ(loaded.step_hours(), 0.5);
+  EXPECT_NEAR(loaded.at(1.2), 7.0, 1e-9);
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------- storage
+TEST(ConstantStorage, FixedCosts) {
+  const ConstantStorage storage(0.5, 0.25, 100.0);
+  EXPECT_DOUBLE_EQ(storage.checkpoint_time(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(storage.checkpoint_time(999.0), 0.5);
+  EXPECT_DOUBLE_EQ(storage.restart_time(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(storage.checkpoint_size_gb(), 100.0);
+}
+
+TEST(ConstantStorage, ZeroRestartAllowed) {
+  EXPECT_NO_THROW(ConstantStorage(0.5, 0.0));
+  EXPECT_THROW(ConstantStorage(0.0, 0.0), InvalidArgument);
+}
+
+TEST(TraceStorage, TimeVaryingBeta) {
+  const BandwidthTrace trace(1.0, {10.0, 20.0});
+  const TraceStorage storage(tb_to_gb(20.0), trace);
+  // 20 TB at 10 GB/s = 2000 s; at 20 GB/s = 1000 s.
+  EXPECT_NEAR(storage.checkpoint_time(0.5), 2000.0 / 3600.0, 1e-9);
+  EXPECT_NEAR(storage.checkpoint_time(1.5), 1000.0 / 3600.0, 1e-9);
+  EXPECT_NEAR(storage.restart_time(1.5), 1000.0 / 3600.0, 1e-9);
+}
+
+TEST(TraceStorage, OffsetRebasesTime) {
+  const BandwidthTrace trace(1.0, {10.0, 20.0});
+  const TraceStorage storage(36000.0, trace, /*offset=*/1.0);
+  EXPECT_NEAR(storage.checkpoint_time(0.0), 36000.0 / 20.0 / 3600.0, 1e-9);
+}
+
+TEST(TraceStorage, ReadSpeedupAcceleratesRestartOnly) {
+  const BandwidthTrace trace(1.0, {10.0});
+  const TraceStorage storage(36000.0, trace, 0.0, /*read_speedup=*/4.0);
+  EXPECT_DOUBLE_EQ(storage.checkpoint_time(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(storage.restart_time(0.0), 0.25);
+  EXPECT_THROW(TraceStorage(36000.0, trace, 0.0, 0.5), InvalidArgument);
+}
+
+TEST(TraceStorage, CloneIsIndependentHandle) {
+  const BandwidthTrace trace(1.0, {10.0});
+  const TraceStorage storage(100.0, trace);
+  const auto copy = storage.clone();
+  EXPECT_DOUBLE_EQ(copy->checkpoint_time(0.0), storage.checkpoint_time(0.0));
+}
+
+// ---------------------------------------------------------------- agent
+TEST(IoAgent, CurrentAndHistoricalBandwidth) {
+  const BandwidthTrace trace(1.0, {10.0, 20.0, 30.0});
+  const IoLogAgent agent(trace);
+  EXPECT_DOUBLE_EQ(agent.current_bandwidth(2.5), 30.0);
+  EXPECT_DOUBLE_EQ(agent.historical_average(2.9), 20.0);
+  // Only the past influences the estimate: at t=0.9 it is the first sample.
+  EXPECT_DOUBLE_EQ(agent.historical_average(0.9), 10.0);
+}
+
+TEST(IoAgent, EstimatedCheckpointTime) {
+  const BandwidthTrace trace(1.0, {10.0, 10.0});
+  const IoLogAgent agent(trace);
+  EXPECT_NEAR(agent.estimated_checkpoint_time(1.5, tb_to_gb(20.0)),
+              2000.0 / 3600.0, 1e-9);
+  EXPECT_THROW(agent.estimated_checkpoint_time(1.0, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace lazyckpt::io

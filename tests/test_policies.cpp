@@ -1,0 +1,249 @@
+// Checkpoint policies: interval formulas, clamping, reset semantics, skip
+// counting, composition, and the textual factory.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/policy/bounded_ilazy.hpp"
+#include "core/policy/dynamic_oci.hpp"
+#include "core/policy/factory.hpp"
+#include "core/policy/ilazy.hpp"
+#include "core/policy/linear.hpp"
+#include "core/policy/periodic.hpp"
+#include "core/policy/skip.hpp"
+#include "core/model/oci.hpp"
+
+namespace lazyckpt::core {
+namespace {
+
+PolicyContext context_at(double time_since_failure,
+                         int checkpoints_since_failure = 0) {
+  PolicyContext ctx;
+  ctx.now_hours = time_since_failure;
+  ctx.time_since_failure_hours = time_since_failure;
+  ctx.alpha_oci_hours = 2.98;
+  ctx.checkpoint_time_hours = 0.5;
+  ctx.mtbf_estimate_hours = 11.0;
+  ctx.weibull_shape_estimate = 0.6;
+  ctx.checkpoints_since_failure = checkpoints_since_failure;
+  return ctx;
+}
+
+// ---------------------------------------------------------------- periodic
+TEST(Periodic, FixedInterval) {
+  PeriodicPolicy policy(1.0);
+  EXPECT_DOUBLE_EQ(policy.next_interval(context_at(0.0)), 1.0);
+  EXPECT_DOUBLE_EQ(policy.next_interval(context_at(100.0)), 1.0);
+  EXPECT_FALSE(policy.should_skip(context_at(5.0, 1)));
+  EXPECT_EQ(policy.name(), "periodic(1h)");
+}
+
+TEST(Periodic, RejectsNonPositive) {
+  EXPECT_THROW(PeriodicPolicy(0.0), InvalidArgument);
+}
+
+TEST(StaticOci, UsesContextReference) {
+  StaticOciPolicy policy;
+  EXPECT_DOUBLE_EQ(policy.next_interval(context_at(3.0)), 2.98);
+}
+
+// ---------------------------------------------------------------- dynamic
+TEST(DynamicOci, TracksEstimates) {
+  DynamicOciPolicy policy;
+  auto ctx = context_at(0.0);
+  EXPECT_NEAR(policy.next_interval(ctx), daly_oci(0.5, 11.0), 1e-12);
+  ctx.mtbf_estimate_hours = 2.0;  // failure storm: shorter MTBF estimate
+  EXPECT_NEAR(policy.next_interval(ctx), daly_oci(0.5, 2.0), 1e-12);
+  EXPECT_LT(daly_oci(0.5, 2.0), daly_oci(0.5, 11.0));
+}
+
+// ---------------------------------------------------------------- ilazy
+TEST(ILazy, EqualsOciRightAfterFailure) {
+  ILazyPolicy policy(0.6);
+  EXPECT_DOUBLE_EQ(policy.next_interval(context_at(0.0)), 2.98);
+  EXPECT_DOUBLE_EQ(policy.next_interval(context_at(1.0)), 2.98);
+}
+
+TEST(ILazy, Equation11) {
+  // alpha_lazy = alpha_oci * (t / alpha_oci)^(1 - k)
+  const double expected = 2.98 * std::pow(10.0 / 2.98, 0.4);
+  EXPECT_NEAR(ILazyPolicy(0.6).next_interval(context_at(10.0)), expected,
+              1e-12);
+}
+
+TEST(ILazy, IntervalsGrowBetweenFailures) {
+  ILazyPolicy policy(0.6);
+  double previous = 0.0;
+  for (double t = 3.0; t < 100.0; t *= 1.5) {
+    const double interval = policy.next_interval(context_at(t));
+    EXPECT_GT(interval, previous);
+    previous = interval;
+  }
+}
+
+TEST(ILazy, ShapeOneDegeneratesToOci) {
+  // "When failures are exponentially distributed, the iLazy technique
+  // automatically reduces to the OCI case."
+  ILazyPolicy policy(1.0);
+  for (const double t : {0.0, 5.0, 50.0, 500.0}) {
+    EXPECT_DOUBLE_EQ(policy.next_interval(context_at(t)), 2.98);
+  }
+}
+
+TEST(ILazy, LowerShapeIsLazier) {
+  const auto at = context_at(30.0);
+  EXPECT_GT(ILazyPolicy(0.5).next_interval(at),
+            ILazyPolicy(0.7).next_interval(at));
+}
+
+TEST(ILazy, UsesContextShapeWhenUnset) {
+  ILazyPolicy policy;  // shape from ctx (0.6)
+  EXPECT_DOUBLE_EQ(policy.next_interval(context_at(10.0)),
+                   ILazyPolicy(0.6).next_interval(context_at(10.0)));
+}
+
+TEST(ILazy, RejectsBadShape) {
+  EXPECT_THROW(ILazyPolicy(0.0), InvalidArgument);
+  EXPECT_THROW(ILazyPolicy(1.5), InvalidArgument);
+  auto ctx = context_at(1.0);
+  ctx.weibull_shape_estimate = 2.0;
+  ILazyPolicy policy;
+  EXPECT_THROW((void)policy.next_interval(ctx), InvalidArgument);
+}
+
+// ---------------------------------------------------------------- bounded
+TEST(BoundedILazy, NeverExceedsPlainILazy) {
+  BoundedILazyPolicy bounded(0.6);
+  ILazyPolicy plain(0.6);
+  for (const double t : {0.0, 3.0, 10.0, 40.0, 200.0}) {
+    EXPECT_LE(bounded.next_interval(context_at(t)),
+              plain.next_interval(context_at(t)) + 1e-9)
+        << "t=" << t;
+  }
+}
+
+TEST(BoundedILazy, AtLeastOci) {
+  BoundedILazyPolicy bounded(0.6);
+  for (const double t : {0.0, 10.0, 100.0}) {
+    EXPECT_GE(bounded.next_interval(context_at(t)), 2.98 - 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------- linear
+TEST(Linear, RampsWithCheckpointCount) {
+  LinearIncreasePolicy policy(0.1);
+  EXPECT_DOUBLE_EQ(policy.next_interval(context_at(0.0, 0)), 2.98);
+  EXPECT_DOUBLE_EQ(policy.next_interval(context_at(9.0, 3)), 2.98 + 0.3);
+}
+
+TEST(Linear, ZeroStepIsOci) {
+  LinearIncreasePolicy policy(0.0);
+  EXPECT_DOUBLE_EQ(policy.next_interval(context_at(50.0, 10)), 2.98);
+}
+
+TEST(Linear, GrowsSlowerThanILazyFarFromFailure) {
+  // Paper Fig. 16: the linear ramp undercuts iLazy's stretch at large t.
+  LinearIncreasePolicy linear(0.1);
+  ILazyPolicy ilazy(0.6);
+  // After ~10 checkpoints (~30 h since failure):
+  const auto ctx = context_at(30.0, 10);
+  EXPECT_LT(linear.next_interval(ctx), ilazy.next_interval(ctx));
+}
+
+// ---------------------------------------------------------------- skip
+TEST(Skip, SkipsExactlyTheNthBoundary) {
+  SkipPolicy policy(std::make_unique<StaticOciPolicy>(), 2);
+  EXPECT_FALSE(policy.should_skip(context_at(3.0, 1)));
+  EXPECT_TRUE(policy.should_skip(context_at(6.0, 2)));
+  EXPECT_FALSE(policy.should_skip(context_at(9.0, 3)));
+}
+
+TEST(Skip, DelegatesIntervalToBase) {
+  SkipPolicy policy(std::make_unique<PeriodicPolicy>(1.5), 1);
+  EXPECT_DOUBLE_EQ(policy.next_interval(context_at(0.0)), 1.5);
+  EXPECT_EQ(policy.name(), "skip-1(periodic(1.5h))");
+}
+
+TEST(Skip, ComposesWithILazy) {
+  SkipPolicy policy(std::make_unique<ILazyPolicy>(0.6), 3);
+  EXPECT_TRUE(policy.should_skip(context_at(12.0, 3)));
+  EXPECT_GT(policy.next_interval(context_at(12.0, 3)), 2.98);
+}
+
+TEST(Skip, RejectsBadConstruction) {
+  EXPECT_THROW(SkipPolicy(nullptr, 1), InvalidArgument);
+  EXPECT_THROW(SkipPolicy(std::make_unique<StaticOciPolicy>(), 0),
+               InvalidArgument);
+}
+
+TEST(Skip, CloneIsDeep) {
+  SkipPolicy policy(std::make_unique<ILazyPolicy>(0.6), 2);
+  const auto copy = policy.clone();
+  EXPECT_EQ(copy->name(), policy.name());
+  EXPECT_TRUE(copy->should_skip(context_at(6.0, 2)));
+}
+
+// ---------------------------------------------------------------- factory
+TEST(Factory, BuildsEverySpec) {
+  EXPECT_EQ(make_policy("hourly")->name(), "periodic(1h)");
+  EXPECT_EQ(make_policy("periodic:2.5")->name(), "periodic(2.5h)");
+  EXPECT_EQ(make_policy("static-oci")->name(), "static-oci");
+  EXPECT_EQ(make_policy("dynamic-oci")->name(), "dynamic-oci");
+  EXPECT_EQ(make_policy("ilazy")->name(), "ilazy");
+  EXPECT_EQ(make_policy("ilazy:0.6")->name(), "ilazy");
+  EXPECT_EQ(make_policy("bounded-ilazy:0.6")->name(), "bounded-ilazy");
+  EXPECT_EQ(make_policy("linear:0.1")->name(), "linear(x=0.1h)");
+  EXPECT_EQ(make_policy("skip2:static-oci")->name(), "skip-2(static-oci)");
+  EXPECT_EQ(make_policy("skip1:ilazy:0.6")->name(), "skip-1(ilazy)");
+}
+
+TEST(Factory, ParsedILazyMatchesDirectConstruction) {
+  const auto from_factory = make_policy("ilazy:0.6");
+  ILazyPolicy direct(0.6);
+  const auto ctx = context_at(20.0);
+  EXPECT_DOUBLE_EQ(from_factory->next_interval(ctx),
+                   direct.next_interval(ctx));
+}
+
+TEST(Factory, RejectsMalformedSpecs) {
+  EXPECT_THROW(make_policy(""), InvalidArgument);
+  EXPECT_THROW(make_policy("unknown"), InvalidArgument);
+  EXPECT_THROW(make_policy("periodic:abc"), InvalidArgument);
+  EXPECT_THROW(make_policy("skip:static-oci"), InvalidArgument);
+  EXPECT_THROW(make_policy("ilazy:2.0"), InvalidArgument);  // bad shape
+}
+
+// Parameterized: every factory spec yields a clonable policy whose clone
+// behaves identically on a probe context.
+class FactoryClone : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FactoryClone, CloneMatchesOriginal) {
+  const auto policy = make_policy(GetParam());
+  const auto copy = policy->clone();
+  const auto ctx = context_at(12.0, 2);
+  EXPECT_EQ(copy->name(), policy->name());
+  EXPECT_DOUBLE_EQ(copy->next_interval(ctx), policy->next_interval(ctx));
+  EXPECT_EQ(copy->should_skip(ctx), policy->should_skip(ctx));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpecs, FactoryClone,
+                         ::testing::Values("hourly", "periodic:2.5",
+                                           "static-oci", "dynamic-oci",
+                                           "ilazy", "ilazy:0.6",
+                                           "bounded-ilazy:0.6", "linear:0.1",
+                                           "skip2:static-oci",
+                                           "skip1:ilazy:0.6"),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
+                           for (auto& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace lazyckpt::core

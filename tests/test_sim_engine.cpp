@@ -1,0 +1,260 @@
+// Event-driven engine: exact hand-computed scenarios using trace-driven
+// failures, plus context bookkeeping, skip accounting, timeline recording,
+// and the livelock guard.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/policy/factory.hpp"
+#include "core/policy/periodic.hpp"
+#include "failures/trace.hpp"
+#include "io/storage_model.hpp"
+#include "sim/engine.hpp"
+#include "sim/failure_source.hpp"
+
+namespace lazyckpt::sim {
+namespace {
+
+failures::FailureTrace trace_at(std::vector<double> times) {
+  std::vector<failures::FailureEvent> events;
+  for (const double t : times) events.push_back({t, 0, {}});
+  return failures::FailureTrace(std::move(events));
+}
+
+SimulationConfig basic_config(double work) {
+  SimulationConfig config;
+  config.compute_hours = work;
+  config.alpha_oci_hours = 2.0;
+  config.mtbf_hint_hours = 11.0;
+  config.shape_hint = 0.6;
+  return config;
+}
+
+TEST(Engine, FailureFreeRunExactArithmetic) {
+  // W=10, alpha=2, beta=0.5: four checkpoints, the fifth chunk finishes the
+  // job with no trailing checkpoint.
+  const auto trace = trace_at({});
+  TraceFailureSource source(trace);
+  core::PeriodicPolicy policy(2.0);
+  const io::ConstantStorage storage(0.5, 0.25);
+  const auto metrics = simulate(basic_config(10.0), policy, source, storage);
+
+  EXPECT_DOUBLE_EQ(metrics.compute_hours, 10.0);
+  EXPECT_EQ(metrics.checkpoints_written, 4u);
+  EXPECT_DOUBLE_EQ(metrics.checkpoint_hours, 2.0);
+  EXPECT_DOUBLE_EQ(metrics.wasted_hours, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.restart_hours, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.makespan_hours, 12.0);
+  EXPECT_EQ(metrics.failures, 0u);
+}
+
+TEST(Engine, FailureDuringComputeHandComputed) {
+  // See the chronology in the test body: failure at t=3.0 interrupts the
+  // second chunk 0.5 h in; lost work is that 0.5 h, restart costs 0.25 h.
+  const auto trace = trace_at({3.0});
+  TraceFailureSource source(trace);
+  core::PeriodicPolicy policy(2.0);
+  const io::ConstantStorage storage(0.5, 0.25);
+  const auto metrics = simulate(basic_config(4.0), policy, source, storage);
+
+  EXPECT_DOUBLE_EQ(metrics.compute_hours, 4.0);
+  EXPECT_DOUBLE_EQ(metrics.checkpoint_hours, 0.5);
+  EXPECT_DOUBLE_EQ(metrics.wasted_hours, 0.5);
+  EXPECT_DOUBLE_EQ(metrics.restart_hours, 0.25);
+  EXPECT_DOUBLE_EQ(metrics.makespan_hours, 5.25);
+  EXPECT_EQ(metrics.failures, 1u);
+  EXPECT_EQ(metrics.checkpoints_written, 1u);
+}
+
+TEST(Engine, FailureDuringCheckpointDiscardsSegment) {
+  // Failure at t=2.2 lands inside the first checkpoint [2.0, 2.5]: the
+  // partial write (0.2 h) and the whole 2 h segment are wasted.
+  const auto trace = trace_at({2.2});
+  TraceFailureSource source(trace);
+  core::PeriodicPolicy policy(2.0);
+  const io::ConstantStorage storage(0.5, 0.25);
+  const auto metrics = simulate(basic_config(4.0), policy, source, storage);
+
+  EXPECT_DOUBLE_EQ(metrics.wasted_hours, 2.2);
+  EXPECT_DOUBLE_EQ(metrics.restart_hours, 0.25);
+  EXPECT_DOUBLE_EQ(metrics.checkpoint_hours, 0.5);  // the later, clean one
+  EXPECT_DOUBLE_EQ(metrics.makespan_hours, 6.95);
+  EXPECT_EQ(metrics.failures, 1u);
+  EXPECT_EQ(metrics.checkpoints_written, 1u);
+}
+
+TEST(Engine, FailureDuringRestartRepeatsRestart) {
+  // Failure at 2.2 (mid-checkpoint) then at 2.3 (mid-restart): the first
+  // restart's 0.1 h is wasted; the second restart completes.
+  const auto trace = trace_at({2.2, 2.3});
+  TraceFailureSource source(trace);
+  core::PeriodicPolicy policy(2.0);
+  const io::ConstantStorage storage(0.5, 0.25);
+  const auto metrics = simulate(basic_config(4.0), policy, source, storage);
+
+  EXPECT_EQ(metrics.failures, 2u);
+  EXPECT_NEAR(metrics.wasted_hours, 2.2 + 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(metrics.restart_hours, 0.25);
+  // 2.3 + 0.25 restart + 4 compute + 0.5 checkpoint = 7.05
+  EXPECT_NEAR(metrics.makespan_hours, 7.05, 1e-12);
+}
+
+TEST(Engine, ZeroRestartTimeSupported) {
+  const auto trace = trace_at({3.0});
+  TraceFailureSource source(trace);
+  core::PeriodicPolicy policy(2.0);
+  const io::ConstantStorage storage(0.5, 0.0);
+  const auto metrics = simulate(basic_config(4.0), policy, source, storage);
+  EXPECT_DOUBLE_EQ(metrics.restart_hours, 0.0);
+  EXPECT_EQ(metrics.failures, 1u);
+}
+
+TEST(Engine, SkipPolicySkipsBoundaryAndKeepsWorkAtRisk) {
+  // skip-1 over periodic(2) with no failures: boundary 1 is skipped, so the
+  // first checkpoint happens at the second boundary.
+  const auto trace = trace_at({});
+  TraceFailureSource source(trace);
+  const auto policy = core::make_policy("skip1:periodic:2");
+  const io::ConstantStorage storage(0.5, 0.25);
+  const auto metrics = simulate(basic_config(6.0), *policy, source, storage);
+
+  EXPECT_EQ(metrics.checkpoints_skipped, 1u);
+  EXPECT_EQ(metrics.checkpoints_written, 1u);
+  EXPECT_DOUBLE_EQ(metrics.checkpoint_hours, 0.5);
+  EXPECT_DOUBLE_EQ(metrics.makespan_hours, 6.5);
+}
+
+TEST(Engine, SkippedBoundaryLosesMoreOnFailure) {
+  // With skip-1, a failure after the (skipped) first boundary loses both
+  // chunks; without skip it loses only the second.
+  const auto trace = trace_at({4.4});
+  const io::ConstantStorage storage(0.5, 0.25);
+
+  TraceFailureSource source_a(trace);
+  const auto skip_policy = core::make_policy("skip1:periodic:2");
+  const auto with_skip =
+      simulate(basic_config(6.0), *skip_policy, source_a, storage);
+
+  TraceFailureSource source_b(trace);
+  core::PeriodicPolicy plain(2.0);
+  const auto without_skip =
+      simulate(basic_config(6.0), plain, source_b, storage);
+
+  EXPECT_GT(with_skip.wasted_hours, without_skip.wasted_hours);
+}
+
+TEST(Engine, DataWrittenAccounting) {
+  const auto trace = trace_at({});
+  TraceFailureSource source(trace);
+  core::PeriodicPolicy policy(2.0);
+  const io::ConstantStorage storage(0.5, 0.25, /*size_gb=*/100.0);
+  const auto metrics = simulate(basic_config(10.0), policy, source, storage);
+  EXPECT_DOUBLE_EQ(metrics.data_written_gb, 400.0);  // 4 checkpoints
+}
+
+TEST(Engine, TimelineRecordsMonotoneCumulativeSeries) {
+  const auto trace = trace_at({3.0, 9.0});
+  TraceFailureSource source(trace);
+  core::PeriodicPolicy policy(2.0);
+  const io::ConstantStorage storage(0.5, 0.25);
+  auto config = basic_config(12.0);
+  config.record_timeline = true;
+  const auto metrics = simulate(config, policy, source, storage);
+
+  ASSERT_GE(metrics.timeline.size(), 3u);
+  for (std::size_t i = 1; i < metrics.timeline.size(); ++i) {
+    const auto& a = metrics.timeline[i - 1];
+    const auto& b = metrics.timeline[i];
+    EXPECT_GE(b.time_hours, a.time_hours);
+    EXPECT_GE(b.compute_hours, a.compute_hours);
+    EXPECT_GE(b.checkpoint_hours, a.checkpoint_hours);
+    EXPECT_GE(b.wasted_hours, a.wasted_hours);
+    EXPECT_GE(b.restart_hours, a.restart_hours);
+  }
+  const auto& last = metrics.timeline.back();
+  EXPECT_DOUBLE_EQ(last.time_hours, metrics.makespan_hours);
+  EXPECT_DOUBLE_EQ(last.compute_hours, metrics.compute_hours);
+}
+
+TEST(Engine, ContextBookkeeping) {
+  // A probe policy records what the engine reports.
+  struct Probe final : core::CheckpointPolicy {
+    std::vector<double> time_since_failure;
+    std::vector<int> boundaries;
+    double next_interval(const core::PolicyContext& ctx) override {
+      time_since_failure.push_back(ctx.time_since_failure_hours);
+      boundaries.push_back(ctx.checkpoints_since_failure);
+      return 2.0;
+    }
+    std::string name() const override { return "probe"; }
+    core::PolicyPtr clone() const override {
+      return std::make_unique<Probe>();
+    }
+  };
+
+  const auto trace = trace_at({5.0});
+  TraceFailureSource source(trace);
+  Probe probe;
+  const io::ConstantStorage storage(0.5, 0.25);
+  (void)simulate(basic_config(8.0), probe, source, storage);
+
+  // First decision at t=0 (no failure yet): time_since_failure == 0.
+  ASSERT_GE(probe.time_since_failure.size(), 3u);
+  EXPECT_DOUBLE_EQ(probe.time_since_failure.front(), 0.0);
+  // After the failure at t=5.0 the next decision happens at 5.25
+  // (post-restart) with time_since_failure == 0.25.
+  bool saw_reset = false;
+  for (std::size_t i = 1; i < probe.time_since_failure.size(); ++i) {
+    if (probe.time_since_failure[i] < probe.time_since_failure[i - 1]) {
+      saw_reset = true;
+      EXPECT_NEAR(probe.time_since_failure[i], 0.25, 1e-12);
+      EXPECT_EQ(probe.boundaries[i], 0);  // boundary counter reset too
+    }
+  }
+  EXPECT_TRUE(saw_reset);
+}
+
+TEST(Engine, MaxEventsGuardThrows) {
+  // Failures strike every 0.1 h, the policy wants 1 h chunks: no progress.
+  std::vector<double> times;
+  for (int i = 1; i <= 4000; ++i) times.push_back(0.1 * i);
+  const auto trace = trace_at(times);
+  TraceFailureSource source(trace);
+  core::PeriodicPolicy policy(1.0);
+  const io::ConstantStorage storage(0.5, 0.0);
+  auto config = basic_config(100.0);
+  config.max_events = 200;
+  EXPECT_THROW(simulate(config, policy, source, storage), Error);
+}
+
+TEST(Engine, ConfigValidation) {
+  SimulationConfig config = basic_config(10.0);
+  config.compute_hours = 0.0;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+  config = basic_config(10.0);
+  config.shape_hint = 1.5;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+  EXPECT_NO_THROW(basic_config(10.0).validate());
+}
+
+TEST(Engine, PolicyReturningBadIntervalRejected) {
+  struct Bad final : core::CheckpointPolicy {
+    double next_interval(const core::PolicyContext&) override { return 0.0; }
+    std::string name() const override { return "bad"; }
+    core::PolicyPtr clone() const override { return std::make_unique<Bad>(); }
+  };
+  const auto trace = trace_at({});
+  TraceFailureSource source(trace);
+  Bad bad;
+  const io::ConstantStorage storage(0.5, 0.25);
+  EXPECT_THROW(simulate(basic_config(4.0), bad, source, storage),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace lazyckpt::sim

@@ -1,0 +1,125 @@
+// Replica machinery and interval sweeps: determinism, fairness (shared
+// failure streams), aggregation, and simulated-OCI location.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/model/oci.hpp"
+#include "core/policy/ilazy.hpp"
+#include "core/policy/periodic.hpp"
+#include "io/storage_model.hpp"
+#include "sim/sweep.hpp"
+#include "stats/exponential.hpp"
+#include "stats/weibull.hpp"
+
+namespace lazyckpt::sim {
+namespace {
+
+SimulationConfig config_20k() {
+  SimulationConfig config;
+  config.compute_hours = 200.0;
+  config.alpha_oci_hours = 2.98;
+  config.mtbf_hint_hours = 11.0;
+  config.shape_hint = 0.6;
+  return config;
+}
+
+TEST(Sweep, ReplicasAreDeterministicInSeed) {
+  const auto weibull = stats::Weibull::from_mtbf_and_shape(11.0, 0.6);
+  const io::ConstantStorage storage(0.5, 0.5);
+  const core::PeriodicPolicy policy(2.98);
+  const auto a = run_replicas(config_20k(), policy, weibull, storage, 20, 5);
+  const auto b = run_replicas(config_20k(), policy, weibull, storage, 20, 5);
+  EXPECT_DOUBLE_EQ(a.mean_makespan_hours, b.mean_makespan_hours);
+  EXPECT_DOUBLE_EQ(a.mean_checkpoint_hours, b.mean_checkpoint_hours);
+  EXPECT_DOUBLE_EQ(a.mean_wasted_hours, b.mean_wasted_hours);
+}
+
+TEST(Sweep, DifferentSeedsDiffer) {
+  const auto weibull = stats::Weibull::from_mtbf_and_shape(11.0, 0.6);
+  const io::ConstantStorage storage(0.5, 0.5);
+  const core::PeriodicPolicy policy(2.98);
+  const auto a = run_replicas(config_20k(), policy, weibull, storage, 5, 5);
+  const auto b = run_replicas(config_20k(), policy, weibull, storage, 5, 6);
+  EXPECT_NE(a.mean_makespan_hours, b.mean_makespan_hours);
+}
+
+TEST(Sweep, SameSeedGivesPairedFailureStreams) {
+  // The paper's fairness requirement: two policies compared under the same
+  // seed experience the same failure arrival times.  With an interval
+  // equal in both policies, the runs must be identical.
+  const auto weibull = stats::Weibull::from_mtbf_and_shape(11.0, 0.6);
+  const io::ConstantStorage storage(0.5, 0.5);
+  const core::PeriodicPolicy periodic(2.98);
+  const core::ILazyPolicy ilazy_k1(1.0);  // degenerates to OCI
+  auto config = config_20k();
+  const auto a = run_replicas(config, periodic, weibull, storage, 10, 9);
+  const auto b = run_replicas(config, ilazy_k1, weibull, storage, 10, 9);
+  EXPECT_DOUBLE_EQ(a.mean_makespan_hours, b.mean_makespan_hours);
+  EXPECT_DOUBLE_EQ(a.mean_failures, b.mean_failures);
+}
+
+TEST(Sweep, AggregateStatistics) {
+  std::vector<RunMetrics> runs(3);
+  runs[0].makespan_hours = 10.0;
+  runs[0].checkpoint_hours = 1.0;
+  runs[1].makespan_hours = 20.0;
+  runs[1].checkpoint_hours = 3.0;
+  runs[2].makespan_hours = 30.0;
+  runs[2].checkpoint_hours = 2.0;
+  const auto agg = aggregate(runs);
+  EXPECT_EQ(agg.replicas, 3u);
+  EXPECT_DOUBLE_EQ(agg.mean_makespan_hours, 20.0);
+  EXPECT_DOUBLE_EQ(agg.min_makespan_hours, 10.0);
+  EXPECT_DOUBLE_EQ(agg.max_makespan_hours, 30.0);
+  EXPECT_DOUBLE_EQ(agg.min_checkpoint_hours, 1.0);
+  EXPECT_DOUBLE_EQ(agg.max_checkpoint_hours, 3.0);
+}
+
+TEST(Sweep, AggregateRejectsEmpty) {
+  EXPECT_THROW(aggregate({}), InvalidArgument);
+}
+
+TEST(Sweep, LogSpacedGrid) {
+  const auto grid = log_spaced(1.0, 100.0, 3);
+  ASSERT_EQ(grid.size(), 3u);
+  EXPECT_NEAR(grid[0], 1.0, 1e-12);
+  EXPECT_NEAR(grid[1], 10.0, 1e-9);
+  EXPECT_NEAR(grid[2], 100.0, 1e-9);
+  EXPECT_THROW(log_spaced(0.0, 1.0, 3), InvalidArgument);
+  EXPECT_THROW(log_spaced(1.0, 2.0, 1), InvalidArgument);
+}
+
+TEST(Sweep, CurveIsConvexishAroundOci) {
+  // Runtime must be worse at extreme intervals than near the Daly OCI
+  // (paper Fig. 4's U-shape).
+  const auto exp_dist = stats::Exponential::from_mean(11.0);
+  const io::ConstantStorage storage(0.5, 0.5);
+  const double intervals[] = {0.4, 2.98, 20.0};
+  const auto curve = runtime_vs_interval(config_20k(), exp_dist, storage,
+                                         intervals, 60, 11);
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_GT(curve[0].metrics.mean_makespan_hours,
+            curve[1].metrics.mean_makespan_hours);
+  EXPECT_GT(curve[2].metrics.mean_makespan_hours,
+            curve[1].metrics.mean_makespan_hours);
+  EXPECT_DOUBLE_EQ(simulated_oci(curve), 2.98);
+}
+
+TEST(Sweep, SimulatedOciNearModelOci) {
+  // Observation 1: the model-estimated OCI guides simulation well.  Use a
+  // coarse grid bracketing Daly's 2.98 h.
+  const auto exp_dist = stats::Exponential::from_mean(11.0);
+  const io::ConstantStorage storage(0.5, 0.5);
+  const auto grid = log_spaced(1.0, 9.0, 9);
+  const auto curve =
+      runtime_vs_interval(config_20k(), exp_dist, storage, grid, 80, 13);
+  const double sim_oci = simulated_oci(curve);
+  EXPECT_GT(sim_oci, 1.5);
+  EXPECT_LT(sim_oci, 6.0);
+}
+
+}  // namespace
+}  // namespace lazyckpt::sim

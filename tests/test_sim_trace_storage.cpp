@@ -1,0 +1,127 @@
+// Engine under time-varying (trace-driven) storage: checkpoint durations
+// follow the bandwidth at the moment each write starts, restarts read at
+// the then-current rate, and dynamic OCI reacts to bandwidth shifts.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "core/policy/dynamic_oci.hpp"
+#include "core/policy/periodic.hpp"
+#include "failures/trace.hpp"
+#include "io/bandwidth_trace.hpp"
+#include "io/storage_model.hpp"
+#include "sim/engine.hpp"
+#include "sim/failure_source.hpp"
+
+namespace lazyckpt::sim {
+namespace {
+
+failures::FailureTrace no_failures() {
+  return failures::FailureTrace(std::vector<failures::FailureEvent>{});
+}
+
+SimulationConfig config_for(double work) {
+  SimulationConfig config;
+  config.compute_hours = work;
+  config.alpha_oci_hours = 2.0;
+  config.mtbf_hint_hours = 50.0;
+  config.shape_hint = 1.0;
+  return config;
+}
+
+TEST(TraceStorageEngine, CheckpointDurationFollowsBandwidth) {
+  // 36,000 GB checkpoints; bandwidth 20 GB/s for t < 4 h, then 10 GB/s.
+  // beta = 0.5 h early, 1.0 h late.
+  const io::BandwidthTrace bandwidth(4.0, {20.0, 10.0, 10.0, 10.0});
+  const io::TraceStorage storage(36000.0, bandwidth);
+  const auto trace = no_failures();
+  TraceFailureSource source(trace);
+  core::PeriodicPolicy policy(2.0);
+
+  const auto m = simulate(config_for(8.0), policy, source, storage);
+  // Chronology: chunk [0,2]; ckpt at bw 20 => [2,2.5]; chunk [2.5,4.5];
+  // ckpt starts at 4.5 => bw 10 => [4.5,5.5]; chunk [5.5,7.5]; ckpt
+  // [7.5,8.5]; final chunk [8.5,10.5].
+  EXPECT_DOUBLE_EQ(m.checkpoint_hours, 0.5 + 1.0 + 1.0);
+  EXPECT_DOUBLE_EQ(m.makespan_hours, 10.5);
+  EXPECT_DOUBLE_EQ(m.data_written_gb, 3.0 * 36000.0);
+}
+
+TEST(TraceStorageEngine, RestartReadsAtCurrentBandwidth) {
+  const io::BandwidthTrace bandwidth(1.0, {10.0, 5.0, 10.0, 10.0, 10.0});
+  const io::TraceStorage storage(18000.0, bandwidth);  // 0.5 h at 10 GB/s
+  const auto trace = failures::FailureTrace({{1.5, 0, {}}});
+  TraceFailureSource source(trace);
+  core::PeriodicPolicy policy(2.0);
+
+  const auto m = simulate(config_for(4.0), policy, source, storage);
+  // Failure at 1.5 (bandwidth bin [1,2) = 5 GB/s): restart reads 18 TB at
+  // 5 GB/s = 1.0 h.
+  EXPECT_DOUBLE_EQ(m.restart_hours, 1.0);
+  EXPECT_DOUBLE_EQ(m.wasted_hours, 1.5);
+}
+
+TEST(TraceStorageEngine, DynamicOciReactsToBandwidthDrop) {
+  // Bandwidth collapses 10 -> 1 GB/s at t=10: beta grows 10x, so the
+  // dynamic policy must stretch its interval by ~sqrt(10).
+  std::vector<double> samples(10, 10.0);
+  samples.resize(40, 1.0);
+  const io::BandwidthTrace bandwidth(1.0, samples);
+  const io::TraceStorage storage(18000.0, bandwidth);
+  const auto trace = no_failures();
+  TraceFailureSource source(trace);
+  core::DynamicOciPolicy policy;
+
+  struct Probe final : core::CheckpointPolicy {
+    core::DynamicOciPolicy inner;
+    std::vector<double> intervals;
+    double next_interval(const core::PolicyContext& ctx) override {
+      const double interval = inner.next_interval(ctx);
+      intervals.push_back(interval);
+      return interval;
+    }
+    std::string name() const override { return "probe"; }
+    core::PolicyPtr clone() const override {
+      return std::make_unique<Probe>();
+    }
+  };
+  Probe probe;
+  auto config = config_for(60.0);
+  config.mtbf_hint_hours = 20.0;
+  (void)simulate(config, probe, source, storage);
+  ASSERT_GE(probe.intervals.size(), 4u);
+  // Early decisions (t < 10 h) use beta = 0.5 h; late ones beta = 5 h.
+  EXPECT_GT(probe.intervals.back(), probe.intervals.front() * 2.0);
+}
+
+TEST(TraceStorageEngine, OffsetStorageShiftsCosts) {
+  const io::BandwidthTrace bandwidth(5.0, {20.0, 10.0});
+  const io::TraceStorage early(36000.0, bandwidth, 0.0);
+  const io::TraceStorage late(36000.0, bandwidth, 5.0);
+  EXPECT_DOUBLE_EQ(early.checkpoint_time(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(late.checkpoint_time(1.0), 1.0);
+}
+
+TEST(TraceStorageEngine, AsyncWithTraceStorage) {
+  // Overlapped writes with time-varying bandwidth stay conservative.
+  const auto bandwidth = io::BandwidthTrace::synthetic_spider(200.0);
+  const io::TraceStorage storage(18000.0, bandwidth);
+  const auto trace =
+      failures::FailureTrace({{7.0, 0, {}}, {31.0, 0, {}}, {55.0, 0, {}}});
+  TraceFailureSource source(trace);
+  core::PeriodicPolicy policy(2.0);
+  auto config = config_for(60.0);
+  config.checkpoint_blocking_fraction = 0.3;
+  const auto m = simulate(config, policy, source, storage);
+  EXPECT_DOUBLE_EQ(m.compute_hours, 60.0);
+  EXPECT_NEAR(m.makespan_hours,
+              m.compute_hours + m.checkpoint_hours + m.wasted_hours +
+                  m.restart_hours,
+              1e-6 * m.makespan_hours);
+  EXPECT_EQ(m.failures, 3u);
+}
+
+}  // namespace
+}  // namespace lazyckpt::sim

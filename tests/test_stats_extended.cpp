@@ -1,0 +1,213 @@
+// Extended statistics substrate: incomplete gamma / digamma special
+// functions, the Gamma distribution and its MLE fit, the Anderson–Darling
+// test, and serial-dependence diagnostics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "stats/anderson_darling.hpp"
+#include "stats/autocorrelation.hpp"
+#include "stats/exponential.hpp"
+#include "stats/fitting.hpp"
+#include "stats/gamma.hpp"
+#include "stats/special.hpp"
+#include "stats/weibull.hpp"
+
+namespace lazyckpt::stats {
+namespace {
+
+std::vector<double> draw(const Distribution& d, std::size_t n,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> samples;
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) samples.push_back(d.sample(rng));
+  return samples;
+}
+
+// ---------------------------------------------------------------- special
+TEST(Special, RegularizedGammaKnownValues) {
+  // P(1, x) = 1 - e^{-x}.
+  for (const double x : {0.1, 1.0, 2.5, 10.0}) {
+    EXPECT_NEAR(regularized_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+  // P(a, 0) = 0; P(a, inf) -> 1.
+  EXPECT_DOUBLE_EQ(regularized_gamma_p(2.5, 0.0), 0.0);
+  EXPECT_NEAR(regularized_gamma_p(2.5, 100.0), 1.0, 1e-12);
+  // P(1/2, x) = erf(sqrt(x)).
+  EXPECT_NEAR(regularized_gamma_p(0.5, 1.0), std::erf(1.0), 1e-10);
+}
+
+TEST(Special, RegularizedGammaDomain) {
+  EXPECT_THROW(regularized_gamma_p(0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(regularized_gamma_p(1.0, -1.0), InvalidArgument);
+}
+
+TEST(Special, DigammaKnownValues) {
+  const double euler_gamma = 0.5772156649015329;
+  EXPECT_NEAR(digamma(1.0), -euler_gamma, 1e-10);
+  EXPECT_NEAR(digamma(2.0), 1.0 - euler_gamma, 1e-10);
+  EXPECT_NEAR(digamma(0.5), -euler_gamma - 2.0 * std::log(2.0), 1e-10);
+  // Recurrence psi(x+1) = psi(x) + 1/x.
+  for (const double x : {0.3, 1.7, 5.5}) {
+    EXPECT_NEAR(digamma(x + 1.0), digamma(x) + 1.0 / x, 1e-10);
+  }
+  EXPECT_THROW(digamma(0.0), InvalidArgument);
+}
+
+// ---------------------------------------------------------------- gamma
+TEST(GammaDist, ReducesToExponentialAtShapeOne) {
+  const Gamma g(1.0, 4.0);
+  const Exponential e(0.25);
+  for (const double x : {0.2, 1.0, 4.0, 12.0}) {
+    EXPECT_NEAR(g.cdf(x), e.cdf(x), 1e-12);
+    EXPECT_NEAR(g.pdf(x), e.pdf(x), 1e-12);
+  }
+}
+
+TEST(GammaDist, MomentsAndQuantile) {
+  const Gamma g(2.5, 3.0);
+  EXPECT_DOUBLE_EQ(g.mean(), 7.5);
+  for (const double p : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    EXPECT_NEAR(g.cdf(g.quantile(p)), p, 1e-10);
+  }
+}
+
+TEST(GammaDist, FromMtbfPreservesMean) {
+  const auto g = Gamma::from_mtbf_and_shape(7.5, 0.6);
+  EXPECT_NEAR(g.mean(), 7.5, 1e-12);
+}
+
+TEST(GammaDist, SamplingMatchesMean) {
+  const Gamma g(0.6, 10.0);
+  const auto samples = draw(g, 60000, 21);
+  double sum = 0.0;
+  for (const double x : samples) sum += x;
+  EXPECT_NEAR(sum / samples.size(), 6.0, 0.25);
+}
+
+TEST(GammaDist, DecreasingHazardBelowShapeOne) {
+  const auto g = Gamma::from_mtbf_and_shape(10.0, 0.5);
+  EXPECT_GT(g.hazard(0.5), g.hazard(5.0));
+  EXPECT_GT(g.hazard(5.0), g.hazard(20.0));
+}
+
+TEST(FitGamma, RecoversParameters) {
+  const Gamma truth(0.7, 11.0);
+  const auto samples = draw(truth, 40000, 22);
+  const auto fitted = fit_gamma(samples);
+  EXPECT_NEAR(fitted.shape(), 0.7, 0.02);
+  EXPECT_NEAR(fitted.scale(), 11.0, 0.5);
+}
+
+TEST(FitGamma, RecoversHighShape) {
+  const Gamma truth(4.0, 2.0);
+  const auto samples = draw(truth, 40000, 23);
+  const auto fitted = fit_gamma(samples);
+  EXPECT_NEAR(fitted.shape(), 4.0, 0.12);
+  EXPECT_NEAR(fitted.scale(), 2.0, 0.07);
+}
+
+TEST(FitGamma, RejectsDegenerateInput) {
+  const std::vector<double> constant = {2.0, 2.0, 2.0};
+  EXPECT_THROW(fit_gamma(constant), InvalidArgument);
+  const std::vector<double> negative = {1.0, -1.0};
+  EXPECT_THROW(fit_gamma(negative), InvalidArgument);
+}
+
+// ---------------------------------------------------------------- AD test
+TEST(AndersonDarling, AcceptsTrueDistribution) {
+  const auto truth = Weibull::from_mtbf_and_shape(7.5, 0.6);
+  const auto samples = draw(truth, 2000, 24);
+  const auto result = ad_test(samples, truth);
+  EXPECT_FALSE(result.rejected) << "A2=" << result.a_squared;
+}
+
+TEST(AndersonDarling, RejectsWrongDistribution) {
+  const auto truth = Weibull::from_mtbf_and_shape(7.5, 0.6);
+  const auto samples = draw(truth, 2000, 25);
+  const auto wrong = Exponential::from_mean(7.5);
+  const auto result = ad_test(samples, wrong);
+  EXPECT_TRUE(result.rejected);
+  EXPECT_GT(result.a_squared, 10.0);  // tails scream
+}
+
+TEST(AndersonDarling, MoreTailSensitiveThanKs) {
+  // A distribution correct in the bulk but wrong in the tail: AD's
+  // statistic relative to its critical value exceeds K-S's ratio.
+  const auto truth = Weibull::from_mtbf_and_shape(7.5, 0.55);
+  const auto samples = draw(truth, 2000, 26);
+  const auto close_fit = fit_lognormal(samples);  // decent bulk, wrong tails
+  const auto ad = ad_test(samples, close_fit);
+  EXPECT_GT(ad.a_squared / ad.critical_value, 1.0);
+}
+
+TEST(AndersonDarling, CriticalValues) {
+  EXPECT_LT(ad_critical_value(0.10), ad_critical_value(0.05));
+  EXPECT_LT(ad_critical_value(0.05), ad_critical_value(0.01));
+  EXPECT_THROW(ad_critical_value(0.2), InvalidArgument);
+}
+
+// ---------------------------------------------------------------- autocorr
+TEST(Autocorrelation, WhiteNoiseNearZero) {
+  Rng rng(27);
+  std::vector<double> noise;
+  for (int i = 0; i < 20000; ++i) noise.push_back(rng.uniform());
+  EXPECT_NEAR(autocorrelation(noise, 1), 0.0, 0.03);
+  EXPECT_NEAR(autocorrelation(noise, 5), 0.0, 0.03);
+}
+
+TEST(Autocorrelation, Ar1SeriesPositive) {
+  Rng rng(28);
+  std::vector<double> series;
+  double x = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    x = 0.8 * x + rng.uniform() - 0.5;
+    series.push_back(x);
+  }
+  EXPECT_NEAR(autocorrelation(series, 1), 0.8, 0.05);
+  const auto acf = autocorrelations(series, 3);
+  ASSERT_EQ(acf.size(), 3u);
+  EXPECT_GT(acf[0], acf[1]);
+  EXPECT_GT(acf[1], acf[2]);
+}
+
+TEST(Autocorrelation, Validation) {
+  const std::vector<double> two = {1.0, 2.0};
+  EXPECT_THROW(autocorrelation(two, 2), InvalidArgument);
+  EXPECT_THROW(autocorrelation(two, 0), InvalidArgument);
+  const std::vector<double> constant = {3.0, 3.0, 3.0};
+  EXPECT_THROW(autocorrelation(constant, 1), InvalidArgument);
+}
+
+TEST(CoefficientOfVariation, DistinguishesBurstiness) {
+  // Exponential gaps: CV = 1.  Weibull k=0.6 gaps: CV > 1 (clustered).
+  const auto exp_gaps = draw(Exponential::from_mean(10.0), 30000, 29);
+  const auto weibull_gaps =
+      draw(Weibull::from_mtbf_and_shape(10.0, 0.6), 30000, 29);
+  EXPECT_NEAR(coefficient_of_variation(exp_gaps), 1.0, 0.05);
+  EXPECT_GT(coefficient_of_variation(weibull_gaps), 1.4);
+}
+
+TEST(IndexOfDispersion, PoissonNearOneClusteredAbove) {
+  const auto exp_gaps = draw(Exponential::from_mean(5.0), 30000, 30);
+  const auto weibull_gaps =
+      draw(Weibull::from_mtbf_and_shape(5.0, 0.5), 30000, 30);
+  const double poisson = index_of_dispersion(exp_gaps, 50.0);
+  const double clustered = index_of_dispersion(weibull_gaps, 50.0);
+  EXPECT_NEAR(poisson, 1.0, 0.15);
+  EXPECT_GT(clustered, poisson + 0.3);
+}
+
+TEST(IndexOfDispersion, Validation) {
+  const std::vector<double> gaps = {1.0, 1.0};
+  EXPECT_THROW(index_of_dispersion(gaps, 100.0), InvalidArgument);
+  EXPECT_THROW(index_of_dispersion(gaps, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace lazyckpt::stats

@@ -1,0 +1,157 @@
+// MLE fitting must recover known parameters from synthetic samples and
+// reject degenerate input.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/fitting.hpp"
+
+namespace lazyckpt::stats {
+namespace {
+
+std::vector<double> draw(const Distribution& d, std::size_t n,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> samples;
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) samples.push_back(d.sample(rng));
+  return samples;
+}
+
+TEST(FitExponential, RecoversRate) {
+  const Exponential truth(0.4);
+  const auto samples = draw(truth, 40000, 1);
+  const auto fitted = fit_exponential(samples);
+  EXPECT_NEAR(fitted.rate(), 0.4, 0.02);
+}
+
+TEST(FitExponential, RejectsEmpty) {
+  EXPECT_THROW(fit_exponential({}), InvalidArgument);
+}
+
+TEST(FitWeibull, RecoversShapeAndScaleBelowOne) {
+  // The regime the paper cares about: k < 1.
+  const Weibull truth(0.6, 8.0);
+  const auto samples = draw(truth, 40000, 2);
+  const auto fitted = fit_weibull(samples);
+  EXPECT_NEAR(fitted.shape(), 0.6, 0.02);
+  EXPECT_NEAR(fitted.scale(), 8.0, 0.35);
+}
+
+TEST(FitWeibull, RecoversShapeAboveOne) {
+  const Weibull truth(2.2, 3.0);
+  const auto samples = draw(truth, 40000, 3);
+  const auto fitted = fit_weibull(samples);
+  EXPECT_NEAR(fitted.shape(), 2.2, 0.07);
+  EXPECT_NEAR(fitted.scale(), 3.0, 0.05);
+}
+
+TEST(FitWeibull, ShapeOneMatchesExponentialFit) {
+  const Exponential truth(0.2);
+  const auto samples = draw(truth, 40000, 4);
+  const auto weibull = fit_weibull(samples);
+  EXPECT_NEAR(weibull.shape(), 1.0, 0.03);
+  const auto exponential = fit_exponential(samples);
+  EXPECT_NEAR(weibull.mean(), exponential.mean(), 0.2);
+}
+
+TEST(FitWeibull, RejectsNonPositiveSamples) {
+  const std::vector<double> bad = {1.0, -2.0, 3.0};
+  EXPECT_THROW(fit_weibull(bad), InvalidArgument);
+  const std::vector<double> zero = {1.0, 0.0, 3.0};
+  EXPECT_THROW(fit_weibull(zero), InvalidArgument);
+}
+
+TEST(FitWeibull, RejectsTooFewSamples) {
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(fit_weibull(one), InvalidArgument);
+}
+
+TEST(FitLogNormal, RecoversParameters) {
+  const LogNormal truth(1.2, 0.4);
+  const auto samples = draw(truth, 40000, 5);
+  const auto fitted = fit_lognormal(samples);
+  EXPECT_NEAR(fitted.mu(), 1.2, 0.02);
+  EXPECT_NEAR(fitted.sigma(), 0.4, 0.02);
+}
+
+TEST(FitLogNormal, RejectsConstantSample) {
+  const std::vector<double> constant = {2.0, 2.0, 2.0};
+  EXPECT_THROW(fit_lognormal(constant), InvalidArgument);
+}
+
+TEST(FitNormal, RecoversParameters) {
+  const Normal truth(-3.0, 2.5);
+  const auto samples = draw(truth, 40000, 6);
+  const auto fitted = fit_normal(samples);
+  EXPECT_NEAR(fitted.mu(), -3.0, 0.05);
+  EXPECT_NEAR(fitted.sigma(), 2.5, 0.05);
+}
+
+// Parameterized recovery sweep across the Weibull shapes the paper's
+// evaluation uses (Fig. 17 uses k in {0.5, 0.6, 0.7}).
+class WeibullShapeRecovery : public ::testing::TestWithParam<double> {};
+
+TEST_P(WeibullShapeRecovery, FitRecoversShape) {
+  const double k = GetParam();
+  const auto truth = Weibull::from_mtbf_and_shape(7.5, k);
+  const auto samples =
+      draw(truth, 30000, static_cast<std::uint64_t>(k * 1000));
+  const auto fitted = fit_weibull(samples);
+  EXPECT_NEAR(fitted.shape(), k, 0.03);
+  EXPECT_NEAR(fitted.mean(), 7.5, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperShapes, WeibullShapeRecovery,
+                         ::testing::Values(0.4, 0.5, 0.6, 0.7, 0.8, 1.0));
+
+// -------------------------------------------------------------- descriptive
+TEST(Descriptive, MeanVarianceStddev) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(values), 2.5);
+  EXPECT_NEAR(variance(values), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stddev(values), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(min_value(values), 1.0);
+  EXPECT_DOUBLE_EQ(max_value(values), 4.0);
+}
+
+TEST(Descriptive, PercentileInterpolates) {
+  const std::vector<double> values = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 25.0), 20.0);
+  EXPECT_DOUBLE_EQ(median(values), 30.0);
+}
+
+TEST(Descriptive, PercentileRejectsBadInput) {
+  const std::vector<double> values = {1.0};
+  EXPECT_THROW(percentile(values, -1.0), InvalidArgument);
+  EXPECT_THROW(percentile({}, 50.0), InvalidArgument);
+}
+
+TEST(MovingAverage, WindowedBehaviour) {
+  MovingAverage ma(3);
+  EXPECT_TRUE(ma.empty());
+  EXPECT_DOUBLE_EQ(ma.value_or(7.5), 7.5);
+  ma.add(1.0);
+  EXPECT_DOUBLE_EQ(ma.value_or(0.0), 1.0);
+  ma.add(2.0);
+  ma.add(3.0);
+  EXPECT_DOUBLE_EQ(ma.value_or(0.0), 2.0);
+  ma.add(10.0);  // evicts 1.0
+  EXPECT_DOUBLE_EQ(ma.value_or(0.0), 5.0);
+  EXPECT_EQ(ma.count(), 3u);
+}
+
+TEST(MovingAverage, RejectsZeroWindow) {
+  EXPECT_THROW(MovingAverage(0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace lazyckpt::stats
