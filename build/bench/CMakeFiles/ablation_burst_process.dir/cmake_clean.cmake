@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_burst_process.dir/ablation_burst_process.cpp.o"
+  "CMakeFiles/ablation_burst_process.dir/ablation_burst_process.cpp.o.d"
+  "ablation_burst_process"
+  "ablation_burst_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_burst_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

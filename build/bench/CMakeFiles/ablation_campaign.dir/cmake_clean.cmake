@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_campaign.dir/ablation_campaign.cpp.o"
+  "CMakeFiles/ablation_campaign.dir/ablation_campaign.cpp.o.d"
+  "ablation_campaign"
+  "ablation_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_equal_risk.dir/ablation_equal_risk.cpp.o"
+  "CMakeFiles/ablation_equal_risk.dir/ablation_equal_risk.cpp.o.d"
+  "ablation_equal_risk"
+  "ablation_equal_risk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_equal_risk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mtbf_window.dir/ablation_mtbf_window.cpp.o"
+  "CMakeFiles/ablation_mtbf_window.dir/ablation_mtbf_window.cpp.o.d"
+  "ablation_mtbf_window"
+  "ablation_mtbf_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mtbf_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_oci_estimators.dir/ablation_oci_estimators.cpp.o"
+  "CMakeFiles/ablation_oci_estimators.dir/ablation_oci_estimators.cpp.o.d"
+  "ablation_oci_estimators"
+  "ablation_oci_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_oci_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

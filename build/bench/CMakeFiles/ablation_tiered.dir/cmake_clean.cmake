@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tiered.dir/ablation_tiered.cpp.o"
+  "CMakeFiles/ablation_tiered.dir/ablation_tiered.cpp.o.d"
+  "ablation_tiered"
+  "ablation_tiered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tiered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

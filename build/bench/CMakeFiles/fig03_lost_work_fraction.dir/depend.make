@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_lost_work_fraction.
+# This may be replaced when dependencies are built.

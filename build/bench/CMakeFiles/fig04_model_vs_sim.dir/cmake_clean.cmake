@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_model_vs_sim.dir/fig04_model_vs_sim.cpp.o"
+  "CMakeFiles/fig04_model_vs_sim.dir/fig04_model_vs_sim.cpp.o.d"
+  "fig04_model_vs_sim"
+  "fig04_model_vs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_model_vs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

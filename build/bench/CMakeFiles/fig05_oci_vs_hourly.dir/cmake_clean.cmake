@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_oci_vs_hourly.dir/fig05_oci_vs_hourly.cpp.o"
+  "CMakeFiles/fig05_oci_vs_hourly.dir/fig05_oci_vs_hourly.cpp.o.d"
+  "fig05_oci_vs_hourly"
+  "fig05_oci_vs_hourly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_oci_vs_hourly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_oci_vs_hourly.
+# This may be replaced when dependencies are built.

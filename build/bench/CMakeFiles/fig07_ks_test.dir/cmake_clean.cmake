@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_ks_test.dir/fig07_ks_test.cpp.o"
+  "CMakeFiles/fig07_ks_test.dir/fig07_ks_test.cpp.o.d"
+  "fig07_ks_test"
+  "fig07_ks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_ks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_qq_plot.dir/fig08_qq_plot.cpp.o"
+  "CMakeFiles/fig08_qq_plot.dir/fig08_qq_plot.cpp.o.d"
+  "fig08_qq_plot"
+  "fig08_qq_plot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_qq_plot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

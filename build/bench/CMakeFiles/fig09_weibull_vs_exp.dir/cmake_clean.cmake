@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_weibull_vs_exp.dir/fig09_weibull_vs_exp.cpp.o"
+  "CMakeFiles/fig09_weibull_vs_exp.dir/fig09_weibull_vs_exp.cpp.o.d"
+  "fig09_weibull_vs_exp"
+  "fig09_weibull_vs_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_weibull_vs_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

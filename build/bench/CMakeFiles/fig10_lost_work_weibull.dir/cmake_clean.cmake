@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_lost_work_weibull.dir/fig10_lost_work_weibull.cpp.o"
+  "CMakeFiles/fig10_lost_work_weibull.dir/fig10_lost_work_weibull.cpp.o.d"
+  "fig10_lost_work_weibull"
+  "fig10_lost_work_weibull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_lost_work_weibull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

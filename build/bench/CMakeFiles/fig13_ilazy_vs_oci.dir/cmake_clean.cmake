@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_ilazy_vs_oci.dir/fig13_ilazy_vs_oci.cpp.o"
+  "CMakeFiles/fig13_ilazy_vs_oci.dir/fig13_ilazy_vs_oci.cpp.o.d"
+  "fig13_ilazy_vs_oci"
+  "fig13_ilazy_vs_oci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ilazy_vs_oci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

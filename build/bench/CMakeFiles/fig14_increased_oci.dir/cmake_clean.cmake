@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_increased_oci.dir/fig14_increased_oci.cpp.o"
+  "CMakeFiles/fig14_increased_oci.dir/fig14_increased_oci.cpp.o.d"
+  "fig14_increased_oci"
+  "fig14_increased_oci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_increased_oci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

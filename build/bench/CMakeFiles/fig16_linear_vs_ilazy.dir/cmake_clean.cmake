@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_linear_vs_ilazy.dir/fig16_linear_vs_ilazy.cpp.o"
+  "CMakeFiles/fig16_linear_vs_ilazy.dir/fig16_linear_vs_ilazy.cpp.o.d"
+  "fig16_linear_vs_ilazy"
+  "fig16_linear_vs_ilazy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_linear_vs_ilazy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig16_linear_vs_ilazy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_linear_vs_ilazy.
+# This may be replaced when dependencies are built.

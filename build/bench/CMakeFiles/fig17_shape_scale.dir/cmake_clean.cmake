@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_shape_scale.dir/fig17_shape_scale.cpp.o"
+  "CMakeFiles/fig17_shape_scale.dir/fig17_shape_scale.cpp.o.d"
+  "fig17_shape_scale"
+  "fig17_shape_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_shape_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

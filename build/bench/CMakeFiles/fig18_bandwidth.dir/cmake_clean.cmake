@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_bandwidth.dir/fig18_bandwidth.cpp.o"
+  "CMakeFiles/fig18_bandwidth.dir/fig18_bandwidth.cpp.o.d"
+  "fig18_bandwidth"
+  "fig18_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

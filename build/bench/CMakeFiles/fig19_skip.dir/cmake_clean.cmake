@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_skip.dir/fig19_skip.cpp.o"
+  "CMakeFiles/fig19_skip.dir/fig19_skip.cpp.o.d"
+  "fig19_skip"
+  "fig19_skip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_skip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

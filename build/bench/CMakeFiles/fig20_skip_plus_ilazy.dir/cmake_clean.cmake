@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_skip_plus_ilazy.dir/fig20_skip_plus_ilazy.cpp.o"
+  "CMakeFiles/fig20_skip_plus_ilazy.dir/fig20_skip_plus_ilazy.cpp.o.d"
+  "fig20_skip_plus_ilazy"
+  "fig20_skip_plus_ilazy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_skip_plus_ilazy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

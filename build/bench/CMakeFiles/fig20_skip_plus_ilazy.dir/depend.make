@@ -1,0 +1,2 @@
+# Empty dependencies file for fig20_skip_plus_ilazy.
+# This may be replaced when dependencies are built.

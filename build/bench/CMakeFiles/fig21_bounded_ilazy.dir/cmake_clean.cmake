@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_bounded_ilazy.dir/fig21_bounded_ilazy.cpp.o"
+  "CMakeFiles/fig21_bounded_ilazy.dir/fig21_bounded_ilazy.cpp.o.d"
+  "fig21_bounded_ilazy"
+  "fig21_bounded_ilazy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_bounded_ilazy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_prototype_eval.dir/fig23_prototype_eval.cpp.o"
+  "CMakeFiles/fig23_prototype_eval.dir/fig23_prototype_eval.cpp.o.d"
+  "fig23_prototype_eval"
+  "fig23_prototype_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_prototype_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_oci.dir/table2_oci.cpp.o"
+  "CMakeFiles/table2_oci.dir/table2_oci.cpp.o.d"
+  "table2_oci"
+  "table2_oci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_oci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

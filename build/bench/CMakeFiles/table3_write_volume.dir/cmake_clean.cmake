@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_write_volume.dir/table3_write_volume.cpp.o"
+  "CMakeFiles/table3_write_volume.dir/table3_write_volume.cpp.o.d"
+  "table3_write_volume"
+  "table3_write_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_write_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

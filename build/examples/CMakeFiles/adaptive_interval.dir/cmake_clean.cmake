@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_interval.dir/adaptive_interval.cpp.o"
+  "CMakeFiles/adaptive_interval.dir/adaptive_interval.cpp.o.d"
+  "adaptive_interval"
+  "adaptive_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hero_run.dir/hero_run.cpp.o"
+  "CMakeFiles/hero_run.dir/hero_run.cpp.o.d"
+  "hero_run"
+  "hero_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hero_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

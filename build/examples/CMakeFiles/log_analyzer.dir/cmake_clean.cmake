@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_analyzer.dir/log_analyzer.cpp.o"
+  "CMakeFiles/log_analyzer.dir/log_analyzer.cpp.o.d"
+  "log_analyzer"
+  "log_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

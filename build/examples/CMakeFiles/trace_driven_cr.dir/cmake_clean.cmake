@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_driven_cr.dir/trace_driven_cr.cpp.o"
+  "CMakeFiles/trace_driven_cr.dir/trace_driven_cr.cpp.o.d"
+  "trace_driven_cr"
+  "trace_driven_cr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_driven_cr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

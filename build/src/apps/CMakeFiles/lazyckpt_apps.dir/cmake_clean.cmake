@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazyckpt_apps.dir/catalog.cpp.o"
+  "CMakeFiles/lazyckpt_apps.dir/catalog.cpp.o.d"
+  "liblazyckpt_apps.a"
+  "liblazyckpt_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazyckpt_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

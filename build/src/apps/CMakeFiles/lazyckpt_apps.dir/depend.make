@@ -1,0 +1,2 @@
+# Empty dependencies file for lazyckpt_apps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazyckpt_common.dir/crc32.cpp.o"
+  "CMakeFiles/lazyckpt_common.dir/crc32.cpp.o.d"
+  "CMakeFiles/lazyckpt_common.dir/csv.cpp.o"
+  "CMakeFiles/lazyckpt_common.dir/csv.cpp.o.d"
+  "CMakeFiles/lazyckpt_common.dir/error.cpp.o"
+  "CMakeFiles/lazyckpt_common.dir/error.cpp.o.d"
+  "CMakeFiles/lazyckpt_common.dir/histogram.cpp.o"
+  "CMakeFiles/lazyckpt_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/lazyckpt_common.dir/random.cpp.o"
+  "CMakeFiles/lazyckpt_common.dir/random.cpp.o.d"
+  "CMakeFiles/lazyckpt_common.dir/rle.cpp.o"
+  "CMakeFiles/lazyckpt_common.dir/rle.cpp.o.d"
+  "CMakeFiles/lazyckpt_common.dir/table.cpp.o"
+  "CMakeFiles/lazyckpt_common.dir/table.cpp.o.d"
+  "liblazyckpt_common.a"
+  "liblazyckpt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazyckpt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/model/bounds.cpp" "src/core/CMakeFiles/lazyckpt_core.dir/model/bounds.cpp.o" "gcc" "src/core/CMakeFiles/lazyckpt_core.dir/model/bounds.cpp.o.d"
+  "/root/repo/src/core/model/lost_work.cpp" "src/core/CMakeFiles/lazyckpt_core.dir/model/lost_work.cpp.o" "gcc" "src/core/CMakeFiles/lazyckpt_core.dir/model/lost_work.cpp.o.d"
+  "/root/repo/src/core/model/machine.cpp" "src/core/CMakeFiles/lazyckpt_core.dir/model/machine.cpp.o" "gcc" "src/core/CMakeFiles/lazyckpt_core.dir/model/machine.cpp.o.d"
+  "/root/repo/src/core/model/oci.cpp" "src/core/CMakeFiles/lazyckpt_core.dir/model/oci.cpp.o" "gcc" "src/core/CMakeFiles/lazyckpt_core.dir/model/oci.cpp.o.d"
+  "/root/repo/src/core/model/runtime_model.cpp" "src/core/CMakeFiles/lazyckpt_core.dir/model/runtime_model.cpp.o" "gcc" "src/core/CMakeFiles/lazyckpt_core.dir/model/runtime_model.cpp.o.d"
+  "/root/repo/src/core/policy/bounded_ilazy.cpp" "src/core/CMakeFiles/lazyckpt_core.dir/policy/bounded_ilazy.cpp.o" "gcc" "src/core/CMakeFiles/lazyckpt_core.dir/policy/bounded_ilazy.cpp.o.d"
+  "/root/repo/src/core/policy/dynamic_oci.cpp" "src/core/CMakeFiles/lazyckpt_core.dir/policy/dynamic_oci.cpp.o" "gcc" "src/core/CMakeFiles/lazyckpt_core.dir/policy/dynamic_oci.cpp.o.d"
+  "/root/repo/src/core/policy/equal_risk.cpp" "src/core/CMakeFiles/lazyckpt_core.dir/policy/equal_risk.cpp.o" "gcc" "src/core/CMakeFiles/lazyckpt_core.dir/policy/equal_risk.cpp.o.d"
+  "/root/repo/src/core/policy/factory.cpp" "src/core/CMakeFiles/lazyckpt_core.dir/policy/factory.cpp.o" "gcc" "src/core/CMakeFiles/lazyckpt_core.dir/policy/factory.cpp.o.d"
+  "/root/repo/src/core/policy/ilazy.cpp" "src/core/CMakeFiles/lazyckpt_core.dir/policy/ilazy.cpp.o" "gcc" "src/core/CMakeFiles/lazyckpt_core.dir/policy/ilazy.cpp.o.d"
+  "/root/repo/src/core/policy/linear.cpp" "src/core/CMakeFiles/lazyckpt_core.dir/policy/linear.cpp.o" "gcc" "src/core/CMakeFiles/lazyckpt_core.dir/policy/linear.cpp.o.d"
+  "/root/repo/src/core/policy/periodic.cpp" "src/core/CMakeFiles/lazyckpt_core.dir/policy/periodic.cpp.o" "gcc" "src/core/CMakeFiles/lazyckpt_core.dir/policy/periodic.cpp.o.d"
+  "/root/repo/src/core/policy/policy.cpp" "src/core/CMakeFiles/lazyckpt_core.dir/policy/policy.cpp.o" "gcc" "src/core/CMakeFiles/lazyckpt_core.dir/policy/policy.cpp.o.d"
+  "/root/repo/src/core/policy/skip.cpp" "src/core/CMakeFiles/lazyckpt_core.dir/policy/skip.cpp.o" "gcc" "src/core/CMakeFiles/lazyckpt_core.dir/policy/skip.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/lazyckpt_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lazyckpt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazyckpt_core.dir/model/bounds.cpp.o"
+  "CMakeFiles/lazyckpt_core.dir/model/bounds.cpp.o.d"
+  "CMakeFiles/lazyckpt_core.dir/model/lost_work.cpp.o"
+  "CMakeFiles/lazyckpt_core.dir/model/lost_work.cpp.o.d"
+  "CMakeFiles/lazyckpt_core.dir/model/machine.cpp.o"
+  "CMakeFiles/lazyckpt_core.dir/model/machine.cpp.o.d"
+  "CMakeFiles/lazyckpt_core.dir/model/oci.cpp.o"
+  "CMakeFiles/lazyckpt_core.dir/model/oci.cpp.o.d"
+  "CMakeFiles/lazyckpt_core.dir/model/runtime_model.cpp.o"
+  "CMakeFiles/lazyckpt_core.dir/model/runtime_model.cpp.o.d"
+  "CMakeFiles/lazyckpt_core.dir/policy/bounded_ilazy.cpp.o"
+  "CMakeFiles/lazyckpt_core.dir/policy/bounded_ilazy.cpp.o.d"
+  "CMakeFiles/lazyckpt_core.dir/policy/dynamic_oci.cpp.o"
+  "CMakeFiles/lazyckpt_core.dir/policy/dynamic_oci.cpp.o.d"
+  "CMakeFiles/lazyckpt_core.dir/policy/equal_risk.cpp.o"
+  "CMakeFiles/lazyckpt_core.dir/policy/equal_risk.cpp.o.d"
+  "CMakeFiles/lazyckpt_core.dir/policy/factory.cpp.o"
+  "CMakeFiles/lazyckpt_core.dir/policy/factory.cpp.o.d"
+  "CMakeFiles/lazyckpt_core.dir/policy/ilazy.cpp.o"
+  "CMakeFiles/lazyckpt_core.dir/policy/ilazy.cpp.o.d"
+  "CMakeFiles/lazyckpt_core.dir/policy/linear.cpp.o"
+  "CMakeFiles/lazyckpt_core.dir/policy/linear.cpp.o.d"
+  "CMakeFiles/lazyckpt_core.dir/policy/periodic.cpp.o"
+  "CMakeFiles/lazyckpt_core.dir/policy/periodic.cpp.o.d"
+  "CMakeFiles/lazyckpt_core.dir/policy/policy.cpp.o"
+  "CMakeFiles/lazyckpt_core.dir/policy/policy.cpp.o.d"
+  "CMakeFiles/lazyckpt_core.dir/policy/skip.cpp.o"
+  "CMakeFiles/lazyckpt_core.dir/policy/skip.cpp.o.d"
+  "liblazyckpt_core.a"
+  "liblazyckpt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazyckpt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblazyckpt_core.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cr/checkpoint_file.cpp" "src/cr/CMakeFiles/lazyckpt_cr.dir/checkpoint_file.cpp.o" "gcc" "src/cr/CMakeFiles/lazyckpt_cr.dir/checkpoint_file.cpp.o.d"
+  "/root/repo/src/cr/clock.cpp" "src/cr/CMakeFiles/lazyckpt_cr.dir/clock.cpp.o" "gcc" "src/cr/CMakeFiles/lazyckpt_cr.dir/clock.cpp.o.d"
+  "/root/repo/src/cr/driver.cpp" "src/cr/CMakeFiles/lazyckpt_cr.dir/driver.cpp.o" "gcc" "src/cr/CMakeFiles/lazyckpt_cr.dir/driver.cpp.o.d"
+  "/root/repo/src/cr/incremental.cpp" "src/cr/CMakeFiles/lazyckpt_cr.dir/incremental.cpp.o" "gcc" "src/cr/CMakeFiles/lazyckpt_cr.dir/incremental.cpp.o.d"
+  "/root/repo/src/cr/manager.cpp" "src/cr/CMakeFiles/lazyckpt_cr.dir/manager.cpp.o" "gcc" "src/cr/CMakeFiles/lazyckpt_cr.dir/manager.cpp.o.d"
+  "/root/repo/src/cr/region.cpp" "src/cr/CMakeFiles/lazyckpt_cr.dir/region.cpp.o" "gcc" "src/cr/CMakeFiles/lazyckpt_cr.dir/region.cpp.o.d"
+  "/root/repo/src/cr/trace_replay.cpp" "src/cr/CMakeFiles/lazyckpt_cr.dir/trace_replay.cpp.o" "gcc" "src/cr/CMakeFiles/lazyckpt_cr.dir/trace_replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lazyckpt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lazyckpt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/lazyckpt_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/failures/CMakeFiles/lazyckpt_failures.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lazyckpt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lazyckpt_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

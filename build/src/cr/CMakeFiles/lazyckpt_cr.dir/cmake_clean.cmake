@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazyckpt_cr.dir/checkpoint_file.cpp.o"
+  "CMakeFiles/lazyckpt_cr.dir/checkpoint_file.cpp.o.d"
+  "CMakeFiles/lazyckpt_cr.dir/clock.cpp.o"
+  "CMakeFiles/lazyckpt_cr.dir/clock.cpp.o.d"
+  "CMakeFiles/lazyckpt_cr.dir/driver.cpp.o"
+  "CMakeFiles/lazyckpt_cr.dir/driver.cpp.o.d"
+  "CMakeFiles/lazyckpt_cr.dir/incremental.cpp.o"
+  "CMakeFiles/lazyckpt_cr.dir/incremental.cpp.o.d"
+  "CMakeFiles/lazyckpt_cr.dir/manager.cpp.o"
+  "CMakeFiles/lazyckpt_cr.dir/manager.cpp.o.d"
+  "CMakeFiles/lazyckpt_cr.dir/region.cpp.o"
+  "CMakeFiles/lazyckpt_cr.dir/region.cpp.o.d"
+  "CMakeFiles/lazyckpt_cr.dir/trace_replay.cpp.o"
+  "CMakeFiles/lazyckpt_cr.dir/trace_replay.cpp.o.d"
+  "liblazyckpt_cr.a"
+  "liblazyckpt_cr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazyckpt_cr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/failures/agent.cpp" "src/failures/CMakeFiles/lazyckpt_failures.dir/agent.cpp.o" "gcc" "src/failures/CMakeFiles/lazyckpt_failures.dir/agent.cpp.o.d"
+  "/root/repo/src/failures/analysis.cpp" "src/failures/CMakeFiles/lazyckpt_failures.dir/analysis.cpp.o" "gcc" "src/failures/CMakeFiles/lazyckpt_failures.dir/analysis.cpp.o.d"
+  "/root/repo/src/failures/failure_event.cpp" "src/failures/CMakeFiles/lazyckpt_failures.dir/failure_event.cpp.o" "gcc" "src/failures/CMakeFiles/lazyckpt_failures.dir/failure_event.cpp.o.d"
+  "/root/repo/src/failures/generator.cpp" "src/failures/CMakeFiles/lazyckpt_failures.dir/generator.cpp.o" "gcc" "src/failures/CMakeFiles/lazyckpt_failures.dir/generator.cpp.o.d"
+  "/root/repo/src/failures/scaling.cpp" "src/failures/CMakeFiles/lazyckpt_failures.dir/scaling.cpp.o" "gcc" "src/failures/CMakeFiles/lazyckpt_failures.dir/scaling.cpp.o.d"
+  "/root/repo/src/failures/trace.cpp" "src/failures/CMakeFiles/lazyckpt_failures.dir/trace.cpp.o" "gcc" "src/failures/CMakeFiles/lazyckpt_failures.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/lazyckpt_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lazyckpt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazyckpt_failures.dir/agent.cpp.o"
+  "CMakeFiles/lazyckpt_failures.dir/agent.cpp.o.d"
+  "CMakeFiles/lazyckpt_failures.dir/analysis.cpp.o"
+  "CMakeFiles/lazyckpt_failures.dir/analysis.cpp.o.d"
+  "CMakeFiles/lazyckpt_failures.dir/failure_event.cpp.o"
+  "CMakeFiles/lazyckpt_failures.dir/failure_event.cpp.o.d"
+  "CMakeFiles/lazyckpt_failures.dir/generator.cpp.o"
+  "CMakeFiles/lazyckpt_failures.dir/generator.cpp.o.d"
+  "CMakeFiles/lazyckpt_failures.dir/scaling.cpp.o"
+  "CMakeFiles/lazyckpt_failures.dir/scaling.cpp.o.d"
+  "CMakeFiles/lazyckpt_failures.dir/trace.cpp.o"
+  "CMakeFiles/lazyckpt_failures.dir/trace.cpp.o.d"
+  "liblazyckpt_failures.a"
+  "liblazyckpt_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazyckpt_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

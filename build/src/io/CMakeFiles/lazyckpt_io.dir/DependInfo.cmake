@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/bandwidth_trace.cpp" "src/io/CMakeFiles/lazyckpt_io.dir/bandwidth_trace.cpp.o" "gcc" "src/io/CMakeFiles/lazyckpt_io.dir/bandwidth_trace.cpp.o.d"
+  "/root/repo/src/io/io_agent.cpp" "src/io/CMakeFiles/lazyckpt_io.dir/io_agent.cpp.o" "gcc" "src/io/CMakeFiles/lazyckpt_io.dir/io_agent.cpp.o.d"
+  "/root/repo/src/io/storage_model.cpp" "src/io/CMakeFiles/lazyckpt_io.dir/storage_model.cpp.o" "gcc" "src/io/CMakeFiles/lazyckpt_io.dir/storage_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lazyckpt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazyckpt_io.dir/bandwidth_trace.cpp.o"
+  "CMakeFiles/lazyckpt_io.dir/bandwidth_trace.cpp.o.d"
+  "CMakeFiles/lazyckpt_io.dir/io_agent.cpp.o"
+  "CMakeFiles/lazyckpt_io.dir/io_agent.cpp.o.d"
+  "CMakeFiles/lazyckpt_io.dir/storage_model.cpp.o"
+  "CMakeFiles/lazyckpt_io.dir/storage_model.cpp.o.d"
+  "liblazyckpt_io.a"
+  "liblazyckpt_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazyckpt_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/advisor.cpp" "src/sim/CMakeFiles/lazyckpt_sim.dir/advisor.cpp.o" "gcc" "src/sim/CMakeFiles/lazyckpt_sim.dir/advisor.cpp.o.d"
+  "/root/repo/src/sim/campaign.cpp" "src/sim/CMakeFiles/lazyckpt_sim.dir/campaign.cpp.o" "gcc" "src/sim/CMakeFiles/lazyckpt_sim.dir/campaign.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/lazyckpt_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/lazyckpt_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/failure_source.cpp" "src/sim/CMakeFiles/lazyckpt_sim.dir/failure_source.cpp.o" "gcc" "src/sim/CMakeFiles/lazyckpt_sim.dir/failure_source.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/lazyckpt_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/lazyckpt_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/sweep.cpp" "src/sim/CMakeFiles/lazyckpt_sim.dir/sweep.cpp.o" "gcc" "src/sim/CMakeFiles/lazyckpt_sim.dir/sweep.cpp.o.d"
+  "/root/repo/src/sim/tiered.cpp" "src/sim/CMakeFiles/lazyckpt_sim.dir/tiered.cpp.o" "gcc" "src/sim/CMakeFiles/lazyckpt_sim.dir/tiered.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lazyckpt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/lazyckpt_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/failures/CMakeFiles/lazyckpt_failures.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lazyckpt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lazyckpt_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazyckpt_sim.dir/advisor.cpp.o"
+  "CMakeFiles/lazyckpt_sim.dir/advisor.cpp.o.d"
+  "CMakeFiles/lazyckpt_sim.dir/campaign.cpp.o"
+  "CMakeFiles/lazyckpt_sim.dir/campaign.cpp.o.d"
+  "CMakeFiles/lazyckpt_sim.dir/engine.cpp.o"
+  "CMakeFiles/lazyckpt_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/lazyckpt_sim.dir/failure_source.cpp.o"
+  "CMakeFiles/lazyckpt_sim.dir/failure_source.cpp.o.d"
+  "CMakeFiles/lazyckpt_sim.dir/metrics.cpp.o"
+  "CMakeFiles/lazyckpt_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/lazyckpt_sim.dir/sweep.cpp.o"
+  "CMakeFiles/lazyckpt_sim.dir/sweep.cpp.o.d"
+  "CMakeFiles/lazyckpt_sim.dir/tiered.cpp.o"
+  "CMakeFiles/lazyckpt_sim.dir/tiered.cpp.o.d"
+  "liblazyckpt_sim.a"
+  "liblazyckpt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazyckpt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

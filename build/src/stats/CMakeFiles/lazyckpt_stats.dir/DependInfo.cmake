@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/anderson_darling.cpp" "src/stats/CMakeFiles/lazyckpt_stats.dir/anderson_darling.cpp.o" "gcc" "src/stats/CMakeFiles/lazyckpt_stats.dir/anderson_darling.cpp.o.d"
+  "/root/repo/src/stats/autocorrelation.cpp" "src/stats/CMakeFiles/lazyckpt_stats.dir/autocorrelation.cpp.o" "gcc" "src/stats/CMakeFiles/lazyckpt_stats.dir/autocorrelation.cpp.o.d"
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/lazyckpt_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/lazyckpt_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/lazyckpt_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/lazyckpt_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/distribution.cpp" "src/stats/CMakeFiles/lazyckpt_stats.dir/distribution.cpp.o" "gcc" "src/stats/CMakeFiles/lazyckpt_stats.dir/distribution.cpp.o.d"
+  "/root/repo/src/stats/ecdf.cpp" "src/stats/CMakeFiles/lazyckpt_stats.dir/ecdf.cpp.o" "gcc" "src/stats/CMakeFiles/lazyckpt_stats.dir/ecdf.cpp.o.d"
+  "/root/repo/src/stats/exponential.cpp" "src/stats/CMakeFiles/lazyckpt_stats.dir/exponential.cpp.o" "gcc" "src/stats/CMakeFiles/lazyckpt_stats.dir/exponential.cpp.o.d"
+  "/root/repo/src/stats/fitting.cpp" "src/stats/CMakeFiles/lazyckpt_stats.dir/fitting.cpp.o" "gcc" "src/stats/CMakeFiles/lazyckpt_stats.dir/fitting.cpp.o.d"
+  "/root/repo/src/stats/gamma.cpp" "src/stats/CMakeFiles/lazyckpt_stats.dir/gamma.cpp.o" "gcc" "src/stats/CMakeFiles/lazyckpt_stats.dir/gamma.cpp.o.d"
+  "/root/repo/src/stats/ks_test.cpp" "src/stats/CMakeFiles/lazyckpt_stats.dir/ks_test.cpp.o" "gcc" "src/stats/CMakeFiles/lazyckpt_stats.dir/ks_test.cpp.o.d"
+  "/root/repo/src/stats/lognormal.cpp" "src/stats/CMakeFiles/lazyckpt_stats.dir/lognormal.cpp.o" "gcc" "src/stats/CMakeFiles/lazyckpt_stats.dir/lognormal.cpp.o.d"
+  "/root/repo/src/stats/normal.cpp" "src/stats/CMakeFiles/lazyckpt_stats.dir/normal.cpp.o" "gcc" "src/stats/CMakeFiles/lazyckpt_stats.dir/normal.cpp.o.d"
+  "/root/repo/src/stats/qq.cpp" "src/stats/CMakeFiles/lazyckpt_stats.dir/qq.cpp.o" "gcc" "src/stats/CMakeFiles/lazyckpt_stats.dir/qq.cpp.o.d"
+  "/root/repo/src/stats/special.cpp" "src/stats/CMakeFiles/lazyckpt_stats.dir/special.cpp.o" "gcc" "src/stats/CMakeFiles/lazyckpt_stats.dir/special.cpp.o.d"
+  "/root/repo/src/stats/weibull.cpp" "src/stats/CMakeFiles/lazyckpt_stats.dir/weibull.cpp.o" "gcc" "src/stats/CMakeFiles/lazyckpt_stats.dir/weibull.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lazyckpt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazyckpt_stats.dir/anderson_darling.cpp.o"
+  "CMakeFiles/lazyckpt_stats.dir/anderson_darling.cpp.o.d"
+  "CMakeFiles/lazyckpt_stats.dir/autocorrelation.cpp.o"
+  "CMakeFiles/lazyckpt_stats.dir/autocorrelation.cpp.o.d"
+  "CMakeFiles/lazyckpt_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/lazyckpt_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/lazyckpt_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/lazyckpt_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/lazyckpt_stats.dir/distribution.cpp.o"
+  "CMakeFiles/lazyckpt_stats.dir/distribution.cpp.o.d"
+  "CMakeFiles/lazyckpt_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/lazyckpt_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/lazyckpt_stats.dir/exponential.cpp.o"
+  "CMakeFiles/lazyckpt_stats.dir/exponential.cpp.o.d"
+  "CMakeFiles/lazyckpt_stats.dir/fitting.cpp.o"
+  "CMakeFiles/lazyckpt_stats.dir/fitting.cpp.o.d"
+  "CMakeFiles/lazyckpt_stats.dir/gamma.cpp.o"
+  "CMakeFiles/lazyckpt_stats.dir/gamma.cpp.o.d"
+  "CMakeFiles/lazyckpt_stats.dir/ks_test.cpp.o"
+  "CMakeFiles/lazyckpt_stats.dir/ks_test.cpp.o.d"
+  "CMakeFiles/lazyckpt_stats.dir/lognormal.cpp.o"
+  "CMakeFiles/lazyckpt_stats.dir/lognormal.cpp.o.d"
+  "CMakeFiles/lazyckpt_stats.dir/normal.cpp.o"
+  "CMakeFiles/lazyckpt_stats.dir/normal.cpp.o.d"
+  "CMakeFiles/lazyckpt_stats.dir/qq.cpp.o"
+  "CMakeFiles/lazyckpt_stats.dir/qq.cpp.o.d"
+  "CMakeFiles/lazyckpt_stats.dir/special.cpp.o"
+  "CMakeFiles/lazyckpt_stats.dir/special.cpp.o.d"
+  "CMakeFiles/lazyckpt_stats.dir/weibull.cpp.o"
+  "CMakeFiles/lazyckpt_stats.dir/weibull.cpp.o.d"
+  "liblazyckpt_stats.a"
+  "liblazyckpt_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazyckpt_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_async_and_equal_risk.dir/test_async_and_equal_risk.cpp.o"
+  "CMakeFiles/test_async_and_equal_risk.dir/test_async_and_equal_risk.cpp.o.d"
+  "test_async_and_equal_risk"
+  "test_async_and_equal_risk.pdb"
+  "test_async_and_equal_risk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_async_and_equal_risk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

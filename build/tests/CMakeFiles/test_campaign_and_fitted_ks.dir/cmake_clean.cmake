@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_campaign_and_fitted_ks.dir/test_campaign_and_fitted_ks.cpp.o"
+  "CMakeFiles/test_campaign_and_fitted_ks.dir/test_campaign_and_fitted_ks.cpp.o.d"
+  "test_campaign_and_fitted_ks"
+  "test_campaign_and_fitted_ks.pdb"
+  "test_campaign_and_fitted_ks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_campaign_and_fitted_ks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

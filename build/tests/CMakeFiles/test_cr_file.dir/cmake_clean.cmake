@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cr_file.dir/test_cr_file.cpp.o"
+  "CMakeFiles/test_cr_file.dir/test_cr_file.cpp.o.d"
+  "test_cr_file"
+  "test_cr_file.pdb"
+  "test_cr_file[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cr_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cr_incremental.dir/test_cr_incremental.cpp.o"
+  "CMakeFiles/test_cr_incremental.dir/test_cr_incremental.cpp.o.d"
+  "test_cr_incremental"
+  "test_cr_incremental.pdb"
+  "test_cr_incremental[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cr_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

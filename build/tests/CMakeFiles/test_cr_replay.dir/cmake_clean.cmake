@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cr_replay.dir/test_cr_replay.cpp.o"
+  "CMakeFiles/test_cr_replay.dir/test_cr_replay.cpp.o.d"
+  "test_cr_replay"
+  "test_cr_replay.pdb"
+  "test_cr_replay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cr_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_policies.cpp" "tests/CMakeFiles/test_policies.dir/test_policies.cpp.o" "gcc" "tests/CMakeFiles/test_policies.dir/test_policies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cr/CMakeFiles/lazyckpt_cr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lazyckpt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/lazyckpt_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lazyckpt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/lazyckpt_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/failures/CMakeFiles/lazyckpt_failures.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lazyckpt_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lazyckpt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_budget.dir/test_sim_budget.cpp.o"
+  "CMakeFiles/test_sim_budget.dir/test_sim_budget.cpp.o.d"
+  "test_sim_budget"
+  "test_sim_budget.pdb"
+  "test_sim_budget[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_tiered.dir/test_sim_tiered.cpp.o"
+  "CMakeFiles/test_sim_tiered.dir/test_sim_tiered.cpp.o.d"
+  "test_sim_tiered"
+  "test_sim_tiered.pdb"
+  "test_sim_tiered[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_tiered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_trace_storage.dir/test_sim_trace_storage.cpp.o"
+  "CMakeFiles/test_sim_trace_storage.dir/test_sim_trace_storage.cpp.o.d"
+  "test_sim_trace_storage"
+  "test_sim_trace_storage.pdb"
+  "test_sim_trace_storage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_trace_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

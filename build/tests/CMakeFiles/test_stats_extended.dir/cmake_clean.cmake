@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_extended.dir/test_stats_extended.cpp.o"
+  "CMakeFiles/test_stats_extended.dir/test_stats_extended.cpp.o.d"
+  "test_stats_extended"
+  "test_stats_extended.pdb"
+  "test_stats_extended[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_fitting.dir/test_stats_fitting.cpp.o"
+  "CMakeFiles/test_stats_fitting.dir/test_stats_fitting.cpp.o.d"
+  "test_stats_fitting"
+  "test_stats_fitting.pdb"
+  "test_stats_fitting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_fitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_stats_distributions[1]_include.cmake")
+include("/root/repo/build/tests/test_stats_fitting[1]_include.cmake")
+include("/root/repo/build/tests/test_stats_tests[1]_include.cmake")
+include("/root/repo/build/tests/test_stats_extended[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_policies[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_tiered[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_budget[1]_include.cmake")
+include("/root/repo/build/tests/test_campaign_and_fitted_ks[1]_include.cmake")
+include("/root/repo/build/tests/test_async_and_equal_risk[1]_include.cmake")
+include("/root/repo/build/tests/test_advisor[1]_include.cmake")
+include("/root/repo/build/tests/test_failures[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis_bootstrap[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_cr_file[1]_include.cmake")
+include("/root/repo/build/tests/test_cr_manager[1]_include.cmake")
+include("/root/repo/build/tests/test_cr_replay[1]_include.cmake")
+include("/root/repo/build/tests/test_cr_incremental[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_trace_storage[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_shapes[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
