@@ -18,37 +18,26 @@ int main() {
   const auto weibull = stats::Weibull::from_mtbf_and_shape(11.0, 0.6);
   const io::ConstantStorage storage(0.5, 0.5);
 
+  sim::CampaignConfig config;
+  config.base.compute_hours = 500.0;
+  config.base.alpha_oci_hours = core::daly_oci(0.5, 11.0);
+  config.base.mtbf_hint_hours = 11.0;
+  config.base.shape_hint = 0.6;
+  config.allocation_hours = 168.0;
+  config.gap_hours = 24.0;
+
   TextTable table({"policy", "allocations (mean)", "machine hours (mean)",
                    "completed", "ckpt I/O (h)"});
   for (const char* spec :
        {"hourly", "static-oci", "ilazy:0.6", "bounded-ilazy:0.6"}) {
-    double allocations = 0.0;
-    double machine_hours = 0.0;
-    double ckpt = 0.0;
-    int completed = 0;
-    const int replicas = 60;
-    Rng master(71);
-    for (int i = 0; i < replicas; ++i) {
-      sim::CampaignConfig config;
-      config.base.compute_hours = 500.0;
-      config.base.alpha_oci_hours = core::daly_oci(0.5, 11.0);
-      config.base.mtbf_hint_hours = 11.0;
-      config.base.shape_hint = 0.6;
-      config.allocation_hours = 168.0;
-      config.gap_hours = 24.0;
-      sim::RenewalFailureSource source(weibull.clone(), master.split());
-      const auto policy = core::make_policy(spec);
-      const auto result =
-          sim::run_campaign(config, *policy, source, storage);
-      allocations += static_cast<double>(result.allocations_used);
-      machine_hours += result.machine_hours;
-      completed += result.completed ? 1 : 0;
-      for (const auto& run : result.runs) ckpt += run.checkpoint_hours;
-    }
-    table.add_row({spec, TextTable::num(allocations / replicas, 2),
-                   TextTable::num(machine_hours / replicas, 1),
-                   TextTable::num(100.0 * completed / replicas, 0) + "%",
-                   TextTable::num(ckpt / replicas, 1)});
+    const auto policy = core::make_policy(spec);
+    const auto results = sim::run_campaign_replicas(config, *policy, weibull,
+                                                    storage, 60, 71);
+    const auto agg = sim::aggregate_campaigns(results);
+    table.add_row({spec, TextTable::num(agg.mean_allocations, 2),
+                   TextTable::num(agg.mean_machine_hours, 1),
+                   TextTable::num(100.0 * agg.completion_rate, 0) + "%",
+                   TextTable::num(agg.mean_checkpoint_hours, 1)});
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf(

@@ -1,0 +1,112 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace lazyckpt {
+namespace {
+
+thread_local bool t_in_parallel_region = false;
+
+/// RAII flag so the caller thread (which participates as a worker) leaves
+/// the region marked correctly even when a body throws.
+class RegionGuard {
+ public:
+  RegionGuard() noexcept : previous_(t_in_parallel_region) {
+    t_in_parallel_region = true;
+  }
+  ~RegionGuard() { t_in_parallel_region = previous_; }
+  RegionGuard(const RegionGuard&) = delete;
+  RegionGuard& operator=(const RegionGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+std::size_t threads_from_env() {
+  const char* env = std::getenv("LAZYCKPT_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  // strtoul would happily wrap "-2" to a huge count; accept digits only.
+  bool digits_only = true;
+  for (const char* c = env; *c != '\0'; ++c) {
+    if (*c < '0' || *c > '9') digits_only = false;
+  }
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(env, &end, 10);
+  if (!digits_only || end == env || *end != '\0' || value == 0) {
+    throw InvalidArgument(std::string("LAZYCKPT_THREADS must be a positive "
+                                      "integer, got \"") +
+                          env + "\"");
+  }
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
+std::size_t ParallelConfig::resolve() const {
+  if (threads > 0) return threads;
+  if (const std::size_t env = threads_from_env(); env > 0) return env;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<std::size_t>(hw) : 1;
+}
+
+bool in_parallel_region() noexcept { return t_in_parallel_region; }
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  ParallelConfig config) {
+  require(static_cast<bool>(body), "parallel_for needs a body");
+  if (n == 0) return;
+
+  const std::size_t workers = std::min(config.resolve(), n);
+  if (workers <= 1 || t_in_parallel_region) {
+    // Serial path: thread count 1, a single item, or a nested region
+    // (running nested regions serially bounds the total thread count).
+    const RegionGuard guard;
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> cancelled{false};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  const auto work = [&]() {
+    const RegionGuard guard;
+    while (!cancelled.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        cancelled.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  try {
+    for (std::size_t t = 0; t + 1 < workers; ++t) pool.emplace_back(work);
+  } catch (...) {
+    // Thread creation failed (resource exhaustion): finish with whatever
+    // pool exists rather than leaking joinable threads.
+    cancelled.store(true, std::memory_order_relaxed);
+    for (auto& thread : pool) thread.join();
+    throw;
+  }
+  work();  // the caller participates as a worker
+  for (auto& thread : pool) thread.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace lazyckpt

@@ -3,6 +3,8 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/random.hpp"
 
 namespace lazyckpt::sim {
 namespace {
@@ -75,6 +77,52 @@ CampaignResult run_campaign(const CampaignConfig& config,
     // max_allocations bound still terminates the loop.
   }
   return result;
+}
+
+std::vector<CampaignResult> run_campaign_replicas(
+    const CampaignConfig& config, const core::CheckpointPolicy& policy,
+    const stats::Distribution& inter_arrival, const io::StorageModel& storage,
+    std::size_t replicas, std::uint64_t seed) {
+  require(replicas >= 1, "run_campaign_replicas needs replicas >= 1");
+  config.validate();
+
+  // Same determinism discipline as sim::run_replicas_raw: all RNG streams
+  // are split from the master in index order before dispatch, and results
+  // land in index-addressed slots — bit-identical for any thread count.
+  Rng master(seed);
+  std::vector<Rng> streams;
+  streams.reserve(replicas);
+  for (std::size_t i = 0; i < replicas; ++i) streams.push_back(master.split());
+
+  return parallel_map(replicas, [&](std::size_t i) {
+    RenewalFailureSource source(inter_arrival.clone(), streams[i]);
+    const core::PolicyPtr replica_policy = policy.clone();
+    return run_campaign(config, *replica_policy, source, storage);
+  });
+}
+
+CampaignAggregate aggregate_campaigns(
+    std::span<const CampaignResult> results) {
+  require(!results.empty(), "aggregate_campaigns needs results");
+  CampaignAggregate agg;
+  agg.replicas = results.size();
+  std::size_t completed = 0;
+  for (const auto& result : results) {
+    agg.mean_allocations += static_cast<double>(result.allocations_used);
+    agg.mean_machine_hours += result.machine_hours;
+    agg.mean_committed_hours += result.committed_hours;
+    for (const auto& run : result.runs) {
+      agg.mean_checkpoint_hours += run.checkpoint_hours;
+    }
+    completed += result.completed ? 1 : 0;
+  }
+  const auto n = static_cast<double>(agg.replicas);
+  agg.mean_allocations /= n;
+  agg.mean_machine_hours /= n;
+  agg.mean_committed_hours /= n;
+  agg.mean_checkpoint_hours /= n;
+  agg.completion_rate = static_cast<double>(completed) / n;
+  return agg;
 }
 
 }  // namespace lazyckpt::sim

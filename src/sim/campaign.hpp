@@ -8,12 +8,15 @@
 /// between during which the machine keeps failing.
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/policy/policy.hpp"
 #include "io/storage_model.hpp"
 #include "sim/engine.hpp"
 #include "sim/failure_source.hpp"
+#include "stats/distribution.hpp"
 
 namespace lazyckpt::sim {
 
@@ -46,5 +49,30 @@ CampaignResult run_campaign(const CampaignConfig& config,
                             core::CheckpointPolicy& policy,
                             FailureSource& failures,
                             const io::StorageModel& storage);
+
+/// Run `replicas` independent Monte Carlo campaigns of `policy` under
+/// renewal failures drawn from `inter_arrival`.  Each replica gets a
+/// cloned policy and an independent RNG stream derived from `seed`, in
+/// index order, exactly like sim::run_replicas_raw — so the result is
+/// bit-identical for any LAZYCKPT_THREADS value and two policies evaluated
+/// with the same seed face the same failure arrival times.  This is the
+/// shared code path the campaign benches used to hand-roll.
+std::vector<CampaignResult> run_campaign_replicas(
+    const CampaignConfig& config, const core::CheckpointPolicy& policy,
+    const stats::Distribution& inter_arrival, const io::StorageModel& storage,
+    std::size_t replicas, std::uint64_t seed);
+
+/// Cross-replica summary of a campaign experiment.
+struct CampaignAggregate {
+  std::size_t replicas = 0;
+  double mean_allocations = 0.0;      ///< allocations used per campaign
+  double mean_machine_hours = 0.0;    ///< billed hours per campaign
+  double mean_committed_hours = 0.0;  ///< committed science per campaign
+  double mean_checkpoint_hours = 0.0;  ///< checkpoint I/O per campaign
+  double completion_rate = 0.0;        ///< fraction of campaigns completed
+};
+
+/// Aggregate a non-empty set of campaign results.
+CampaignAggregate aggregate_campaigns(std::span<const CampaignResult> results);
 
 }  // namespace lazyckpt::sim

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "core/policy/periodic.hpp"
 
 namespace lazyckpt::sim {
@@ -14,15 +15,23 @@ std::vector<RunMetrics> run_replicas_raw(const SimulationConfig& config,
                                          std::size_t replicas,
                                          std::uint64_t seed) {
   require(replicas >= 1, "run_replicas needs replicas >= 1");
-  std::vector<RunMetrics> runs;
-  runs.reserve(replicas);
+
+  // Determinism contract: derive every replica's RNG stream from the
+  // master *before* dispatch, in index order.  The streams (and therefore
+  // the results, written into index-addressed slots by parallel_map) are
+  // identical for any thread count — and identical to what the historical
+  // serial loop produced, since split() never depended on the simulations
+  // interleaved between the calls.
   Rng master(seed);
-  for (std::size_t i = 0; i < replicas; ++i) {
-    RenewalFailureSource source(inter_arrival.clone(), master.split());
+  std::vector<Rng> streams;
+  streams.reserve(replicas);
+  for (std::size_t i = 0; i < replicas; ++i) streams.push_back(master.split());
+
+  return parallel_map(replicas, [&](std::size_t i) {
+    RenewalFailureSource source(inter_arrival.clone(), streams[i]);
     const core::PolicyPtr replica_policy = policy.clone();
-    runs.push_back(simulate(config, *replica_policy, source, storage));
-  }
-  return runs;
+    return simulate(config, *replica_policy, source, storage);
+  });
 }
 
 AggregateMetrics run_replicas(const SimulationConfig& config,
@@ -41,24 +50,36 @@ std::vector<IntervalPoint> runtime_vs_interval(
     const io::StorageModel& storage, std::span<const double> intervals,
     std::size_t replicas, std::uint64_t seed) {
   require(!intervals.empty(), "runtime_vs_interval needs intervals");
-  std::vector<IntervalPoint> curve;
-  curve.reserve(intervals.size());
-  for (const double interval : intervals) {
+  // Parallel over intervals; the per-interval replica loop inside
+  // run_replicas detects the nesting and runs serially, so the region
+  // stays bounded by one thread pool.  Each interval restarts from the
+  // same seed (the paper's paired-failure-stream fairness), so the points
+  // are independent and index-addressed — deterministic for any thread
+  // count.
+  return parallel_map(intervals.size(), [&](std::size_t i) {
+    const double interval = intervals[i];
     SimulationConfig config = base_config;
     config.alpha_oci_hours = interval;
     const core::PeriodicPolicy policy(interval);
-    curve.push_back({interval, run_replicas(config, policy, inter_arrival,
-                                            storage, replicas, seed)});
-  }
-  return curve;
+    return IntervalPoint{interval, run_replicas(config, policy, inter_arrival,
+                                                storage, replicas, seed)};
+  });
 }
 
 double simulated_oci(std::span<const IntervalPoint> curve) {
   require(!curve.empty(), "simulated_oci needs a non-empty curve");
+  // Tie-break: on equal mean makespan the *smallest* interval wins.  A
+  // smaller interval commits work more often for the same cost, and an
+  // explicit rule keeps the result independent of curve ordering (the
+  // historical first-seen-wins behavior was an artifact of float `<` over
+  // whatever order the sweep produced).
   const IntervalPoint* best = &curve.front();
   for (const auto& point : curve) {
-    if (point.metrics.mean_makespan_hours <
-        best->metrics.mean_makespan_hours) {
+    const double makespan = point.metrics.mean_makespan_hours;
+    const double best_makespan = best->metrics.mean_makespan_hours;
+    if (makespan < best_makespan ||
+        (makespan == best_makespan &&
+         point.interval_hours < best->interval_hours)) {
       best = &point;
     }
   }

@@ -18,6 +18,11 @@ namespace lazyckpt::sim {
 /// `seed`, so two different policies evaluated with the same seed see the
 /// same failure arrival times — the paper's "for a fair comparison, both
 /// the iLazy and OCI schemes use the same failure arrival times".
+///
+/// Replicas execute on the shared parallel engine (common/parallel.hpp;
+/// thread count from LAZYCKPT_THREADS, default hardware_concurrency).
+/// RNG streams are pre-split in index order before dispatch, so the output
+/// is bit-identical for any thread count, including 1.
 AggregateMetrics run_replicas(const SimulationConfig& config,
                               const core::CheckpointPolicy& policy,
                               const stats::Distribution& inter_arrival,
@@ -46,8 +51,10 @@ std::vector<IntervalPoint> runtime_vs_interval(
     const io::StorageModel& storage, std::span<const double> intervals,
     std::size_t replicas, std::uint64_t seed);
 
-/// Interval with the minimum mean makespan on a swept curve.
-/// Requires a non-empty curve.
+/// Interval with the minimum mean makespan on a swept curve.  Ties on the
+/// mean are broken toward the smallest interval, so the answer does not
+/// depend on the order the curve was produced in.  Requires a non-empty
+/// curve.
 double simulated_oci(std::span<const IntervalPoint> curve);
 
 /// Log-spaced interval grid in [lo, hi], `count` points — convenient for

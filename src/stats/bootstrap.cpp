@@ -1,9 +1,11 @@
 #include "stats/bootstrap.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "stats/descriptive.hpp"
 
 namespace lazyckpt::stats {
@@ -21,18 +23,33 @@ BootstrapInterval bootstrap_ci(std::span<const double> samples,
   BootstrapInterval result;
   result.estimate = statistic(samples);
 
+  // One pre-split RNG stream per resample, drawn in index order, so the
+  // replicate values do not depend on the thread count executing them.
+  // The caller's generator advances by exactly 2·resamples outputs either
+  // way.
+  std::vector<Rng> streams;
+  streams.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) streams.push_back(rng.split());
+
+  const auto replicates = parallel_map(
+      resamples, [&](std::size_t r) -> std::optional<double> {
+        Rng stream = streams[r];
+        std::vector<double> resample(samples.size());
+        for (auto& value : resample) {
+          value = samples[stream.uniform_index(samples.size())];
+        }
+        try {
+          return statistic(resample);
+        } catch (const Error&) {
+          // Degenerate resample (e.g. all-equal values break an MLE); skip.
+          return std::nullopt;
+        }
+      });
+
   std::vector<double> replicate_values;
   replicate_values.reserve(resamples);
-  std::vector<double> resample(samples.size());
-  for (std::size_t r = 0; r < resamples; ++r) {
-    for (auto& value : resample) {
-      value = samples[rng.uniform_index(samples.size())];
-    }
-    try {
-      replicate_values.push_back(statistic(resample));
-    } catch (const Error&) {
-      // Degenerate resample (e.g. all-equal values break an MLE); skip.
-    }
+  for (const auto& value : replicates) {
+    if (value.has_value()) replicate_values.push_back(*value);
   }
   require(replicate_values.size() >= resamples / 2,
           "bootstrap_ci: statistic failed on most resamples");

@@ -32,6 +32,12 @@ using Statistic = std::function<double(std::span<const double>)>;
 /// `confidence` in (0, 1), e.g. 0.95; `resamples` >= 10.  Resamples for
 /// which the statistic throws are skipped (rare, e.g. a degenerate fit);
 /// throws Error if more than half are skipped.
+///
+/// Resamples run on the shared parallel engine (common/parallel.hpp):
+/// each resample draws from its own RNG stream split from `rng` in index
+/// order before dispatch, so the interval is bit-identical for any
+/// LAZYCKPT_THREADS value and `rng` advances by a fixed amount.
+/// `statistic` must be safe to call concurrently on distinct inputs.
 BootstrapInterval bootstrap_ci(std::span<const double> samples,
                                const Statistic& statistic,
                                std::size_t resamples, double confidence,

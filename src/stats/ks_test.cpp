@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "stats/ecdf.hpp"
 
 namespace lazyckpt::stats {
@@ -90,17 +92,32 @@ FittedKsResult ks_test_fitted(std::span<const double> samples,
   result.d_statistic = ks_statistic(samples, *fitted);
 
   // Null distribution of D when parameters are re-estimated per sample.
+  // Each resample draws its synthetic sample from an RNG stream split from
+  // `rng` in index order before dispatch, so the null distribution — and
+  // therefore the critical value and p-value — is bit-identical for any
+  // LAZYCKPT_THREADS value.
+  std::vector<Rng> streams;
+  streams.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) streams.push_back(rng.split());
+
+  const auto resampled = parallel_map(
+      resamples, [&](std::size_t r) -> std::optional<double> {
+        Rng stream = streams[r];
+        std::vector<double> synthetic(samples.size());
+        for (auto& value : synthetic) value = fitted->sample(stream);
+        try {
+          const DistributionPtr refitted = refit(synthetic);
+          return ks_statistic(synthetic, *refitted);
+        } catch (const Error&) {
+          // Degenerate synthetic sample; skip.
+          return std::nullopt;
+        }
+      });
+
   std::vector<double> null_d;
   null_d.reserve(resamples);
-  std::vector<double> synthetic(samples.size());
-  for (std::size_t r = 0; r < resamples; ++r) {
-    for (auto& value : synthetic) value = fitted->sample(rng);
-    try {
-      const DistributionPtr refitted = refit(synthetic);
-      null_d.push_back(ks_statistic(synthetic, *refitted));
-    } catch (const Error&) {
-      // Degenerate synthetic sample; skip.
-    }
+  for (const auto& d : resampled) {
+    if (d.has_value()) null_d.push_back(*d);
   }
   require(null_d.size() >= resamples / 2,
           "ks_test_fitted: refit failed on most resamples");

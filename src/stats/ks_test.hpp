@@ -64,6 +64,11 @@ using Refit = std::function<DistributionPtr(std::span<const double>)>;
 /// synthetic data of the same size from the fitted model, refitting, and
 /// recomputing D.  `resamples` >= 20.  Refits that throw are skipped
 /// (throws Error if more than half fail).
+///
+/// Resamples run on the shared parallel engine (common/parallel.hpp) with
+/// one RNG stream per resample, split from `rng` in index order before
+/// dispatch — the result is bit-identical for any LAZYCKPT_THREADS value.
+/// `refit` must be safe to call concurrently on distinct inputs.
 FittedKsResult ks_test_fitted(std::span<const double> samples,
                               const Refit& refit, std::size_t resamples,
                               double alpha, Rng& rng);

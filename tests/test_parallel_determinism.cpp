@@ -1,0 +1,218 @@
+// The determinism contract of the parallel engine, checked end to end:
+// every parallelized evaluation surface — replica sweeps, interval curves,
+// campaigns, bootstrap CIs, the parametric-bootstrap K-S test — must
+// produce bit-identical output for LAZYCKPT_THREADS in {1, 2, 8}.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/policy/factory.hpp"
+#include "core/policy/periodic.hpp"
+#include "io/storage_model.hpp"
+#include "sim/campaign.hpp"
+#include "sim/sweep.hpp"
+#include "stats/bootstrap.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/fitting.hpp"
+#include "stats/ks_test.hpp"
+#include "stats/weibull.hpp"
+
+namespace lazyckpt {
+namespace {
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+/// Run `fn` with LAZYCKPT_THREADS forced to `threads`, restoring the
+/// environment afterwards.
+template <typename Fn>
+auto with_threads(std::size_t threads, Fn&& fn) {
+  const char* old = std::getenv("LAZYCKPT_THREADS");
+  const std::string saved = old != nullptr ? old : "";
+  const bool had_old = old != nullptr;
+  setenv("LAZYCKPT_THREADS", std::to_string(threads).c_str(), 1);
+  auto restore = [&]() {
+    if (had_old) {
+      setenv("LAZYCKPT_THREADS", saved.c_str(), 1);
+    } else {
+      unsetenv("LAZYCKPT_THREADS");
+    }
+  };
+  try {
+    auto result = fn();
+    restore();
+    return result;
+  } catch (...) {
+    restore();
+    throw;
+  }
+}
+
+sim::SimulationConfig config_20k() {
+  sim::SimulationConfig config;
+  config.compute_hours = 120.0;
+  config.alpha_oci_hours = 2.98;
+  config.mtbf_hint_hours = 11.0;
+  config.shape_hint = 0.6;
+  return config;
+}
+
+void expect_bit_identical(const sim::RunMetrics& a, const sim::RunMetrics& b,
+                          std::size_t threads, std::size_t index) {
+  const auto msg = [&](const char* field) {
+    return std::string(field) + " replica " + std::to_string(index) +
+           " threads " + std::to_string(threads);
+  };
+  EXPECT_EQ(a.makespan_hours, b.makespan_hours) << msg("makespan");
+  EXPECT_EQ(a.compute_hours, b.compute_hours) << msg("compute");
+  EXPECT_EQ(a.checkpoint_hours, b.checkpoint_hours) << msg("checkpoint");
+  EXPECT_EQ(a.wasted_hours, b.wasted_hours) << msg("wasted");
+  EXPECT_EQ(a.restart_hours, b.restart_hours) << msg("restart");
+  EXPECT_EQ(a.failures, b.failures) << msg("failures");
+  EXPECT_EQ(a.checkpoints_written, b.checkpoints_written) << msg("written");
+  EXPECT_EQ(a.checkpoints_skipped, b.checkpoints_skipped) << msg("skipped");
+  EXPECT_EQ(a.data_written_gb, b.data_written_gb) << msg("data");
+}
+
+TEST(ParallelDeterminism, RunReplicasRawBitIdenticalAcrossThreadCounts) {
+  const auto weibull = stats::Weibull::from_mtbf_and_shape(11.0, 0.6);
+  const io::ConstantStorage storage(0.5, 0.5);
+  const auto policy = core::make_policy("ilazy:0.6");
+
+  const auto run = [&]() {
+    return sim::run_replicas_raw(config_20k(), *policy, weibull, storage, 30,
+                                 17);
+  };
+  const auto baseline = with_threads(1, run);
+  ASSERT_EQ(baseline.size(), 30u);
+  for (const std::size_t threads : kThreadCounts) {
+    const auto runs = with_threads(threads, run);
+    ASSERT_EQ(runs.size(), baseline.size());
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      expect_bit_identical(runs[i], baseline[i], threads, i);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, RuntimeVsIntervalBitIdenticalAcrossThreadCounts) {
+  const auto weibull = stats::Weibull::from_mtbf_and_shape(11.0, 0.6);
+  const io::ConstantStorage storage(0.5, 0.5);
+  const auto grid = sim::log_spaced(1.0, 9.0, 5);
+
+  const auto run = [&]() {
+    return sim::runtime_vs_interval(config_20k(), weibull, storage, grid, 20,
+                                    13);
+  };
+  const auto baseline = with_threads(1, run);
+  for (const std::size_t threads : kThreadCounts) {
+    const auto curve = with_threads(threads, run);
+    ASSERT_EQ(curve.size(), baseline.size());
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+      EXPECT_EQ(curve[i].interval_hours, baseline[i].interval_hours);
+      EXPECT_EQ(curve[i].metrics.mean_makespan_hours,
+                baseline[i].metrics.mean_makespan_hours)
+          << "interval " << i << " threads " << threads;
+      EXPECT_EQ(curve[i].metrics.mean_checkpoint_hours,
+                baseline[i].metrics.mean_checkpoint_hours);
+      EXPECT_EQ(curve[i].metrics.mean_wasted_hours,
+                baseline[i].metrics.mean_wasted_hours);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, CampaignReplicasBitIdenticalAcrossThreadCounts) {
+  const auto weibull = stats::Weibull::from_mtbf_and_shape(11.0, 0.6);
+  const io::ConstantStorage storage(0.5, 0.5);
+  const auto policy = core::make_policy("static-oci");
+
+  sim::CampaignConfig config;
+  config.base = config_20k();
+  config.allocation_hours = 48.0;
+  config.gap_hours = 12.0;
+
+  const auto run = [&]() {
+    return sim::run_campaign_replicas(config, *policy, weibull, storage, 20,
+                                      71);
+  };
+  const auto baseline = with_threads(1, run);
+  ASSERT_EQ(baseline.size(), 20u);
+  for (const std::size_t threads : kThreadCounts) {
+    const auto results = with_threads(threads, run);
+    ASSERT_EQ(results.size(), baseline.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].completed, baseline[i].completed);
+      EXPECT_EQ(results[i].allocations_used, baseline[i].allocations_used);
+      EXPECT_EQ(results[i].committed_hours, baseline[i].committed_hours)
+          << "replica " << i << " threads " << threads;
+      EXPECT_EQ(results[i].machine_hours, baseline[i].machine_hours);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, BootstrapBitIdenticalAcrossThreadCounts) {
+  const auto weibull = stats::Weibull::from_mtbf_and_shape(7.5, 0.6);
+  Rng gen(18);
+  std::vector<double> samples;
+  for (int i = 0; i < 400; ++i) samples.push_back(weibull.sample(gen));
+
+  const auto run = [&]() {
+    Rng rng(19);  // fresh generator per run: identical split sequence
+    return stats::bootstrap_ci(
+        samples,
+        [](std::span<const double> s) { return stats::mean(s); }, 200, 0.95,
+        rng);
+  };
+  const auto baseline = with_threads(1, run);
+  for (const std::size_t threads : kThreadCounts) {
+    const auto ci = with_threads(threads, run);
+    EXPECT_EQ(ci.estimate, baseline.estimate) << "threads " << threads;
+    EXPECT_EQ(ci.lower, baseline.lower) << "threads " << threads;
+    EXPECT_EQ(ci.upper, baseline.upper) << "threads " << threads;
+  }
+}
+
+TEST(ParallelDeterminism, BootstrapAdvancesCallerRngIdentically) {
+  // The caller's generator must end in the same state for any thread
+  // count (exactly 2 outputs consumed per split).
+  const std::vector<double> samples = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  const auto run = [&]() {
+    Rng rng(23);
+    (void)stats::bootstrap_mean_ci(samples, 50, 0.9, rng);
+    return rng();  // first output after the call
+  };
+  const auto baseline = with_threads(1, run);
+  for (const std::size_t threads : kThreadCounts) {
+    EXPECT_EQ(with_threads(threads, run), baseline)
+        << "threads " << threads;
+  }
+}
+
+TEST(ParallelDeterminism, FittedKsBitIdenticalAcrossThreadCounts) {
+  const auto truth = stats::Weibull::from_mtbf_and_shape(7.5, 0.6);
+  Rng gen(41);
+  std::vector<double> samples;
+  for (int i = 0; i < 300; ++i) samples.push_back(truth.sample(gen));
+
+  const auto refit = [](std::span<const double> s) -> stats::DistributionPtr {
+    return std::make_unique<stats::Weibull>(stats::fit_weibull(s));
+  };
+  const auto run = [&]() {
+    Rng rng(42);
+    return stats::ks_test_fitted(samples, refit, 40, 0.05, rng);
+  };
+  const auto baseline = with_threads(1, run);
+  for (const std::size_t threads : kThreadCounts) {
+    const auto result = with_threads(threads, run);
+    EXPECT_EQ(result.d_statistic, baseline.d_statistic);
+    EXPECT_EQ(result.critical_value, baseline.critical_value)
+        << "threads " << threads;
+    EXPECT_EQ(result.p_value, baseline.p_value) << "threads " << threads;
+    EXPECT_EQ(result.rejected, baseline.rejected);
+  }
+}
+
+}  // namespace
+}  // namespace lazyckpt

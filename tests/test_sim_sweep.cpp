@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
 
 #include "common/error.hpp"
 #include "core/model/oci.hpp"
@@ -106,6 +107,21 @@ TEST(Sweep, CurveIsConvexishAroundOci) {
   EXPECT_GT(curve[2].metrics.mean_makespan_hours,
             curve[1].metrics.mean_makespan_hours);
   EXPECT_DOUBLE_EQ(simulated_oci(curve), 2.98);
+}
+
+TEST(Sweep, SimulatedOciBreaksTiesTowardSmallestInterval) {
+  // Equal mean makespans must resolve to the smallest interval, in any
+  // curve order — not to whichever point the sweep produced first.
+  std::vector<IntervalPoint> curve(3);
+  curve[0].interval_hours = 6.0;
+  curve[0].metrics.mean_makespan_hours = 250.0;
+  curve[1].interval_hours = 2.0;
+  curve[1].metrics.mean_makespan_hours = 240.0;
+  curve[2].interval_hours = 4.0;
+  curve[2].metrics.mean_makespan_hours = 240.0;
+  EXPECT_DOUBLE_EQ(simulated_oci(curve), 2.0);
+  std::swap(curve[1], curve[2]);  // order must not matter
+  EXPECT_DOUBLE_EQ(simulated_oci(curve), 2.0);
 }
 
 TEST(Sweep, SimulatedOciNearModelOci) {
