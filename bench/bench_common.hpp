@@ -7,8 +7,11 @@
 /// output convention: a banner naming the artifact, the parameters used
 /// (including seeds — everything is reproducible), then the rows/series.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "common/table.hpp"
 #include "core/model/oci.hpp"
@@ -67,6 +70,48 @@ inline double saving(double baseline, double candidate) {
 /// Print the standard run parameters line.
 inline void print_params(const std::string& text) {
   std::printf("parameters: %s\n\n", text.c_str());
+}
+
+/// True when LAZYCKPT_BENCH_SMOKE is set (to anything but "0"): bench
+/// binaries shrink their workloads to a few replicas so the `bench_smoke`
+/// CTest label can compile- and run-check every benchmark in seconds.
+/// Smoke output is for exercising the code paths, not for numbers.
+inline bool smoke_mode() {
+  const char* env = std::getenv("LAZYCKPT_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+/// Replica count to actually run: `n` normally, a tiny count under
+/// LAZYCKPT_BENCH_SMOKE.
+inline std::size_t bench_replicas(std::size_t n) {
+  return smoke_mode() ? std::min<std::size_t>(n, 3) : n;
+}
+
+#ifndef LAZYCKPT_BUILD_TYPE
+#define LAZYCKPT_BUILD_TYPE "unknown"
+#endif
+
+/// Write the standard "machine" JSON block (no trailing comma or newline)
+/// every BENCH_*.json emitter includes, so perf trajectories recorded on
+/// different hosts are comparable: core count, the LAZYCKPT_THREADS
+/// setting in effect, build type, and compiler.
+inline void write_machine_json(std::FILE* out, const char* indent = "  ") {
+  const char* threads_env = std::getenv("LAZYCKPT_THREADS");
+  std::fprintf(out,
+               "%s\"machine\": {\n"
+               "%s  \"hardware_concurrency\": %u,\n"
+               "%s  \"lazyckpt_threads\": %s%s%s,\n"
+               "%s  \"build_type\": \"%s\",\n"
+               "%s  \"compiler\": \"%s\",\n"
+               "%s  \"smoke_mode\": %s\n"
+               "%s}",
+               indent, indent, std::thread::hardware_concurrency(), indent,
+               threads_env != nullptr ? "\"" : "",
+               threads_env != nullptr ? threads_env : "null",
+               threads_env != nullptr ? "\"" : "", indent,
+               LAZYCKPT_BUILD_TYPE, indent, __VERSION__, indent,
+               smoke_mode() ? "true" : "false", indent);
 }
 
 }  // namespace lazyckpt::bench

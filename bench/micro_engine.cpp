@@ -1,0 +1,267 @@
+/// Micro-benchmark: single-trial simulator throughput, legacy vs current.
+///
+/// The "legacy" arm is a faithful transcription of the simulator stack as
+/// it stood before the hot-path work — virtual sample→quantile draws, a
+/// PolicyContext rebuilt field-by-field per event, per-replica
+/// distribution + policy clones, per-check std::string construction —
+/// compiled in its own translation unit (micro_engine_legacy.cpp) so
+/// nothing devirtualizes that the seed build could not.  The "generic" arm
+/// is today's type-erased loop (simulate_generic) and the "fast" arm is
+/// today's devirtualized dispatch (simulate).  All three arms run in one invocation on the same
+/// pre-split RNG streams, the run asserts their RunMetrics are
+/// bit-identical, and the timings land in BENCH_sim_kernel.json next to a
+/// machine block so the perf trajectory is comparable across hosts.
+///
+/// Run single-threaded (LAZYCKPT_THREADS=1) for kernel numbers; the arms
+/// are serial loops either way.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/policy/factory.hpp"
+#include "micro_engine_legacy.hpp"
+#include "stats/exponential.hpp"
+
+namespace lazyckpt::bench {
+namespace {
+
+constexpr std::size_t kReplicas = 400;
+constexpr double kComputeHours = 2000.0;
+constexpr std::uint64_t kSeed = 20140623;  // DSN'14 vintage
+constexpr int kRounds = 3;                 // best-of to shed scheduler noise
+
+struct Workload {
+  const char* name;
+  const char* dist;    // "exponential" | "weibull"
+  const char* policy;  // factory spec
+};
+
+constexpr Workload kWorkloads[] = {
+    {"exp/hourly", "exponential", "hourly"},
+    {"exp/static-oci", "exponential", "static-oci"},
+    {"exp/ilazy", "exponential", "ilazy:0.6"},
+    {"weibull/hourly", "weibull", "hourly"},
+    {"weibull/static-oci", "weibull", "static-oci"},
+    {"weibull/ilazy", "weibull", "ilazy:0.6"},
+};
+
+stats::DistributionPtr make_dist(const std::string& kind) {
+  if (kind == "exponential") {
+    return stats::Exponential::from_mean(11.0).clone();
+  }
+  return stats::Weibull::from_mtbf_and_shape(11.0, 0.6).clone();
+}
+
+/// Fold the fields that matter for the bit-identity check; summing doubles
+/// in replica order is itself deterministic, so equal sums across arms (on
+/// identical per-replica metrics) is the expected outcome and any
+/// arithmetic divergence perturbs them.
+struct Digest {
+  double makespan = 0.0;
+  double wasted = 0.0;
+  std::uint64_t events = 0;  // failures + written + skipped
+
+  void add(const sim::RunMetrics& m) {
+    makespan += m.makespan_hours;
+    wasted += m.wasted_hours;
+    events += m.failures + m.checkpoints_written + m.checkpoints_skipped;
+  }
+  bool operator==(const Digest&) const = default;
+};
+
+struct ArmResult {
+  double seconds = 0.0;  // best of kRounds
+  Digest digest;
+};
+
+enum class Arm { kLegacy, kGeneric, kFast };
+
+ArmResult run_arm(Arm arm, const Workload& wl,
+                  const sim::SimulationConfig& config,
+                  const std::vector<Rng>& streams, std::size_t replicas) {
+  const auto dist = make_dist(wl.dist);
+  const io::ConstantStorage storage(0.5, 0.5);
+  const auto policy = core::make_policy(wl.policy);
+  const auto legacy_prototype = make_legacy_policy(wl.policy);
+
+  ArmResult result;
+  result.seconds = std::numeric_limits<double>::infinity();
+  const int rounds = smoke_mode() ? 1 : kRounds;
+  for (int round = 0; round < rounds; ++round) {
+    Digest digest;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < replicas; ++i) {
+      switch (arm) {
+        case Arm::kLegacy:
+          // Seed semantics (separate TU, see micro_engine_legacy.hpp):
+          // clone the distribution and the policy per replica, draw
+          // through the virtual chain, decide through the frozen legacy
+          // policy classes.
+          digest.add(legacy_simulate_trial(config, *legacy_prototype, *dist,
+                                           storage, streams[i]));
+          break;
+        case Arm::kGeneric: {
+          sim::RenewalFailureSource source(*dist, streams[i]);
+          digest.add(sim::simulate_generic(config, *policy, source, storage));
+          break;
+        }
+        case Arm::kFast: {
+          sim::RenewalFailureSource source(*dist, streams[i]);
+          digest.add(sim::simulate(config, *policy, source, storage));
+          break;
+        }
+      }
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    result.seconds = std::min(
+        result.seconds, std::chrono::duration<double>(stop - start).count());
+    result.digest = digest;
+  }
+  return result;
+}
+
+}  // namespace
+}  // namespace lazyckpt::bench
+
+int main() {
+  using namespace lazyckpt;
+  using namespace lazyckpt::bench;
+
+  print_banner("Micro-benchmark — single-trial engine kernels");
+  const std::size_t replicas = bench_replicas(kReplicas);
+  print_params("MTBF 11 h, beta = gamma = 0.5 h, " +
+               std::to_string(kComputeHours) +
+               " h science per trial, alpha = Daly OCI; " +
+               std::to_string(replicas) + " trials per arm, seed " +
+               std::to_string(kSeed) + ", best of " +
+               std::to_string(smoke_mode() ? 1 : kRounds) + " rounds");
+
+  sim::SimulationConfig config =
+      hero_config(kPetascale20K, 0.5, kComputeHours);
+
+  // One stream list per workload, shared by all three arms — same failure
+  // arrival times everywhere, so the digests must match bitwise.
+  Rng master(kSeed);
+  std::vector<Rng> streams;
+  streams.reserve(replicas);
+  for (std::size_t i = 0; i < replicas; ++i) streams.push_back(master.split());
+
+  // Warm-up: touch every code path and let the clock governor settle
+  // before anything is timed.
+  for (const Arm arm : {Arm::kLegacy, Arm::kGeneric, Arm::kFast}) {
+    run_arm(arm, kWorkloads[0], config, streams,
+            std::min<std::size_t>(replicas, 32));
+  }
+
+  struct Row {
+    const Workload* wl;
+    ArmResult legacy, generic, fast;
+  };
+  std::vector<Row> rows;
+  bool identical = true;
+  for (const auto& wl : kWorkloads) {
+    Row row{&wl, run_arm(Arm::kLegacy, wl, config, streams, replicas),
+            run_arm(Arm::kGeneric, wl, config, streams, replicas),
+            run_arm(Arm::kFast, wl, config, streams, replicas)};
+    if (!(row.legacy.digest == row.generic.digest &&
+          row.legacy.digest == row.fast.digest)) {
+      identical = false;
+      std::fprintf(stderr, "BIT-IDENTITY VIOLATION in %s\n", wl.name);
+    }
+    rows.push_back(row);
+  }
+
+  const auto trials_per_sec = [&](const ArmResult& a) {
+    return a.seconds > 0.0 ? static_cast<double>(replicas) / a.seconds : 0.0;
+  };
+  const auto events_per_sec = [&](const ArmResult& a) {
+    return a.seconds > 0.0
+               ? static_cast<double>(a.digest.events) / a.seconds
+               : 0.0;
+  };
+
+  TextTable table({"workload", "legacy trials/s", "generic trials/s",
+                   "fast trials/s", "fast/legacy", "fast events/s"});
+  double worst_speedup = std::numeric_limits<double>::infinity();
+  double legacy_total = 0.0;
+  double fast_total = 0.0;
+  for (const auto& row : rows) {
+    const double speedup = row.fast.seconds > 0.0
+                               ? row.legacy.seconds / row.fast.seconds
+                               : 0.0;
+    worst_speedup = std::min(worst_speedup, speedup);
+    legacy_total += row.legacy.seconds;
+    fast_total += row.fast.seconds;
+    table.add_row({row.wl->name, TextTable::num(trials_per_sec(row.legacy), 0),
+                   TextTable::num(trials_per_sec(row.generic), 0),
+                   TextTable::num(trials_per_sec(row.fast), 0),
+                   TextTable::num(speedup, 2),
+                   TextTable::num(events_per_sec(row.fast), 0)});
+  }
+  // The headline number: trials/sec over the whole sweep (all workloads,
+  // same trial mix for both arms, measured in this run).
+  const double overall =
+      fast_total > 0.0 ? legacy_total / fast_total : 0.0;
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("bit-identical across arms: %s; sweep trials/s fast vs "
+              "legacy: %.2fx (worst single workload %.2fx)\n",
+              identical ? "yes" : "NO — BUG", overall, worst_speedup);
+
+  std::FILE* json = std::fopen("BENCH_sim_kernel.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_sim_kernel.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"bench\": \"micro_engine\",\n"
+               "  \"workload\": \"single-trial simulate kernels, legacy vs "
+               "generic vs fast\",\n"
+               "  \"replicas\": %zu,\n"
+               "  \"compute_hours\": %.1f,\n"
+               "  \"seed\": %llu,\n"
+               "  \"rounds\": %d,\n",
+               replicas, kComputeHours,
+               static_cast<unsigned long long>(kSeed),
+               smoke_mode() ? 1 : kRounds);
+  write_machine_json(json);
+  std::fprintf(json,
+               ",\n"
+               "  \"bit_identical\": %s,\n"
+               "  \"overall\": {\"legacy_seconds\": %.6f, "
+               "\"fast_seconds\": %.6f, "
+               "\"speedup_fast_vs_legacy\": %.4f},\n"
+               "  \"results\": [\n",
+               identical ? "true" : "false", legacy_total, fast_total,
+               overall);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    std::fprintf(
+        json,
+        "    {\"workload\": \"%s\", \"events\": %llu,\n"
+        "     \"legacy\": {\"seconds\": %.6f, \"trials_per_sec\": %.1f, "
+        "\"events_per_sec\": %.1f},\n"
+        "     \"generic\": {\"seconds\": %.6f, \"trials_per_sec\": %.1f, "
+        "\"events_per_sec\": %.1f},\n"
+        "     \"fast\": {\"seconds\": %.6f, \"trials_per_sec\": %.1f, "
+        "\"events_per_sec\": %.1f},\n"
+        "     \"speedup_fast_vs_legacy\": %.4f}%s\n",
+        row.wl->name,
+        static_cast<unsigned long long>(row.fast.digest.events),
+        row.legacy.seconds, trials_per_sec(row.legacy),
+        events_per_sec(row.legacy), row.generic.seconds,
+        trials_per_sec(row.generic), events_per_sec(row.generic),
+        row.fast.seconds, trials_per_sec(row.fast), events_per_sec(row.fast),
+        row.fast.seconds > 0.0 ? row.legacy.seconds / row.fast.seconds : 0.0,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_sim_kernel.json\n");
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,320 @@
+/// \file micro_engine_legacy.cpp
+/// \brief See micro_engine_legacy.hpp — the frozen seed simulator stack.
+
+#include "micro_engine_legacy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+
+namespace lazyckpt::bench {
+namespace {
+
+/// The renewal source as it was: owns a cloned distribution and draws each
+/// inter-arrival through the virtual sample → quantile chain.
+class LegacyRenewalSource final : public sim::FailureSource {
+ public:
+  LegacyRenewalSource(stats::DistributionPtr inter_arrival, Rng rng)
+      : inter_arrival_(std::move(inter_arrival)), rng_(rng) {
+    next_ = inter_arrival_->sample(rng_);
+  }
+
+  [[nodiscard]] double peek_next() const override { return next_; }
+  void pop() override { next_ += inter_arrival_->sample(rng_); }
+
+ private:
+  stats::DistributionPtr inter_arrival_;
+  Rng rng_;
+  double next_ = 0.0;
+};
+
+/// The hot policies as they stood: out-of-line decisions reached through
+/// the vtable, validating via the std::string require overloads (one
+/// eagerly materialized message per check per event).  The production
+/// classes now define these inline with literal-name validation, so the
+/// legacy arm must carry its own copies to keep the baseline honest.
+class LegacyPeriodicPolicy final : public core::CheckpointPolicy {
+ public:
+  explicit LegacyPeriodicPolicy(double interval_hours)
+      : interval_(interval_hours) {
+    require_positive(interval_hours, std::string("PeriodicPolicy interval"));
+  }
+
+  [[nodiscard]] double next_interval(const core::PolicyContext&) override {
+    return interval_;
+  }
+  [[nodiscard]] std::string name() const override { return "periodic"; }
+  [[nodiscard]] core::PolicyPtr clone() const override {
+    return std::make_unique<LegacyPeriodicPolicy>(*this);
+  }
+
+ private:
+  double interval_;
+};
+
+class LegacyStaticOciPolicy final : public core::CheckpointPolicy {
+ public:
+  [[nodiscard]] double next_interval(const core::PolicyContext& ctx) override {
+    require_positive(ctx.alpha_oci_hours,
+                     std::string("PolicyContext.alpha_oci_hours"));
+    return ctx.alpha_oci_hours;
+  }
+  [[nodiscard]] std::string name() const override { return "static-oci"; }
+  [[nodiscard]] core::PolicyPtr clone() const override {
+    return std::make_unique<LegacyStaticOciPolicy>(*this);
+  }
+};
+
+class LegacyILazyPolicy final : public core::CheckpointPolicy {
+ public:
+  explicit LegacyILazyPolicy(double shape) : shape_(shape) {}
+
+  [[nodiscard]] double next_interval(const core::PolicyContext& ctx) override {
+    require_positive(ctx.alpha_oci_hours, std::string("alpha_oci_hours"));
+    require(shape_ > 0.0 && shape_ <= 1.0,
+            std::string("shape must lie in (0, 1]"));
+    require_non_negative(ctx.time_since_failure_hours,
+                         std::string("time_since_failure_hours"));
+    const double t =
+        std::max(ctx.time_since_failure_hours, ctx.alpha_oci_hours);
+    return ctx.alpha_oci_hours *
+           std::pow(t / ctx.alpha_oci_hours, 1.0 - shape_);
+  }
+  [[nodiscard]] std::string name() const override { return "ilazy"; }
+  [[nodiscard]] core::PolicyPtr clone() const override {
+    return std::make_unique<LegacyILazyPolicy>(*this);
+  }
+
+ private:
+  double shape_;
+};
+
+struct LegacyRunState {
+  double now = 0.0;
+  double committed = 0.0;
+  double uncommitted = 0.0;
+  double last_failure = 0.0;
+  bool any_failure = false;
+  int boundaries_since_failure = 0;
+
+  bool has_pending = false;
+  double pending_commit_time = 0.0;
+  double pending_work = 0.0;
+
+  sim::RunMetrics metrics;
+  stats::MovingAverage mtbf_ma;
+
+  explicit LegacyRunState(std::size_t window) : mtbf_ma(window) {}
+};
+
+sim::RunMetrics legacy_simulate(const sim::SimulationConfig& config,
+                                core::CheckpointPolicy& policy,
+                                sim::FailureSource& failures,
+                                const io::StorageModel& storage) {
+  config.validate();
+
+  LegacyRunState st(config.mtbf_window);
+  const double work_target = config.compute_hours;
+  const double budget = config.time_budget_hours > 0.0
+                            ? config.time_budget_hours
+                            : std::numeric_limits<double>::infinity();
+  bool truncated = false;
+
+  const auto truncate_at_budget = [&]() {
+    st.metrics.wasted_hours += budget - st.now + st.uncommitted;
+    st.uncommitted = 0.0;
+    st.now = budget;
+    st.has_pending = false;
+    truncated = true;
+  };
+
+  const auto make_context = [&]() {
+    core::PolicyContext ctx;
+    ctx.now_hours = st.now;
+    ctx.time_since_failure_hours =
+        st.any_failure ? st.now - st.last_failure : st.now;
+    ctx.alpha_oci_hours = config.alpha_oci_hours;
+    ctx.checkpoint_time_hours = storage.checkpoint_time(st.now);
+    ctx.mtbf_estimate_hours = st.mtbf_ma.value_or(config.mtbf_hint_hours);
+    ctx.weibull_shape_estimate = config.shape_hint;
+    ctx.checkpoints_since_failure = st.boundaries_since_failure;
+    ctx.failures_so_far = static_cast<int>(st.metrics.failures);
+    return ctx;
+  };
+
+  const auto commit_pending = [&]() {
+    st.committed += st.pending_work;
+    st.uncommitted -= st.pending_work;
+    st.has_pending = false;
+    ++st.metrics.checkpoints_written;
+    st.metrics.data_written_gb += storage.checkpoint_size_gb();
+    policy.on_checkpoint_complete(make_context());
+  };
+
+  const auto process_commit_before = [&](double limit) {
+    if (st.has_pending && st.pending_commit_time <= limit &&
+        st.pending_commit_time <= failures.peek_next()) {
+      commit_pending();
+    }
+  };
+
+  const auto handle_failure = [&]() {
+    const double failure_time = failures.peek_next();
+    process_commit_before(failure_time);
+    st.has_pending = false;
+    st.metrics.wasted_hours += failure_time - st.now + st.uncommitted;
+    st.uncommitted = 0.0;
+    st.now = failure_time;
+
+    const auto register_failure = [&]() {
+      if (st.any_failure) {
+        st.mtbf_ma.add(st.now - st.last_failure);
+      } else {
+        st.mtbf_ma.add(st.now);
+      }
+      st.any_failure = true;
+      st.last_failure = st.now;
+      st.boundaries_since_failure = 0;
+      ++st.metrics.failures;
+      failures.pop();
+      policy.on_failure(make_context());
+    };
+    register_failure();
+
+    while (true) {
+      const double gamma = storage.restart_time(st.now);
+      if (gamma <= 0.0) break;
+      const double next = failures.peek_next();
+      if (next < st.now + gamma && next < budget) {
+        st.metrics.wasted_hours += next - st.now;
+        st.now = next;
+        register_failure();
+        continue;
+      }
+      if (st.now + gamma > budget) {
+        truncate_at_budget();
+        break;
+      }
+      st.now += gamma;
+      st.metrics.restart_hours += gamma;
+      break;
+    }
+  };
+
+  std::uint64_t events = 0;
+  while (st.committed + st.uncommitted < work_target) {
+    require(++events <= config.max_events,
+            std::string("simulation exceeded max_events: the machine cannot "
+                        "make progress under this configuration"));
+
+    const core::PolicyContext ctx = make_context();
+    double alpha = policy.next_interval(ctx);
+    require(std::isfinite(alpha) && alpha > 0.0,
+            std::string("policy returned a non-positive checkpoint interval"));
+
+    const double remaining = work_target - st.committed - st.uncommitted;
+    const double chunk = std::min(alpha, remaining);
+    process_commit_before(std::min(st.now + chunk, budget));
+    if (failures.peek_next() < std::min(st.now + chunk, budget)) {
+      handle_failure();
+      if (truncated) break;
+      continue;
+    }
+    if (st.now + chunk > budget) {
+      truncate_at_budget();
+      break;
+    }
+    st.now += chunk;
+    st.uncommitted += chunk;
+
+    if (st.committed + st.uncommitted >= work_target) {
+      break;
+    }
+
+    ++st.boundaries_since_failure;
+    if (policy.should_skip(make_context())) {
+      ++st.metrics.checkpoints_skipped;
+      continue;
+    }
+
+    if (st.has_pending) {
+      if (failures.peek_next() < std::min(st.pending_commit_time, budget)) {
+        handle_failure();
+        if (truncated) break;
+        continue;
+      }
+      if (st.pending_commit_time > budget) {
+        truncate_at_budget();
+        break;
+      }
+      st.metrics.checkpoint_hours += st.pending_commit_time - st.now;
+      st.now = st.pending_commit_time;
+      commit_pending();
+    }
+
+    const double beta = storage.checkpoint_time(st.now);
+    require(std::isfinite(beta) && beta > 0.0,
+            std::string("storage model returned a non-positive checkpoint "
+                        "time"));
+    const double blocking = beta * config.checkpoint_blocking_fraction;
+    if (failures.peek_next() < std::min(st.now + blocking, budget)) {
+      handle_failure();
+      if (truncated) break;
+      continue;
+    }
+    if (st.now + blocking > budget) {
+      truncate_at_budget();
+      break;
+    }
+    const double covered = st.uncommitted;
+    st.now += blocking;
+    st.metrics.checkpoint_hours += blocking;
+    st.has_pending = true;
+    st.pending_work = covered;
+    st.pending_commit_time = st.now + (beta - blocking);
+    if (config.checkpoint_blocking_fraction >= 1.0) {
+      commit_pending();
+    }
+  }
+
+  if (!truncated) {
+    st.committed += st.uncommitted;
+    st.uncommitted = 0.0;
+  }
+
+  st.metrics.makespan_hours = st.now;
+  st.metrics.compute_hours = st.committed;
+
+  const double attributed =
+      st.metrics.compute_hours + st.metrics.checkpoint_hours +
+      st.metrics.wasted_hours + st.metrics.restart_hours;
+  require(std::abs(attributed - st.metrics.makespan_hours) <=
+              1e-6 * std::max(1.0, st.metrics.makespan_hours),
+          std::string("internal error: time attribution does not balance"));
+  return st.metrics;
+}
+
+}  // namespace
+
+core::PolicyPtr make_legacy_policy(const std::string& spec) {
+  if (spec == "hourly") return std::make_unique<LegacyPeriodicPolicy>(1.0);
+  if (spec == "static-oci") return std::make_unique<LegacyStaticOciPolicy>();
+  return std::make_unique<LegacyILazyPolicy>(0.6);
+}
+
+sim::RunMetrics legacy_simulate_trial(const sim::SimulationConfig& config,
+                                      const core::CheckpointPolicy& prototype,
+                                      const stats::Distribution& dist,
+                                      const io::StorageModel& storage,
+                                      Rng stream) {
+  LegacyRenewalSource source(dist.clone(), stream);
+  const core::PolicyPtr policy = prototype.clone();
+  return legacy_simulate(config, *policy, source, storage);
+}
+
+}  // namespace lazyckpt::bench

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file micro_engine_legacy.hpp
+/// \brief The pre-optimization simulator stack, frozen for benchmarking.
+///
+/// micro_engine's "legacy" arm must measure what the seed engine actually
+/// cost: virtual sample -> quantile draws, a PolicyContext rebuilt
+/// field-by-field up to three times per event, per-replica distribution
+/// and policy clones, and eagerly materialized std::string validation
+/// messages.  The transcription lives in its own translation unit so the
+/// compiler cannot devirtualize or inline across the same boundaries the
+/// seed build had — the baseline stays honest as the production code gets
+/// faster.
+
+#include <string>
+
+#include "core/policy/policy.hpp"
+#include "io/storage_model.hpp"
+#include "sim/engine.hpp"
+#include "stats/distribution.hpp"
+
+namespace lazyckpt::bench {
+
+/// Seed transcription of the hot policies: "hourly", "static-oci", or
+/// anything else -> iLazy with shape 0.6.
+core::PolicyPtr make_legacy_policy(const std::string& spec);
+
+/// One seed-semantics trial: clones `dist` and `prototype`, builds the
+/// legacy renewal source on `stream`, and runs the transcribed seed event
+/// loop.  Bit-identical to sim::simulate on the same inputs.
+sim::RunMetrics legacy_simulate_trial(const sim::SimulationConfig& config,
+                                      const core::CheckpointPolicy& prototype,
+                                      const stats::Distribution& dist,
+                                      const io::StorageModel& storage,
+                                      Rng stream);
+
+}  // namespace lazyckpt::bench

@@ -34,8 +34,8 @@ sim::AggregateMetrics run_sweep() {
   const auto weibull = stats::Weibull::from_mtbf_and_shape(11.0, 0.6);
   const io::ConstantStorage storage(0.5, 0.5);
   const core::StaticOciPolicy policy;
-  return sim::run_replicas(config, policy, weibull, storage, kReplicas,
-                           kSeed);
+  return sim::run_replicas(config, policy, weibull, storage,
+                           bench_replicas(kReplicas), kSeed);
 }
 
 struct Timing {
@@ -107,12 +107,14 @@ int main() {
                "  \"bench\": \"micro_parallel\",\n"
                "  \"workload\": \"run_replicas static-oci weibull k=0.6\",\n"
                "  \"replicas\": %zu,\n"
-               "  \"seed\": %llu,\n"
-               "  \"hardware_concurrency\": %u,\n"
+               "  \"seed\": %llu,\n",
+               bench_replicas(kReplicas),
+               static_cast<unsigned long long>(kSeed));
+  write_machine_json(json);
+  std::fprintf(json,
+               ",\n"
                "  \"deterministic\": %s,\n"
                "  \"results\": [\n",
-               kReplicas, static_cast<unsigned long long>(kSeed),
-               std::thread::hardware_concurrency(),
                deterministic ? "true" : "false");
   for (std::size_t i = 0; i < timings.size(); ++i) {
     std::fprintf(json,

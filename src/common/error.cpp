@@ -1,21 +1,15 @@
 #include "common/error.hpp"
 
-#include <cmath>
+namespace lazyckpt::detail {
 
-namespace lazyckpt {
-
-void require_positive(double value, const std::string& name) {
-  if (!std::isfinite(value) || value <= 0.0) {
-    throw InvalidArgument(name + " must be finite and > 0, got " +
-                          std::to_string(value));
-  }
+void throw_not_positive(double value, const char* name) {
+  throw InvalidArgument(std::string(name) + " must be finite and > 0, got " +
+                        std::to_string(value));
 }
 
-void require_non_negative(double value, const std::string& name) {
-  if (!std::isfinite(value) || value < 0.0) {
-    throw InvalidArgument(name + " must be finite and >= 0, got " +
-                          std::to_string(value));
-  }
+void throw_negative(double value, const char* name) {
+  throw InvalidArgument(std::string(name) + " must be finite and >= 0, got " +
+                        std::to_string(value));
 }
 
-}  // namespace lazyckpt
+}  // namespace lazyckpt::detail

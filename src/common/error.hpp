@@ -3,6 +3,7 @@
 /// \file error.hpp
 /// \brief Exception hierarchy and argument-validation helpers for lazyckpt.
 
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
@@ -38,10 +39,48 @@ inline void require(bool condition, const std::string& message) {
   if (!condition) throw InvalidArgument(message);
 }
 
+/// Overload for string literals: the std::string is only materialized on
+/// the throwing path, so checks in simulation hot loops cost a branch, not
+/// an allocation.
+inline void require(bool condition, const char* message) {
+  if (!condition) throw InvalidArgument(message);
+}
+
+namespace detail {
+/// Out-of-line cold paths: the inline checks below compile down to a
+/// compare and a never-taken branch, and the message formatting stays out
+/// of the callers' instruction stream.
+[[noreturn]] void throw_not_positive(double value, const char* name);
+[[noreturn]] void throw_negative(double value, const char* name);
+}  // namespace detail
+
 /// Throw InvalidArgument unless `value` is finite and strictly positive.
-void require_positive(double value, const std::string& name);
+inline void require_positive(double value, const std::string& name) {
+  if (!std::isfinite(value) || value <= 0.0) {
+    detail::throw_not_positive(value, name.c_str());
+  }
+}
 
 /// Throw InvalidArgument unless `value` is finite and non-negative.
-void require_non_negative(double value, const std::string& name);
+inline void require_non_negative(double value, const std::string& name) {
+  if (!std::isfinite(value) || value < 0.0) {
+    detail::throw_negative(value, name.c_str());
+  }
+}
+
+/// Literal-name overloads: policies validate their inputs on every
+/// scheduling decision, so no std::string may be materialized (or even
+/// referenced) until the check actually fails.
+inline void require_positive(double value, const char* name) {
+  if (!std::isfinite(value) || value <= 0.0) {
+    detail::throw_not_positive(value, name);
+  }
+}
+
+inline void require_non_negative(double value, const char* name) {
+  if (!std::isfinite(value) || value < 0.0) {
+    detail::throw_negative(value, name);
+  }
+}
 
 }  // namespace lazyckpt

@@ -22,6 +22,7 @@ class BoundedILazyPolicy final : public CheckpointPolicy {
 
   [[nodiscard]] double next_interval(const PolicyContext& ctx) override;
   [[nodiscard]] std::string name() const override { return "bounded-ilazy"; }
+  [[nodiscard]] bool is_stateless() const override { return true; }
   [[nodiscard]] PolicyPtr clone() const override;
 
  private:

@@ -18,6 +18,7 @@ class DynamicOciPolicy final : public CheckpointPolicy {
  public:
   [[nodiscard]] double next_interval(const PolicyContext& ctx) override;
   [[nodiscard]] std::string name() const override { return "dynamic-oci"; }
+  [[nodiscard]] bool is_stateless() const override { return true; }
   [[nodiscard]] PolicyPtr clone() const override;
 };
 

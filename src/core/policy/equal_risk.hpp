@@ -38,6 +38,8 @@ class EqualRiskPolicy final : public CheckpointPolicy {
 
   [[nodiscard]] double next_interval(const PolicyContext& ctx) override;
   [[nodiscard]] std::string name() const override;
+  /// Pure per decision: the bisection only reads the (const) distribution.
+  [[nodiscard]] bool is_stateless() const override { return true; }
   [[nodiscard]] PolicyPtr clone() const override;
 
   /// The interval solving the equal-risk equation at time-since-failure

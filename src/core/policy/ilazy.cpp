@@ -14,31 +14,6 @@ ILazyPolicy::ILazyPolicy(std::optional<double> shape) : shape_(shape) {
   }
 }
 
-double ILazyPolicy::lazy_interval(double alpha_oci_hours,
-                                  double time_since_failure_hours,
-                                  double shape) {
-  require_positive(alpha_oci_hours, "alpha_oci_hours");
-  require(shape > 0.0 && shape <= 1.0, "shape must lie in (0, 1]");
-  require_non_negative(time_since_failure_hours, "time_since_failure_hours");
-  // Immediately after a failure the paper resets to the OCI; the formula
-  // would shrink the interval below OCI for t < alpha_oci, so clamp t.
-  const double t = std::max(time_since_failure_hours, alpha_oci_hours);
-  return alpha_oci_hours *
-         std::pow(t / alpha_oci_hours, 1.0 - shape);
-}
-
-double ILazyPolicy::effective_shape(const PolicyContext& ctx) const {
-  const double k = shape_.value_or(ctx.weibull_shape_estimate);
-  require(k > 0.0 && k <= 1.0,
-          "iLazy requires a Weibull shape estimate in (0, 1]");
-  return k;
-}
-
-double ILazyPolicy::next_interval(const PolicyContext& ctx) {
-  return lazy_interval(ctx.alpha_oci_hours, ctx.time_since_failure_hours,
-                       effective_shape(ctx));
-}
-
 PolicyPtr ILazyPolicy::clone() const {
   return std::make_unique<ILazyPolicy>(*this);
 }

@@ -14,8 +14,11 @@
 /// failure.  With k = 1 (exponential failures) this degenerates exactly to
 /// OCI checkpointing — no harm, no benefit.
 
+#include <algorithm>
+#include <cmath>
 #include <optional>
 
+#include "common/error.hpp"
 #include "core/policy/policy.hpp"
 
 namespace lazyckpt::core {
@@ -27,18 +30,39 @@ class ILazyPolicy final : public CheckpointPolicy {
   /// from the context's running estimate.
   explicit ILazyPolicy(std::optional<double> shape = std::nullopt);
 
-  [[nodiscard]] double next_interval(const PolicyContext& ctx) override;
+  /// Defined inline: this runs once per simulated event, and the engine's
+  /// devirtualized fast path instantiates its loop against this final
+  /// class, leaving pow() as the decision's only non-trivial cost.
+  [[nodiscard]] double next_interval(const PolicyContext& ctx) override {
+    return lazy_interval(ctx.alpha_oci_hours, ctx.time_since_failure_hours,
+                         effective_shape(ctx));
+  }
   [[nodiscard]] std::string name() const override { return "ilazy"; }
+  [[nodiscard]] bool is_stateless() const override { return true; }
   [[nodiscard]] PolicyPtr clone() const override;
 
   /// Eq. 11 as a pure function: the interval to use when the last failure
   /// was `time_since_failure` hours ago.  Clamped below at alpha_oci.
   /// Requires alpha_oci > 0, shape in (0, 1].
   static double lazy_interval(double alpha_oci_hours,
-                              double time_since_failure_hours, double shape);
+                              double time_since_failure_hours, double shape) {
+    require_positive(alpha_oci_hours, "alpha_oci_hours");
+    require(shape > 0.0 && shape <= 1.0, "shape must lie in (0, 1]");
+    require_non_negative(time_since_failure_hours,
+                         "time_since_failure_hours");
+    // Immediately after a failure the paper resets to the OCI; the formula
+    // would shrink the interval below OCI for t < alpha_oci, so clamp t.
+    const double t = std::max(time_since_failure_hours, alpha_oci_hours);
+    return alpha_oci_hours * std::pow(t / alpha_oci_hours, 1.0 - shape);
+  }
 
  private:
-  [[nodiscard]] double effective_shape(const PolicyContext& ctx) const;
+  [[nodiscard]] double effective_shape(const PolicyContext& ctx) const {
+    const double k = shape_.value_or(ctx.weibull_shape_estimate);
+    require(k > 0.0 && k <= 1.0,
+            "iLazy requires a Weibull shape estimate in (0, 1]");
+    return k;
+  }
 
   std::optional<double> shape_;
 };

@@ -20,6 +20,7 @@ class LinearIncreasePolicy final : public CheckpointPolicy {
 
   [[nodiscard]] double next_interval(const PolicyContext& ctx) override;
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] bool is_stateless() const override { return true; }
   [[nodiscard]] PolicyPtr clone() const override;
 
  private:

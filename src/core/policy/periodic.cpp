@@ -11,10 +11,6 @@ PeriodicPolicy::PeriodicPolicy(double interval_hours)
   require_positive(interval_hours, "PeriodicPolicy interval");
 }
 
-double PeriodicPolicy::next_interval(const PolicyContext&) {
-  return interval_;
-}
-
 std::string PeriodicPolicy::name() const {
   std::ostringstream out;
   out << "periodic(" << interval_ << "h)";
@@ -23,11 +19,6 @@ std::string PeriodicPolicy::name() const {
 
 PolicyPtr PeriodicPolicy::clone() const {
   return std::make_unique<PeriodicPolicy>(*this);
-}
-
-double StaticOciPolicy::next_interval(const PolicyContext& ctx) {
-  require_positive(ctx.alpha_oci_hours, "PolicyContext.alpha_oci_hours");
-  return ctx.alpha_oci_hours;
 }
 
 PolicyPtr StaticOciPolicy::clone() const {

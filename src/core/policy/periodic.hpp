@@ -2,7 +2,13 @@
 
 /// \file periodic.hpp
 /// \brief Fixed-interval policies: the naive hourly baseline and static OCI.
+///
+/// next_interval is defined inline: these are the innermost per-event
+/// calls of the simulator, and the engine's devirtualized fast path
+/// (sim/engine.cpp) instantiates its loop directly against these final
+/// classes so the decisions compile down to loads.
 
+#include "common/error.hpp"
 #include "core/policy/policy.hpp"
 
 namespace lazyckpt::core {
@@ -14,8 +20,11 @@ class PeriodicPolicy final : public CheckpointPolicy {
  public:
   explicit PeriodicPolicy(double interval_hours);
 
-  [[nodiscard]] double next_interval(const PolicyContext& ctx) override;
+  [[nodiscard]] double next_interval(const PolicyContext&) override {
+    return interval_;
+  }
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] bool is_stateless() const override { return true; }
   [[nodiscard]] PolicyPtr clone() const override;
 
   [[nodiscard]] double interval_hours() const noexcept { return interval_; }
@@ -29,8 +38,12 @@ class PeriodicPolicy final : public CheckpointPolicy {
 /// engine computes the estimate once from historical MTBF and bandwidth.
 class StaticOciPolicy final : public CheckpointPolicy {
  public:
-  [[nodiscard]] double next_interval(const PolicyContext& ctx) override;
+  [[nodiscard]] double next_interval(const PolicyContext& ctx) override {
+    require_positive(ctx.alpha_oci_hours, "PolicyContext.alpha_oci_hours");
+    return ctx.alpha_oci_hours;
+  }
   [[nodiscard]] std::string name() const override { return "static-oci"; }
+  [[nodiscard]] bool is_stateless() const override { return true; }
   [[nodiscard]] PolicyPtr clone() const override;
 };
 

@@ -1,11 +1,6 @@
 #include "core/policy/policy.hpp"
 
-namespace lazyckpt::core {
-
-bool CheckpointPolicy::should_skip(const PolicyContext&) { return false; }
-
-void CheckpointPolicy::on_failure(const PolicyContext&) {}
-
-void CheckpointPolicy::on_checkpoint_complete(const PolicyContext&) {}
-
-}  // namespace lazyckpt::core
+// The interface's default implementations (should_skip / on_failure /
+// on_checkpoint_complete) live inline in the header so the simulator's
+// devirtualized fast path can eliminate the calls for policies that do not
+// override them.  This translation unit intentionally defines nothing.

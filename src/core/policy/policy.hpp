@@ -40,15 +40,29 @@ class CheckpointPolicy {
 
   /// Consulted when a checkpoint boundary is reached: return true to skip
   /// the write (the work since the last completed checkpoint stays at risk
-  /// and the application immediately continues computing).
-  [[nodiscard]] virtual bool should_skip(const PolicyContext& ctx);
+  /// and the application immediately continues computing).  Defined inline
+  /// (like the notification hooks below) so that when the engine's fast
+  /// path statically binds a final policy class that does not override
+  /// them, the calls vanish entirely.
+  [[nodiscard]] virtual bool should_skip(const PolicyContext&) {
+    return false;
+  }
 
   /// Notification hooks (default: no-op).
-  virtual void on_failure(const PolicyContext& ctx);
-  virtual void on_checkpoint_complete(const PolicyContext& ctx);
+  virtual void on_failure(const PolicyContext&) {}
+  virtual void on_checkpoint_complete(const PolicyContext&) {}
 
   /// Stable identifier for reports ("static-oci", "ilazy", ...).
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// True when every scheduling call (next_interval, should_skip, on_*) is
+  /// a pure function of the PolicyContext — no per-run mutable state is
+  /// read or written.  Replica sweeps share a single stateless policy
+  /// instance across all trials instead of cloning it per replica, which
+  /// also means the calls may run concurrently: an override returning true
+  /// promises const-like thread safety for the whole interface.  Defaults
+  /// to false (clone per replica), which is always safe.
+  [[nodiscard]] virtual bool is_stateless() const { return false; }
 
   /// Deep copy — each simulation replica clones its own policy instance.
   [[nodiscard]] virtual std::unique_ptr<CheckpointPolicy> clone() const = 0;

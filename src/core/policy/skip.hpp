@@ -29,6 +29,10 @@ class SkipPolicy final : public CheckpointPolicy {
   void on_failure(const PolicyContext& ctx) override;
   void on_checkpoint_complete(const PolicyContext& ctx) override;
   [[nodiscard]] std::string name() const override;
+  /// The decorator itself keeps no per-run state; stateless iff the base is.
+  [[nodiscard]] bool is_stateless() const override {
+    return base_->is_stateless();
+  }
   [[nodiscard]] PolicyPtr clone() const override;
 
   [[nodiscard]] int skip_index() const noexcept { return skip_index_; }

@@ -15,10 +15,6 @@ ConstantStorage::ConstantStorage(double checkpoint_time_hours,
   require_non_negative(size_gb, "size_gb");
 }
 
-double ConstantStorage::checkpoint_time(double) const { return beta_; }
-
-double ConstantStorage::restart_time(double) const { return gamma_; }
-
 StorageModelPtr ConstantStorage::clone() const {
   return std::make_unique<ConstantStorage>(*this);
 }

@@ -41,8 +41,12 @@ class ConstantStorage final : public StorageModel {
   ConstantStorage(double checkpoint_time_hours, double restart_time_hours,
                   double size_gb = 0.0);
 
-  [[nodiscard]] double checkpoint_time(double) const override;
-  [[nodiscard]] double restart_time(double) const override;
+  // Inline member loads: the simulator's devirtualized fast path binds
+  // this final class statically and queries β/γ on every event.
+  [[nodiscard]] double checkpoint_time(double) const override {
+    return beta_;
+  }
+  [[nodiscard]] double restart_time(double) const override { return gamma_; }
   [[nodiscard]] double checkpoint_size_gb() const override { return size_gb_; }
   [[nodiscard]] StorageModelPtr clone() const override;
 

@@ -94,8 +94,18 @@ std::vector<CampaignResult> run_campaign_replicas(
   streams.reserve(replicas);
   for (std::size_t i = 0; i < replicas; ++i) streams.push_back(master.split());
 
+  // Same clone-avoidance as run_replicas_raw: the source borrows the
+  // shared distribution on the stack, and a stateless policy (pure
+  // function of the context, concurrency-safe by contract) is shared
+  // across replicas instead of cloned per campaign.
+  const bool shared_policy = policy.is_stateless();
   return parallel_map(replicas, [&](std::size_t i) {
-    RenewalFailureSource source(inter_arrival.clone(), streams[i]);
+    RenewalFailureSource source(inter_arrival, streams[i]);
+    if (shared_policy) {
+      return run_campaign(config,
+                          const_cast<core::CheckpointPolicy&>(policy), source,
+                          storage);
+    }
     const core::PolicyPtr replica_policy = policy.clone();
     return run_campaign(config, *replica_policy, source, storage);
   });

@@ -1,9 +1,13 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <type_traits>
 
 #include "common/error.hpp"
+#include "core/policy/ilazy.hpp"
+#include "core/policy/periodic.hpp"
 #include "stats/descriptive.hpp"
 
 namespace lazyckpt::sim {
@@ -43,23 +47,102 @@ struct RunState {
   RunMetrics metrics;
   stats::MovingAverage mtbf_ma;
 
+  // The one PolicyContext instance of the run.  Every time-varying field
+  // is (re)assigned before each policy call, so patching it in place is
+  // observationally identical to building a fresh snapshot — including
+  // under a mutating ContextHook, whose edits never survive a refresh.
+  core::PolicyContext ctx;
+
   explicit RunState(std::size_t window) : mtbf_ma(window) {}
 };
 
-}  // namespace
-
-RunMetrics simulate(const SimulationConfig& config,
-                    core::CheckpointPolicy& policy, FailureSource& failures,
-                    const io::StorageModel& storage,
+/// The event loop, templated on the concrete policy, failure-source, and
+/// storage types.  Instantiated once with the abstract interfaces (the
+/// type-erased path every caller can reach) and once per fast-path
+/// combination of final classes — RenewalFailureSource + ConstantStorage,
+/// optionally with one of the hot policies — where the compiler resolves
+/// peek_next/pop/checkpoint_time/restart_time/next_interval/should_skip
+/// statically and inlines the header-defined decision bodies.  Every
+/// instantiation executes the identical statement sequence, so their
+/// results are bit-identical (pinned by tests/test_engine_golden.cpp).
+template <class Policy, class FSource, class Storage>
+RunMetrics run_loop(const SimulationConfig& config, Policy& policy,
+                    FSource& failures, const Storage& storage,
                     const ContextHook& hook) {
-  config.validate();
-
   RunState st(config.mtbf_window);
   const double work_target = config.compute_hours;
   const double budget = config.time_budget_hours > 0.0
                             ? config.time_budget_hours
                             : std::numeric_limits<double>::infinity();
   bool truncated = false;
+
+  // Cache of the pending failure time: peek_next() is const and its value
+  // changes only on pop(), so the loop queries the source once per pop
+  // instead of up to four times per iteration.
+  double next_failure = failures.peek_next();
+  const auto pop_failure = [&]() {
+    failures.pop();
+    next_failure = failures.peek_next();
+  };
+
+  // Cache of β(t) keyed on the exact query time: checkpoint_time is a pure
+  // function of `now` (the StorageModel contract), and the engine asks for
+  // the same instant from the context builder and the checkpoint-boundary
+  // code, so each distinct time is computed once.  When the storage type
+  // is statically ConstantStorage the call is an inline member load, which
+  // is cheaper than the cache bookkeeping — bypass it.
+  double beta_cache_time = std::numeric_limits<double>::quiet_NaN();
+  double beta_cache_value = 0.0;
+  const auto checkpoint_time_at = [&](double now) {
+    if constexpr (std::is_same_v<Storage, io::ConstantStorage>) {
+      return storage.checkpoint_time(now);
+    } else {
+      if (now != beta_cache_time) {
+        beta_cache_value = storage.checkpoint_time(now);
+        beta_cache_time = now;
+      }
+      return beta_cache_value;
+    }
+  };
+
+  // Context refresh, two schemes with identical observable values:
+  //
+  // - No hook installed (every Monte-Carlo sweep): only the fields that
+  //   are a function of `now` are reassigned per refresh.  The slow-moving
+  //   fields — MTBF estimate, failure/boundary counters, the config
+  //   constants — are maintained at their mutation sites below, which run
+  //   once per failure or boundary instead of up to three times per loop
+  //   iteration.  Nothing else can touch the context, so the values handed
+  //   to the policy are the same ones a full rebuild would produce.
+  //
+  // - Hook installed: every field is reassigned and the hook runs, so a
+  //   mutating hook sees a freshly built snapshot each time and its edits
+  //   never leak into later decisions — the original contract.
+  const bool has_hook = static_cast<bool>(hook);
+  const auto update_mtbf_field = [&]() {
+    st.ctx.mtbf_estimate_hours = st.mtbf_ma.value_or(config.mtbf_hint_hours);
+  };
+  st.ctx.alpha_oci_hours = config.alpha_oci_hours;
+  st.ctx.weibull_shape_estimate = config.shape_hint;
+  update_mtbf_field();
+  st.ctx.checkpoints_since_failure = 0;
+  st.ctx.failures_so_far = 0;
+
+  const auto refresh_context = [&]() -> const core::PolicyContext& {
+    st.ctx.now_hours = st.now;
+    st.ctx.time_since_failure_hours =
+        st.any_failure ? st.now - st.last_failure : st.now;
+    st.ctx.checkpoint_time_hours = checkpoint_time_at(st.now);
+    if (has_hook) {
+      st.ctx.alpha_oci_hours = config.alpha_oci_hours;
+      update_mtbf_field();
+      st.ctx.weibull_shape_estimate = config.shape_hint;
+      st.ctx.checkpoints_since_failure = st.boundaries_since_failure;
+      st.ctx.failures_so_far = static_cast<int>(st.metrics.failures);
+      hook(st.ctx);
+    }
+    return st.ctx;
+  };
 
   // The allocation expires mid-phase: time since the phase began (and any
   // uncommitted work) is lost, exactly as when the scheduler kills a job.
@@ -71,21 +154,6 @@ RunMetrics simulate(const SimulationConfig& config,
     truncated = true;
   };
 
-  const auto make_context = [&]() {
-    core::PolicyContext ctx;
-    ctx.now_hours = st.now;
-    ctx.time_since_failure_hours =
-        st.any_failure ? st.now - st.last_failure : st.now;
-    ctx.alpha_oci_hours = config.alpha_oci_hours;
-    ctx.checkpoint_time_hours = storage.checkpoint_time(st.now);
-    ctx.mtbf_estimate_hours = st.mtbf_ma.value_or(config.mtbf_hint_hours);
-    ctx.weibull_shape_estimate = config.shape_hint;
-    ctx.checkpoints_since_failure = st.boundaries_since_failure;
-    ctx.failures_so_far = static_cast<int>(st.metrics.failures);
-    if (hook) hook(ctx);
-    return ctx;
-  };
-
   const auto snapshot = [&]() {
     if (!config.record_timeline) return;
     st.metrics.timeline.push_back({st.now, st.committed,
@@ -93,6 +161,17 @@ RunMetrics simulate(const SimulationConfig& config,
                                    st.metrics.wasted_hours,
                                    st.metrics.restart_hours});
   };
+
+  if (config.record_timeline) {
+    // Rough event count: one point per checkpoint boundary plus one per
+    // expected failure.  Only capacity — never affects recorded values.
+    const double boundaries = work_target / config.alpha_oci_hours;
+    const double expected_failures = work_target / config.mtbf_hint_hours;
+    st.metrics.timeline.reserve(
+        static_cast<std::size_t>(
+            std::min(boundaries + expected_failures, 1e6)) +
+        16);
+  }
 
   // Commit the in-flight asynchronous write: the covered work becomes
   // safe.  Costs no time by itself.
@@ -102,7 +181,7 @@ RunMetrics simulate(const SimulationConfig& config,
     st.has_pending = false;
     ++st.metrics.checkpoints_written;
     st.metrics.data_written_gb += storage.checkpoint_size_gb();
-    policy.on_checkpoint_complete(make_context());
+    policy.on_checkpoint_complete(refresh_context());
     snapshot();
   };
 
@@ -110,7 +189,7 @@ RunMetrics simulate(const SimulationConfig& config,
   // failure (commit events consume no simulated time).
   const auto process_commit_before = [&](double limit) {
     if (st.has_pending && st.pending_commit_time <= limit &&
-        st.pending_commit_time <= failures.peek_next()) {
+        st.pending_commit_time <= next_failure) {
       commit_pending();
     }
   };
@@ -118,7 +197,7 @@ RunMetrics simulate(const SimulationConfig& config,
   // Register a failure at the stream head: roll back, account the MTBF
   // observation, notify the policy, then pay (possibly repeated) restarts.
   const auto handle_failure = [&]() {
-    const double failure_time = failures.peek_next();
+    const double failure_time = next_failure;
     // An async write that drained before the failure still counts.
     process_commit_before(failure_time);
     st.has_pending = false;  // anything still in flight is torn
@@ -137,8 +216,12 @@ RunMetrics simulate(const SimulationConfig& config,
       st.last_failure = st.now;
       st.boundaries_since_failure = 0;
       ++st.metrics.failures;
-      failures.pop();
-      policy.on_failure(make_context());
+      // Maintain the slow-moving context fields for the hookless refresh.
+      update_mtbf_field();
+      st.ctx.checkpoints_since_failure = 0;
+      st.ctx.failures_so_far = static_cast<int>(st.metrics.failures);
+      pop_failure();
+      policy.on_failure(refresh_context());
     };
     register_failure();
 
@@ -147,7 +230,7 @@ RunMetrics simulate(const SimulationConfig& config,
     while (true) {
       const double gamma = storage.restart_time(st.now);
       if (gamma <= 0.0) break;
-      const double next = failures.peek_next();
+      const double next = next_failure;
       if (next < st.now + gamma && next < budget) {
         st.metrics.wasted_hours += next - st.now;
         st.now = next;
@@ -171,8 +254,7 @@ RunMetrics simulate(const SimulationConfig& config,
             "simulation exceeded max_events: the machine cannot make "
             "progress under this configuration");
 
-    const core::PolicyContext ctx = make_context();
-    double alpha = policy.next_interval(ctx);
+    double alpha = policy.next_interval(refresh_context());
     require(std::isfinite(alpha) && alpha > 0.0,
             "policy returned a non-positive checkpoint interval");
 
@@ -180,7 +262,7 @@ RunMetrics simulate(const SimulationConfig& config,
     const double remaining = work_target - st.committed - st.uncommitted;
     const double chunk = std::min(alpha, remaining);
     process_commit_before(std::min(st.now + chunk, budget));
-    if (failures.peek_next() < std::min(st.now + chunk, budget)) {
+    if (next_failure < std::min(st.now + chunk, budget)) {
       handle_failure();
       if (truncated) break;
       continue;
@@ -198,7 +280,8 @@ RunMetrics simulate(const SimulationConfig& config,
 
     // --- checkpoint boundary -------------------------------------------
     ++st.boundaries_since_failure;
-    if (policy.should_skip(make_context())) {
+    st.ctx.checkpoints_since_failure = st.boundaries_since_failure;
+    if (policy.should_skip(refresh_context())) {
       ++st.metrics.checkpoints_skipped;
       continue;  // work stays at risk; computing resumes immediately
     }
@@ -206,7 +289,7 @@ RunMetrics simulate(const SimulationConfig& config,
     // Serialize writes: if an async write is still draining, the app
     // stalls until it commits (stall time is checkpoint I/O wait).
     if (st.has_pending) {
-      if (failures.peek_next() < std::min(st.pending_commit_time, budget)) {
+      if (next_failure < std::min(st.pending_commit_time, budget)) {
         handle_failure();
         if (truncated) break;
         continue;
@@ -220,11 +303,11 @@ RunMetrics simulate(const SimulationConfig& config,
       commit_pending();
     }
 
-    const double beta = storage.checkpoint_time(st.now);
+    const double beta = checkpoint_time_at(st.now);
     require(std::isfinite(beta) && beta > 0.0,
             "storage model returned a non-positive checkpoint time");
     const double blocking = beta * config.checkpoint_blocking_fraction;
-    if (failures.peek_next() < std::min(st.now + blocking, budget)) {
+    if (next_failure < std::min(st.now + blocking, budget)) {
       handle_failure();  // partial checkpoint discarded with the work
       if (truncated) break;
       continue;
@@ -264,6 +347,49 @@ RunMetrics simulate(const SimulationConfig& config,
               1e-6 * std::max(1.0, st.metrics.makespan_hours),
           "internal error: time attribution does not balance");
   return st.metrics;
+}
+
+}  // namespace
+
+RunMetrics simulate(const SimulationConfig& config,
+                    core::CheckpointPolicy& policy, FailureSource& failures,
+                    const io::StorageModel& storage,
+                    const ContextHook& hook) {
+  config.validate();
+  // Fast path for the dominant Monte-Carlo configuration: renewal
+  // failures against constant storage.  Type-dispatched once per trial;
+  // inside the loop every source/storage call resolves statically.  The
+  // hottest policies — static OCI / periodic (the baselines behind every
+  // figure) and iLazy (the paper's contribution) — additionally bind
+  // statically, so their header-inline decisions fold into the loop.  Any
+  // other combination — trace replay, bandwidth-trace storage, campaign
+  // wrappers, remaining policies — runs the identical loop through the
+  // virtual interfaces.
+  if (auto* renewal = dynamic_cast<RenewalFailureSource*>(&failures)) {
+    if (const auto* constant =
+            dynamic_cast<const io::ConstantStorage*>(&storage)) {
+      if (auto* static_oci = dynamic_cast<core::StaticOciPolicy*>(&policy)) {
+        return run_loop(config, *static_oci, *renewal, *constant, hook);
+      }
+      if (auto* ilazy = dynamic_cast<core::ILazyPolicy*>(&policy)) {
+        return run_loop(config, *ilazy, *renewal, *constant, hook);
+      }
+      if (auto* periodic = dynamic_cast<core::PeriodicPolicy*>(&policy)) {
+        return run_loop(config, *periodic, *renewal, *constant, hook);
+      }
+      return run_loop(config, policy, *renewal, *constant, hook);
+    }
+  }
+  return run_loop(config, policy, failures, storage, hook);
+}
+
+RunMetrics simulate_generic(const SimulationConfig& config,
+                            core::CheckpointPolicy& policy,
+                            FailureSource& failures,
+                            const io::StorageModel& storage,
+                            const ContextHook& hook) {
+  config.validate();
+  return run_loop(config, policy, failures, storage, hook);
 }
 
 }  // namespace lazyckpt::sim

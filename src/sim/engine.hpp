@@ -60,9 +60,29 @@ using ContextHook = std::function<void(core::PolicyContext&)>;
 /// Run one simulation.  The policy and failure source are consumed
 /// statefully (clone per replica); the storage model is read-only.
 /// Throws Error if max_events is exceeded (the machine cannot progress).
+///
+/// When `failures` is a RenewalFailureSource and `storage` a
+/// ConstantStorage (the Monte-Carlo sweep configuration behind most
+/// figures), the engine dispatches — once, at entry — to a hot-path
+/// instantiation of the event loop where every source and storage call is
+/// devirtualized.  All other combinations run the same loop through the
+/// virtual interfaces.  Both paths execute identical arithmetic and
+/// return bit-identical RunMetrics (tests/test_engine_golden.cpp).
 RunMetrics simulate(const SimulationConfig& config,
                     core::CheckpointPolicy& policy, FailureSource& failures,
                     const io::StorageModel& storage,
                     const ContextHook& hook = {});
+
+/// Run one simulation on the type-erased loop, never taking the
+/// devirtualized fast path regardless of the concrete argument types.
+/// Exists so benchmarks can measure the fast path against the fallback in
+/// one invocation and so the golden-master tests can prove the two paths
+/// bit-identical; results are always equal to simulate() on the same
+/// inputs.
+RunMetrics simulate_generic(const SimulationConfig& config,
+                            core::CheckpointPolicy& policy,
+                            FailureSource& failures,
+                            const io::StorageModel& storage,
+                            const ContextHook& hook = {});
 
 }  // namespace lazyckpt::sim

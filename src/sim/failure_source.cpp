@@ -7,16 +7,27 @@
 
 namespace lazyckpt::sim {
 
-RenewalFailureSource::RenewalFailureSource(stats::DistributionPtr inter_arrival,
-                                           Rng rng)
-    : inter_arrival_(std::move(inter_arrival)), rng_(rng) {
-  require(inter_arrival_ != nullptr,
-          "RenewalFailureSource needs a distribution");
-  next_ = inter_arrival_->sample(rng_);
+namespace {
+
+stats::Sampler checked_sampler(const stats::DistributionPtr& dist) {
+  require(dist != nullptr, "RenewalFailureSource needs a distribution");
+  return dist->sampler();
 }
 
-void RenewalFailureSource::pop() {
-  next_ += inter_arrival_->sample(rng_);
+}  // namespace
+
+RenewalFailureSource::RenewalFailureSource(stats::DistributionPtr inter_arrival,
+                                           Rng rng)
+    : owned_(std::move(inter_arrival)),
+      sampler_(checked_sampler(owned_)),
+      rng_(rng) {
+  next_ = sampler_.sample(rng_);
+}
+
+RenewalFailureSource::RenewalFailureSource(
+    const stats::Distribution& inter_arrival, Rng rng)
+    : sampler_(inter_arrival.sampler()), rng_(rng) {
+  next_ = sampler_.sample(rng_);
 }
 
 TraceFailureSource::TraceFailureSource(const failures::FailureTrace& trace,

@@ -31,15 +31,30 @@ using FailureSourcePtr = std::unique_ptr<FailureSource>;
 
 /// Renewal process: failure n+1 happens an i.i.d. inter-arrival after
 /// failure n.  Deterministic in the supplied Rng.
+///
+/// Inter-arrivals are drawn through a stats::Sampler snapshotted from the
+/// distribution at construction, so the per-failure cost is one
+/// devirtualized inverse-CDF transform with precomputed constants (draws
+/// are bit-identical to Distribution::sample).  The class is final and the
+/// hot members are defined inline: when the simulation engine dispatches
+/// its fast path on the concrete type, peek_next/pop compile down to a
+/// load and an inlined sampler call.
 class RenewalFailureSource final : public FailureSource {
  public:
+  /// Owning: the source keeps the distribution alive.
   RenewalFailureSource(stats::DistributionPtr inter_arrival, Rng rng);
 
+  /// Borrowing: `inter_arrival` must outlive the source.  Lets replica
+  /// sweeps stack-construct one source per trial without cloning the
+  /// shared distribution.
+  RenewalFailureSource(const stats::Distribution& inter_arrival, Rng rng);
+
   [[nodiscard]] double peek_next() const override { return next_; }
-  void pop() override;
+  void pop() override { next_ += sampler_.sample(rng_); }
 
  private:
-  stats::DistributionPtr inter_arrival_;
+  stats::DistributionPtr owned_;  ///< null when borrowing
+  stats::Sampler sampler_;
   Rng rng_;
   double next_ = 0.0;
 };

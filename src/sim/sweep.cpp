@@ -27,8 +27,19 @@ std::vector<RunMetrics> run_replicas_raw(const SimulationConfig& config,
   streams.reserve(replicas);
   for (std::size_t i = 0; i < replicas; ++i) streams.push_back(master.split());
 
+  // Per-replica heap churn is confined to stateful policies: the failure
+  // source is stack-constructed borrowing the shared distribution (no
+  // clone), and a stateless policy — pure function of the context, safe
+  // for concurrent calls — is shared across all replicas.  A stateless
+  // policy is never written through, so shedding the const qualifier to
+  // match simulate()'s signature is sound.
+  const bool shared_policy = policy.is_stateless();
   return parallel_map(replicas, [&](std::size_t i) {
-    RenewalFailureSource source(inter_arrival.clone(), streams[i]);
+    RenewalFailureSource source(inter_arrival, streams[i]);
+    if (shared_policy) {
+      return simulate(config, const_cast<core::CheckpointPolicy&>(policy),
+                      source, storage);
+    }
     const core::PolicyPtr replica_policy = policy.clone();
     return simulate(config, *replica_policy, source, storage);
   });

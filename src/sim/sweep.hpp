@@ -14,10 +14,12 @@ namespace lazyckpt::sim {
 
 /// Run `replicas` independent simulations of `policy` under renewal
 /// failures drawn from `inter_arrival` and aggregate the results.  Each
-/// replica gets a cloned policy and an independent RNG stream derived from
-/// `seed`, so two different policies evaluated with the same seed see the
-/// same failure arrival times — the paper's "for a fair comparison, both
-/// the iLazy and OCI schemes use the same failure arrival times".
+/// replica gets an independent RNG stream derived from `seed`, so two
+/// different policies evaluated with the same seed see the same failure
+/// arrival times — the paper's "for a fair comparison, both the iLazy and
+/// OCI schemes use the same failure arrival times".  Stateful policies are
+/// cloned per replica; stateless ones (CheckpointPolicy::is_stateless) are
+/// shared across replicas with no per-trial heap allocation.
 ///
 /// Replicas execute on the shared parallel engine (common/parallel.hpp;
 /// thread count from LAZYCKPT_THREADS, default hardware_concurrency).

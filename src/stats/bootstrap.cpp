@@ -34,16 +34,25 @@ BootstrapInterval bootstrap_ci(std::span<const double> samples,
   const auto replicates = parallel_map(
       resamples, [&](std::size_t r) -> std::optional<double> {
         Rng stream = streams[r];
-        std::vector<double> resample(samples.size());
+        // One resample buffer per worker thread, reused across
+        // replicates.  Moved out of the pool while in use so a statistic
+        // that recursively bootstraps on this thread allocates its own
+        // buffer instead of clobbering ours.
+        thread_local std::vector<double> buffer_pool;
+        std::vector<double> resample = std::move(buffer_pool);
+        resample.resize(samples.size());
         for (auto& value : resample) {
           value = samples[stream.uniform_index(samples.size())];
         }
+        std::optional<double> replicate;
         try {
-          return statistic(resample);
+          replicate = statistic(resample);
         } catch (const Error&) {
           // Degenerate resample (e.g. all-equal values break an MLE); skip.
-          return std::nullopt;
+          replicate = std::nullopt;
         }
+        buffer_pool = std::move(resample);
+        return replicate;
       });
 
   std::vector<double> replicate_values;

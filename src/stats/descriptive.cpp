@@ -53,22 +53,8 @@ double median(std::span<const double> values) {
   return percentile(values, 50.0);
 }
 
-MovingAverage::MovingAverage(std::size_t window) : window_(window) {
+MovingAverage::MovingAverage(std::size_t window) : ring_(window, 0.0) {
   require(window >= 1, "MovingAverage window must be >= 1");
-}
-
-void MovingAverage::add(double value) {
-  window_values_.push_back(value);
-  sum_ += value;
-  if (window_values_.size() > window_) {
-    sum_ -= window_values_.front();
-    window_values_.pop_front();
-  }
-}
-
-double MovingAverage::value_or(double fallback) const noexcept {
-  if (window_values_.empty()) return fallback;
-  return sum_ / static_cast<double>(window_values_.size());
 }
 
 }  // namespace lazyckpt::stats

@@ -7,7 +7,6 @@
 /// uses over observed failure inter-arrival times (Sec. 6.1).
 
 #include <cstddef>
-#include <deque>
 #include <span>
 #include <vector>
 
@@ -34,25 +33,42 @@ double median(std::span<const double> values);
 
 /// Fixed-window moving average used by the dynamic-OCI MTBF estimator.
 /// Until the window fills, the average is taken over what has been seen.
+/// Backed by a ring buffer sized once in the constructor: the simulator
+/// folds in an observation per failure inside its event loop, which must
+/// stay allocation-free.  The running sum is updated add-then-subtract in
+/// the same order the historical deque implementation used, so the
+/// estimates are bit-identical.
 class MovingAverage {
  public:
   /// Requires window >= 1.
   explicit MovingAverage(std::size_t window);
 
   /// Fold in an observation.
-  void add(double value);
-
-  /// Current average.  Returns `fallback` before any observation arrives.
-  [[nodiscard]] double value_or(double fallback) const noexcept;
-
-  [[nodiscard]] bool empty() const noexcept { return window_values_.empty(); }
-  [[nodiscard]] std::size_t count() const noexcept {
-    return window_values_.size();
+  void add(double value) {
+    sum_ += value;
+    if (count_ < ring_.size()) {
+      ring_[count_++] = value;
+    } else {
+      sum_ -= ring_[head_];
+      ring_[head_] = value;
+      head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+    }
   }
 
+  /// Current average.  Returns `fallback` before any observation arrives.
+  /// Inline: the simulator reads this on every policy-context refresh.
+  [[nodiscard]] double value_or(double fallback) const noexcept {
+    if (count_ == 0) return fallback;
+    return sum_ / static_cast<double>(count_);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
  private:
-  std::size_t window_;
-  std::deque<double> window_values_;
+  std::vector<double> ring_;  ///< capacity == window, fixed at construction
+  std::size_t head_ = 0;      ///< oldest element once the window is full
+  std::size_t count_ = 0;
   double sum_ = 0.0;
 };
 

@@ -1,5 +1,7 @@
 #include "stats/distribution.hpp"
 
+#include "common/error.hpp"
+
 namespace lazyckpt::stats {
 
 double Distribution::hazard(double x) const {
@@ -14,6 +16,14 @@ double Distribution::sample(Rng& rng) const {
   double u = rng.uniform_positive();
   if (u >= 1.0) u = 1.0 - 1e-16;
   return quantile(u);
+}
+
+Sampler Distribution::sampler() const { return Sampler::generic(*this); }
+
+void Distribution::cdf_n(std::span<const double> xs,
+                         std::span<double> out) const {
+  require(xs.size() == out.size(), "cdf_n spans must have equal size");
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = cdf(xs[i]);
 }
 
 }  // namespace lazyckpt::stats

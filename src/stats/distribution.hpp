@@ -9,9 +9,11 @@
 /// is written against it.
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "common/random.hpp"
+#include "stats/sampler.hpp"
 
 namespace lazyckpt::stats {
 
@@ -42,6 +44,21 @@ class Distribution {
 
   /// Draw one variate via inverse-CDF sampling (deterministic given `rng`).
   [[nodiscard]] virtual double sample(Rng& rng) const;
+
+  /// Snapshot a non-virtual sampling kernel (see stats/sampler.hpp).  The
+  /// concrete distributions override this with samplers that precompute
+  /// their constants; the default falls back to virtual sample() and must
+  /// not outlive this distribution.  Sampler draws are bit-identical to
+  /// sample() on the same Rng.
+  [[nodiscard]] virtual Sampler sampler() const;
+
+  /// Batched CDF: out[i] = cdf(xs[i]).  Requires xs.size() == out.size()
+  /// (xs and out may alias element-for-element, i.e. out == xs is fine).
+  /// Concrete distributions override this with a devirtualized loop so
+  /// callers evaluating thousands of points (K-S statistics, bootstrap
+  /// nulls) pay one virtual call per batch instead of one per point; the
+  /// values are bit-identical to elementwise cdf().
+  virtual void cdf_n(std::span<const double> xs, std::span<double> out) const;
 
   /// Deep copy.
   [[nodiscard]] virtual std::unique_ptr<Distribution> clone() const = 0;

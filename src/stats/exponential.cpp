@@ -34,6 +34,16 @@ double Exponential::hazard(double x) const {
   return x < 0.0 ? 0.0 : rate_;  // memoryless: constant failure rate
 }
 
+Sampler Exponential::sampler() const { return Sampler::exponential(rate_); }
+
+void Exponential::cdf_n(std::span<const double> xs,
+                        std::span<double> out) const {
+  require(xs.size() == out.size(), "cdf_n spans must have equal size");
+  // cdf() devirtualizes here (the class is final), so the batch pays one
+  // virtual call instead of xs.size() of them.
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = cdf(xs[i]);
+}
+
 DistributionPtr Exponential::clone() const {
   return std::make_unique<Exponential>(*this);
 }

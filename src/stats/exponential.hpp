@@ -25,6 +25,9 @@ class Exponential final : public Distribution {
   [[nodiscard]] double hazard(double x) const override;
   [[nodiscard]] double mean() const override { return 1.0 / rate_; }
   [[nodiscard]] std::string name() const override { return "exponential"; }
+  [[nodiscard]] Sampler sampler() const override;
+  void cdf_n(std::span<const double> xs,
+             std::span<double> out) const override;
   [[nodiscard]] DistributionPtr clone() const override;
 
  private:

@@ -56,6 +56,11 @@ double Gamma::quantile(double p) const {
   return 0.5 * (lo + hi);
 }
 
+void Gamma::cdf_n(std::span<const double> xs, std::span<double> out) const {
+  require(xs.size() == out.size(), "cdf_n spans must have equal size");
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = cdf(xs[i]);
+}
+
 DistributionPtr Gamma::clone() const { return std::make_unique<Gamma>(*this); }
 
 }  // namespace lazyckpt::stats

@@ -28,6 +28,8 @@ class Gamma final : public Distribution {
   [[nodiscard]] double quantile(double p) const override;
   [[nodiscard]] double mean() const override { return shape_ * scale_; }
   [[nodiscard]] std::string name() const override { return "gamma"; }
+  void cdf_n(std::span<const double> xs,
+             std::span<double> out) const override;
   [[nodiscard]] DistributionPtr clone() const override;
 
  private:

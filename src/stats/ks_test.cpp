@@ -11,21 +11,35 @@
 
 namespace lazyckpt::stats {
 
-double ks_statistic(std::span<const double> samples,
-                    const Distribution& candidate) {
-  require(!samples.empty(), "ks_statistic needs samples");
-  std::vector<double> sorted(samples.begin(), samples.end());
-  std::sort(sorted.begin(), sorted.end());
-  const auto n = static_cast<double>(sorted.size());
+double ks_statistic_sorted(std::span<const double> sorted,
+                           const Distribution& candidate) {
+  require(!sorted.empty(), "ks_statistic needs samples");
+  // Evaluate the candidate CDF as one batch: a single virtual cdf_n call
+  // with a devirtualized inner loop instead of one virtual cdf per point.
+  // The buffer is thread-local so bootstrap loops calling this thousands
+  // of times reuse one allocation per worker.
+  thread_local std::vector<double> cdf_values;
+  cdf_values.resize(sorted.size());
+  candidate.cdf_n(sorted, cdf_values);
 
+  const auto n = static_cast<double>(sorted.size());
   double d = 0.0;
   for (std::size_t i = 0; i < sorted.size(); ++i) {
-    const double f = candidate.cdf(sorted[i]);
+    const double f = cdf_values[i];
     const double above = static_cast<double>(i + 1) / n - f;  // D+
     const double below = f - static_cast<double>(i) / n;      // D-
     d = std::max({d, above, below});
   }
   return d;
+}
+
+double ks_statistic(std::span<const double> samples,
+                    const Distribution& candidate) {
+  require(!samples.empty(), "ks_statistic needs samples");
+  thread_local std::vector<double> sorted;
+  sorted.assign(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  return ks_statistic_sorted(sorted, candidate);
 }
 
 double ks_critical_value(std::size_t n, double alpha) {
@@ -100,18 +114,34 @@ FittedKsResult ks_test_fitted(std::span<const double> samples,
   streams.reserve(resamples);
   for (std::size_t r = 0; r < resamples; ++r) streams.push_back(rng.split());
 
+  // The fitted model's sampler is snapshotted once (draws bit-identical to
+  // fitted->sample) and the synthetic sample lives in a thread-local
+  // buffer reused across resamples on the same worker.  The refit sees the
+  // sample in generation order — fit arithmetic is order-sensitive in
+  // floating point — and the buffer is only sorted afterwards, in place,
+  // feeding the sorted-span K-S overload without the copy-and-sort that
+  // ks_statistic would repeat.
+  const Sampler fitted_sampler = fitted->sampler();
   const auto resampled = parallel_map(
       resamples, [&](std::size_t r) -> std::optional<double> {
         Rng stream = streams[r];
-        std::vector<double> synthetic(samples.size());
-        for (auto& value : synthetic) value = fitted->sample(stream);
+        // Per-worker buffer, moved out of the pool while in use so a
+        // re-entrant refit cannot clobber it.
+        thread_local std::vector<double> buffer_pool;
+        std::vector<double> synthetic = std::move(buffer_pool);
+        synthetic.resize(samples.size());
+        fitted_sampler.sample_n(stream, synthetic);
+        std::optional<double> d;
         try {
           const DistributionPtr refitted = refit(synthetic);
-          return ks_statistic(synthetic, *refitted);
+          std::sort(synthetic.begin(), synthetic.end());
+          d = ks_statistic_sorted(synthetic, *refitted);
         } catch (const Error&) {
           // Degenerate synthetic sample; skip.
-          return std::nullopt;
+          d = std::nullopt;
         }
+        buffer_pool = std::move(synthetic);
+        return d;
       });
 
   std::vector<double> null_d;

@@ -29,9 +29,18 @@ struct KsResult {
 };
 
 /// sup-norm distance between the empirical CDF of `samples` and `candidate`.
-/// Requires a non-empty sample.
+/// Requires a non-empty sample.  Copies and sorts the input; callers that
+/// already hold sorted data should use ks_statistic_sorted.
 double ks_statistic(std::span<const double> samples,
                     const Distribution& candidate);
+
+/// Same statistic on a sample that is already sorted ascending (the
+/// caller's responsibility — unsorted input yields a meaningless D).
+/// Skips the copy-and-sort that ks_statistic pays and evaluates the
+/// candidate CDF through one batched cdf_n call; bootstrap loops that
+/// sort in place call this directly.
+double ks_statistic_sorted(std::span<const double> sorted,
+                           const Distribution& candidate);
 
 /// Critical D-value at significance `alpha` for sample size n
 /// (Stephens' approximation; exact enough for n >= 8).  Supported alpha:

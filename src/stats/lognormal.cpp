@@ -31,6 +31,14 @@ double LogNormal::mean() const {
   return std::exp(mu_ + 0.5 * sigma_ * sigma_);
 }
 
+Sampler LogNormal::sampler() const { return Sampler::lognormal(mu_, sigma_); }
+
+void LogNormal::cdf_n(std::span<const double> xs,
+                      std::span<double> out) const {
+  require(xs.size() == out.size(), "cdf_n spans must have equal size");
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = cdf(xs[i]);
+}
+
 DistributionPtr LogNormal::clone() const {
   return std::make_unique<LogNormal>(*this);
 }

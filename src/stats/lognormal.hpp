@@ -22,6 +22,9 @@ class LogNormal final : public Distribution {
   [[nodiscard]] double quantile(double p) const override;
   [[nodiscard]] double mean() const override;
   [[nodiscard]] std::string name() const override { return "lognormal"; }
+  [[nodiscard]] Sampler sampler() const override;
+  void cdf_n(std::span<const double> xs,
+             std::span<double> out) const override;
   [[nodiscard]] DistributionPtr clone() const override;
 
  private:

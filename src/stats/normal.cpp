@@ -22,6 +22,11 @@ double Normal::quantile(double p) const {
   return mu_ + sigma_ * normal_quantile(p);
 }
 
+void Normal::cdf_n(std::span<const double> xs, std::span<double> out) const {
+  require(xs.size() == out.size(), "cdf_n spans must have equal size");
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = cdf(xs[i]);
+}
+
 DistributionPtr Normal::clone() const {
   return std::make_unique<Normal>(*this);
 }

@@ -21,6 +21,8 @@ class Normal final : public Distribution {
   [[nodiscard]] double quantile(double p) const override;
   [[nodiscard]] double mean() const override { return mu_; }
   [[nodiscard]] std::string name() const override { return "normal"; }
+  void cdf_n(std::span<const double> xs,
+             std::span<double> out) const override;
   [[nodiscard]] DistributionPtr clone() const override;
 
  private:

@@ -1,0 +1,11 @@
+#include "stats/sampler.hpp"
+
+#include "stats/distribution.hpp"
+
+namespace lazyckpt::stats::detail {
+
+double sample_generic(const Distribution& dist, Rng& rng) {
+  return dist.sample(rng);
+}
+
+}  // namespace lazyckpt::stats::detail

@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file sampler.hpp
+/// \brief Devirtualized variate sampling for the simulation hot path.
+///
+/// Drawing a failure inter-arrival through the Distribution interface costs
+/// two virtual calls per variate (sample → quantile) and recomputes
+/// per-distribution constants (the Weibull's 1/shape) on every draw.  A
+/// Sampler is a small value object snapshotted from a distribution once per
+/// run: it carries the precomputed constants and samples through a single
+/// predictable switch instead of the vtable.  Every branch reproduces the
+/// corresponding Distribution::sample arithmetic operation-for-operation,
+/// so a Sampler draw is bit-identical to the virtual path it replaces —
+/// the engine's golden-master tests (tests/test_engine_golden.cpp) pin
+/// that contract down.
+///
+/// Distributions without a specialized branch fall back to the virtual
+/// sample() of the distribution they were created from; such a Sampler
+/// (and only such a Sampler) must not outlive its distribution.
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+#include "common/random.hpp"
+#include "stats/special.hpp"
+
+namespace lazyckpt::stats {
+
+class Distribution;
+
+namespace detail {
+/// Out-of-line fallback: forwards to Distribution::sample (virtual).
+double sample_generic(const Distribution& dist, Rng& rng);
+}  // namespace detail
+
+/// A cheap, copyable sampling kernel snapshotted from a Distribution.
+class Sampler {
+ public:
+  /// Exponential(rate λ): x = -log1p(-u) / λ.
+  [[nodiscard]] static Sampler exponential(double rate) noexcept {
+    return Sampler(Kind::kExponential, rate, 0.0, nullptr);
+  }
+
+  /// Weibull(shape k, scale λ): x = λ · (-log1p(-u))^(1/k).  The caller
+  /// passes the precomputed 1/k (`inv_shape`).
+  [[nodiscard]] static Sampler weibull(double scale,
+                                       double inv_shape) noexcept {
+    return Sampler(Kind::kWeibull, scale, inv_shape, nullptr);
+  }
+
+  /// LogNormal(μ, σ): x = exp(μ + σ · Φ⁻¹(u)).
+  [[nodiscard]] static Sampler lognormal(double mu, double sigma) noexcept {
+    return Sampler(Kind::kLogNormal, mu, sigma, nullptr);
+  }
+
+  /// Fallback: sample through the distribution's virtual interface.
+  /// `dist` must outlive the sampler.
+  [[nodiscard]] static Sampler generic(const Distribution& dist) noexcept {
+    return Sampler(Kind::kGeneric, 0.0, 0.0, &dist);
+  }
+
+  /// Draw one variate.  Deterministic in `rng` and bit-identical to
+  /// Distribution::sample on the distribution this sampler came from.
+  [[nodiscard]] double sample(Rng& rng) const {
+    if (kind_ == Kind::kGeneric) return detail::sample_generic(*generic_, rng);
+    // Same uniform mapping as Distribution::sample: u in (0, 1] clipped
+    // away from 1 for quantile functions that diverge there.
+    double u = rng.uniform_positive();
+    if (u >= 1.0) u = 1.0 - 1e-16;
+    switch (kind_) {
+      case Kind::kExponential:
+        return -std::log1p(-u) / a_;
+      case Kind::kWeibull:
+        return a_ * std::pow(-std::log1p(-u), b_);
+      default:  // Kind::kLogNormal
+        return std::exp(a_ + b_ * normal_quantile(u));
+    }
+  }
+
+  /// Batched draw: fills `out` with out.size() consecutive variates, in
+  /// the exact order (and with the exact values) of repeated sample()
+  /// calls.  Hoists the kind dispatch out of the per-variate loop.
+  void sample_n(Rng& rng, std::span<double> out) const {
+    if (kind_ == Kind::kGeneric) {
+      for (double& value : out) value = detail::sample_generic(*generic_, rng);
+      return;
+    }
+    for (double& value : out) value = sample(rng);
+  }
+
+  /// False only for the virtual-dispatch fallback.
+  [[nodiscard]] bool devirtualized() const noexcept {
+    return kind_ != Kind::kGeneric;
+  }
+
+ private:
+  enum class Kind : std::uint8_t {
+    kExponential,
+    kWeibull,
+    kLogNormal,
+    kGeneric,
+  };
+
+  Sampler(Kind kind, double a, double b, const Distribution* generic) noexcept
+      : kind_(kind), a_(a), b_(b), generic_(generic) {}
+
+  Kind kind_;
+  double a_;  ///< rate (exp), scale (weibull), mu (lognormal)
+  double b_;  ///< unused (exp), 1/shape (weibull), sigma (lognormal)
+  const Distribution* generic_;  ///< non-null only for Kind::kGeneric
+};
+
+}  // namespace lazyckpt::stats

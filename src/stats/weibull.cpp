@@ -53,6 +53,18 @@ double Weibull::mean() const {
   return scale_ * std::tgamma(1.0 + 1.0 / shape_);
 }
 
+Sampler Weibull::sampler() const {
+  // 1/shape is precomputed once here; pow(x, 1.0/shape_) and
+  // pow(x, inv_shape) see the identical double, so draws stay
+  // bit-identical to quantile()'s arithmetic.
+  return Sampler::weibull(scale_, 1.0 / shape_);
+}
+
+void Weibull::cdf_n(std::span<const double> xs, std::span<double> out) const {
+  require(xs.size() == out.size(), "cdf_n spans must have equal size");
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = cdf(xs[i]);
+}
+
 DistributionPtr Weibull::clone() const {
   return std::make_unique<Weibull>(*this);
 }

@@ -33,6 +33,9 @@ class Weibull final : public Distribution {
   [[nodiscard]] double hazard(double x) const override;
   [[nodiscard]] double mean() const override;
   [[nodiscard]] std::string name() const override { return "weibull"; }
+  [[nodiscard]] Sampler sampler() const override;
+  void cdf_n(std::span<const double> xs,
+             std::span<double> out) const override;
   [[nodiscard]] DistributionPtr clone() const override;
 
  private:
