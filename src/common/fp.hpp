@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file fp.hpp
+/// \brief The approved floating-point comparison helpers.
+///
+/// lazyckpt-lint's `float-compare` rule (DESIGN.md §5e) bans raw ==/!=
+/// between floating-point expressions in library code: most such sites are
+/// latent bugs after any rounding.  A minority are the contract — domain
+/// sentinels (`x == 0` at a support boundary), tabulated critical values
+/// where the API documents "alpha must be exactly 0.05", or degenerate-
+/// parameter fast paths (`shape == 1` selecting the exponential form).
+/// Those sites must say so by calling these helpers, which makes the
+/// intent grep-able and keeps the lint rule free of per-line suppressions.
+///
+/// Nothing here changes numerics: every helper is a transparent wrapper
+/// around the raw comparison, so replacing `a == b` with `exact_eq(a, b)`
+/// is bit-for-bit behaviour-preserving (golden masters unaffected).
+
+namespace lazyckpt::fp {
+
+/// Intentional exact equality.  Use only where bitwise equality is the
+/// documented contract (tabulated constants, sentinel parameters).
+// lazyckpt-lint: allow(float-compare)
+[[nodiscard]] constexpr bool exact_eq(double a, double b) noexcept {
+  return a == b;
+}
+
+/// Intentional exact inequality — the negation of exact_eq.
+// lazyckpt-lint: allow(float-compare)
+[[nodiscard]] constexpr bool exact_ne(double a, double b) noexcept {
+  return a != b;
+}
+
+/// Intentional exact test against zero (support boundaries, unset
+/// sentinels).  Matches both +0.0 and -0.0.
+// lazyckpt-lint: allow(float-compare)
+[[nodiscard]] constexpr bool is_zero(double x) noexcept { return x == 0.0; }
+
+/// Tolerance comparison for the rare library site that wants "close
+/// enough" semantics without pulling in a testing framework: true when
+/// |a - b| <= abs_tol or |a - b| <= rel_tol * max(|a|, |b|).
+[[nodiscard]] constexpr bool nearly_eq(double a, double b,
+                                       double rel_tol = 1e-12,
+                                       double abs_tol = 0.0) noexcept {
+  const double diff = a > b ? a - b : b - a;
+  const double mag_a = a < 0.0 ? -a : a;
+  const double mag_b = b < 0.0 ? -b : b;
+  const double mag = mag_a > mag_b ? mag_a : mag_b;
+  return diff <= abs_tol || diff <= rel_tol * mag;
+}
+
+}  // namespace lazyckpt::fp

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/fp.hpp"
 
 namespace lazyckpt::stats {
 
@@ -30,9 +31,9 @@ double ad_statistic(std::span<const double> samples,
 }
 
 double ad_critical_value(double alpha) {
-  if (alpha == 0.10) return 1.933;
-  if (alpha == 0.05) return 2.492;
-  if (alpha == 0.01) return 3.857;
+  if (fp::exact_eq(alpha, 0.10)) return 1.933;
+  if (fp::exact_eq(alpha, 0.05)) return 2.492;
+  if (fp::exact_eq(alpha, 0.01)) return 3.857;
   throw InvalidArgument("ad_critical_value: unsupported alpha");
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/fp.hpp"
 #include "stats/descriptive.hpp"
 
 namespace lazyckpt::stats {
@@ -34,7 +35,7 @@ std::vector<double> autocorrelations(std::span<const double> series,
 
 double coefficient_of_variation(std::span<const double> series) {
   const double m = mean(series);
-  require(m != 0.0, "coefficient_of_variation: zero mean");
+  require(!fp::is_zero(m), "coefficient_of_variation: zero mean");
   return stddev(series) / std::abs(m);
 }
 

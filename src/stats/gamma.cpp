@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/fp.hpp"
 #include "stats/special.hpp"
 
 namespace lazyckpt::stats {
@@ -20,9 +21,9 @@ Gamma Gamma::from_mtbf_and_shape(double mtbf, double shape) {
 
 double Gamma::pdf(double x) const {
   if (x < 0.0) return 0.0;
-  if (x == 0.0) {
+  if (fp::is_zero(x)) {
     if (shape_ > 1.0) return 0.0;
-    if (shape_ == 1.0) return 1.0 / scale_;
+    if (fp::exact_eq(shape_, 1.0)) return 1.0 / scale_;
     x = 1e-12 * scale_;  // density diverges at 0 for shape < 1
   }
   const double log_pdf = (shape_ - 1.0) * std::log(x) - x / scale_ -

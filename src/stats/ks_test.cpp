@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/fp.hpp"
 #include "common/parallel.hpp"
 #include "stats/ecdf.hpp"
 
@@ -45,13 +46,13 @@ double ks_statistic(std::span<const double> samples,
 double ks_critical_value(std::size_t n, double alpha) {
   require(n >= 1, "ks_critical_value needs n >= 1");
   double c = 0.0;
-  if (alpha == 0.10) {
+  if (fp::exact_eq(alpha, 0.10)) {
     c = 1.224;
-  } else if (alpha == 0.05) {
+  } else if (fp::exact_eq(alpha, 0.05)) {
     c = 1.358;
-  } else if (alpha == 0.025) {
+  } else if (fp::exact_eq(alpha, 0.025)) {
     c = 1.480;
-  } else if (alpha == 0.01) {
+  } else if (fp::exact_eq(alpha, 0.01)) {
     c = 1.628;
   } else {
     throw InvalidArgument("ks_critical_value: unsupported alpha");

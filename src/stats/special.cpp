@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/fp.hpp"
 
 namespace lazyckpt::stats {
 
@@ -102,7 +103,7 @@ double gamma_q_continued_fraction(double a, double x) {
 double regularized_gamma_p(double a, double x) {
   require(a > 0.0, "regularized_gamma_p requires a > 0");
   require(x >= 0.0, "regularized_gamma_p requires x >= 0");
-  if (x == 0.0) return 0.0;
+  if (fp::is_zero(x)) return 0.0;
   if (x < a + 1.0) return gamma_p_series(a, x);
   return 1.0 - gamma_q_continued_fraction(a, x);
 }

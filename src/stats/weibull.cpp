@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/fp.hpp"
 
 namespace lazyckpt::stats {
 
@@ -20,12 +21,12 @@ Weibull Weibull::from_mtbf_and_shape(double mtbf, double shape) {
 
 double Weibull::pdf(double x) const {
   if (x < 0.0) return 0.0;
-  if (x == 0.0) {
+  if (fp::is_zero(x)) {
     // Density at zero: 0 for k > 1, 1/λ for k == 1, +inf for k < 1;
     // return the k == 1 limit and a large-but-finite stand-in for k < 1
     // to keep downstream arithmetic well behaved.
     if (shape_ > 1.0) return 0.0;
-    if (shape_ == 1.0) return 1.0 / scale_;
+    if (fp::exact_eq(shape_, 1.0)) return 1.0 / scale_;
     x = 1e-12 * scale_;
   }
   const double z = x / scale_;
@@ -45,7 +46,7 @@ double Weibull::quantile(double p) const {
 
 double Weibull::hazard(double x) const {
   if (x < 0.0) return 0.0;
-  if (x == 0.0) x = 1e-12 * scale_;  // h(0+) diverges for k < 1
+  if (fp::is_zero(x)) x = 1e-12 * scale_;  // h(0+) diverges for k < 1
   return (shape_ / scale_) * std::pow(x / scale_, shape_ - 1.0);
 }
 

@@ -1,0 +1,697 @@
+#include "linter.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace lazyckpt::lint {
+
+namespace {
+
+constexpr std::array<std::pair<Rule, std::string_view>, 5> kRuleIds = {{
+    {Rule::kDeterminism, "determinism"},
+    {Rule::kUnorderedOutputOrder, "unordered-output-order"},
+    {Rule::kFloatCompare, "float-compare"},
+    {Rule::kHeaderHygiene, "header-hygiene"},
+    {Rule::kErrorDiscipline, "error-discipline"},
+}};
+
+constexpr std::array<std::pair<Rule, std::string_view>, 5> kRuleRationales = {{
+    {Rule::kDeterminism,
+     "all randomness flows through common/random pre-split streams; "
+     "wall-clock reads are allowed only in bench/"},
+    {Rule::kUnorderedOutputOrder,
+     "hash-container iteration order is unspecified and must never feed "
+     "CSV/JSON/table bytes compared by golden masters"},
+    {Rule::kFloatCompare,
+     "raw ==/!= on floating-point expressions; intentional exact "
+     "comparison must go through lazyckpt::fp (common/fp.hpp)"},
+    {Rule::kHeaderHygiene,
+     "headers start with #pragma once, never say `using namespace`, and "
+     "library headers never include <iostream>"},
+    {Rule::kErrorDiscipline,
+     "src/ throws the lazyckpt::Error hierarchy via common/error.hpp, "
+     "never naked std::runtime_error"},
+}};
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True if `needle` occurs in `line` at a token boundary: the character
+/// before the match (if any) is not an identifier character, and — when the
+/// needle itself ends in an identifier character — neither is the character
+/// after.  Returns the match position, or npos.
+std::size_t find_token(std::string_view line, std::string_view needle,
+                       std::size_t from = 0) {
+  for (std::size_t pos = line.find(needle, from); pos != std::string_view::npos;
+       pos = line.find(needle, pos + 1)) {
+    const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+    const std::size_t end = pos + needle.size();
+    const bool needle_ends_ident = is_ident_char(needle.back());
+    const bool right_ok =
+        !needle_ends_ident || end >= line.size() || !is_ident_char(line[end]);
+    if (left_ok && right_ok) return pos;
+  }
+  return std::string_view::npos;
+}
+
+bool has_token(std::string_view line, std::string_view needle) {
+  return find_token(line, needle) != std::string_view::npos;
+}
+
+/// True if `text` contains a floating-point literal: a digit sequence with
+/// a decimal point and/or an exponent (1.5, .25, 2., 1e-12, 3.5e+2f).
+/// Plain integers, identifiers like x1, and member access like v1.size()
+/// do not match.
+bool contains_float_literal(std::string_view text) {
+  const auto is_digit = [](char c) {
+    return std::isdigit(static_cast<unsigned char>(c)) != 0;
+  };
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (!is_digit(c) && c != '.') continue;
+    // A literal cannot start inside an identifier or right after '.'
+    // (member access on something, or the tail of another number).
+    if (i > 0 && (is_ident_char(text[i - 1]) || text[i - 1] == '.')) {
+      // Skip the rest of this identifier/number so we do not re-test its
+      // inner characters.
+      continue;
+    }
+    std::size_t j = i;
+    bool saw_digit = false;
+    while (j < text.size() && is_digit(text[j])) {
+      saw_digit = true;
+      ++j;
+    }
+    bool is_float = false;
+    if (j < text.size() && text[j] == '.') {
+      ++j;
+      bool frac_digit = false;
+      while (j < text.size() && is_digit(text[j])) {
+        frac_digit = true;
+        ++j;
+      }
+      // "1." and "1.5" are floats; ".5" needs a fractional digit; a bare
+      // '.' (member access, "...") is not a literal.
+      is_float = saw_digit || frac_digit;
+      if (!saw_digit && !frac_digit) continue;
+    }
+    if (j < text.size() && (text[j] == 'e' || text[j] == 'E') &&
+        (saw_digit || is_float)) {
+      std::size_t k = j + 1;
+      if (k < text.size() && (text[k] == '+' || text[k] == '-')) ++k;
+      std::size_t exp_start = k;
+      while (k < text.size() && is_digit(text[k])) ++k;
+      if (k > exp_start) {
+        j = k;
+        is_float = true;
+      }
+    }
+    if (is_float) return true;
+    if (j > i) i = j - 1;  // skip the scanned integer
+  }
+  return false;
+}
+
+/// Characters that delimit a comparison operand at line granularity.
+bool is_operand_boundary(char c) {
+  return c == '(' || c == ')' || c == '{' || c == '}' || c == ';' ||
+         c == ',' || c == '?' || c == ':' || c == '&' || c == '|' ||
+         c == '!' || c == '<' || c == '>' || c == '=';
+}
+
+std::string_view left_operand(std::string_view line, std::size_t op_pos) {
+  std::size_t begin = op_pos;
+  while (begin > 0 && !is_operand_boundary(line[begin - 1])) --begin;
+  return line.substr(begin, op_pos - begin);
+}
+
+std::string_view right_operand(std::string_view line, std::size_t op_end) {
+  std::size_t end = op_end;
+  while (end < line.size() && !is_operand_boundary(line[end])) ++end;
+  return line.substr(op_end, end - op_end);
+}
+
+struct Suppressions {
+  // line (1-based) -> rules allowed on that line
+  std::map<int, std::set<Rule>> by_line;
+
+  [[nodiscard]] bool allows(int line, Rule rule) const {
+    auto it = by_line.find(line);
+    return it != by_line.end() && it->second.count(rule) != 0;
+  }
+};
+
+/// Parse `// lazyckpt-lint: allow(rule-a, rule-b)` comments from the raw
+/// (unstripped) lines.  A trailing comment suppresses its own line; a
+/// standalone comment line suppresses the line below it.
+Suppressions parse_suppressions(const std::vector<std::string>& raw_lines) {
+  Suppressions out;
+  constexpr std::string_view kMarker = "lazyckpt-lint:";
+  for (std::size_t idx = 0; idx < raw_lines.size(); ++idx) {
+    const std::string& line = raw_lines[idx];
+    const std::size_t marker = line.find(kMarker);
+    if (marker == std::string::npos) continue;
+    std::size_t open = line.find("allow(", marker + kMarker.size());
+    if (open == std::string::npos) continue;
+    open += std::string_view("allow(").size();
+    const std::size_t close = line.find(')', open);
+    if (close == std::string::npos) continue;
+
+    std::set<Rule> rules;
+    std::string ids = line.substr(open, close - open);
+    std::istringstream split(ids);
+    std::string id;
+    while (std::getline(split, id, ',')) {
+      const auto strip = [](std::string& s) {
+        const auto b = s.find_first_not_of(" \t");
+        const auto e = s.find_last_not_of(" \t");
+        s = b == std::string::npos ? std::string() : s.substr(b, e - b + 1);
+      };
+      strip(id);
+      if (const auto rule = rule_from_id(id)) rules.insert(*rule);
+    }
+    if (rules.empty()) continue;
+
+    const std::size_t first = line.find_first_not_of(" \t");
+    const bool standalone_comment =
+        first != std::string::npos && line.compare(first, 2, "//") == 0;
+    const int own_line = static_cast<int>(idx) + 1;
+    out.by_line[own_line].insert(rules.begin(), rules.end());
+    if (standalone_comment) {
+      out.by_line[own_line + 1].insert(rules.begin(), rules.end());
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.emplace_back(text.substr(start));
+      break;
+    }
+    lines.emplace_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+/// Raw includes (`<iostream>` or `"common/csv.hpp"`, angle/quote kept) with
+/// their 1-based line numbers.  Taken from raw lines because the stripper
+/// blanks the quoted form.
+std::vector<std::pair<int, std::string>> parse_includes(
+    const std::vector<std::string>& raw_lines) {
+  std::vector<std::pair<int, std::string>> includes;
+  for (std::size_t idx = 0; idx < raw_lines.size(); ++idx) {
+    const std::string& line = raw_lines[idx];
+    std::size_t pos = line.find_first_not_of(" \t");
+    if (pos == std::string::npos || line[pos] != '#') continue;
+    pos = line.find_first_not_of(" \t", pos + 1);
+    if (pos == std::string::npos || line.compare(pos, 7, "include") != 0) {
+      continue;
+    }
+    pos = line.find_first_not_of(" \t", pos + 7);
+    if (pos == std::string::npos) continue;
+    char close = 0;
+    if (line[pos] == '<') close = '>';
+    if (line[pos] == '"') close = '"';
+    if (close == 0) continue;
+    const std::size_t end = line.find(close, pos + 1);
+    if (end == std::string::npos) continue;
+    includes.emplace_back(static_cast<int>(idx) + 1,
+                          line.substr(pos, end - pos + 1));
+  }
+  return includes;
+}
+
+/// Variable names declared on one line as std::unordered_map/set.  Purely
+/// line-local: `std::unordered_map<K, V> name` with balanced template
+/// angles.  Declarations split across lines are a documented blind spot.
+void collect_unordered_names(std::string_view line,
+                             std::set<std::string>* names) {
+  for (std::string_view container : {"unordered_map", "unordered_set"}) {
+    for (std::size_t pos = find_token(line, container);
+         pos != std::string_view::npos;
+         pos = find_token(line, container, pos + 1)) {
+      std::size_t at = pos + container.size();
+      if (at >= line.size() || line[at] != '<') continue;
+      int depth = 0;
+      while (at < line.size()) {
+        if (line[at] == '<') ++depth;
+        if (line[at] == '>') {
+          --depth;
+          if (depth == 0) break;
+        }
+        ++at;
+      }
+      if (at >= line.size()) continue;  // unbalanced on this line
+      ++at;
+      while (at < line.size() &&
+             (line[at] == ' ' || line[at] == '&' || line[at] == '*')) {
+        ++at;
+      }
+      std::size_t name_end = at;
+      while (name_end < line.size() && is_ident_char(line[name_end])) {
+        ++name_end;
+      }
+      if (name_end > at) {
+        names->insert(std::string(line.substr(at, name_end - at)));
+      }
+    }
+  }
+}
+
+struct DeterminismToken {
+  std::string_view token;
+  std::string_view advice;
+};
+
+constexpr std::array<DeterminismToken, 7> kDeterminismTokens = {{
+    {"std::rand", "use a pre-split lazyckpt::Rng stream (common/random.hpp)"},
+    {"rand(", "use a pre-split lazyckpt::Rng stream (common/random.hpp)"},
+    {"srand", "seeds come from the replica's pre-split Rng, never libc"},
+    {"std::random_device",
+     "nondeterministic seeding breaks replay; seed a lazyckpt::Rng stream"},
+    {"random_device",
+     "nondeterministic seeding breaks replay; seed a lazyckpt::Rng stream"},
+    {"time(", "wall-clock reads are banned in result paths (bench/ only)"},
+    {"system_clock", "wall-clock reads are banned in result paths; "
+                     "steady_clock is fine for bench timing"},
+}};
+
+constexpr std::array<std::string_view, 2> kMt19937Tokens = {
+    "std::mt19937", "mt19937"};
+
+}  // namespace
+
+std::string_view rule_id(Rule rule) noexcept {
+  for (const auto& [r, id] : kRuleIds) {
+    if (r == rule) return id;
+  }
+  return "unknown";
+}
+
+std::optional<Rule> rule_from_id(std::string_view id) noexcept {
+  for (const auto& [rule, known] : kRuleIds) {
+    if (known == id) return rule;
+  }
+  return std::nullopt;
+}
+
+const std::vector<Rule>& all_rules() {
+  static const std::vector<Rule> rules = [] {
+    std::vector<Rule> out;
+    out.reserve(kRuleIds.size());
+    for (const auto& [rule, id] : kRuleIds) out.push_back(rule);
+    return out;
+  }();
+  return rules;
+}
+
+std::string_view rule_rationale(Rule rule) noexcept {
+  for (const auto& [r, text] : kRuleRationales) {
+    if (r == rule) return text;
+  }
+  return "";
+}
+
+FileContext classify_path(std::string_view relative_path) {
+  std::string path(relative_path);
+  std::replace(path.begin(), path.end(), '\\', '/');
+  while (path.rfind("./", 0) == 0) path.erase(0, 2);
+
+  const auto has_prefix = [&path](std::string_view prefix) {
+    return path.rfind(prefix, 0) == 0;
+  };
+  const auto ends_with = [&path](std::string_view suffix) {
+    return path.size() >= suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+               0;
+  };
+
+  FileContext ctx;
+  ctx.is_header = ends_with(".hpp") || ends_with(".h") || ends_with(".hh") ||
+                  ends_with(".hxx");
+  ctx.in_src = has_prefix("src/");
+  ctx.in_bench = has_prefix("bench/");
+  ctx.in_tests = has_prefix("tests/");
+  ctx.is_random_impl = has_prefix("src/common/random.");
+  ctx.is_error_impl = has_prefix("src/common/error.");
+  ctx.is_fp_helper = has_prefix("src/common/fp.");
+  return ctx;
+}
+
+std::vector<std::string> strip_comments_and_strings(std::string_view text) {
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+
+  std::vector<std::string> lines;
+  std::string current;
+  State state = State::kCode;
+  std::string raw_close;  // ")delim\"" terminator for the active raw string
+
+  const auto flush_line = [&] {
+    lines.push_back(current);
+    current.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      // Unterminated ordinary string/char literals cannot span lines.
+      if (state == State::kString || state == State::kChar) {
+        state = State::kCode;
+      }
+      flush_line();
+      continue;
+    }
+
+    switch (state) {
+      case State::kCode: {
+        if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+          state = State::kLineComment;
+          ++i;
+          break;
+        }
+        if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+          state = State::kBlockComment;
+          current += ' ';  // keep token separation across the comment
+          ++i;
+          break;
+        }
+        if (c == '"') {
+          // Raw string?  The quote is raw when directly preceded by an R
+          // that (with optional u8/u/U/L encoding prefix) starts a token.
+          bool raw = false;
+          if (!current.empty() && current.back() == 'R') {
+            std::size_t r = current.size() - 1;
+            std::size_t p = r;
+            while (p > 0 && (current[p - 1] == 'u' || current[p - 1] == 'U' ||
+                             current[p - 1] == 'L' || current[p - 1] == '8')) {
+              --p;
+            }
+            if (p == 0 || !is_ident_char(current[p - 1])) raw = true;
+          }
+          if (raw) {
+            std::string delim;
+            std::size_t j = i + 1;
+            while (j < text.size() && text[j] != '(' && text[j] != '\n') {
+              delim += text[j];
+              ++j;
+            }
+            if (j < text.size() && text[j] == '(') {
+              raw_close = ")" + delim + "\"";
+              state = State::kRawString;
+              current += "\"\"";  // placeholder literal
+              i = j;              // consumed through the opening '('
+              break;
+            }
+          }
+          state = State::kString;
+          current += "\"\"";  // placeholder literal
+          break;
+        }
+        if (c == '\'') {
+          // A quote directly after an identifier/digit character is a
+          // digit separator (1'000'000), not a char literal.
+          if (!current.empty() && is_ident_char(current.back())) {
+            current += ' ';
+            break;
+          }
+          state = State::kChar;
+          current += ' ';
+          break;
+        }
+        current += c;
+        break;
+      }
+      case State::kLineComment:
+        break;  // dropped
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < text.size() && text[i + 1] == '/') {
+          state = State::kCode;
+          ++i;
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < text.size()) {
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < text.size()) {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString: {
+        if (c == raw_close.front() &&
+            text.compare(i, raw_close.size(), raw_close) == 0) {
+          i += raw_close.size() - 1;
+          state = State::kCode;
+        }
+        break;
+      }
+    }
+  }
+  flush_line();
+  return lines;
+}
+
+std::vector<Finding> lint_source(std::string_view file_label,
+                                 std::string_view content,
+                                 const FileContext& ctx) {
+  const std::vector<std::string> raw_lines = split_lines(content);
+  const std::vector<std::string> lines = strip_comments_and_strings(content);
+  const Suppressions suppressions = parse_suppressions(raw_lines);
+  const auto includes = parse_includes(raw_lines);
+
+  std::vector<Finding> findings;
+  const auto report = [&](int line, Rule rule, std::string message) {
+    if (suppressions.allows(line, rule)) return;
+    findings.push_back(
+        Finding{std::string(file_label), line, rule, std::move(message)});
+  };
+
+  // ---- determinism -------------------------------------------------------
+  if (!ctx.is_random_impl && !ctx.in_bench) {
+    for (std::size_t idx = 0; idx < lines.size(); ++idx) {
+      const std::string& line = lines[idx];
+      const int line_no = static_cast<int>(idx) + 1;
+      for (const auto& banned : kDeterminismTokens) {
+        if (has_token(line, banned.token)) {
+          report(line_no, Rule::kDeterminism,
+                 "banned nondeterminism source '" + std::string(banned.token) +
+                     "': " + std::string(banned.advice));
+          break;  // one diagnostic per line is enough
+        }
+      }
+      for (std::string_view token : kMt19937Tokens) {
+        if (has_token(line, token)) {
+          report(line_no, Rule::kDeterminism,
+                 "direct std::mt19937 construction: <random> engine output "
+                 "is implementation-defined; use lazyckpt::Rng "
+                 "(common/random.hpp)");
+          break;
+        }
+      }
+    }
+  }
+
+  // ---- unordered-output-order -------------------------------------------
+  {
+    bool writes_output = false;
+    for (const auto& [line_no, inc] : includes) {
+      (void)line_no;
+      if (inc.find("csv.hpp") != std::string::npos ||
+          inc.find("table.hpp") != std::string::npos ||
+          inc == "<fstream>" || inc == "<iostream>" || inc == "<ostream>" ||
+          inc == "<cstdio>") {
+        writes_output = true;
+      }
+    }
+    std::set<std::string> unordered_names;
+    for (const std::string& line : lines) {
+      if (!writes_output &&
+          (has_token(line, "ofstream") || has_token(line, "std::cout") ||
+           has_token(line, "printf(") || has_token(line, "fprintf("))) {
+        writes_output = true;
+      }
+      collect_unordered_names(line, &unordered_names);
+    }
+    if (writes_output && !unordered_names.empty()) {
+      for (std::size_t idx = 0; idx < lines.size(); ++idx) {
+        const std::string& line = lines[idx];
+        const int line_no = static_cast<int>(idx) + 1;
+        std::string offender;
+        // Range-for whose range expression names an unordered container.
+        const std::size_t for_pos = find_token(line, "for");
+        if (for_pos != std::string::npos) {
+          for (std::size_t colon = line.find(':', for_pos);
+               colon != std::string::npos; colon = line.find(':', colon + 2)) {
+            const bool double_colon =
+                (colon + 1 < line.size() && line[colon + 1] == ':') ||
+                (colon > 0 && line[colon - 1] == ':');
+            if (double_colon) continue;
+            const std::string_view range_expr =
+                std::string_view(line).substr(colon + 1);
+            for (const std::string& name : unordered_names) {
+              if (has_token(range_expr, name)) offender = name;
+            }
+            break;
+          }
+        }
+        if (offender.empty()) {
+          for (const std::string& name : unordered_names) {
+            for (std::string_view method : {".begin(", ".cbegin(", ".rbegin("}) {
+              std::string call = name + std::string(method);
+              if (line.find(call) != std::string::npos) offender = name;
+            }
+          }
+        }
+        if (!offender.empty()) {
+          report(line_no, Rule::kUnorderedOutputOrder,
+                 "iteration over unordered container '" + offender +
+                     "' in a translation unit that writes output: hash "
+                     "order is unspecified and breaks byte-identical "
+                     "results; copy to a sorted vector or use std::map");
+        }
+      }
+    }
+  }
+
+  // ---- float-compare -----------------------------------------------------
+  if (!ctx.in_tests && !ctx.is_fp_helper) {
+    for (std::size_t idx = 0; idx < lines.size(); ++idx) {
+      const std::string& line = lines[idx];
+      const int line_no = static_cast<int>(idx) + 1;
+      for (std::size_t pos = 0; pos < line.size(); ++pos) {
+        const bool eq = line.compare(pos, 2, "==") == 0;
+        const bool ne = line.compare(pos, 2, "!=") == 0;
+        if (!eq && !ne) continue;
+        const std::size_t op_end = pos + 2;
+        // Not part of a longer operator (<=, >=, +=, ==&co already sliced
+        // off by the two-char window; reject compound forms around it).
+        if (op_end < line.size() && line[op_end] == '=') {
+          pos = op_end;
+          continue;
+        }
+        if (eq && pos > 0 &&
+            std::string_view("=!<>+-*/%&|^").find(line[pos - 1]) !=
+                std::string_view::npos) {
+          ++pos;
+          continue;
+        }
+        // operator==/operator!= declarations are fine.
+        const std::string_view before = std::string_view(line).substr(0, pos);
+        if (before.size() >= 8 &&
+            before.substr(before.size() - 8) == "operator") {
+          ++pos;
+          continue;
+        }
+        const std::string_view lhs = left_operand(line, pos);
+        const std::string_view rhs = right_operand(line, op_end);
+        if (contains_float_literal(lhs) || contains_float_literal(rhs)) {
+          report(line_no, Rule::kFloatCompare,
+                 std::string("raw ") + (eq ? "==" : "!=") +
+                     " against a floating-point expression: use "
+                     "lazyckpt::fp::exact_eq / fp::is_zero (common/fp.hpp) "
+                     "if exact comparison is the contract");
+          break;  // one diagnostic per line
+        }
+        pos = op_end - 1;
+      }
+    }
+  }
+
+  // ---- header-hygiene ----------------------------------------------------
+  if (ctx.is_header) {
+    bool has_pragma_once = false;
+    for (const std::string& line : lines) {
+      const std::size_t hash = line.find_first_not_of(" \t");
+      if (hash != std::string::npos && line[hash] == '#' &&
+          line.find("pragma", hash) != std::string::npos &&
+          line.find("once", hash) != std::string::npos) {
+        has_pragma_once = true;
+        break;
+      }
+    }
+    if (!has_pragma_once) {
+      // Accept a classic include guard: the first two preprocessor lines
+      // are #ifndef X / #define X.
+      std::vector<std::string_view> pp;
+      for (const std::string& line : lines) {
+        const std::size_t first = line.find_first_not_of(" \t");
+        if (first == std::string::npos) continue;
+        if (line[first] == '#') pp.push_back(line);
+        if (pp.size() == 2) break;
+      }
+      const bool guarded =
+          pp.size() == 2 && pp[0].find("#ifndef") != std::string_view::npos &&
+          pp[1].find("#define") != std::string_view::npos;
+      if (!guarded) {
+        report(1, Rule::kHeaderHygiene,
+               "header lacks #pragma once (or an #ifndef/#define guard) at "
+               "the top");
+      }
+    }
+    for (std::size_t idx = 0; idx < lines.size(); ++idx) {
+      if (has_token(lines[idx], "using namespace")) {
+        report(static_cast<int>(idx) + 1, Rule::kHeaderHygiene,
+               "`using namespace` in a header leaks into every includer; "
+               "qualify names instead");
+      }
+    }
+    if (ctx.in_src) {
+      for (const auto& [line_no, inc] : includes) {
+        if (inc == "<iostream>") {
+          report(line_no, Rule::kHeaderHygiene,
+                 "<iostream> in a library header drags in static iostream "
+                 "initializers for every includer; include it in the .cpp "
+                 "or use <ostream>/<iosfwd>");
+        }
+      }
+    }
+  }
+
+  // ---- error-discipline --------------------------------------------------
+  if (ctx.in_src && !ctx.is_error_impl) {
+    for (std::size_t idx = 0; idx < lines.size(); ++idx) {
+      const std::string& line = lines[idx];
+      const std::size_t throw_pos = find_token(line, "throw");
+      if (throw_pos == std::string_view::npos) continue;
+      if (find_token(line, "std::runtime_error", throw_pos) !=
+          std::string_view::npos) {
+        report(static_cast<int>(idx) + 1, Rule::kErrorDiscipline,
+               "naked `throw std::runtime_error` in src/: throw a "
+               "lazyckpt::Error subclass or use the require_* helpers in "
+               "common/error.hpp");
+      }
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) { return a.line < b.line; });
+  return findings;
+}
+
+}  // namespace lazyckpt::lint

@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file linter.hpp
+/// \brief Rule engine for `lazyckpt-lint`, the repo-aware static-analysis
+/// tool that enforces the lazyckpt determinism contract (DESIGN.md §5e).
+///
+/// PR 1 and PR 2 made simulation output bit-identical across thread counts
+/// and kernel variants; that guarantee rests on source-level invariants
+/// (all randomness through common/random pre-split streams, no wall-clock
+/// reads in result paths, no unordered-container iteration feeding output).
+/// Golden-master tests only catch violations at replay time — this engine
+/// catches them at build time, as CTest cases with the `lint` label.
+///
+/// The scanner is deliberately line-based on comment/string-stripped text,
+/// not a compiler frontend: it builds everywhere in seconds, has zero
+/// dependencies beyond the standard library, and a new rule is ~20 lines.
+/// The cost is that rules are token-level heuristics; every rule is
+/// therefore individually suppressible at the offending line with
+///
+///     // lazyckpt-lint: allow(<rule-id>)
+///
+/// either trailing the line or on a standalone comment line directly above.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lazyckpt::lint {
+
+/// The rule catalog.  IDs (see rule_id) are stable: they appear in
+/// diagnostics and in suppression comments, and future PRs append only.
+enum class Rule {
+  /// Banned nondeterminism sources: std::rand/srand/rand(), time(),
+  /// std::random_device, std::chrono::system_clock, and direct
+  /// std::mt19937 construction.  All randomness must flow through the
+  /// pre-split xoshiro streams in src/common/random.*; wall-clock time
+  /// may only be read in bench/ (timing harnesses measure, never decide).
+  kDeterminism,
+  /// Iteration over std::unordered_map/std::unordered_set in a
+  /// translation unit that also writes CSV/JSON/table output.  Hash
+  /// iteration order is unspecified and varies across libstdc++/libc++,
+  /// so it must never feed bytes that golden masters compare.
+  kUnorderedOutputOrder,
+  /// Raw ==/!= between floating-point expressions.  Exact comparison is
+  /// occasionally the contract (domain sentinels, tabulated alpha
+  /// levels); those sites must say so via lazyckpt::fp::exact_eq /
+  /// fp::is_zero (common/fp.hpp) or a suppression comment.
+  kFloatCompare,
+  /// Header hygiene: every header starts with #pragma once (or a classic
+  /// include guard), never contains `using namespace`, and library
+  /// headers under src/ never include <iostream>.
+  kHeaderHygiene,
+  /// Naked `throw std::runtime_error` in src/: errors must go through
+  /// the lazyckpt exception hierarchy and throwers in common/error.hpp
+  /// so callers can catch lazyckpt::Error and hot paths keep the
+  /// out-of-line cold-throw discipline.
+  kErrorDiscipline,
+};
+
+/// Stable kebab-case identifier for `rule` ("determinism", "float-compare",
+/// ...).  Used in diagnostics and matched by suppression comments.
+[[nodiscard]] std::string_view rule_id(Rule rule) noexcept;
+
+/// Parse a rule identifier; std::nullopt if unknown.
+[[nodiscard]] std::optional<Rule> rule_from_id(std::string_view id) noexcept;
+
+/// All rules, in catalog order (for --list-rules and the test suite).
+[[nodiscard]] const std::vector<Rule>& all_rules();
+
+/// One-line rationale for `rule`, shown by --list-rules.
+[[nodiscard]] std::string_view rule_rationale(Rule rule) noexcept;
+
+/// Where a file sits in the repo — determines which rules apply and which
+/// exemptions hold.  Derived from the repo-relative path by classify_path.
+struct FileContext {
+  bool is_header = false;      ///< .hpp/.h/.hh/.hxx
+  bool in_src = false;         ///< under src/ (the library)
+  bool in_bench = false;       ///< under bench/ (timing exempt)
+  bool in_tests = false;       ///< under tests/ (float-compare exempt)
+  bool is_random_impl = false;  ///< src/common/random.* (the one RNG home)
+  bool is_error_impl = false;  ///< src/common/error.* (the thrower home)
+  bool is_fp_helper = false;   ///< src/common/fp.hpp (approved comparators)
+};
+
+/// Classify a repo-relative path ("src/sim/engine.cpp", "tests/x.cpp").
+/// Both '/' separated and leading "./" forms are accepted.
+[[nodiscard]] FileContext classify_path(std::string_view relative_path);
+
+/// A single rule violation.
+struct Finding {
+  std::string file;     ///< repo-relative path as given to lint_source
+  int line = 0;         ///< 1-based line number
+  Rule rule = Rule::kDeterminism;
+  std::string message;  ///< human-readable diagnostic
+};
+
+/// Replace comment text and the contents of string/char literals (including
+/// raw strings) with spaces, preserving the line structure, so token rules
+/// never fire inside literals or prose.  Exposed for the linter's own tests.
+[[nodiscard]] std::vector<std::string> strip_comments_and_strings(
+    std::string_view text);
+
+/// Run every applicable rule over one in-memory source file.  `file_label`
+/// is echoed into findings; `ctx` should come from classify_path on the
+/// repo-relative path.  Findings are ordered by line.
+[[nodiscard]] std::vector<Finding> lint_source(std::string_view file_label,
+                                               std::string_view content,
+                                               const FileContext& ctx);
+
+}  // namespace lazyckpt::lint

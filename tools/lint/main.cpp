@@ -1,0 +1,135 @@
+/// \file main.cpp
+/// \brief CLI for lazyckpt-lint (see linter.hpp and DESIGN.md §5e).
+///
+/// Usage:
+///   lazyckpt-lint [--root <repo-root>] [--list-rules] <path>...
+///
+/// Each <path> (file or directory, relative to --root, default ".") is
+/// scanned recursively for C++ sources; findings are printed one per line
+/// as `file:line: error: [rule-id] message`.  Exit status is 0 when clean,
+/// 1 when any finding was reported, 2 on usage or I/O errors.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "linter.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using lazyckpt::lint::Finding;
+
+bool is_cpp_source(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+         ext == ".h" || ext == ".hh" || ext == ".hxx";
+}
+
+/// `path` relative to `root`, '/'-separated, for classify_path and output.
+std::string repo_relative(const fs::path& root, const fs::path& path) {
+  std::error_code ec;
+  fs::path rel = fs::relative(path, root, ec);
+  if (ec || rel.empty()) rel = path;
+  return rel.generic_string();
+}
+
+int usage(std::ostream& out, int status) {
+  out << "usage: lazyckpt-lint [--root <repo-root>] [--list-rules] "
+         "<path>...\n"
+         "Scans C++ sources for lazyckpt determinism-contract violations.\n"
+         "Suppress a finding with: // lazyckpt-lint: allow(<rule-id>)\n";
+  return status;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  std::vector<std::string> targets;
+  bool list_rules = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) return usage(std::cerr, 2);
+      root = argv[++i];
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "lazyckpt-lint: unknown option '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    } else {
+      targets.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const auto rule : lazyckpt::lint::all_rules()) {
+      std::cout << lazyckpt::lint::rule_id(rule) << "\n    "
+                << lazyckpt::lint::rule_rationale(rule) << "\n";
+    }
+    if (targets.empty()) return 0;
+  }
+  if (targets.empty()) return usage(std::cerr, 2);
+
+  std::vector<fs::path> files;
+  for (const std::string& target : targets) {
+    const fs::path path = root / fs::path(target);
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (auto it = fs::recursive_directory_iterator(path, ec);
+           !ec && it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file(ec) && is_cpp_source(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(path, ec)) {
+      files.push_back(path);
+    } else {
+      std::cerr << "lazyckpt-lint: no such file or directory: "
+                << path.string() << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<Finding> findings;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::cerr << "lazyckpt-lint: cannot read " << file.string() << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string relative = repo_relative(root, file);
+    const auto ctx = lazyckpt::lint::classify_path(relative);
+    auto file_findings =
+        lazyckpt::lint::lint_source(relative, buffer.str(), ctx);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+
+  for (const Finding& finding : findings) {
+    std::cout << finding.file << ":" << finding.line << ": error: ["
+              << lazyckpt::lint::rule_id(finding.rule) << "] "
+              << finding.message << "\n";
+  }
+  if (!findings.empty()) {
+    std::cout << "lazyckpt-lint: " << findings.size() << " violation"
+              << (findings.size() == 1 ? "" : "s") << " in " << files.size()
+              << " files\n";
+    return 1;
+  }
+  std::cout << "lazyckpt-lint: clean (" << files.size() << " files)\n";
+  return 0;
+}
