@@ -13,15 +13,29 @@
 #include <string>
 #include <thread>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "core/model/oci.hpp"
 #include "core/policy/factory.hpp"
 #include "io/storage_model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/sweep.hpp"
 #include "stats/exponential.hpp"
 #include "stats/weibull.hpp"
 
 namespace lazyckpt::bench {
+
+/// Every bench binary is trace-capable: run it with LAZYCKPT_TRACE=<path>
+/// and this session (one per program; constructed before main, flushed
+/// after main returns when worker threads have joined) writes a Chrome
+/// trace_event JSON file for `lazyckpt-trace` / chrome://tracing.  Without
+/// the variable the session is inert and tracing stays disabled.
+inline const obs::TraceEnvSession trace_env_session{};
 
 /// A hero-run design point (system MTBF at scale, see apps::catalog).
 struct HeroRun {
@@ -92,26 +106,60 @@ inline std::size_t bench_replicas(std::size_t n) {
 #define LAZYCKPT_BUILD_TYPE "unknown"
 #endif
 
+/// Logical CPUs currently online — on a container this is the usable
+/// count, where hardware_concurrency may report the host's full socket.
+/// The PR-1/PR-2 numbers were recorded where the two disagreed (1 online
+/// core), which is why both now land in every BENCH_*.json.
+inline unsigned cpus_online() {
+#if defined(__unix__) || defined(__APPLE__)
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  if (n > 0) return static_cast<unsigned>(n);
+#endif
+  return std::thread::hardware_concurrency();
+}
+
 /// Write the standard "machine" JSON block (no trailing comma or newline)
 /// every BENCH_*.json emitter includes, so perf trajectories recorded on
-/// different hosts are comparable: core count, the LAZYCKPT_THREADS
-/// setting in effect, build type, and compiler.
+/// different hosts are comparable: core counts (advertised and online),
+/// the LAZYCKPT_THREADS setting and the worker count it resolves to,
+/// build type, and compiler.
 inline void write_machine_json(std::FILE* out, const char* indent = "  ") {
   const char* threads_env = std::getenv("LAZYCKPT_THREADS");
   std::fprintf(out,
                "%s\"machine\": {\n"
                "%s  \"hardware_concurrency\": %u,\n"
+               "%s  \"cpus_online\": %u,\n"
                "%s  \"lazyckpt_threads\": %s%s%s,\n"
+               "%s  \"threads_resolved\": %zu,\n"
                "%s  \"build_type\": \"%s\",\n"
                "%s  \"compiler\": \"%s\",\n"
                "%s  \"smoke_mode\": %s\n"
                "%s}",
                indent, indent, std::thread::hardware_concurrency(), indent,
-               threads_env != nullptr ? "\"" : "",
+               cpus_online(), indent, threads_env != nullptr ? "\"" : "",
                threads_env != nullptr ? threads_env : "null",
                threads_env != nullptr ? "\"" : "", indent,
-               LAZYCKPT_BUILD_TYPE, indent, __VERSION__, indent,
-               smoke_mode() ? "true" : "false", indent);
+               ParallelConfig{}.resolve(), indent, LAZYCKPT_BUILD_TYPE,
+               indent, __VERSION__, indent, smoke_mode() ? "true" : "false",
+               indent);
+}
+
+/// Write the "observability" JSON block (no trailing comma or newline):
+/// whether tracing was live for the run, plus a metrics snapshot — every
+/// counter/gauge/histogram the instrumented paths recorded.  With
+/// telemetry disabled the block is an honest `"enabled": false` with an
+/// empty-or-stale metrics object, at zero cost to the run itself.
+inline void write_observability_json(std::FILE* out,
+                                     const char* indent = "  ") {
+  const std::string metrics_json =
+      obs::metrics().snapshot().to_json(std::string(indent) + "  ");
+  std::fprintf(out,
+               "%s\"observability\": {\n"
+               "%s  \"enabled\": %s,\n"
+               "%s  \"metrics\": %s\n"
+               "%s}",
+               indent, indent, obs::enabled() ? "true" : "false", indent,
+               metrics_json.c_str(), indent);
 }
 
 }  // namespace lazyckpt::bench

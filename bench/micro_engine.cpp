@@ -230,6 +230,8 @@ int main() {
                static_cast<unsigned long long>(kSeed),
                smoke_mode() ? 1 : kRounds);
   write_machine_json(json);
+  std::fprintf(json, ",\n");
+  write_observability_json(json);
   std::fprintf(json,
                ",\n"
                "  \"bit_identical\": %s,\n"

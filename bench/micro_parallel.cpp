@@ -111,6 +111,8 @@ int main() {
                bench_replicas(kReplicas),
                static_cast<unsigned long long>(kSeed));
   write_machine_json(json);
+  std::fprintf(json, ",\n");
+  write_observability_json(json);
   std::fprintf(json,
                ",\n"
                "  \"deterministic\": %s,\n"

@@ -8,9 +8,30 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lazyckpt {
 namespace {
+
+/// Pool telemetry (obs::enabled() gated; see DESIGN.md §5f).  References
+/// are resolved once — the registry lookup takes a lock, the updates are
+/// relaxed atomics.
+struct PoolMetrics {
+  obs::Counter& regions = obs::metrics().counter("parallel.regions");
+  obs::Counter& serial_regions =
+      obs::metrics().counter("parallel.serial_regions");
+  obs::Counter& tasks = obs::metrics().counter("parallel.tasks");
+  obs::Counter& busy_ns = obs::metrics().counter("parallel.worker_busy_ns");
+  obs::Gauge& max_items = obs::metrics().gauge("parallel.region_items_max");
+  obs::Gauge& max_workers = obs::metrics().gauge("parallel.workers_max");
+
+  static PoolMetrics& get() {
+    static PoolMetrics instance;
+    return instance;
+  }
+};
 
 thread_local bool t_in_parallel_region = false;
 
@@ -64,13 +85,31 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
   if (n == 0) return;
 
   const std::size_t workers = std::min(config.resolve(), n);
+
+  // Telemetry is sampled once per region: the enabled flag is read here
+  // and never re-checked inside the index loop, and per-worker busy time
+  // is accumulated in a local and flushed once per worker — one branch per
+  // task when tracing, zero shared-state traffic when not.  Recording
+  // observes scheduling; it never influences which index runs where.
+  const bool obs_on = obs::enabled();
+  if (obs_on) {
+    PoolMetrics& pm = PoolMetrics::get();
+    pm.regions.add();
+    pm.max_items.record_max(static_cast<double>(n));
+    pm.max_workers.record_max(static_cast<double>(workers));
+  }
+
   if (workers <= 1 || t_in_parallel_region) {
     // Serial path: thread count 1, a single item, or a nested region
     // (running nested regions serially bounds the total thread count).
     const RegionGuard guard;
+    if (obs_on) PoolMetrics::get().serial_regions.add();
     for (std::size_t i = 0; i < n; ++i) body(i);
+    if (obs_on) PoolMetrics::get().tasks.add(n);
     return;
   }
+
+  const obs::TraceSpan region_span("parallel.region");
 
   std::atomic<std::size_t> next{0};
   std::atomic<bool> cancelled{false};
@@ -79,9 +118,13 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
 
   const auto work = [&]() {
     const RegionGuard guard;
+    const obs::TraceSpan worker_span(obs_on ? "parallel.worker" : nullptr);
+    std::uint64_t executed = 0;
+    std::uint64_t busy_ns = 0;
     while (!cancelled.load(std::memory_order_relaxed)) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) break;
+      const obs::TimeNs t0 = obs_on ? obs::process_clock().now_ns() : 0;
       try {
         body(i);
       } catch (...) {
@@ -89,6 +132,15 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
         if (!first_error) first_error = std::current_exception();
         cancelled.store(true, std::memory_order_relaxed);
       }
+      if (obs_on) {
+        ++executed;
+        busy_ns += obs::process_clock().now_ns() - t0;
+      }
+    }
+    if (obs_on && executed > 0) {
+      PoolMetrics& pm = PoolMetrics::get();
+      pm.tasks.add(executed);
+      pm.busy_ns.add(busy_ns);
     }
   };
 

@@ -7,6 +7,8 @@
 
 #include "common/crc32.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lazyckpt::cr {
 namespace {
@@ -128,6 +130,7 @@ CheckpointMetadata parse(const std::string& path, OnRegion&& on_region) {
 
 void write_checkpoint(const std::string& path, const RegionRegistry& registry,
                       const CheckpointMetadata& metadata) {
+  const obs::TraceSpan span("cr.write_checkpoint");
   std::vector<std::byte> body;
   body.reserve(64 + registry.total_bytes());
   append_bytes(body, kMagic, sizeof(kMagic));
@@ -140,7 +143,10 @@ void write_checkpoint(const std::string& path, const RegionRegistry& registry,
     append_value(body, static_cast<std::uint64_t>(region.size));
     append_bytes(body, region.data, region.size);
   }
-  const std::uint32_t crc = crc32({body.data(), body.size()});
+  const std::uint32_t crc = [&] {
+    const obs::TraceSpan crc_span("cr.crc32");
+    return crc32({body.data(), body.size()});
+  }();
   append_value(body, crc);
 
   // Atomic publish: write a sibling temp file, then rename over the target,
@@ -156,10 +162,17 @@ void write_checkpoint(const std::string& path, const RegionRegistry& registry,
   if (std::rename(temp.c_str(), path.c_str()) != 0) {
     throw IoError("failed renaming checkpoint into place: " + path);
   }
+  if (obs::enabled()) {
+    obs::metrics().counter("cr.files_written").add();
+    obs::metrics().counter("cr.bytes_written").add(body.size());
+    obs::metrics().counter("cr.regions_written").add(registry.count());
+  }
 }
 
 CheckpointMetadata read_checkpoint(const std::string& path,
                                    const RegionRegistry& registry) {
+  const obs::TraceSpan span("cr.read_checkpoint");
+  if (obs::enabled()) obs::metrics().counter("cr.files_read").add();
   std::size_t matched = 0;
   const CheckpointMetadata metadata = parse(
       path, [&](const std::string& name, Reader& reader, std::size_t size) {

@@ -4,6 +4,14 @@
 
 namespace lazyckpt::cr {
 
+SystemClock::SystemClock() : start_ns_(obs::process_clock().now_ns()) {}
+
+double SystemClock::now_hours() const {
+  const obs::TimeNs now = obs::process_clock().now_ns();
+  const obs::TimeNs elapsed = now >= start_ns_ ? now - start_ns_ : 0;
+  return static_cast<double>(elapsed) / 3.6e12;  // ns per hour
+}
+
 void VirtualClock::advance(double hours) {
   require_non_negative(hours, "VirtualClock::advance hours");
   now_ += hours;

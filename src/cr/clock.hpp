@@ -4,7 +4,7 @@
 /// \brief Clock abstraction so the C/R library runs identically under real
 /// time (production) and virtual time (tests and trace replay).
 
-#include <chrono>
+#include "obs/clock.hpp"
 
 namespace lazyckpt::cr {
 
@@ -15,20 +15,19 @@ class Clock {
   [[nodiscard]] virtual double now_hours() const = 0;
 };
 
-/// Wall-clock time, measured from construction.
+/// Wall-clock time, measured from construction.  Backed by the obs clock
+/// shim rather than std::chrono directly: src/obs/clock.cpp is the one
+/// place in the tree allowed to touch steady_clock (enforced by
+/// lazyckpt-lint), and routing through obs::process_clock() means a
+/// ScopedClockOverride in tests drives this clock too.
 class SystemClock final : public Clock {
  public:
-  SystemClock() : start_(std::chrono::steady_clock::now()) {}
+  SystemClock();
 
-  [[nodiscard]] double now_hours() const override {
-    const auto elapsed = std::chrono::steady_clock::now() - start_;
-    const double seconds =
-        std::chrono::duration<double>(elapsed).count();
-    return seconds / 3600.0;
-  }
+  [[nodiscard]] double now_hours() const override;
 
  private:
-  std::chrono::steady_clock::time_point start_;
+  obs::TimeNs start_ns_;
 };
 
 /// Manually advanced clock for deterministic tests and replay.

@@ -7,6 +7,8 @@
 #include "common/crc32.hpp"
 #include "common/error.hpp"
 #include "common/rle.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lazyckpt::cr {
 namespace {
@@ -146,6 +148,7 @@ std::string IncrementalCheckpointer::path_for(std::uint64_t seq,
 }
 
 SaveResult IncrementalCheckpointer::save(const CheckpointMetadata& metadata) {
+  const obs::TraceSpan span("cr.incremental.save");
   ++sequence_;
   const bool full =
       chain_.empty() ||
@@ -180,10 +183,25 @@ SaveResult IncrementalCheckpointer::save(const CheckpointMetadata& metadata) {
   baseline_ = std::move(current);
   stats_.bytes_written += result.bytes_written;
   stats_.logical_bytes_saved += registry_->total_bytes();
+
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::metrics();
+    reg.counter(full ? "cr.incremental.full_saves"
+                     : "cr.incremental.delta_saves")
+        .add();
+    const auto logical = static_cast<double>(registry_->total_bytes());
+    if (logical > 0.0) {
+      // Written-to-logical ratio of this save: 1.0 for a full checkpoint,
+      // < 1 when delta compression paid off.
+      reg.gauge("cr.incremental.dirty_ratio")
+          .set(static_cast<double>(result.bytes_written) / logical);
+    }
+  }
   return result;
 }
 
 std::optional<CheckpointMetadata> IncrementalCheckpointer::restore_latest() {
+  const obs::TraceSpan span("cr.incremental.restore");
   if (chain_.empty()) return std::nullopt;
   require(chain_.front().full,
           "internal error: incremental chain must start with a full save");

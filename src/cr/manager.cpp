@@ -3,8 +3,29 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lazyckpt::cr {
+namespace {
+
+/// Manager telemetry (obs::enabled() gated).  Counts live decisions — a
+/// manager drives a real application, so these are the runtime analogue of
+/// the engine's per-trial counters.
+struct ManagerMetrics {
+  obs::Counter& boundaries = obs::metrics().counter("cr.manager.boundaries");
+  obs::Counter& written = obs::metrics().counter("cr.manager.checkpoints");
+  obs::Counter& skipped = obs::metrics().counter("cr.manager.skips");
+  obs::Counter& failures = obs::metrics().counter("cr.manager.failures");
+  obs::Counter& restores = obs::metrics().counter("cr.manager.restores");
+
+  static ManagerMetrics& get() {
+    static ManagerMetrics instance;
+    return instance;
+  }
+};
+
+}  // namespace
 
 void ManagerConfig::validate() const {
   require(!checkpoint_dir.empty(), "ManagerConfig.checkpoint_dir must be set");
@@ -77,13 +98,17 @@ std::optional<std::string> CheckpointManager::checkpoint_if_due(
     double app_progress_hours) {
   if (clock_->now_hours() < due_) return std::nullopt;
 
+  const bool obs_on = obs::enabled();
+  if (obs_on) ManagerMetrics::get().boundaries.add();
   ++boundaries_since_failure_;
   if (policy_->should_skip(make_context())) {
     ++stats_.checkpoints_skipped;
+    if (obs_on) ManagerMetrics::get().skipped.add();
     reschedule();
     return std::nullopt;
   }
 
+  const obs::TraceSpan span("cr.manager.checkpoint");
   ++sequence_;
   CheckpointMetadata metadata;
   metadata.app_time_hours = app_progress_hours;
@@ -100,12 +125,15 @@ std::optional<std::string> CheckpointManager::checkpoint_if_due(
     stats_.bytes_written += static_cast<double>(registry_->total_bytes());
   }
   ++stats_.checkpoints_written;
+  if (obs_on) ManagerMetrics::get().written.add();
   policy_->on_checkpoint_complete(make_context());
   reschedule();
   return path;
 }
 
 void CheckpointManager::notify_failure() {
+  if (obs::enabled()) ManagerMetrics::get().failures.add();
+  obs::instant("cr.manager.failure");
   last_failure_time_ = clock_->now_hours();
   any_failure_ = true;
   boundaries_since_failure_ = 0;
@@ -121,6 +149,7 @@ std::optional<std::string> CheckpointManager::latest_path() const {
 }
 
 std::optional<CheckpointMetadata> CheckpointManager::restore_latest() {
+  const obs::TraceSpan span("cr.manager.restore");
   std::optional<CheckpointMetadata> metadata;
   if (incremental_) {
     metadata = incremental_->restore_latest();
@@ -129,6 +158,7 @@ std::optional<CheckpointMetadata> CheckpointManager::restore_latest() {
   }
   if (!metadata) return std::nullopt;
   ++stats_.restarts;
+  if (obs::enabled()) ManagerMetrics::get().restores.add();
   reschedule();
   return metadata;
 }

@@ -1,8 +1,27 @@
 #include "failures/agent.hpp"
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lazyckpt::failures {
+namespace {
+
+/// Query telemetry (obs::enabled() gated): how often the CR stack consults
+/// the failure log, the signal behind the paper's temporal-locality lever.
+struct AgentMetrics {
+  obs::Counter& mtbf_queries =
+      obs::metrics().counter("failures.agent.mtbf_queries");
+  obs::Counter& tsf_queries =
+      obs::metrics().counter("failures.agent.time_since_failure_queries");
+
+  static AgentMetrics& get() {
+    static AgentMetrics instance;
+    return instance;
+  }
+};
+
+}  // namespace
 
 FailureLogAgent::FailureLogAgent(const FailureTrace& trace,
                                  std::size_t history_window)
@@ -23,6 +42,7 @@ std::size_t FailureLogAgent::failures_before(double now_hours) const {
 
 double FailureLogAgent::mtbf_estimate(double now_hours,
                                       double fallback) const {
+  if (obs::enabled()) AgentMetrics::get().mtbf_queries.add();
   const std::size_t count = trace_.count_until(now_hours);
   if (count < 2) return fallback;
   const std::size_t gaps = count - 1;
@@ -35,6 +55,7 @@ double FailureLogAgent::mtbf_estimate(double now_hours,
 }
 
 double FailureLogAgent::time_since_failure(double now_hours) const {
+  if (obs::enabled()) AgentMetrics::get().tsf_queries.add();
   require_non_negative(now_hours, "now_hours");
   const auto last = last_failure_before(now_hours);
   return last ? now_hours - *last : now_hours;

@@ -4,8 +4,25 @@
 
 #include "common/error.hpp"
 #include "common/units.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lazyckpt::io {
+namespace {
+
+/// Query telemetry (obs::enabled() gated): β-estimate demand from the CR
+/// stack against the bandwidth log.
+struct AgentMetrics {
+  obs::Counter& estimate_queries =
+      obs::metrics().counter("io.agent.estimate_queries");
+
+  static AgentMetrics& get() {
+    static AgentMetrics instance;
+    return instance;
+  }
+};
+
+}  // namespace
 
 IoLogAgent::IoLogAgent(const BandwidthTrace& trace) : trace_(&trace) {}
 
@@ -25,6 +42,7 @@ double IoLogAgent::historical_harmonic_average(double now_hours) const {
 
 double IoLogAgent::estimated_checkpoint_time(double now_hours,
                                              double size_gb) const {
+  if (obs::enabled()) AgentMetrics::get().estimate_queries.add();
   require_positive(size_gb, "size_gb");
   return transfer_time_hours(size_gb,
                              historical_harmonic_average(now_hours));

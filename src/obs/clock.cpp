@@ -1,0 +1,47 @@
+#include "obs/clock.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace lazyckpt::obs {
+
+namespace {
+
+// The tracer timestamps events from arbitrary threads, so the override
+// pointer is atomic; null means "use the default SteadyClock".
+std::atomic<const Clock*> g_override{nullptr};
+
+TimeNs steady_now_ns() {
+  // src/obs/clock.* is the one place outside bench/ where lazyckpt-lint
+  // permits the steady_clock determinism token (classify_path allowlist).
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<TimeNs>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+}
+
+}  // namespace
+
+SteadyClock::SteadyClock() : epoch_ns_(steady_now_ns()) {}
+
+TimeNs SteadyClock::now_ns() const { return steady_now_ns() - epoch_ns_; }
+
+const Clock& process_clock() noexcept {
+  if (const Clock* override_clock =
+          g_override.load(std::memory_order_acquire);
+      override_clock != nullptr) {
+    return *override_clock;
+  }
+  // Function-local static: epoch fixed at first telemetry read, init is
+  // thread-safe, and no global constructor runs in untraced processes.
+  static const SteadyClock default_clock;
+  return default_clock;
+}
+
+ScopedClockOverride::ScopedClockOverride(const Clock& clock) noexcept
+    : previous_(g_override.exchange(&clock, std::memory_order_acq_rel)) {}
+
+ScopedClockOverride::~ScopedClockOverride() {
+  g_override.store(previous_, std::memory_order_release);
+}
+
+}  // namespace lazyckpt::obs

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file clock.hpp
+/// \brief The one approved wall-clock shim (DESIGN.md §5f).
+///
+/// The determinism contract bans wall-clock reads from result paths, and
+/// lazyckpt-lint enforces the ban at the token level — steady_clock is a
+/// `determinism` token everywhere except bench/ and this module.  All
+/// telemetry timestamps therefore flow through obs::Clock: production code
+/// reads the process clock (a steady_clock-backed singleton implemented
+/// only in src/obs/clock.cpp), and tests install a FakeClock via
+/// ScopedClockOverride to make trace output byte-reproducible.
+///
+/// Telemetry *observes* time; it never feeds a simulation decision, a
+/// policy input, or any golden-mastered byte.  That is what keeps the shim
+/// compatible with the bit-identical-results guarantee.
+
+#include <cstdint>
+
+namespace lazyckpt::obs {
+
+/// Monotonic nanoseconds since an arbitrary per-clock epoch.
+using TimeNs = std::uint64_t;
+
+/// Abstract time source for all observability timestamps.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual TimeNs now_ns() const = 0;
+};
+
+/// Wall-clock time measured from construction.  The only type in the tree
+/// allowed to touch std::chrono::steady_clock outside bench/ (allowlisted
+/// in tools/lint as src/obs/clock.*).
+class SteadyClock final : public Clock {
+ public:
+  SteadyClock();
+  [[nodiscard]] TimeNs now_ns() const override;
+
+ private:
+  TimeNs epoch_ns_ = 0;  ///< raw steady_clock reading at construction
+};
+
+/// Manually advanced clock for deterministic telemetry tests: a trace
+/// recorded under a FakeClock serializes to exactly reproducible JSON.
+class FakeClock final : public Clock {
+ public:
+  [[nodiscard]] TimeNs now_ns() const override { return now_ns_; }
+
+  /// Advance by `delta_ns`.
+  void advance_ns(TimeNs delta_ns) noexcept { now_ns_ += delta_ns; }
+
+  /// Jump to an absolute time.  Callers own monotonicity; the tracer never
+  /// requires it (Chrome's viewer tolerates equal timestamps).
+  void set_ns(TimeNs now_ns) noexcept { now_ns_ = now_ns; }
+
+ private:
+  TimeNs now_ns_ = 0;
+};
+
+/// The process clock every trace event and timed metric reads.  Defaults
+/// to a SteadyClock constructed on first use; an installed override (below)
+/// wins.  Thread-safe.
+[[nodiscard]] const Clock& process_clock() noexcept;
+
+/// Install `clock` as the process clock for this scope (tests only; not
+/// meant to nest across threads).  Restores the previous source on
+/// destruction.  `clock` must outlive the override.
+class ScopedClockOverride {
+ public:
+  explicit ScopedClockOverride(const Clock& clock) noexcept;
+  ~ScopedClockOverride();
+  ScopedClockOverride(const ScopedClockOverride&) = delete;
+  ScopedClockOverride& operator=(const ScopedClockOverride&) = delete;
+
+ private:
+  const Clock* previous_;
+};
+
+}  // namespace lazyckpt::obs

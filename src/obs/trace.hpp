@@ -1,0 +1,140 @@
+#pragma once
+
+/// \file trace.hpp
+/// \brief Structured tracing: scoped spans, instants, and counter samples,
+/// buffered per thread and exported as Chrome trace_event / Perfetto JSON
+/// (DESIGN.md §5f).
+///
+/// Contract ("observe, never perturb"): recording reads the obs clock and
+/// appends to a thread-local buffer — it never touches RNG streams, policy
+/// state, or any value that feeds simulation results, so every golden
+/// master stays bit-identical whether tracing is on or off.  With tracing
+/// disabled, each instrumentation site costs one relaxed load of a cold
+/// atomic bool and a predictable branch.
+///
+/// Concurrency model: each thread appends to its own buffer (no locks or
+/// atomics on the recording path beyond the enabled flag); the global
+/// registry of buffers is touched only on a thread's first event and by
+/// drain/serialize/reset.  Draining is NOT safe concurrently with
+/// recording — flush after joining workers (the bench harness flushes
+/// after main returns; the parallel pool joins its threads per region).
+///
+/// Event names must be string literals (or otherwise static storage): the
+/// recorder stores the pointer, not a copy.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace lazyckpt::obs {
+
+/// What a trace event marks.  Serialized phases: kBegin→"B", kEnd→"E",
+/// kInstant→"i", kCounter→"C".
+enum class EventKind : std::uint8_t { kBegin, kEnd, kInstant, kCounter };
+
+namespace detail {
+// Cold flag read by every instrumentation site.  Off by default; flipped
+// by set_enabled(), or at load time when LAZYCKPT_TRACE is set in the
+// environment (see trace.cpp), so test binaries exercise the instrumented
+// paths under `LAZYCKPT_TRACE=1 ctest` without any per-test wiring.
+extern std::atomic<bool> g_enabled;
+
+// Out-of-line slow path: append to the calling thread's buffer.
+void record_event(const char* name, EventKind kind, double value);
+}  // namespace detail
+
+/// True when telemetry (tracing and metrics) is recording.
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turn telemetry on or off process-wide.
+void set_enabled(bool on) noexcept;
+
+/// One recorded event.  `name` points at static storage.
+struct TraceEvent {
+  const char* name = nullptr;
+  EventKind kind = EventKind::kInstant;
+  std::uint32_t tid = 0;   ///< recording thread (registration order)
+  TimeNs ts_ns = 0;        ///< obs::process_clock() at record time
+  double value = 0.0;      ///< kCounter sample value
+};
+
+/// Record a begin/end pair manually.  Prefer TraceSpan.
+void record_begin(const char* name);
+void record_end(const char* name);
+
+/// Record a point event (progress heartbeat, phase marker).
+inline void instant(const char* name) {
+  if (enabled()) detail::record_event(name, EventKind::kInstant, 0.0);
+}
+
+/// Record a counter sample (rendered as a track in the trace viewer).
+inline void counter(const char* name, double value) {
+  if (enabled()) detail::record_event(name, EventKind::kCounter, value);
+}
+
+/// RAII begin/end pair.  The enabled check happens once, at construction,
+/// so a span whose scope outlives a set_enabled(false) still closes.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) : name_(enabled() ? name : nullptr) {
+    if (name_ != nullptr) record_begin(name_);
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) record_end(name_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+};
+
+/// Collect every thread's buffered events, in (tid, recording) order, and
+/// clear the buffers.  Not safe concurrently with recording.
+[[nodiscard]] std::vector<TraceEvent> drain_events();
+
+/// Render `events` as a Chrome trace_event JSON document ("traceEvents"
+/// array form; loads in chrome://tracing and Perfetto).  Formatting is
+/// byte-deterministic for a given event sequence, which is what the
+/// fake-clock golden test pins.
+[[nodiscard]] std::string render_chrome_trace(
+    const std::vector<TraceEvent>& events);
+
+/// drain_events() + render + write to `path`.  Returns false (and leaves
+/// no partial file behind, best effort) when the file cannot be written.
+bool write_chrome_trace_file(const std::string& path);
+
+/// Drop all buffered events without serializing (tests).
+void reset_trace_buffers();
+
+/// Number of currently buffered events across all threads (tests).
+[[nodiscard]] std::size_t buffered_event_count();
+
+/// Opt-in environment session used by harness mains (one inline instance
+/// lives in bench_common.hpp): when LAZYCKPT_TRACE=<path> is set, tracing
+/// is enabled for the process lifetime and the buffered events are written
+/// to <path> at destruction — after main returns, when all worker threads
+/// have been joined.  The special value "1" enables recording without
+/// writing a file (the `LAZYCKPT_TRACE=1 ctest` spelling that drives the
+/// instrumented paths through the golden-master suites).
+class TraceEnvSession {
+ public:
+  TraceEnvSession();
+  ~TraceEnvSession();
+  TraceEnvSession(const TraceEnvSession&) = delete;
+  TraceEnvSession& operator=(const TraceEnvSession&) = delete;
+
+  /// True when LAZYCKPT_TRACE was set and the session will write a file.
+  [[nodiscard]] bool active() const noexcept { return !path_.empty(); }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace lazyckpt::obs

@@ -1,10 +1,14 @@
 #include "sim/campaign.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <limits>
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/random.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lazyckpt::sim {
 namespace {
@@ -47,6 +51,7 @@ CampaignResult run_campaign(const CampaignConfig& config,
                             FailureSource& failures,
                             const io::StorageModel& storage) {
   config.validate();
+  const obs::TraceSpan campaign_span("sim.campaign");
 
   CampaignResult result;
   double remaining = config.base.compute_hours;
@@ -58,6 +63,10 @@ CampaignResult run_campaign(const CampaignConfig& config,
     allocation.compute_hours = remaining;
     allocation.time_budget_hours = config.allocation_hours;
 
+    const obs::TraceSpan allocation_span("sim.campaign.allocation");
+    if (obs::enabled()) {
+      obs::metrics().counter("campaign.allocations").add();
+    }
     ShiftedFailureSource shifted(failures, machine_clock);
     const RunMetrics run = simulate(allocation, policy, shifted, storage);
 
@@ -85,6 +94,7 @@ std::vector<CampaignResult> run_campaign_replicas(
     std::size_t replicas, std::uint64_t seed) {
   require(replicas >= 1, "run_campaign_replicas needs replicas >= 1");
   config.validate();
+  const obs::TraceSpan span("sim.run_campaign_replicas");
 
   // Same determinism discipline as sim::run_replicas_raw: all RNG streams
   // are split from the master in index order before dispatch, and results
@@ -98,16 +108,34 @@ std::vector<CampaignResult> run_campaign_replicas(
   // shared distribution on the stack, and a stateless policy (pure
   // function of the context, concurrency-safe by contract) is shared
   // across replicas instead of cloned per campaign.
+  // Progress heartbeat, same pattern as run_replicas_raw: observes
+  // completion order, never influences the index-addressed results.
+  const bool obs_on = obs::enabled();
+  const std::size_t heartbeat_every = std::max<std::size_t>(1, replicas / 16);
+  std::atomic<std::size_t> done{0};
+
   const bool shared_policy = policy.is_stateless();
   return parallel_map(replicas, [&](std::size_t i) {
     RenewalFailureSource source(inter_arrival, streams[i]);
-    if (shared_policy) {
-      return run_campaign(config,
-                          const_cast<core::CheckpointPolicy&>(policy), source,
-                          storage);
+    const auto run = [&]() {
+      if (shared_policy) {
+        return run_campaign(config,
+                            const_cast<core::CheckpointPolicy&>(policy),
+                            source, storage);
+      }
+      const core::PolicyPtr replica_policy = policy.clone();
+      return run_campaign(config, *replica_policy, source, storage);
+    };
+    CampaignResult result = run();
+    if (obs_on) {
+      const std::size_t finished =
+          done.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (finished % heartbeat_every == 0 || finished == replicas) {
+        obs::counter("sim.campaign_replicas_done",
+                     static_cast<double>(finished));
+      }
     }
-    const core::PolicyPtr replica_policy = policy.clone();
-    return run_campaign(config, *replica_policy, source, storage);
+    return result;
   });
 }
 

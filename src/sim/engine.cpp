@@ -8,6 +8,8 @@
 #include "common/error.hpp"
 #include "core/policy/ilazy.hpp"
 #include "core/policy/periodic.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "stats/descriptive.hpp"
 
 namespace lazyckpt::sim {
@@ -28,6 +30,29 @@ void SimulationConfig::validate() const {
 }
 
 namespace {
+
+/// Engine telemetry (obs::enabled() gated).  The event loop never touches
+/// these: every count it needs already lives in RunMetrics or a loop
+/// local, so the whole trial is flushed with a handful of relaxed adds
+/// after the loop exits — the hot path itself is byte-for-byte the code
+/// that ran before instrumentation existed.
+struct EngineMetrics {
+  obs::Counter& trials = obs::metrics().counter("sim.trials");
+  obs::Counter& events = obs::metrics().counter("sim.events");
+  obs::Counter& failures = obs::metrics().counter("sim.failures");
+  obs::Counter& ckpt_written =
+      obs::metrics().counter("sim.checkpoints_written");
+  obs::Counter& ckpt_skipped =
+      obs::metrics().counter("sim.checkpoints_skipped");
+  obs::Counter& dispatch_fast = obs::metrics().counter("sim.dispatch.fast");
+  obs::Counter& dispatch_generic =
+      obs::metrics().counter("sim.dispatch.generic");
+
+  static EngineMetrics& get() {
+    static EngineMetrics instance;
+    return instance;
+  }
+};
 
 /// Mutable state of one run, grouped so the failure-handling helper can
 /// operate on it without a long parameter list.
@@ -69,6 +94,7 @@ template <class Policy, class FSource, class Storage>
 RunMetrics run_loop(const SimulationConfig& config, Policy& policy,
                     FSource& failures, const Storage& storage,
                     const ContextHook& hook) {
+  const obs::TraceSpan trial_span("sim.trial");
   RunState st(config.mtbf_window);
   const double work_target = config.compute_hours;
   const double budget = config.time_budget_hours > 0.0
@@ -346,6 +372,15 @@ RunMetrics run_loop(const SimulationConfig& config, Policy& policy,
   require(std::abs(attributed - st.metrics.makespan_hours) <=
               1e-6 * std::max(1.0, st.metrics.makespan_hours),
           "internal error: time attribution does not balance");
+
+  if (obs::enabled()) {
+    EngineMetrics& em = EngineMetrics::get();
+    em.trials.add();
+    em.events.add(events);
+    em.failures.add(st.metrics.failures);
+    em.ckpt_written.add(st.metrics.checkpoints_written);
+    em.ckpt_skipped.add(st.metrics.checkpoints_skipped);
+  }
   return st.metrics;
 }
 
@@ -368,6 +403,7 @@ RunMetrics simulate(const SimulationConfig& config,
   if (auto* renewal = dynamic_cast<RenewalFailureSource*>(&failures)) {
     if (const auto* constant =
             dynamic_cast<const io::ConstantStorage*>(&storage)) {
+      if (obs::enabled()) EngineMetrics::get().dispatch_fast.add();
       if (auto* static_oci = dynamic_cast<core::StaticOciPolicy*>(&policy)) {
         return run_loop(config, *static_oci, *renewal, *constant, hook);
       }
@@ -380,6 +416,7 @@ RunMetrics simulate(const SimulationConfig& config,
       return run_loop(config, policy, *renewal, *constant, hook);
     }
   }
+  if (obs::enabled()) EngineMetrics::get().dispatch_generic.add();
   return run_loop(config, policy, failures, storage, hook);
 }
 

@@ -1,10 +1,13 @@
 #include "sim/sweep.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "core/policy/periodic.hpp"
+#include "obs/trace.hpp"
 
 namespace lazyckpt::sim {
 
@@ -15,6 +18,7 @@ std::vector<RunMetrics> run_replicas_raw(const SimulationConfig& config,
                                          std::size_t replicas,
                                          std::uint64_t seed) {
   require(replicas >= 1, "run_replicas needs replicas >= 1");
+  const obs::TraceSpan span("sim.run_replicas");
 
   // Determinism contract: derive every replica's RNG stream from the
   // master *before* dispatch, in index order.  The streams (and therefore
@@ -33,15 +37,34 @@ std::vector<RunMetrics> run_replicas_raw(const SimulationConfig& config,
   // for concurrent calls — is shared across all replicas.  A stateless
   // policy is never written through, so shedding the const qualifier to
   // match simulate()'s signature is sound.
+  // Progress heartbeat: a counter track sampled roughly sixteen times per
+  // sweep.  The shared atomic is telemetry-only — results are addressed by
+  // index, so completion order (which the heartbeat observes) never feeds
+  // back into them.
+  const bool obs_on = obs::enabled();
+  const std::size_t heartbeat_every = std::max<std::size_t>(1, replicas / 16);
+  std::atomic<std::size_t> done{0};
+
   const bool shared_policy = policy.is_stateless();
   return parallel_map(replicas, [&](std::size_t i) {
     RenewalFailureSource source(inter_arrival, streams[i]);
-    if (shared_policy) {
-      return simulate(config, const_cast<core::CheckpointPolicy&>(policy),
-                      source, storage);
+    const auto run = [&]() {
+      if (shared_policy) {
+        return simulate(config, const_cast<core::CheckpointPolicy&>(policy),
+                        source, storage);
+      }
+      const core::PolicyPtr replica_policy = policy.clone();
+      return simulate(config, *replica_policy, source, storage);
+    };
+    RunMetrics metrics = run();
+    if (obs_on) {
+      const std::size_t finished =
+          done.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (finished % heartbeat_every == 0 || finished == replicas) {
+        obs::counter("sim.replicas_done", static_cast<double>(finished));
+      }
     }
-    const core::PolicyPtr replica_policy = policy.clone();
-    return simulate(config, *replica_policy, source, storage);
+    return metrics;
   });
 }
 
@@ -61,6 +84,7 @@ std::vector<IntervalPoint> runtime_vs_interval(
     const io::StorageModel& storage, std::span<const double> intervals,
     std::size_t replicas, std::uint64_t seed) {
   require(!intervals.empty(), "runtime_vs_interval needs intervals");
+  const obs::TraceSpan span("sim.runtime_vs_interval");
   // Parallel over intervals; the per-interval replica loop inside
   // run_replicas detects the nesting and runs serially, so the region
   // stays bounded by one thread pool.  Each interval restarts from the

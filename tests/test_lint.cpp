@@ -49,6 +49,10 @@ TEST(LintClassifyPath, MapsRepoLayout) {
   EXPECT_TRUE(lint::classify_path("bench/fig05_oci_vs_hourly.cpp").in_bench);
   EXPECT_TRUE(lint::classify_path("tests/test_common.cpp").in_tests);
   EXPECT_FALSE(lint::classify_path("tests/test_common.cpp").in_src);
+  EXPECT_TRUE(lint::classify_path("src/obs/clock.cpp").is_obs_clock);
+  EXPECT_TRUE(lint::classify_path("./src/obs/clock.hpp").is_obs_clock);
+  EXPECT_FALSE(lint::classify_path("src/obs/trace.cpp").is_obs_clock);
+  EXPECT_FALSE(lint::classify_path("src/cr/clock.cpp").is_obs_clock);
 }
 
 // ---- determinism ---------------------------------------------------------
@@ -73,13 +77,48 @@ void f() {
   EXPECT_EQ(findings.front().line, 4);
 }
 
+TEST(LintDeterminism, FlagsCalendarAndCpuClockReads) {
+  const std::string snippet = R"(
+#include <ctime>
+void f() {
+  std::time_t now = time(nullptr);
+  std::tm* local = localtime(&now);
+  std::tm* utc = gmtime(&now);
+  char buf[64];
+  strftime(buf, sizeof(buf), "%F", local);
+  auto cpu = clock();
+}
+)";
+  const auto findings = lint_at("src/sim/engine.cpp", snippet);
+  EXPECT_EQ(findings.size(), 5u);
+  EXPECT_TRUE(has_rule(findings, lint::Rule::kDeterminism));
+}
+
+TEST(LintDeterminism, SteadyClockAllowedOnlyInObsClockShim) {
+  const std::string snippet = R"(
+#include <chrono>
+auto tick() { return std::chrono::steady_clock::now(); }
+)";
+  // The one allowlisted home, mirroring common/random.* for RNG.
+  EXPECT_TRUE(lint_at("src/obs/clock.cpp", snippet).empty());
+  // Everywhere else in the library and in tests it is banned.
+  EXPECT_FALSE(lint_at("src/sim/engine.cpp", snippet).empty());
+  EXPECT_FALSE(lint_at("src/obs/trace.cpp", snippet).empty());
+  EXPECT_FALSE(lint_at("src/cr/clock.cpp", snippet).empty());
+  EXPECT_FALSE(lint_at("tests/test_obs.cpp", snippet).empty());
+  // bench/ stays timing-exempt wholesale.
+  EXPECT_TRUE(lint_at("bench/micro_engine.cpp", snippet).empty());
+}
+
 TEST(LintDeterminism, CleanRngUsageAndLookalikesPass) {
   const std::string snippet = R"(
 #include "common/random.hpp"
+#include "obs/clock.hpp"
 double draw(lazyckpt::Rng& rng) {
   double runtime = 1.0;           // 'time' inside identifiers is fine
+  auto t0 = lazyckpt::obs::process_clock().now_ns();  // the approved shim
   auto child = rng.split();
-  return runtime * child.uniform();
+  return runtime * child.uniform() + double(t0) * 0.0;
 }
 )";
   EXPECT_TRUE(lint_at("src/sim/engine.cpp", snippet).empty());

@@ -1,0 +1,310 @@
+/// Tests for the observability layer (src/obs, DESIGN.md §5f).
+///
+/// Three layers of guarantees:
+///   * unit behaviour of the clock shim, metrics instruments, and trace
+///     buffers,
+///   * a byte-exact Chrome-trace golden recorded under a FakeClock — the
+///     serialization contract the lazyckpt-trace tool parses,
+///   * the "observe, never perturb" invariant: simulate() produces
+///     bit-identical RunMetrics whether telemetry records or not.
+///
+/// The trace-tool round trip (parse → validate → summarize) runs in-process
+/// against lazyckpt_trace_core, so the emitter and the tool are pinned to
+/// the same format by a fast unit test, not only by the bench_smoke
+/// integration case.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "core/model/oci.hpp"
+#include "core/policy/factory.hpp"
+#include "io/storage_model.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/engine.hpp"
+#include "sim/failure_source.hpp"
+#include "stats/exponential.hpp"
+#include "trace_tool.hpp"
+
+namespace {
+
+using namespace lazyckpt;
+
+/// Saves/restores the process-wide telemetry state so these tests behave
+/// identically run standalone or under `LAZYCKPT_TRACE=1 ctest` (where
+/// recording is already on at load).
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = obs::enabled();
+    obs::set_enabled(false);
+    obs::reset_trace_buffers();
+  }
+  void TearDown() override {
+    obs::reset_trace_buffers();
+    obs::set_enabled(was_enabled_);
+  }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+// ---- clock shim ----------------------------------------------------------
+
+TEST_F(ObsTest, FakeClockAdvancesAndJumps) {
+  obs::FakeClock clock;
+  EXPECT_EQ(clock.now_ns(), 0u);
+  clock.advance_ns(250);
+  EXPECT_EQ(clock.now_ns(), 250u);
+  clock.set_ns(1'000'000);
+  EXPECT_EQ(clock.now_ns(), 1'000'000u);
+}
+
+TEST_F(ObsTest, ScopedOverrideInstallsAndRestores) {
+  obs::FakeClock fake;
+  fake.set_ns(42);
+  {
+    const obs::ScopedClockOverride override_scope(fake);
+    EXPECT_EQ(obs::process_clock().now_ns(), 42u);
+    fake.advance_ns(8);
+    EXPECT_EQ(obs::process_clock().now_ns(), 50u);
+  }
+  // Back on the steady clock: readings move forward, not back to 50.
+  const obs::TimeNs a = obs::process_clock().now_ns();
+  const obs::TimeNs b = obs::process_clock().now_ns();
+  EXPECT_LE(a, b);
+}
+
+// ---- metrics instruments -------------------------------------------------
+
+TEST_F(ObsTest, CounterGaugeHistogramBasics) {
+  obs::Counter counter;
+  counter.add();
+  counter.add(9);
+  EXPECT_EQ(counter.value(), 10u);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+
+  obs::Gauge gauge;
+  gauge.set(3.5);
+  gauge.record_max(2.0);  // lower: ignored
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(gauge.value()),
+            std::bit_cast<std::uint64_t>(3.5));
+  gauge.record_max(7.0);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(gauge.value()),
+            std::bit_cast<std::uint64_t>(7.0));
+
+  const double bounds[] = {1.0, 10.0, 100.0};
+  obs::Histogram hist{{bounds, 3}};
+  hist.observe(0.5);    // bucket 0
+  hist.observe(1.0);    // <= 1.0: still bucket 0
+  hist.observe(50.0);   // bucket 2
+  hist.observe(999.0);  // overflow
+  const auto counts = hist.counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(hist.total(), 4u);
+  hist.reset();
+  EXPECT_EQ(hist.total(), 0u);
+}
+
+TEST_F(ObsTest, RegistryFindsOrCreatesAndSnapshotsInNameOrder) {
+  obs::Registry registry;
+  obs::Counter& c1 = registry.counter("zz.last");
+  obs::Counter& c2 = registry.counter("zz.last");
+  EXPECT_EQ(&c1, &c2);  // cached references stay valid
+  c1.add(3);
+  registry.gauge("aa.first").set(1.25);
+  const double bounds[] = {2.0};
+  registry.histogram("mm.middle", {bounds, 1}).observe(1.0);
+
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.entries.size(), 3u);
+  EXPECT_EQ(snap.entries[0].name, "aa.first");
+  EXPECT_EQ(snap.entries[1].name, "mm.middle");
+  EXPECT_EQ(snap.entries[2].name, "zz.last");
+
+  const obs::MetricValue* counter_entry = snap.find("zz.last");
+  ASSERT_NE(counter_entry, nullptr);
+  EXPECT_EQ(counter_entry->count, 3u);
+  EXPECT_EQ(snap.find("no.such"), nullptr);
+
+  const std::string json = snap.to_json("  ");
+  EXPECT_NE(json.find("\"aa.first\": 1.25"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"zz.last\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos) << json;
+
+  registry.reset_values();
+  EXPECT_EQ(c1.value(), 0u);
+  // Instruments stay registered after a value reset.
+  EXPECT_EQ(registry.snapshot().entries.size(), 3u);
+}
+
+// ---- trace recording -----------------------------------------------------
+
+TEST_F(ObsTest, DisabledRecordingBuffersNothing) {
+  ASSERT_FALSE(obs::enabled());
+  {
+    const obs::TraceSpan span("quiet");
+    obs::instant("quiet.mark");
+    obs::counter("quiet.count", 1.0);
+  }
+  EXPECT_EQ(obs::buffered_event_count(), 0u);
+}
+
+TEST_F(ObsTest, SpanCapturesEnabledStateAtConstruction) {
+  obs::set_enabled(true);
+  {
+    const obs::TraceSpan span("closes.anyway");
+    obs::set_enabled(false);
+    // The span was armed while enabled, so its end event still records.
+  }
+  const auto events = obs::drain_events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, obs::EventKind::kBegin);
+  EXPECT_EQ(events[1].kind, obs::EventKind::kEnd);
+}
+
+/// The byte-exact serialization golden: a known event sequence recorded
+/// under a FakeClock must render to exactly this Chrome-trace JSON.  If
+/// this test changes, lazyckpt-trace and the DESIGN.md format notes must
+/// move with it.
+TEST_F(ObsTest, FakeClockTraceRendersExactJson) {
+  obs::FakeClock clock;
+  const obs::ScopedClockOverride override_scope(clock);
+  obs::set_enabled(true);
+
+  clock.set_ns(1'000);
+  obs::record_begin("alpha");
+  clock.set_ns(2'500);
+  obs::instant("mark");
+  clock.set_ns(3'000);
+  obs::counter("items", 3.0);
+  clock.set_ns(4'000);
+  obs::record_begin("beta");
+  clock.set_ns(6'500);
+  obs::record_end("beta");
+  clock.set_ns(9'999);
+  obs::record_end("alpha");
+
+  const std::string json = obs::render_chrome_trace(obs::drain_events());
+  const std::string expected =
+      "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n"
+      "{\"name\": \"alpha\", \"cat\": \"lazyckpt\", \"ph\": \"B\", "
+      "\"pid\": 1, \"tid\": 0, \"ts\": 1.000},\n"
+      "{\"name\": \"mark\", \"cat\": \"lazyckpt\", \"ph\": \"i\", "
+      "\"pid\": 1, \"tid\": 0, \"ts\": 2.500, \"s\": \"t\"},\n"
+      "{\"name\": \"items\", \"cat\": \"lazyckpt\", \"ph\": \"C\", "
+      "\"pid\": 1, \"tid\": 0, \"ts\": 3.000, \"args\": {\"value\": 3}},\n"
+      "{\"name\": \"beta\", \"cat\": \"lazyckpt\", \"ph\": \"B\", "
+      "\"pid\": 1, \"tid\": 0, \"ts\": 4.000},\n"
+      "{\"name\": \"beta\", \"cat\": \"lazyckpt\", \"ph\": \"E\", "
+      "\"pid\": 1, \"tid\": 0, \"ts\": 6.500},\n"
+      "{\"name\": \"alpha\", \"cat\": \"lazyckpt\", \"ph\": \"E\", "
+      "\"pid\": 1, \"tid\": 0, \"ts\": 9.999}\n"
+      "]}\n";
+  EXPECT_EQ(json, expected);
+}
+
+/// Parse → validate → summarize the rendered golden with the actual
+/// lazyckpt-trace engine: emitter and tool agree on the format.
+TEST_F(ObsTest, TraceToolRoundTripsRenderedOutput) {
+  obs::FakeClock clock;
+  const obs::ScopedClockOverride override_scope(clock);
+  obs::set_enabled(true);
+
+  clock.set_ns(1'000);
+  obs::record_begin("alpha");
+  clock.set_ns(4'000);
+  obs::record_begin("beta");
+  clock.set_ns(6'500);
+  obs::record_end("beta");
+  clock.set_ns(10'000);
+  obs::record_end("alpha");
+  obs::counter("items", 3.0);
+
+  const std::string json = obs::render_chrome_trace(obs::drain_events());
+  const tracetool::ParsedTrace trace = tracetool::parse_trace(json);
+  ASSERT_EQ(trace.events.size(), 5u);
+  EXPECT_TRUE(tracetool::validate(trace).empty());
+
+  const auto stats = tracetool::summarize(trace);
+  ASSERT_EQ(stats.size(), 2u);
+  // alpha: total 9 µs, self 9 - 2.5 = 6.5 µs — ranks above beta (2.5/2.5).
+  EXPECT_EQ(stats[0].name, "alpha");
+  EXPECT_EQ(stats[0].count, 1u);
+  EXPECT_NEAR(stats[0].total_us, 9.0, 1e-9);
+  EXPECT_NEAR(stats[0].self_us, 6.5, 1e-9);
+  EXPECT_EQ(stats[1].name, "beta");
+  EXPECT_NEAR(stats[1].total_us, 2.5, 1e-9);
+  EXPECT_NEAR(stats[1].self_us, 2.5, 1e-9);
+}
+
+// ---- observe, never perturb ---------------------------------------------
+
+sim::RunMetrics run_reference_sim() {
+  sim::SimulationConfig config;
+  config.compute_hours = 200.0;
+  config.alpha_oci_hours = core::daly_oci(0.5, 11.0);
+  config.mtbf_hint_hours = 11.0;
+  config.shape_hint = 0.6;
+  const io::ConstantStorage storage(0.5, 0.5, 2.0);
+  const auto policy = core::make_policy("ilazy:0.6");
+  sim::RenewalFailureSource source(
+      std::make_unique<stats::Exponential>(stats::Exponential::from_mean(11.0)),
+      Rng(9005));
+  return sim::simulate(config, *policy, source, storage, {});
+}
+
+std::string format_metrics(const sim::RunMetrics& run) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), "%a %a %a %a %a %llu %llu %llu %a",
+                run.makespan_hours, run.compute_hours, run.checkpoint_hours,
+                run.wasted_hours, run.restart_hours,
+                static_cast<unsigned long long>(run.failures),
+                static_cast<unsigned long long>(run.checkpoints_written),
+                static_cast<unsigned long long>(run.checkpoints_skipped),
+                run.data_written_gb);
+  return buf;
+}
+
+TEST_F(ObsTest, TracingDoesNotPerturbSimulationResults) {
+  obs::set_enabled(false);
+  const std::string quiet = format_metrics(run_reference_sim());
+
+  obs::set_enabled(true);
+  const std::string traced = format_metrics(run_reference_sim());
+
+  // %a round-trips doubles: string equality is bit equality per field.
+  EXPECT_EQ(quiet, traced);
+  // And the traced run actually recorded something (the sim.trial span).
+  EXPECT_GT(obs::buffered_event_count(), 0u);
+}
+
+TEST_F(ObsTest, EnabledSimulationFlushesEngineCounters) {
+  obs::set_enabled(true);
+  const std::uint64_t trials_before =
+      obs::metrics().counter("sim.trials").value();
+  (void)run_reference_sim();
+  const obs::MetricsSnapshot snap = obs::metrics().snapshot();
+  const obs::MetricValue* trials = snap.find("sim.trials");
+  ASSERT_NE(trials, nullptr);
+  EXPECT_EQ(trials->count, trials_before + 1);
+  const obs::MetricValue* dispatch = snap.find("sim.dispatch.fast");
+  ASSERT_NE(dispatch, nullptr);
+  EXPECT_GE(dispatch->count, 1u);
+}
+
+}  // namespace

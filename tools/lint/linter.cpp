@@ -23,7 +23,8 @@ constexpr std::array<std::pair<Rule, std::string_view>, 5> kRuleIds = {{
 constexpr std::array<std::pair<Rule, std::string_view>, 5> kRuleRationales = {{
     {Rule::kDeterminism,
      "all randomness flows through common/random pre-split streams; "
-     "wall-clock reads are allowed only in bench/"},
+     "wall-clock reads are allowed only in bench/ or via the obs clock "
+     "shim (src/obs/clock.cpp is the one steady_clock site)"},
     {Rule::kUnorderedOutputOrder,
      "hash-container iteration order is unspecified and must never feed "
      "CSV/JSON/table bytes compared by golden masters"},
@@ -275,7 +276,7 @@ struct DeterminismToken {
   std::string_view advice;
 };
 
-constexpr std::array<DeterminismToken, 7> kDeterminismTokens = {{
+constexpr std::array<DeterminismToken, 11> kDeterminismTokens = {{
     {"std::rand", "use a pre-split lazyckpt::Rng stream (common/random.hpp)"},
     {"rand(", "use a pre-split lazyckpt::Rng stream (common/random.hpp)"},
     {"srand", "seeds come from the replica's pre-split Rng, never libc"},
@@ -284,9 +285,27 @@ constexpr std::array<DeterminismToken, 7> kDeterminismTokens = {{
     {"random_device",
      "nondeterministic seeding breaks replay; seed a lazyckpt::Rng stream"},
     {"time(", "wall-clock reads are banned in result paths (bench/ only)"},
-    {"system_clock", "wall-clock reads are banned in result paths; "
-                     "steady_clock is fine for bench timing"},
+    {"clock(", "CPU/wall-clock reads are banned in result paths; timing "
+               "goes through obs::process_clock() (src/obs/clock.hpp)"},
+    {"localtime", "calendar time is nondeterministic and locale-dependent; "
+                  "result paths must not read it"},
+    {"gmtime", "calendar time is nondeterministic; result paths must not "
+               "read it"},
+    {"strftime", "formatted wall-clock time has no place in result paths "
+                 "or golden-mastered output"},
+    {"system_clock", "wall-clock reads are banned in result paths; use "
+                     "obs::process_clock() (src/obs/clock.hpp) for timing"},
 }};
+
+/// steady_clock is banned like the tokens above, but with one allowlisted
+/// home: src/obs/clock.cpp, the shim every other timing read goes through
+/// (mirroring how common/random.* is the one RNG home).  Checked
+/// separately because the exemption is path-dependent.
+constexpr DeterminismToken kSteadyClockToken = {
+    "steady_clock",
+    "std::chrono reads are confined to the obs clock shim; call "
+    "obs::process_clock() (src/obs/clock.hpp) so tests can inject a fake "
+    "clock"};
 
 constexpr std::array<std::string_view, 2> kMt19937Tokens = {
     "std::mt19937", "mt19937"};
@@ -347,6 +366,7 @@ FileContext classify_path(std::string_view relative_path) {
   ctx.is_random_impl = has_prefix("src/common/random.");
   ctx.is_error_impl = has_prefix("src/common/error.");
   ctx.is_fp_helper = has_prefix("src/common/fp.");
+  ctx.is_obs_clock = has_prefix("src/obs/clock.");
   return ctx;
 }
 
@@ -497,13 +517,22 @@ std::vector<Finding> lint_source(std::string_view file_label,
     for (std::size_t idx = 0; idx < lines.size(); ++idx) {
       const std::string& line = lines[idx];
       const int line_no = static_cast<int>(idx) + 1;
+      bool flagged = false;
       for (const auto& banned : kDeterminismTokens) {
         if (has_token(line, banned.token)) {
           report(line_no, Rule::kDeterminism,
                  "banned nondeterminism source '" + std::string(banned.token) +
                      "': " + std::string(banned.advice));
+          flagged = true;
           break;  // one diagnostic per line is enough
         }
+      }
+      if (!flagged && !ctx.is_obs_clock &&
+          has_token(line, kSteadyClockToken.token)) {
+        report(line_no, Rule::kDeterminism,
+               "banned nondeterminism source '" +
+                   std::string(kSteadyClockToken.token) +
+                   "': " + std::string(kSteadyClockToken.advice));
       }
       for (std::string_view token : kMt19937Tokens) {
         if (has_token(line, token)) {

@@ -32,10 +32,14 @@ namespace lazyckpt::lint {
 /// diagnostics and in suppression comments, and future PRs append only.
 enum class Rule {
   /// Banned nondeterminism sources: std::rand/srand/rand(), time(),
-  /// std::random_device, std::chrono::system_clock, and direct
+  /// clock(), localtime/gmtime/strftime, std::random_device,
+  /// std::chrono::system_clock, std::chrono::steady_clock, and direct
   /// std::mt19937 construction.  All randomness must flow through the
   /// pre-split xoshiro streams in src/common/random.*; wall-clock time
-  /// may only be read in bench/ (timing harnesses measure, never decide).
+  /// may only be read in bench/ (timing harnesses measure, never decide)
+  /// or through the obs clock shim — src/obs/clock.cpp is the single
+  /// allowlisted steady_clock site, everything else goes through
+  /// obs::process_clock() so tests can substitute a fake clock.
   kDeterminism,
   /// Iteration over std::unordered_map/std::unordered_set in a
   /// translation unit that also writes CSV/JSON/table output.  Hash
@@ -81,6 +85,7 @@ struct FileContext {
   bool is_random_impl = false;  ///< src/common/random.* (the one RNG home)
   bool is_error_impl = false;  ///< src/common/error.* (the thrower home)
   bool is_fp_helper = false;   ///< src/common/fp.hpp (approved comparators)
+  bool is_obs_clock = false;   ///< src/obs/clock.* (the steady_clock shim)
 };
 
 /// Classify a repo-relative path ("src/sim/engine.cpp", "tests/x.cpp").

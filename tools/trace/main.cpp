@@ -1,0 +1,132 @@
+/// \file main.cpp
+/// \brief CLI for lazyckpt-trace (see trace_tool.hpp and DESIGN.md §5f).
+///
+/// Usage:
+///   lazyckpt-trace validate  <trace.json>
+///   lazyckpt-trace summarize [--top N] <trace.json>
+///   lazyckpt-trace export    [--out <file.csv>] <trace.json>
+///
+/// `validate` checks the document is structurally sound trace_event JSON
+/// (required keys, monotone per-thread timestamps, balanced span nesting)
+/// and exits 0/1.  `summarize` prints a top-N self-time profile of the
+/// spans.  `export` emits every complete span as a CSV row for external
+/// analysis.  Exit status is 0 on success, 1 when validation fails, 2 on
+/// usage or I/O errors.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "trace_tool.hpp"
+
+namespace {
+
+using lazyckpt::tracetool::ParsedTrace;
+
+int usage(std::ostream& out, int status) {
+  out << "usage: lazyckpt-trace <command> [options] <trace.json>\n"
+         "commands:\n"
+         "  validate               check trace_event structure; exit 0/1\n"
+         "  summarize [--top N]    top-N spans by self time (default 10)\n"
+         "  export [--out <csv>]   complete spans as CSV (default stdout)\n"
+         "Traces come from LAZYCKPT_TRACE=<path> on any bench binary.\n";
+  return status;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(std::cerr, 2);
+  const std::string command = argv[1];
+  if (command == "--help" || command == "-h") return usage(std::cout, 0);
+
+  std::string path;
+  std::string out_path;
+  std::size_t top_n = 10;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--top") {
+      if (i + 1 >= argc) return usage(std::cerr, 2);
+      const long value = std::strtol(argv[++i], nullptr, 10);
+      if (value <= 0) {
+        std::cerr << "lazyckpt-trace: --top needs a positive integer\n";
+        return 2;
+      }
+      top_n = static_cast<std::size_t>(value);
+    } else if (arg == "--out") {
+      if (i + 1 >= argc) return usage(std::cerr, 2);
+      out_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "lazyckpt-trace: unknown option '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return usage(std::cerr, 2);
+    }
+  }
+  if (path.empty()) return usage(std::cerr, 2);
+
+  std::string text;
+  if (!read_file(path, text)) {
+    std::cerr << "lazyckpt-trace: cannot read " << path << "\n";
+    return 2;
+  }
+
+  ParsedTrace trace;
+  try {
+    trace = lazyckpt::tracetool::parse_trace(text);
+  } catch (const lazyckpt::tracetool::ParseError& error) {
+    std::cerr << "lazyckpt-trace: " << path << ": " << error.what() << "\n";
+    return 1;
+  }
+
+  if (command == "validate") {
+    const auto problems = lazyckpt::tracetool::validate(trace);
+    for (const std::string& problem : problems) {
+      std::cerr << path << ": " << problem << "\n";
+    }
+    if (!problems.empty()) {
+      std::cerr << "lazyckpt-trace: " << problems.size() << " problem"
+                << (problems.size() == 1 ? "" : "s") << " in "
+                << trace.events.size() << " events\n";
+      return 1;
+    }
+    std::cout << "lazyckpt-trace: valid (" << trace.events.size()
+              << " events)\n";
+    return 0;
+  }
+  if (command == "summarize") {
+    const auto stats = lazyckpt::tracetool::summarize(trace);
+    std::cout << lazyckpt::tracetool::render_summary(stats, top_n);
+    return 0;
+  }
+  if (command == "export") {
+    const std::string csv = lazyckpt::tracetool::export_spans_csv(trace);
+    if (out_path.empty()) {
+      std::cout << csv;
+      return 0;
+    }
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "lazyckpt-trace: cannot write " << out_path << "\n";
+      return 2;
+    }
+    out << csv;
+    return 0;
+  }
+
+  std::cerr << "lazyckpt-trace: unknown command '" << command << "'\n";
+  return usage(std::cerr, 2);
+}

@@ -1,0 +1,418 @@
+#include "trace_tool.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <map>
+
+namespace lazyckpt::tracetool {
+namespace {
+
+/// Minimal recursive-descent JSON reader.  The tool only needs to walk a
+/// trace document, so values are visited in place (no DOM): objects and
+/// arrays invoke callbacks, scalars are returned directly.
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of document");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', got '" + text_[pos_] + "'");
+    }
+    ++pos_;
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          // Decode the BMP scalar to UTF-8; names in our traces are ASCII
+          // so this path exists for standards compliance, not pretty text.
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4U;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad hex digit in \\u escape");
+            }
+          }
+          if (code < 0x80U) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800U) {
+            out += static_cast<char>(0xC0U | (code >> 6U));
+            out += static_cast<char>(0x80U | (code & 0x3FU));
+          } else {
+            out += static_cast<char>(0xE0U | (code >> 12U));
+            out += static_cast<char>(0x80U | ((code >> 6U) & 0x3FU));
+            out += static_cast<char>(0x80U | (code & 0x3FU));
+          }
+          break;
+        }
+        default: fail("unknown escape sequence");
+      }
+    }
+  }
+
+  double parse_number() {
+    skip_ws();
+    const char* start = text_.data() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(start, &end);
+    if (end == start) fail("expected a number");
+    pos_ += static_cast<std::size_t>(end - start);
+    return value;
+  }
+
+  /// Visit an object: `on_key(key)` must consume the value.
+  template <typename OnKey>
+  void parse_object(OnKey&& on_key) {
+    expect('{');
+    if (consume('}')) return;
+    while (true) {
+      const std::string key = parse_string();
+      expect(':');
+      on_key(key);
+      if (consume('}')) return;
+      expect(',');
+    }
+  }
+
+  /// Visit an array: `on_element()` must consume one value per call.
+  template <typename OnElement>
+  void parse_array(OnElement&& on_element) {
+    expect('[');
+    if (consume(']')) return;
+    while (true) {
+      on_element();
+      if (consume(']')) return;
+      expect(',');
+    }
+  }
+
+  /// Consume any value, discarding it.
+  void skip_value() {
+    const char c = peek();
+    if (c == '{') {
+      parse_object([&](const std::string&) { skip_value(); });
+    } else if (c == '[') {
+      parse_array([&]() { skip_value(); });
+    } else if (c == '"') {
+      parse_string();
+    } else if (c == 't') {
+      consume_literal("true");
+    } else if (c == 'f') {
+      consume_literal("false");
+    } else if (c == 'n') {
+      consume_literal("null");
+    } else {
+      parse_number();
+    }
+  }
+
+  void consume_literal(std::string_view literal) {
+    skip_ws();
+    if (text_.substr(pos_, literal.size()) != literal) {
+      fail("bad literal");
+    }
+    pos_ += literal.size();
+  }
+
+  [[nodiscard]] bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    // Line number for the error message: cheap scan, error path only.
+    std::size_t line = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    throw ParseError("JSON error at line " + std::to_string(line) + ": " +
+                     what);
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Event parse_event(JsonReader& reader) {
+  Event event;
+  reader.parse_object([&](const std::string& key) {
+    if (key == "name") {
+      event.name = reader.parse_string();
+    } else if (key == "ph") {
+      const std::string ph = reader.parse_string();
+      event.phase = ph.empty() ? '?' : ph[0];
+    } else if (key == "pid") {
+      event.pid = static_cast<std::uint64_t>(reader.parse_number());
+    } else if (key == "tid") {
+      event.tid = static_cast<std::uint64_t>(reader.parse_number());
+    } else if (key == "ts") {
+      event.ts_us = reader.parse_number();
+    } else if (key == "args") {
+      reader.parse_object([&](const std::string&) {
+        if (reader.peek() == '{' || reader.peek() == '[' ||
+            reader.peek() == '"') {
+          reader.skip_value();
+        } else if (reader.peek() == 't' || reader.peek() == 'f' ||
+                   reader.peek() == 'n') {
+          reader.skip_value();
+        } else {
+          event.value = reader.parse_number();
+          event.has_value = true;
+        }
+      });
+    } else {
+      reader.skip_value();
+    }
+  });
+  return event;
+}
+
+}  // namespace
+
+ParsedTrace parse_trace(std::string_view json) {
+  JsonReader reader(json);
+  ParsedTrace trace;
+  const auto parse_events = [&]() {
+    reader.parse_array([&]() { trace.events.push_back(parse_event(reader)); });
+  };
+  if (reader.peek() == '[') {
+    parse_events();
+  } else {
+    bool saw_events = false;
+    reader.parse_object([&](const std::string& key) {
+      if (key == "traceEvents") {
+        parse_events();
+        saw_events = true;
+      } else if (key == "displayTimeUnit") {
+        trace.display_time_unit = reader.parse_string();
+      } else {
+        reader.skip_value();
+      }
+    });
+    if (!saw_events) {
+      throw ParseError("document has no \"traceEvents\" array");
+    }
+  }
+  if (!reader.at_end()) {
+    throw ParseError("trailing content after the trace document");
+  }
+  return trace;
+}
+
+std::vector<std::string> validate(const ParsedTrace& trace) {
+  std::vector<std::string> problems;
+  const auto complain = [&](std::size_t index, const std::string& what) {
+    problems.push_back("event " + std::to_string(index) + ": " + what);
+  };
+
+  // Per-(pid,tid) state: open span names and the last timestamp seen.
+  std::map<std::pair<std::uint64_t, std::uint64_t>,
+           std::vector<std::string>> open;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, double> last_ts;
+
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const Event& event = trace.events[i];
+    if (event.name.empty()) complain(i, "missing name");
+    switch (event.phase) {
+      case 'B': case 'E': case 'i': case 'I': case 'C': case 'X':
+      case 'M': break;
+      default:
+        complain(i, std::string("unknown phase '") + event.phase + "'");
+        continue;
+    }
+    if (event.phase == 'M') continue;  // metadata carries no timestamp
+
+    const auto key = std::make_pair(event.pid, event.tid);
+    if (const auto it = last_ts.find(key); it != last_ts.end()) {
+      if (event.ts_us < it->second) {
+        complain(i, "timestamp moves backwards on tid " +
+                        std::to_string(event.tid));
+      }
+    }
+    last_ts[key] = event.ts_us;
+
+    if (event.phase == 'B') {
+      open[key].push_back(event.name);
+    } else if (event.phase == 'E') {
+      auto& stack = open[key];
+      if (stack.empty()) {
+        complain(i, "end event \"" + event.name + "\" with no open span");
+      } else if (stack.back() != event.name) {
+        complain(i, "end event \"" + event.name +
+                        "\" does not match open span \"" + stack.back() +
+                        "\"");
+        stack.pop_back();
+      } else {
+        stack.pop_back();
+      }
+    } else if (event.phase == 'C' && !event.has_value) {
+      complain(i, "counter event \"" + event.name + "\" has no numeric arg");
+    }
+  }
+
+  for (const auto& [key, stack] : open) {
+    for (const std::string& name : stack) {
+      problems.push_back("tid " + std::to_string(key.second) +
+                         ": span \"" + name + "\" never ends");
+    }
+  }
+  return problems;
+}
+
+std::vector<SpanStat> summarize(const ParsedTrace& trace) {
+  struct OpenSpan {
+    const std::string* name;
+    double start_us;
+    double child_us = 0.0;
+  };
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<OpenSpan>>
+      stacks;
+  std::map<std::string, SpanStat> by_name;
+
+  for (const Event& event : trace.events) {
+    if (event.phase != 'B' && event.phase != 'E') continue;
+    auto& stack = stacks[{event.pid, event.tid}];
+    if (event.phase == 'B') {
+      stack.push_back({&event.name, event.ts_us});
+      continue;
+    }
+    if (stack.empty() || *stack.back().name != event.name) {
+      continue;  // unbalanced input: validate() reports it, we stay robust
+    }
+    const OpenSpan span = stack.back();
+    stack.pop_back();
+    const double duration = event.ts_us - span.start_us;
+    if (!stack.empty()) stack.back().child_us += duration;
+
+    SpanStat& stat = by_name[event.name];
+    if (stat.count == 0) {
+      stat.name = event.name;
+      stat.min_us = duration;
+      stat.max_us = duration;
+    }
+    ++stat.count;
+    stat.total_us += duration;
+    stat.self_us += duration - span.child_us;
+    stat.min_us = std::min(stat.min_us, duration);
+    stat.max_us = std::max(stat.max_us, duration);
+  }
+
+  std::vector<SpanStat> stats;
+  stats.reserve(by_name.size());
+  for (auto& [name, stat] : by_name) stats.push_back(std::move(stat));
+  std::stable_sort(stats.begin(), stats.end(),
+                   [](const SpanStat& a, const SpanStat& b) {
+                     if (a.self_us != b.self_us) return a.self_us > b.self_us;
+                     return a.name < b.name;
+                   });
+  return stats;
+}
+
+std::string render_summary(const std::vector<SpanStat>& stats,
+                           std::size_t top_n) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-32s %10s %14s %14s %12s %12s\n",
+                "span", "count", "self_ms", "total_ms", "min_ms", "max_ms");
+  out += line;
+  const std::size_t shown = std::min(top_n, stats.size());
+  for (std::size_t i = 0; i < shown; ++i) {
+    const SpanStat& s = stats[i];
+    std::snprintf(line, sizeof(line),
+                  "%-32s %10llu %14.3f %14.3f %12.3f %12.3f\n",
+                  s.name.c_str(), static_cast<unsigned long long>(s.count),
+                  s.self_us / 1000.0, s.total_us / 1000.0, s.min_us / 1000.0,
+                  s.max_us / 1000.0);
+    out += line;
+  }
+  if (shown < stats.size()) {
+    std::snprintf(line, sizeof(line), "... %zu more span name(s)\n",
+                  stats.size() - shown);
+    out += line;
+  }
+  return out;
+}
+
+std::string export_spans_csv(const ParsedTrace& trace) {
+  struct OpenSpan {
+    const std::string* name;
+    double start_us;
+  };
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<OpenSpan>>
+      stacks;
+  std::string out = "name,pid,tid,start_us,duration_us\n";
+  char line[256];
+  for (const Event& event : trace.events) {
+    if (event.phase != 'B' && event.phase != 'E') continue;
+    auto& stack = stacks[{event.pid, event.tid}];
+    if (event.phase == 'B') {
+      stack.push_back({&event.name, event.ts_us});
+      continue;
+    }
+    if (stack.empty() || *stack.back().name != event.name) continue;
+    const OpenSpan span = stack.back();
+    stack.pop_back();
+    std::snprintf(line, sizeof(line), "%s,%llu,%llu,%.3f,%.3f\n",
+                  event.name.c_str(),
+                  static_cast<unsigned long long>(event.pid),
+                  static_cast<unsigned long long>(event.tid), span.start_us,
+                  event.ts_us - span.start_us);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace lazyckpt::tracetool

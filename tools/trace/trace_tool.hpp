@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file trace_tool.hpp
+/// \brief Core of lazyckpt-trace: parse Chrome trace_event JSON (the format
+/// src/obs/trace.cpp emits and chrome://tracing / Perfetto load), validate
+/// its structure, and aggregate spans into a self-time profile.
+///
+/// Like the lint core, this is a standalone library: it does not link the
+/// lazyckpt runtime, so tests can drive it over in-memory documents and the
+/// CLI builds even when the instrumented code does not.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lazyckpt::tracetool {
+
+/// Malformed JSON or a document that is not a trace at all.
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One trace_event entry.  Only the keys the viewer semantics depend on
+/// are modeled; unknown keys are ignored (the format allows extensions).
+struct Event {
+  std::string name;
+  char phase = '?';  ///< 'B', 'E', 'i', 'C', ...
+  std::uint64_t pid = 0;
+  std::uint64_t tid = 0;
+  double ts_us = 0.0;
+  double value = 0.0;  ///< first numeric arg of a counter event
+  bool has_value = false;
+};
+
+struct ParsedTrace {
+  std::vector<Event> events;
+  std::string display_time_unit;  ///< empty when the document omits it
+};
+
+/// Parse a trace document: either the object form {"traceEvents": [...]}
+/// or a bare JSON array of events.  Throws ParseError on malformed input.
+[[nodiscard]] ParsedTrace parse_trace(std::string_view json);
+
+/// Structural validation: every event carries the required keys, phases
+/// are known, per-thread timestamps are monotone, and begin/end pairs
+/// nest properly (matching names, nothing left open).  Returns
+/// human-readable problems; an empty vector means the trace is valid.
+[[nodiscard]] std::vector<std::string> validate(const ParsedTrace& trace);
+
+/// Aggregated statistics for one span name.
+struct SpanStat {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_us = 0.0;  ///< inclusive wall time
+  double self_us = 0.0;   ///< total minus time in child spans
+  double min_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// Aggregate complete B/E pairs per name, attributing child time to the
+/// child (self time).  Sorted by self time descending, then name, so the
+/// output is deterministic for a given event sequence.
+[[nodiscard]] std::vector<SpanStat> summarize(const ParsedTrace& trace);
+
+/// Fixed-width summary table of the top `top_n` spans by self time.
+[[nodiscard]] std::string render_summary(const std::vector<SpanStat>& stats,
+                                         std::size_t top_n);
+
+/// All complete spans as CSV rows: name,pid,tid,start_us,duration_us —
+/// one line per B/E pair, in end order per thread.
+[[nodiscard]] std::string export_spans_csv(const ParsedTrace& trace);
+
+}  // namespace lazyckpt::tracetool
