@@ -21,11 +21,15 @@
 #include "common/table.hpp"
 #include "core/model/oci.hpp"
 #include "core/policy/factory.hpp"
+#include "io/factory.hpp"
 #include "io/storage_model.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/sweep.hpp"
+#include "spec/catalog.hpp"
+#include "spec/runner.hpp"
 #include "stats/exponential.hpp"
+#include "stats/factory.hpp"
 #include "stats/weibull.hpp"
 
 namespace lazyckpt::bench {
@@ -73,6 +77,21 @@ inline sim::AggregateMetrics evaluate(const HeroRun& hero, double beta_hours,
   const io::ConstantStorage storage(beta_hours, beta_hours);
   const auto policy = core::make_policy(policy_spec);
   return sim::run_replicas(config, *policy, weibull, storage, replicas, seed);
+}
+
+/// Replica-averaged metrics for `scenario` with its policy swapped to
+/// `policy_spec` and (optionally, when > 0) its reference OCI overridden —
+/// the figure benches evaluate several policies and intervals against one
+/// catalog machine+workload.  Everything else (distribution, storage,
+/// replicas, seed) comes from the scenario, so two policies compared this
+/// way face the same failure arrival times.
+inline sim::AggregateMetrics run_scenario_policy(
+    const spec::Scenario& scenario, const std::string& policy_spec,
+    double oci_hours = 0.0) {
+  spec::Scenario variant = scenario;
+  variant.policy = policy_spec;
+  if (oci_hours > 0.0) variant.oci_hours = oci_hours;
+  return spec::ScenarioRunner().run(variant).aggregate;
 }
 
 /// Relative saving of `candidate` vs `baseline` (positive = candidate

@@ -35,39 +35,36 @@ void print_timeline(const char* label, const sim::RunMetrics& metrics) {
 
 int main() {
   print_banner("Fig. 13 — iLazy vs OCI execution progress (anchor run)");
-  const double beta = 0.5;
-  auto config = hero_config(kPetascale20K, beta);
+  const auto& scenario = spec::builtin_scenario("fig13");
+  auto config = spec::simulation_config(scenario);
   config.record_timeline = true;
   print_params("W=500 h, beta=0.5 h, k=0.6, MTBF 11 h, OCI " +
                TextTable::num(config.alpha_oci_hours) +
                " h, shared failure stream, seed 13");
 
-  const auto weibull = stats::Weibull::from_mtbf_and_shape(11.0, 0.6);
-  const io::ConstantStorage storage(beta, beta);
+  const auto weibull = stats::make_distribution(scenario.distribution);
+  const auto storage = io::make_storage(scenario.storage);
 
   // One representative single run with a *shared* failure stream
   // ("for a fair comparison, both schemes use the same failure arrival
   // times"), then replica-averaged statistics.
   {
-    Rng rng(13);
-    sim::RenewalFailureSource source_a(weibull.clone(), rng);
+    Rng rng(scenario.seed);
+    sim::RenewalFailureSource source_a(weibull->clone(), rng);
     const auto oci_policy = core::make_policy("static-oci");
-    const auto oci_run = simulate(config, *oci_policy, source_a, storage);
+    const auto oci_run = simulate(config, *oci_policy, source_a, *storage);
 
-    Rng rng_b(13);
-    sim::RenewalFailureSource source_b(weibull.clone(), rng_b);
-    const auto lazy_policy = core::make_policy("ilazy:0.6");
-    const auto lazy_run = simulate(config, *lazy_policy, source_b, storage);
+    Rng rng_b(scenario.seed);
+    sim::RenewalFailureSource source_b(weibull->clone(), rng_b);
+    const auto lazy_policy = core::make_policy(scenario.policy);
+    const auto lazy_run = simulate(config, *lazy_policy, source_b, *storage);
 
     print_timeline("OCI", oci_run);
     print_timeline("iLazy", lazy_run);
   }
 
-  config.record_timeline = false;
-  const auto oci = sim::run_replicas(config, *core::make_policy("static-oci"),
-                                     weibull, storage, 200, 13);
-  const auto lazy = sim::run_replicas(config, *core::make_policy("ilazy:0.6"),
-                                      weibull, storage, 200, 13);
+  const auto oci = run_scenario_policy(scenario, "static-oci");
+  const auto lazy = run_scenario_policy(scenario, scenario.policy);
 
   TextTable summary({"policy", "makespan (h)", "ckpt I/O (h)", "wasted (h)",
                      "checkpoints", "failures"});

@@ -11,25 +11,19 @@ using namespace lazyckpt::bench;
 
 namespace {
 
-void run_for(const HeroRun& hero) {
-  std::printf("--- %s (MTBF %.1f h) ---\n", hero.label, hero.mtbf_hours);
-  const double beta = 0.5;
-  const double oci = core::daly_oci(beta, hero.mtbf_hours);
-  const auto weibull =
-      stats::Weibull::from_mtbf_and_shape(hero.mtbf_hours, 0.6);
-  const io::ConstantStorage storage(beta, beta);
+void run_for(const std::string& scenario_name) {
+  const auto& scenario = spec::builtin_scenario(scenario_name);
+  std::printf("--- %s (MTBF %.1f h) ---\n",
+              scenario_name.substr(std::string("fig14-").size()).c_str(),
+              scenario.mtbf_hint_hours);
+  const double oci = spec::simulation_config(scenario).alpha_oci_hours;
 
-  const auto run = [&](const std::string& spec, double reference_interval) {
-    auto config = hero_config(hero, beta);
-    config.alpha_oci_hours = reference_interval;
-    return sim::run_replicas(config, *core::make_policy(spec), weibull,
-                             storage, 150, 14);
-  };
-
-  const auto baseline = run("static-oci", oci);
-  const auto ilazy = run("ilazy:0.6", oci);
-  const auto increased = run("static-oci", 1.5 * oci);
-  const auto combined = run("ilazy:0.6", 1.5 * oci);
+  const auto baseline = run_scenario_policy(scenario, "static-oci");
+  const auto ilazy = run_scenario_policy(scenario, scenario.policy);
+  const auto increased =
+      run_scenario_policy(scenario, "static-oci", 1.5 * oci);
+  const auto combined =
+      run_scenario_policy(scenario, scenario.policy, 1.5 * oci);
 
   TextTable table({"scheme", "ckpt-time saving", "runtime change",
                    "ckpt I/O (h)"});
@@ -56,8 +50,8 @@ int main() {
   print_params(
       "W=500 h, beta=0.5 h, k=0.6, 150 replicas, seed 14; increased OCI = "
       "1.5x Daly");
-  run_for(kPetascale20K);
-  run_for(kExascale100K);
+  run_for("fig14-petascale-20K");
+  run_for("fig14-exascale-100K");
   std::printf(
       "Reading (Obs. 5): stretching the OCI statically saves I/O too, but\n"
       "iLazy layered on top saves the most — the techniques compose.\n");

@@ -12,13 +12,13 @@ int main() {
   print_params("W=500 h, beta=0.5 h, k=0.6, MTBF 11 h, x=0.10 h, "
                "150 replicas, seed 16");
 
-  const auto& hero = kPetascale20K;
-  const auto baseline = evaluate(hero, 0.5, "static-oci", 0.6, 150, 16);
+  const auto& scenario = spec::builtin_scenario("fig16");
+  const auto baseline = run_scenario_policy(scenario, "static-oci");
 
   TextTable table({"scheme", "ckpt saving", "wasted (h)", "runtime change",
                    "checkpoints"});
   const auto row = [&](const char* label, const std::string& spec) {
-    const auto m = evaluate(hero, 0.5, spec, 0.6, 150, 16);
+    const auto m = run_scenario_policy(scenario, spec);
     table.add_row({label,
                    TextTable::percent(saving(baseline.mean_checkpoint_hours,
                                              m.mean_checkpoint_hours)),
@@ -34,7 +34,7 @@ int main() {
   row("linear x=0.05", "linear:0.05");
   row("linear x=0.10", "linear:0.1");
   row("linear x=0.25", "linear:0.25");
-  row("iLazy", "ilazy:0.6");
+  row("iLazy", scenario.policy);
   std::printf("%s\n", table.to_string().c_str());
   std::printf(
       "Reading: the linear ramp loses less work than iLazy but also saves\n"

@@ -14,16 +14,17 @@ int main() {
   print_params("W=500 h, beta=0.5 h, k=0.6, MTBF 11 h, 150 replicas, "
                "seed 19");
 
-  const auto& hero = kPetascale20K;
-  const auto baseline = evaluate(hero, 0.5, "static-oci", 0.6, 150, 19);
+  const auto& scenario = spec::builtin_scenario("fig19");
+  const auto baseline = run_scenario_policy(scenario, scenario.policy);
 
   TextTable table({"scheme", "ckpt saving", "runtime change", "skipped",
                    "wasted (h)"});
   table.add_row({"OCI (baseline)", "0.0%", "0.0%", "0.0",
                  TextTable::num(baseline.mean_wasted_hours)});
   for (int n = 1; n <= 3; ++n) {
-    const std::string spec = "skip" + std::to_string(n) + ":static-oci";
-    const auto m = evaluate(hero, 0.5, spec, 0.6, 150, 19);
+    const std::string spec =
+        "skip" + std::to_string(n) + ":" + scenario.policy;
+    const auto m = run_scenario_policy(scenario, spec);
     table.add_row({"skip-" + std::to_string(n),
                    TextTable::percent(saving(baseline.mean_checkpoint_hours,
                                              m.mean_checkpoint_hours)),

@@ -12,13 +12,13 @@ int main() {
   print_params("W=500 h, beta=0.5 h, k=0.6, MTBF 11 h, 150 replicas, "
                "seed 20");
 
-  const auto& hero = kPetascale20K;
-  const auto baseline = evaluate(hero, 0.5, "static-oci", 0.6, 150, 20);
+  const auto& scenario = spec::builtin_scenario("fig20");
+  const auto baseline = run_scenario_policy(scenario, "static-oci");
 
   TextTable table({"scheme", "ckpt saving vs OCI", "runtime change",
                    "checkpoints", "skipped"});
   const auto row = [&](const char* label, const std::string& spec) {
-    const auto m = evaluate(hero, 0.5, spec, 0.6, 150, 20);
+    const auto m = run_scenario_policy(scenario, spec);
     table.add_row({label,
                    TextTable::percent(saving(baseline.mean_checkpoint_hours,
                                              m.mean_checkpoint_hours)),
@@ -28,9 +28,9 @@ int main() {
                    TextTable::num(m.mean_checkpoints_written, 1),
                    TextTable::num(m.mean_checkpoints_skipped, 1)});
   };
-  row("iLazy", "ilazy:0.6");
-  row("skip-2 + iLazy", "skip2:ilazy:0.6");
-  row("skip-3 + iLazy", "skip3:ilazy:0.6");
+  row("iLazy", scenario.policy);
+  row("skip-2 + iLazy", "skip2:" + scenario.policy);
+  row("skip-3 + iLazy", "skip3:" + scenario.policy);
   std::printf("%s\n", table.to_string().c_str());
   std::printf(
       "Reading (Obs. 8): the composed schemes write fewer checkpoints than\n"

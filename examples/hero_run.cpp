@@ -1,7 +1,9 @@
 /// \file hero_run.cpp
 /// \brief Scenario explorer for hero runs: pick a system scale, policy,
 /// Weibull shape and checkpoint cost on the command line and get the full
-/// simulated breakdown plus a progress timeline.
+/// simulated breakdown.  Internally this specializes the built-in "hero"
+/// scenario (spec layer, DESIGN.md §5g) — `lazyckpt-run --dump hero`
+/// shows the file form of the defaults.
 ///
 /// Usage:
 ///   hero_run [system] [policy-spec] [shape] [beta-hours] [compute-hours]
@@ -14,49 +16,50 @@
 #include <string>
 
 #include "apps/catalog.hpp"
+#include "common/keyval.hpp"
 #include "common/table.hpp"
 #include "core/model/oci.hpp"
-#include "core/policy/factory.hpp"
-#include "io/storage_model.hpp"
-#include "sim/sweep.hpp"
-#include "stats/weibull.hpp"
+#include "spec/catalog.hpp"
+#include "spec/runner.hpp"
 
 using namespace lazyckpt;
 
 int main(int argc, char** argv) {
   const std::string system = argc > 1 ? argv[1] : "petascale-20K";
-  const std::string spec = argc > 2 ? argv[2] : "ilazy:0.6";
+  const std::string spec_arg = argc > 2 ? argv[2] : "ilazy:0.6";
   const double shape = argc > 3 ? std::atof(argv[3]) : 0.6;
   const double beta = argc > 4 ? std::atof(argv[4]) : 0.5;
   const double compute = argc > 5 ? std::atof(argv[5]) : 500.0;
 
   const auto& machine = apps::design_point_by_name(system);
-  const double oci = core::daly_oci(beta, machine.mtbf_hours);
 
-  print_banner("hero run: " + spec + " on " + machine.name);
+  // Specialize the built-in "hero" scenario with the command-line choices;
+  // replica count and seed stay as catalogued.
+  spec::Scenario scenario = spec::builtin_scenario("hero");
+  scenario.title = spec_arg + " on " + machine.name;
+  scenario.distribution = "weibull:mtbf=" +
+                          keyval::format_double(machine.mtbf_hours) +
+                          ",k=" + keyval::format_double(shape);
+  scenario.storage = "constant:beta=" + keyval::format_double(beta);
+  scenario.policy = spec_arg;
+  scenario.compute_hours = compute;
+  scenario.mtbf_hint_hours = machine.mtbf_hours;
+  scenario.shape_hint = shape;
+
+  const double oci = spec::simulation_config(scenario).alpha_oci_hours;
+  print_banner("hero run: " + spec_arg + " on " + machine.name);
   std::printf(
       "nodes %d | MTBF %.2f h | beta %.2f h | shape k %.2f | W %.0f h | "
       "Daly OCI %.2f h\n\n",
       machine.node_count, machine.mtbf_hours, beta, shape, compute, oci);
 
-  sim::SimulationConfig config;
-  config.compute_hours = compute;
-  config.alpha_oci_hours = oci;
-  config.mtbf_hint_hours = machine.mtbf_hours;
-  config.shape_hint = shape;
+  const spec::ScenarioRunner runner;
+  spec::Scenario baseline_scenario = scenario;
+  baseline_scenario.policy = "static-oci";
+  const auto chosen = runner.run(scenario).aggregate;
+  const auto baseline = runner.run(baseline_scenario).aggregate;
 
-  const auto weibull =
-      stats::Weibull::from_mtbf_and_shape(machine.mtbf_hours, shape);
-  const io::ConstantStorage storage(beta, beta);
-
-  const auto policy = core::make_policy(spec);
-  const auto baseline_policy = core::make_policy("static-oci");
-  const auto chosen =
-      sim::run_replicas(config, *policy, weibull, storage, 150, 1);
-  const auto baseline =
-      sim::run_replicas(config, *baseline_policy, weibull, storage, 150, 1);
-
-  TextTable table({"metric", "static-oci", spec});
+  TextTable table({"metric", "static-oci", spec_arg});
   const auto row = [&](const char* label, double a, double b, int precision) {
     table.add_row({label, TextTable::num(a, precision),
                    TextTable::num(b, precision)});
@@ -86,6 +89,6 @@ int main(int argc, char** argv) {
       chosen.mean_makespan_hours / baseline.mean_makespan_hours - 1.0;
   std::printf("%s vs static-oci: %.1f%% checkpoint I/O saved, %+.2f%% "
               "runtime.\n",
-              spec.c_str(), io_saving * 100.0, runtime_change * 100.0);
+              spec_arg.c_str(), io_saving * 100.0, runtime_change * 100.0);
   return 0;
 }

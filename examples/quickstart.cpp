@@ -1,20 +1,17 @@
 /// \file quickstart.cpp
 /// \brief Five-minute tour of the lazyckpt public API:
 ///   1. compute an optimal checkpoint interval (OCI) analytically,
-///   2. simulate a hero run under OCI and iLazy checkpointing,
+///   2. run the built-in "quickstart" scenario under OCI and iLazy
+///      checkpointing (the declarative spec layer, DESIGN.md §5g),
 ///   3. compare checkpoint I/O and total runtime.
 
 #include <cstdio>
 
 #include "apps/catalog.hpp"
 #include "common/table.hpp"
-#include "common/units.hpp"
 #include "core/model/oci.hpp"
-#include "core/policy/ilazy.hpp"
-#include "core/policy/periodic.hpp"
-#include "io/storage_model.hpp"
-#include "sim/sweep.hpp"
-#include "stats/weibull.hpp"
+#include "spec/catalog.hpp"
+#include "spec/runner.hpp"
 
 using namespace lazyckpt;
 
@@ -31,25 +28,16 @@ int main() {
               beta, oci);
 
   // --- 2. Simulate 500 h of computation under Weibull failures ---------
-  sim::SimulationConfig config;
-  config.compute_hours = 500.0;
-  config.alpha_oci_hours = oci;
-  config.mtbf_hint_hours = machine.mtbf_hours;
-  config.shape_hint = 0.6;  // OLCF-like temporal locality
+  // The "quickstart" scenario bundles the whole configuration (failure
+  // distribution, storage, workload, replicas, seed); swapping the policy
+  // spec compares schemes against identical failure arrival times.
+  const auto& scenario = spec::builtin_scenario("quickstart");
+  const spec::ScenarioRunner runner;
 
-  const auto weibull =
-      stats::Weibull::from_mtbf_and_shape(machine.mtbf_hours, 0.6);
-  const io::ConstantStorage storage(beta, beta);
-
-  const std::size_t replicas = 200;
-  const std::uint64_t seed = 42;
-
-  const core::PeriodicPolicy oci_policy(oci);
-  const core::ILazyPolicy ilazy_policy(0.6);
-  const auto oci_run = sim::run_replicas(config, oci_policy, weibull, storage,
-                                         replicas, seed);
-  const auto lazy_run = sim::run_replicas(config, ilazy_policy, weibull,
-                                          storage, replicas, seed);
+  spec::Scenario lazy_scenario = scenario;
+  lazy_scenario.policy = "ilazy:0.6";
+  const auto oci_run = runner.run(scenario).aggregate;
+  const auto lazy_run = runner.run(lazy_scenario).aggregate;
 
   // --- 3. Report --------------------------------------------------------
   TextTable table({"policy", "makespan (h)", "checkpoint I/O (h)",

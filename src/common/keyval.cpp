@@ -1,0 +1,139 @@
+#include "common/keyval.hpp"
+
+#include <charconv>
+
+#include "common/error.hpp"
+
+namespace lazyckpt::keyval {
+namespace {
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+[[noreturn]] void throw_bad_token(std::string_view what, std::string_view token,
+                                  std::string_view context) {
+  throw InvalidArgument(std::string(what) + " '" + std::string(token) +
+                        "' in '" + std::string(context) + "'");
+}
+
+}  // namespace
+
+std::string format_double(double value) {
+  char buffer[64];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  require(ec == std::errc(), "format_double: value does not fit buffer");
+  return std::string(buffer, ptr);
+}
+
+double parse_double(std::string_view token, std::string_view context) {
+  token = trim(token);
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size() ||
+      token.empty()) {
+    throw_bad_token("malformed number", token, context);
+  }
+  return value;
+}
+
+std::uint64_t parse_uint(std::string_view token, std::string_view context) {
+  token = trim(token);
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size() ||
+      token.empty()) {
+    throw_bad_token("malformed unsigned integer", token, context);
+  }
+  return value;
+}
+
+bool parse_bool(std::string_view token, std::string_view context) {
+  token = trim(token);
+  if (token == "true") return true;
+  if (token == "false") return false;
+  throw_bad_token("malformed boolean (want true/false)", token, context);
+}
+
+const Param* ParsedSpec::find(std::string_view key) const {
+  for (const Param& param : params) {
+    if (param.key == key) return &param;
+  }
+  return nullptr;
+}
+
+double ParsedSpec::number_or(std::string_view key, double fallback) const {
+  const Param* param = find(key);
+  return param == nullptr ? fallback : parse_double(param->value, text);
+}
+
+double ParsedSpec::number(std::string_view key) const {
+  const Param* param = find(key);
+  if (param == nullptr) {
+    throw InvalidArgument("missing required parameter '" + std::string(key) +
+                          "' in '" + text + "'");
+  }
+  return parse_double(param->value, text);
+}
+
+void ParsedSpec::require_keys(
+    std::initializer_list<std::string_view> allowed) const {
+  for (const Param& param : params) {
+    bool known = false;
+    for (std::string_view key : allowed) {
+      if (param.key == key) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      throw InvalidArgument("unknown parameter '" + param.key + "' in '" +
+                            text + "'");
+    }
+  }
+}
+
+ParsedSpec parse_spec(std::string_view spec) {
+  ParsedSpec out;
+  out.text = std::string(trim(spec));
+  require(!out.text.empty(), "empty spec");
+
+  const std::string_view text = out.text;
+  const std::size_t colon = text.find(':');
+  out.kind = std::string(trim(text.substr(0, colon)));
+  require(!out.kind.empty(), "spec '" + out.text + "' has an empty kind");
+  if (colon == std::string_view::npos) return out;
+
+  std::string_view rest = text.substr(colon + 1);
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view item = trim(rest.substr(0, comma));
+    rest = comma == std::string_view::npos ? std::string_view()
+                                           : rest.substr(comma + 1);
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      throw InvalidArgument("parameter '" + std::string(item) + "' in '" +
+                            out.text + "' is not key=value");
+    }
+    Param param;
+    param.key = std::string(trim(item.substr(0, eq)));
+    param.value = std::string(trim(item.substr(eq + 1)));
+    if (param.key.empty()) {
+      throw InvalidArgument("empty parameter key in '" + out.text + "'");
+    }
+    out.params.push_back(std::move(param));
+  }
+  return out;
+}
+
+}  // namespace lazyckpt::keyval

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file keyval.hpp
+/// \brief The shared mini-grammar behind every textual factory spec.
+///
+/// Policies ("skip2:ilazy:0.6"), distributions ("weibull:mtbf=11,k=0.6"),
+/// storage models ("constant:beta=0.5") and scenario files (`key = value`
+/// lines) all reduce to the same two problems: splitting a compact spec
+/// into a kind plus named parameters, and converting numbers to and from
+/// text *exactly* — the spec layer's round-trip guarantee
+/// (parse(to_string(s)) == s) rests on shortest-round-trip double
+/// formatting via std::to_chars.
+///
+/// Every parse failure throws InvalidArgument and names the offending
+/// token, so a typo in a scenario file points at itself.
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lazyckpt::keyval {
+
+/// Shortest decimal representation of `value` that parses back to exactly
+/// the same double (std::to_chars): 0.6 prints as "0.6", not
+/// "0.59999999999999998".
+[[nodiscard]] std::string format_double(double value);
+
+/// Parse a full-token double.  `context` (the surrounding spec or file
+/// line) is echoed in the InvalidArgument message along with `token`.
+[[nodiscard]] double parse_double(std::string_view token,
+                                  std::string_view context);
+
+/// Parse a full-token unsigned integer.  Throws InvalidArgument naming
+/// `token` and `context` on malformed input.
+[[nodiscard]] std::uint64_t parse_uint(std::string_view token,
+                                       std::string_view context);
+
+/// Parse "true"/"false".  Throws InvalidArgument naming `token`.
+[[nodiscard]] bool parse_bool(std::string_view token,
+                              std::string_view context);
+
+/// One `key=value` parameter of a spec.
+struct Param {
+  std::string key;
+  std::string value;
+
+  bool operator==(const Param&) const = default;
+};
+
+/// A spec split into its kind and parameters, e.g.
+/// "weibull:mtbf=11,k=0.6" → kind "weibull", params {mtbf→11, k→0.6}.
+struct ParsedSpec {
+  std::string kind;
+  std::vector<Param> params;
+  std::string text;  ///< the original spec, echoed in error messages
+
+  /// The parameter named `key`, or nullptr.
+  [[nodiscard]] const Param* find(std::string_view key) const;
+
+  [[nodiscard]] bool has(std::string_view key) const {
+    return find(key) != nullptr;
+  }
+
+  /// Numeric value of `key`, or `fallback` when absent.
+  [[nodiscard]] double number_or(std::string_view key, double fallback) const;
+
+  /// Numeric value of `key`; throws InvalidArgument naming the key when it
+  /// is absent.
+  [[nodiscard]] double number(std::string_view key) const;
+
+  /// Throws InvalidArgument naming the first parameter whose key is not in
+  /// `allowed` — a misspelled key fails loudly instead of being ignored.
+  void require_keys(std::initializer_list<std::string_view> allowed) const;
+};
+
+/// Split "kind" or "kind:k1=v1,k2=v2,…" into a ParsedSpec.  Whitespace
+/// around tokens is trimmed.  Throws InvalidArgument on an empty spec,
+/// empty kind, or a parameter without '='.
+[[nodiscard]] ParsedSpec parse_spec(std::string_view spec);
+
+}  // namespace lazyckpt::keyval

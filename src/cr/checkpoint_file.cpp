@@ -7,6 +7,7 @@
 
 #include "common/crc32.hpp"
 #include "common/error.hpp"
+#include "obs/clock.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -128,9 +129,18 @@ CheckpointMetadata parse(const std::string& path, OnRegion&& on_region) {
 
 }  // namespace
 
+/// Bucket bounds (seconds) for cr.write_latency_seconds: decade steps from
+/// sub-millisecond in-memory writes up to multi-second parallel-FS flushes.
+constexpr double kWriteLatencyBoundsSeconds[] = {0.0001, 0.001, 0.01,
+                                                 0.1,    1.0,   10.0};
+
 void write_checkpoint(const std::string& path, const RegionRegistry& registry,
                       const CheckpointMetadata& metadata) {
   const obs::TraceSpan span("cr.write_checkpoint");
+  // Timestamps observe the write; they never feed a result path (the
+  // determinism contract, DESIGN.md §5f), and cost nothing when disabled.
+  const obs::TimeNs write_start_ns =
+      obs::enabled() ? obs::process_clock().now_ns() : 0;
   std::vector<std::byte> body;
   body.reserve(64 + registry.total_bytes());
   append_bytes(body, kMagic, sizeof(kMagic));
@@ -166,6 +176,12 @@ void write_checkpoint(const std::string& path, const RegionRegistry& registry,
     obs::metrics().counter("cr.files_written").add();
     obs::metrics().counter("cr.bytes_written").add(body.size());
     obs::metrics().counter("cr.regions_written").add(registry.count());
+    const double latency_seconds =
+        static_cast<double>(obs::process_clock().now_ns() - write_start_ns) *
+        1e-9;
+    obs::metrics()
+        .histogram("cr.write_latency_seconds", kWriteLatencyBoundsSeconds)
+        .observe(latency_seconds);
   }
 }
 

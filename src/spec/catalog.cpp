@@ -1,0 +1,176 @@
+#include "spec/catalog.hpp"
+
+#include "common/error.hpp"
+
+namespace lazyckpt::spec {
+namespace {
+
+/// The anchor configuration (paper Sec. 4): 20K-node petascale machine,
+/// MTBF 11 h, 30-minute checkpoints, Weibull k = 0.6, 500 h of science.
+/// Every mtbf-hint is written explicitly (not the `derive` sentinel) so a
+/// scenario-driven bench is bit-identical to its previous hand-wired form:
+/// Weibull::from_mtbf_and_shape(11, 0.6).mean() round-trips the MTBF
+/// analytically, not bitwise.
+std::vector<Scenario> build_catalog() {
+  std::vector<Scenario> catalog;
+
+  catalog.push_back(Scenario{
+      .name = "campaign-week",
+      .title = "500 h of science as one-week allocations with queue gaps",
+      .distribution = "weibull:mtbf=11,k=0.6",
+      .storage = "constant:beta=0.5",
+      .policy = "ilazy:0.6",
+      .mtbf_hint_hours = 11.0,
+      .shape_hint = 0.6,
+      .replicas = 60,
+      .seed = 71,
+      .allocation_hours = 168.0,
+      .gap_hours = 24.0,
+  });
+
+  catalog.push_back(Scenario{
+      .name = "fig13",
+      .title = "Fig. 13 anchor run: iLazy vs OCI execution progress",
+      .distribution = "weibull:mtbf=11,k=0.6",
+      .storage = "constant:beta=0.5",
+      .policy = "ilazy:0.6",
+      .mtbf_hint_hours = 11.0,
+      .shape_hint = 0.6,
+      .replicas = 200,
+      .seed = 13,
+  });
+
+  catalog.push_back(Scenario{
+      .name = "fig14-exascale-100K",
+      .title = "Fig. 14 at exascale: iLazy vs an increased OCI",
+      .distribution = "weibull:mtbf=2.2,k=0.6",
+      .storage = "constant:beta=0.5",
+      .policy = "ilazy:0.6",
+      .mtbf_hint_hours = 2.2,
+      .shape_hint = 0.6,
+      .replicas = 150,
+      .seed = 14,
+  });
+
+  catalog.push_back(Scenario{
+      .name = "fig14-petascale-20K",
+      .title = "Fig. 14 at petascale: iLazy vs an increased OCI",
+      .distribution = "weibull:mtbf=11,k=0.6",
+      .storage = "constant:beta=0.5",
+      .policy = "ilazy:0.6",
+      .mtbf_hint_hours = 11.0,
+      .shape_hint = 0.6,
+      .replicas = 150,
+      .seed = 14,
+  });
+
+  catalog.push_back(Scenario{
+      .name = "fig16",
+      .title = "Fig. 16: iLazy vs linearly increasing intervals",
+      .distribution = "weibull:mtbf=11,k=0.6",
+      .storage = "constant:beta=0.5",
+      .policy = "ilazy:0.6",
+      .mtbf_hint_hours = 11.0,
+      .shape_hint = 0.6,
+      .replicas = 150,
+      .seed = 16,
+  });
+
+  catalog.push_back(Scenario{
+      .name = "fig19",
+      .title = "Fig. 19: Skip checkpointing variants vs the OCI baseline",
+      .distribution = "weibull:mtbf=11,k=0.6",
+      .storage = "constant:beta=0.5",
+      .policy = "static-oci",
+      .mtbf_hint_hours = 11.0,
+      .shape_hint = 0.6,
+      .replicas = 150,
+      .seed = 19,
+  });
+
+  catalog.push_back(Scenario{
+      .name = "fig20",
+      .title = "Fig. 20: composing Skip with iLazy",
+      .distribution = "weibull:mtbf=11,k=0.6",
+      .storage = "constant:beta=0.5",
+      .policy = "ilazy:0.6",
+      .mtbf_hint_hours = 11.0,
+      .shape_hint = 0.6,
+      .replicas = 150,
+      .seed = 20,
+  });
+
+  catalog.push_back(Scenario{
+      .name = "fig21",
+      .title = "Fig. 21: bounded iLazy (no-performance-loss cap)",
+      .distribution = "weibull:mtbf=11,k=0.6",
+      .storage = "constant:beta=0.5",
+      .policy = "bounded-ilazy:0.6",
+      .mtbf_hint_hours = 11.0,
+      .shape_hint = 0.6,
+      .replicas = 200,
+      .seed = 21,
+  });
+
+  catalog.push_back(Scenario{
+      .name = "hero",
+      .title = "hero run default: iLazy on petascale-20K",
+      .distribution = "weibull:mtbf=11,k=0.6",
+      .storage = "constant:beta=0.5",
+      .policy = "ilazy:0.6",
+      .mtbf_hint_hours = 11.0,
+      .shape_hint = 0.6,
+      .replicas = 150,
+      .seed = 1,
+  });
+
+  catalog.push_back(Scenario{
+      .name = "quickstart",
+      .title = "quickstart: OCI vs iLazy on petascale-20K",
+      .distribution = "weibull:mtbf=11,k=0.6",
+      .storage = "constant:beta=0.5",
+      .policy = "static-oci",
+      .mtbf_hint_hours = 11.0,
+      .shape_hint = 0.6,
+      .replicas = 200,
+      .seed = 42,
+  });
+
+  catalog.push_back(Scenario{
+      .name = "spider-trace",
+      .title = "iLazy over a synthetic Spider-like bandwidth trace",
+      .distribution = "weibull:mtbf=11,k=0.6",
+      .storage = "spider:size_gb=150,span=1000",
+      .policy = "ilazy:0.6",
+      .oci_hours = 3.0,
+      .mtbf_hint_hours = 11.0,
+      .shape_hint = 0.6,
+      .replicas = 100,
+      .seed = 18,
+  });
+
+  for (const Scenario& scenario : catalog) scenario.validate();
+  return catalog;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& builtin_scenarios() {
+  static const std::vector<Scenario> catalog = build_catalog();
+  return catalog;
+}
+
+const Scenario& builtin_scenario(std::string_view name) {
+  for (const Scenario& scenario : builtin_scenarios()) {
+    if (scenario.name == name) return scenario;
+  }
+  std::string known;
+  for (const Scenario& scenario : builtin_scenarios()) {
+    if (!known.empty()) known += ", ";
+    known += scenario.name;
+  }
+  throw InvalidArgument("unknown scenario '" + std::string(name) +
+                        "' (built-in: " + known + ")");
+}
+
+}  // namespace lazyckpt::spec

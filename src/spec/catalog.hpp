@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file catalog.hpp
+/// \brief The built-in scenario catalog (DESIGN.md §5g).
+///
+/// One named Scenario per paper artifact the scenario-driven benches and
+/// `lazyckpt-run` share: the anchor configuration behind Figs. 13–21, the
+/// quickstart/hero examples, plus campaign- and trace-storage demos.  The
+/// files under bench/scenarios/ are these exact entries serialized with
+/// save_scenario (`lazyckpt-run --dump <name>`); tests/test_spec.cpp
+/// asserts file ↔ builtin equality and round-trips every entry.
+
+#include <vector>
+
+#include "spec/scenario.hpp"
+
+namespace lazyckpt::spec {
+
+/// All built-in scenarios, sorted by name (deterministic --list order).
+[[nodiscard]] const std::vector<Scenario>& builtin_scenarios();
+
+/// Look up one built-in scenario.  Throws InvalidArgument naming the
+/// unknown scenario and listing the known ones.
+[[nodiscard]] const Scenario& builtin_scenario(std::string_view name);
+
+}  // namespace lazyckpt::spec

@@ -1,0 +1,104 @@
+#include "spec/runner.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/error.hpp"
+#include "core/model/oci.hpp"
+#include "core/policy/factory.hpp"
+#include "io/factory.hpp"
+#include "stats/factory.hpp"
+
+namespace lazyckpt::spec {
+namespace {
+
+/// MTBF the policies should assume: the explicit hint, else the failure
+/// distribution's mean.  Catalog scenarios pin the hint explicitly where
+/// bit-identity with a hand-wired bench matters (Weibull::from_mtbf's
+/// mean() round-trips the MTBF analytically, not bitwise).
+double resolve_mtbf_hint(const Scenario& scenario,
+                         const stats::Distribution& inter_arrival) {
+  return scenario.mtbf_hint_hours > 0.0 ? scenario.mtbf_hint_hours
+                                        : inter_arrival.mean();
+}
+
+sim::SimulationConfig config_for(const Scenario& scenario,
+                                 const stats::Distribution& inter_arrival,
+                                 const io::StorageModel& storage) {
+  const double mtbf = resolve_mtbf_hint(scenario, inter_arrival);
+  sim::SimulationConfig config;
+  config.compute_hours = scenario.compute_hours;
+  config.alpha_oci_hours =
+      scenario.oci_hours > 0.0
+          ? scenario.oci_hours
+          : core::daly_oci(storage.checkpoint_time(0.0), mtbf);
+  config.mtbf_hint_hours = mtbf;
+  config.shape_hint = scenario.shape_hint;
+  config.record_timeline = scenario.record_timeline;
+  config.checkpoint_blocking_fraction = scenario.blocking_fraction;
+  config.time_budget_hours = scenario.time_budget_hours;
+  return config;
+}
+
+}  // namespace
+
+sim::SimulationConfig simulation_config(const Scenario& scenario) {
+  scenario.validate();
+  const auto inter_arrival = stats::make_distribution(scenario.distribution);
+  const auto storage = io::make_storage(scenario.storage);
+  return config_for(scenario, *inter_arrival, *storage);
+}
+
+sim::CampaignConfig campaign_config(const Scenario& scenario) {
+  require(scenario.is_campaign(),
+          "campaign_config: scenario '" + scenario.name +
+              "' has no allocation size (not a campaign)");
+  sim::CampaignConfig config;
+  config.base = simulation_config(scenario);
+  config.allocation_hours = scenario.allocation_hours;
+  config.gap_hours = scenario.gap_hours;
+  config.max_allocations = scenario.max_allocations;
+  return config;
+}
+
+ScenarioResult ScenarioRunner::run(const Scenario& scenario) const {
+  scenario.validate();
+
+  ScenarioResult result;
+  result.scenario = scenario;
+  if (options_.max_replicas > 0) {
+    result.scenario.replicas =
+        std::min(result.scenario.replicas, options_.max_replicas);
+  }
+  const Scenario& run_as = result.scenario;
+
+  const auto inter_arrival = stats::make_distribution(run_as.distribution);
+  const auto storage = io::make_storage(run_as.storage);
+  const auto policy = core::make_policy(run_as.policy);
+
+  if (run_as.is_campaign()) {
+    const sim::CampaignConfig config = campaign_config(run_as);
+    const auto campaigns = sim::run_campaign_replicas(
+        config, *policy, *inter_arrival, *storage, run_as.replicas,
+        run_as.seed);
+    result.campaign = sim::aggregate_campaigns(campaigns);
+    // Cross-allocation aggregate over every run the campaigns produced,
+    // so table/JSON output has the familiar per-run columns too.
+    std::vector<sim::RunMetrics> all_runs;
+    for (const auto& campaign : campaigns) {
+      all_runs.insert(all_runs.end(), campaign.runs.begin(),
+                      campaign.runs.end());
+    }
+    result.aggregate = sim::aggregate(all_runs);
+    return result;
+  }
+
+  const sim::SimulationConfig config =
+      config_for(run_as, *inter_arrival, *storage);
+  result.runs = sim::run_replicas_raw(config, *policy, *inter_arrival,
+                                      *storage, run_as.replicas, run_as.seed);
+  result.aggregate = sim::aggregate(result.runs);
+  return result;
+}
+
+}  // namespace lazyckpt::spec

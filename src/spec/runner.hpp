@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file runner.hpp
+/// \brief Execute a Scenario through the simulation engine (DESIGN.md §5g).
+///
+/// The runner is pure re-plumbing: it resolves the scenario's factory
+/// specs, derives the same SimulationConfig the benches used to
+/// hand-assemble (Daly OCI from β and the MTBF hint, unless overridden),
+/// and hands off to sim::run_replicas / sim::run_campaign_replicas — so a
+/// scenario-driven run is bit-identical to the equivalent hand-wired one,
+/// inherits the parallel engine (LAZYCKPT_THREADS) and the tracing layer,
+/// and shares the paper's "same seed ⇒ same failure arrival times"
+/// fair-comparison property.
+
+#include <optional>
+#include <vector>
+
+#include "sim/campaign.hpp"
+#include "sim/sweep.hpp"
+#include "spec/scenario.hpp"
+
+namespace lazyckpt::spec {
+
+/// SimulationConfig derived from `scenario`: mtbf hint falls back to the
+/// distribution mean, the reference OCI to Daly(β(0), MTBF hint).  Throws
+/// InvalidArgument on unresolvable specs.
+[[nodiscard]] sim::SimulationConfig simulation_config(
+    const Scenario& scenario);
+
+/// CampaignConfig derived from `scenario` (requires is_campaign()).
+[[nodiscard]] sim::CampaignConfig campaign_config(const Scenario& scenario);
+
+/// Everything one scenario execution produced.
+struct ScenarioResult {
+  Scenario scenario;              ///< as actually run (after any clamping)
+  sim::AggregateMetrics aggregate;  ///< cross-replica summary
+  std::vector<sim::RunMetrics> runs;  ///< per-replica metrics (replica mode)
+  std::optional<sim::CampaignAggregate> campaign;  ///< campaign mode only
+};
+
+/// Execution options applied uniformly to every scenario a runner sees.
+struct RunnerOptions {
+  /// Clamp scenario replica counts to this many (0 = run as specified).
+  /// The CI catalog sweep uses it to smoke-run every scenario in seconds.
+  std::size_t max_replicas = 0;
+};
+
+/// Executes scenarios.  Stateless apart from its options; safe to reuse
+/// across scenarios and to share const across threads.
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(RunnerOptions options = {}) : options_(options) {}
+
+  /// Run `scenario` to completion.  Replica mode fills `runs` and
+  /// `aggregate`; campaign mode fills `campaign` and leaves `runs` empty
+  /// (per-allocation metrics live inside the campaign results).  Throws
+  /// InvalidArgument on malformed specs.
+  [[nodiscard]] ScenarioResult run(const Scenario& scenario) const;
+
+  [[nodiscard]] const RunnerOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  RunnerOptions options_;
+};
+
+}  // namespace lazyckpt::spec

@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file scenario.hpp
+/// \brief Serializable experiment specifications (DESIGN.md §5g).
+///
+/// A Scenario is one complete experiment configuration — machine/workload,
+/// failure distribution, storage model, checkpoint policy, replica count,
+/// seed, and output selection — as *data* instead of compiled C++.  The
+/// paper's evaluation is ~25 such configurations; before this layer each
+/// bench hand-assembled SimulationConfig + Distribution + ConstantStorage +
+/// make_policy with copy-pasted constants.
+///
+/// Text format: `key = value` lines, one scenario per file, `#` comments,
+/// blank lines ignored.  Distribution/storage/policy values reuse the
+/// factory mini-grammars (stats::make_distribution, io::make_storage,
+/// core::make_policy).  The writer emits a canonical form (fixed key
+/// order, shortest-round-trip numbers, defaults omitted) such that
+/// parse(to_string(s)) == s for every valid scenario — enforced by
+/// tests/test_spec.cpp over the whole built-in catalog.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lazyckpt::spec {
+
+/// Where lazyckpt-run sends a scenario's results.
+enum class OutputFormat : std::uint8_t {
+  kTable,  ///< banner + aligned text table (bench-style, diffable)
+  kJson,   ///< one deterministic JSON object
+};
+
+/// One serializable experiment configuration.
+///
+/// Derivation sentinels keep scenarios concise: mtbf_hint_hours = 0 means
+/// "use the failure distribution's mean", oci_hours = 0 means "Daly OCI
+/// from the storage β at t=0 and the MTBF hint" — exactly the hand-wired
+/// bench construction this layer replaces.
+struct Scenario {
+  std::string name;          ///< identifier ("fig13"); [A-Za-z0-9_.-]
+  std::string title;         ///< optional one-line description
+
+  std::string distribution;  ///< stats::make_distribution spec
+  std::string storage;       ///< io::make_storage spec
+  std::string policy;        ///< core::make_policy spec
+
+  double compute_hours = 500.0;  ///< useful work W
+  double oci_hours = 0.0;        ///< reference OCI; 0 = Daly(β, MTBF hint)
+  double mtbf_hint_hours = 0.0;  ///< policy MTBF prior; 0 = distribution mean
+  double shape_hint = 1.0;       ///< Weibull-shape prior handed to policies
+
+  std::size_t replicas = 100;
+  std::uint64_t seed = 1;
+
+  bool record_timeline = false;           ///< collect TimelinePoints
+  double blocking_fraction = 1.0;         ///< σ, see SimulationConfig
+  double time_budget_hours = 0.0;         ///< per-run allocation cap (0 = ∞)
+
+  /// Campaign mode (sim::run_campaign_replicas) when allocation_hours > 0:
+  /// chained fixed-size allocations with queue-wait gaps.
+  double allocation_hours = 0.0;
+  double gap_hours = 0.0;
+  std::size_t max_allocations = 100;
+
+  OutputFormat output = OutputFormat::kTable;
+
+  bool operator==(const Scenario&) const = default;
+
+  /// True when this scenario runs as a campaign.
+  [[nodiscard]] bool is_campaign() const noexcept {
+    return allocation_hours > 0.0;
+  }
+
+  /// Throws InvalidArgument (naming the field) unless every field is in
+  /// its documented domain and the three factory specs parse.
+  void validate() const;
+};
+
+/// Parse the scenario text format.  Unknown keys, malformed values, and
+/// duplicate keys throw InvalidArgument naming the offending token; the
+/// result is validate()d before being returned.
+[[nodiscard]] Scenario parse_scenario(std::string_view text);
+
+/// Read and parse one scenario file.  Throws IoError when the file cannot
+/// be read, InvalidArgument when it does not parse.
+[[nodiscard]] Scenario load_scenario(const std::string& path);
+
+/// Canonical text form: fixed key order, shortest-round-trip numbers,
+/// default-valued optional keys omitted.  parse(to_string(s)) == s.
+[[nodiscard]] std::string to_string(const Scenario& scenario);
+
+/// Canonical *file* form: a fixed header comment plus to_string().  This
+/// is byte-for-byte what save_scenario writes and what `lazyckpt-run
+/// --dump` prints, so checked-in scenario files can be regenerated and
+/// diffed.
+[[nodiscard]] std::string to_file_string(const Scenario& scenario);
+
+/// Write `scenario` in canonical file form.  Throws IoError on failure.
+void save_scenario(const Scenario& scenario, const std::string& path);
+
+}  // namespace lazyckpt::spec

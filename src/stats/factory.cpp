@@ -1,0 +1,102 @@
+#include "stats/factory.hpp"
+
+#include "common/error.hpp"
+#include "stats/exponential.hpp"
+#include "stats/lognormal.hpp"
+#include "stats/normal.hpp"
+#include "stats/weibull.hpp"
+
+namespace lazyckpt::stats {
+namespace {
+
+DistributionPtr build_exponential(const keyval::ParsedSpec& spec) {
+  spec.require_keys({"mtbf", "rate"});
+  const bool has_mtbf = spec.has("mtbf");
+  const bool has_rate = spec.has("rate");
+  if (has_mtbf == has_rate) {
+    throw InvalidArgument("'" + spec.text +
+                          "': give exactly one of mtbf= or rate=");
+  }
+  if (has_mtbf) {
+    return std::make_unique<Exponential>(
+        Exponential::from_mean(spec.number("mtbf")));
+  }
+  return std::make_unique<Exponential>(spec.number("rate"));
+}
+
+DistributionPtr build_weibull(const keyval::ParsedSpec& spec) {
+  spec.require_keys({"mtbf", "scale", "k"});
+  const double shape = spec.number("k");
+  const bool has_mtbf = spec.has("mtbf");
+  const bool has_scale = spec.has("scale");
+  if (has_mtbf == has_scale) {
+    throw InvalidArgument("'" + spec.text +
+                          "': give exactly one of mtbf= or scale=");
+  }
+  if (has_mtbf) {
+    return std::make_unique<Weibull>(
+        Weibull::from_mtbf_and_shape(spec.number("mtbf"), shape));
+  }
+  return std::make_unique<Weibull>(shape, spec.number("scale"));
+}
+
+DistributionPtr build_lognormal(const keyval::ParsedSpec& spec) {
+  spec.require_keys({"mu", "sigma"});
+  return std::make_unique<LogNormal>(spec.number("mu"), spec.number("sigma"));
+}
+
+DistributionPtr build_normal(const keyval::ParsedSpec& spec) {
+  spec.require_keys({"mean", "sd"});
+  return std::make_unique<Normal>(spec.number("mean"), spec.number("sd"));
+}
+
+}  // namespace
+
+DistributionRegistry::DistributionRegistry() {
+  builders_.emplace("exponential", &build_exponential);
+  builders_.emplace("weibull", &build_weibull);
+  builders_.emplace("lognormal", &build_lognormal);
+  builders_.emplace("normal", &build_normal);
+}
+
+DistributionRegistry& DistributionRegistry::instance() {
+  static DistributionRegistry registry;
+  return registry;
+}
+
+void DistributionRegistry::add(const std::string& kind,
+                               DistributionBuilder builder) {
+  require(builder != nullptr, "DistributionRegistry::add: null builder");
+  const auto [it, inserted] = builders_.emplace(kind, builder);
+  (void)it;
+  if (!inserted) {
+    throw InvalidArgument("distribution kind '" + kind +
+                          "' is already registered");
+  }
+}
+
+DistributionPtr DistributionRegistry::make(std::string_view spec) const {
+  const keyval::ParsedSpec parsed = keyval::parse_spec(spec);
+  const auto it = builders_.find(parsed.kind);
+  if (it == builders_.end()) {
+    throw InvalidArgument("unknown distribution kind '" + parsed.kind +
+                          "' in '" + parsed.text + "'");
+  }
+  return it->second(parsed);
+}
+
+std::vector<std::string> DistributionRegistry::kinds() const {
+  std::vector<std::string> out;
+  out.reserve(builders_.size());
+  for (const auto& [kind, builder] : builders_) {
+    (void)builder;
+    out.push_back(kind);
+  }
+  return out;
+}
+
+DistributionPtr make_distribution(std::string_view spec) {
+  return DistributionRegistry::instance().make(spec);
+}
+
+}  // namespace lazyckpt::stats

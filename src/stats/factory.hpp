@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file factory.hpp
+/// \brief Construct failure distributions from compact textual specs —
+/// the stats-layer sibling of core::make_policy (DESIGN.md §5g).
+///
+/// Spec grammar (kind plus key=value parameters, common/keyval.hpp):
+///   "exponential:mtbf=7.5"        — Exponential::from_mean(7.5)
+///   "exponential:rate=0.13"       — Exponential(0.13)
+///   "weibull:mtbf=11,k=0.6"       — Weibull::from_mtbf_and_shape(11, 0.6)
+///   "weibull:scale=8.6,k=0.6"     — Weibull(0.6, 8.6)
+///   "lognormal:mu=1.2,sigma=0.5"  — LogNormal(1.2, 0.5)
+///   "normal:mean=10,sd=2"         — Normal(10, 2)
+///
+/// Kinds live in a registry so extensions (mixtures, empirical fits)
+/// plug in without touching this file.  Unknown kinds, unknown keys, and
+/// malformed numbers throw InvalidArgument naming the offending token.
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/keyval.hpp"
+#include "stats/distribution.hpp"
+
+namespace lazyckpt::stats {
+
+/// Builds a distribution from its parsed spec.  Throws InvalidArgument on
+/// missing/unknown parameters (spec.text carries the original text for
+/// messages).
+using DistributionBuilder = DistributionPtr (*)(const keyval::ParsedSpec&);
+
+/// The kind → builder table behind make_distribution.  Builtin kinds
+/// (exponential, weibull, lognormal, normal) are registered on first use;
+/// extensions add theirs via add().
+class DistributionRegistry {
+ public:
+  /// The process-wide registry.
+  static DistributionRegistry& instance();
+
+  /// Register `kind`.  Throws InvalidArgument if it is already taken.
+  void add(const std::string& kind, DistributionBuilder builder);
+
+  /// Parse `spec` and build.  Throws InvalidArgument on an unknown kind or
+  /// malformed parameters.
+  [[nodiscard]] DistributionPtr make(std::string_view spec) const;
+
+  /// Registered kinds in name order (deterministic for --list output).
+  [[nodiscard]] std::vector<std::string> kinds() const;
+
+ private:
+  DistributionRegistry();
+  std::map<std::string, DistributionBuilder, std::less<>> builders_;
+};
+
+/// Parse `spec` and build the distribution via the process registry.
+/// Throws InvalidArgument on a malformed or unknown spec.
+[[nodiscard]] DistributionPtr make_distribution(std::string_view spec);
+
+}  // namespace lazyckpt::stats

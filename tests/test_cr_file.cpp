@@ -6,11 +6,15 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <string_view>
 #include <vector>
 
 #include "common/error.hpp"
 #include "cr/checkpoint_file.hpp"
 #include "cr/region.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lazyckpt::cr {
 namespace {
@@ -176,6 +180,43 @@ TEST_F(CheckpointFileTest, OverwriteIsAtomicNoTempLeftBehind) {
 
 TEST_F(CheckpointFileTest, MissingFileIsIoError) {
   EXPECT_THROW(verify_checkpoint((dir_ / "nope.ckpt").string()), IoError);
+}
+
+TEST_F(CheckpointFileTest, WriteRecordsLatencyHistogram) {
+  double value = 1.0;
+  RegionRegistry registry;
+  registry.register_value("v", &value);
+
+  // A FakeClock pins the process clock, so the observed write latency is
+  // exactly zero and lands deterministically in the first bucket.
+  const obs::FakeClock clock;
+  const obs::ScopedClockOverride override_scope(clock);
+
+  const auto count_of = [](std::string_view name) {
+    const auto snapshot = obs::metrics().snapshot();
+    const auto* entry = snapshot.find(name);
+    return entry == nullptr ? std::uint64_t{0} : entry->count;
+  };
+  const std::uint64_t before = count_of("cr.write_latency_seconds");
+
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  write_checkpoint(path_, registry, {1.0});
+  obs::set_enabled(was_enabled);
+
+  const auto snapshot = obs::metrics().snapshot();
+  const auto* entry = snapshot.find("cr.write_latency_seconds");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->kind, obs::MetricValue::Kind::kHistogram);
+  EXPECT_EQ(entry->count, before + 1);
+  ASSERT_FALSE(entry->bucket_counts.empty());
+  EXPECT_GE(entry->bucket_counts.front(), 1u);
+
+  // Disabled telemetry records nothing.
+  obs::set_enabled(false);
+  write_checkpoint(path_, registry, {1.0});
+  obs::set_enabled(was_enabled);
+  EXPECT_EQ(count_of("cr.write_latency_seconds"), before + 1);
 }
 
 }  // namespace

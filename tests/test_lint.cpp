@@ -152,6 +152,28 @@ void dump() {
   EXPECT_EQ(findings[0].line, 7);
 }
 
+TEST(LintUnordered, TracksDeclarationsSplitAcrossLines) {
+  // The declaration wraps: template arguments on one line, the variable
+  // name on the next.  The joined-file scan must still track `scores`.
+  const std::string snippet = R"(
+#include <fstream>
+#include <unordered_map>
+void dump() {
+  std::unordered_map<std::string,
+                     double>
+      scores;
+  std::ofstream out;
+  for (const auto& [node, score] : scores) {
+    out << node << score;
+  }
+}
+)";
+  const auto findings = lint_at("src/apps/report.cpp", snippet);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, lint::Rule::kUnorderedOutputOrder);
+  EXPECT_EQ(findings[0].line, 9);
+}
+
 TEST(LintUnordered, CleanWithoutOutputOrWithOrderedContainer) {
   // Same iteration, but the TU writes nothing: lookup tables are fine.
   const std::string no_output = R"(
@@ -258,6 +280,40 @@ void f(bool ok) {
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].rule, lint::Rule::kErrorDiscipline);
   EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintErrorDiscipline, FlagsEveryNakedStdExceptionType) {
+  for (const std::string type :
+       {"std::exception", "std::logic_error", "std::invalid_argument",
+        "std::out_of_range", "std::length_error", "std::domain_error",
+        "std::range_error", "std::overflow_error", "std::underflow_error",
+        "std::system_error"}) {
+    const std::string snippet =
+        "void f(bool ok) {\n  if (!ok) throw " + type + "(\"bad\");\n}\n";
+    const auto findings = lint_at("src/io/agent.cpp", snippet);
+    ASSERT_EQ(findings.size(), 1u) << type;
+    EXPECT_EQ(findings[0].rule, lint::Rule::kErrorDiscipline) << type;
+    EXPECT_EQ(findings[0].line, 2) << type;
+  }
+}
+
+TEST(LintErrorDiscipline, FlagsProcessTerminatorsInSrcOnly) {
+  for (const std::string call :
+       {"std::abort()", "abort()", "std::exit(1)", "exit(0)",
+        "std::quick_exit(2)", "_Exit(3)"}) {
+    const std::string snippet = "void f() {\n  " + call + ";\n}\n";
+    const auto findings = lint_at("src/io/agent.cpp", snippet);
+    ASSERT_EQ(findings.size(), 1u) << call;
+    EXPECT_EQ(findings[0].rule, lint::Rule::kErrorDiscipline) << call;
+    EXPECT_EQ(findings[0].line, 2) << call;
+    // main()s outside src/ may terminate the process.
+    EXPECT_TRUE(lint_at("bench/fig99.cpp", snippet).empty()) << call;
+    EXPECT_TRUE(lint_at("examples/demo.cpp", snippet).empty()) << call;
+  }
+  // Lookalikes at non-token boundaries stay clean.
+  const std::string lookalike =
+      "void f() {\n  on_exit(nullptr, nullptr);\n  my_abort();\n}\n";
+  EXPECT_TRUE(lint_at("src/io/agent.cpp", lookalike).empty());
 }
 
 TEST(LintErrorDiscipline, HierarchyThrowsAndOtherDirsPass) {

@@ -1,0 +1,320 @@
+// The declarative scenario layer (DESIGN.md §5g): factory grammars and
+// their error paths, scenario parse/serialize round trips over the whole
+// built-in catalog, checked-in file <-> builtin equivalence, and runner
+// results bit-identical to hand-wired simulation setup.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/model/oci.hpp"
+#include "core/policy/factory.hpp"
+#include "io/factory.hpp"
+#include "io/storage_model.hpp"
+#include "sim/sweep.hpp"
+#include "spec/catalog.hpp"
+#include "spec/runner.hpp"
+#include "spec/scenario.hpp"
+#include "stats/factory.hpp"
+#include "stats/weibull.hpp"
+
+namespace lazyckpt {
+namespace {
+
+/// EXPECT that `expr` throws InvalidArgument whose message contains every
+/// one of `needles` — the factory error-path contract: the offending token
+/// is always named.
+template <typename Fn>
+void expect_invalid(Fn&& fn, const std::vector<std::string>& needles) {
+  try {
+    fn();
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    const std::string what = error.what();
+    for (const std::string& needle : needles) {
+      EXPECT_NE(what.find(needle), std::string::npos)
+          << "message '" << what << "' should mention '" << needle << "'";
+    }
+  }
+}
+
+// ---- distribution factory ------------------------------------------------
+
+TEST(DistributionFactory, BuildsEveryKind) {
+  EXPECT_DOUBLE_EQ(stats::make_distribution("exponential:mtbf=11")->mean(),
+                   11.0);
+  EXPECT_DOUBLE_EQ(stats::make_distribution("exponential:rate=0.5")->mean(),
+                   2.0);
+  EXPECT_EQ(stats::make_distribution("weibull:mtbf=11,k=0.6")->name(),
+            "weibull");
+  EXPECT_EQ(stats::make_distribution("weibull:scale=5,k=0.6")->name(),
+            "weibull");
+  EXPECT_EQ(stats::make_distribution("lognormal:mu=1,sigma=0.5")->name(),
+            "lognormal");
+  EXPECT_EQ(stats::make_distribution("normal:mean=10,sd=2")->name(),
+            "normal");
+}
+
+TEST(DistributionFactory, WeibullFromMtbfMatchesNamedConstructor) {
+  const auto built = stats::make_distribution("weibull:mtbf=11,k=0.6");
+  const auto direct = stats::Weibull::from_mtbf_and_shape(11.0, 0.6);
+  EXPECT_EQ(built->mean(), direct.mean());
+  EXPECT_EQ(built->cdf(3.0), direct.cdf(3.0));
+}
+
+TEST(DistributionFactory, ErrorsNameTheOffendingToken) {
+  expect_invalid([] { (void)stats::make_distribution("gamma:k=2"); },
+                 {"gamma"});
+  expect_invalid([] { (void)stats::make_distribution("weibull:k=0.6"); },
+                 {"mtbf", "scale"});
+  expect_invalid(
+      [] { (void)stats::make_distribution("weibull:mtbf=11,scale=5,k=1"); },
+      {"mtbf", "scale"});
+  expect_invalid(
+      [] { (void)stats::make_distribution("weibull:mtbf=oops,k=0.6"); },
+      {"oops"});
+  expect_invalid(
+      [] { (void)stats::make_distribution("weibull:mtbf=11,k=0.6,zeta=1"); },
+      {"zeta"});
+  expect_invalid([] { (void)stats::make_distribution("exponential"); },
+                 {"mtbf", "rate"});
+  expect_invalid(
+      [] { (void)stats::make_distribution("exponential:mtbf=11,rate=2"); },
+      {"mtbf", "rate"});
+  expect_invalid([] { (void)stats::make_distribution("normal:mean=1"); },
+                 {"sd"});
+}
+
+TEST(DistributionFactory, ListsKindsInNameOrder) {
+  const auto kinds = stats::DistributionRegistry::instance().kinds();
+  const std::vector<std::string> expected = {"exponential", "lognormal",
+                                             "normal", "weibull"};
+  EXPECT_EQ(kinds, expected);
+}
+
+// ---- storage factory -----------------------------------------------------
+
+TEST(StorageFactory, ConstantGammaDefaultsToBeta) {
+  const auto storage = io::make_storage("constant:beta=0.5");
+  EXPECT_DOUBLE_EQ(storage->checkpoint_time(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(storage->restart_time(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(storage->checkpoint_size_gb(), 0.0);
+
+  const auto tiered = io::make_storage("constant:beta=0.5,gamma=0.25,size_gb=150");
+  EXPECT_DOUBLE_EQ(tiered->checkpoint_time(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(tiered->restart_time(0.0), 0.25);
+  EXPECT_DOUBLE_EQ(tiered->checkpoint_size_gb(), 150.0);
+}
+
+TEST(StorageFactory, SpiderTraceCloneSharesTheTrace) {
+  const auto storage = io::make_storage("spider:size_gb=150,span=1000");
+  const auto copy = storage->clone();
+  // The trace is shared and immutable: the clone answers identically.
+  EXPECT_EQ(storage->checkpoint_time(10.0), copy->checkpoint_time(10.0));
+  EXPECT_EQ(storage->checkpoint_size_gb(), 150.0);
+}
+
+TEST(StorageFactory, ErrorsNameTheOffendingToken) {
+  expect_invalid([] { (void)io::make_storage("tape:beta=1"); }, {"tape"});
+  expect_invalid([] { (void)io::make_storage("constant"); }, {"beta"});
+  expect_invalid([] { (void)io::make_storage("constant:beta=fast"); },
+                 {"fast"});
+  expect_invalid([] { (void)io::make_storage("constant:beta=0.5,rho=1"); },
+                 {"rho"});
+  expect_invalid([] { (void)io::make_storage("spider:span=1000"); },
+                 {"size_gb"});
+}
+
+// ---- policy factory error paths (pre-existing grammar) -------------------
+
+TEST(PolicyFactory, ErrorsNameTheOffendingToken) {
+  expect_invalid([] { (void)core::make_policy("osmotic"); }, {"osmotic"});
+  expect_invalid([] { (void)core::make_policy("periodic:soon"); }, {"soon"});
+  expect_invalid([] { (void)core::make_policy("skip0:static-oci"); },
+                 {"skip"});
+}
+
+// ---- scenario parse / serialize ------------------------------------------
+
+TEST(Scenario, RoundTripsEveryCatalogEntry) {
+  for (const auto& scenario : spec::builtin_scenarios()) {
+    const std::string text = spec::to_string(scenario);
+    const spec::Scenario reparsed = spec::parse_scenario(text);
+    EXPECT_EQ(reparsed, scenario) << scenario.name << ":\n" << text;
+    // Serialization is canonical: a second trip is byte-stable, and the
+    // file form (header comment + body) parses to the same value.
+    EXPECT_EQ(spec::to_string(reparsed), text) << scenario.name;
+    EXPECT_EQ(spec::parse_scenario(spec::to_file_string(scenario)), scenario)
+        << scenario.name;
+  }
+}
+
+TEST(Scenario, CheckedInFilesMatchTheBuiltinCatalog) {
+  const std::filesystem::path dir =
+      std::filesystem::path(LAZYCKPT_SOURCE_DIR) / "bench" / "scenarios";
+  std::size_t found = 0;
+  for (const auto& scenario : spec::builtin_scenarios()) {
+    const auto path = dir / (scenario.name + ".scn");
+    ASSERT_TRUE(std::filesystem::exists(path))
+        << path << " missing — regenerate with lazyckpt-run --dump "
+        << scenario.name;
+    EXPECT_EQ(spec::load_scenario(path.string()), scenario) << path;
+    ++found;
+  }
+  // And nothing stale points the other way.
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".scn") --found;
+  }
+  EXPECT_EQ(found, 0u) << "bench/scenarios/ has files not in the catalog";
+}
+
+TEST(Scenario, ParserCommentsWhitespaceAndSentinels) {
+  const spec::Scenario parsed = spec::parse_scenario(
+      "# full-line comment\n"
+      "name = demo\n"
+      "\n"
+      "distribution = weibull:mtbf=11,k=0.6   # trailing comment\n"
+      "storage = constant:beta=0.5\n"
+      "policy = ilazy:0.6\n"
+      "oci = daly\n"
+      "mtbf-hint = derive\n");
+  EXPECT_EQ(parsed.name, "demo");
+  EXPECT_DOUBLE_EQ(parsed.oci_hours, 0.0);
+  EXPECT_DOUBLE_EQ(parsed.mtbf_hint_hours, 0.0);
+  EXPECT_EQ(parsed.replicas, 100u);  // default
+}
+
+TEST(Scenario, ParseErrorsNameLineAndToken) {
+  const std::string valid =
+      "name = demo\n"
+      "distribution = weibull:mtbf=11,k=0.6\n"
+      "storage = constant:beta=0.5\n"
+      "policy = ilazy:0.6\n";
+  expect_invalid([&] { (void)spec::parse_scenario(valid + "tempo = 3\n"); },
+                 {"line 5", "tempo"});
+  expect_invalid([&] { (void)spec::parse_scenario(valid + "compute\n"); },
+                 {"line 5", "compute"});
+  expect_invalid(
+      [&] { (void)spec::parse_scenario(valid + "replicas = some\n"); },
+      {"some"});
+  expect_invalid(
+      [&] { (void)spec::parse_scenario(valid + "name = twice\n"); },
+      {"line 5", "duplicate", "name"});
+  expect_invalid(
+      [&] { (void)spec::parse_scenario(valid + "output = yaml\n"); },
+      {"yaml"});
+  // Malformed embedded factory specs surface through validate().
+  expect_invalid(
+      [] {
+        (void)spec::parse_scenario(
+            "name = demo\n"
+            "distribution = weibull:k=0.6\n"
+            "storage = constant:beta=0.5\n"
+            "policy = ilazy:0.6\n");
+      },
+      {"mtbf"});
+  expect_invalid(
+      [] {
+        (void)spec::parse_scenario(
+            "name = demo\n"
+            "distribution = weibull:mtbf=11,k=0.6\n"
+            "storage = constant:beta=0.5\n"
+            "policy = warp-drive\n");
+      },
+      {"warp-drive"});
+}
+
+TEST(Scenario, ValidateRejectsDomainViolations) {
+  spec::Scenario scenario = spec::builtin_scenario("fig13");
+  scenario.compute_hours = 0.0;
+  EXPECT_THROW(scenario.validate(), InvalidArgument);
+
+  scenario = spec::builtin_scenario("fig13");
+  scenario.blocking_fraction = 1.5;
+  EXPECT_THROW(scenario.validate(), InvalidArgument);
+
+  scenario = spec::builtin_scenario("campaign-week");
+  scenario.time_budget_hours = 10.0;  // campaigns own the budget
+  EXPECT_THROW(scenario.validate(), InvalidArgument);
+
+  scenario = spec::builtin_scenario("fig13");
+  scenario.name = "bad name";
+  EXPECT_THROW(scenario.validate(), InvalidArgument);
+}
+
+// ---- runner --------------------------------------------------------------
+
+TEST(ScenarioRunner, MatchesHandWiredSimulationBitwise) {
+  const auto& scenario = spec::builtin_scenario("fig13");
+
+  // The previous hand-wired fig13 construction, verbatim.
+  sim::SimulationConfig config;
+  config.compute_hours = 500.0;
+  config.alpha_oci_hours = core::daly_oci(0.5, 11.0);
+  config.mtbf_hint_hours = 11.0;
+  config.shape_hint = 0.6;
+  const auto weibull = stats::Weibull::from_mtbf_and_shape(11.0, 0.6);
+  const io::ConstantStorage storage(0.5, 0.5);
+  const auto policy = core::make_policy("ilazy:0.6");
+  const auto expected = sim::run_replicas(config, *policy, weibull, storage,
+                                          scenario.replicas, scenario.seed);
+
+  const auto result = spec::ScenarioRunner().run(scenario);
+  EXPECT_EQ(result.runs.size(), scenario.replicas);
+  EXPECT_EQ(result.aggregate.mean_makespan_hours,
+            expected.mean_makespan_hours);
+  EXPECT_EQ(result.aggregate.mean_checkpoint_hours,
+            expected.mean_checkpoint_hours);
+  EXPECT_EQ(result.aggregate.mean_wasted_hours, expected.mean_wasted_hours);
+  EXPECT_EQ(result.aggregate.mean_failures, expected.mean_failures);
+}
+
+TEST(ScenarioRunner, DerivesMtbfHintFromDistributionMean) {
+  spec::Scenario scenario = spec::builtin_scenario("fig13");
+  scenario.distribution = "exponential:mtbf=11";
+  scenario.mtbf_hint_hours = 0.0;  // derive
+  const auto config = spec::simulation_config(scenario);
+  EXPECT_DOUBLE_EQ(config.mtbf_hint_hours, 11.0);
+  EXPECT_DOUBLE_EQ(config.alpha_oci_hours, core::daly_oci(0.5, 11.0));
+}
+
+TEST(ScenarioRunner, ExplicitOciOverridesDaly) {
+  spec::Scenario scenario = spec::builtin_scenario("fig13");
+  scenario.oci_hours = 4.5;
+  EXPECT_DOUBLE_EQ(spec::simulation_config(scenario).alpha_oci_hours, 4.5);
+}
+
+TEST(ScenarioRunner, CampaignScenarioFillsCampaignAggregate) {
+  spec::Scenario scenario = spec::builtin_scenario("campaign-week");
+  scenario.replicas = 5;
+  const auto result = spec::ScenarioRunner().run(scenario);
+  ASSERT_TRUE(result.campaign.has_value());
+  EXPECT_EQ(result.campaign->replicas, 5u);
+  EXPECT_GT(result.campaign->mean_machine_hours, 0.0);
+  EXPECT_TRUE(result.runs.empty());
+  EXPECT_GT(result.aggregate.replicas, 0u);  // per-allocation rollup
+
+  const auto config = spec::campaign_config(scenario);
+  EXPECT_DOUBLE_EQ(config.allocation_hours, 168.0);
+  EXPECT_DOUBLE_EQ(config.gap_hours, 24.0);
+}
+
+TEST(ScenarioRunner, MaxReplicasClampsAndIsRecorded) {
+  const auto& scenario = spec::builtin_scenario("fig13");
+  const spec::ScenarioRunner runner({.max_replicas = 3});
+  const auto result = runner.run(scenario);
+  EXPECT_EQ(result.scenario.replicas, 3u);
+  EXPECT_EQ(result.runs.size(), 3u);
+  EXPECT_EQ(result.aggregate.replicas, 3u);
+}
+
+TEST(ScenarioRunner, NonCampaignScenarioRejectsCampaignConfig) {
+  EXPECT_THROW((void)spec::campaign_config(spec::builtin_scenario("fig13")),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace lazyckpt

@@ -36,7 +36,8 @@ constexpr std::array<std::pair<Rule, std::string_view>, 5> kRuleRationales = {{
      "library headers never include <iostream>"},
     {Rule::kErrorDiscipline,
      "src/ throws the lazyckpt::Error hierarchy via common/error.hpp, "
-     "never naked std::runtime_error"},
+     "never naked std:: exception types, and never calls "
+     "abort()/exit() — library code reports, callers decide"},
 }};
 
 bool is_ident_char(char c) {
@@ -234,38 +235,40 @@ std::vector<std::pair<int, std::string>> parse_includes(
   return includes;
 }
 
-/// Variable names declared on one line as std::unordered_map/set.  Purely
-/// line-local: `std::unordered_map<K, V> name` with balanced template
-/// angles.  Declarations split across lines are a documented blind spot.
-void collect_unordered_names(std::string_view line,
+/// Variable names declared as std::unordered_map/set in `text`:
+/// `std::unordered_map<K, V> name` with balanced template angles.  Callers
+/// pass the whole file joined with spaces, so declarations split across
+/// lines (template arguments or the name on a continuation line) are
+/// tracked like single-line ones.
+void collect_unordered_names(std::string_view text,
                              std::set<std::string>* names) {
   for (std::string_view container : {"unordered_map", "unordered_set"}) {
-    for (std::size_t pos = find_token(line, container);
+    for (std::size_t pos = find_token(text, container);
          pos != std::string_view::npos;
-         pos = find_token(line, container, pos + 1)) {
+         pos = find_token(text, container, pos + 1)) {
       std::size_t at = pos + container.size();
-      if (at >= line.size() || line[at] != '<') continue;
+      if (at >= text.size() || text[at] != '<') continue;
       int depth = 0;
-      while (at < line.size()) {
-        if (line[at] == '<') ++depth;
-        if (line[at] == '>') {
+      while (at < text.size()) {
+        if (text[at] == '<') ++depth;
+        if (text[at] == '>') {
           --depth;
           if (depth == 0) break;
         }
         ++at;
       }
-      if (at >= line.size()) continue;  // unbalanced on this line
+      if (at >= text.size()) continue;  // unbalanced template angles
       ++at;
-      while (at < line.size() &&
-             (line[at] == ' ' || line[at] == '&' || line[at] == '*')) {
+      while (at < text.size() &&
+             (text[at] == ' ' || text[at] == '&' || text[at] == '*')) {
         ++at;
       }
       std::size_t name_end = at;
-      while (name_end < line.size() && is_ident_char(line[name_end])) {
+      while (name_end < text.size() && is_ident_char(text[name_end])) {
         ++name_end;
       }
       if (name_end > at) {
-        names->insert(std::string(line.substr(at, name_end - at)));
+        names->insert(std::string(text.substr(at, name_end - at)));
       }
     }
   }
@@ -559,14 +562,20 @@ std::vector<Finding> lint_source(std::string_view file_label,
       }
     }
     std::set<std::string> unordered_names;
+    // Declarations are collected from the whole file joined with spaces so
+    // a declaration whose template arguments or name wrap onto the next
+    // line is tracked like a single-line one.
+    std::string joined;
     for (const std::string& line : lines) {
       if (!writes_output &&
           (has_token(line, "ofstream") || has_token(line, "std::cout") ||
            has_token(line, "printf(") || has_token(line, "fprintf("))) {
         writes_output = true;
       }
-      collect_unordered_names(line, &unordered_names);
+      joined += line;
+      joined += ' ';
     }
+    collect_unordered_names(joined, &unordered_names);
     if (writes_output && !unordered_names.empty()) {
       for (std::size_t idx = 0; idx < lines.size(); ++idx) {
         const std::string& line = lines[idx];
@@ -704,16 +713,41 @@ std::vector<Finding> lint_source(std::string_view file_label,
 
   // ---- error-discipline --------------------------------------------------
   if (ctx.in_src && !ctx.is_error_impl) {
+    // Every standard exception type counts as naked — the hierarchy's
+    // value is that callers can catch lazyckpt::Error and be done.
+    constexpr std::array<std::string_view, 11> kNakedStdThrows = {
+        "std::exception",       "std::runtime_error", "std::logic_error",
+        "std::invalid_argument", "std::out_of_range",  "std::length_error",
+        "std::domain_error",    "std::range_error",   "std::overflow_error",
+        "std::underflow_error", "std::system_error",
+    };
+    // Process-terminating calls: library code never gets to decide that.
+    constexpr std::array<std::string_view, 4> kTerminatorCalls = {
+        "abort(", "exit(", "quick_exit(", "_Exit("};
     for (std::size_t idx = 0; idx < lines.size(); ++idx) {
       const std::string& line = lines[idx];
+      const int line_no = static_cast<int>(idx) + 1;
       const std::size_t throw_pos = find_token(line, "throw");
-      if (throw_pos == std::string_view::npos) continue;
-      if (find_token(line, "std::runtime_error", throw_pos) !=
-          std::string_view::npos) {
-        report(static_cast<int>(idx) + 1, Rule::kErrorDiscipline,
-               "naked `throw std::runtime_error` in src/: throw a "
-               "lazyckpt::Error subclass or use the require_* helpers in "
-               "common/error.hpp");
+      if (throw_pos != std::string_view::npos) {
+        for (std::string_view type : kNakedStdThrows) {
+          if (find_token(line, type, throw_pos) != std::string_view::npos) {
+            report(line_no, Rule::kErrorDiscipline,
+                   "naked `throw " + std::string(type) +
+                       "` in src/: throw a lazyckpt::Error subclass or use "
+                       "the require_* helpers in common/error.hpp");
+            break;
+          }
+        }
+      }
+      for (std::string_view call : kTerminatorCalls) {
+        if (find_token(line, call) != std::string_view::npos) {
+          report(line_no, Rule::kErrorDiscipline,
+                 "process-terminating `" +
+                     std::string(call.substr(0, call.size() - 1)) +
+                     "()` call in src/: throw a lazyckpt::Error subclass "
+                     "instead and let the binary decide");
+          break;
+        }
       }
     }
   }

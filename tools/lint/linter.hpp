@@ -55,10 +55,12 @@ enum class Rule {
   /// include guard), never contains `using namespace`, and library
   /// headers under src/ never include <iostream>.
   kHeaderHygiene,
-  /// Naked `throw std::runtime_error` in src/: errors must go through
-  /// the lazyckpt exception hierarchy and throwers in common/error.hpp
-  /// so callers can catch lazyckpt::Error and hot paths keep the
-  /// out-of-line cold-throw discipline.
+  /// Error discipline in src/: no naked `throw std::<exception>` of any
+  /// standard exception type (errors must go through the lazyckpt
+  /// exception hierarchy and throwers in common/error.hpp so callers can
+  /// catch lazyckpt::Error and hot paths keep the out-of-line cold-throw
+  /// discipline), and no abort()/exit()/quick_exit()/_Exit() calls —
+  /// library code reports failures, only binaries decide to terminate.
   kErrorDiscipline,
 };
 

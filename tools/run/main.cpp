@@ -1,0 +1,263 @@
+/// \file main.cpp
+/// \brief lazyckpt-run: execute experiment scenarios (DESIGN.md §5g).
+///
+/// The driver behind the declarative scenario layer: point it at .scn
+/// files (bench/scenarios/) or built-in catalog entries and it resolves
+/// the factory specs, runs the Monte Carlo replicas on the shared parallel
+/// engine, and prints a bench-style table or one deterministic JSON object
+/// per scenario.
+///
+/// Usage:
+///   lazyckpt-run [options] [scenario-file...]
+///     --list          list built-in scenarios and registered factory kinds
+///     --name <name>   run the built-in scenario <name> (repeatable)
+///     --dump <name>   print the built-in scenario in canonical file form
+///                     (the exact bytes save_scenario writes) and exit
+///     --smoke         clamp every scenario to 3 replicas (CI smoke runs;
+///                     output is for exercising code paths, not numbers)
+///     --json          force JSON output regardless of the scenario's
+///                     `output` key
+///
+/// Exit status: 0 on success, 1 on any malformed spec, unknown name, or
+/// unreadable file (the error names the offending token).
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "io/factory.hpp"
+#include "spec/catalog.hpp"
+#include "spec/runner.hpp"
+#include "stats/factory.hpp"
+
+namespace {
+
+using namespace lazyckpt;
+
+constexpr std::size_t kSmokeReplicas = 3;
+
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: lazyckpt-run [options] [scenario-file...]\n"
+               "  --list          list built-in scenarios and factory kinds\n"
+               "  --name <name>   run the built-in scenario <name>\n"
+               "  --dump <name>   print built-in <name> in canonical file "
+               "form\n"
+               "  --smoke         clamp every scenario to %zu replicas\n"
+               "  --json          force JSON output\n"
+               "  --help          this message\n",
+               kSmokeReplicas);
+}
+
+void print_list() {
+  print_banner("lazyckpt-run — built-in scenarios");
+  TextTable table({"name", "replicas", "policy", "title"});
+  for (const auto& scenario : spec::builtin_scenarios()) {
+    table.add_row({scenario.name, std::to_string(scenario.replicas),
+                   scenario.policy, scenario.title});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  const auto join = [](const std::vector<std::string>& kinds) {
+    std::string out;
+    for (const auto& kind : kinds) {
+      if (!out.empty()) out += ", ";
+      out += kind;
+    }
+    return out;
+  };
+  std::printf("distribution kinds: %s\n",
+              join(stats::DistributionRegistry::instance().kinds()).c_str());
+  std::printf("storage kinds:      %s\n",
+              join(io::StorageRegistry::instance().kinds()).c_str());
+  std::printf(
+      "policy specs:       hourly, periodic:<h>, static-oci, dynamic-oci,\n"
+      "                    ilazy[:k], bounded-ilazy:<k>, linear:<x>,\n"
+      "                    skip<N>:<base-spec>\n");
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void print_json(const spec::ScenarioResult& result) {
+  const auto& s = result.scenario;
+  const auto& a = result.aggregate;
+  std::printf("{\n");
+  std::printf("  \"scenario\": {\n");
+  std::printf("    \"name\": \"%s\",\n", json_escape(s.name).c_str());
+  std::printf("    \"title\": \"%s\",\n", json_escape(s.title).c_str());
+  std::printf("    \"distribution\": \"%s\",\n",
+              json_escape(s.distribution).c_str());
+  std::printf("    \"storage\": \"%s\",\n", json_escape(s.storage).c_str());
+  std::printf("    \"policy\": \"%s\",\n", json_escape(s.policy).c_str());
+  std::printf("    \"compute_hours\": %.17g,\n", s.compute_hours);
+  std::printf("    \"replicas\": %zu,\n", s.replicas);
+  std::printf("    \"seed\": %llu\n",
+              static_cast<unsigned long long>(s.seed));
+  std::printf("  },\n");
+  std::printf("  \"aggregate\": {\n");
+  std::printf("    \"replicas\": %zu,\n", a.replicas);
+  std::printf("    \"mean_makespan_hours\": %.17g,\n", a.mean_makespan_hours);
+  std::printf("    \"min_makespan_hours\": %.17g,\n", a.min_makespan_hours);
+  std::printf("    \"max_makespan_hours\": %.17g,\n", a.max_makespan_hours);
+  std::printf("    \"mean_compute_hours\": %.17g,\n", a.mean_compute_hours);
+  std::printf("    \"mean_checkpoint_hours\": %.17g,\n",
+              a.mean_checkpoint_hours);
+  std::printf("    \"mean_wasted_hours\": %.17g,\n", a.mean_wasted_hours);
+  std::printf("    \"mean_restart_hours\": %.17g,\n", a.mean_restart_hours);
+  std::printf("    \"mean_failures\": %.17g,\n", a.mean_failures);
+  std::printf("    \"mean_checkpoints_written\": %.17g,\n",
+              a.mean_checkpoints_written);
+  std::printf("    \"mean_checkpoints_skipped\": %.17g,\n",
+              a.mean_checkpoints_skipped);
+  std::printf("    \"mean_data_written_gb\": %.17g\n", a.mean_data_written_gb);
+  std::printf("  }%s\n", result.campaign.has_value() ? "," : "");
+  if (result.campaign.has_value()) {
+    const auto& c = *result.campaign;
+    std::printf("  \"campaign\": {\n");
+    std::printf("    \"replicas\": %zu,\n", c.replicas);
+    std::printf("    \"mean_allocations\": %.17g,\n", c.mean_allocations);
+    std::printf("    \"mean_machine_hours\": %.17g,\n", c.mean_machine_hours);
+    std::printf("    \"mean_committed_hours\": %.17g,\n",
+                c.mean_committed_hours);
+    std::printf("    \"mean_checkpoint_hours\": %.17g,\n",
+                c.mean_checkpoint_hours);
+    std::printf("    \"completion_rate\": %.17g\n", c.completion_rate);
+    std::printf("  }\n");
+  }
+  std::printf("}\n");
+}
+
+void print_table(const spec::ScenarioResult& result) {
+  const auto& s = result.scenario;
+  const auto& a = result.aggregate;
+  print_banner("scenario: " + s.name +
+               (s.title.empty() ? std::string() : " — " + s.title));
+  std::printf(
+      "distribution %s | storage %s | policy %s\n"
+      "W %s h | replicas %zu | seed %llu%s\n\n",
+      s.distribution.c_str(), s.storage.c_str(), s.policy.c_str(),
+      TextTable::num(s.compute_hours, 0).c_str(), s.replicas,
+      static_cast<unsigned long long>(s.seed),
+      s.is_campaign() ? " | campaign mode" : "");
+
+  TextTable table({"metric", "mean", "min", "max"});
+  table.add_row({"makespan (h)", TextTable::num(a.mean_makespan_hours),
+                 TextTable::num(a.min_makespan_hours),
+                 TextTable::num(a.max_makespan_hours)});
+  table.add_row({"checkpoint I/O (h)", TextTable::num(a.mean_checkpoint_hours),
+                 TextTable::num(a.min_checkpoint_hours),
+                 TextTable::num(a.max_checkpoint_hours)});
+  table.add_row({"wasted work (h)", TextTable::num(a.mean_wasted_hours), "",
+                 ""});
+  table.add_row({"restart (h)", TextTable::num(a.mean_restart_hours), "", ""});
+  table.add_row({"checkpoints written",
+                 TextTable::num(a.mean_checkpoints_written, 1), "", ""});
+  table.add_row({"checkpoints skipped",
+                 TextTable::num(a.mean_checkpoints_skipped, 1), "", ""});
+  table.add_row({"failures", TextTable::num(a.mean_failures, 1), "", ""});
+  std::printf("%s\n", table.to_string().c_str());
+
+  if (result.campaign.has_value()) {
+    const auto& c = *result.campaign;
+    TextTable campaign({"campaign metric", "value"});
+    campaign.add_row(
+        {"allocations (mean)", TextTable::num(c.mean_allocations)});
+    campaign.add_row(
+        {"machine hours (mean)", TextTable::num(c.mean_machine_hours, 1)});
+    campaign.add_row(
+        {"committed hours (mean)", TextTable::num(c.mean_committed_hours, 1)});
+    campaign.add_row({"completion rate",
+                      TextTable::percent(c.completion_rate, 0)});
+    std::printf("%s\n", campaign.to_string().c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool force_json = false;
+  std::vector<spec::Scenario> scenarios;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        print_usage(stdout);
+        return 0;
+      }
+      if (arg == "--list") {
+        print_list();
+        return 0;
+      }
+      if (arg == "--smoke") {
+        smoke = true;
+        continue;
+      }
+      if (arg == "--json") {
+        force_json = true;
+        continue;
+      }
+      if (arg == "--name" || arg == "--dump") {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "lazyckpt-run: %s needs a scenario name\n",
+                       arg.c_str());
+          return 1;
+        }
+        const auto& scenario = spec::builtin_scenario(argv[++i]);
+        if (arg == "--dump") {
+          std::fputs(spec::to_file_string(scenario).c_str(), stdout);
+          return 0;
+        }
+        scenarios.push_back(scenario);
+        continue;
+      }
+      if (!arg.empty() && arg.front() == '-') {
+        std::fprintf(stderr, "lazyckpt-run: unknown option '%s'\n",
+                     arg.c_str());
+        print_usage(stderr);
+        return 1;
+      }
+      scenarios.push_back(spec::load_scenario(arg));
+    }
+
+    if (scenarios.empty()) {
+      print_usage(stderr);
+      return 1;
+    }
+
+    spec::RunnerOptions options;
+    if (smoke) options.max_replicas = kSmokeReplicas;
+    const spec::ScenarioRunner runner(options);
+    for (const auto& scenario : scenarios) {
+      const auto result = runner.run(scenario);
+      const bool json =
+          force_json || scenario.output == spec::OutputFormat::kJson;
+      if (json) {
+        print_json(result);
+      } else {
+        print_table(result);
+      }
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "lazyckpt-run: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}
