@@ -41,6 +41,12 @@ class ILazyPolicy final : public CheckpointPolicy {
   [[nodiscard]] bool is_stateless() const override { return true; }
   [[nodiscard]] PolicyPtr clone() const override;
 
+  /// The explicit shape this policy was constructed with, if any.  Hookless
+  /// runs pin the context's shape estimate to config.shape_hint, so
+  /// shape().value_or(shape_hint) is the run-constant effective shape — the
+  /// batched trial kernel hoists it out of the event loop.
+  [[nodiscard]] std::optional<double> shape() const { return shape_; }
+
   /// Eq. 11 as a pure function: the interval to use when the last failure
   /// was `time_since_failure` hours ago.  Clamped below at alpha_oci.
   /// Requires alpha_oci > 0, shape in (0, 1].

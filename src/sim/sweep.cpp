@@ -8,6 +8,7 @@
 #include "common/parallel.hpp"
 #include "core/policy/periodic.hpp"
 #include "obs/trace.hpp"
+#include "sim/batch.hpp"
 
 namespace lazyckpt::sim {
 
@@ -19,6 +20,17 @@ std::vector<RunMetrics> run_replicas_raw(const SimulationConfig& config,
                                          std::uint64_t seed) {
   require(replicas >= 1, "run_replicas needs replicas >= 1");
   const obs::TraceSpan span("sim.run_replicas");
+
+  // Batched fast path: lockstep SoA kernel over blocks of replicas
+  // (sim/batch.hpp), bit-identical to the per-replica loop below for the
+  // hookless fast-policy configurations.  LAZYCKPT_BATCH=0 forces the
+  // scalar path; ineligible (policy, storage) combinations take it
+  // automatically.
+  if (const std::size_t batch = batch_size_from_env();
+      batch > 0 && batch_eligible(policy, storage)) {
+    return run_replicas_batched(config, policy, inter_arrival, storage,
+                                replicas, seed, batch);
+  }
 
   // Determinism contract: derive every replica's RNG stream from the
   // master *before* dispatch, in index order.  The streams (and therefore

@@ -1,0 +1,243 @@
+/// \file exact_pow.cpp
+/// \brief Scalar core, runtime probe, and dispatch for the vendored pow.
+///
+/// The operation schedule below — which products are fused, which are
+/// rounded separately — is pinned to what the glibc x86-64 binary
+/// actually executes, not just the upstream C source: the compiler fused
+/// several multiply-adds when glibc was built (the p·ar³ product into the
+/// final low-part add, the 1/ln2 scaling into the shift add, the
+/// scale+scale·tmp reconstruction), and reproducing std::pow bitwise
+/// means reproducing those exact fusions.  Do not "simplify" arithmetic
+/// here; every temporary is a deliberate rounding point.
+
+#include "stats/exact_pow.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/random.hpp"
+#include "stats/exact_pow_data.hpp"
+
+namespace lazyckpt::stats {
+namespace detail {
+namespace {
+
+inline double as_double(std::uint64_t bits) noexcept {
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+inline std::uint64_t as_bits(double value) noexcept {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+// Top of the mantissa interval map: subtracting this from the bit pattern
+// centres the 128-entry log table on x ≈ 0x1.69555p-1 · 2^k.
+constexpr std::uint64_t kOff = 0x3fe6955500000000ULL;
+
+}  // namespace
+
+bool pow_core(double x, double y, double* result) noexcept {
+  const std::uint64_t ix = as_bits(x);
+  const std::uint64_t iy = as_bits(y);
+  const auto topx = static_cast<std::uint32_t>(ix >> 52);
+  const auto topy = static_cast<std::uint32_t>(iy >> 52) & 0x7ff;
+  // Main path only: x normal and positive, |y| in [2^-65, 2^63).
+  if (topx - 1 >= 0x7fe) return false;
+  if (topy - 0x3be >= 0x80) return false;
+
+  // log(x) in double-double (yhi + ylo), via z = x/c against the table.
+  const std::uint64_t tmp = ix - kOff;
+  const auto i = static_cast<int>((tmp >> 45) & 0x7f);
+  const auto k = static_cast<int>(static_cast<std::int64_t>(tmp) >> 52);
+  const std::uint64_t iz = ix - (tmp & (0xfffULL << 52));
+  const double z = as_double(iz);
+  const double kd = static_cast<double>(k);
+  const double invc = as_double(kPowLogTab[i][0]);
+  const double logc = as_double(kPowLogTab[i][1]);
+  const double logctail = as_double(kPowLogTab[i][2]);
+  const double a0 = as_double(kPowLogPoly[0]);
+  const double a1 = as_double(kPowLogPoly[1]);
+  const double a2 = as_double(kPowLogPoly[2]);
+  const double a3 = as_double(kPowLogPoly[3]);
+  const double a4 = as_double(kPowLogPoly[4]);
+  const double a5 = as_double(kPowLogPoly[5]);
+  const double a6 = as_double(kPowLogPoly[6]);
+  const double r = __builtin_fma(z, invc, -1.0);
+  const double t1 = __builtin_fma(kd, as_double(kPowLn2Hi), logc);
+  const double lo1 = __builtin_fma(kd, as_double(kPowLn2Lo), logctail);
+  const double t2 = r + t1;
+  const double lo2 = (t1 - t2) + r;
+  const double ar = a0 * r;
+  const double ar2 = r * ar;
+  const double ar3 = r * ar2;
+  const double lo3 = __builtin_fma(ar, r, -ar2);
+  const double hi = t2 + ar2;
+  const double lo4 = (t2 - hi) + ar2;
+  const double s1 = __builtin_fma(a2, r, a1);
+  const double s2 = __builtin_fma(a4, r, a3);
+  const double s3 = __builtin_fma(a6, r, a5);
+  const double inner = __builtin_fma(s3, ar2, s2);
+  const double q = __builtin_fma(inner, ar2, s1);
+  const double losum = ((lo1 + lo2) + lo3) + lo4;
+  const double lo = __builtin_fma(ar3, q, losum);
+  const double yhi = hi + lo;
+  const double ylo = (hi - yhi) + lo;
+
+  // e = y · log(x), still double-double (x > 0, so no sign bias).
+  const double ehi = y * yhi;
+  const double elo = __builtin_fma(y, ylo, __builtin_fma(y, yhi, -ehi));
+
+  // exp(e): table-driven 2^(ki/128) reconstruction.
+  const auto abstop = static_cast<std::uint32_t>(as_bits(ehi) >> 52) & 0x7ff;
+  // |ehi| must land in [2^-54, 512): below that pow(x,y) ≈ 1 needs the
+  // special-cased path, above it overflows/underflows the scale.
+  if (abstop - 0x3c9 >= 0x3f) return false;
+  const double shift = as_double(kExpShift);
+  double kd2 = __builtin_fma(ehi, as_double(kExpInvLn2N), shift);
+  const std::uint64_t ki = as_bits(kd2);
+  kd2 -= shift;
+  double rr = __builtin_fma(kd2, as_double(kExpNegLn2HiN), ehi);
+  rr = __builtin_fma(kd2, as_double(kExpNegLn2LoN), rr);
+  rr = elo + rr;
+  const std::uint64_t idx = 2 * (ki & 0x7f);
+  const std::uint64_t sbits = kExpTab[idx + 1] + (ki << 45);
+  const double tail = as_double(kExpTab[idx]);
+  const double c2 = as_double(kExpPoly[0]);
+  const double c3 = as_double(kExpPoly[1]);
+  const double c4 = as_double(kExpPoly[2]);
+  const double c5 = as_double(kExpPoly[3]);
+  const double sa = __builtin_fma(c3, rr, c2);
+  const double t = rr + tail;
+  const double rr2 = rr * rr;
+  const double sb = __builtin_fma(c5, rr, c4);
+  const double u = __builtin_fma(sa, rr2, t);
+  const double rr4 = rr2 * rr2;
+  const double poly = __builtin_fma(sb, rr4, u);
+  const double scale = as_double(sbits);
+  *result = __builtin_fma(poly, scale, scale);
+  return true;
+}
+
+void pow_n_scalar(const double* x, double* out, std::size_t n, double y) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!pow_core(x[i], y, &out[i])) out[i] = std::pow(x[i], y);
+  }
+}
+
+namespace {
+
+void pow_n_libm(const double* x, double* out, std::size_t n, double y) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = std::pow(x[i], y);
+}
+
+/// The engine's pow call sites, as (x-range, y-range) domains:
+///  - iLazy interval: x = t/alpha in [1, ~1e6], y = 1 - shape in (0, 1);
+///  - Weibull quantile: x = -log1p(-u) in (0, ~40], y = 1/shape > 1;
+/// plus a broad magnitude sweep so a libm swap cannot sneak through on
+/// inputs the current workloads happen not to exercise.
+struct ProbeDomain {
+  double x_lo, x_hi;
+  double y_lo, y_hi;
+};
+
+constexpr ProbeDomain kProbeDomains[] = {
+    {1.0, 1.0e6, 1e-3, 0.999},      // iLazy
+    {1e-9, 40.0, 1.001, 10.0},      // Weibull quantile
+    {1e-12, 1e12, -4.0, 4.0},       // broad sweep
+    {0.5, 2.0, -60.0, 60.0},        // near-1 base, large exponent
+};
+
+constexpr double kProbeEdges[][2] = {
+    {2.0, 0.5},   {10.0, 0.3},          {1e300, 0.5}, {1e-300, 0.5},
+    {1.0, 0.4},   {1.0 + 0x1p-52, 7.0}, {3.5, 1.0},   {0x1.fffffffffffffp0, 0.5},
+};
+
+}  // namespace
+
+bool exact_pow_selftest(PowNFn kernel) {
+  constexpr std::size_t kBatch = 57;  // odd: exercises the SIMD tail
+  constexpr int kRounds = 24;
+  Rng rng(0x706f775f70726f62ULL);  // fixed probe seed
+  double xs[kBatch];
+  double want[kBatch];
+  double got[kBatch];
+  for (const ProbeDomain& domain : kProbeDomains) {
+    for (int round = 0; round < kRounds; ++round) {
+      const double y = rng.uniform_in(domain.y_lo, domain.y_hi);
+      for (double& x : xs) {
+        // Log-uniform over the x range so every exponent decade (and so
+        // every log-table row) gets visited.
+        x = domain.x_lo *
+            std::exp(rng.uniform() * std::log(domain.x_hi / domain.x_lo));
+      }
+      for (std::size_t i = 0; i < kBatch; ++i) want[i] = std::pow(xs[i], y);
+      kernel(xs, got, kBatch, y);
+      for (std::size_t i = 0; i < kBatch; ++i) {
+        if (as_bits(got[i]) != as_bits(want[i])) return false;
+      }
+      // The scalar core must agree wherever it claims the main path.
+      for (std::size_t i = 0; i < kBatch; ++i) {
+        double mine = 0.0;
+        if (pow_core(xs[i], y, &mine) && as_bits(mine) != as_bits(want[i])) {
+          return false;
+        }
+      }
+    }
+  }
+  for (const auto& edge : kProbeEdges) {
+    double got_one = 0.0;
+    kernel(&edge[0], &got_one, 1, edge[1]);
+    if (as_bits(got_one) != as_bits(std::pow(edge[0], edge[1]))) return false;
+  }
+  return true;
+}
+
+namespace {
+
+struct Dispatch {
+  PowNFn fn = &pow_n_libm;
+  const char* name = "libm-fallback";
+  bool active = false;
+};
+
+Dispatch select_kernel() {
+  Dispatch d;
+#if defined(__x86_64__) || defined(_M_X64)
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512dq")) {
+    if (exact_pow_selftest(&pow_n_avx512)) {
+      return {&pow_n_avx512, "avx512", true};
+    }
+  }
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    if (exact_pow_selftest(&pow_n_avx2)) {
+      return {&pow_n_avx2, "avx2", true};
+    }
+  }
+#endif
+  if (exact_pow_selftest(&pow_n_scalar)) {
+    return {&pow_n_scalar, "scalar", true};
+  }
+  return d;
+}
+
+const Dispatch& dispatch() {
+  static const Dispatch d = select_kernel();
+  return d;
+}
+
+}  // namespace
+}  // namespace detail
+
+void pow_n(const double* x, double* out, std::size_t n, double y) {
+  detail::dispatch().fn(x, out, n, y);
+}
+
+bool exact_pow_active() noexcept { return detail::dispatch().active; }
+
+const char* exact_pow_kernel() noexcept { return detail::dispatch().name; }
+
+}  // namespace lazyckpt::stats

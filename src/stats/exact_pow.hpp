@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file exact_pow.hpp
+/// \brief Vendored, vectorizable pow that is bitwise-identical to the
+/// platform libm's std::pow — the enabler for batching the iLazy hot path.
+///
+/// The iLazy interval t^(1-k) and the Weibull quantile (-log1p(-u))^(1/k)
+/// dominate the trial kernel (PR 2 measured std::pow at ~25 ns/call, ~40%
+/// of the pow-bound arms).  libm's pow cannot be vectorized from the
+/// outside, so this file vendors the same algorithm glibc ships on x86-64
+/// (the ARM optimized-routines double pow: 128-entry log table + degree-7
+/// polynomial, 2^(k/128) exp table + degree-5 polynomial, all in
+/// double-double arithmetic) with the exact FMA contraction schedule of
+/// the glibc binary, and lays it across SIMD lanes.
+///
+/// Bit-identity is the repo's core contract, so the kernel is guarded
+/// twice:
+///  - a deterministic startup probe (exact_pow_selftest) compares the
+///    vendored scalar core and the selected SIMD kernel against std::pow
+///    on thousands of inputs spanning the engine's domains; any mismatch
+///    disables the kernel wholesale and pow_n falls back to std::pow
+///    loops (correct everywhere, merely slower);
+///  - inputs outside the main path (subnormals, y outside |y| grid,
+///    overflow/underflow of y*log x) are delegated per lane to std::pow.
+///
+/// These translation units are compiled with -ffp-contract=off (see
+/// src/stats/CMakeLists.txt): every fused multiply-add in the schedule is
+/// written explicitly, and the compiler must not invent or remove any.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lazyckpt::stats {
+
+/// Fill out[i] = std::pow(x[i], y) for i in [0, n), bitwise identical to
+/// calling std::pow per element.  Uses the widest verified SIMD kernel
+/// the CPU offers; falls back to a std::pow loop when the startup probe
+/// rejected the vendored kernel on this platform.
+void pow_n(const double* x, double* out, std::size_t n, double y);
+
+/// True when the vendored kernel passed the startup probe and pow_n runs
+/// vectorized.  Exposed so benches and tests can report which path ran.
+[[nodiscard]] bool exact_pow_active() noexcept;
+
+/// Name of the dispatched kernel: "avx512", "avx2", "scalar", or
+/// "libm-fallback" when the probe rejected the vendored tables.
+[[nodiscard]] const char* exact_pow_kernel() noexcept;
+
+namespace detail {
+
+/// Scalar main path of the vendored pow.  Returns false (leaving *result
+/// untouched) for inputs it does not cover: x subnormal/zero/inf/nan or
+/// negative, |y| outside [2^-65, 2^63) or non-finite, or y*log2(x)
+/// outside roughly (-1075, 1024).  Callers fall back to std::pow.
+[[nodiscard]] bool pow_core(double x, double y, double* result) noexcept;
+
+/// Deterministic probe: returns true iff the vendored scalar core and the
+/// given batched kernel agree bitwise with std::pow over the probe set.
+using PowNFn = void (*)(const double*, double*, std::size_t, double);
+[[nodiscard]] bool exact_pow_selftest(PowNFn kernel);
+
+#if defined(__x86_64__) || defined(_M_X64)
+/// SIMD kernels, defined in exact_pow_avx*.cpp (compiled with the target
+/// ISA enabled).  Call only after __builtin_cpu_supports says so.
+void pow_n_avx2(const double* x, double* out, std::size_t n, double y);
+void pow_n_avx512(const double* x, double* out, std::size_t n, double y);
+#endif
+
+/// Portable batched kernel built on pow_core (used as the SIMD tail and
+/// on non-x86 builds).
+void pow_n_scalar(const double* x, double* out, std::size_t n, double y);
+
+}  // namespace detail
+
+}  // namespace lazyckpt::stats

@@ -1,0 +1,192 @@
+/// \file exact_pow_avx2.cpp
+/// \brief 4-lane AVX2+FMA kernel of the vendored pow (exact_pow.hpp).
+///
+/// A straight lane-parallel transcription of pow_core in exact_pow.cpp:
+/// same tables, same fusion schedule, one intrinsic per rounding point.
+/// This translation unit is compiled with -mavx2 -mfma (and
+/// -ffp-contract=off, so the compiler cannot merge the explicitly
+/// separate mul/add pairs into extra FMAs); the dispatcher only calls in
+/// here after __builtin_cpu_supports("avx2")/( "fma") and after the
+/// startup probe verified the kernel bitwise against std::pow.
+///
+/// AVX2 has no 64-bit arithmetic shift and no int64→double convert, so
+/// the exponent extraction sign-extends through xor/sub and the k→double
+/// conversion goes through the 1.5·2^52 magic-constant trick — both
+/// exact for the |k| ≤ 2100 exponents that survive the domain mask.
+/// Out-of-domain lanes (subnormal x, |y·log x| too large) still run the
+/// vector arithmetic on bounded table indices — the results are garbage
+/// but trap-free — and are then overwritten from std::pow.
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "stats/exact_pow.hpp"
+#include "stats/exact_pow_data.hpp"
+
+namespace lazyckpt::stats::detail {
+
+namespace {
+
+inline double table_double(std::uint64_t bits) noexcept {
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+constexpr std::uint64_t kOff = 0x3fe6955500000000ULL;
+constexpr std::uint64_t kMagic = 0x4338000000000000ULL;  // 1.5 · 2^52
+
+}  // namespace
+
+void pow_n_avx2(const double* x, double* out, std::size_t n, double y) {
+  std::uint64_t iy;
+  std::memcpy(&iy, &y, sizeof(iy));
+  const auto topy = static_cast<std::uint32_t>(iy >> 52) & 0x7ff;
+  if (topy - 0x3be >= 0x80) {
+    // y outside the grid the main path handles: every lane would fall
+    // back anyway, so skip the vector work entirely.
+    pow_n_scalar(x, out, n, y);
+    return;
+  }
+
+  const auto* logtab = reinterpret_cast<const long long*>(&kPowLogTab[0][0]);
+  const auto* exptab = reinterpret_cast<const long long*>(&kExpTab[0]);
+
+  const __m256i off = _mm256_set1_epi64x(static_cast<long long>(kOff));
+  const __m256i magic_i = _mm256_set1_epi64x(static_cast<long long>(kMagic));
+  const __m256d magic_d = _mm256_set1_pd(0x1.8p52);
+  const __m256i mask7f = _mm256_set1_epi64x(0x7f);
+  const __m256i exp_mask = _mm256_set1_epi64x(
+      static_cast<long long>(0xfffULL << 52));
+  const __m256i one64 = _mm256_set1_epi64x(1);
+  const __m256i sext = _mm256_set1_epi64x(0x800);
+  const __m256i topx_max = _mm256_set1_epi64x(0x7fe);
+  const __m256i abstop_mask = _mm256_set1_epi64x(0x7ff);
+  const __m256i abstop_lo = _mm256_set1_epi64x(0x3c9);
+  const __m256i abstop_hi = _mm256_set1_epi64x(0x407);
+
+  const __m256d yv = _mm256_set1_pd(y);
+  const __m256d neg_one = _mm256_set1_pd(-1.0);
+  const __m256d ln2hi = _mm256_set1_pd(table_double(kPowLn2Hi));
+  const __m256d ln2lo = _mm256_set1_pd(table_double(kPowLn2Lo));
+  const __m256d a0 = _mm256_set1_pd(table_double(kPowLogPoly[0]));
+  const __m256d a1 = _mm256_set1_pd(table_double(kPowLogPoly[1]));
+  const __m256d a2 = _mm256_set1_pd(table_double(kPowLogPoly[2]));
+  const __m256d a3 = _mm256_set1_pd(table_double(kPowLogPoly[3]));
+  const __m256d a4 = _mm256_set1_pd(table_double(kPowLogPoly[4]));
+  const __m256d a5 = _mm256_set1_pd(table_double(kPowLogPoly[5]));
+  const __m256d a6 = _mm256_set1_pd(table_double(kPowLogPoly[6]));
+  const __m256d invln2n = _mm256_set1_pd(table_double(kExpInvLn2N));
+  const __m256d negln2hi = _mm256_set1_pd(table_double(kExpNegLn2HiN));
+  const __m256d negln2lo = _mm256_set1_pd(table_double(kExpNegLn2LoN));
+  const __m256d shift = _mm256_set1_pd(table_double(kExpShift));
+  const __m256d c2 = _mm256_set1_pd(table_double(kExpPoly[0]));
+  const __m256d c3 = _mm256_set1_pd(table_double(kExpPoly[1]));
+  const __m256d c4 = _mm256_set1_pd(table_double(kExpPoly[2]));
+  const __m256d c5 = _mm256_set1_pd(table_double(kExpPoly[3]));
+
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d xv = _mm256_loadu_pd(x + i);
+    const __m256i ix = _mm256_castpd_si256(xv);
+    const __m256i topx = _mm256_srli_epi64(ix, 52);
+    __m256i invalid = _mm256_or_si256(_mm256_cmpgt_epi64(one64, topx),
+                                      _mm256_cmpgt_epi64(topx, topx_max));
+
+    // log path
+    const __m256i tmp = _mm256_sub_epi64(ix, off);
+    const __m256i row = _mm256_and_si256(_mm256_srli_epi64(tmp, 45), mask7f);
+    const __m256i row3 =
+        _mm256_add_epi64(_mm256_add_epi64(row, row), row);
+    const __m256i ksh = _mm256_srli_epi64(tmp, 52);
+    const __m256i k64 =
+        _mm256_sub_epi64(_mm256_xor_si256(ksh, sext), sext);
+    const __m256d kd = _mm256_sub_pd(
+        _mm256_castsi256_pd(_mm256_add_epi64(k64, magic_i)), magic_d);
+    const __m256i iz = _mm256_sub_epi64(ix, _mm256_and_si256(tmp, exp_mask));
+    const __m256d z = _mm256_castsi256_pd(iz);
+    const __m256d invc =
+        _mm256_castsi256_pd(_mm256_i64gather_epi64(logtab, row3, 8));
+    const __m256d logc = _mm256_castsi256_pd(_mm256_i64gather_epi64(
+        logtab, _mm256_add_epi64(row3, one64), 8));
+    const __m256d logctail = _mm256_castsi256_pd(_mm256_i64gather_epi64(
+        logtab, _mm256_add_epi64(row3, _mm256_set1_epi64x(2)), 8));
+
+    const __m256d r = _mm256_fmadd_pd(z, invc, neg_one);
+    const __m256d t1 = _mm256_fmadd_pd(kd, ln2hi, logc);
+    const __m256d lo1 = _mm256_fmadd_pd(kd, ln2lo, logctail);
+    const __m256d t2 = _mm256_add_pd(r, t1);
+    const __m256d lo2 = _mm256_add_pd(_mm256_sub_pd(t1, t2), r);
+    const __m256d ar = _mm256_mul_pd(a0, r);
+    const __m256d ar2 = _mm256_mul_pd(r, ar);
+    const __m256d ar3 = _mm256_mul_pd(r, ar2);
+    const __m256d lo3 = _mm256_fmsub_pd(ar, r, ar2);
+    const __m256d hi = _mm256_add_pd(t2, ar2);
+    const __m256d lo4 = _mm256_add_pd(_mm256_sub_pd(t2, hi), ar2);
+    const __m256d s1 = _mm256_fmadd_pd(a2, r, a1);
+    const __m256d s2 = _mm256_fmadd_pd(a4, r, a3);
+    const __m256d s3 = _mm256_fmadd_pd(a6, r, a5);
+    const __m256d inner = _mm256_fmadd_pd(s3, ar2, s2);
+    const __m256d q = _mm256_fmadd_pd(inner, ar2, s1);
+    const __m256d losum = _mm256_add_pd(
+        _mm256_add_pd(_mm256_add_pd(lo1, lo2), lo3), lo4);
+    const __m256d lo = _mm256_fmadd_pd(ar3, q, losum);
+    const __m256d yhi = _mm256_add_pd(hi, lo);
+    const __m256d ylo = _mm256_add_pd(_mm256_sub_pd(hi, yhi), lo);
+
+    // e = y · log(x)
+    const __m256d ehi = _mm256_mul_pd(yv, yhi);
+    const __m256d elo =
+        _mm256_fmadd_pd(yv, ylo, _mm256_fmsub_pd(yv, yhi, ehi));
+
+    // exp path
+    const __m256i abstop = _mm256_and_si256(
+        _mm256_srli_epi64(_mm256_castpd_si256(ehi), 52), abstop_mask);
+    invalid = _mm256_or_si256(
+        invalid, _mm256_or_si256(_mm256_cmpgt_epi64(abstop_lo, abstop),
+                                 _mm256_cmpgt_epi64(abstop, abstop_hi)));
+
+    __m256d kd2 = _mm256_fmadd_pd(ehi, invln2n, shift);
+    const __m256i ki = _mm256_castpd_si256(kd2);
+    kd2 = _mm256_sub_pd(kd2, shift);
+    __m256d rr = _mm256_fmadd_pd(kd2, negln2hi, ehi);
+    rr = _mm256_fmadd_pd(kd2, negln2lo, rr);
+    rr = _mm256_add_pd(elo, rr);
+    const __m256i eidx =
+        _mm256_slli_epi64(_mm256_and_si256(ki, mask7f), 1);
+    const __m256i sbits = _mm256_add_epi64(
+        _mm256_i64gather_epi64(exptab, _mm256_add_epi64(eidx, one64), 8),
+        _mm256_slli_epi64(ki, 45));
+    const __m256d tail =
+        _mm256_castsi256_pd(_mm256_i64gather_epi64(exptab, eidx, 8));
+    const __m256d sa = _mm256_fmadd_pd(c3, rr, c2);
+    const __m256d t = _mm256_add_pd(rr, tail);
+    const __m256d rr2 = _mm256_mul_pd(rr, rr);
+    const __m256d sb = _mm256_fmadd_pd(c5, rr, c4);
+    const __m256d u = _mm256_fmadd_pd(sa, rr2, t);
+    const __m256d rr4 = _mm256_mul_pd(rr2, rr2);
+    const __m256d poly = _mm256_fmadd_pd(sb, rr4, u);
+    const __m256d scale = _mm256_castsi256_pd(sbits);
+    const __m256d res = _mm256_fmadd_pd(poly, scale, scale);
+
+    _mm256_storeu_pd(out + i, res);
+    const int bad = _mm256_movemask_pd(_mm256_castsi256_pd(invalid));
+    if (bad != 0) {
+      for (int lane = 0; lane < 4; ++lane) {
+        if ((bad & (1 << lane)) != 0) {
+          out[i + static_cast<std::size_t>(lane)] =
+              std::pow(x[i + static_cast<std::size_t>(lane)], y);
+        }
+      }
+    }
+  }
+  if (i < n) pow_n_scalar(x + i, out + i, n - i, y);
+}
+
+}  // namespace lazyckpt::stats::detail
+
+#endif  // x86-64

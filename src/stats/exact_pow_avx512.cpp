@@ -1,0 +1,169 @@
+/// \file exact_pow_avx512.cpp
+/// \brief 8-lane AVX-512F/DQ kernel of the vendored pow (exact_pow.hpp).
+///
+/// Same lane-parallel transcription of pow_core as exact_pow_avx2.cpp,
+/// but with the native 64-bit arithmetic shift and int64→double convert
+/// AVX-512 provides, and predicate masks instead of blend vectors.
+/// Compiled with -mavx512f -mavx512dq -ffp-contract=off; dispatched only
+/// behind __builtin_cpu_supports checks and the startup bitwise probe.
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "stats/exact_pow.hpp"
+#include "stats/exact_pow_data.hpp"
+
+namespace lazyckpt::stats::detail {
+
+namespace {
+
+inline double table_double(std::uint64_t bits) noexcept {
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+constexpr std::uint64_t kOff = 0x3fe6955500000000ULL;
+
+}  // namespace
+
+void pow_n_avx512(const double* x, double* out, std::size_t n, double y) {
+  std::uint64_t iy;
+  std::memcpy(&iy, &y, sizeof(iy));
+  const auto topy = static_cast<std::uint32_t>(iy >> 52) & 0x7ff;
+  if (topy - 0x3be >= 0x80) {
+    pow_n_scalar(x, out, n, y);
+    return;
+  }
+
+  const void* logtab = static_cast<const void*>(&kPowLogTab[0][0]);
+  const void* exptab = static_cast<const void*>(&kExpTab[0]);
+
+  const __m512i off = _mm512_set1_epi64(static_cast<long long>(kOff));
+  const __m512i mask7f = _mm512_set1_epi64(0x7f);
+  const __m512i exp_mask =
+      _mm512_set1_epi64(static_cast<long long>(0xfffULL << 52));
+  const __m512i one64 = _mm512_set1_epi64(1);
+  const __m512i topx_lim = _mm512_set1_epi64(0x7fe);
+  const __m512i abstop_mask = _mm512_set1_epi64(0x7ff);
+  const __m512i abstop_base = _mm512_set1_epi64(0x3c9);
+  const __m512i abstop_span = _mm512_set1_epi64(0x3f);
+
+  const __m512d yv = _mm512_set1_pd(y);
+  const __m512d neg_one = _mm512_set1_pd(-1.0);
+  const __m512d ln2hi = _mm512_set1_pd(table_double(kPowLn2Hi));
+  const __m512d ln2lo = _mm512_set1_pd(table_double(kPowLn2Lo));
+  const __m512d a0 = _mm512_set1_pd(table_double(kPowLogPoly[0]));
+  const __m512d a1 = _mm512_set1_pd(table_double(kPowLogPoly[1]));
+  const __m512d a2 = _mm512_set1_pd(table_double(kPowLogPoly[2]));
+  const __m512d a3 = _mm512_set1_pd(table_double(kPowLogPoly[3]));
+  const __m512d a4 = _mm512_set1_pd(table_double(kPowLogPoly[4]));
+  const __m512d a5 = _mm512_set1_pd(table_double(kPowLogPoly[5]));
+  const __m512d a6 = _mm512_set1_pd(table_double(kPowLogPoly[6]));
+  const __m512d invln2n = _mm512_set1_pd(table_double(kExpInvLn2N));
+  const __m512d negln2hi = _mm512_set1_pd(table_double(kExpNegLn2HiN));
+  const __m512d negln2lo = _mm512_set1_pd(table_double(kExpNegLn2LoN));
+  const __m512d shift = _mm512_set1_pd(table_double(kExpShift));
+  const __m512d c2 = _mm512_set1_pd(table_double(kExpPoly[0]));
+  const __m512d c3 = _mm512_set1_pd(table_double(kExpPoly[1]));
+  const __m512d c4 = _mm512_set1_pd(table_double(kExpPoly[2]));
+  const __m512d c5 = _mm512_set1_pd(table_double(kExpPoly[3]));
+
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d xv = _mm512_loadu_pd(x + i);
+    const __m512i ix = _mm512_castpd_si512(xv);
+    const __m512i topx = _mm512_srli_epi64(ix, 52);
+    // topx - 1 >= 0x7fe unsigned catches zero/subnormal/inf/nan/negative.
+    __mmask8 bad = _mm512_cmp_epu64_mask(_mm512_sub_epi64(topx, one64),
+                                         topx_lim, _MM_CMPINT_NLT);
+
+    // log path
+    const __m512i tmp = _mm512_sub_epi64(ix, off);
+    const __m512i row = _mm512_and_si512(_mm512_srli_epi64(tmp, 45), mask7f);
+    const __m512i row3 = _mm512_add_epi64(_mm512_add_epi64(row, row), row);
+    const __m512d kd = _mm512_cvtepi64_pd(_mm512_srai_epi64(tmp, 52));
+    const __m512i iz = _mm512_sub_epi64(ix, _mm512_and_si512(tmp, exp_mask));
+    const __m512d z = _mm512_castsi512_pd(iz);
+    const __m512d invc =
+        _mm512_castsi512_pd(_mm512_i64gather_epi64(row3, logtab, 8));
+    const __m512d logc = _mm512_castsi512_pd(
+        _mm512_i64gather_epi64(_mm512_add_epi64(row3, one64), logtab, 8));
+    const __m512d logctail = _mm512_castsi512_pd(_mm512_i64gather_epi64(
+        _mm512_add_epi64(row3, _mm512_set1_epi64(2)), logtab, 8));
+
+    const __m512d r = _mm512_fmadd_pd(z, invc, neg_one);
+    const __m512d t1 = _mm512_fmadd_pd(kd, ln2hi, logc);
+    const __m512d lo1 = _mm512_fmadd_pd(kd, ln2lo, logctail);
+    const __m512d t2 = _mm512_add_pd(r, t1);
+    const __m512d lo2 = _mm512_add_pd(_mm512_sub_pd(t1, t2), r);
+    const __m512d ar = _mm512_mul_pd(a0, r);
+    const __m512d ar2 = _mm512_mul_pd(r, ar);
+    const __m512d ar3 = _mm512_mul_pd(r, ar2);
+    const __m512d lo3 = _mm512_fmsub_pd(ar, r, ar2);
+    const __m512d hi = _mm512_add_pd(t2, ar2);
+    const __m512d lo4 = _mm512_add_pd(_mm512_sub_pd(t2, hi), ar2);
+    const __m512d s1 = _mm512_fmadd_pd(a2, r, a1);
+    const __m512d s2 = _mm512_fmadd_pd(a4, r, a3);
+    const __m512d s3 = _mm512_fmadd_pd(a6, r, a5);
+    const __m512d inner = _mm512_fmadd_pd(s3, ar2, s2);
+    const __m512d q = _mm512_fmadd_pd(inner, ar2, s1);
+    const __m512d losum = _mm512_add_pd(
+        _mm512_add_pd(_mm512_add_pd(lo1, lo2), lo3), lo4);
+    const __m512d lo = _mm512_fmadd_pd(ar3, q, losum);
+    const __m512d yhi = _mm512_add_pd(hi, lo);
+    const __m512d ylo = _mm512_add_pd(_mm512_sub_pd(hi, yhi), lo);
+
+    // e = y · log(x)
+    const __m512d ehi = _mm512_mul_pd(yv, yhi);
+    const __m512d elo =
+        _mm512_fmadd_pd(yv, ylo, _mm512_fmsub_pd(yv, yhi, ehi));
+
+    // exp path
+    const __m512i abstop = _mm512_and_si512(
+        _mm512_srli_epi64(_mm512_castpd_si512(ehi), 52), abstop_mask);
+    bad |= _mm512_cmp_epu64_mask(_mm512_sub_epi64(abstop, abstop_base),
+                                 abstop_span, _MM_CMPINT_NLT);
+
+    __m512d kd2 = _mm512_fmadd_pd(ehi, invln2n, shift);
+    const __m512i ki = _mm512_castpd_si512(kd2);
+    kd2 = _mm512_sub_pd(kd2, shift);
+    __m512d rr = _mm512_fmadd_pd(kd2, negln2hi, ehi);
+    rr = _mm512_fmadd_pd(kd2, negln2lo, rr);
+    rr = _mm512_add_pd(elo, rr);
+    const __m512i eidx = _mm512_slli_epi64(_mm512_and_si512(ki, mask7f), 1);
+    const __m512i sbits = _mm512_add_epi64(
+        _mm512_i64gather_epi64(_mm512_add_epi64(eidx, one64), exptab, 8),
+        _mm512_slli_epi64(ki, 45));
+    const __m512d tail =
+        _mm512_castsi512_pd(_mm512_i64gather_epi64(eidx, exptab, 8));
+    const __m512d sa = _mm512_fmadd_pd(c3, rr, c2);
+    const __m512d t = _mm512_add_pd(rr, tail);
+    const __m512d rr2 = _mm512_mul_pd(rr, rr);
+    const __m512d sb = _mm512_fmadd_pd(c5, rr, c4);
+    const __m512d u = _mm512_fmadd_pd(sa, rr2, t);
+    const __m512d rr4 = _mm512_mul_pd(rr2, rr2);
+    const __m512d poly = _mm512_fmadd_pd(sb, rr4, u);
+    const __m512d scale = _mm512_castsi512_pd(sbits);
+    const __m512d res = _mm512_fmadd_pd(poly, scale, scale);
+
+    _mm512_storeu_pd(out + i, res);
+    if (bad != 0) {
+      for (int lane = 0; lane < 8; ++lane) {
+        if ((bad & (1U << lane)) != 0) {
+          out[i + static_cast<std::size_t>(lane)] =
+              std::pow(x[i + static_cast<std::size_t>(lane)], y);
+        }
+      }
+    }
+  }
+  if (i < n) pow_n_scalar(x + i, out + i, n - i, y);
+}
+
+}  // namespace lazyckpt::stats::detail
+
+#endif  // x86-64

@@ -22,6 +22,8 @@ double Normal::quantile(double p) const {
   return mu_ + sigma_ * normal_quantile(p);
 }
 
+Sampler Normal::sampler() const { return Sampler::normal(mu_, sigma_); }
+
 void Normal::cdf_n(std::span<const double> xs, std::span<double> out) const {
   require(xs.size() == out.size(), "cdf_n spans must have equal size");
   for (std::size_t i = 0; i < xs.size(); ++i) out[i] = cdf(xs[i]);

@@ -19,6 +19,7 @@ class Normal final : public Distribution {
   [[nodiscard]] double pdf(double x) const override;
   [[nodiscard]] double cdf(double x) const override;
   [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] Sampler sampler() const override;
   [[nodiscard]] double mean() const override { return mu_; }
   [[nodiscard]] std::string name() const override { return "normal"; }
   void cdf_n(std::span<const double> xs,

@@ -1,11 +1,19 @@
 #include "stats/sampler.hpp"
 
 #include "stats/distribution.hpp"
+#include "stats/exact_pow.hpp"
 
 namespace lazyckpt::stats::detail {
 
 double sample_generic(const Distribution& dist, Rng& rng) {
   return dist.sample(rng);
+}
+
+void weibull_transform_n(std::span<double> out, double scale,
+                         double inv_shape) {
+  // In-place is fine: pow_n never reads an element after writing it.
+  pow_n(out.data(), out.data(), out.size(), inv_shape);
+  for (double& value : out) value = scale * value;
 }
 
 }  // namespace lazyckpt::stats::detail

@@ -32,6 +32,11 @@ class Distribution;
 namespace detail {
 /// Out-of-line fallback: forwards to Distribution::sample (virtual).
 double sample_generic(const Distribution& dist, Rng& rng);
+/// Out-of-line batched Weibull transform: runs the expensive t^(1/k)
+/// step through the vectorized bit-exact pow (stats/exact_pow.hpp).
+/// `out` already holds the -log1p(-u) values, in draw order.
+void weibull_transform_n(std::span<double> out, double scale,
+                         double inv_shape);
 }  // namespace detail
 
 /// A cheap, copyable sampling kernel snapshotted from a Distribution.
@@ -54,6 +59,11 @@ class Sampler {
     return Sampler(Kind::kLogNormal, mu, sigma, nullptr);
   }
 
+  /// Normal(μ, σ): x = μ + σ · Φ⁻¹(u).
+  [[nodiscard]] static Sampler normal(double mu, double sigma) noexcept {
+    return Sampler(Kind::kNormal, mu, sigma, nullptr);
+  }
+
   /// Fallback: sample through the distribution's virtual interface.
   /// `dist` must outlive the sampler.
   [[nodiscard]] static Sampler generic(const Distribution& dist) noexcept {
@@ -66,13 +76,14 @@ class Sampler {
     if (kind_ == Kind::kGeneric) return detail::sample_generic(*generic_, rng);
     // Same uniform mapping as Distribution::sample: u in (0, 1] clipped
     // away from 1 for quantile functions that diverge there.
-    double u = rng.uniform_positive();
-    if (u >= 1.0) u = 1.0 - 1e-16;
+    const double u = draw_uniform(rng);
     switch (kind_) {
       case Kind::kExponential:
         return -std::log1p(-u) / a_;
       case Kind::kWeibull:
         return a_ * std::pow(-std::log1p(-u), b_);
+      case Kind::kNormal:
+        return a_ + b_ * normal_quantile(u);
       default:  // Kind::kLogNormal
         return std::exp(a_ + b_ * normal_quantile(u));
     }
@@ -80,13 +91,39 @@ class Sampler {
 
   /// Batched draw: fills `out` with out.size() consecutive variates, in
   /// the exact order (and with the exact values) of repeated sample()
-  /// calls.  Hoists the kind dispatch out of the per-variate loop.
+  /// calls.  The kind dispatch is hoisted out of the per-variate loop,
+  /// and the Weibull transform runs its t^(1/k) phase through the
+  /// vectorized bit-exact pow — bitwise identical to std::pow, so the
+  /// scalar-loop equivalence the tests pin down survives vectorization.
   void sample_n(Rng& rng, std::span<double> out) const {
-    if (kind_ == Kind::kGeneric) {
-      for (double& value : out) value = detail::sample_generic(*generic_, rng);
-      return;
+    switch (kind_) {
+      case Kind::kGeneric:
+        for (double& value : out) {
+          value = detail::sample_generic(*generic_, rng);
+        }
+        return;
+      case Kind::kExponential:
+        for (double& value : out) {
+          value = -std::log1p(-draw_uniform(rng)) / a_;
+        }
+        return;
+      case Kind::kWeibull:
+        // Phase 1 consumes the RNG in draw order; phase 2 is a pure
+        // elementwise transform, so batching cannot reorder anything.
+        for (double& value : out) value = -std::log1p(-draw_uniform(rng));
+        detail::weibull_transform_n(out, a_, b_);
+        return;
+      case Kind::kNormal:
+        for (double& value : out) {
+          value = a_ + b_ * normal_quantile(draw_uniform(rng));
+        }
+        return;
+      default:  // Kind::kLogNormal
+        for (double& value : out) {
+          value = std::exp(a_ + b_ * normal_quantile(draw_uniform(rng)));
+        }
+        return;
     }
-    for (double& value : out) value = sample(rng);
   }
 
   /// False only for the virtual-dispatch fallback.
@@ -99,11 +136,20 @@ class Sampler {
     kExponential,
     kWeibull,
     kLogNormal,
+    kNormal,
     kGeneric,
   };
 
   Sampler(Kind kind, double a, double b, const Distribution* generic) noexcept
       : kind_(kind), a_(a), b_(b), generic_(generic) {}
+
+  /// Same uniform mapping as Distribution::sample: u in (0, 1] clipped
+  /// away from 1 for quantile functions that diverge there.
+  [[nodiscard]] static double draw_uniform(Rng& rng) {
+    double u = rng.uniform_positive();
+    if (u >= 1.0) u = 1.0 - 1e-16;
+    return u;
+  }
 
   Kind kind_;
   double a_;  ///< rate (exp), scale (weibull), mu (lognormal)

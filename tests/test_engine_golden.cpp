@@ -31,15 +31,21 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "common/random.hpp"
 #include "core/model/oci.hpp"
 #include "core/policy/factory.hpp"
 #include "io/storage_model.hpp"
+#include "sim/batch.hpp"
 #include "sim/engine.hpp"
 #include "sim/failure_source.hpp"
+#include "sim/sweep.hpp"
 #include "stats/exponential.hpp"
 #include "stats/lognormal.hpp"
 #include "stats/weibull.hpp"
@@ -270,6 +276,56 @@ void expect_bits(double lhs, double rhs, const std::string& what) {
       << what << ": " << lhs << " vs " << rhs;
 }
 
+/// Full bit-identity on a RunMetrics pair, recorded timeline included.
+void expect_run_bits(const sim::RunMetrics& got, const sim::RunMetrics& want,
+                     const std::string& label) {
+  expect_bits(got.makespan_hours, want.makespan_hours, label + " makespan");
+  expect_bits(got.compute_hours, want.compute_hours, label + " compute");
+  expect_bits(got.checkpoint_hours, want.checkpoint_hours,
+              label + " checkpoint");
+  expect_bits(got.wasted_hours, want.wasted_hours, label + " wasted");
+  expect_bits(got.restart_hours, want.restart_hours, label + " restart");
+  expect_bits(got.data_written_gb, want.data_written_gb,
+              label + " data_written");
+  EXPECT_EQ(got.failures, want.failures) << label;
+  EXPECT_EQ(got.checkpoints_written, want.checkpoints_written) << label;
+  EXPECT_EQ(got.checkpoints_skipped, want.checkpoints_skipped) << label;
+
+  ASSERT_EQ(got.timeline.size(), want.timeline.size()) << label;
+  for (std::size_t i = 0; i < got.timeline.size(); ++i) {
+    const auto& a = got.timeline[i];
+    const auto& b = want.timeline[i];
+    const std::string point = label + " timeline[" + std::to_string(i) + "]";
+    expect_bits(a.time_hours, b.time_hours, point + " time");
+    expect_bits(a.compute_hours, b.compute_hours, point + " compute");
+    expect_bits(a.checkpoint_hours, b.checkpoint_hours, point + " checkpoint");
+    expect_bits(a.wasted_hours, b.wasted_hours, point + " wasted");
+    expect_bits(a.restart_hours, b.restart_hours, point + " restart");
+  }
+}
+
+/// Set-and-restore for the env knobs the batched sweep reads.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) old_ = old;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (old_.has_value()) {
+      ::setenv(name_, old_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+  std::optional<std::string> old_;
+};
+
 TEST(EngineGolden, FastPathMatchesRecordedSeedOutputs) {
   for (const auto& row : kGolden) {
     EXPECT_EQ(format_metrics(run_row(row, Path::kFast)), row.expected)
@@ -312,33 +368,152 @@ TEST(EngineGolden, FastAndGenericBitIdenticalIncludingTimeline) {
     const auto fast = run_row(row, Path::kFast, /*record_timeline=*/true);
     const auto generic =
         run_row(row, Path::kGeneric, /*record_timeline=*/true);
-    const std::string label = row_label(row);
+    expect_run_bits(fast, generic, row_label(row));
+  }
+}
 
-    expect_bits(fast.makespan_hours, generic.makespan_hours,
-                label + " makespan");
-    expect_bits(fast.compute_hours, generic.compute_hours, label + " compute");
-    expect_bits(fast.checkpoint_hours, generic.checkpoint_hours,
-                label + " checkpoint");
-    expect_bits(fast.wasted_hours, generic.wasted_hours, label + " wasted");
-    expect_bits(fast.restart_hours, generic.restart_hours, label + " restart");
-    expect_bits(fast.data_written_gb, generic.data_written_gb,
-                label + " data_written");
-    EXPECT_EQ(fast.failures, generic.failures) << label;
-    EXPECT_EQ(fast.checkpoints_written, generic.checkpoints_written) << label;
-    EXPECT_EQ(fast.checkpoints_skipped, generic.checkpoints_skipped) << label;
+// The batched SoA kernel (sim/batch.hpp) against the recorded seed
+// strings: a batch of one replica whose stream is exactly the golden
+// Rng(seed) must reproduce every row character-for-character.  The
+// eligible rows (static-oci, ilazy over ConstantStorage) take the
+// lockstep fast path; every other policy takes the kernel's transparent
+// per-replica fallback — both must land on the recorded bytes.
+TEST(EngineGolden, BatchKernelMatchesRecordedSeedOutputs) {
+  for (const auto& row : kGolden) {
+    const auto config = make_config(row);
+    const io::ConstantStorage storage(0.5, 0.5, 2.0);
+    const auto policy = core::make_policy(row.policy);
+    const auto dist = make_dist(row.dist);
+    std::vector<Rng> streams{Rng(row.seed)};
+    std::vector<sim::RunMetrics> out(1);
+    sim::simulate_batch(config, *policy, *dist, storage, streams, out);
+    EXPECT_EQ(format_metrics(out[0]), row.expected)
+        << row_label(row) << " [batch]";
+  }
+}
 
-    ASSERT_EQ(fast.timeline.size(), generic.timeline.size()) << label;
-    for (std::size_t i = 0; i < fast.timeline.size(); ++i) {
-      const auto& a = fast.timeline[i];
-      const auto& b = generic.timeline[i];
-      const std::string point = label + " timeline[" + std::to_string(i) + "]";
-      expect_bits(a.time_hours, b.time_hours, point + " time");
-      expect_bits(a.compute_hours, b.compute_hours, point + " compute");
-      expect_bits(a.checkpoint_hours, b.checkpoint_hours,
-                  point + " checkpoint");
-      expect_bits(a.wasted_hours, b.wasted_hours, point + " wasted");
-      expect_bits(a.restart_hours, b.restart_hours, point + " restart");
+// The batched sweep against the scalar per-replica loop it replaces:
+// identical streams, identical results — timelines included — for every
+// batch size (full batches, partial tails, batch-of-one) and every
+// worker-pool width.  This is the tentpole's bit-identity contract at
+// the sweep level: batching may change only *when* values are computed,
+// never which values.
+TEST(EngineGolden, BatchedSweepBitIdenticalToScalarAcrossShapes) {
+  constexpr std::size_t kReplicas = 13;  // 13 = 8 + 5: forces a tail batch
+  constexpr std::size_t kBatchSizes[] = {1, 8, 64};
+  constexpr const char* kThreadCounts[] = {"1", "2", "8"};
+  for (const auto& row : kGolden) {
+    auto config = make_config(row);
+    config.record_timeline = true;
+    const io::ConstantStorage storage(0.5, 0.5, 2.0);
+    const auto policy = core::make_policy(row.policy);
+    const auto dist = make_dist(row.dist);
+
+    // Scalar reference over the exact streams the sweeps derive: split
+    // from the master in index order, one fresh policy clone per replica.
+    Rng master(row.seed);
+    std::vector<Rng> streams;
+    streams.reserve(kReplicas);
+    for (std::size_t i = 0; i < kReplicas; ++i) {
+      streams.push_back(master.split());
     }
+    std::vector<sim::RunMetrics> reference;
+    reference.reserve(kReplicas);
+    for (std::size_t i = 0; i < kReplicas; ++i) {
+      sim::RenewalFailureSource source(*dist, streams[i]);
+      const auto replica_policy = policy->clone();
+      reference.push_back(
+          sim::simulate(config, *replica_policy, source, storage));
+    }
+
+    for (const std::size_t batch : kBatchSizes) {
+      for (const char* threads : kThreadCounts) {
+        const ScopedEnv env("LAZYCKPT_THREADS", threads);
+        const auto got = sim::run_replicas_batched(
+            config, *policy, *dist, storage, kReplicas, row.seed, batch);
+        ASSERT_EQ(got.size(), kReplicas);
+        for (std::size_t i = 0; i < kReplicas; ++i) {
+          expect_run_bits(got[i], reference[i],
+                          row_label(row) + " batch=" + std::to_string(batch) +
+                              " threads=" + threads + " replica " +
+                              std::to_string(i));
+        }
+      }
+    }
+  }
+}
+
+// Timeline recording forces the kernel onto its scalar rounds, so the
+// sweep test above never reaches the AVX-512 round pass with more than
+// the 72-row single-replica batches.  This variant drops the timeline —
+// the configuration the vector pass actually serves — and runs enough
+// replicas for full eight-lane chunks plus a masked tail, against the
+// same scalar per-replica reference.
+TEST(EngineGolden, BatchedSweepBitIdenticalWithoutTimeline) {
+  constexpr std::size_t kReplicas = 21;  // 21 = 2*8 + 5: full + tail lanes
+  constexpr std::size_t kBatchSizes[] = {8, 21, 64};
+  for (const auto& row : kGolden) {
+    const auto config = make_config(row);
+    const io::ConstantStorage storage(0.5, 0.5, 2.0);
+    const auto policy = core::make_policy(row.policy);
+    const auto dist = make_dist(row.dist);
+
+    Rng master(row.seed);
+    std::vector<Rng> streams;
+    streams.reserve(kReplicas);
+    for (std::size_t i = 0; i < kReplicas; ++i) {
+      streams.push_back(master.split());
+    }
+    std::vector<sim::RunMetrics> reference;
+    reference.reserve(kReplicas);
+    for (std::size_t i = 0; i < kReplicas; ++i) {
+      sim::RenewalFailureSource source(*dist, streams[i]);
+      const auto replica_policy = policy->clone();
+      reference.push_back(
+          sim::simulate(config, *replica_policy, source, storage));
+    }
+
+    for (const std::size_t batch : kBatchSizes) {
+      const auto got = sim::run_replicas_batched(config, *policy, *dist,
+                                                 storage, kReplicas, row.seed,
+                                                 batch);
+      ASSERT_EQ(got.size(), kReplicas);
+      for (std::size_t i = 0; i < kReplicas; ++i) {
+        expect_run_bits(got[i], reference[i],
+                        row_label(row) + " no-timeline batch=" +
+                            std::to_string(batch) + " replica " +
+                            std::to_string(i));
+      }
+    }
+  }
+}
+
+// The sweep entry point must dispatch to the batched kernel (and honor
+// LAZYCKPT_BATCH=0 as the scalar escape hatch) without changing a byte.
+TEST(EngineGolden, SweepDispatchBatchedEqualsScalar) {
+  const GoldenRow& row = kGolden[30];  // ilazy:0.6 / weibull — eligible
+  const auto config = make_config(row);
+  const io::ConstantStorage storage(0.5, 0.5, 2.0);
+  const auto policy = core::make_policy(row.policy);
+  const auto dist = make_dist(row.dist);
+  ASSERT_TRUE(sim::batch_eligible(*policy, storage));
+
+  std::vector<sim::RunMetrics> scalar;
+  {
+    const ScopedEnv env("LAZYCKPT_BATCH", "0");
+    scalar = sim::run_replicas_raw(config, *policy, *dist, storage, 30,
+                                   row.seed);
+  }
+  std::vector<sim::RunMetrics> batched;
+  {
+    const ScopedEnv env("LAZYCKPT_BATCH", "8");
+    batched = sim::run_replicas_raw(config, *policy, *dist, storage, 30,
+                                    row.seed);
+  }
+  ASSERT_EQ(scalar.size(), batched.size());
+  for (std::size_t i = 0; i < scalar.size(); ++i) {
+    EXPECT_EQ(format_metrics(batched[i]), format_metrics(scalar[i]))
+        << "replica " << i;
   }
 }
 

@@ -337,6 +337,81 @@ void f(bool ok) {
   EXPECT_TRUE(lint_at("examples/demo.cpp", naked).empty());
 }
 
+TEST(LintRngSplitOrder, FlagsSplitInsideParallelWorker) {
+  const std::string violating = R"(
+#include "common/parallel.hpp"
+void run(lazyckpt::Rng& master, std::size_t n) {
+  lazyckpt::parallel_for(n, [&](std::size_t i) {
+    auto rng = master.split();
+    use(rng, i);
+  });
+}
+)";
+  const auto findings = lint_at("src/sim/bad_dispatch.cpp", violating);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, lint::Rule::kRngSplitOrder);
+  EXPECT_EQ(findings[0].line, 5);
+}
+
+TEST(LintRngSplitOrder, FlagsSplitInsideParallelMapWorker) {
+  const std::string violating = R"(
+void run(lazyckpt::Rng& master, std::size_t n) {
+  const auto out = lazyckpt::parallel_map(n, [&](std::size_t i) {
+    return simulate(master.split(), i);
+  });
+  use(out);
+}
+)";
+  EXPECT_TRUE(has_rule(lint_at("src/sim/bad_map.cpp", violating),
+                       lint::Rule::kRngSplitOrder));
+}
+
+TEST(LintRngSplitOrder, PreSplitStreamsInIndexOrderPass) {
+  // The repo-wide idiom (sweep.cpp, campaign.cpp, batch.cpp): split every
+  // stream from the master in replica index order, then dispatch.
+  const std::string clean = R"(
+#include "common/parallel.hpp"
+void run(lazyckpt::Rng& master, std::size_t n) {
+  std::vector<lazyckpt::Rng> streams;
+  streams.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) streams.push_back(master.split());
+  lazyckpt::parallel_for(n, [&](std::size_t i) { use(streams[i], i); });
+}
+)";
+  EXPECT_TRUE(lint_at("src/sim/good_dispatch.cpp", clean).empty());
+
+  // A split after the dispatch call has closed is outside the region.
+  const std::string after = R"(
+void run(lazyckpt::Rng& master, std::size_t n) {
+  lazyckpt::parallel_for(n, [&](std::size_t i) { use(i); });
+  auto tail = master.split();
+  use(tail);
+}
+)";
+  EXPECT_TRUE(lint_at("src/sim/after_dispatch.cpp", after).empty());
+}
+
+TEST(LintRngSplitOrder, TracksRegionAcrossLinesAndNestedParens) {
+  // The worker lambda spans many lines and contains nested calls; the
+  // paren-depth tracker must keep the region open until the dispatch
+  // call's own argument list closes.
+  const std::string violating = R"(
+void run(lazyckpt::Rng& master, std::size_t n) {
+  lazyckpt::parallel_for(
+      n,
+      [&](std::size_t i) {
+        auto local = wrap(make(master.split()), i);
+        use(local);
+      },
+      lazyckpt::ParallelConfig{4});
+}
+)";
+  const auto findings = lint_at("src/sim/nested.cpp", violating);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, lint::Rule::kRngSplitOrder);
+  EXPECT_EQ(findings[0].line, 6);
+}
+
 // ---- suppression comments ------------------------------------------------
 
 TEST(LintSuppression, TrailingCommentSilencesItsLine) {

@@ -1,0 +1,359 @@
+#include "gate.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lazyckpt::benchgate {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader — objects, arrays, strings, numbers, booleans,
+// null.  Exactly what bench::write_machine_json and micro_engine emit;
+// no escapes beyond \" and \\ are needed (and none are emitted).
+// ---------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* find(std::string_view key) const {
+    for (const auto& [name, value] : object) {
+      if (name == key) return &value;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after JSON value");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("bench JSON: " + what + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return parse_string();
+      case 't':
+      case 'f':
+        return parse_bool();
+      case 'n':
+        return parse_null();
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      JsonValue key = parse_string();
+      expect(':');
+      value.object.emplace_back(std::move(key.text), parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return value;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      value.array.push_back(parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return value;
+    }
+  }
+
+  JsonValue parse_string() {
+    expect('"');
+    JsonValue value;
+    value.kind = JsonValue::Kind::kString;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        c = text_[pos_++];
+        if (c == 'n') c = '\n';
+        if (c == 't') c = '\t';
+      }
+      value.text.push_back(c);
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return value;
+  }
+
+  JsonValue parse_bool() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      value.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      value.boolean = false;
+      pos_ += 5;
+    } else {
+      fail("malformed boolean");
+    }
+    return value;
+  }
+
+  JsonValue parse_null() {
+    if (text_.compare(pos_, 4, "null") != 0) fail("malformed null");
+    pos_ += 4;
+    return JsonValue{};
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("malformed number");
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    value.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+double number_or(const JsonValue& object, std::string_view key,
+                 double fallback) {
+  const JsonValue* value = object.find(key);
+  return value != nullptr && value->kind == JsonValue::Kind::kNumber
+             ? value->number
+             : fallback;
+}
+
+ArmStats parse_arm(const JsonValue& object) {
+  ArmStats arm;
+  arm.seconds = number_or(object, "seconds", 0.0);
+  arm.trials_per_sec = number_or(object, "trials_per_sec", 0.0);
+  arm.events_per_sec = number_or(object, "events_per_sec", 0.0);
+  return arm;
+}
+
+std::string ratio_detail(const std::string& workload, const std::string& arm,
+                         double fresh, double baseline, double floor_ratio) {
+  char buffer[160];
+  std::snprintf(buffer, sizeof buffer,
+                "%s %s: %.1f vs baseline %.1f trials/s (%.2fx, floor %.2fx)",
+                workload.c_str(), arm.c_str(), fresh, baseline,
+                baseline > 0.0 ? fresh / baseline : 0.0, floor_ratio);
+  return buffer;
+}
+
+}  // namespace
+
+BenchReport parse_bench_report(std::string_view text) {
+  JsonValue root;
+  try {
+    root = JsonParser(text).parse();
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("bench report does not parse: ") +
+                             e.what());
+  }
+  if (root.kind != JsonValue::Kind::kObject) {
+    throw std::runtime_error("bench report is not a JSON object");
+  }
+
+  BenchReport report;
+  if (const JsonValue* bench = root.find("bench");
+      bench != nullptr && bench->kind == JsonValue::Kind::kString) {
+    report.bench = bench->text;
+  }
+  report.replicas =
+      static_cast<std::uint64_t>(number_or(root, "replicas", 0.0));
+  report.seed = static_cast<std::uint64_t>(number_or(root, "seed", 0.0));
+  if (const JsonValue* bit = root.find("bit_identical");
+      bit != nullptr && bit->kind == JsonValue::Kind::kBool) {
+    report.bit_identical = bit->boolean;
+  }
+  if (const JsonValue* machine = root.find("machine");
+      machine != nullptr && machine->kind == JsonValue::Kind::kObject) {
+    if (const JsonValue* smoke = machine->find("smoke_mode");
+        smoke != nullptr && smoke->kind == JsonValue::Kind::kBool) {
+      report.smoke_mode = smoke->boolean;
+    }
+  }
+
+  const JsonValue* results = root.find("results");
+  if (results == nullptr || results->kind != JsonValue::Kind::kArray) {
+    throw std::runtime_error("bench report has no results array");
+  }
+  for (const JsonValue& entry : results->array) {
+    if (entry.kind != JsonValue::Kind::kObject) continue;
+    WorkloadRow row;
+    if (const JsonValue* name = entry.find("workload");
+        name != nullptr && name->kind == JsonValue::Kind::kString) {
+      row.workload = name->text;
+    }
+    row.events = static_cast<std::uint64_t>(number_or(entry, "events", 0.0));
+    for (const auto& [key, value] : entry.object) {
+      if (value.kind == JsonValue::Kind::kObject &&
+          value.find("trials_per_sec") != nullptr) {
+        row.arms.emplace(key, parse_arm(value));
+      }
+    }
+    report.rows.push_back(std::move(row));
+  }
+  if (report.rows.empty()) {
+    throw std::runtime_error("bench report has an empty results array");
+  }
+  return report;
+}
+
+BenchReport load_bench_report(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot read bench report: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_bench_report(buffer.str());
+}
+
+GateOutcome run_gate(const BenchReport& baseline, const BenchReport& fresh,
+                     const GateOptions& options) {
+  GateOutcome outcome;
+
+  // Identity invariants hold in every mode: the fresh run must have
+  // proven its arms bit-identical to each other (the in-run digest
+  // comparison micro_engine performs), regardless of how noisy the
+  // runner is.
+  outcome.add("digest", fresh.bit_identical,
+              fresh.bit_identical
+                  ? "fresh arms bit-identical"
+                  : "fresh report says arms are NOT bit-identical");
+
+  // Exact event identity: only comparable when the two runs simulated
+  // the same workload shape.  Smoke runs shrink the replica count, so
+  // there the digest above carries the identity burden alone.
+  const bool comparable_shape =
+      !options.smoke && !fresh.smoke_mode &&
+      fresh.replicas == baseline.replicas && fresh.seed == baseline.seed;
+
+  for (const WorkloadRow& base_row : baseline.rows) {
+    const WorkloadRow* fresh_row = nullptr;
+    for (const WorkloadRow& row : fresh.rows) {
+      if (row.workload == base_row.workload) {
+        fresh_row = &row;
+        break;
+      }
+    }
+    if (fresh_row == nullptr) {
+      outcome.add("workload " + base_row.workload, false,
+                  "missing from fresh report");
+      continue;
+    }
+
+    if (comparable_shape) {
+      const bool same = fresh_row->events == base_row.events;
+      outcome.add("events " + base_row.workload, same,
+                  same ? std::to_string(base_row.events) + " events (exact)"
+                       : "fresh " + std::to_string(fresh_row->events) +
+                             " vs baseline " +
+                             std::to_string(base_row.events));
+    }
+
+    for (const auto& [arm, base_stats] : base_row.arms) {
+      const auto it = fresh_row->arms.find(arm);
+      if (it == fresh_row->arms.end()) {
+        // An arm the baseline knows but the fresh report lacks (or vice
+        // versa) is a schema drift, not a regression: older baselines
+        // predate the batch arm.
+        continue;
+      }
+      const double floor_rate = base_stats.trials_per_sec * options.min_ratio;
+      const bool ok = it->second.trials_per_sec >= floor_rate;
+      outcome.add("perf " + base_row.workload + "/" + arm, ok,
+                  ratio_detail(base_row.workload, arm,
+                               it->second.trials_per_sec,
+                               base_stats.trials_per_sec, options.min_ratio));
+    }
+  }
+  return outcome;
+}
+
+BenchReport inject_slowdown(BenchReport report, double factor) {
+  for (WorkloadRow& row : report.rows) {
+    for (auto& entry : row.arms) {
+      ArmStats& stats = entry.second;
+      stats.seconds *= factor;
+      stats.trials_per_sec /= factor;
+      stats.events_per_sec /= factor;
+    }
+  }
+  return report;
+}
+
+}  // namespace lazyckpt::benchgate

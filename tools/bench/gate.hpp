@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file gate.hpp
+/// \brief lazyckpt-bench-gate: the perf-regression comparator behind the
+/// committed bench trajectory (EXPERIMENTS.md, "Bench trajectory").
+///
+/// `bench/micro_engine` writes BENCH_sim_kernel.json; the canonical
+/// snapshot for the current machine class is committed under results/.
+/// The gate diffs a fresh report against that baseline: identity
+/// invariants (the cross-arm bit-identity digest, and — when the run
+/// shapes match — exact per-workload event counts) are enforced
+/// unconditionally, while throughput is compared with a noise bound so a
+/// shared runner's jitter does not fail CI but a real regression does.
+///
+/// The parser is deliberately self-contained: a minimal recursive-descent
+/// JSON reader for the bench schema, so the gate builds even when the
+/// simulation libraries do not.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lazyckpt::benchgate {
+
+/// One measured arm of one workload row ("legacy", "generic", "fast",
+/// "batch").
+struct ArmStats {
+  double seconds = 0.0;
+  double trials_per_sec = 0.0;
+  double events_per_sec = 0.0;
+};
+
+struct WorkloadRow {
+  std::string workload;
+  std::uint64_t events = 0;
+  std::map<std::string, ArmStats> arms;
+};
+
+/// The slice of BENCH_sim_kernel.json the gate reasons about.  Unknown
+/// keys are ignored so the schema can grow without breaking old gates.
+struct BenchReport {
+  std::string bench;
+  std::uint64_t replicas = 0;
+  std::uint64_t seed = 0;
+  bool bit_identical = false;
+  bool smoke_mode = false;
+  std::vector<WorkloadRow> rows;
+};
+
+/// Parse a bench report.  Throws std::runtime_error on malformed JSON or
+/// a report missing the required keys.  (Plain std exceptions: like the
+/// linter, this tool deliberately links none of the lazyckpt libraries.)
+[[nodiscard]] BenchReport parse_bench_report(std::string_view text);
+
+/// Read and parse one report file.  Throws std::runtime_error when the
+/// file cannot be read.
+[[nodiscard]] BenchReport load_bench_report(const std::string& path);
+
+struct GateOptions {
+  /// Per-arm throughput floor: fresh trials/sec must be at least
+  /// min_ratio × baseline trials/sec.
+  double min_ratio = 0.8;
+  /// Smoke-tolerant mode for shared CI runners: identity invariants stay
+  /// mandatory, throughput bounds widen (unless --min-ratio overrides),
+  /// and event counts are not compared (smoke runs shrink the workload).
+  bool smoke = false;
+};
+
+/// One named invariant the gate evaluated.
+struct GateCheck {
+  std::string label;
+  bool pass = false;
+  std::string detail;
+};
+
+struct GateOutcome {
+  bool pass = true;
+  std::vector<GateCheck> checks;
+
+  void add(std::string label, bool ok, std::string detail) {
+    pass = pass && ok;
+    checks.push_back({std::move(label), ok, std::move(detail)});
+  }
+};
+
+/// Evaluate every gate invariant of `fresh` against `baseline`.
+[[nodiscard]] GateOutcome run_gate(const BenchReport& baseline,
+                                   const BenchReport& fresh,
+                                   const GateOptions& options);
+
+/// Scale every arm of `report` down by `factor` (seconds up, rates down)
+/// — the synthetic regression behind --self-test.
+[[nodiscard]] BenchReport inject_slowdown(BenchReport report,
+                                          double factor = 100.0);
+
+/// Default smoke-mode throughput floor: wide enough for a three-replica
+/// run on a contended shared runner, tight enough that the self-test's
+/// 100x injected slowdown still trips it.
+inline constexpr double kSmokeMinRatio = 0.05;
+
+}  // namespace lazyckpt::benchgate

@@ -1,0 +1,24 @@
+# Runs micro_engine in smoke mode into a scratch directory, then gates
+# the fresh BENCH_sim_kernel.json against the committed baseline.
+# Invoked by the perf_gate_smoke CTest case (tools/bench/CMakeLists.txt)
+# with BENCH_BIN, GATE_TOOL, BASELINE, and WORK_DIR defined.
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env LAZYCKPT_BENCH_SMOKE=1 LAZYCKPT_THREADS=2
+          "${BENCH_BIN}"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "micro_engine smoke run failed (exit ${bench_rc})")
+endif()
+
+execute_process(
+  COMMAND "${GATE_TOOL}" --smoke
+          --baseline "${BASELINE}"
+          --fresh "${WORK_DIR}/BENCH_sim_kernel.json"
+  RESULT_VARIABLE gate_rc)
+if(NOT gate_rc EQUAL 0)
+  message(FATAL_ERROR "perf gate failed (exit ${gate_rc})")
+endif()

@@ -12,15 +12,16 @@ namespace lazyckpt::lint {
 
 namespace {
 
-constexpr std::array<std::pair<Rule, std::string_view>, 5> kRuleIds = {{
+constexpr std::array<std::pair<Rule, std::string_view>, 6> kRuleIds = {{
     {Rule::kDeterminism, "determinism"},
     {Rule::kUnorderedOutputOrder, "unordered-output-order"},
     {Rule::kFloatCompare, "float-compare"},
     {Rule::kHeaderHygiene, "header-hygiene"},
     {Rule::kErrorDiscipline, "error-discipline"},
+    {Rule::kRngSplitOrder, "rng-split-order"},
 }};
 
-constexpr std::array<std::pair<Rule, std::string_view>, 5> kRuleRationales = {{
+constexpr std::array<std::pair<Rule, std::string_view>, 6> kRuleRationales = {{
     {Rule::kDeterminism,
      "all randomness flows through common/random pre-split streams; "
      "wall-clock reads are allowed only in bench/ or via the obs clock "
@@ -38,6 +39,10 @@ constexpr std::array<std::pair<Rule, std::string_view>, 5> kRuleRationales = {{
      "src/ throws the lazyckpt::Error hierarchy via common/error.hpp, "
      "never naked std:: exception types, and never calls "
      "abort()/exit() — library code reports, callers decide"},
+    {Rule::kRngSplitOrder,
+     "RNG streams are pre-split from the master in index order before "
+     "parallel dispatch; .split() inside a parallel_for/parallel_map "
+     "worker would order splits by thread scheduling and break replay"},
 }};
 
 bool is_ident_char(char c) {
@@ -748,6 +753,48 @@ std::vector<Finding> lint_source(std::string_view file_label,
                      "instead and let the binary decide");
           break;
         }
+      }
+    }
+  }
+
+  // ---- rng-split-order ---------------------------------------------------
+  {
+    // Paren-depth tracking across lines: from a parallel_for(/parallel_map(
+    // call until its argument list closes, any `.split(` sits inside the
+    // worker lambda (or an argument expression evaluated per task) —
+    // either way the split order would depend on thread scheduling.
+    int region_depth = 0;  // 0 = outside any parallel dispatch call
+    for (std::size_t idx = 0; idx < lines.size(); ++idx) {
+      const std::string& line = lines[idx];
+      const int line_no = static_cast<int>(idx) + 1;
+      std::size_t pos = 0;
+      bool flagged = false;
+      while (pos < line.size()) {
+        if (region_depth == 0) {
+          std::size_t call = std::string_view::npos;
+          for (std::string_view token : {"parallel_for", "parallel_map"}) {
+            const std::size_t at = find_token(line, token, pos);
+            if (at < call) call = at;
+          }
+          if (call == std::string_view::npos) break;
+          const std::size_t open = line.find('(', call);
+          if (open == std::string::npos) break;  // a bare mention, not a call
+          region_depth = 1;
+          pos = open + 1;
+          continue;
+        }
+        if (!flagged && line.compare(pos, 7, ".split(") == 0) {
+          report(line_no, Rule::kRngSplitOrder,
+                 ".split() inside a parallel_for/parallel_map worker: "
+                 "pre-split the streams from the master in index order "
+                 "before dispatch so stream assignment cannot depend on "
+                 "thread scheduling");
+          flagged = true;  // one diagnostic per line
+        }
+        const char c = line[pos];
+        if (c == '(') ++region_depth;
+        if (c == ')') --region_depth;
+        ++pos;
       }
     }
   }

@@ -62,6 +62,13 @@ enum class Rule {
   /// discipline), and no abort()/exit()/quick_exit()/_Exit() calls —
   /// library code reports failures, only binaries decide to terminate.
   kErrorDiscipline,
+  /// RNG stream splitting inside a parallel_for/parallel_map worker
+  /// lambda.  Bit-identical results across thread counts rest on streams
+  /// being pre-split from the master in replica index order *before*
+  /// dispatch (sweep.cpp, campaign.cpp, batch.cpp all do this); a
+  /// `.split()` inside the worker body would order splits by thread
+  /// scheduling and silently break replay.
+  kRngSplitOrder,
 };
 
 /// Stable kebab-case identifier for `rule` ("determinism", "float-compare",

@@ -13,6 +13,8 @@
 ///     --name <name>   run the built-in scenario <name> (repeatable)
 ///     --dump <name>   print the built-in scenario in canonical file form
 ///                     (the exact bytes save_scenario writes) and exit
+///     --compare       run exactly two scenarios and print a per-metric
+///                     delta table (B − A, and B/A) instead of two reports
 ///     --smoke         clamp every scenario to 3 replicas (CI smoke runs;
 ///                     output is for exercising code paths, not numbers)
 ///     --json          force JSON output regardless of the scenario's
@@ -45,6 +47,8 @@ void print_usage(std::FILE* out) {
                "  --name <name>   run the built-in scenario <name>\n"
                "  --dump <name>   print built-in <name> in canonical file "
                "form\n"
+               "  --compare       run two scenarios, print per-metric "
+               "deltas\n"
                "  --smoke         clamp every scenario to %zu replicas\n"
                "  --json          force JSON output\n"
                "  --help          this message\n",
@@ -94,21 +98,27 @@ std::string json_escape(const std::string& text) {
   return out;
 }
 
+void print_scenario_json(const spec::Scenario& s, const char* indent) {
+  std::printf("%s\"name\": \"%s\",\n", indent, json_escape(s.name).c_str());
+  std::printf("%s\"title\": \"%s\",\n", indent, json_escape(s.title).c_str());
+  std::printf("%s\"distribution\": \"%s\",\n", indent,
+              json_escape(s.distribution).c_str());
+  std::printf("%s\"storage\": \"%s\",\n", indent,
+              json_escape(s.storage).c_str());
+  std::printf("%s\"policy\": \"%s\",\n", indent,
+              json_escape(s.policy).c_str());
+  std::printf("%s\"compute_hours\": %.17g,\n", indent, s.compute_hours);
+  std::printf("%s\"replicas\": %zu,\n", indent, s.replicas);
+  std::printf("%s\"seed\": %llu\n", indent,
+              static_cast<unsigned long long>(s.seed));
+}
+
 void print_json(const spec::ScenarioResult& result) {
   const auto& s = result.scenario;
   const auto& a = result.aggregate;
   std::printf("{\n");
   std::printf("  \"scenario\": {\n");
-  std::printf("    \"name\": \"%s\",\n", json_escape(s.name).c_str());
-  std::printf("    \"title\": \"%s\",\n", json_escape(s.title).c_str());
-  std::printf("    \"distribution\": \"%s\",\n",
-              json_escape(s.distribution).c_str());
-  std::printf("    \"storage\": \"%s\",\n", json_escape(s.storage).c_str());
-  std::printf("    \"policy\": \"%s\",\n", json_escape(s.policy).c_str());
-  std::printf("    \"compute_hours\": %.17g,\n", s.compute_hours);
-  std::printf("    \"replicas\": %zu,\n", s.replicas);
-  std::printf("    \"seed\": %llu\n",
-              static_cast<unsigned long long>(s.seed));
+  print_scenario_json(s, "    ");
   std::printf("  },\n");
   std::printf("  \"aggregate\": {\n");
   std::printf("    \"replicas\": %zu,\n", a.replicas);
@@ -188,11 +198,97 @@ void print_table(const spec::ScenarioResult& result) {
   }
 }
 
+// ---------------------------------------------------------------------
+// --compare: per-metric deltas between exactly two scenario runs.
+// ---------------------------------------------------------------------
+
+struct MetricDelta {
+  const char* metric;
+  double a = 0.0;
+  double b = 0.0;
+
+  [[nodiscard]] double delta() const noexcept { return b - a; }
+  [[nodiscard]] double ratio() const noexcept {
+    return a != 0.0 ? b / a : 0.0;
+  }
+};
+
+/// The aggregate metrics --compare reports, in fixed order so both the
+/// table and the JSON are deterministic for a given pair of runs.
+std::vector<MetricDelta> metric_deltas(const sim::AggregateMetrics& a,
+                                       const sim::AggregateMetrics& b) {
+  return {
+      {"mean_makespan_hours", a.mean_makespan_hours, b.mean_makespan_hours},
+      {"min_makespan_hours", a.min_makespan_hours, b.min_makespan_hours},
+      {"max_makespan_hours", a.max_makespan_hours, b.max_makespan_hours},
+      {"mean_compute_hours", a.mean_compute_hours, b.mean_compute_hours},
+      {"mean_checkpoint_hours", a.mean_checkpoint_hours,
+       b.mean_checkpoint_hours},
+      {"mean_wasted_hours", a.mean_wasted_hours, b.mean_wasted_hours},
+      {"mean_restart_hours", a.mean_restart_hours, b.mean_restart_hours},
+      {"mean_failures", a.mean_failures, b.mean_failures},
+      {"mean_checkpoints_written", a.mean_checkpoints_written,
+       b.mean_checkpoints_written},
+      {"mean_checkpoints_skipped", a.mean_checkpoints_skipped,
+       b.mean_checkpoints_skipped},
+      {"mean_data_written_gb", a.mean_data_written_gb,
+       b.mean_data_written_gb},
+  };
+}
+
+void print_compare_json(const spec::ScenarioResult& a,
+                        const spec::ScenarioResult& b) {
+  std::printf("{\n");
+  std::printf("  \"compare\": {\n");
+  std::printf("    \"a\": {\n");
+  print_scenario_json(a.scenario, "      ");
+  std::printf("    },\n");
+  std::printf("    \"b\": {\n");
+  print_scenario_json(b.scenario, "      ");
+  std::printf("    },\n");
+  std::printf("    \"metrics\": [\n");
+  const auto deltas = metric_deltas(a.aggregate, b.aggregate);
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    const auto& d = deltas[i];
+    std::printf(
+        "      {\"metric\": \"%s\", \"a\": %.17g, \"b\": %.17g, "
+        "\"delta\": %.17g, \"ratio\": %.17g}%s\n",
+        d.metric, d.a, d.b, d.delta(), d.ratio(),
+        i + 1 < deltas.size() ? "," : "");
+  }
+  std::printf("    ]\n");
+  std::printf("  }\n");
+  std::printf("}\n");
+}
+
+void print_compare_table(const spec::ScenarioResult& a,
+                         const spec::ScenarioResult& b) {
+  const auto& sa = a.scenario;
+  const auto& sb = b.scenario;
+  print_banner("compare: " + sa.name + " (A) vs " + sb.name + " (B)");
+  std::printf(
+      "A: %s | %s | policy %s | %zu replicas | seed %llu\n"
+      "B: %s | %s | policy %s | %zu replicas | seed %llu\n\n",
+      sa.distribution.c_str(), sa.storage.c_str(), sa.policy.c_str(),
+      sa.replicas, static_cast<unsigned long long>(sa.seed),
+      sb.distribution.c_str(), sb.storage.c_str(), sb.policy.c_str(),
+      sb.replicas, static_cast<unsigned long long>(sb.seed));
+
+  TextTable table({"metric", "A", "B", "delta (B-A)", "B/A"});
+  for (const auto& d : metric_deltas(a.aggregate, b.aggregate)) {
+    table.add_row({d.metric, TextTable::num(d.a), TextTable::num(d.b),
+                   TextTable::num(d.delta()),
+                   d.a != 0.0 ? TextTable::num(d.ratio()) : "n/a"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
   bool force_json = false;
+  bool compare = false;
   std::vector<spec::Scenario> scenarios;
 
   try {
@@ -208,6 +304,10 @@ int main(int argc, char** argv) {
       }
       if (arg == "--smoke") {
         smoke = true;
+        continue;
+      }
+      if (arg == "--compare") {
+        compare = true;
         continue;
       }
       if (arg == "--json") {
@@ -245,6 +345,31 @@ int main(int argc, char** argv) {
     spec::RunnerOptions options;
     if (smoke) options.max_replicas = kSmokeReplicas;
     const spec::ScenarioRunner runner(options);
+
+    if (compare) {
+      if (scenarios.size() != 2) {
+        std::fprintf(stderr,
+                     "lazyckpt-run: --compare needs exactly two scenarios "
+                     "(got %zu)\n",
+                     scenarios.size());
+        return 1;
+      }
+      if (scenarios[0].is_campaign() || scenarios[1].is_campaign()) {
+        std::fprintf(stderr,
+                     "lazyckpt-run: --compare supports replica-mode "
+                     "scenarios only\n");
+        return 1;
+      }
+      const auto a = runner.run(scenarios[0]);
+      const auto b = runner.run(scenarios[1]);
+      if (force_json) {
+        print_compare_json(a, b);
+      } else {
+        print_compare_table(a, b);
+      }
+      return 0;
+    }
+
     for (const auto& scenario : scenarios) {
       const auto result = runner.run(scenario);
       const bool json =
