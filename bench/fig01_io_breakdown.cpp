@@ -2,6 +2,13 @@
 /// checkpoint I/O, and wasted work (lost work + restarts) for a fixed
 /// amount of computation as the system scales, at two checkpoint
 /// frequencies (hourly on top, 5-hourly below).
+///
+/// Driven by the fig01-* catalog scenarios: the entries pin the hourly
+/// baseline, and the 5-hourly variant rewrites policy/oci on the same
+/// scenario — so this bench and `lazyckpt-run --name fig01-petascale-20K`
+/// execute bit-identical simulations.
+
+#include "common/keyval.hpp"
 
 #include "bench_common.hpp"
 
@@ -14,17 +21,16 @@ void breakdown_for_interval(double interval_hours) {
   std::printf("checkpoint interval: %.1f h\n", interval_hours);
   TextTable table({"system", "MTBF (h)", "total (h)", "compute %", "I/O %",
                    "wasted %", "restart %", "failures"});
-  for (const auto& hero : {kPetascale10K, kPetascale20K, kExascale100K}) {
-    auto config = hero_config(hero, 0.5);
-    config.alpha_oci_hours = interval_hours;  // fixed-frequency baseline
-    const auto exponential = stats::Exponential::from_mean(hero.mtbf_hours);
-    const io::ConstantStorage storage(0.5, 0.5);
-    const core::PolicyPtr policy =
-        core::make_policy("periodic:" + std::to_string(interval_hours));
-    const auto metrics = sim::run_replicas(config, *policy, exponential,
-                                           storage, 100, 2014);
+  for (const char* name : {"fig01-petascale-10K", "fig01-petascale-20K",
+                           "fig01-exascale-100K"}) {
+    spec::Scenario scenario = spec::builtin_scenario(name);
+    scenario.policy =
+        "periodic:" + keyval::format_double(interval_hours);
+    scenario.oci_hours = interval_hours;  // fixed-frequency baseline
+    const auto metrics = spec::ScenarioRunner().run(scenario).aggregate;
     const double total = metrics.mean_makespan_hours;
-    table.add_row({hero.label, TextTable::num(hero.mtbf_hours, 1),
+    const std::string label = scenario.name.substr(6);  // drop "fig01-"
+    table.add_row({label, TextTable::num(scenario.mtbf_hint_hours, 1),
                    TextTable::num(total, 1),
                    TextTable::percent(metrics.mean_compute_hours / total),
                    TextTable::percent(metrics.mean_checkpoint_hours / total),

@@ -2,6 +2,11 @@
 /// segment, estimated from one million samples of an exponential
 /// distribution with a 10-hour MTBF (the paper's exact procedure), next to
 /// the closed form.
+///
+/// Deliberately NOT scenario-driven (unlike fig01/fig04): this bench is a
+/// pure Monte Carlo estimate of the lost-work fraction — no checkpoint
+/// policy, no storage model, no simulation engine — so it has no Scenario
+/// shape to express and nothing a result cache could key on.
 
 #include "common/random.hpp"
 #include "core/model/lost_work.hpp"

@@ -2,6 +2,11 @@
 /// analytical model and from event-driven simulation, for a petascale
 /// (20K-node) and an exascale (100K-node) hero run.  The OCI is the
 /// interval minimizing each curve.
+///
+/// Driven by the fig04-* catalog scenarios: machine, distribution,
+/// storage, replicas, and seed all come from the entry; the bench only
+/// adds the analytical model and the interval grid around the derived
+/// Daly OCI.
 
 #include "core/model/lost_work.hpp"
 #include "core/model/runtime_model.hpp"
@@ -13,24 +18,27 @@ using namespace lazyckpt::bench;
 
 namespace {
 
-void run_for(const HeroRun& hero) {
-  std::printf("--- %s (MTBF %.1f h) ---\n", hero.label, hero.mtbf_hours);
+void run_for(const char* name) {
+  const spec::Scenario scenario = spec::builtin_scenario(name);
+  const double mtbf = scenario.mtbf_hint_hours;
+  const std::string label = scenario.name.substr(6);  // drop "fig04-"
+  std::printf("--- %s (MTBF %.1f h) ---\n", label.c_str(), mtbf);
   const double beta = 0.5;
-  const core::MachineParams machine{hero.mtbf_hours, beta, beta};
-  const core::WorkloadParams workload{500.0};
+  const core::MachineParams machine{mtbf, beta, beta};
+  const core::WorkloadParams workload{scenario.compute_hours};
   const auto eps = [&](double segment) {
-    return core::lost_work_fraction_exponential(segment, hero.mtbf_hours);
+    return core::lost_work_fraction_exponential(segment, mtbf);
   };
   const core::RuntimeModel model(machine, workload, eps);
 
-  const auto exponential = stats::Exponential::from_mean(hero.mtbf_hours);
-  const io::ConstantStorage storage(beta, beta);
-  const auto config = hero_config(hero, beta);
+  const auto exponential = stats::make_distribution(scenario.distribution);
+  const auto storage = io::make_storage(scenario.storage);
+  const auto config = spec::simulation_config(scenario);
 
   const auto grid = sim::log_spaced(0.3 * config.alpha_oci_hours,
                                     4.0 * config.alpha_oci_hours, 12);
-  const auto curve =
-      sim::runtime_vs_interval(config, exponential, storage, grid, 120, 4);
+  const auto curve = sim::runtime_vs_interval(
+      config, *exponential, *storage, grid, scenario.replicas, scenario.seed);
 
   TextTable table({"interval (h)", "model T (h)", "simulated T (h)",
                    "delta %"});
@@ -46,7 +54,7 @@ void run_for(const HeroRun& hero) {
   }
   std::printf("%s", table.to_string().c_str());
   std::printf("model OCI (Daly): %.2f h | simulated OCI: %.2f h\n\n",
-              core::daly_oci(beta, hero.mtbf_hours), sim::simulated_oci(curve));
+              core::daly_oci(beta, mtbf), sim::simulated_oci(curve));
 }
 
 }  // namespace
@@ -56,8 +64,8 @@ int main() {
   print_params(
       "W=500 h, beta=gamma=0.5 h, exponential failures, 120 replicas, "
       "seed 4; model eps uses the exponential closed form");
-  run_for(kPetascale20K);
-  run_for(kExascale100K);
+  run_for("fig04-petascale-20K");
+  run_for("fig04-exascale-100K");
   std::printf(
       "Reading (Obs. 1): modeling and simulation track each other, and the\n"
       "OCI shrinks as the system grows.\n");

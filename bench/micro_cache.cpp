@@ -1,0 +1,242 @@
+/// Cold-vs-warm result-cache benchmark over the full builtin catalog
+/// (DESIGN.md §5i; EXPERIMENTS.md "Result caching").
+///
+/// Three arms run the identical scenario grid against one on-disk store:
+///
+///   cold         empty store — every scenario is simulated and published
+///   warm-disk    a fresh ResultStore on the same directory (memory tier
+///                empty), so every lookup takes the full disk path:
+///                read, CRC, format check, canonical-text verification
+///   warm-memory  the same store again — lookups served by the LRU tier
+///
+/// Every warm result is byte-compared (cache::serialize_result) against
+/// the cold run's result, so the "byte_identical" field in the emitted
+/// BENCH_cache.json is a measured fact about this run, not an assumption.
+/// The JSON feeds `lazyckpt-bench-gate --cache` (the perf_gate_cache
+/// CTest case): warm replay must stay a large multiple faster than
+/// recomputation and must never miss.
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "cache/serialize.hpp"
+#include "cache/store.hpp"
+
+#include "bench_common.hpp"
+
+using namespace lazyckpt;
+using namespace lazyckpt::bench;
+
+namespace {
+
+/// Warm arms are best-of-kRounds; the cold arm is necessarily a single
+/// measurement (the first pass is the only cold one).
+constexpr int kRounds = 3;
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// One arm's timing over the grid: per-scenario seconds plus the total.
+struct ArmTiming {
+  std::vector<double> seconds;
+  double total = 0.0;
+};
+
+double rate(std::size_t replicas, double seconds) {
+  return seconds > 0.0 ? static_cast<double>(replicas) / seconds : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  print_banner("micro_cache — cold vs warm content-addressed result cache");
+  const auto& catalog = spec::builtin_scenarios();
+  const std::size_t n = catalog.size();
+
+  spec::RunnerOptions runner_options;
+  if (smoke_mode()) runner_options.max_replicas = bench_replicas(1000);
+  char params[160];
+  std::snprintf(params, sizeof params,
+                "%zu catalog scenarios, %d warm rounds (best-of), "
+                "max-replicas clamp %zu (0 = full)",
+                n, kRounds, runner_options.max_replicas);
+  print_params(params);
+
+  // A scratch store under the working directory; wiped first so the cold
+  // arm is genuinely cold even across bench re-runs.
+  const std::string store_dir = "micro_cache.store";
+  std::filesystem::remove_all(store_dir);
+
+  // ---- cold: simulate everything, publishing as we go -------------------
+  cache::ResultStore cold_store({.directory = store_dir});
+  runner_options.cache = &cold_store;
+  ArmTiming cold;
+  std::vector<std::string> cold_bytes;
+  std::vector<std::size_t> replicas_run;
+  for (const spec::Scenario& scenario : catalog) {
+    const auto start = Clock::now();
+    const auto result = spec::ScenarioRunner(runner_options).run(scenario);
+    cold.seconds.push_back(seconds_since(start));
+    cold.total += cold.seconds.back();
+    cold_bytes.push_back(cache::serialize_result(result));
+    replicas_run.push_back(result.scenario.replicas);
+  }
+  if (cold_store.stats().hits != 0 || cold_store.stats().misses != n) {
+    std::fprintf(stderr, "cold arm was not cold (hits=%llu misses=%llu)\n",
+                 static_cast<unsigned long long>(cold_store.stats().hits),
+                 static_cast<unsigned long long>(cold_store.stats().misses));
+    return 1;
+  }
+
+  // ---- warm arms --------------------------------------------------------
+  bool identical = true;
+  std::uint64_t warm_hits = 0;
+  std::uint64_t warm_misses = 0;
+  ArmTiming warm_disk;
+  warm_disk.total = -1.0;
+  for (int round = 0; round < kRounds; ++round) {
+    // A fresh store per round: its memory tier starts empty, so every
+    // lookup exercises the disk path end to end.
+    cache::ResultStore store({.directory = store_dir});
+    runner_options.cache = &store;
+    ArmTiming timing;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto start = Clock::now();
+      const auto result = spec::ScenarioRunner(runner_options).run(catalog[i]);
+      timing.seconds.push_back(seconds_since(start));
+      timing.total += timing.seconds.back();
+      if (round == 0 && cache::serialize_result(result) != cold_bytes[i]) {
+        identical = false;
+        std::fprintf(stderr, "BYTE-IDENTITY VIOLATION in %s (disk tier)\n",
+                     catalog[i].name.c_str());
+      }
+    }
+    warm_hits += store.stats().hits;
+    warm_misses += store.stats().misses;
+    if (warm_disk.total < 0.0 || timing.total < warm_disk.total) {
+      warm_disk = timing;
+    }
+  }
+
+  // One persistent store for the memory arm: the prefill pass loads every
+  // entry into the LRU tier, then the measured rounds never touch disk.
+  cache::ResultStore memory_store(
+      {.directory = store_dir, .max_memory_entries = 2 * n});
+  runner_options.cache = &memory_store;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto result = spec::ScenarioRunner(runner_options).run(catalog[i]);
+    if (cache::serialize_result(result) != cold_bytes[i]) {
+      identical = false;
+      std::fprintf(stderr, "BYTE-IDENTITY VIOLATION in %s (prefill)\n",
+                   catalog[i].name.c_str());
+    }
+  }
+  ArmTiming warm_memory;
+  warm_memory.total = -1.0;
+  for (int round = 0; round < kRounds; ++round) {
+    ArmTiming timing;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto start = Clock::now();
+      const auto result = spec::ScenarioRunner(runner_options).run(catalog[i]);
+      timing.seconds.push_back(seconds_since(start));
+      timing.total += timing.seconds.back();
+      (void)result;
+    }
+    if (warm_memory.total < 0.0 || timing.total < warm_memory.total) {
+      warm_memory = timing;
+    }
+  }
+  warm_hits += memory_store.stats().hits;
+  warm_misses += memory_store.stats().misses;
+
+  const double speedup_disk =
+      warm_disk.total > 0.0 ? cold.total / warm_disk.total : 0.0;
+  const double speedup_memory =
+      warm_memory.total > 0.0 ? cold.total / warm_memory.total : 0.0;
+
+  // ---- report -----------------------------------------------------------
+  TextTable table({"scenario", "replicas", "cold (ms)", "warm disk (ms)",
+                   "warm mem (ms)", "disk speedup"});
+  for (std::size_t i = 0; i < n; ++i) {
+    table.add_row(
+        {catalog[i].name,
+         TextTable::num(static_cast<double>(replicas_run[i]), 0),
+         TextTable::num(cold.seconds[i] * 1e3),
+         TextTable::num(warm_disk.seconds[i] * 1e3, 3),
+         TextTable::num(warm_memory.seconds[i] * 1e3, 3),
+         TextTable::num(warm_disk.seconds[i] > 0.0
+                            ? cold.seconds[i] / warm_disk.seconds[i]
+                            : 0.0,
+                        1)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "byte-identical to cold run: %s; warm lookups: %llu hits, %llu "
+      "misses\ncold %.4f s -> warm disk %.4f s (%.1fx), warm memory %.4f s "
+      "(%.1fx)\n",
+      identical ? "yes" : "NO — BUG",
+      static_cast<unsigned long long>(warm_hits),
+      static_cast<unsigned long long>(warm_misses), cold.total,
+      warm_disk.total, speedup_disk, warm_memory.total, speedup_memory);
+
+  std::FILE* json = std::fopen("BENCH_cache.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_cache.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"bench\": \"micro_cache\",\n"
+               "  \"workload\": \"full catalog grid, cold vs warm "
+               "content-addressed result cache\",\n"
+               "  \"scenarios\": %zu,\n"
+               "  \"rounds\": %d,\n"
+               "  \"result_format_version\": %d,\n",
+               n, kRounds, cache::kResultFormatVersion);
+  write_machine_json(json);
+  std::fprintf(json, ",\n");
+  write_observability_json(json);
+  std::fprintf(json,
+               ",\n"
+               "  \"byte_identical\": %s,\n"
+               "  \"warm\": {\"hits\": %llu, \"misses\": %llu},\n"
+               "  \"overall\": {\"cold_seconds\": %.6f, "
+               "\"warm_disk_seconds\": %.6f, "
+               "\"warm_memory_seconds\": %.6f, "
+               "\"speedup_warm_disk\": %.4f, "
+               "\"speedup_warm_memory\": %.4f},\n"
+               "  \"results\": [\n",
+               identical ? "true" : "false",
+               static_cast<unsigned long long>(warm_hits),
+               static_cast<unsigned long long>(warm_misses), cold.total,
+               warm_disk.total, warm_memory.total, speedup_disk,
+               speedup_memory);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::fprintf(
+        json,
+        "    {\"workload\": \"%s\", \"replicas\": %zu,\n"
+        "     \"cold\": {\"seconds\": %.6f, \"trials_per_sec\": %.1f},\n"
+        "     \"warm_disk\": {\"seconds\": %.6f, \"trials_per_sec\": "
+        "%.1f},\n"
+        "     \"warm_memory\": {\"seconds\": %.6f, \"trials_per_sec\": "
+        "%.1f},\n"
+        "     \"speedup_warm_disk\": %.4f}%s\n",
+        catalog[i].name.c_str(), replicas_run[i], cold.seconds[i],
+        rate(replicas_run[i], cold.seconds[i]), warm_disk.seconds[i],
+        rate(replicas_run[i], warm_disk.seconds[i]), warm_memory.seconds[i],
+        rate(replicas_run[i], warm_memory.seconds[i]),
+        warm_disk.seconds[i] > 0.0 ? cold.seconds[i] / warm_disk.seconds[i]
+                                   : 0.0,
+        i + 1 < n ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_cache.json\n");
+  return identical ? 0 : 1;
+}

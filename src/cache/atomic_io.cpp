@@ -1,0 +1,84 @@
+#include "cache/atomic_io.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "common/error.hpp"
+
+namespace lazyckpt::cache {
+namespace {
+
+/// Unique-per-call temporary name component.  Process id keeps concurrent
+/// processes sharing one cache directory apart; the counter keeps threads
+/// within one process apart.  No wall clock — temp naming must satisfy the
+/// determinism lint like everything else in src/.
+std::string unique_suffix() {
+  static std::atomic<std::uint64_t> counter{0};
+#if defined(__unix__) || defined(__APPLE__)
+  const long pid = static_cast<long>(::getpid());
+#else
+  const long pid = 0;
+#endif
+  return std::to_string(pid) + "-" +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& dir, const std::string& filename,
+                       std::string_view contents) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    throw IoError("cache: cannot create directory '" + dir +
+                  "': " + ec.message());
+  }
+
+  const std::filesystem::path final_path =
+      std::filesystem::path(dir) / filename;
+  const std::filesystem::path temp_path =
+      std::filesystem::path(dir) / (".tmp-" + unique_suffix());
+
+  // The temporary lives in the destination directory so the rename below
+  // is a same-filesystem atomic replace, not a copy.
+  std::FILE* out = std::fopen(temp_path.string().c_str(), "wb");
+  if (out == nullptr) {
+    throw IoError("cache: cannot open temporary '" + temp_path.string() +
+                  "' for writing");
+  }
+  const std::size_t written =
+      contents.empty()
+          ? 0
+          : std::fwrite(contents.data(), 1, contents.size(), out);
+  const bool flushed = std::fclose(out) == 0;
+  if (written != contents.size() || !flushed) {
+    std::remove(temp_path.string().c_str());
+    throw IoError("cache: short write to '" + temp_path.string() + "'");
+  }
+
+  // POSIX rename atomically replaces the destination: readers observe
+  // either the old complete entry or the new complete entry.
+  if (std::rename(temp_path.string().c_str(), final_path.string().c_str()) !=
+      0) {
+    std::remove(temp_path.string().c_str());
+    throw IoError("cache: cannot publish '" + final_path.string() + "'");
+  }
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return buffer.str();
+}
+
+}  // namespace lazyckpt::cache

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file atomic_io.hpp
+/// \brief The one place cache bytes touch disk (DESIGN.md §5i).
+///
+/// Publication discipline: an entry becomes visible with one
+/// write-temp-then-rename, so a reader either sees no file or a complete
+/// one — never a torn prefix, even with concurrent writers sharing the
+/// cache directory across processes (last rename wins).  The lint rule
+/// `cache-io-discipline` enforces that no other file in src/cache/ opens a
+/// file for writing; everything funnels through atomic_write_file.
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace lazyckpt::cache {
+
+/// Atomically publish `contents` as `dir`/`filename`: the bytes are
+/// written to a unique temporary in the same directory (so the final
+/// rename never crosses a filesystem) and renamed into place.  Parent
+/// directories are created as needed.  Throws IoError when the bytes
+/// cannot be durably published; on failure the temporary is removed and
+/// any previously published entry is left untouched.
+void atomic_write_file(const std::string& dir, const std::string& filename,
+                       std::string_view contents);
+
+/// Read an entire file.  std::nullopt when the file does not exist or
+/// cannot be read — cache lookups treat both as a miss, never an error.
+[[nodiscard]] std::optional<std::string> read_file(const std::string& path);
+
+}  // namespace lazyckpt::cache

@@ -1,0 +1,26 @@
+#include "cache/key.hpp"
+
+#include "cache/serialize.hpp"
+#include "common/digest.hpp"
+
+namespace lazyckpt::cache {
+
+CacheKey derive_key(const spec::Scenario& scenario) {
+  scenario.validate();
+  CacheKey key;
+  key.canonical_text = spec::to_string(scenario);
+  // Seed and replicas are already inside the canonical text; restating
+  // them (with the format version) makes the key material self-describing
+  // and keeps the derivation honest if the canonical writer ever learns
+  // to omit defaulted seeds.
+  std::string material = "lazyckpt-cache-key\n";
+  material += "format = " + std::to_string(kResultFormatVersion) + "\n";
+  material += "seed = " + std::to_string(scenario.seed) + "\n";
+  material += "replicas = " + std::to_string(scenario.replicas) + "\n";
+  material += "scenario:\n";
+  material += key.canonical_text;
+  key.digest_hex = content_digest_hex(material);
+  return key;
+}
+
+}  // namespace lazyckpt::cache

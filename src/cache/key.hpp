@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file key.hpp
+/// \brief Content-addressed cache keys for scenario results (DESIGN.md §5i).
+///
+/// The key is a 128-bit digest of exactly the inputs that determine a
+/// simulation result bit-for-bit: the canonical scenario text (PR 5's
+/// bit-stable serialization, which already pins seed and replica count),
+/// the seed and replica count restated explicitly, and the result-format
+/// version — so a format bump retires every old entry at once instead of
+/// risking a misparse.  Digest equality is only the *address*; a fetched
+/// entry is additionally verified by comparing its embedded canonical
+/// scenario text byte-for-byte, so even a digest collision can never serve
+/// the wrong result.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "spec/scenario.hpp"
+
+namespace lazyckpt::cache {
+
+/// The address of one scenario result in the store.
+struct CacheKey {
+  std::string digest_hex;      ///< 32 lowercase hex chars (128-bit digest)
+  std::string canonical_text;  ///< spec::to_string of the scenario-as-run
+
+  bool operator==(const CacheKey&) const = default;
+};
+
+/// Derive the cache key for `scenario` exactly as it will run (after any
+/// replica clamping).  Throws InvalidArgument when the scenario does not
+/// validate — an invalid scenario has no result to address.
+[[nodiscard]] CacheKey derive_key(const spec::Scenario& scenario);
+
+}  // namespace lazyckpt::cache

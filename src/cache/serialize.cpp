@@ -1,0 +1,402 @@
+#include "cache/serialize.hpp"
+
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+
+namespace lazyckpt::cache {
+namespace {
+
+// ---------------------------------------------------------------------
+// Writing.  Every double goes through hex_double (%a): exact round trip,
+// no locale, no shortest-decimal subtleties — the same bytes on every
+// IEEE-754 platform for the same bit pattern.
+// ---------------------------------------------------------------------
+
+std::string hex_double(double value) {
+  char buffer[48];
+  const int n = std::snprintf(buffer, sizeof(buffer), "%a", value);
+  require(n > 0 && static_cast<std::size_t>(n) < sizeof(buffer),
+          "cache: hexfloat formatting failed");
+  return std::string(buffer, static_cast<std::size_t>(n));
+}
+
+void append_u64(std::string* out, std::uint64_t value) {
+  *out += std::to_string(value);
+}
+
+std::string payload_for(const spec::ScenarioResult& result) {
+  const std::string scenario_text = spec::to_string(result.scenario);
+
+  std::string p;
+  p.reserve(256 + scenario_text.size() + result.runs.size() * 160);
+
+  p += "scenario-bytes = " + std::to_string(scenario_text.size()) + "\n";
+  p += scenario_text;  // canonical form always ends in '\n'
+
+  const auto& a = result.aggregate;
+  p += "aggregate = ";
+  append_u64(&p, a.replicas);
+  for (const double v :
+       {a.mean_makespan_hours, a.min_makespan_hours, a.max_makespan_hours,
+        a.mean_compute_hours, a.mean_checkpoint_hours, a.min_checkpoint_hours,
+        a.max_checkpoint_hours, a.mean_wasted_hours, a.mean_restart_hours,
+        a.mean_failures, a.mean_checkpoints_written,
+        a.mean_checkpoints_skipped, a.mean_data_written_gb}) {
+    p += ' ';
+    p += hex_double(v);
+  }
+  p += '\n';
+
+  p += "runs = " + std::to_string(result.runs.size()) + "\n";
+  for (const auto& run : result.runs) {
+    p += "run =";
+    for (const double v : {run.makespan_hours, run.compute_hours,
+                           run.checkpoint_hours, run.wasted_hours,
+                           run.restart_hours}) {
+      p += ' ';
+      p += hex_double(v);
+    }
+    for (const std::uint64_t v :
+         {run.failures, run.checkpoints_written, run.checkpoints_skipped}) {
+      p += ' ';
+      append_u64(&p, v);
+    }
+    p += ' ';
+    p += hex_double(run.data_written_gb);
+    p += ' ';
+    p += std::to_string(run.timeline.size());
+    p += '\n';
+    for (const auto& tp : run.timeline) {
+      p += "tp =";
+      for (const double v : {tp.time_hours, tp.compute_hours,
+                             tp.checkpoint_hours, tp.wasted_hours,
+                             tp.restart_hours}) {
+        p += ' ';
+        p += hex_double(v);
+      }
+      p += '\n';
+    }
+  }
+
+  if (result.campaign.has_value()) {
+    const auto& c = *result.campaign;
+    p += "campaign = ";
+    append_u64(&p, c.replicas);
+    for (const double v :
+         {c.mean_allocations, c.mean_machine_hours, c.mean_committed_hours,
+          c.mean_checkpoint_hours, c.completion_rate}) {
+      p += ' ';
+      p += hex_double(v);
+    }
+    p += '\n';
+  } else {
+    p += "campaign = none\n";
+  }
+
+  p += "end\n";
+  return p;
+}
+
+// ---------------------------------------------------------------------
+// Reading.  A small line cursor with non-throwing failure: corruption is
+// an expected condition for a cache, so every reject path produces a
+// message, not an exception.
+// ---------------------------------------------------------------------
+
+class Reader {
+ public:
+  explicit Reader(std::string_view text) : text_(text) {}
+
+  /// Next '\n'-terminated line (without the newline).  Fails on EOF.
+  bool next_line(std::string_view* line) {
+    if (failed_ || pos_ >= text_.size()) return fail("unexpected end");
+    const std::size_t nl = text_.find('\n', pos_);
+    if (nl == std::string_view::npos) return fail("unterminated line");
+    *line = text_.substr(pos_, nl - pos_);
+    pos_ = nl + 1;
+    return true;
+  }
+
+  /// Consume exactly `n` raw bytes (the length-prefixed scenario text).
+  bool take_bytes(std::size_t n, std::string_view* out) {
+    if (failed_ || pos_ + n > text_.size()) {
+      return fail("truncated byte block");
+    }
+    *out = text_.substr(pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool fail(const std::string& why) {
+    if (!failed_) error_ = why;
+    failed_ = true;
+    return false;
+  }
+
+  [[nodiscard]] bool ok() const { return !failed_; }
+  [[nodiscard]] bool at_end() const { return pos_ == text_.size(); }
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+  std::string error_;
+};
+
+/// Split a "key = v0 v1 v2 ..." line into its space-separated value
+/// tokens, verifying the key.  Returns false (no reader fail) on mismatch
+/// so callers can compose their own message.
+bool parse_fields(std::string_view line, std::string_view key,
+                  std::vector<std::string_view>* out) {
+  const std::string prefix = std::string(key) + " =";
+  if (line.substr(0, prefix.size()) != prefix) return false;
+  out->clear();
+  std::size_t pos = prefix.size();
+  while (pos < line.size()) {
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    if (pos >= line.size()) break;
+    const std::size_t end = line.find(' ', pos);
+    const std::size_t stop = end == std::string_view::npos ? line.size() : end;
+    out->push_back(line.substr(pos, stop - pos));
+    pos = stop;
+  }
+  return true;
+}
+
+bool parse_hex_double(std::string_view token, double* out) {
+  const std::string buffer(token);
+  char* end = nullptr;
+  *out = std::strtod(buffer.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != buffer.c_str();
+}
+
+bool parse_u64(std::string_view token, std::uint64_t* out) {
+  if (token.empty()) return false;
+  const std::string buffer(token);
+  char* end = nullptr;
+  *out = std::strtoull(buffer.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+bool parse_size(std::string_view token, std::size_t* out) {
+  std::uint64_t v = 0;
+  if (!parse_u64(token, &v)) return false;
+  *out = static_cast<std::size_t>(v);
+  return true;
+}
+
+DeserializeOutcome reject(const std::string& why) {
+  DeserializeOutcome out;
+  out.error = why;
+  return out;
+}
+
+}  // namespace
+
+std::string serialize_result(const spec::ScenarioResult& result) {
+  const std::string payload = payload_for(result);
+  const std::uint32_t checksum = crc32(
+      std::span(reinterpret_cast<const std::byte*>(payload.data()),
+                payload.size()));
+  char header[64];
+  const int n = std::snprintf(header, sizeof(header),
+                              "lazyckpt-result v%d\ncrc32 = %08x\n",
+                              kResultFormatVersion, checksum);
+  require(n > 0 && static_cast<std::size_t>(n) < sizeof(header),
+          "cache: header formatting failed");
+  return std::string(header, static_cast<std::size_t>(n)) + payload;
+}
+
+DeserializeOutcome deserialize_result(std::string_view bytes) {
+  Reader reader(bytes);
+  std::string_view line;
+
+  // Header: magic + version.  A different version is not corruption — it
+  // is an entry from another build generation — but either way the only
+  // safe answer is "miss".
+  if (!reader.next_line(&line)) return reject("empty entry");
+  {
+    const std::string expected =
+        "lazyckpt-result v" + std::to_string(kResultFormatVersion);
+    if (line != expected) {
+      return reject("version mismatch: got '" + std::string(line) +
+                    "', want '" + expected + "'");
+    }
+  }
+
+  // Checksum over everything after the crc line.
+  if (!reader.next_line(&line)) return reject("missing crc line");
+  std::vector<std::string_view> fields;
+  if (!parse_fields(line, "crc32", &fields) || fields.size() != 1 ||
+      fields[0].size() != 8) {
+    return reject("malformed crc line");
+  }
+  std::uint32_t stored_crc = 0;
+  for (const char c : fields[0]) {
+    // Strictly canonical lowercase hex: the writer never emits anything
+    // else, so any other byte (including uppercase) is corruption.
+    std::uint32_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint32_t>(c - 'a') + 10;
+    } else {
+      return reject("malformed crc value");
+    }
+    stored_crc = stored_crc << 4 | digit;
+  }
+  // The reader now sits exactly at the first payload byte.
+  const std::string_view payload = bytes.substr(reader.pos());
+  const std::uint32_t actual_crc = crc32(
+      std::span(reinterpret_cast<const std::byte*>(payload.data()),
+                payload.size()));
+  if (actual_crc != stored_crc) {
+    return reject("checksum mismatch (truncated or corrupt entry)");
+  }
+
+  // Scenario: length-prefixed canonical text, re-parsed and re-validated.
+  if (!reader.next_line(&line)) return reject(reader.error());
+  std::size_t scenario_bytes = 0;
+  if (!parse_fields(line, "scenario-bytes", &fields) || fields.size() != 1 ||
+      !parse_size(fields[0], &scenario_bytes)) {
+    return reject("malformed scenario-bytes line");
+  }
+  std::string_view scenario_text;
+  if (!reader.take_bytes(scenario_bytes, &scenario_text)) {
+    return reject(reader.error());
+  }
+
+  spec::ScenarioResult result;
+  try {
+    result.scenario = spec::parse_scenario(scenario_text);
+  } catch (const Error& error) {
+    return reject(std::string("embedded scenario rejected: ") + error.what());
+  }
+
+  // Aggregate: replica count + 13 doubles in fixed order.
+  if (!reader.next_line(&line)) return reject(reader.error());
+  if (!parse_fields(line, "aggregate", &fields) || fields.size() != 14) {
+    return reject("malformed aggregate line");
+  }
+  {
+    auto& a = result.aggregate;
+    std::uint64_t replicas = 0;
+    if (!parse_u64(fields[0], &replicas)) {
+      return reject("malformed aggregate replica count");
+    }
+    a.replicas = static_cast<std::size_t>(replicas);
+    double* const targets[13] = {
+        &a.mean_makespan_hours,      &a.min_makespan_hours,
+        &a.max_makespan_hours,       &a.mean_compute_hours,
+        &a.mean_checkpoint_hours,    &a.min_checkpoint_hours,
+        &a.max_checkpoint_hours,     &a.mean_wasted_hours,
+        &a.mean_restart_hours,       &a.mean_failures,
+        &a.mean_checkpoints_written, &a.mean_checkpoints_skipped,
+        &a.mean_data_written_gb};
+    for (std::size_t i = 0; i < 13; ++i) {
+      if (!parse_hex_double(fields[i + 1], targets[i])) {
+        return reject("malformed aggregate field");
+      }
+    }
+  }
+
+  // Per-replica runs with optional timelines.
+  if (!reader.next_line(&line)) return reject(reader.error());
+  std::size_t run_count = 0;
+  if (!parse_fields(line, "runs", &fields) || fields.size() != 1 ||
+      !parse_size(fields[0], &run_count)) {
+    return reject("malformed runs line");
+  }
+  result.runs.reserve(run_count);
+  for (std::size_t r = 0; r < run_count; ++r) {
+    if (!reader.next_line(&line)) return reject(reader.error());
+    if (!parse_fields(line, "run", &fields) || fields.size() != 10) {
+      return reject("malformed run line");
+    }
+    sim::RunMetrics run{};
+    double* const doubles[5] = {&run.makespan_hours, &run.compute_hours,
+                                &run.checkpoint_hours, &run.wasted_hours,
+                                &run.restart_hours};
+    for (std::size_t i = 0; i < 5; ++i) {
+      if (!parse_hex_double(fields[i], doubles[i])) {
+        return reject("malformed run field");
+      }
+    }
+    if (!parse_u64(fields[5], &run.failures) ||
+        !parse_u64(fields[6], &run.checkpoints_written) ||
+        !parse_u64(fields[7], &run.checkpoints_skipped) ||
+        !parse_hex_double(fields[8], &run.data_written_gb)) {
+      return reject("malformed run field");
+    }
+    std::size_t timeline_count = 0;
+    if (!parse_size(fields[9], &timeline_count)) {
+      return reject("malformed run timeline count");
+    }
+    run.timeline.reserve(timeline_count);
+    for (std::size_t t = 0; t < timeline_count; ++t) {
+      if (!reader.next_line(&line)) return reject(reader.error());
+      if (!parse_fields(line, "tp", &fields) || fields.size() != 5) {
+        return reject("malformed timeline line");
+      }
+      sim::TimelinePoint tp{};
+      double* const points[5] = {&tp.time_hours, &tp.compute_hours,
+                                 &tp.checkpoint_hours, &tp.wasted_hours,
+                                 &tp.restart_hours};
+      for (std::size_t i = 0; i < 5; ++i) {
+        if (!parse_hex_double(fields[i], points[i])) {
+          return reject("malformed timeline field");
+        }
+      }
+      run.timeline.push_back(tp);
+    }
+    result.runs.push_back(std::move(run));
+  }
+
+  // Campaign summary (or the explicit "none").
+  if (!reader.next_line(&line)) return reject(reader.error());
+  if (!parse_fields(line, "campaign", &fields)) {
+    return reject("malformed campaign line");
+  }
+  if (fields.size() == 1 && fields[0] == "none") {
+    result.campaign.reset();
+  } else if (fields.size() == 6) {
+    sim::CampaignAggregate c{};
+    std::uint64_t replicas = 0;
+    if (!parse_u64(fields[0], &replicas)) {
+      return reject("malformed campaign replica count");
+    }
+    c.replicas = static_cast<std::size_t>(replicas);
+    double* const targets[5] = {&c.mean_allocations, &c.mean_machine_hours,
+                                &c.mean_committed_hours,
+                                &c.mean_checkpoint_hours, &c.completion_rate};
+    for (std::size_t i = 0; i < 5; ++i) {
+      if (!parse_hex_double(fields[i + 1], targets[i])) {
+        return reject("malformed campaign field");
+      }
+    }
+    result.campaign = c;
+  } else {
+    return reject("malformed campaign line");
+  }
+
+  if (!reader.next_line(&line) || line != "end") {
+    return reject("missing end marker");
+  }
+  if (!reader.at_end()) return reject("trailing bytes after end marker");
+
+  DeserializeOutcome out;
+  out.result = std::move(result);
+  return out;
+}
+
+}  // namespace lazyckpt::cache

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file serialize.hpp
+/// \brief Versioned, byte-stable serialization of scenario results
+/// (DESIGN.md §5i).
+///
+/// The cache's contract is that a hit replays *bit-identically* to a fresh
+/// run, so the value format cannot lose a single mantissa bit or reorder a
+/// single field:
+///
+///   - every double is written as a C99 hexadecimal float (`%a`), which
+///     strtod round-trips exactly on every IEEE-754 platform;
+///   - fields appear in one fixed order (no map iteration anywhere);
+///   - the payload carries a CRC-32 and the embedded canonical scenario
+///     text, so truncated, bit-flipped, wrong-version, and wrong-key
+///     entries are all detected and reported as a miss — recompute, never
+///     crash, never serve stale bytes.
+///
+/// serialize(deserialize(bytes)) == bytes for every valid entry, which is
+/// what the test suite pins and what makes "cached result == fresh run"
+/// checkable with a plain string comparison.
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "spec/runner.hpp"
+
+namespace lazyckpt::cache {
+
+/// Version stamp of the on-disk result format.  Part of the cache key and
+/// of every entry header: bumping it atomically retires all old entries.
+inline constexpr int kResultFormatVersion = 1;
+
+/// Serialize `result` (scenario as run, aggregate, per-replica runs with
+/// timelines, campaign summary) into the versioned checksummed entry
+/// format.  Deterministic: equal results produce equal bytes.
+[[nodiscard]] std::string serialize_result(const spec::ScenarioResult& result);
+
+/// Outcome of parsing an entry: exactly one of `result` / `error` is set.
+struct DeserializeOutcome {
+  std::optional<spec::ScenarioResult> result;
+  std::string error;  ///< why the bytes were rejected (when !result)
+};
+
+/// Parse and verify one serialized entry: header + version, CRC-32 over
+/// the payload, field structure, and scenario validity.  Never throws on
+/// malformed bytes — corruption is a routine cache condition, reported in
+/// `error` so the store can count it and fall back to recompute.
+[[nodiscard]] DeserializeOutcome deserialize_result(std::string_view bytes);
+
+}  // namespace lazyckpt::cache

@@ -1,0 +1,132 @@
+#include "cache/store.hpp"
+
+#include <utility>
+
+#include "cache/atomic_io.hpp"
+#include "cache/serialize.hpp"
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace lazyckpt::cache {
+namespace {
+
+/// Store telemetry (obs::enabled() gated).  Counts cache behaviour across
+/// every store in the process — a sweep shares one store, so the totals
+/// read directly as "how much recomputation the cache saved".
+struct CacheObs {
+  obs::Counter& hits = obs::metrics().counter("cache.hits");
+  obs::Counter& misses = obs::metrics().counter("cache.misses");
+  obs::Counter& bytes_read = obs::metrics().counter("cache.bytes_read");
+  obs::Counter& bytes_written = obs::metrics().counter("cache.bytes_written");
+  obs::Counter& evictions = obs::metrics().counter("cache.evictions");
+
+  static CacheObs& get() {
+    static CacheObs instance;
+    return instance;
+  }
+};
+
+}  // namespace
+
+ResultStore::ResultStore(StoreOptions options) : options_(std::move(options)) {
+  require(options_.max_memory_entries > 0,
+          "cache: max_memory_entries must be at least 1");
+}
+
+std::string ResultStore::entry_path(const CacheKey& key) const {
+  if (options_.directory.empty()) return {};
+  // Two-hex-char fan-out keeps directory listings short on big sweeps.
+  return options_.directory + "/objects/" + key.digest_hex.substr(0, 2) +
+         "/" + key.digest_hex;
+}
+
+const ResultStore::MemoryEntry* ResultStore::find_in_memory(
+    const CacheKey& key) {
+  const auto it = index_.find(key.digest_hex);
+  if (it == index_.end()) return nullptr;
+  // The digest is only the address: a real hit must carry the exact
+  // canonical text we were asked about.
+  if (it->second->canonical_text != key.canonical_text) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote, iterators stable
+  return &*it->second;
+}
+
+void ResultStore::put_in_memory(const CacheKey& key,
+                                const spec::ScenarioResult& result) {
+  if (const auto it = index_.find(key.digest_hex); it != index_.end()) {
+    it->second->canonical_text = key.canonical_text;
+    it->second->result = result;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  while (lru_.size() >= options_.max_memory_entries) {
+    index_.erase(lru_.back().digest_hex);
+    lru_.pop_back();
+    ++stats_.evictions;
+    if (obs::enabled()) CacheObs::get().evictions.add();
+  }
+  lru_.push_front(MemoryEntry{key.digest_hex, key.canonical_text, result});
+  index_.emplace(key.digest_hex, lru_.begin());
+}
+
+std::optional<spec::ScenarioResult> ResultStore::fetch(
+    const spec::Scenario& scenario_as_run) {
+  obs::TraceSpan span("cache.lookup");
+  const CacheKey key = derive_key(scenario_as_run);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  if (const MemoryEntry* entry = find_in_memory(key)) {
+    ++stats_.hits;
+    if (obs::enabled()) CacheObs::get().hits.add();
+    return entry->result;
+  }
+
+  if (!options_.directory.empty()) {
+    const std::string path = entry_path(key);
+    if (std::optional<std::string> bytes = read_file(path)) {
+      stats_.bytes_read += bytes->size();
+      if (obs::enabled()) CacheObs::get().bytes_read.add(bytes->size());
+      DeserializeOutcome outcome = deserialize_result(*bytes);
+      // Both reject paths below fall through to a miss on purpose:
+      // a corrupt/stale entry is repaired by the recompute-and-store
+      // that follows, and a digest collision must never serve the
+      // other scenario's result.
+      if (outcome.result.has_value() &&
+          spec::to_string(outcome.result->scenario) == key.canonical_text) {
+        put_in_memory(key, *outcome.result);
+        ++stats_.hits;
+        if (obs::enabled()) CacheObs::get().hits.add();
+        return std::move(outcome.result);
+      }
+    }
+  }
+
+  ++stats_.misses;
+  if (obs::enabled()) CacheObs::get().misses.add();
+  return std::nullopt;
+}
+
+void ResultStore::store(const spec::ScenarioResult& result) {
+  const CacheKey key = derive_key(result.scenario);
+  const std::string bytes =
+      options_.directory.empty() ? std::string() : serialize_result(result);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  put_in_memory(key, result);
+  if (!options_.directory.empty()) {
+    atomic_write_file(options_.directory + "/objects/" +
+                          key.digest_hex.substr(0, 2),
+                      key.digest_hex, bytes);
+    stats_.bytes_written += bytes.size();
+    if (obs::enabled()) CacheObs::get().bytes_written.add(bytes.size());
+  }
+}
+
+StoreStats ResultStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace lazyckpt::cache

@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file store.hpp
+/// \brief Content-addressed result store: LRU memory tier over a
+/// persistent disk tier (DESIGN.md §5i).
+///
+/// The store implements spec::ResultCache, so the runner never sees cache
+/// internals.  A lookup derives the key from the scenario *as it will
+/// run*, probes the memory tier, then the disk tier; every fetched entry
+/// is verified twice — CRC-32 and format version by the deserializer,
+/// then the embedded canonical scenario text byte-compared against the
+/// request — before it may be served.  Anything that fails verification
+/// (truncated file, flipped bit, stale format, digest collision) is a
+/// miss: recompute, never crash, never serve stale bytes.
+///
+/// Disk publication goes through atomic_write_file (write-temp-then-
+/// rename, enforced by the `cache-io-discipline` lint rule), so
+/// concurrent writers race benignly — last writer wins a whole file and
+/// readers can never observe a torn entry.
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "cache/key.hpp"
+#include "spec/runner.hpp"
+
+namespace lazyckpt::cache {
+
+/// Configuration for a ResultStore.
+struct StoreOptions {
+  /// Root of the on-disk tier ("<dir>/objects/<hh>/<digest>").  Empty
+  /// disables persistence: the store becomes a per-process memory cache.
+  std::string directory;
+
+  /// Capacity of the in-memory LRU tier, in entries.  Past it the least
+  /// recently used entry is evicted (it survives on disk when persistent).
+  std::size_t max_memory_entries = 64;
+};
+
+/// Monotonic per-store counters, mirrored into the obs registry as
+/// cache.{hits,misses,bytes_read,bytes_written,evictions} when tracing is
+/// enabled.
+struct StoreStats {
+  std::uint64_t hits = 0;           ///< lookups served from either tier
+  std::uint64_t misses = 0;         ///< lookups that fell through
+  std::uint64_t bytes_read = 0;     ///< disk-tier bytes read (hits + rejects)
+  std::uint64_t bytes_written = 0;  ///< disk-tier bytes published
+  std::uint64_t evictions = 0;      ///< memory-tier LRU evictions
+};
+
+/// Two-tier content-addressed store of scenario results.  Thread-safe:
+/// concurrent fetch/store from any number of threads (and processes, for
+/// the disk tier) is supported.
+class ResultStore final : public spec::ResultCache {
+ public:
+  explicit ResultStore(StoreOptions options = {});
+
+  /// A verified result for `scenario_as_run`, or nullopt (counted miss).
+  [[nodiscard]] std::optional<spec::ScenarioResult> fetch(
+      const spec::Scenario& scenario_as_run) override;
+
+  /// Publish `result` to both tiers under the key of its embedded
+  /// scenario.  Throws IoError only when the disk tier cannot be written.
+  void store(const spec::ScenarioResult& result) override;
+
+  /// Counters since construction.  Copies under the store mutex.
+  [[nodiscard]] StoreStats stats() const;
+
+  [[nodiscard]] const StoreOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Disk-tier path an entry with `key` lives at (empty when the store
+  /// has no directory).  Exposed so tests can corrupt entries in place.
+  [[nodiscard]] std::string entry_path(const CacheKey& key) const;
+
+ private:
+  struct MemoryEntry {
+    std::string digest_hex;
+    std::string canonical_text;
+    spec::ScenarioResult result;
+  };
+
+  /// Memory-tier probe; promotes a hit to the LRU front.  Caller holds
+  /// `mutex_`.
+  const MemoryEntry* find_in_memory(const CacheKey& key);
+
+  /// Memory-tier insert/replace with LRU eviction.  Caller holds `mutex_`.
+  void put_in_memory(const CacheKey& key, const spec::ScenarioResult& result);
+
+  StoreOptions options_;
+
+  mutable std::mutex mutex_;
+  std::list<MemoryEntry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<MemoryEntry>::iterator> index_;
+  StoreStats stats_;
+};
+
+}  // namespace lazyckpt::cache

@@ -1,0 +1,40 @@
+#include "common/digest.hpp"
+
+#include <cstdint>
+
+namespace lazyckpt {
+namespace {
+
+/// FNV-1a over `bytes` from an arbitrary offset basis.  Two passes with
+/// independent bases give the 128 digest bits; accidental collisions are
+/// vanishingly rare, and consumers needing certainty compare bytes too.
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t basis) {
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  std::uint64_t hash = basis;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kPrime;
+  }
+  return hash;
+}
+
+void append_hex64(std::string* out, std::uint64_t value) {
+  constexpr char kDigits[] = "0123456789abcdef";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out->push_back(kDigits[(value >> shift) & 0xf]);
+  }
+}
+
+}  // namespace
+
+std::string content_digest_hex(std::string_view bytes) {
+  constexpr std::uint64_t kBasisA = 0xcbf29ce484222325ull;  // standard FNV
+  constexpr std::uint64_t kBasisB = 0x9e3779b97f4a7c15ull;  // golden ratio
+  std::string out;
+  out.reserve(32);
+  append_hex64(&out, fnv1a64(bytes, kBasisA));
+  append_hex64(&out, fnv1a64(bytes, kBasisB));
+  return out;
+}
+
+}  // namespace lazyckpt

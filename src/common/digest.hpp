@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file digest.hpp
+/// \brief 128-bit content digests for content addressing (DESIGN.md §5i).
+///
+/// Used wherever equal bytes must map to an equal, portable, short
+/// identifier: result-cache entry addresses and sweep-point names.  The
+/// digest is an *address*, never a proof — consumers that cannot tolerate
+/// a collision (the result cache) additionally compare the underlying
+/// bytes.
+
+#include <string>
+#include <string_view>
+
+namespace lazyckpt {
+
+/// 128-bit FNV-1a content digest of `bytes` as 32 lowercase hex
+/// characters.  A pure function of the bytes — machine-, platform-, and
+/// process-independent, so derived names and cache directories are
+/// portable and stable across runs.
+[[nodiscard]] std::string content_digest_hex(std::string_view bytes);
+
+}  // namespace lazyckpt

@@ -28,6 +28,77 @@ std::vector<Scenario> build_catalog() {
       .gap_hours = 24.0,
   });
 
+  // Fig. 1 design points: fixed-frequency (hourly) checkpointing under
+  // exponential failures as the system scales.  bench/fig01_io_breakdown
+  // rebuilds its 5-hourly variant by rewriting policy/oci on these — the
+  // entries pin the hourly baseline.
+  catalog.push_back(Scenario{
+      .name = "fig01-exascale-100K",
+      .title = "Fig. 1 at exascale-100K: hourly checkpoint I/O breakdown",
+      .distribution = "exponential:mtbf=2.2",
+      .storage = "constant:beta=0.5",
+      .policy = "periodic:1",
+      .oci_hours = 1.0,
+      .mtbf_hint_hours = 2.2,
+      .shape_hint = 0.6,
+      .replicas = 100,
+      .seed = 2014,
+  });
+
+  catalog.push_back(Scenario{
+      .name = "fig01-petascale-10K",
+      .title = "Fig. 1 at petascale-10K: hourly checkpoint I/O breakdown",
+      .distribution = "exponential:mtbf=22",
+      .storage = "constant:beta=0.5",
+      .policy = "periodic:1",
+      .oci_hours = 1.0,
+      .mtbf_hint_hours = 22.0,
+      .shape_hint = 0.6,
+      .replicas = 100,
+      .seed = 2014,
+  });
+
+  catalog.push_back(Scenario{
+      .name = "fig01-petascale-20K",
+      .title = "Fig. 1 at petascale-20K: hourly checkpoint I/O breakdown",
+      .distribution = "exponential:mtbf=11",
+      .storage = "constant:beta=0.5",
+      .policy = "periodic:1",
+      .oci_hours = 1.0,
+      .mtbf_hint_hours = 11.0,
+      .shape_hint = 0.6,
+      .replicas = 100,
+      .seed = 2014,
+  });
+
+  // Fig. 4 design points: model-vs-simulation runtime curves.  The bench
+  // derives its SimulationConfig from these (Daly OCI via the `daly`
+  // sentinel) and sweeps periodic intervals around it; the policy key
+  // records the reference policy the curve is anchored to.
+  catalog.push_back(Scenario{
+      .name = "fig04-exascale-100K",
+      .title = "Fig. 4 at exascale-100K: model vs simulated runtime",
+      .distribution = "exponential:mtbf=2.2",
+      .storage = "constant:beta=0.5",
+      .policy = "static-oci",
+      .mtbf_hint_hours = 2.2,
+      .shape_hint = 0.6,
+      .replicas = 120,
+      .seed = 4,
+  });
+
+  catalog.push_back(Scenario{
+      .name = "fig04-petascale-20K",
+      .title = "Fig. 4 at petascale-20K: model vs simulated runtime",
+      .distribution = "exponential:mtbf=11",
+      .storage = "constant:beta=0.5",
+      .policy = "static-oci",
+      .mtbf_hint_hours = 11.0,
+      .shape_hint = 0.6,
+      .replicas = 120,
+      .seed = 4,
+  });
+
   catalog.push_back(Scenario{
       .name = "fig13",
       .title = "Fig. 13 anchor run: iLazy vs OCI execution progress",

@@ -72,6 +72,14 @@ ScenarioResult ScenarioRunner::run(const Scenario& scenario) const {
   }
   const Scenario& run_as = result.scenario;
 
+  // The cache is keyed on the scenario as run (post-clamping), so a hit
+  // replays exactly what a fresh computation of `run_as` would produce.
+  if (options_.cache != nullptr) {
+    if (auto cached = options_.cache->fetch(run_as)) {
+      return *std::move(cached);
+    }
+  }
+
   const auto inter_arrival = stats::make_distribution(run_as.distribution);
   const auto storage = io::make_storage(run_as.storage);
   const auto policy = core::make_policy(run_as.policy);
@@ -90,6 +98,7 @@ ScenarioResult ScenarioRunner::run(const Scenario& scenario) const {
                       campaign.runs.end());
     }
     result.aggregate = sim::aggregate(all_runs);
+    if (options_.cache != nullptr) options_.cache->store(result);
     return result;
   }
 
@@ -98,6 +107,7 @@ ScenarioResult ScenarioRunner::run(const Scenario& scenario) const {
   result.runs = sim::run_replicas_raw(config, *policy, *inter_arrival,
                                       *storage, run_as.replicas, run_as.seed);
   result.aggregate = sim::aggregate(result.runs);
+  if (options_.cache != nullptr) options_.cache->store(result);
   return result;
 }
 

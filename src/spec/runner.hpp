@@ -38,11 +38,36 @@ struct ScenarioResult {
   std::optional<sim::CampaignAggregate> campaign;  ///< campaign mode only
 };
 
+/// Interface the runner uses to reuse previously computed results
+/// (implemented by cache::ResultStore; DESIGN.md §5i).  Declared here so
+/// spec never depends on the cache layer's key/serialization internals.
+/// The contract is strict: a fetch hit must be bit-identical to what a
+/// fresh run of the same scenario would produce — implementations that
+/// cannot guarantee that must answer nullopt.
+class ResultCache {
+ public:
+  virtual ~ResultCache() = default;
+
+  /// A stored result for `scenario_as_run` (the scenario exactly as the
+  /// runner will execute it, after any replica clamping), or nullopt.
+  [[nodiscard]] virtual std::optional<ScenarioResult> fetch(
+      const Scenario& scenario_as_run) = 0;
+
+  /// Publish a freshly computed `result` (its embedded scenario is the
+  /// scenario as run) for future fetches.
+  virtual void store(const ScenarioResult& result) = 0;
+};
+
 /// Execution options applied uniformly to every scenario a runner sees.
 struct RunnerOptions {
   /// Clamp scenario replica counts to this many (0 = run as specified).
   /// The CI catalog sweep uses it to smoke-run every scenario in seconds.
   std::size_t max_replicas = 0;
+
+  /// Result cache consulted before and fed after every run (not owned;
+  /// nullptr = always compute).  Keyed on the scenario as run, so a
+  /// clamped smoke run and a full run never share an entry.
+  ResultCache* cache = nullptr;
 };
 
 /// Executes scenarios.  Stateless apart from its options; safe to reuse

@@ -1,0 +1,183 @@
+#include "spec/sweep.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/digest.hpp"
+#include "common/error.hpp"
+
+namespace lazyckpt::spec {
+namespace {
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t' ||
+                           text.front() == '\r')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t' ||
+                           text.back() == '\r')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+/// One parsed sweep axis: a key and its (one or more) candidate values.
+struct Axis {
+  std::string key;
+  std::vector<std::string> values;
+};
+
+/// Split a `[ v1 | v2 ]` list into trimmed values; a bare value is a
+/// one-element list.  `context` names the line for error messages.
+std::vector<std::string> split_values(std::string_view value,
+                                      std::string_view context) {
+  if (value.front() != '[') {
+    require(value.find('|') == std::string_view::npos &&
+                value.back() != ']',
+            "sweep line '" + std::string(context) +
+                "': list values must be bracketed like [ a | b ]");
+    return {std::string(value)};
+  }
+  require(value.back() == ']', "sweep line '" + std::string(context) +
+                                   "': unterminated value list");
+  value = value.substr(1, value.size() - 2);
+
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    const std::size_t bar = value.find('|', start);
+    const std::string_view item =
+        trim(bar == std::string_view::npos ? value.substr(start)
+                                           : value.substr(start, bar - start));
+    require(!item.empty(), "sweep line '" + std::string(context) +
+                               "': empty list element");
+    out.emplace_back(item);
+    if (bar == std::string_view::npos) break;
+    start = bar + 1;
+  }
+  return out;
+}
+
+std::vector<Axis> parse_axes(std::string_view text) {
+  std::vector<Axis> axes;
+  std::set<std::string, std::less<>> seen;
+  int line_no = 0;
+
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    std::string_view line = nl == std::string_view::npos
+                                ? text.substr(start)
+                                : text.substr(start, nl - start);
+    start = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      throw InvalidArgument("sweep line " + std::to_string(line_no) + ": '" +
+                            std::string(line) + "' is not key = value");
+    }
+    const std::string key{trim(line.substr(0, eq))};
+    const std::string_view value = trim(line.substr(eq + 1));
+    if (key.empty() || value.empty()) {
+      throw InvalidArgument("sweep line " + std::to_string(line_no) +
+                            ": empty key or value in '" + std::string(line) +
+                            "'");
+    }
+    if (key == "name" || key == "title" || key == "output") {
+      throw InvalidArgument(
+          "sweep line " + std::to_string(line_no) + ": key '" + key +
+          "' is not allowed in sweeps (point names are content-derived and "
+          "output selection belongs to the invoking tool)");
+    }
+    if (!seen.insert(key).second) {
+      throw InvalidArgument("sweep line " + std::to_string(line_no) +
+                            ": duplicate key '" + key + "'");
+    }
+    axes.push_back(Axis{key, split_values(value, line)});
+  }
+
+  require(!axes.empty(), "sweep: no keys (empty grid)");
+  return axes;
+}
+
+}  // namespace
+
+std::vector<SweepPoint> expand_sweep(std::string_view text) {
+  const std::vector<Axis> axes = parse_axes(text);
+
+  std::size_t total = 1;
+  for (const Axis& axis : axes) {
+    // kMaxSweepPoints² is far below the size_t overflow threshold, so
+    // checking after each multiply is exact.
+    total *= axis.values.size();
+    require(total <= kMaxSweepPoints,
+            "sweep: grid exceeds " + std::to_string(kMaxSweepPoints) +
+                " points");
+  }
+
+  std::vector<SweepPoint> points;
+  points.reserve(total);
+  std::set<std::string, std::less<>> seen_canonical;
+
+  std::vector<std::size_t> pick(axes.size(), 0);
+  for (std::size_t n = 0; n < total; ++n) {
+    // Materialize one grid point as ordinary scenario text.  The
+    // placeholder name is replaced by the content-derived one below.
+    std::string point_text = "name = pt\n";
+    for (std::size_t i = 0; i < axes.size(); ++i) {
+      point_text += axes[i].key + " = " + axes[i].values[pick[i]] + "\n";
+    }
+
+    SweepPoint point;
+    try {
+      point.scenario = parse_scenario(point_text);
+    } catch (const InvalidArgument& error) {
+      throw InvalidArgument(std::string("sweep point ") + error.what());
+    }
+
+    // Identity: digest of the canonical text with the placeholder name.
+    // Any sweep file reaching the same parameter values produces the same
+    // digest — hence the same point name and the same result-cache key.
+    const std::string canonical = to_string(point.scenario);
+    if (seen_canonical.insert(canonical).second) {
+      point.key_hex = content_digest_hex(canonical);
+      point.scenario.name = "pt-" + point.key_hex;
+      points.push_back(std::move(point));
+    }
+
+    // Odometer increment: last axis fastest.
+    for (std::size_t i = axes.size(); i-- > 0;) {
+      if (++pick[i] < axes[i].values.size()) break;
+      pick[i] = 0;
+    }
+  }
+
+  std::sort(points.begin(), points.end(),
+            [](const SweepPoint& a, const SweepPoint& b) {
+              return a.key_hex < b.key_hex;
+            });
+  return points;
+}
+
+std::vector<SweepPoint> load_sweep(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot read sweep file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return expand_sweep(buffer.str());
+  } catch (const InvalidArgument& error) {
+    throw InvalidArgument(path + ": " + error.what());
+  }
+}
+
+}  // namespace lazyckpt::spec

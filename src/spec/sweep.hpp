@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file sweep.hpp
+/// \brief Multi-scenario sweep files: one parameter grid per file
+/// (DESIGN.md §5i).
+///
+/// A `.scn.sweep` file uses the scenario `key = value` grammar with one
+/// extension: a value may be a list `[ v1 | v2 | v3 ]` ('|'-separated,
+/// because factory specs contain commas), and the file expands to the
+/// cross product of all list values.  Grid points have no spelled names —
+/// each point's identity is *content-derived*: its name is
+/// `pt-<128-bit digest of its canonical text>`, computed after
+/// normalizing name/title/output away.  Two sweep files that overlap on a
+/// grid point therefore produce byte-identical scenarios with identical
+/// names — and identical result-cache keys, so overlapping grids share
+/// cache entries for free.
+///
+/// Expansion dedupes identical points (e.g. `policy = [daly | daly]`) and
+/// returns points sorted by digest, so the order is a pure function of
+/// the grid content — the same on every machine, independent of key order
+/// in the file.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "spec/scenario.hpp"
+
+namespace lazyckpt::spec {
+
+/// Ceiling on the expanded (pre-dedup) grid size; larger grids throw.
+inline constexpr std::size_t kMaxSweepPoints = 4096;
+
+/// One expanded grid point.
+struct SweepPoint {
+  Scenario scenario;  ///< name = "pt-<key_hex>", title empty
+  std::string key_hex;  ///< 32-hex content digest of the canonical text
+
+  bool operator==(const SweepPoint&) const = default;
+};
+
+/// Expand sweep text into its deduplicated grid points, sorted by
+/// `key_hex`.  The `name`, `title`, and `output` keys are rejected: point
+/// identity is content-derived and output selection belongs to the
+/// invoking tool.  Throws InvalidArgument on malformed text, grids over
+/// kMaxSweepPoints, or points that fail Scenario::validate().
+[[nodiscard]] std::vector<SweepPoint> expand_sweep(std::string_view text);
+
+/// Read and expand one `.scn.sweep` file.  Throws IoError when the file
+/// cannot be read, InvalidArgument when it does not expand.
+[[nodiscard]] std::vector<SweepPoint> load_sweep(const std::string& path);
+
+}  // namespace lazyckpt::spec

@@ -1,0 +1,402 @@
+// The content-addressed result cache (DESIGN.md §5i): key derivation,
+// byte-stable serialization round trips, the LRU memory tier over the
+// persistent disk tier, and the adversarial contract — truncated entries,
+// flipped checksum bytes, stale format versions, and concurrent writers
+// all degrade to a verified miss and a recompute, never a crash and never
+// a stale result.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/atomic_io.hpp"
+#include "cache/key.hpp"
+#include "cache/serialize.hpp"
+#include "cache/store.hpp"
+#include "common/error.hpp"
+#include "spec/catalog.hpp"
+#include "spec/runner.hpp"
+#include "spec/scenario.hpp"
+
+namespace lazyckpt {
+namespace {
+
+/// A small, fast replica-mode scenario for cache plumbing tests.
+spec::Scenario small_scenario(std::uint64_t seed = 9) {
+  spec::Scenario scenario = spec::builtin_scenario("quickstart");
+  scenario.replicas = 4;
+  scenario.seed = seed;
+  return scenario;
+}
+
+spec::ScenarioResult run_fresh(const spec::Scenario& scenario) {
+  return spec::ScenarioRunner().run(scenario);
+}
+
+class ResultStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique per test case and per process: ctest runs each case as its
+    // own process, possibly concurrently, and the cases must not share a
+    // cache directory.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           ("lazyckpt_cache_test_" + std::string(info->name()) + "_" +
+            std::to_string(static_cast<long long>(::getpid())));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] cache::StoreOptions disk_options() const {
+    return {.directory = dir_.string(), .max_memory_entries = 64};
+  }
+
+  /// Path of the (single) entry a store on dir_ holds for `key`.
+  [[nodiscard]] std::string entry_file(const cache::CacheKey& key) const {
+    return (dir_ / "objects" / key.digest_hex.substr(0, 2) / key.digest_hex)
+        .string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+// ---------------------------------------------------------------- keys
+
+TEST(CacheKey, DigestIsDeterministicAndContentSensitive) {
+  const auto key = cache::derive_key(small_scenario());
+  EXPECT_EQ(key, cache::derive_key(small_scenario()));
+  EXPECT_EQ(key.digest_hex.size(), 32u);
+  EXPECT_EQ(key.digest_hex.find_first_not_of("0123456789abcdef"),
+            std::string::npos);
+  EXPECT_EQ(key.canonical_text, spec::to_string(small_scenario()));
+
+  // Any input that changes the result must change the address.
+  spec::Scenario other = small_scenario();
+  other.seed = 10;
+  EXPECT_NE(key.digest_hex, cache::derive_key(other).digest_hex);
+  other = small_scenario();
+  other.replicas = 5;
+  EXPECT_NE(key.digest_hex, cache::derive_key(other).digest_hex);
+  other = small_scenario();
+  other.policy = "ilazy:0.6";
+  EXPECT_NE(key.digest_hex, cache::derive_key(other).digest_hex);
+}
+
+TEST(CacheKey, InvalidScenarioHasNoAddress) {
+  spec::Scenario broken = small_scenario();
+  broken.replicas = 0;
+  EXPECT_THROW((void)cache::derive_key(broken), InvalidArgument);
+}
+
+// ------------------------------------------------------------ serialization
+
+TEST(CacheSerialize, RoundTripsByteStable) {
+  const auto result = run_fresh(small_scenario());
+  const std::string bytes = cache::serialize_result(result);
+  EXPECT_EQ(bytes, cache::serialize_result(result)) << "non-deterministic";
+
+  const auto outcome = cache::deserialize_result(bytes);
+  ASSERT_TRUE(outcome.result.has_value()) << outcome.error;
+  EXPECT_EQ(cache::serialize_result(*outcome.result), bytes);
+  EXPECT_EQ(spec::to_string(outcome.result->scenario),
+            spec::to_string(result.scenario));
+  EXPECT_EQ(outcome.result->runs.size(), result.runs.size());
+}
+
+TEST(CacheSerialize, RoundTripsCampaignMode) {
+  spec::Scenario scenario = spec::builtin_scenario("campaign-week");
+  scenario.replicas = 3;
+  ASSERT_TRUE(scenario.is_campaign());
+  const auto result = run_fresh(scenario);
+  ASSERT_TRUE(result.campaign.has_value());
+
+  const std::string bytes = cache::serialize_result(result);
+  const auto outcome = cache::deserialize_result(bytes);
+  ASSERT_TRUE(outcome.result.has_value()) << outcome.error;
+  ASSERT_TRUE(outcome.result->campaign.has_value());
+  EXPECT_EQ(cache::serialize_result(*outcome.result), bytes);
+}
+
+TEST(CacheSerialize, RejectsMalformedBytesWithoutThrowing) {
+  const std::string bytes = cache::serialize_result(run_fresh(small_scenario()));
+
+  for (const std::string& corrupt : {
+           std::string(),                         // empty
+           std::string("not a cache entry"),      // garbage
+           bytes.substr(0, bytes.size() / 2),     // truncated
+           bytes + "trailing",                    // trailing bytes
+       }) {
+    const auto outcome = cache::deserialize_result(corrupt);
+    EXPECT_FALSE(outcome.result.has_value());
+    EXPECT_FALSE(outcome.error.empty());
+  }
+}
+
+TEST(CacheSerialize, RejectsStaleFormatVersion) {
+  std::string bytes = cache::serialize_result(run_fresh(small_scenario()));
+  const std::string current =
+      "lazyckpt-result v" + std::to_string(cache::kResultFormatVersion);
+  ASSERT_EQ(bytes.rfind(current, 0), 0u);
+  bytes.replace(0, current.size(), "lazyckpt-result v999");
+  const auto outcome = cache::deserialize_result(bytes);
+  EXPECT_FALSE(outcome.result.has_value());
+  EXPECT_NE(outcome.error.find("version"), std::string::npos)
+      << outcome.error;
+}
+
+TEST(CacheSerialize, ChecksumCatchesEverySingleFlippedPayloadByte) {
+  const std::string bytes = cache::serialize_result(run_fresh(small_scenario()));
+  // Flip one byte at a stride across the whole entry; no flipped copy may
+  // ever deserialize to a result.
+  for (std::size_t pos = 0; pos < bytes.size(); pos += 7) {
+    std::string flipped = bytes;
+    flipped[pos] = static_cast<char>(flipped[pos] ^ 0x20);
+    if (flipped == bytes) continue;
+    const auto outcome = cache::deserialize_result(flipped);
+    EXPECT_FALSE(outcome.result.has_value()) << "flipped byte at " << pos;
+  }
+}
+
+// ------------------------------------------------------------------- store
+
+TEST(ResultStoreMemory, LruEvictsLeastRecentlyUsed) {
+  cache::StoreOptions options;  // no directory: memory-only
+  options.max_memory_entries = 2;
+  cache::ResultStore store(options);
+  const auto a = run_fresh(small_scenario(1));
+  const auto b = run_fresh(small_scenario(2));
+  const auto c = run_fresh(small_scenario(3));
+  store.store(a);
+  store.store(b);
+  EXPECT_TRUE(store.fetch(a.scenario).has_value());  // promote a over b
+  store.store(c);                                    // evicts b
+  EXPECT_EQ(store.stats().evictions, 1u);
+  EXPECT_TRUE(store.fetch(a.scenario).has_value());
+  EXPECT_TRUE(store.fetch(c.scenario).has_value());
+  EXPECT_FALSE(store.fetch(b.scenario).has_value())
+      << "evicted entry served from a memory-only store";
+}
+
+TEST_F(ResultStoreTest, PersistsAcrossStoreInstances) {
+  const auto result = run_fresh(small_scenario());
+  {
+    cache::ResultStore writer(disk_options());
+    writer.store(result);
+    EXPECT_GT(writer.stats().bytes_written, 0u);
+  }
+  cache::ResultStore reader(disk_options());
+  const auto fetched = reader.fetch(result.scenario);
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(cache::serialize_result(*fetched),
+            cache::serialize_result(result));
+  EXPECT_EQ(reader.stats().hits, 1u);
+  EXPECT_GT(reader.stats().bytes_read, 0u);
+
+  // Second fetch is served by the memory tier the disk hit populated.
+  EXPECT_TRUE(reader.fetch(result.scenario).has_value());
+  EXPECT_EQ(reader.stats().hits, 2u);
+  EXPECT_EQ(reader.stats().bytes_read,
+            cache::serialize_result(result).size());
+}
+
+TEST_F(ResultStoreTest, TruncatedEntryIsAMissAndRecomputeHeals) {
+  const auto result = run_fresh(small_scenario());
+  cache::ResultStore(disk_options()).store(result);
+
+  const std::string path = entry_file(cache::derive_key(result.scenario));
+  ASSERT_TRUE(std::filesystem::exists(path));
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+
+  cache::ResultStore store(disk_options());
+  EXPECT_FALSE(store.fetch(result.scenario).has_value());
+  EXPECT_EQ(store.stats().misses, 1u);
+
+  // The runner's recompute path republishes a good entry over the stump.
+  spec::RunnerOptions options;
+  options.cache = &store;
+  const auto recomputed = spec::ScenarioRunner(options).run(result.scenario);
+  EXPECT_EQ(cache::serialize_result(recomputed),
+            cache::serialize_result(result));
+  cache::ResultStore verify(disk_options());
+  EXPECT_TRUE(verify.fetch(result.scenario).has_value());
+}
+
+TEST_F(ResultStoreTest, FlippedChecksumByteIsAMiss) {
+  const auto result = run_fresh(small_scenario());
+  cache::ResultStore(disk_options()).store(result);
+  const std::string path = entry_file(cache::derive_key(result.scenario));
+
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  const auto crc_pos = bytes.find("crc32 = ");
+  ASSERT_NE(crc_pos, std::string::npos);
+  std::string flipped = bytes;
+  char& digit = flipped[crc_pos + 8];
+  digit = digit == '0' ? '1' : '0';
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << flipped;
+  }
+
+  cache::ResultStore store(disk_options());
+  EXPECT_FALSE(store.fetch(result.scenario).has_value());
+  EXPECT_EQ(store.stats().misses, 1u);
+}
+
+TEST_F(ResultStoreTest, StaleFormatVersionOnDiskIsAMiss) {
+  const auto result = run_fresh(small_scenario());
+  cache::ResultStore(disk_options()).store(result);
+  const std::string path = entry_file(cache::derive_key(result.scenario));
+
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  const std::string current =
+      "lazyckpt-result v" + std::to_string(cache::kResultFormatVersion);
+  ASSERT_EQ(bytes.rfind(current, 0), 0u);
+  bytes.replace(0, current.size(), "lazyckpt-result v0");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+
+  cache::ResultStore store(disk_options());
+  EXPECT_FALSE(store.fetch(result.scenario).has_value());
+}
+
+TEST_F(ResultStoreTest, ConcurrentWritersAndReadersNeverTearAnEntry) {
+  const auto result = run_fresh(small_scenario());
+  const std::string expected = cache::serialize_result(result);
+
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 4;
+  constexpr int kIterations = 50;
+  std::vector<std::thread> threads;
+  std::atomic<int> torn{0};
+  threads.reserve(kWriters + kReaders);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&] {
+      cache::ResultStore store(disk_options());
+      for (int i = 0; i < kIterations; ++i) store.store(result);
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIterations; ++i) {
+        // A fresh store per iteration forces the disk path: a reader may
+        // race the very first publication (a clean miss), but must never
+        // observe a torn or partial entry as a hit with different bytes.
+        cache::ResultStore store(disk_options());
+        if (const auto fetched = store.fetch(result.scenario)) {
+          if (cache::serialize_result(*fetched) != expected) ++torn;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(torn.load(), 0);
+
+  cache::ResultStore store(disk_options());
+  const auto fetched = store.fetch(result.scenario);
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(cache::serialize_result(*fetched), expected);
+}
+
+TEST(ResultStoreShared, SharedDirectoryIsSharedAcrossStores) {
+  // Two stores on one directory (two processes in spirit): what one
+  // publishes the other serves.
+  const auto dir =
+      std::filesystem::temp_directory_path() / "lazyckpt_cache_shared";
+  std::filesystem::remove_all(dir);
+  const cache::StoreOptions options{.directory = dir.string()};
+  const auto result = run_fresh(small_scenario());
+  cache::ResultStore a(options);
+  cache::ResultStore b(options);
+  a.store(result);
+  EXPECT_TRUE(b.fetch(result.scenario).has_value());
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------------- runner integration
+
+TEST_F(ResultStoreTest, WholeCatalogCachedRunsAreByteIdenticalToFresh) {
+  // Every builtin scenario, clamped small so the suite stays fast: a
+  // fresh uncached run, a cold cached run, and a warm cached run must
+  // serialize to the same bytes.
+  cache::ResultStore store(disk_options());
+  spec::RunnerOptions uncached;
+  uncached.max_replicas = 3;
+  spec::RunnerOptions cached = uncached;
+  cached.cache = &store;
+
+  for (const spec::Scenario& scenario : spec::builtin_scenarios()) {
+    const auto fresh = spec::ScenarioRunner(uncached).run(scenario);
+    const auto cold = spec::ScenarioRunner(cached).run(scenario);
+    const auto warm = spec::ScenarioRunner(cached).run(scenario);
+    const std::string expected = cache::serialize_result(fresh);
+    EXPECT_EQ(cache::serialize_result(cold), expected) << scenario.name;
+    EXPECT_EQ(cache::serialize_result(warm), expected) << scenario.name;
+  }
+  const std::size_t n = spec::builtin_scenarios().size();
+  EXPECT_EQ(store.stats().misses, n);
+  EXPECT_EQ(store.stats().hits, n);
+}
+
+TEST(RunnerCache, ClampedAndFullRunsNeverShareAnEntry) {
+  cache::StoreOptions store_options;  // no directory: memory-only
+  store_options.max_memory_entries = 8;
+  cache::ResultStore store(store_options);
+  spec::Scenario scenario = small_scenario();
+
+  spec::RunnerOptions clamped;
+  clamped.cache = &store;
+  clamped.max_replicas = 2;
+  const auto small = spec::ScenarioRunner(clamped).run(scenario);
+  EXPECT_EQ(small.runs.size(), 2u);
+
+  spec::RunnerOptions full;
+  full.cache = &store;
+  const auto big = spec::ScenarioRunner(full).run(scenario);
+  EXPECT_EQ(big.runs.size(), scenario.replicas);
+  EXPECT_EQ(store.stats().misses, 2u) << "clamped run fed the full key";
+}
+
+// --------------------------------------------------------------- atomic io
+
+TEST_F(ResultStoreTest, AtomicWriteLeavesNoTemporariesBehind) {
+  cache::atomic_write_file(dir_.string(), "entry", "payload");
+  cache::atomic_write_file(dir_.string(), "entry", "payload v2");
+  EXPECT_EQ(cache::read_file((dir_ / "entry").string()), "payload v2");
+  std::size_t files = 0;
+  for (const auto& item : std::filesystem::directory_iterator(dir_)) {
+    (void)item;
+    ++files;
+  }
+  EXPECT_EQ(files, 1u) << "temporary files left in the cache directory";
+}
+
+TEST(AtomicIo, ReadMissingFileIsNullopt) {
+  EXPECT_FALSE(cache::read_file("/nonexistent/lazyckpt/cache/entry")
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace lazyckpt

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 #include <string_view>
@@ -22,7 +24,14 @@ namespace {
 class CheckpointFileTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "lazyckpt_ckpt_test";
+    // Unique per test case and per process: ctest -j runs cases of this
+    // suite concurrently, and they must not share a directory.
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           ("lazyckpt_ckpt_test_" + std::string(info->name()) + "_" +
+            std::to_string(static_cast<long long>(::getpid())));
+    std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
     path_ = (dir_ / "state.ckpt").string();
   }

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 #include <vector>
@@ -82,7 +84,14 @@ TEST(Rle, DecodeRejectsCorruptStreams) {
 class IncrementalTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "lazyckpt_inc_test";
+    // Unique per test case and per process: ctest -j runs cases of this
+    // suite concurrently, and they must not share a directory.
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           ("lazyckpt_inc_test_" + std::string(info->name()) + "_" +
+            std::to_string(static_cast<long long>(::getpid())));
+    std::filesystem::remove_all(dir_);
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
     state_.assign(4096, 1.0);

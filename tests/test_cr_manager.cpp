@@ -5,6 +5,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <unistd.h>
+
 #include <filesystem>
 #include <thread>
 #include <vector>
@@ -22,7 +24,14 @@ namespace {
 class ManagerTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "lazyckpt_mgr_test";
+    // Unique per test case and per process: ctest -j runs cases of this
+    // suite concurrently, and they must not share a directory.
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           ("lazyckpt_mgr_test_" + std::string(info->name()) + "_" +
+            std::to_string(static_cast<long long>(::getpid())));
+    std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
     registry_.register_array("state", state_.data(), state_.size());
   }

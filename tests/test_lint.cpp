@@ -337,6 +337,60 @@ void f(bool ok) {
   EXPECT_TRUE(lint_at("examples/demo.cpp", naked).empty());
 }
 
+// ---- cache-io-discipline -------------------------------------------------
+
+TEST(LintCacheIoDiscipline, ClassifyPathMarksCacheLayer) {
+  EXPECT_TRUE(lint::classify_path("src/cache/store.cpp").in_cache);
+  EXPECT_FALSE(lint::classify_path("src/cache/store.cpp").is_cache_io_impl);
+  EXPECT_TRUE(lint::classify_path("src/cache/atomic_io.cpp").in_cache);
+  EXPECT_TRUE(
+      lint::classify_path("src/cache/atomic_io.cpp").is_cache_io_impl);
+  EXPECT_TRUE(
+      lint::classify_path("./src/cache/atomic_io.hpp").is_cache_io_impl);
+  EXPECT_FALSE(lint::classify_path("src/cr/file.cpp").in_cache);
+}
+
+TEST(LintCacheIoDiscipline, FlagsRawWritesOutsideTheAtomicHelper) {
+  for (const std::string write :
+       {"std::FILE* f = fopen(path.c_str(), \"w\");",
+        "std::ofstream out(path);", "std::fstream io(path);",
+        "fwrite(data, 1, n, f);", "fputs(\"x\", f);",
+        "fprintf(f, \"%d\", v);"}) {
+    const std::string snippet = "void publish() {\n  " + write + "\n}\n";
+    const auto findings = lint_at("src/cache/store.cpp", snippet);
+    ASSERT_TRUE(has_rule(findings, lint::Rule::kCacheIoDiscipline)) << write;
+    // The same bytes are fine in the designated I/O shim and outside the
+    // cache layer entirely.
+    EXPECT_FALSE(has_rule(lint_at("src/cache/atomic_io.cpp", snippet),
+                          lint::Rule::kCacheIoDiscipline))
+        << write;
+    EXPECT_FALSE(has_rule(lint_at("src/cr/file.cpp", snippet),
+                          lint::Rule::kCacheIoDiscipline))
+        << write;
+  }
+}
+
+TEST(LintCacheIoDiscipline, ReadsAndIncludesStayClean) {
+  const std::string snippet =
+      "#include <fstream>\n"
+      "std::optional<std::string> read(const std::string& path) {\n"
+      "  std::ifstream in(path, std::ios::binary);\n"
+      "  return std::nullopt;\n"
+      "}\n";
+  EXPECT_FALSE(has_rule(lint_at("src/cache/store.cpp", snippet),
+                        lint::Rule::kCacheIoDiscipline));
+}
+
+TEST(LintCacheIoDiscipline, SuppressionCommentSilences) {
+  const std::string snippet =
+      "void f() {\n"
+      "  std::ofstream out(path);  // lazyckpt-lint: allow(cache-io-"
+      "discipline)\n"
+      "}\n";
+  EXPECT_FALSE(has_rule(lint_at("src/cache/key.cpp", snippet),
+                        lint::Rule::kCacheIoDiscipline));
+}
+
 TEST(LintRngSplitOrder, FlagsSplitInsideParallelWorker) {
   const std::string violating = R"(
 #include "common/parallel.hpp"

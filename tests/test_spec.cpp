@@ -18,6 +18,7 @@
 #include "spec/catalog.hpp"
 #include "spec/runner.hpp"
 #include "spec/scenario.hpp"
+#include "spec/sweep.hpp"
 #include "stats/factory.hpp"
 #include "stats/weibull.hpp"
 
@@ -314,6 +315,133 @@ TEST(ScenarioRunner, MaxReplicasClampsAndIsRecorded) {
 TEST(ScenarioRunner, NonCampaignScenarioRejectsCampaignConfig) {
   EXPECT_THROW((void)spec::campaign_config(spec::builtin_scenario("fig13")),
                InvalidArgument);
+}
+
+// ---- sweep grids ---------------------------------------------------------
+
+namespace sweeps {
+
+const char* const kGrid =
+    "distribution = weibull:mtbf=11,k=0.6\n"
+    "storage = constant:beta=0.5\n"
+    "policy = [ static-oci | ilazy:0.6 ]\n"
+    "oci = [ 2 | 3.5 ]\n"
+    "mtbf-hint = 11\n"
+    "shape-hint = 0.6\n"
+    "replicas = 8\n"
+    "seed = 13\n";
+
+}  // namespace sweeps
+
+TEST(Sweep, ExpandsCrossProductSortedByContentDigest) {
+  const auto points = spec::expand_sweep(sweeps::kGrid);
+  ASSERT_EQ(points.size(), 4u);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].key_hex.size(), 32u);
+    EXPECT_EQ(points[i].scenario.name, "pt-" + points[i].key_hex);
+    EXPECT_TRUE(points[i].scenario.title.empty());
+    if (i > 0) {
+      EXPECT_LT(points[i - 1].key_hex, points[i].key_hex);
+    }
+  }
+  // Expansion is a pure function of the text.
+  EXPECT_EQ(spec::expand_sweep(sweeps::kGrid), points);
+}
+
+TEST(Sweep, KeyOrderAndListOrderDoNotChangeTheGrid) {
+  // Same grid, keys shuffled and list elements reversed: identical
+  // points in identical order — the digest sort erases authoring order.
+  const char* reordered =
+      "seed = 13\n"
+      "replicas = 8\n"
+      "oci = [ 3.5 | 2 ]\n"
+      "policy = [ ilazy:0.6 | static-oci ]\n"
+      "shape-hint = 0.6\n"
+      "mtbf-hint = 11\n"
+      "storage = constant:beta=0.5\n"
+      "distribution = weibull:mtbf=11,k=0.6\n";
+  EXPECT_EQ(spec::expand_sweep(reordered), spec::expand_sweep(sweeps::kGrid));
+}
+
+TEST(Sweep, DedupesIdenticalPoints) {
+  const char* degenerate =
+      "distribution = exponential:mtbf=11\n"
+      "storage = constant:beta=0.5\n"
+      "policy = [ static-oci | static-oci ]\n"
+      "mtbf-hint = 11\n"
+      "replicas = 8\n"
+      "seed = 13\n";
+  EXPECT_EQ(spec::expand_sweep(degenerate).size(), 1u);
+}
+
+TEST(Sweep, OverlappingGridsShareContentKeys) {
+  // A different sweep file containing one of kGrid's points produces the
+  // same key for it — the property that lets overlapping sweeps share
+  // result-cache entries.
+  const char* narrowed =
+      "distribution = weibull:mtbf=11,k=0.6\n"
+      "storage = constant:beta=0.5\n"
+      "policy = ilazy:0.6\n"
+      "oci = [ 2 | 7 ]\n"
+      "mtbf-hint = 11\n"
+      "shape-hint = 0.6\n"
+      "replicas = 8\n"
+      "seed = 13\n";
+  const auto grid = spec::expand_sweep(sweeps::kGrid);
+  const auto narrow = spec::expand_sweep(narrowed);
+  std::size_t shared = 0;
+  for (const auto& a : grid) {
+    for (const auto& b : narrow) {
+      if (a.key_hex == b.key_hex) {
+        ++shared;
+        EXPECT_EQ(a, b);
+      }
+    }
+  }
+  EXPECT_EQ(shared, 1u);
+}
+
+TEST(Sweep, RejectsIdentityAndOutputKeys) {
+  for (const std::string key : {"name", "title", "output"}) {
+    const std::string text = std::string(sweeps::kGrid) + key + " = x\n";
+    EXPECT_THROW((void)spec::expand_sweep(text), InvalidArgument) << key;
+  }
+}
+
+TEST(Sweep, RejectsMalformedListsAndOversizedGrids) {
+  EXPECT_THROW((void)spec::expand_sweep("policy = [ a | b \n"),
+               InvalidArgument);  // unterminated list
+  EXPECT_THROW((void)spec::expand_sweep("policy = [ a || b ]\n"),
+               InvalidArgument);  // empty element
+  EXPECT_THROW((void)spec::expand_sweep("policy = a | b\n"),
+               InvalidArgument);  // '|' outside brackets
+
+  // 17^4 > kMaxSweepPoints: the cap triggers before any point is built.
+  std::string big;
+  for (const char* key : {"oci", "compute", "replicas", "seed"}) {
+    big += std::string(key) + " = [ ";
+    for (int i = 1; i <= 17; ++i) {
+      big += std::to_string(i);
+      big += i < 17 ? " | " : " ]\n";
+    }
+  }
+  big +=
+      "distribution = exponential:mtbf=11\n"
+      "storage = constant:beta=0.5\n"
+      "policy = static-oci\n"
+      "mtbf-hint = 11\n";
+  EXPECT_THROW((void)spec::expand_sweep(big), InvalidArgument);
+}
+
+TEST(Sweep, CheckedInSweepFileExpands) {
+  const auto points = spec::load_sweep(std::string(LAZYCKPT_SOURCE_DIR) +
+                                       "/bench/scenarios/oci-grid.scn.sweep");
+  EXPECT_EQ(points.size(), 6u);
+  for (const auto& point : points) {
+    EXPECT_NO_THROW(point.scenario.validate());
+  }
+  EXPECT_THROW((void)spec::load_sweep("bench/scenarios/no-such.scn.sweep"),
+               IoError);
 }
 
 }  // namespace

@@ -344,6 +344,114 @@ GateOutcome run_gate(const BenchReport& baseline, const BenchReport& fresh,
   return outcome;
 }
 
+CacheReport parse_cache_report(std::string_view text) {
+  JsonValue root;
+  try {
+    root = JsonParser(text).parse();
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("cache report does not parse: ") +
+                             e.what());
+  }
+  if (root.kind != JsonValue::Kind::kObject) {
+    throw std::runtime_error("cache report is not a JSON object");
+  }
+
+  CacheReport report;
+  if (const JsonValue* bench = root.find("bench");
+      bench != nullptr && bench->kind == JsonValue::Kind::kString) {
+    report.bench = bench->text;
+  }
+  report.scenarios =
+      static_cast<std::uint64_t>(number_or(root, "scenarios", 0.0));
+  if (const JsonValue* bit = root.find("bit_identical");
+      bit != nullptr && bit->kind == JsonValue::Kind::kBool) {
+    report.byte_identical = bit->boolean;
+  }
+  if (const JsonValue* bit = root.find("byte_identical");
+      bit != nullptr && bit->kind == JsonValue::Kind::kBool) {
+    report.byte_identical = bit->boolean;
+  }
+  if (const JsonValue* machine = root.find("machine");
+      machine != nullptr && machine->kind == JsonValue::Kind::kObject) {
+    if (const JsonValue* smoke = machine->find("smoke_mode");
+        smoke != nullptr && smoke->kind == JsonValue::Kind::kBool) {
+      report.smoke_mode = smoke->boolean;
+    }
+  }
+  const JsonValue* warm = root.find("warm");
+  if (warm == nullptr || warm->kind != JsonValue::Kind::kObject) {
+    throw std::runtime_error("cache report has no warm hit/miss block");
+  }
+  report.warm_hits = static_cast<std::uint64_t>(number_or(*warm, "hits", 0.0));
+  report.warm_misses =
+      static_cast<std::uint64_t>(number_or(*warm, "misses", 0.0));
+  const JsonValue* overall = root.find("overall");
+  if (overall == nullptr || overall->kind != JsonValue::Kind::kObject) {
+    throw std::runtime_error("cache report has no overall block");
+  }
+  report.cold_seconds = number_or(*overall, "cold_seconds", 0.0);
+  report.warm_disk_seconds = number_or(*overall, "warm_disk_seconds", 0.0);
+  report.speedup_warm_disk = number_or(*overall, "speedup_warm_disk", 0.0);
+  return report;
+}
+
+CacheReport load_cache_report(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot read cache report: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_cache_report(buffer.str());
+}
+
+GateOutcome run_cache_gate(const CacheReport& fresh,
+                           const GateOptions& options) {
+  GateOutcome outcome;
+
+  outcome.add("byte-identity", fresh.byte_identical,
+              fresh.byte_identical
+                  ? "warm results byte-identical to the cold run"
+                  : "report says warm results are NOT byte-identical");
+
+  const bool has_grid = fresh.scenarios > 0;
+  outcome.add("grid", has_grid,
+              has_grid ? std::to_string(fresh.scenarios) + " scenarios"
+                       : "report covers zero scenarios");
+
+  // A warm replay that misses recomputed something: either the store
+  // failed verification on its own entries or the key drifted between
+  // passes.  Both are cache bugs, not noise, so the bound is exact.
+  const bool no_misses = fresh.warm_misses == 0;
+  outcome.add("warm misses", no_misses,
+              no_misses ? "0 (every warm lookup was served)"
+                        : std::to_string(fresh.warm_misses) +
+                              " warm lookups recomputed");
+  const bool covered = fresh.warm_hits >= fresh.scenarios;
+  outcome.add("warm hits", covered,
+              std::to_string(fresh.warm_hits) + " hits over " +
+                  std::to_string(fresh.scenarios) + " scenarios" +
+                  (covered ? "" : " — grid not covered"));
+
+  const double floor_speedup =
+      options.smoke || fresh.smoke_mode ? kCacheSmokeMinSpeedup
+                                        : kCacheMinSpeedup;
+  const bool fast = fresh.speedup_warm_disk >= floor_speedup;
+  char detail[160];
+  std::snprintf(detail, sizeof detail,
+                "cold %.4fs vs warm disk %.4fs: %.1fx (floor %.1fx)",
+                fresh.cold_seconds, fresh.warm_disk_seconds,
+                fresh.speedup_warm_disk, floor_speedup);
+  outcome.add("warm speedup", fast, detail);
+  return outcome;
+}
+
+CacheReport inject_cache_slowdown(CacheReport report, double factor) {
+  report.warm_disk_seconds *= factor;
+  report.speedup_warm_disk /= factor;
+  return report;
+}
+
 BenchReport inject_slowdown(BenchReport report, double factor) {
   for (WorkloadRow& row : report.rows) {
     for (auto& entry : row.arms) {

@@ -100,4 +100,51 @@ struct GateOutcome {
 /// 100x injected slowdown still trips it.
 inline constexpr double kSmokeMinRatio = 0.05;
 
+// ---------------------------------------------------------------------
+// Result-cache gate (--cache): bench/micro_cache writes BENCH_cache.json
+// (committed under results/) recording a cold pass over the catalog grid
+// and warm replays through the content-addressed store.  The gate holds
+// the cache to its contract: warm replay is bit-identical, never misses,
+// and stays a large multiple faster than recomputing.
+// ---------------------------------------------------------------------
+
+/// The slice of BENCH_cache.json the cache gate reasons about.
+struct CacheReport {
+  std::string bench;
+  std::uint64_t scenarios = 0;
+  bool byte_identical = false;
+  bool smoke_mode = false;
+  std::uint64_t warm_hits = 0;
+  std::uint64_t warm_misses = 0;
+  double cold_seconds = 0.0;
+  double warm_disk_seconds = 0.0;
+  double speedup_warm_disk = 0.0;
+};
+
+/// Parse a cache bench report.  Throws std::runtime_error on malformed
+/// JSON or a report missing the required keys.
+[[nodiscard]] CacheReport parse_cache_report(std::string_view text);
+
+/// Read and parse one cache report file.  Throws on unreadable files.
+[[nodiscard]] CacheReport load_cache_report(const std::string& path);
+
+/// Evaluate the cache invariants of `fresh`.  No baseline is needed: the
+/// report is self-gating (identity flags plus its own cold-vs-warm
+/// ratio).  `options.smoke` swaps the speedup floor; `options.min_ratio`
+/// is ignored (use the constants below).
+[[nodiscard]] GateOutcome run_cache_gate(const CacheReport& fresh,
+                                         const GateOptions& options);
+
+/// Slow the warm path of `report` down by `factor` — the synthetic
+/// regression behind --cache --self-test.
+[[nodiscard]] CacheReport inject_cache_slowdown(CacheReport report,
+                                                double factor = 100.0);
+
+/// Warm-replay speedup floors: a full-catalog warm pass must beat the
+/// cold pass by 50x (the PR-7 acceptance bar); smoke runs shrink every
+/// scenario to a few replicas, so cold collapses and only a sanity
+/// multiple is enforceable.
+inline constexpr double kCacheMinSpeedup = 50.0;
+inline constexpr double kCacheSmokeMinSpeedup = 1.5;
+
 }  // namespace lazyckpt::benchgate

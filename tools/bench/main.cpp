@@ -5,12 +5,18 @@
 /// Usage:
 ///   lazyckpt-bench-gate --baseline <committed.json> --fresh <new.json>
 ///                       [--min-ratio <r>] [--smoke] [--self-test]
+///   lazyckpt-bench-gate --cache --fresh <BENCH_cache.json>
+///                       [--smoke] [--self-test]
 ///     --baseline   committed results/BENCH_sim_kernel.json snapshot
 ///     --fresh      report from the build you are gating
 ///     --min-ratio  per-arm trials/sec floor as a fraction of baseline
 ///                  (default 0.8 strict, 0.05 with --smoke)
 ///     --smoke      shared-runner mode: identity stays enforced, perf
 ///                  bounds widen, event counts are not compared
+///     --cache      gate a BENCH_cache.json (bench/micro_cache) instead:
+///                  warm replay must be byte-identical, miss-free, and
+///                  >= 50x faster than cold (1.5x with --smoke).  The
+///                  report is self-gating; --baseline is not used.
 ///     --self-test  verify the gate itself: the fresh report must pass,
 ///                  and a synthetic 100x slowdown injected into it must
 ///                  fail.  Exit 0 only if both hold.
@@ -35,12 +41,17 @@ void print_usage(std::FILE* out) {
       "usage: lazyckpt-bench-gate --baseline <json> --fresh <json>\n"
       "                           [--min-ratio <r>] [--smoke] "
       "[--self-test]\n"
+      "       lazyckpt-bench-gate --cache --fresh <json> [--smoke] "
+      "[--self-test]\n"
       "  --baseline <json>  committed bench snapshot (results/)\n"
       "  --fresh <json>     freshly measured report to gate\n"
       "  --min-ratio <r>    trials/sec floor vs baseline (default 0.8,\n"
       "                     0.05 with --smoke)\n"
       "  --smoke            wide bounds for shared runners; identity\n"
       "                     checks stay exact\n"
+      "  --cache            gate a BENCH_cache.json: byte-identity,\n"
+      "                     zero warm misses, >= 50x warm speedup\n"
+      "                     (1.5x with --smoke); no baseline needed\n"
       "  --self-test        prove the gate fails on an injected slowdown\n"
       "  --help             this message\n");
 }
@@ -62,6 +73,7 @@ int main(int argc, char** argv) {
   benchgate::GateOptions options;
   bool min_ratio_given = false;
   bool self_test = false;
+  bool cache_mode = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -81,6 +93,8 @@ int main(int argc, char** argv) {
       min_ratio_given = true;
     } else if (arg == "--smoke") {
       options.smoke = true;
+    } else if (arg == "--cache") {
+      cache_mode = true;
     } else if (arg == "--self-test") {
       self_test = true;
     } else if (arg == "--help") {
@@ -93,7 +107,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (baseline_path.empty() || fresh_path.empty()) {
+  if (fresh_path.empty() || (!cache_mode && baseline_path.empty())) {
     print_usage(stderr);
     return 2;
   }
@@ -106,6 +120,28 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (cache_mode) {
+      const auto fresh = benchgate::load_cache_report(fresh_path);
+      std::printf("lazyckpt-bench-gate: cache report %s (%s)\n",
+                  fresh_path.c_str(), options.smoke ? "smoke" : "strict");
+      const auto outcome = benchgate::run_cache_gate(fresh, options);
+      print_outcome(outcome);
+      if (!self_test) {
+        return outcome.pass ? 0 : 1;
+      }
+      if (!outcome.pass) {
+        std::fprintf(stderr,
+                     "self-test: fresh report must pass before injection\n");
+        return 1;
+      }
+      const auto slowed = benchgate::inject_cache_slowdown(fresh);
+      const auto injected = benchgate::run_cache_gate(slowed, options);
+      std::printf("self-test: injected 100x warm slowdown -> gate %s\n",
+                  injected.pass ? "PASSED (BUG: should have failed)"
+                                : "failed as it must");
+      return injected.pass ? 1 : 0;
+    }
+
     const auto baseline = benchgate::load_bench_report(baseline_path);
     const auto fresh = benchgate::load_bench_report(fresh_path);
 

@@ -1,0 +1,25 @@
+# Runs micro_cache in smoke mode into a scratch directory, then gates the
+# fresh BENCH_cache.json in --cache --smoke mode: byte-identity and zero
+# warm misses stay exact, the warm-speedup floor drops to the smoke
+# sanity multiple.  Invoked by the perf_gate_cache CTest case
+# (tools/bench/CMakeLists.txt) with BENCH_BIN, GATE_TOOL, and WORK_DIR
+# defined.
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env LAZYCKPT_BENCH_SMOKE=1 LAZYCKPT_THREADS=2
+          "${BENCH_BIN}"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "micro_cache smoke run failed (exit ${bench_rc})")
+endif()
+
+execute_process(
+  COMMAND "${GATE_TOOL}" --cache --smoke
+          --fresh "${WORK_DIR}/BENCH_cache.json"
+  RESULT_VARIABLE gate_rc)
+if(NOT gate_rc EQUAL 0)
+  message(FATAL_ERROR "cache perf gate failed (exit ${gate_rc})")
+endif()

@@ -12,16 +12,17 @@ namespace lazyckpt::lint {
 
 namespace {
 
-constexpr std::array<std::pair<Rule, std::string_view>, 6> kRuleIds = {{
+constexpr std::array<std::pair<Rule, std::string_view>, 7> kRuleIds = {{
     {Rule::kDeterminism, "determinism"},
     {Rule::kUnorderedOutputOrder, "unordered-output-order"},
     {Rule::kFloatCompare, "float-compare"},
     {Rule::kHeaderHygiene, "header-hygiene"},
     {Rule::kErrorDiscipline, "error-discipline"},
     {Rule::kRngSplitOrder, "rng-split-order"},
+    {Rule::kCacheIoDiscipline, "cache-io-discipline"},
 }};
 
-constexpr std::array<std::pair<Rule, std::string_view>, 6> kRuleRationales = {{
+constexpr std::array<std::pair<Rule, std::string_view>, 7> kRuleRationales = {{
     {Rule::kDeterminism,
      "all randomness flows through common/random pre-split streams; "
      "wall-clock reads are allowed only in bench/ or via the obs clock "
@@ -43,6 +44,10 @@ constexpr std::array<std::pair<Rule, std::string_view>, 6> kRuleRationales = {{
      "RNG streams are pre-split from the master in index order before "
      "parallel dispatch; .split() inside a parallel_for/parallel_map "
      "worker would order splits by thread scheduling and break replay"},
+    {Rule::kCacheIoDiscipline,
+     "src/cache/ publishes files only through cache::atomic_write_file "
+     "(write-temp-then-rename in atomic_io.*); a raw write call could "
+     "expose a torn entry to a concurrent reader"},
 }};
 
 bool is_ident_char(char c) {
@@ -375,6 +380,8 @@ FileContext classify_path(std::string_view relative_path) {
   ctx.is_error_impl = has_prefix("src/common/error.");
   ctx.is_fp_helper = has_prefix("src/common/fp.");
   ctx.is_obs_clock = has_prefix("src/obs/clock.");
+  ctx.in_cache = has_prefix("src/cache/");
+  ctx.is_cache_io_impl = has_prefix("src/cache/atomic_io.");
   return ctx;
 }
 
@@ -795,6 +802,36 @@ std::vector<Finding> lint_source(std::string_view file_label,
         if (c == '(') ++region_depth;
         if (c == ')') --region_depth;
         ++pos;
+      }
+    }
+  }
+
+  // ---- cache-io-discipline -----------------------------------------------
+  if (ctx.in_cache && !ctx.is_cache_io_impl) {
+    // Write-capable calls only: reads (ifstream, fread) are naturally
+    // torn-proof because entries are published atomically.  Bare
+    // "fstream" stays unflagged so `#include <fstream>` in a reader
+    // translation unit does not trip the rule; std::fstream opens
+    // read-write and is named explicitly.
+    constexpr std::array<std::string_view, 7> kRawWriteTokens = {
+        "fopen(",  "freopen(", "ofstream", "std::fstream",
+        "fwrite(", "fputs(",   "fprintf(",
+    };
+    for (std::size_t idx = 0; idx < lines.size(); ++idx) {
+      const std::string& line = lines[idx];
+      const int line_no = static_cast<int>(idx) + 1;
+      for (std::string_view token : kRawWriteTokens) {
+        if (has_token(line, token)) {
+          report(line_no, Rule::kCacheIoDiscipline,
+                 "raw file-writing call '" +
+                     std::string(token.back() == '(' ? token.substr(
+                                     0, token.size() - 1)
+                                                     : token) +
+                     "' in src/cache/: publish entries through "
+                     "cache::atomic_write_file (atomic_io.hpp) so readers "
+                     "can never observe a torn entry");
+          break;  // one diagnostic per line
+        }
       }
     }
   }

@@ -69,6 +69,13 @@ enum class Rule {
   /// `.split()` inside the worker body would order splits by thread
   /// scheduling and silently break replay.
   kRngSplitOrder,
+  /// Raw file-writing calls (fopen/freopen/fwrite/fputs/fprintf,
+  /// std::ofstream/std::fstream) in src/cache/ outside the atomic_io
+  /// helper.  The result cache's torn-read/last-writer-wins guarantees
+  /// rest on every publication going through write-temp-then-rename
+  /// (cache::atomic_write_file); a direct write could expose a partially
+  /// written entry to a concurrent reader.
+  kCacheIoDiscipline,
 };
 
 /// Stable kebab-case identifier for `rule` ("determinism", "float-compare",
@@ -95,6 +102,8 @@ struct FileContext {
   bool is_error_impl = false;  ///< src/common/error.* (the thrower home)
   bool is_fp_helper = false;   ///< src/common/fp.hpp (approved comparators)
   bool is_obs_clock = false;   ///< src/obs/clock.* (the steady_clock shim)
+  bool in_cache = false;       ///< under src/cache/ (atomic-write discipline)
+  bool is_cache_io_impl = false;  ///< src/cache/atomic_io.* (the writer home)
 };
 
 /// Classify a repo-relative path ("src/sim/engine.cpp", "tests/x.cpp").

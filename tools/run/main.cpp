@@ -15,23 +15,37 @@
 ///                     (the exact bytes save_scenario writes) and exit
 ///     --compare       run exactly two scenarios and print a per-metric
 ///                     delta table (B − A, and B/A) instead of two reports
+///     --sweep <file>  expand a .scn.sweep parameter grid and run every
+///                     deduplicated point (repeatable; exclusive with
+///                     scenario files).  Output is one table — or with
+///                     --json one JSON array — ordered by canonical key
 ///     --smoke         clamp every scenario to 3 replicas (CI smoke runs;
 ///                     output is for exercising code paths, not numbers)
 ///     --json          force JSON output regardless of the scenario's
 ///                     `output` key
+///     --cache-dir <d> reuse results via the content-addressed store in
+///                     <d> (default: $LAZYCKPT_CACHE when set); prints
+///                     "cache hits=H misses=M" on stderr afterwards
+///     --no-cache      ignore --cache-dir and $LAZYCKPT_CACHE
 ///
 /// Exit status: 0 on success, 1 on any malformed spec, unknown name, or
 /// unreadable file (the error names the offending token).
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "cache/store.hpp"
 #include "common/table.hpp"
 #include "io/factory.hpp"
 #include "spec/catalog.hpp"
 #include "spec/runner.hpp"
+#include "spec/sweep.hpp"
 #include "stats/factory.hpp"
 
 namespace {
@@ -49,8 +63,13 @@ void print_usage(std::FILE* out) {
                "form\n"
                "  --compare       run two scenarios, print per-metric "
                "deltas\n"
+               "  --sweep <file>  expand and run a .scn.sweep parameter "
+               "grid\n"
                "  --smoke         clamp every scenario to %zu replicas\n"
                "  --json          force JSON output\n"
+               "  --cache-dir <d> content-addressed result cache "
+               "(default: $LAZYCKPT_CACHE)\n"
+               "  --no-cache      disable the result cache\n"
                "  --help          this message\n",
                kSmokeReplicas);
 }
@@ -113,29 +132,39 @@ void print_scenario_json(const spec::Scenario& s, const char* indent) {
               static_cast<unsigned long long>(s.seed));
 }
 
+void print_aggregate_json(const sim::AggregateMetrics& a, const char* indent) {
+  std::printf("%s\"replicas\": %zu,\n", indent, a.replicas);
+  std::printf("%s\"mean_makespan_hours\": %.17g,\n", indent,
+              a.mean_makespan_hours);
+  std::printf("%s\"min_makespan_hours\": %.17g,\n", indent,
+              a.min_makespan_hours);
+  std::printf("%s\"max_makespan_hours\": %.17g,\n", indent,
+              a.max_makespan_hours);
+  std::printf("%s\"mean_compute_hours\": %.17g,\n", indent,
+              a.mean_compute_hours);
+  std::printf("%s\"mean_checkpoint_hours\": %.17g,\n", indent,
+              a.mean_checkpoint_hours);
+  std::printf("%s\"mean_wasted_hours\": %.17g,\n", indent,
+              a.mean_wasted_hours);
+  std::printf("%s\"mean_restart_hours\": %.17g,\n", indent,
+              a.mean_restart_hours);
+  std::printf("%s\"mean_failures\": %.17g,\n", indent, a.mean_failures);
+  std::printf("%s\"mean_checkpoints_written\": %.17g,\n", indent,
+              a.mean_checkpoints_written);
+  std::printf("%s\"mean_checkpoints_skipped\": %.17g,\n", indent,
+              a.mean_checkpoints_skipped);
+  std::printf("%s\"mean_data_written_gb\": %.17g\n", indent,
+              a.mean_data_written_gb);
+}
+
 void print_json(const spec::ScenarioResult& result) {
   const auto& s = result.scenario;
-  const auto& a = result.aggregate;
   std::printf("{\n");
   std::printf("  \"scenario\": {\n");
   print_scenario_json(s, "    ");
   std::printf("  },\n");
   std::printf("  \"aggregate\": {\n");
-  std::printf("    \"replicas\": %zu,\n", a.replicas);
-  std::printf("    \"mean_makespan_hours\": %.17g,\n", a.mean_makespan_hours);
-  std::printf("    \"min_makespan_hours\": %.17g,\n", a.min_makespan_hours);
-  std::printf("    \"max_makespan_hours\": %.17g,\n", a.max_makespan_hours);
-  std::printf("    \"mean_compute_hours\": %.17g,\n", a.mean_compute_hours);
-  std::printf("    \"mean_checkpoint_hours\": %.17g,\n",
-              a.mean_checkpoint_hours);
-  std::printf("    \"mean_wasted_hours\": %.17g,\n", a.mean_wasted_hours);
-  std::printf("    \"mean_restart_hours\": %.17g,\n", a.mean_restart_hours);
-  std::printf("    \"mean_failures\": %.17g,\n", a.mean_failures);
-  std::printf("    \"mean_checkpoints_written\": %.17g,\n",
-              a.mean_checkpoints_written);
-  std::printf("    \"mean_checkpoints_skipped\": %.17g,\n",
-              a.mean_checkpoints_skipped);
-  std::printf("    \"mean_data_written_gb\": %.17g\n", a.mean_data_written_gb);
+  print_aggregate_json(result.aggregate, "    ");
   std::printf("  }%s\n", result.campaign.has_value() ? "," : "");
   if (result.campaign.has_value()) {
     const auto& c = *result.campaign;
@@ -283,13 +312,63 @@ void print_compare_table(const spec::ScenarioResult& a,
   std::printf("%s\n", table.to_string().c_str());
 }
 
+// ---------------------------------------------------------------------
+// --sweep: parameter-grid runs.  Points are already deduplicated and
+// sorted by canonical key (spec::expand_sweep), so both output forms are
+// deterministic and machine-independent.
+// ---------------------------------------------------------------------
+
+/// One executed grid point: the point plus its result.
+struct SweepRow {
+  spec::SweepPoint point;
+  spec::ScenarioResult result;
+};
+
+void print_sweep_json(const std::vector<SweepRow>& rows) {
+  std::printf("[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    std::printf("  {\n");
+    std::printf("    \"key\": \"%s\",\n", row.point.key_hex.c_str());
+    std::printf("    \"scenario\": {\n");
+    print_scenario_json(row.result.scenario, "      ");
+    std::printf("    },\n");
+    std::printf("    \"aggregate\": {\n");
+    print_aggregate_json(row.result.aggregate, "      ");
+    std::printf("    }\n");
+    std::printf("  }%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("]\n");
+}
+
+void print_sweep_table(const std::vector<SweepRow>& rows) {
+  print_banner("sweep: " + std::to_string(rows.size()) + " grid points");
+  TextTable table({"key", "policy", "oci", "mean makespan (h)",
+                   "mean ckpt I/O (h)", "mean wasted (h)", "failures"});
+  for (const auto& row : rows) {
+    const auto& s = row.result.scenario;
+    const auto& a = row.result.aggregate;
+    table.add_row({row.point.key_hex.substr(0, 12), s.policy,
+                   s.oci_hours > 0.0 ? TextTable::num(s.oci_hours) : "daly",
+                   TextTable::num(a.mean_makespan_hours),
+                   TextTable::num(a.mean_checkpoint_hours),
+                   TextTable::num(a.mean_wasted_hours),
+                   TextTable::num(a.mean_failures, 1)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
   bool force_json = false;
   bool compare = false;
+  bool no_cache = false;
+  std::string cache_dir;
+  if (const char* env = std::getenv("LAZYCKPT_CACHE")) cache_dir = env;
   std::vector<spec::Scenario> scenarios;
+  std::vector<std::string> sweep_files;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -312,6 +391,26 @@ int main(int argc, char** argv) {
       }
       if (arg == "--json") {
         force_json = true;
+        continue;
+      }
+      if (arg == "--no-cache") {
+        no_cache = true;
+        continue;
+      }
+      if (arg == "--cache-dir") {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "lazyckpt-run: --cache-dir needs a path\n");
+          return 1;
+        }
+        cache_dir = argv[++i];
+        continue;
+      }
+      if (arg == "--sweep") {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "lazyckpt-run: --sweep needs a file\n");
+          return 1;
+        }
+        sweep_files.emplace_back(argv[++i]);
         continue;
       }
       if (arg == "--name" || arg == "--dump") {
@@ -337,14 +436,73 @@ int main(int argc, char** argv) {
       scenarios.push_back(spec::load_scenario(arg));
     }
 
-    if (scenarios.empty()) {
+    if (scenarios.empty() && sweep_files.empty()) {
       print_usage(stderr);
       return 1;
+    }
+    if (!sweep_files.empty() && (compare || !scenarios.empty())) {
+      std::fprintf(stderr,
+                   "lazyckpt-run: --sweep cannot be combined with scenario "
+                   "files, --name, or --compare\n");
+      return 1;
+    }
+
+    // The cache outlives the runner; the runner only borrows it.
+    std::optional<cache::ResultStore> store;
+    if (!no_cache && !cache_dir.empty()) {
+      store.emplace(cache::StoreOptions{cache_dir, 256});
     }
 
     spec::RunnerOptions options;
     if (smoke) options.max_replicas = kSmokeReplicas;
+    if (store.has_value()) options.cache = &*store;
     const spec::ScenarioRunner runner(options);
+
+    // Stats go to stderr at every exit from here on, so "run 2 of the
+    // same grid must be 100% hits" is assertable from a shell.
+    const auto report_cache = [&store] {
+      if (!store.has_value()) return;
+      const cache::StoreStats stats = store->stats();
+      std::fprintf(stderr,
+                   "lazyckpt-run: cache hits=%llu misses=%llu\n",
+                   static_cast<unsigned long long>(stats.hits),
+                   static_cast<unsigned long long>(stats.misses));
+    };
+
+    if (!sweep_files.empty()) {
+      // Merge every requested grid: dedup across files by canonical key,
+      // order by key — the result is independent of file order and of
+      // how the grids overlap.
+      std::vector<spec::SweepPoint> points;
+      for (const auto& file : sweep_files) {
+        for (auto& point : spec::load_sweep(file)) {
+          points.push_back(std::move(point));
+        }
+      }
+      std::sort(points.begin(), points.end(),
+                [](const spec::SweepPoint& a, const spec::SweepPoint& b) {
+                  return a.key_hex < b.key_hex;
+                });
+      points.erase(std::unique(points.begin(), points.end(),
+                               [](const spec::SweepPoint& a,
+                                  const spec::SweepPoint& b) {
+                                 return a.key_hex == b.key_hex;
+                               }),
+                   points.end());
+
+      std::vector<SweepRow> rows;
+      rows.reserve(points.size());
+      for (const auto& point : points) {
+        rows.push_back(SweepRow{point, runner.run(point.scenario)});
+      }
+      if (force_json) {
+        print_sweep_json(rows);
+      } else {
+        print_sweep_table(rows);
+      }
+      report_cache();
+      return 0;
+    }
 
     if (compare) {
       if (scenarios.size() != 2) {
@@ -367,6 +525,7 @@ int main(int argc, char** argv) {
       } else {
         print_compare_table(a, b);
       }
+      report_cache();
       return 0;
     }
 
@@ -380,6 +539,7 @@ int main(int argc, char** argv) {
         print_table(result);
       }
     }
+    report_cache();
   } catch (const std::exception& error) {
     std::fprintf(stderr, "lazyckpt-run: %s\n", error.what());
     return 1;
