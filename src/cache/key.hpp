@@ -13,9 +13,7 @@
 /// scenario text byte-for-byte, so even a digest collision can never serve
 /// the wrong result.
 
-#include <cstdint>
 #include <string>
-#include <string_view>
 
 #include "spec/scenario.hpp"
 

@@ -18,6 +18,7 @@
 /// concurrent writers race benignly — last writer wins a whole file and
 /// readers can never observe a torn entry.
 
+#include <cstddef>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -27,6 +28,7 @@
 
 #include "cache/key.hpp"
 #include "spec/runner.hpp"
+#include "spec/scenario.hpp"
 
 namespace lazyckpt::cache {
 

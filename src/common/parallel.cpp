@@ -1,6 +1,7 @@
 #include "common/parallel.hpp"
 
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <exception>
 #include <mutex>

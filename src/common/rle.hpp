@@ -9,7 +9,6 @@
 /// [literal bytes], each length a little-endian u32.
 
 #include <cstddef>
-#include <cstdint>
 #include <span>
 #include <vector>
 

@@ -1,7 +1,6 @@
 #include "core/model/bounds.hpp"
 
 #include <algorithm>
-#include <cmath>
 
 #include "common/error.hpp"
 

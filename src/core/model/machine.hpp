@@ -3,7 +3,6 @@
 /// \file machine.hpp
 /// \brief Parameter bundles shared by the analytical model and simulator.
 
-#include <cstdint>
 
 namespace lazyckpt::core {
 

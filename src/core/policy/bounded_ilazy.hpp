@@ -9,6 +9,8 @@
 /// portion of the I/O savings for a guarantee that the expected extra lost
 /// work never exceeds the expected checkpoint cost saved.
 
+#include <string>
+
 #include "core/model/bounds.hpp"
 #include "core/policy/policy.hpp"
 

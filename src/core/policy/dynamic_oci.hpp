@@ -9,6 +9,8 @@
 /// inter-arrivals from the failure-log agent, observed bandwidth from the
 /// I/O-log agent).  The policy itself stays stateless.
 
+#include <string>
+
 #include "core/policy/policy.hpp"
 
 namespace lazyckpt::core {

@@ -20,6 +20,8 @@
 /// α(t) ≡ α_oci, recovering OCI checkpointing exactly.  Solved per
 /// decision by bisection on the distribution's CDF.
 
+#include <string>
+
 #include "core/policy/policy.hpp"
 #include "stats/distribution.hpp"
 

@@ -15,7 +15,6 @@
 ///   "skip<N>:<base-spec>"   — SkipPolicy over any of the above, e.g.
 ///                             "skip2:static-oci", "skip1:ilazy:0.6"
 
-#include <string>
 #include <string_view>
 
 #include "core/policy/policy.hpp"

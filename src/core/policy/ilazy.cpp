@@ -1,7 +1,5 @@
 #include "core/policy/ilazy.hpp"
 
-#include <algorithm>
-#include <cmath>
 
 #include "common/error.hpp"
 

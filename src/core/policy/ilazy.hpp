@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
+#include <string>
 
 #include "common/error.hpp"
 #include "core/policy/policy.hpp"

@@ -8,6 +8,8 @@
 /// x needs tuning per shape (the paper uses x = 0.10 h for k = 0.6); it
 /// loses less work than iLazy but also saves less checkpoint I/O.
 
+#include <string>
+
 #include "core/policy/policy.hpp"
 
 namespace lazyckpt::core {

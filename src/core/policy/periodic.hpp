@@ -8,6 +8,8 @@
 /// (sim/engine.cpp) instantiates its loop directly against these final
 /// classes so the decisions compile down to loads.
 
+#include <string>
+
 #include "common/error.hpp"
 #include "core/policy/policy.hpp"
 

@@ -13,6 +13,8 @@
 /// including iLazy (paper: "Coupled with iLazy, it mitigates the
 /// checkpointing overhead more than what iLazy alone can achieve").
 
+#include <string>
+
 #include "core/policy/policy.hpp"
 
 namespace lazyckpt::core {

@@ -1,5 +1,6 @@
 #include "cr/checkpoint_file.hpp"
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>

@@ -12,7 +12,6 @@
 /// mismatch throws CorruptCheckpoint so a restart never consumes torn or
 /// bit-flipped state.
 
-#include <cstdint>
 #include <string>
 
 #include "cr/region.hpp"

@@ -1,7 +1,9 @@
 #include "cr/incremental.hpp"
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <span>
 #include <utility>
 
 #include "common/crc32.hpp"

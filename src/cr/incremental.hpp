@@ -12,6 +12,7 @@
 /// most recent full checkpoint and replays the delta chain.  Every file is
 /// CRC-verified.
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>

@@ -10,6 +10,7 @@
 /// log ("run multiple times over the failure and I/O log"), giving the
 /// min/mean/max savings bars of Fig. 23 and the write volumes of Table 3.
 
+#include <cstddef>
 #include <span>
 #include <string>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "failures/trace.hpp"
 #include "io/bandwidth_trace.hpp"
 #include "sim/engine.hpp"
+#include "sim/metrics.hpp"
 
 namespace lazyckpt::cr {
 

@@ -6,9 +6,11 @@
 /// the standard cuts of the LANL failure-data studies the paper builds on.
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
+#include "failures/failure_event.hpp"
 #include "failures/trace.hpp"
 
 namespace lazyckpt::failures {

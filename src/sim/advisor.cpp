@@ -1,12 +1,14 @@
 #include "sim/advisor.hpp"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "common/error.hpp"
 #include "common/units.hpp"
 #include "core/model/oci.hpp"
 #include "core/policy/factory.hpp"
 #include "io/storage_model.hpp"
+#include "sim/engine.hpp"
 #include "sim/sweep.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/fitting.hpp"

@@ -4,9 +4,9 @@
 #include <array>
 #include <atomic>
 #include <cmath>
+#include <cstddef>
 #include <cstdlib>
 #include <limits>
-#include <string>
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/fp.hpp"
 #include "common/parallel.hpp"
 #include "common/random.hpp"
 #include "obs/metrics.hpp"
@@ -25,7 +26,9 @@ class ShiftedFailureSource final : public FailureSource {
 
   [[nodiscard]] double peek_next() const override {
     const double next = inner_->peek_next();
-    if (next == std::numeric_limits<double>::infinity()) return next;
+    if (fp::exact_eq(next, std::numeric_limits<double>::infinity())) {
+      return next;
+    }
     return next - shift_;
   }
 

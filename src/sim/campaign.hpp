@@ -16,6 +16,7 @@
 #include "io/storage_model.hpp"
 #include "sim/engine.hpp"
 #include "sim/failure_source.hpp"
+#include "sim/metrics.hpp"
 #include "stats/distribution.hpp"
 
 namespace lazyckpt::sim {

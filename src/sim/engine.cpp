@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <limits>
 #include <type_traits>
 
 #include "common/error.hpp"
+#include "common/fp.hpp"
 #include "core/policy/ilazy.hpp"
 #include "core/policy/periodic.hpp"
 #include "obs/metrics.hpp"
@@ -123,7 +125,7 @@ RunMetrics run_loop(const SimulationConfig& config, Policy& policy,
     if constexpr (std::is_same_v<Storage, io::ConstantStorage>) {
       return storage.checkpoint_time(now);
     } else {
-      if (now != beta_cache_time) {
+      if (fp::exact_ne(now, beta_cache_time)) {
         beta_cache_value = storage.checkpoint_time(now);
         beta_cache_time = now;
       }

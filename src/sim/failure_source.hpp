@@ -12,6 +12,7 @@
 #include "common/random.hpp"
 #include "failures/trace.hpp"
 #include "stats/distribution.hpp"
+#include "stats/sampler.hpp"
 
 namespace lazyckpt::sim {
 

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstddef>
 
 #include "common/error.hpp"
+#include "common/fp.hpp"
 #include "common/parallel.hpp"
 #include "core/policy/periodic.hpp"
 #include "obs/trace.hpp"
@@ -125,7 +127,7 @@ double simulated_oci(std::span<const IntervalPoint> curve) {
     const double makespan = point.metrics.mean_makespan_hours;
     const double best_makespan = best->metrics.mean_makespan_hours;
     if (makespan < best_makespan ||
-        (makespan == best_makespan &&
+        (fp::exact_eq(makespan, best_makespan) &&
          point.interval_hours < best->interval_hours)) {
       best = &point;
     }

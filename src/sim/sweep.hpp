@@ -8,7 +8,10 @@
 #include <span>
 #include <vector>
 
+#include "core/policy/policy.hpp"
+#include "io/storage_model.hpp"
 #include "sim/engine.hpp"
+#include "sim/metrics.hpp"
 
 namespace lazyckpt::sim {
 

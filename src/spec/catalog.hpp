@@ -10,6 +10,7 @@
 /// save_scenario (`lazyckpt-run --dump <name>`); tests/test_spec.cpp
 /// asserts file ↔ builtin equality and round-trips every entry.
 
+#include <string_view>
 #include <vector>
 
 #include "spec/scenario.hpp"

@@ -1,7 +1,6 @@
 #include "spec/runner.hpp"
 
 #include <algorithm>
-#include <memory>
 
 #include "common/error.hpp"
 #include "core/model/oci.hpp"

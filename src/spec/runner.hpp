@@ -12,10 +12,13 @@
 /// and shares the paper's "same seed ⇒ same failure arrival times"
 /// fair-comparison property.
 
+#include <cstddef>
 #include <optional>
 #include <vector>
 
 #include "sim/campaign.hpp"
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
 #include "sim/sweep.hpp"
 #include "spec/scenario.hpp"
 

@@ -1,6 +1,5 @@
 #include "stats/bootstrap.hpp"
 
-#include <algorithm>
 #include <optional>
 #include <vector>
 

@@ -13,6 +13,7 @@
 #include "stats/exact_pow.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 
 #include "common/random.hpp"

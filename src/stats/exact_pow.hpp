@@ -28,7 +28,6 @@
 /// written explicitly, and the compiler must not invent or remove any.
 
 #include <cstddef>
-#include <cstdint>
 
 namespace lazyckpt::stats {
 

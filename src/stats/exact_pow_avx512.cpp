@@ -9,6 +9,8 @@
 
 #if defined(__x86_64__) || defined(_M_X64)
 
+#include <cstddef>
+#include <cstdint>
 #include <immintrin.h>
 
 #include <cmath>

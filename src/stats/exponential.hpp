@@ -4,7 +4,11 @@
 /// \brief Exponential distribution — the memoryless baseline failure model
 /// assumed by the classic Young/Daly optimal-checkpoint-interval analysis.
 
+#include <span>
+
+#include <string>
 #include "stats/distribution.hpp"
+#include "stats/sampler.hpp"
 
 namespace lazyckpt::stats {
 

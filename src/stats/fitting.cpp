@@ -1,7 +1,6 @@
 #include "stats/fitting.hpp"
 
 #include <cmath>
-#include <vector>
 
 #include "common/error.hpp"
 #include "stats/descriptive.hpp"

@@ -5,6 +5,9 @@
 /// paper's four.  LANL failure studies (Schroeder & Gibson) also test
 /// gamma fits, so the goodness-of-fit ablation bench includes it.
 
+#include <span>
+
+#include <string>
 #include "stats/distribution.hpp"
 
 namespace lazyckpt::stats {

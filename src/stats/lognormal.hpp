@@ -4,7 +4,11 @@
 /// \brief Log-normal distribution — one of the four candidate fits the
 /// paper's K-S analysis (Fig. 7) evaluates against failure logs.
 
+#include <span>
+
+#include <string>
 #include "stats/distribution.hpp"
+#include "stats/sampler.hpp"
 
 namespace lazyckpt::stats {
 

@@ -4,7 +4,11 @@
 /// \brief Normal distribution — a deliberately poor candidate for failure
 /// inter-arrival times, included because the paper's Fig. 7 tests it.
 
+#include <span>
+
+#include <string>
 #include "stats/distribution.hpp"
+#include "stats/sampler.hpp"
 
 namespace lazyckpt::stats {
 

@@ -8,7 +8,11 @@
 /// heels of previous failures ("temporal locality"), which is exactly the
 /// property the iLazy policy exploits.
 
+#include <span>
+
+#include <string>
 #include "stats/distribution.hpp"
+#include "stats/sampler.hpp"
 
 namespace lazyckpt::stats {
 

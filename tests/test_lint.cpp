@@ -9,8 +9,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "include_graph.hpp"
+#include "lexer.hpp"
+#include "symbols.hpp"
 
 namespace lint = lazyckpt::lint;
 
@@ -546,6 +552,460 @@ TEST(LintStripper, LineCountMatchesInput) {
   EXPECT_EQ(lines.size(), 5u);
   EXPECT_EQ(lines[0], "int a;");
   EXPECT_EQ(lines[3], "  int d;");
+}
+
+// ---- lexer edge cases (lexer.hpp) ----------------------------------------
+
+std::vector<lint::Token> tokens_of(const std::string& text) {
+  return lint::lex(text).tokens;
+}
+
+const lint::Token* find_kind(const std::vector<lint::Token>& toks,
+                             lint::TokenKind kind) {
+  for (const auto& t : toks) {
+    if (t.kind == kind) return &t;
+  }
+  return nullptr;
+}
+
+TEST(LintLexer, RawStringWithCustomDelimiter) {
+  // The body contains )" which would end a plain raw string — only the
+  // custom delimiter terminates it.
+  const auto toks = tokens_of("auto s = R\"xy(close )\" attempt)xy\";\n");
+  const auto* raw = find_kind(toks, lint::TokenKind::kRawString);
+  ASSERT_NE(raw, nullptr);
+  EXPECT_EQ(raw->spelling, "R\"xy(close )\" attempt)xy\"");
+  // And nothing after it was swallowed: the ';' still lexes.
+  EXPECT_EQ(toks.back().spelling, ";");
+}
+
+TEST(LintLexer, MultiLineRawStringKeepsLineNumbers) {
+  const auto ts = lint::lex("auto s = R\"(line one\nline two\n)\";\nint z;\n");
+  const auto* raw = find_kind(ts.tokens, lint::TokenKind::kRawString);
+  ASSERT_NE(raw, nullptr);
+  EXPECT_EQ(raw->line, 1);
+  // `z` sits on physical line 4 even though the raw string spans 1-3.
+  bool found_z = false;
+  for (const auto& t : ts.tokens) {
+    if (t.spelling == "z") {
+      EXPECT_EQ(t.line, 4);
+      found_z = true;
+    }
+  }
+  EXPECT_TRUE(found_z);
+  EXPECT_EQ(ts.line_count, 5);
+}
+
+TEST(LintLexer, DigitSeparatorsStayOneNumberToken) {
+  const auto toks = tokens_of("int n = 1'000'000; double d = 1'234.5;\n");
+  int numbers = 0;
+  for (const auto& t : toks) {
+    if (t.kind != lint::TokenKind::kNumber) continue;
+    ++numbers;
+    if (t.spelling == "1'000'000") EXPECT_FALSE(t.is_float);
+    if (t.spelling == "1'234.5") EXPECT_TRUE(t.is_float);
+  }
+  EXPECT_EQ(numbers, 2);
+}
+
+TEST(LintLexer, LineContinuationInsideLineComment) {
+  // The backslash-newline extends the // comment onto the next physical
+  // line, so `time(nullptr)` is comment text, not code.
+  const std::string text = "// comment continues \\\ntime(nullptr);\nint a;\n";
+  const auto toks = tokens_of(text);
+  const auto* comment = find_kind(toks, lint::TokenKind::kComment);
+  ASSERT_NE(comment, nullptr);
+  EXPECT_NE(comment->spelling.find("time(nullptr)"), std::string::npos);
+  // And the rules agree: no determinism finding.
+  EXPECT_TRUE(lint_at("src/sim/engine.cpp", text).empty());
+}
+
+TEST(LintLexer, UserDefinedLiteralSuffixesAttach) {
+  const auto toks =
+      tokens_of("auto a = 10.5_hours; auto b = \"x\"_sv; auto c = 'y'_c;\n");
+  const auto* num = find_kind(toks, lint::TokenKind::kNumber);
+  ASSERT_NE(num, nullptr);
+  EXPECT_EQ(num->spelling, "10.5_hours");
+  EXPECT_TRUE(num->is_float);
+  const auto* str = find_kind(toks, lint::TokenKind::kString);
+  ASSERT_NE(str, nullptr);
+  EXPECT_EQ(str->spelling, "\"x\"_sv");
+  const auto* chr = find_kind(toks, lint::TokenKind::kChar);
+  ASSERT_NE(chr, nullptr);
+  EXPECT_EQ(chr->spelling, "'y'_c");
+}
+
+TEST(LintLexer, AdjacentStringConcatenationIsTwoTokens) {
+  const auto toks = tokens_of("const char* s = \"one \" \"two\";\n");
+  int strings = 0;
+  for (const auto& t : toks) {
+    if (t.kind == lint::TokenKind::kString) ++strings;
+  }
+  EXPECT_EQ(strings, 2);
+  // Concatenated message text never produces rule false positives.
+  EXPECT_TRUE(lint_at("src/sim/engine.cpp",
+                      "const char* s = \"time(\" \"nullptr)\";\n")
+                  .empty());
+}
+
+TEST(LintLexer, HeaderNameTokenOnlyAfterInclude) {
+  const auto toks = tokens_of("#include <vector>\nbool lt = a < b;\n");
+  const auto* hdr = find_kind(toks, lint::TokenKind::kHeaderName);
+  ASSERT_NE(hdr, nullptr);
+  EXPECT_EQ(hdr->spelling, "<vector>");
+  EXPECT_TRUE(hdr->in_pp);
+  // `a < b` on the next line lexes as ordinary punctuation, not a header.
+  int headers = 0;
+  for (const auto& t : toks) {
+    if (t.kind == lint::TokenKind::kHeaderName) ++headers;
+  }
+  EXPECT_EQ(headers, 1);
+}
+
+// ---- float symbol table (symbols.hpp) ------------------------------------
+
+TEST(LintSymbols, TracksDeclarationsParamsAndShadowing) {
+  const auto ts = lint::lex(R"(
+double top = 1.0;
+void f(double x, int n) {
+  real_t local = 0;
+  {
+    int x = n;      // shadows the double param
+    long double ld = 0;
+  }
+}
+)");
+  const auto scan = lint::scan_float_vars(ts);
+  std::vector<std::string> names;
+  for (const auto& d : scan.decls) names.push_back(d.name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "top"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "x"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "local"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "ld"), names.end());
+  // The int parameter is not a float declaration.
+  for (const auto& d : scan.decls) EXPECT_NE(d.name, "n");
+}
+
+TEST(LintSymbols, StructuredBindingsAreNeverFloatVars) {
+  // `auto [ptr, ec] = from_chars(..., value)` mixes a pointer and an error
+  // code even though the initializer mentions a double.
+  const auto ts = lint::lex(R"(
+double value = 0.0;
+auto [ptr, ec] = std::from_chars(b, e, value);
+bool bad = ec != std::errc();
+)");
+  const auto scan = lint::scan_float_vars(ts);
+  for (std::size_t i = 0; i < ts.tokens.size(); ++i) {
+    if (ts.tokens[i].spelling == "ec" || ts.tokens[i].spelling == "ptr") {
+      EXPECT_FALSE(scan.is_float_var_use[i]) << ts.tokens[i].line;
+    }
+  }
+}
+
+TEST(LintSymbols, FindsFreeFunctionsMethodsAndLambdas) {
+  const auto ts = lint::lex(R"(
+double helper(int a) { return a * 2.0; }
+double Widget::method() const noexcept { return 1.0; }
+auto bound = [](int x) { return x; };
+)");
+  const auto fns = lint::find_local_functions(ts);
+  std::vector<std::string> names;
+  for (const auto& f : fns) names.push_back(f.name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "helper"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "method"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "bound"), names.end());
+  for (const auto& f : fns) {
+    EXPECT_LT(f.body_first, f.body_last);
+    EXPECT_EQ(ts.tokens[f.body_first].spelling, "{");
+    EXPECT_EQ(ts.tokens[f.body_last].spelling, "}");
+  }
+}
+
+TEST(LintSymbols, CallSitesAreNotFunctionDefinitions) {
+  const auto ts = lint::lex(R"(
+void f() {
+  run(x);
+  obj.call(y);
+  if (cond) { act(); }
+}
+)");
+  for (const auto& fn : lint::find_local_functions(ts)) {
+    EXPECT_EQ(fn.name, "f");
+  }
+}
+
+// ---- float-compare-var ---------------------------------------------------
+
+TEST(LintFloatCompareVar, FlagsRawComparisonBetweenFloatVariables) {
+  const std::string violating = R"(
+double stop(double a, double b) {
+  if (a == b) return a;
+  return b;
+}
+)";
+  const auto findings = lint_at("src/sim/engine.cpp", violating);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, lint::Rule::kFloatCompareVar);
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_NE(findings[0].message.find("'a'"), std::string::npos);
+}
+
+TEST(LintFloatCompareVar, IntVariablesAndHelperCallsPass) {
+  const std::string clean = R"(
+bool f(int a, int b, double x, double y) {
+  if (a == b) return true;
+  return lazyckpt::fp::exact_eq(x, y);
+}
+)";
+  EXPECT_TRUE(lint_at("src/sim/engine.cpp", clean).empty());
+}
+
+TEST(LintFloatCompareVar, LiteralRuleKeepsItsLines) {
+  // A float literal on the line is kFloatCompare's claim; the variable
+  // rule must not double-report it.
+  const std::string snippet = R"(
+void f(double x) {
+  if (x == 0.5) {}
+}
+)";
+  const auto findings = lint_at("src/sim/engine.cpp", snippet);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, lint::Rule::kFloatCompare);
+}
+
+TEST(LintFloatCompareVar, ShadowingIntSilencesOuterDouble) {
+  const std::string clean = R"(
+double x = 1.0;
+void f(int a) {
+  int x = a;
+  if (x == a) {}
+}
+)";
+  EXPECT_TRUE(lint_at("src/sim/engine.cpp", clean).empty());
+}
+
+TEST(LintFloatCompareVar, SuppressibleBothPlacements) {
+  const std::string trailing = R"(
+void f(double a, double b) {
+  if (a == b) {}  // lazyckpt-lint: allow(float-compare-var)
+}
+)";
+  EXPECT_TRUE(lint_at("src/sim/engine.cpp", trailing).empty());
+  const std::string above = R"(
+void f(double a, double b) {
+  // lazyckpt-lint: allow(float-compare-var)
+  if (a == b) {}
+}
+)";
+  EXPECT_TRUE(lint_at("src/sim/engine.cpp", above).empty());
+}
+
+// ---- determinism via local-function indirection --------------------------
+
+TEST(LintDeterminismIndirection, FlagsBannedSourceViaLocalHelper) {
+  const std::string violating = R"(
+static double wall_seed() { return static_cast<double>(time(nullptr)); }
+// lazyckpt-lint: allow(determinism)
+static double noop_disable_direct() { return 0.0; }
+void sweep() {
+  lazyckpt::parallel_for(0, n, [&](std::size_t i) {
+    values[i] = wall_seed();
+  });
+}
+)";
+  const auto findings = lint_at("src/sim/sweep2.cpp", violating);
+  // Line 2 is flagged directly; the call inside the worker is flagged via
+  // indirection, naming the helper.
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[1].rule, lint::Rule::kDeterminism);
+  EXPECT_EQ(findings[1].line, 7);
+  EXPECT_NE(findings[1].message.find("via local function 'wall_seed'"),
+            std::string::npos);
+}
+
+TEST(LintDeterminismIndirection, CleanHelperAndOutsideCallsPass) {
+  const std::string clean = R"(
+static double pure(double x) { return x * 2.0; }
+void sweep() {
+  lazyckpt::parallel_for(0, n, [&](std::size_t i) {
+    values[i] = pure(values[i]);
+  });
+}
+)";
+  EXPECT_TRUE(lint_at("src/sim/sweep2.cpp", clean).empty());
+
+  // A tainted helper called *outside* any parallel region is only flagged
+  // at its own body, not at the call site.
+  const std::string outside = R"(
+static double wall_seed() { return static_cast<double>(time(nullptr)); }
+void serial() { double v = wall_seed(); }
+)";
+  const auto findings = lint_at("src/sim/serial.cpp", outside);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+// ---- include hygiene (include_graph.hpp) ---------------------------------
+
+lint::IncludeAnalyzer make_analyzer(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  lint::IncludeAnalyzer analyzer;
+  for (const auto& [label, text] : files) analyzer.add_file(label, text);
+  analyzer.finalize();
+  return analyzer;
+}
+
+TEST(LintIncludeGraph, FlagsUnusedDirectInclude) {
+  const auto analyzer = make_analyzer({
+      {"src/common/error.hpp",
+       "#pragma once\nnamespace lazyckpt {\n"
+       "inline void require(bool c, const char* m) { (void)c; (void)m; }\n"
+       "}\n"},
+      {"src/sim/thing.cpp",
+       "#include \"common/error.hpp\"\n#include <vector>\n"
+       "std::vector<int> v;\n"},
+  });
+  const auto issues = analyzer.analyze("src/sim/thing.cpp");
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].line, 1);
+  EXPECT_NE(issues[0].message.find("unused include \"common/error.hpp\""),
+            std::string::npos);
+}
+
+TEST(LintIncludeGraph, ReferencedSymbolJustifiesInclude) {
+  const auto analyzer = make_analyzer({
+      {"src/common/error.hpp",
+       "#pragma once\nnamespace lazyckpt {\n"
+       "inline void require(bool c, const char* m) { (void)c; (void)m; }\n"
+       "}\n"},
+      {"src/sim/thing.cpp",
+       "#include \"common/error.hpp\"\n"
+       "void f() { lazyckpt::require(true, \"x\"); }\n"},
+  });
+  EXPECT_TRUE(analyzer.analyze("src/sim/thing.cpp").empty());
+  // --explain names the justifying symbol.
+  const auto lines = analyzer.explain("src/sim/thing.cpp");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("justified by 'require'"), std::string::npos);
+}
+
+TEST(LintIncludeGraph, FlagsMissingDirectStdInclude) {
+  // thing.cpp says std::size_t but reaches <cstddef> only through a.hpp.
+  const auto analyzer = make_analyzer({
+      {"src/common/a.hpp", "#pragma once\n#include <cstddef>\n"
+                           "namespace lazyckpt { struct Blob {}; }\n"},
+      {"src/sim/thing.cpp",
+       "#include \"common/a.hpp\"\n"
+       "lazyckpt::Blob b; std::size_t n = 0;\n"},
+  });
+  const auto issues = analyzer.analyze("src/sim/thing.cpp");
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].message.find(
+                "missing direct include <cstddef> for 'std::size_t'"),
+            std::string::npos);
+  EXPECT_EQ(issues[0].symbol, "std::size_t");
+}
+
+TEST(LintIncludeGraph, FlagsMissingDirectRepoInclude) {
+  const auto analyzer = make_analyzer({
+      {"src/sim/metrics.hpp", "#pragma once\n"
+                              "namespace lazyckpt { struct RunMetrics {}; }\n"},
+      {"src/sim/agg.hpp",
+       "#pragma once\n#include \"sim/metrics.hpp\"\n"
+       "namespace lazyckpt { struct Agg {}; }\n"},
+      {"src/sim/thing.cpp",
+       "#include \"sim/agg.hpp\"\n"
+       "lazyckpt::Agg a; lazyckpt::RunMetrics m;\n"},
+  });
+  const auto issues = analyzer.analyze("src/sim/thing.cpp");
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].message.find(
+                "missing direct include \"sim/metrics.hpp\" for "
+                "'RunMetrics'"),
+            std::string::npos);
+}
+
+TEST(LintIncludeGraph, PrimaryHeaderIsAlwaysKept) {
+  const auto analyzer = make_analyzer({
+      {"src/sim/thing.hpp", "#pragma once\n"
+                            "namespace lazyckpt { struct Thing {}; }\n"},
+      {"src/sim/thing.cpp", "#include \"sim/thing.hpp\"\nint x = 0;\n"},
+  });
+  // Nothing from thing.hpp is referenced, but it is the primary header.
+  EXPECT_TRUE(analyzer.analyze("src/sim/thing.cpp").empty());
+}
+
+TEST(LintIncludeGraph, UnresolvedChainNeverIndicts) {
+  // <immintrin.h> is not in the std table: the include's contents are
+  // unknown, so it must never be reported unused.
+  const auto analyzer = make_analyzer({
+      {"src/sim/thing.cpp", "#include <immintrin.h>\nint x = 0;\n"},
+  });
+  EXPECT_TRUE(analyzer.analyze("src/sim/thing.cpp").empty());
+  const auto lines = analyzer.explain("src/sim/thing.cpp");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("not fully resolved"), std::string::npos);
+}
+
+TEST(LintIncludeGraph, SuppressionAppliesViaApplySuppressions) {
+  const std::string content =
+      "#include <vector>  // lazyckpt-lint: allow(include-hygiene)\n"
+      "int x = 0;\n";
+  std::vector<lint::Finding> findings{
+      {"src/sim/thing.cpp", 1, lint::Rule::kIncludeHygiene,
+       "unused include <vector>"}};
+  EXPECT_TRUE(lint::apply_suppressions(content, std::move(findings)).empty());
+}
+
+// ---- report formatting: text and JSON ------------------------------------
+
+TEST(LintReport, SortsByFileLineRule) {
+  std::vector<lint::Finding> findings{
+      {"src/b.cpp", 9, lint::Rule::kDeterminism, "m1"},
+      {"src/a.cpp", 12, lint::Rule::kFloatCompare, "m2"},
+      {"src/a.cpp", 3, lint::Rule::kUnorderedOutputOrder, "m3"},
+      {"src/a.cpp", 3, lint::Rule::kDeterminism, "m4"},
+  };
+  lint::sort_findings(&findings);
+  EXPECT_EQ(findings[0].message, "m4");  // determinism < unordered-...
+  EXPECT_EQ(findings[1].message, "m3");
+  EXPECT_EQ(findings[2].message, "m2");
+  EXPECT_EQ(findings[3].message, "m1");
+}
+
+TEST(LintReport, JsonMatchesTextFindings) {
+  std::vector<lint::Finding> findings{
+      {"src/a.cpp", 3, lint::Rule::kDeterminism, "banned \"thing\""},
+      {"src/b.cpp", 9, lint::Rule::kFloatCompareVar, "raw == between"},
+  };
+  const std::string json = lint::render_findings_json(findings);
+  // Deterministic shape: count first, findings sorted, trailing newline.
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+  // Every field of every text-form finding appears in the JSON, with
+  // string content escaped.
+  for (const auto& f : findings) {
+    const std::string text = lint::format_finding(f);
+    EXPECT_NE(text.find(f.file + ":" + std::to_string(f.line)),
+              std::string::npos);
+    EXPECT_NE(text.find(std::string("[") + std::string(lint::rule_id(f.rule)) +
+                        "]"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"file\": \"" + f.file + "\""), std::string::npos);
+    EXPECT_NE(json.find("\"rule\": \"" +
+                        std::string(lint::rule_id(f.rule)) + "\""),
+              std::string::npos);
+  }
+  EXPECT_NE(json.find("banned \\\"thing\\\""), std::string::npos);
+  // Same input renders byte-identically every time.
+  EXPECT_EQ(json, lint::render_findings_json(findings));
+}
+
+TEST(LintReport, JsonEmptyReportIsStable) {
+  const std::string json = lint::render_findings_json({});
+  EXPECT_NE(json.find("\"count\": 0"), std::string::npos);
+  EXPECT_EQ(json, lint::render_findings_json({}));
 }
 
 }  // namespace

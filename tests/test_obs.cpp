@@ -252,6 +252,84 @@ TEST_F(ObsTest, TraceToolRoundTripsRenderedOutput) {
   EXPECT_NEAR(stats[1].self_us, 2.5, 1e-9);
 }
 
+TEST_F(ObsTest, TraceToolDiffRoundTripsThroughRecorder) {
+  obs::FakeClock clock;
+  const obs::ScopedClockOverride override_scope(clock);
+  obs::set_enabled(true);
+
+  // Profile A: alpha spends 9 µs (6.5 self), beta 2.5 µs, gamma 1 µs.
+  clock.set_ns(1'000);
+  obs::record_begin("alpha");
+  clock.set_ns(4'000);
+  obs::record_begin("beta");
+  clock.set_ns(6'500);
+  obs::record_end("beta");
+  clock.set_ns(10'000);
+  obs::record_end("alpha");
+  clock.set_ns(10'000);
+  obs::record_begin("gamma");
+  clock.set_ns(11'000);
+  obs::record_end("gamma");
+  const tracetool::ParsedTrace trace_a =
+      tracetool::parse_trace(obs::render_chrome_trace(obs::drain_events()));
+
+  // Profile B: beta shrinks to 0.5 µs, gamma disappears, delta appears.
+  clock.set_ns(1'000);
+  obs::record_begin("alpha");
+  clock.set_ns(4'000);
+  obs::record_begin("beta");
+  clock.set_ns(4'500);
+  obs::record_end("beta");
+  clock.set_ns(10'000);
+  obs::record_end("alpha");
+  clock.set_ns(10'000);
+  obs::record_begin("delta");
+  clock.set_ns(10'200);
+  obs::record_end("delta");
+  const tracetool::ParsedTrace trace_b =
+      tracetool::parse_trace(obs::render_chrome_trace(obs::drain_events()));
+
+  const auto profile_a = tracetool::summarize(trace_a);
+  const auto profile_b = tracetool::summarize(trace_b);
+  const auto deltas = tracetool::diff_profiles(profile_a, profile_b);
+  ASSERT_EQ(deltas.size(), 4u);
+
+  // Sorted by |delta| descending, then name.  alpha: self 6.5 -> 8.5 µs.
+  EXPECT_EQ(deltas[0].name, "alpha");
+  EXPECT_NEAR(deltas[0].delta_us(), 2.0, 1e-9);
+  // beta: 2.5 -> 0.5 µs.
+  EXPECT_EQ(deltas[1].name, "beta");
+  EXPECT_NEAR(deltas[1].delta_us(), -2.0, 1e-9);
+  // gamma removed (1 -> 0), delta added (0 -> 0.2); |1.0| > |0.2|.
+  EXPECT_EQ(deltas[2].name, "gamma");
+  EXPECT_EQ(deltas[2].count_a, 1u);
+  EXPECT_EQ(deltas[2].count_b, 0u);
+  EXPECT_NEAR(deltas[2].delta_us(), -1.0, 1e-9);
+  EXPECT_EQ(deltas[3].name, "delta");
+  EXPECT_EQ(deltas[3].count_a, 0u);
+  EXPECT_EQ(deltas[3].count_b, 1u);
+  EXPECT_NEAR(deltas[3].delta_us(), 0.2, 1e-9);
+
+  // diff(b, a) is the exact negation, in the same order.
+  const auto reversed = tracetool::diff_profiles(profile_b, profile_a);
+  ASSERT_EQ(reversed.size(), deltas.size());
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    EXPECT_EQ(reversed[i].name, deltas[i].name);
+    EXPECT_NEAR(reversed[i].delta_us(), -deltas[i].delta_us(), 1e-9);
+    EXPECT_EQ(reversed[i].count_a, deltas[i].count_b);
+    EXPECT_EQ(reversed[i].count_b, deltas[i].count_a);
+  }
+
+  // Rendering is deterministic and truncates past top_n with a footer.
+  const std::string table = tracetool::render_diff(deltas, 10);
+  EXPECT_EQ(table, tracetool::render_diff(deltas, 10));
+  EXPECT_NE(table.find("alpha"), std::string::npos);
+  EXPECT_NE(table.find("+"), std::string::npos);
+  const std::string truncated = tracetool::render_diff(deltas, 2);
+  EXPECT_NE(truncated.find("2 more span name(s)"), std::string::npos);
+  EXPECT_EQ(truncated.find("gamma"), std::string::npos);
+}
+
 // ---- observe, never perturb ---------------------------------------------
 
 sim::RunMetrics run_reference_sim() {

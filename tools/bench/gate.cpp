@@ -1,7 +1,6 @@
 #include "gate.hpp"
 
 #include <cctype>
-#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>

@@ -1,0 +1,702 @@
+#include "include_graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "lexer.hpp"
+
+namespace lazyckpt::lint {
+
+namespace {
+
+/// Curated symbol table for the standard headers this repo draws on.
+/// Symbols are unqualified spellings; a symbol may have several homes
+/// (std::abs, std::remove, ...).  Headers absent from this table are never
+/// indicted and never demanded.
+const std::map<std::string, std::vector<std::string>>& std_symbol_table() {
+  static const std::map<std::string, std::vector<std::string>> kTable = {
+      {"algorithm",
+       {"all_of", "any_of", "binary_search", "clamp", "copy", "copy_if",
+        "count", "count_if", "equal", "fill", "fill_n", "find", "find_if",
+        "for_each", "generate", "lower_bound", "max", "max_element",
+        "merge", "min", "min_element", "minmax", "minmax_element",
+        "mismatch", "none_of", "nth_element", "partial_sort", "partition",
+        "remove", "remove_if", "reverse", "rotate", "search", "shuffle",
+        "sort", "stable_sort", "swap_ranges", "transform", "unique",
+        "upper_bound"}},
+      {"array", {"array", "to_array"}},
+      {"atomic",
+       {"atomic", "atomic_flag", "atomic_thread_fence", "memory_order",
+        "memory_order_acq_rel", "memory_order_acquire",
+        "memory_order_relaxed", "memory_order_release",
+        "memory_order_seq_cst"}},
+      {"bit",
+       {"bit_cast", "bit_ceil", "countl_zero", "countr_zero",
+        "has_single_bit", "popcount", "rotl", "rotr"}},
+      {"cassert", {"assert"}},
+      {"cctype",
+       {"isalnum", "isalpha", "isdigit", "islower", "isprint", "ispunct",
+        "isspace", "isupper", "isxdigit", "tolower", "toupper"}},
+      {"cerrno", {"EDOM", "EINVAL", "ERANGE", "errno"}},
+      {"cfloat",
+       {"DBL_EPSILON", "DBL_MAX", "DBL_MIN", "FLT_EPSILON", "FLT_MAX",
+        "FLT_MIN", "LDBL_EPSILON"}},
+      {"charconv",
+       {"chars_format", "from_chars", "from_chars_result", "to_chars",
+        "to_chars_result"}},
+      {"chrono", {"chrono"}},
+      {"climits",
+       {"CHAR_BIT", "INT_MAX", "INT_MIN", "LLONG_MAX", "LLONG_MIN",
+        "LONG_MAX", "LONG_MIN", "UINT_MAX", "ULLONG_MAX", "ULONG_MAX"}},
+      {"cmath",
+       {"HUGE_VAL", "INFINITY", "NAN", "abs", "acos", "asin", "atan",
+        "atan2", "cbrt", "ceil", "copysign", "cos", "cosh", "erf", "erfc",
+        "exp", "exp2", "expm1", "fabs", "floor", "fma", "fmax", "fmin",
+        "fmod", "frexp", "hypot", "isfinite", "isinf", "isnan", "ldexp",
+        "lgamma", "llround", "log", "log10", "log1p", "log2", "lround",
+        "modf", "nextafter", "pow", "round", "sin", "sinh", "sqrt", "tan",
+        "tanh", "tgamma", "trunc"}},
+      {"compare",
+       {"partial_ordering", "strong_ordering", "weak_ordering"}},
+      {"condition_variable", {"condition_variable", "cv_status"}},
+      {"csignal", {"SIGABRT", "SIGINT", "SIGTERM", "raise", "signal"}},
+      {"cstddef",
+       {"NULL", "byte", "max_align_t", "nullptr_t", "offsetof",
+        "ptrdiff_t", "size_t"}},
+      {"cstdint",
+       {"INT16_MAX", "INT32_MAX", "INT32_MIN", "INT64_C", "INT64_MAX",
+        "INT64_MIN", "INT8_MAX", "INTMAX_MAX", "SIZE_MAX", "UINT16_MAX",
+        "UINT32_C", "UINT32_MAX", "UINT64_C", "UINT64_MAX", "UINT8_MAX",
+        "int16_t", "int32_t", "int64_t", "int8_t", "int_fast32_t",
+        "int_fast64_t", "intmax_t", "intptr_t", "uint16_t", "uint32_t",
+        "uint64_t", "uint8_t", "uint_fast32_t", "uint_fast64_t",
+        "uintmax_t", "uintptr_t"}},
+      {"cstdio",
+       {"EOF", "FILE", "clearerr", "fclose", "feof", "ferror", "fflush",
+        "fgetc", "fgets", "fopen", "fprintf", "fputc", "fputs", "fread",
+        "freopen", "fscanf", "fseek", "ftell", "fwrite", "getchar",
+        "perror", "printf", "putchar", "puts", "remove", "rename",
+        "rewind", "setvbuf", "snprintf", "sprintf", "sscanf", "stderr",
+        "stdin", "stdout", "tmpfile", "ungetc", "vsnprintf"}},
+      {"cstdlib",
+       {"EXIT_FAILURE", "EXIT_SUCCESS", "RAND_MAX", "_Exit", "abort",
+        "abs", "atexit", "atof", "atoi", "atol", "bsearch", "calloc",
+        "div", "exit", "free", "getenv", "labs", "llabs", "malloc",
+        "qsort", "quick_exit", "rand", "realloc", "srand", "strtod",
+        "strtof", "strtol", "strtoll", "strtoul", "strtoull", "system"}},
+      {"cstring",
+       {"memchr", "memcmp", "memcpy", "memmove", "memset", "strcat",
+        "strchr", "strcmp", "strcpy", "strerror", "strlen", "strncat",
+        "strncmp", "strncpy", "strrchr", "strstr", "strtok"}},
+      {"ctime",
+       {"CLOCKS_PER_SEC", "clock", "clock_t", "difftime", "gmtime",
+        "localtime", "mktime", "strftime", "time", "time_t", "tm"}},
+      {"exception",
+       {"current_exception", "exception", "exception_ptr",
+        "rethrow_exception", "set_terminate", "terminate",
+        "uncaught_exceptions"}},
+      {"filesystem", {"filesystem"}},
+      {"fstream", {"filebuf", "fstream", "ifstream", "ofstream"}},
+      {"functional",
+       {"bind", "cref", "equal_to", "function", "greater", "hash",
+        "invoke", "less", "multiplies", "plus", "ref",
+        "reference_wrapper"}},
+      {"initializer_list", {"initializer_list"}},
+      {"iomanip",
+       {"quoted", "setfill", "setprecision", "setw"}},
+      {"iostream", {"cerr", "cin", "clog", "cout"}},
+      {"istream", {"istream", "ws"}},
+      {"iterator",
+       {"advance", "back_insert_iterator", "back_inserter", "distance",
+        "inserter", "istream_iterator", "next", "ostream_iterator",
+        "prev"}},
+      {"limits", {"numeric_limits"}},
+      {"list", {"list"}},
+      {"map", {"map", "multimap"}},
+      {"memory",
+       {"addressof", "make_shared", "make_unique", "shared_ptr",
+        "unique_ptr", "weak_ptr"}},
+      {"mutex",
+       {"call_once", "defer_lock", "lock_guard", "mutex", "once_flag",
+        "recursive_mutex", "scoped_lock", "timed_mutex", "unique_lock"}},
+      {"new", {"bad_alloc", "launder", "nothrow"}},
+      {"numeric",
+       {"accumulate", "gcd", "inner_product", "iota", "lcm", "midpoint",
+        "partial_sum", "reduce"}},
+      {"optional",
+       {"bad_optional_access", "make_optional", "nullopt", "nullopt_t",
+        "optional"}},
+      {"ostream", {"endl", "flush", "ostream"}},
+      {"random",
+       {"exponential_distribution", "mt19937", "mt19937_64",
+        "normal_distribution", "poisson_distribution", "random_device",
+        "seed_seq", "uniform_int_distribution",
+        "uniform_real_distribution", "weibull_distribution"}},
+      {"set", {"multiset", "set"}},
+      {"span", {"dynamic_extent", "span"}},
+      {"sstream",
+       {"istringstream", "ostringstream", "stringbuf", "stringstream"}},
+      {"stdexcept",
+       {"domain_error", "invalid_argument", "length_error", "logic_error",
+        "out_of_range", "overflow_error", "range_error", "runtime_error",
+        "underflow_error"}},
+      {"string",
+       {"char_traits", "getline", "stod", "stof", "stoi", "stol",
+        "stoll", "stoul", "stoull", "string", "to_string"}},
+      {"string_view", {"string_view"}},
+      {"system_error",
+       {"errc", "error_category", "error_code", "error_condition",
+        "generic_category", "make_error_code", "system_category",
+        "system_error"}},
+      {"thread", {"jthread", "this_thread", "thread"}},
+      {"tuple",
+       {"apply", "make_tuple", "tie", "tuple", "tuple_size"}},
+      {"type_traits",
+       {"common_type_t", "conditional_t", "decay", "decay_t", "enable_if",
+        "enable_if_t", "false_type", "invoke_result_t", "is_arithmetic_v",
+        "is_base_of_v", "is_convertible_v", "is_enum_v",
+        "is_floating_point", "is_floating_point_v", "is_integral",
+        "is_integral_v", "is_pointer_v", "is_same", "is_same_v",
+        "is_signed_v", "is_trivially_copyable",
+        "is_trivially_copyable_v", "is_unsigned_v", "make_signed_t",
+        "make_unsigned_t", "remove_cv_t", "remove_cvref_t",
+        "remove_reference", "remove_reference_t", "true_type",
+        "underlying_type_t", "void_t"}},
+      {"unordered_map", {"unordered_map", "unordered_multimap"}},
+      {"unordered_set", {"unordered_multiset", "unordered_set"}},
+      {"utility",
+       {"declval", "exchange", "forward", "in_place", "make_pair",
+        "move", "pair", "piecewise_construct", "swap"}},
+      {"variant",
+       {"get_if", "holds_alternative", "monostate", "variant", "visit"}},
+      {"vector", {"vector"}},
+  };
+  return kTable;
+}
+
+bool is_header_label(std::string_view label) {
+  const auto dot = label.rfind('.');
+  if (dot == std::string_view::npos) return false;
+  const std::string_view ext = label.substr(dot);
+  return ext == ".hpp" || ext == ".h" || ext == ".hh" || ext == ".hxx";
+}
+
+/// "src/common/fp.hpp" -> "fp"
+std::string stem_of(std::string_view label) {
+  const auto slash = label.rfind('/');
+  std::string_view base =
+      slash == std::string_view::npos ? label : label.substr(slash + 1);
+  const auto dot = base.rfind('.');
+  if (dot != std::string_view::npos) base = base.substr(0, dot);
+  return std::string(base);
+}
+
+std::string dir_of(std::string_view label) {
+  const auto slash = label.rfind('/');
+  return slash == std::string_view::npos ? std::string()
+                                         : std::string(label.substr(0, slash));
+}
+
+struct DirectInclude {
+  std::string spelling;  ///< as written, without quotes/angles
+  int line = 0;
+  bool is_system = false;  ///< <...> form
+  std::string repo_target;  ///< resolved repo label, empty if not a repo file
+};
+
+struct FileInfo {
+  bool is_header = false;
+  std::vector<DirectInclude> includes;
+  /// Every identifier spelled in the file, with its first-use line.
+  std::map<std::string, int> idents;
+  /// Identifiers appearing as `std::X`, with first-use line.
+  std::map<std::string, int> std_qualified;
+  /// Namespace-scope declarations (headers only).
+  std::set<std::string> provides;
+};
+
+}  // namespace
+
+struct IncludeAnalyzer::Impl {
+  std::map<std::string, FileInfo> files;
+  /// Repo symbol -> set of header labels providing it.
+  std::map<std::string, std::set<std::string>> repo_symbol_homes;
+  /// Std symbol -> set of std header names providing it.
+  std::map<std::string, std::set<std::string>> std_symbol_homes;
+  /// Per file: every repo label reachable through includes (inclusive of
+  /// the file itself) and every std header reachable.
+  std::map<std::string, std::set<std::string>> repo_closure;
+  std::map<std::string, std::set<std::string>> std_closure;
+  /// Repo files whose include chain touches a header we could not resolve
+  /// (unknown system header or missing repo file): their closures are
+  /// incomplete, so nothing reached through them may be indicted.
+  std::map<std::string, bool> closure_complete;
+  bool finalized = false;
+
+  void ingest(const std::string& label, std::string_view content);
+  void compute_closures();
+  /// Closure of a single include target (repo label or std header name).
+  void closure_of_target(const DirectInclude& inc,
+                         std::set<std::string>* repo,
+                         std::set<std::string>* std_headers,
+                         bool* complete) const;
+  /// First symbol (lexicographically) that justifies keeping `inc` in
+  /// `info`, or empty if nothing does.  `complete` reports whether the
+  /// include's closure was fully resolved.
+  std::string justification(const FileInfo& info, const DirectInclude& inc,
+                            bool* complete) const;
+};
+
+IncludeAnalyzer::IncludeAnalyzer() : impl_(new Impl) {}
+IncludeAnalyzer::~IncludeAnalyzer() { delete impl_; }
+IncludeAnalyzer::IncludeAnalyzer(IncludeAnalyzer&& other) noexcept
+    : impl_(other.impl_) {
+  other.impl_ = nullptr;
+}
+IncludeAnalyzer& IncludeAnalyzer::operator=(
+    IncludeAnalyzer&& other) noexcept {
+  if (this != &other) {
+    delete impl_;
+    impl_ = other.impl_;
+    other.impl_ = nullptr;
+  }
+  return *this;
+}
+
+void IncludeAnalyzer::Impl::ingest(const std::string& label,
+                                   std::string_view content) {
+  FileInfo info;
+  info.is_header = is_header_label(label);
+
+  const TokenStream ts = lex(content);
+  const auto& toks = ts.tokens;
+
+  // --- includes and identifier uses -------------------------------------
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokenKind::kComment) continue;
+    if (t.in_pp && t.kind == TokenKind::kIdentifier &&
+        t.spelling == "include" && i + 1 < toks.size()) {
+      const Token& arg = toks[i + 1];
+      DirectInclude inc;
+      inc.line = arg.line;
+      if (arg.kind == TokenKind::kHeaderName && arg.spelling.size() >= 2) {
+        inc.is_system = true;
+        inc.spelling = arg.spelling.substr(1, arg.spelling.size() - 2);
+      } else if (arg.kind == TokenKind::kString &&
+                 arg.spelling.size() >= 2 && arg.spelling.front() == '"') {
+        inc.is_system = false;
+        inc.spelling = arg.spelling.substr(1, arg.spelling.size() - 2);
+      } else {
+        continue;  // computed include — unresolvable, ignore
+      }
+      info.includes.push_back(std::move(inc));
+      ++i;  // the argument token is not an identifier use
+      continue;
+    }
+    if (t.kind != TokenKind::kIdentifier) continue;
+    info.idents.emplace(t.spelling, t.line);  // keeps the first line
+    if (i >= 2 && toks[i - 1].kind == TokenKind::kPunct &&
+        toks[i - 1].spelling == "::" &&
+        toks[i - 2].kind == TokenKind::kIdentifier &&
+        toks[i - 2].spelling == "std") {
+      info.std_qualified.emplace(t.spelling, t.line);
+    }
+  }
+
+  // --- namespace-scope declarations (headers only) ----------------------
+  if (info.is_header) {
+    std::vector<std::size_t> code;
+    code.reserve(toks.size());
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokenKind::kComment) code.push_back(i);
+    }
+    const auto sp = [&](std::size_t ci) -> std::string_view {
+      return ci < code.size() ? std::string_view(toks[code[ci]].spelling)
+                              : std::string_view();
+    };
+    const auto is_ident = [&](std::size_t ci) {
+      return ci < code.size() &&
+             toks[code[ci]].kind == TokenKind::kIdentifier &&
+             !is_keyword(toks[code[ci]].spelling);
+    };
+
+    // Brace stack: true = namespace/extern brace (its contents stay at
+    // "namespace scope"), false = class/function/initializer brace.
+    std::vector<bool> braces;
+    std::size_t stmt_start = 0;
+    for (std::size_t ci = 0; ci < code.size(); ++ci) {
+      const Token& t = toks[code[ci]];
+      const std::string_view s = t.spelling;
+      if (t.in_pp) {
+        // #define NAME provides a macro.
+        if (t.kind == TokenKind::kIdentifier && s == "define" &&
+            is_ident(ci + 1)) {
+          info.provides.insert(std::string(sp(ci + 1)));
+        }
+        // A directive terminates any statement in progress; without this,
+        // `#pragma once` at the top of a header would be mistaken for the
+        // start of the first statement and `namespace ... {` would be
+        // classified as a non-namespace brace.
+        stmt_start = ci + 1;
+        continue;
+      }
+      if (t.kind == TokenKind::kPunct) {
+        if (s == "{") {
+          braces.push_back(sp(stmt_start) == "namespace" ||
+                           sp(stmt_start) == "extern");
+          stmt_start = ci + 1;
+        } else if (s == "}") {
+          if (!braces.empty()) braces.pop_back();
+          stmt_start = ci + 1;
+        } else if (s == ";") {
+          stmt_start = ci + 1;
+        }
+        continue;
+      }
+      const bool at_namespace_scope =
+          std::all_of(braces.begin(), braces.end(), [](bool b) { return b; });
+      if (!at_namespace_scope || t.kind != TokenKind::kIdentifier) continue;
+
+      if (s == "struct" || s == "class" || s == "enum" ||
+          s == "union" || s == "concept") {
+        std::size_t j = ci + 1;
+        while (sp(j) == "class" || sp(j) == "struct" ||
+               sp(j) == "alignas" || sp(j) == "[[") {
+          ++j;
+        }
+        if (is_ident(j)) info.provides.insert(std::string(sp(j)));
+        continue;
+      }
+      if (s == "using" && is_ident(ci + 1) && sp(ci + 2) == "=") {
+        info.provides.insert(std::string(sp(ci + 1)));
+        continue;
+      }
+      if (is_keyword(s)) continue;
+      // Function declaration `... name(...)` or constant `... name = ...`:
+      // the name must be preceded by something type-ish, which excludes
+      // expression contexts (calls follow '(', '=', ',', operators).
+      if (ci > 0 && is_ident(ci)) {
+        const Token& prev = toks[code[ci - 1]];
+        const bool type_ish_prev =
+            (prev.kind == TokenKind::kIdentifier &&
+             (!is_keyword(prev.spelling) || is_type_keyword(prev.spelling) ||
+              prev.spelling == "auto" || prev.spelling == "constexpr" ||
+              prev.spelling == "const" || prev.spelling == "inline")) ||
+            (prev.kind == TokenKind::kPunct &&
+             (prev.spelling == ">" || prev.spelling == "&" ||
+              prev.spelling == "*" || prev.spelling == "::"));
+        const std::string_view next = sp(ci + 1);
+        if (type_ish_prev && (next == "(" || next == "=" || next == "{" ||
+                              next == ";")) {
+          info.provides.insert(std::string(s));
+        }
+      }
+    }
+    // A header never "provides" names it only uses from elsewhere; but the
+    // extraction above can only add identifiers physically present in the
+    // file, so nothing to subtract.
+  }
+
+  files[label] = std::move(info);
+}
+
+void IncludeAnalyzer::add_file(const std::string& label,
+                               std::string_view content) {
+  impl_->ingest(label, content);
+  impl_->finalized = false;
+}
+
+void IncludeAnalyzer::Impl::compute_closures() {
+  // Resolve quoted includes: against src/, then the includer's directory.
+  for (auto& [label, info] : files) {
+    const std::string dir = dir_of(label);
+    for (auto& inc : info.includes) {
+      if (inc.is_system) continue;
+      const std::string src_rel = "src/" + inc.spelling;
+      const std::string dir_rel =
+          dir.empty() ? inc.spelling : dir + "/" + inc.spelling;
+      if (files.count(src_rel) != 0) {
+        inc.repo_target = src_rel;
+      } else if (files.count(dir_rel) != 0) {
+        inc.repo_target = dir_rel;
+      }
+    }
+  }
+
+  // Symbol indices.
+  repo_symbol_homes.clear();
+  for (const auto& [label, info] : files) {
+    if (!info.is_header) continue;
+    for (const auto& sym : info.provides) {
+      repo_symbol_homes[sym].insert(label);
+    }
+  }
+  std_symbol_homes.clear();
+  for (const auto& [header, syms] : std_symbol_table()) {
+    for (const auto& sym : syms) std_symbol_homes[sym].insert(header);
+  }
+
+  // Per-file reachability (BFS; include guards make cycles harmless).
+  repo_closure.clear();
+  std_closure.clear();
+  closure_complete.clear();
+  for (const auto& [label, info] : files) {
+    std::set<std::string>& repo = repo_closure[label];
+    std::set<std::string>& stdh = std_closure[label];
+    bool complete = true;
+    std::vector<std::string> queue{label};
+    repo.insert(label);
+    while (!queue.empty()) {
+      const std::string cur = std::move(queue.back());
+      queue.pop_back();
+      const auto it = files.find(cur);
+      if (it == files.end()) continue;
+      for (const auto& inc : it->second.includes) {
+        if (inc.is_system) {
+          if (std_symbol_table().count(inc.spelling) != 0) {
+            stdh.insert(inc.spelling);
+          } else {
+            complete = false;  // <immintrin.h> etc: contents unknown
+          }
+          continue;
+        }
+        if (inc.repo_target.empty()) {
+          complete = false;  // quoted include outside the loaded file set
+          continue;
+        }
+        if (repo.insert(inc.repo_target).second) {
+          queue.push_back(inc.repo_target);
+        }
+      }
+    }
+    closure_complete[label] = complete;
+  }
+  finalized = true;
+}
+
+void IncludeAnalyzer::finalize() { impl_->compute_closures(); }
+
+void IncludeAnalyzer::Impl::closure_of_target(
+    const DirectInclude& inc, std::set<std::string>* repo,
+    std::set<std::string>* std_headers, bool* complete) const {
+  *complete = true;
+  if (inc.is_system) {
+    if (std_symbol_table().count(inc.spelling) != 0) {
+      std_headers->insert(inc.spelling);
+    } else {
+      *complete = false;
+    }
+    return;
+  }
+  if (inc.repo_target.empty()) {
+    *complete = false;
+    return;
+  }
+  const auto rc = repo_closure.find(inc.repo_target);
+  const auto sc = std_closure.find(inc.repo_target);
+  if (rc != repo_closure.end()) {
+    repo->insert(rc->second.begin(), rc->second.end());
+  }
+  if (sc != std_closure.end()) {
+    std_headers->insert(sc->second.begin(), sc->second.end());
+  }
+  const auto cc = closure_complete.find(inc.repo_target);
+  if (cc == closure_complete.end() || !cc->second) *complete = false;
+  // Transitive chains through headers we also failed to resolve taint the
+  // whole include: never indict what we cannot fully see.
+}
+
+std::string IncludeAnalyzer::Impl::justification(
+    const FileInfo& info, const DirectInclude& inc, bool* complete) const {
+  std::set<std::string> repo;
+  std::set<std::string> stdh;
+  closure_of_target(inc, &repo, &stdh, complete);
+  // Collect every symbol the include makes visible, then return the
+  // lexicographically first one the file actually references —
+  // deterministic and stable across runs.
+  for (const std::string& header : repo) {
+    const auto it = files.find(header);
+    if (it == files.end()) continue;
+    for (const auto& sym : it->second.provides) {
+      if (info.idents.count(sym) != 0) return sym;
+    }
+  }
+  const auto& table = std_symbol_table();
+  for (const std::string& header : stdh) {
+    const auto it = table.find(header);
+    if (it == table.end()) continue;
+    for (const auto& sym : it->second) {
+      if (info.idents.count(sym) != 0) return sym;
+    }
+  }
+  return std::string();
+}
+
+std::vector<IncludeIssue> IncludeAnalyzer::analyze(
+    const std::string& label) const {
+  std::vector<IncludeIssue> out;
+  if (!impl_->finalized) impl_->compute_closures();
+  const auto it = impl_->files.find(label);
+  if (it == impl_->files.end()) return out;
+  const FileInfo& info = it->second;
+  const std::string stem = stem_of(label);
+
+  // --- unused direct includes -------------------------------------------
+  for (const auto& inc : info.includes) {
+    if (!inc.is_system && !inc.repo_target.empty() &&
+        stem_of(inc.repo_target) == stem && inc.repo_target != label) {
+      continue;  // primary header: a .cpp always keeps its own header
+    }
+    bool complete = true;
+    const std::string sym = impl_->justification(info, inc, &complete);
+    if (!sym.empty() || !complete) continue;
+    const std::string shown = inc.is_system ? "<" + inc.spelling + ">"
+                                            : "\"" + inc.spelling + "\"";
+    out.push_back(IncludeIssue{
+        inc.line,
+        "unused include " + shown +
+            ": nothing it provides is referenced in this file",
+        std::string()});
+  }
+
+  // --- missing direct std includes --------------------------------------
+  const auto directly_includes_std = [&](const std::string& header) {
+    for (const auto& inc : info.includes) {
+      if (inc.is_system && inc.spelling == header) return true;
+    }
+    return false;
+  };
+  const auto reachable_std = impl_->std_closure.find(label);
+  for (const auto& [sym, line] : info.std_qualified) {
+    const auto homes = impl_->std_symbol_homes.find(sym);
+    if (homes == impl_->std_symbol_homes.end()) continue;
+    bool direct = false;
+    bool transitive = false;
+    std::string home_shown;
+    for (const auto& home : homes->second) {
+      if (directly_includes_std(home)) {
+        direct = true;
+        break;
+      }
+      if (reachable_std != impl_->std_closure.end() &&
+          reachable_std->second.count(home) != 0) {
+        transitive = true;
+        if (home_shown.empty()) home_shown = home;
+      }
+    }
+    if (direct || !transitive) continue;
+    // Primary-header exemption: the .cpp may rely on its own header.
+    bool via_primary = false;
+    for (const auto& inc : info.includes) {
+      if (inc.is_system || inc.repo_target.empty()) continue;
+      if (stem_of(inc.repo_target) != stem) continue;
+      const auto sc = impl_->std_closure.find(inc.repo_target);
+      if (sc != impl_->std_closure.end() &&
+          sc->second.count(home_shown) != 0) {
+        via_primary = true;
+        break;
+      }
+    }
+    if (via_primary) continue;
+    out.push_back(IncludeIssue{
+        line,
+        "missing direct include <" + home_shown + "> for 'std::" + sym +
+            "': the symbol is only reached transitively",
+        "std::" + sym});
+  }
+
+  // --- missing direct repo includes -------------------------------------
+  const auto reachable_repo = impl_->repo_closure.find(label);
+  for (const auto& [sym, line] : info.idents) {
+    // Type-like repo symbols only (UpperCamel), single unambiguous home.
+    if (sym.empty() || sym[0] < 'A' || sym[0] > 'Z') continue;
+    if (info.provides.count(sym) != 0) continue;  // our own declaration
+    const auto homes = impl_->repo_symbol_homes.find(sym);
+    if (homes == impl_->repo_symbol_homes.end() ||
+        homes->second.size() != 1) {
+      continue;
+    }
+    const std::string& home = *homes->second.begin();
+    if (home == label) continue;
+    bool direct = false;
+    for (const auto& inc : info.includes) {
+      if (inc.repo_target == home) {
+        direct = true;
+        break;
+      }
+    }
+    if (direct) continue;
+    if (reachable_repo == impl_->repo_closure.end() ||
+        reachable_repo->second.count(home) == 0) {
+      continue;  // not reachable at all — a different `sym`, stay silent
+    }
+    if (stem_of(home) == stem) continue;  // primary header itself
+    bool via_primary = false;
+    for (const auto& inc : info.includes) {
+      if (inc.is_system || inc.repo_target.empty()) continue;
+      if (stem_of(inc.repo_target) != stem) continue;
+      const auto rc = impl_->repo_closure.find(inc.repo_target);
+      if (rc != impl_->repo_closure.end() &&
+          rc->second.count(home) != 0) {
+        via_primary = true;
+        break;
+      }
+    }
+    if (via_primary) continue;
+    // Show the include path the file would write (strip the src/ prefix
+    // quoted includes resolve against).
+    const std::string shown =
+        home.rfind("src/", 0) == 0 ? home.substr(4) : home;
+    out.push_back(IncludeIssue{
+        line,
+        "missing direct include \"" + shown + "\" for '" + sym +
+            "': the symbol is only reached transitively",
+        sym});
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const IncludeIssue& a, const IncludeIssue& b) {
+              return a.line != b.line ? a.line < b.line
+                                      : a.message < b.message;
+            });
+  return out;
+}
+
+std::vector<std::string> IncludeAnalyzer::explain(
+    const std::string& label) const {
+  std::vector<std::string> out;
+  if (!impl_->finalized) impl_->compute_closures();
+  const auto it = impl_->files.find(label);
+  if (it == impl_->files.end()) return out;
+  const FileInfo& info = it->second;
+  const std::string stem = stem_of(label);
+  for (const auto& inc : info.includes) {
+    const std::string shown = inc.is_system ? "<" + inc.spelling + ">"
+                                            : "\"" + inc.spelling + "\"";
+    if (!inc.is_system && !inc.repo_target.empty() &&
+        stem_of(inc.repo_target) == stem && inc.repo_target != label) {
+      out.push_back(shown + " — primary header (always kept)");
+      continue;
+    }
+    bool complete = true;
+    const std::string sym = impl_->justification(info, inc, &complete);
+    if (!sym.empty()) {
+      out.push_back(shown + " — justified by '" + sym + "'");
+    } else if (!complete) {
+      out.push_back(shown + " — kept: include chain not fully resolved");
+    } else {
+      out.push_back(shown + " — unused: nothing it provides is referenced");
+    }
+  }
+  for (const auto& issue : analyze(label)) {
+    if (!issue.symbol.empty()) {
+      out.push_back("missing — " + issue.message);
+    }
+  }
+  return out;
+}
+
+}  // namespace lazyckpt::lint

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file include_graph.hpp
+/// \brief Repo-wide include graph and include-what-you-use analysis for
+/// lazyckpt-lint (DESIGN.md §5j, rule `include-hygiene`).
+///
+/// The analyzer ingests every source file once (`add_file`), builds
+///
+///   - a directed include graph over repo files (quoted includes resolve
+///     against `src/` and against the including file's directory, matching
+///     the build's -I layout);
+///   - a symbol→header index from two sources: declarations extracted from
+///     repo headers (types, functions, constants, aliases, macros at
+///     namespace scope) and a curated table of the standard headers this
+///     codebase uses;
+///
+/// and then answers, per file:
+///
+///   - **unused direct includes** — nothing reachable through the include
+///     (its own declarations or anything it transitively drags in) is
+///     referenced in the file.  Removal is therefore guaranteed to be
+///     compile-safe, which is the precision contract: an include is only
+///     indicted when every header in its closure is fully resolved;
+///   - **missing direct includes** — a symbol is used but its home header
+///     is only reached transitively through some other include.  For std
+///     symbols this requires an explicit `std::` qualification at the use
+///     site; for repo symbols it is restricted to type-like names with a
+///     single unambiguous provider.  A `.cpp` may rely on its primary
+///     header (same stem) — the conventional IWYU exemption.
+///
+/// Anything the analyzer cannot resolve (unknown system headers, macros it
+/// cannot see through) degrades to silence, never to a false indictment.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lazyckpt::lint {
+
+/// One include-hygiene problem in a file.  `symbol` is the indicting
+/// (missing-direct) symbol, or empty for an unused include.
+struct IncludeIssue {
+  int line = 0;
+  std::string message;
+  std::string symbol;
+};
+
+class IncludeAnalyzer {
+ public:
+  IncludeAnalyzer();
+  ~IncludeAnalyzer();
+  IncludeAnalyzer(IncludeAnalyzer&&) noexcept;
+  IncludeAnalyzer& operator=(IncludeAnalyzer&&) noexcept;
+
+  /// Register a file under its repo-relative label ("src/common/fp.hpp").
+  /// Every file that may appear in an include chain should be added, not
+  /// just the files being linted.
+  void add_file(const std::string& label, std::string_view content);
+
+  /// Resolve includes and build the symbol index.  Call once, after the
+  /// last add_file and before the first analyze/explain.
+  void finalize();
+
+  /// Include-hygiene issues for one previously added file, sorted by
+  /// (line, message).
+  [[nodiscard]] std::vector<IncludeIssue> analyze(
+      const std::string& label) const;
+
+  /// Human-readable justification for every direct include of `label`:
+  /// which symbol keeps it, or why it is indicted.  One line per include,
+  /// in directive order (the --explain output).
+  [[nodiscard]] std::vector<std::string> explain(
+      const std::string& label) const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace lazyckpt::lint

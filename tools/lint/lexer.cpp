@@ -1,0 +1,502 @@
+#include "lexer.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace lazyckpt::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_digit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+/// Encoding prefixes that may precede a string/char literal.  An "R" tail
+/// additionally marks a raw string.
+bool is_string_prefix(std::string_view s) {
+  return s == "u8" || s == "u" || s == "U" || s == "L";
+}
+
+bool is_raw_string_prefix(std::string_view s) {
+  return s == "R" || s == "u8R" || s == "uR" || s == "UR" || s == "LR";
+}
+
+constexpr std::array<std::string_view, 5> kPunct3 = {
+    "<<=", ">>=", "->*", "...", "<=>"};
+
+constexpr std::array<std::string_view, 19> kPunct2 = {
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|="};
+
+// "^=" and "##" are rare enough to list separately without growing the
+// array type above.
+constexpr std::array<std::string_view, 2> kPunct2b = {"^=", "##"};
+
+constexpr std::array<std::string_view, 88> kKeywords = {
+    "alignas",      "alignof",      "and",           "and_eq",
+    "asm",          "auto",         "bitand",        "bitor",
+    "bool",         "break",        "case",          "catch",
+    "char",         "char16_t",     "char32_t",      "char8_t",
+    "class",        "co_await",     "co_return",     "co_yield",
+    "compl",        "concept",      "const",         "const_cast",
+    "consteval",    "constexpr",    "constinit",     "continue",
+    "decltype",     "default",      "delete",        "do",
+    "double",       "dynamic_cast", "else",          "enum",
+    "explicit",     "export",       "extern",        "false",
+    "float",        "for",          "friend",        "goto",
+    "if",           "inline",       "int",           "long",
+    "mutable",      "namespace",    "new",           "noexcept",
+    "not",          "not_eq",       "nullptr",       "operator",
+    "or",           "or_eq",        "private",       "protected",
+    "public",       "register",     "reinterpret_cast", "requires",
+    "return",       "short",        "signed",        "sizeof",
+    "static",       "static_assert", "static_cast",  "struct",
+    "switch",       "template",     "this",          "thread_local",
+    "throw",        "true",         "try",           "typedef",
+    "typeid",       "typename",     "union",         "unsigned",
+    "using",        "virtual",      "void",          "volatile",
+    // "while", "xor", "xor_eq" below via is_keyword's extra checks.
+};
+
+constexpr std::array<std::string_view, 14> kTypeKeywords = {
+    "bool",  "char", "char8_t", "char16_t", "char32_t", "double", "float",
+    "int",   "long", "short",   "unsigned", "signed",   "void",   "wchar_t"};
+
+/// Floating-point classification of a pp-number spelling: decimal numbers
+/// with a '.', a [eE] exponent, or an f/F suffix; hex numbers only with a
+/// [pP] exponent (hex floats).
+bool classify_float(std::string_view s) {
+  const bool hex =
+      s.size() > 1 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X');
+  if (hex) {
+    return s.find('p') != std::string_view::npos ||
+           s.find('P') != std::string_view::npos;
+  }
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '.') return true;
+    if ((s[i] == 'e' || s[i] == 'E') && i + 1 < s.size()) {
+      const char n = s[i + 1];
+      if (is_digit(n) || n == '+' || n == '-') return true;
+    }
+  }
+  // A trailing f/F after digits (1f is ill-formed but harmless to accept;
+  // 0.5f reaches here only without the '.', i.e. never).
+  if (!s.empty() && (s.back() == 'f' || s.back() == 'F')) {
+    return s.size() < 2 || s[s.size() - 2] != 'x';
+  }
+  return false;
+}
+
+/// Streaming cursor over the input that makes backslash-newline splices
+/// invisible: `skip_splices` advances past any number of them, updating the
+/// physical line counter, so callers always see the logical character.
+/// Raw-string scanning bypasses it (splicing is reverted inside raw
+/// literals).
+struct Cursor {
+  std::string_view text;
+  std::size_t i = 0;
+  int line = 1;
+  int col = 1;
+
+  [[nodiscard]] bool eof() const { return i >= text.size(); }
+
+  /// Length of a splice sequence at `at` (2 for "\\\n", 3 for "\\\r\n"),
+  /// or 0.
+  [[nodiscard]] std::size_t splice_len(std::size_t at) const {
+    if (at + 1 < text.size() && text[at] == '\\') {
+      if (text[at + 1] == '\n') return 2;
+      if (at + 2 < text.size() && text[at + 1] == '\r' &&
+          text[at + 2] == '\n') {
+        return 3;
+      }
+    }
+    return 0;
+  }
+
+  void skip_splices() {
+    for (std::size_t n = splice_len(i); n != 0; n = splice_len(i)) {
+      i += n;
+      ++line;
+      col = 1;
+    }
+  }
+
+  /// Current logical character ('\0' at EOF).  Call after skip_splices.
+  [[nodiscard]] char peek() const { return eof() ? '\0' : text[i]; }
+
+  /// Logical character `ahead` positions forward, skipping splices.
+  [[nodiscard]] char peek_at(std::size_t ahead) const {
+    std::size_t p = i;
+    for (;;) {
+      for (std::size_t n = splice_len(p); n != 0; n = splice_len(p)) p += n;
+      if (p >= text.size()) return '\0';
+      if (ahead == 0) return text[p];
+      --ahead;
+      ++p;
+    }
+  }
+
+  /// Consume one logical character (assumes not at EOF, splices skipped).
+  void advance() {
+    if (text[i] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+    ++i;
+  }
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : cur_{text} {}
+
+  TokenStream run() {
+    TokenStream out;
+    bool at_line_start = true;
+    bool in_pp = false;
+    bool pp_saw_include = false;
+
+    for (;;) {
+      cur_.skip_splices();
+      if (cur_.eof()) break;
+      const char c = cur_.peek();
+
+      if (c == '\n') {
+        cur_.advance();
+        at_line_start = true;
+        in_pp = false;
+        pp_saw_include = false;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        cur_.advance();
+        continue;
+      }
+
+      Token tok;
+      tok.line = cur_.line;
+      tok.col = cur_.col;
+      tok.begin = cur_.i;
+      tok.starts_line = at_line_start;
+      tok.in_pp = in_pp;
+
+      if (c == '/' && cur_.peek_at(1) == '/') {
+        lex_line_comment(tok);
+      } else if (c == '/' && cur_.peek_at(1) == '*') {
+        lex_block_comment(tok);
+      } else if (is_ident_start(c)) {
+        lex_identifier_or_prefixed_literal(tok);
+      } else if (c == '"') {
+        lex_string(tok, /*prefix=*/"");
+      } else if (c == '\'') {
+        lex_char(tok, /*prefix=*/"");
+      } else if (is_digit(c) || (c == '.' && is_digit(cur_.peek_at(1)))) {
+        lex_number(tok);
+      } else if (c == '<' && in_pp && pp_saw_include) {
+        lex_header_name(tok);
+        pp_saw_include = false;
+      } else {
+        lex_punct(tok);
+        if (tok.spelling == "#" && at_line_start) {
+          in_pp = true;
+          tok.in_pp = true;
+        }
+      }
+
+      // `#include <...>`: arm the header-name lexer once the directive
+      // name has been seen.
+      if (in_pp && tok.kind == TokenKind::kIdentifier &&
+          tok.spelling == "include") {
+        pp_saw_include = true;
+      }
+
+      tok.end = cur_.i;
+      at_line_start = false;
+      out.tokens.push_back(std::move(tok));
+    }
+
+    out.line_count = cur_.line;
+    return out;
+  }
+
+ private:
+  void lex_line_comment(Token& tok) {
+    tok.kind = TokenKind::kComment;
+    // Splices extend a // comment onto the next physical line.
+    while (!cur_.eof()) {
+      cur_.skip_splices();
+      if (cur_.eof() || cur_.peek() == '\n') break;
+      tok.spelling += cur_.peek();
+      cur_.advance();
+    }
+  }
+
+  void lex_block_comment(Token& tok) {
+    tok.kind = TokenKind::kComment;
+    tok.spelling += "/*";
+    cur_.advance();
+    cur_.advance();
+    while (!cur_.eof()) {
+      if (cur_.peek() == '*' && cur_.peek_at(1) == '/') {
+        tok.spelling += "*/";
+        cur_.advance();
+        cur_.advance();
+        return;
+      }
+      tok.spelling += cur_.peek();
+      cur_.advance();
+    }
+    // Unterminated: runs to EOF.
+  }
+
+  void lex_identifier_or_prefixed_literal(Token& tok) {
+    std::string spelling;
+    while (!cur_.eof()) {
+      cur_.skip_splices();
+      if (cur_.eof() || !is_ident_char(cur_.peek())) break;
+      spelling += cur_.peek();
+      cur_.advance();
+    }
+    cur_.skip_splices();
+    const char next = cur_.peek();
+    if (next == '"' && is_raw_string_prefix(spelling)) {
+      lex_raw_string(tok, spelling);
+      return;
+    }
+    if (next == '"' && is_string_prefix(spelling)) {
+      lex_string(tok, spelling);
+      return;
+    }
+    if (next == '\'' && is_string_prefix(spelling)) {
+      lex_char(tok, spelling);
+      return;
+    }
+    tok.kind = TokenKind::kIdentifier;
+    tok.spelling = std::move(spelling);
+  }
+
+  /// Shared tail of string/char lexing: an optional ud-suffix directly
+  /// after the closing quote.
+  void lex_udl_suffix(Token& tok) {
+    cur_.skip_splices();
+    while (!cur_.eof() && is_ident_char(cur_.peek())) {
+      tok.spelling += cur_.peek();
+      cur_.advance();
+      cur_.skip_splices();
+    }
+  }
+
+  void lex_string(Token& tok, std::string_view prefix) {
+    tok.kind = TokenKind::kString;
+    tok.spelling = std::string(prefix) + "\"";
+    cur_.advance();  // opening quote
+    while (!cur_.eof()) {
+      cur_.skip_splices();
+      if (cur_.eof()) return;
+      const char c = cur_.peek();
+      if (c == '\n') return;  // unterminated — do not eat the newline
+      cur_.advance();
+      if (c == '\\') {
+        cur_.skip_splices();
+        if (!cur_.eof() && cur_.peek() != '\n') {
+          tok.spelling += c;
+          tok.spelling += cur_.peek();
+          cur_.advance();
+        }
+        continue;
+      }
+      tok.spelling += c;
+      if (c == '"') {
+        lex_udl_suffix(tok);
+        return;
+      }
+    }
+  }
+
+  void lex_char(Token& tok, std::string_view prefix) {
+    tok.kind = TokenKind::kChar;
+    tok.spelling = std::string(prefix) + "'";
+    cur_.advance();  // opening quote
+    while (!cur_.eof()) {
+      cur_.skip_splices();
+      if (cur_.eof()) return;
+      const char c = cur_.peek();
+      if (c == '\n') return;  // unterminated
+      cur_.advance();
+      if (c == '\\') {
+        cur_.skip_splices();
+        if (!cur_.eof() && cur_.peek() != '\n') {
+          tok.spelling += c;
+          tok.spelling += cur_.peek();
+          cur_.advance();
+        }
+        continue;
+      }
+      tok.spelling += c;
+      if (c == '\'') {
+        lex_udl_suffix(tok);
+        return;
+      }
+    }
+  }
+
+  void lex_raw_string(Token& tok, std::string_view prefix) {
+    tok.kind = TokenKind::kRawString;
+    tok.spelling = std::string(prefix) + "\"";
+    cur_.advance();  // opening quote
+    // d-char-sequence up to '(' — raw text, no splice processing from here
+    // (splicing is reverted inside raw literals).
+    std::string delim;
+    while (!cur_.eof() && cur_.peek() != '(' && cur_.peek() != '\n' &&
+           delim.size() < 16) {
+      delim += cur_.peek();
+      tok.spelling += cur_.peek();
+      cur_.advance();
+    }
+    if (cur_.eof() || cur_.peek() != '(') return;  // malformed
+    tok.spelling += '(';
+    cur_.advance();
+    const std::string close = ")" + delim + "\"";
+    while (!cur_.eof()) {
+      if (cur_.peek() == close.front() &&
+          cur_.text.compare(cur_.i, close.size(), close) == 0) {
+        for (std::size_t k = 0; k < close.size(); ++k) {
+          tok.spelling += cur_.peek();
+          cur_.advance();
+        }
+        lex_udl_suffix(tok);
+        return;
+      }
+      tok.spelling += cur_.peek();
+      cur_.advance();
+    }
+  }
+
+  void lex_number(Token& tok) {
+    tok.kind = TokenKind::kNumber;
+    // pp-number: digits, identifier chars, '.', digit separators, and
+    // sign characters directly after an e/E/p/P exponent marker.
+    while (!cur_.eof()) {
+      cur_.skip_splices();
+      if (cur_.eof()) break;
+      const char c = cur_.peek();
+      if (is_ident_char(c) || c == '.') {
+        tok.spelling += c;
+        cur_.advance();
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+            tok.spelling.size() > 1) {
+          cur_.skip_splices();
+          const char sign = cur_.peek();
+          if (sign == '+' || sign == '-') {
+            // A sign continues the number only after a genuine exponent:
+            // for hex digits 0xE+1 must stay "0xE", "+", "1".
+            const bool hex = tok.spelling.size() > 1 &&
+                             tok.spelling[0] == '0' &&
+                             (tok.spelling[1] == 'x' ||
+                              tok.spelling[1] == 'X');
+            if (!hex || c == 'p' || c == 'P') {
+              tok.spelling += sign;
+              cur_.advance();
+            }
+          }
+        }
+        continue;
+      }
+      if (c == '\'' && is_ident_char(cur_.peek_at(1)) &&
+          !tok.spelling.empty() && is_ident_char(tok.spelling.back())) {
+        tok.spelling += c;  // digit separator
+        cur_.advance();
+        continue;
+      }
+      break;
+    }
+    tok.is_float = classify_float(tok.spelling);
+  }
+
+  void lex_header_name(Token& tok) {
+    tok.kind = TokenKind::kHeaderName;
+    tok.spelling = "<";
+    cur_.advance();
+    while (!cur_.eof()) {
+      cur_.skip_splices();
+      if (cur_.eof()) break;
+      const char c = cur_.peek();
+      if (c == '\n') break;
+      tok.spelling += c;
+      cur_.advance();
+      if (c == '>') return;
+    }
+    // No closing '>': leave as-is; the include parser rejects it.
+  }
+
+  void lex_punct(Token& tok) {
+    tok.kind = TokenKind::kPunct;
+    const auto try_munch = [&](std::string_view op) {
+      for (std::size_t k = 0; k < op.size(); ++k) {
+        if (cur_.peek_at(k) != op[k]) return false;
+      }
+      return true;
+    };
+    std::string_view matched;
+    for (std::string_view op : kPunct3) {
+      if (try_munch(op)) {
+        matched = op;
+        break;
+      }
+    }
+    if (matched.empty()) {
+      for (std::string_view op : kPunct2) {
+        if (try_munch(op)) {
+          matched = op;
+          break;
+        }
+      }
+    }
+    if (matched.empty()) {
+      for (std::string_view op : kPunct2b) {
+        if (try_munch(op)) {
+          matched = op;
+          break;
+        }
+      }
+    }
+    const std::size_t n = matched.empty() ? 1 : matched.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      cur_.skip_splices();
+      tok.spelling += cur_.peek();
+      cur_.advance();
+    }
+  }
+
+  Cursor cur_;
+};
+
+}  // namespace
+
+TokenStream lex(std::string_view text) { return Lexer(text).run(); }
+
+bool is_keyword(std::string_view spelling) noexcept {
+  if (spelling == "while" || spelling == "xor" || spelling == "xor_eq") {
+    return true;
+  }
+  return std::find(kKeywords.begin(), kKeywords.end(), spelling) !=
+         kKeywords.end();
+}
+
+bool is_type_keyword(std::string_view spelling) noexcept {
+  return std::find(kTypeKeywords.begin(), kTypeKeywords.end(), spelling) !=
+         kTypeKeywords.end();
+}
+
+}  // namespace lazyckpt::lint

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file lexer.hpp
+/// \brief C++ token stream for lazyckpt-lint (DESIGN.md §5j).
+///
+/// PR 3's rule engine scanned comment/string-stripped *lines*; that was
+/// enough for substring heuristics but not for the symbol-aware rules this
+/// layer now supports (include-what-you-use, float-typed variable
+/// comparison, scope tracking).  This lexer produces a real token stream —
+/// kinds, spellings, physical file/line/column positions, and byte ranges
+/// back into the original text — with correct handling of:
+///
+///   - line continuations (backslash-newline) anywhere, including inside
+///     line comments and preprocessor directives;
+///   - ordinary and raw string literals (custom delimiters, multi-line
+///     bodies), character literals, encoding prefixes (u8/u/U/L), and
+///     user-defined literal suffixes;
+///   - digit separators and the full pp-number grammar (hex floats,
+///     exponents with signs), with a floating-point classification;
+///   - comments as first-class tokens (suppression comments are parsed
+///     from them, not from raw lines);
+///   - preprocessor directives: tokens carry an `in_pp` flag and the
+///     `<header>` form of #include is lexed as a single header-name token.
+///
+/// It is deliberately not a preprocessor: no macro expansion, no
+/// conditional evaluation.  Rules see the file as written, which is what a
+/// reviewer sees and what suppression comments annotate.  The lexer never
+/// throws — malformed input degrades to punctuation tokens so the linter
+/// can always produce *some* answer.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lazyckpt::lint {
+
+enum class TokenKind {
+  kIdentifier,  ///< identifiers and keywords (is_keyword() distinguishes)
+  kNumber,      ///< pp-number; `is_float` marks floating-point literals
+  kString,      ///< ordinary string literal, incl. prefix and UDL suffix
+  kRawString,   ///< raw string literal R"delim(...)delim", incl. prefix
+  kChar,        ///< character literal, incl. prefix and UDL suffix
+  kPunct,       ///< operators and punctuation, maximal-munch (`==`, `::`)
+  kComment,     ///< // or /* */ comment, spelling includes the markers
+  kHeaderName,  ///< `<...>` after #include, as one token with the angles
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string spelling;      ///< spliced text (backslash-newlines removed)
+  int line = 0;              ///< 1-based physical line of the first char
+  int col = 0;               ///< 1-based byte column of the first char
+  std::size_t begin = 0;     ///< byte offset of the token in the input
+  std::size_t end = 0;       ///< one past the last byte (splices included)
+  bool starts_line = false;  ///< first token on its starting physical line
+  bool in_pp = false;        ///< part of a preprocessor directive line
+  bool is_float = false;     ///< kNumber only: floating-point literal
+};
+
+struct TokenStream {
+  std::vector<Token> tokens;
+  int line_count = 1;  ///< physical lines in the input (≥ 1)
+};
+
+/// Tokenize `text`.  Every byte of the input is covered by either a token
+/// range or inter-token whitespace; tokens appear in source order.
+[[nodiscard]] TokenStream lex(std::string_view text);
+
+/// True if `spelling` is a C++ keyword (`for`, `double`, `using`, ...).
+[[nodiscard]] bool is_keyword(std::string_view spelling) noexcept;
+
+/// True for keywords that name fundamental types (`double`, `int`, ...) —
+/// these may legitimately precede a declarator where control keywords
+/// cannot.
+[[nodiscard]] bool is_type_keyword(std::string_view spelling) noexcept;
+
+}  // namespace lazyckpt::lint

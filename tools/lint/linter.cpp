@@ -3,16 +3,20 @@
 #include <algorithm>
 #include <array>
 #include <cctype>
+#include <cstddef>
 #include <map>
 #include <set>
 #include <sstream>
 #include <utility>
 
+#include "lexer.hpp"
+#include "symbols.hpp"
+
 namespace lazyckpt::lint {
 
 namespace {
 
-constexpr std::array<std::pair<Rule, std::string_view>, 7> kRuleIds = {{
+constexpr std::array<std::pair<Rule, std::string_view>, 9> kRuleIds = {{
     {Rule::kDeterminism, "determinism"},
     {Rule::kUnorderedOutputOrder, "unordered-output-order"},
     {Rule::kFloatCompare, "float-compare"},
@@ -20,13 +24,17 @@ constexpr std::array<std::pair<Rule, std::string_view>, 7> kRuleIds = {{
     {Rule::kErrorDiscipline, "error-discipline"},
     {Rule::kRngSplitOrder, "rng-split-order"},
     {Rule::kCacheIoDiscipline, "cache-io-discipline"},
+    {Rule::kIncludeHygiene, "include-hygiene"},
+    {Rule::kFloatCompareVar, "float-compare-var"},
 }};
 
-constexpr std::array<std::pair<Rule, std::string_view>, 7> kRuleRationales = {{
+constexpr std::array<std::pair<Rule, std::string_view>, 9> kRuleRationales = {{
     {Rule::kDeterminism,
      "all randomness flows through common/random pre-split streams; "
      "wall-clock reads are allowed only in bench/ or via the obs clock "
-     "shim (src/obs/clock.cpp is the one steady_clock site)"},
+     "shim (src/obs/clock.cpp is the one steady_clock site); calls into "
+     "local helpers that read banned sources are followed one level deep "
+     "inside parallel workers"},
     {Rule::kUnorderedOutputOrder,
      "hash-container iteration order is unspecified and must never feed "
      "CSV/JSON/table bytes compared by golden masters"},
@@ -48,6 +56,14 @@ constexpr std::array<std::pair<Rule, std::string_view>, 7> kRuleRationales = {{
      "src/cache/ publishes files only through cache::atomic_write_file "
      "(write-temp-then-rename in atomic_io.*); a raw write call could "
      "expose a torn entry to a concurrent reader"},
+    {Rule::kIncludeHygiene,
+     "every file directly includes what it uses and nothing else: the "
+     "repo-wide include graph (include_graph.hpp) flags unused direct "
+     "includes and symbols reached only transitively"},
+    {Rule::kFloatCompareVar,
+     "raw ==/!= between variables the symbol table (symbols.hpp) knows "
+     "to have floating type; intentional exact comparison must go "
+     "through lazyckpt::fp (common/fp.hpp)"},
 }};
 
 bool is_ident_char(char c) {
@@ -159,24 +175,27 @@ struct Suppressions {
   }
 };
 
-/// Parse `// lazyckpt-lint: allow(rule-a, rule-b)` comments from the raw
-/// (unstripped) lines.  A trailing comment suppresses its own line; a
-/// standalone comment line suppresses the line below it.
-Suppressions parse_suppressions(const std::vector<std::string>& raw_lines) {
+/// Parse `// lazyckpt-lint: allow(rule-a, rule-b)` from the comment tokens
+/// of `ts`.  An allow comment silences the named rules on every line the
+/// comment itself occupies and on the immediately following line — which
+/// makes both placements work: trailing the offending line, or on a
+/// standalone comment line directly above it.
+Suppressions parse_suppressions(const TokenStream& ts) {
   Suppressions out;
   constexpr std::string_view kMarker = "lazyckpt-lint:";
-  for (std::size_t idx = 0; idx < raw_lines.size(); ++idx) {
-    const std::string& line = raw_lines[idx];
-    const std::size_t marker = line.find(kMarker);
+  for (const Token& tok : ts.tokens) {
+    if (tok.kind != TokenKind::kComment) continue;
+    const std::string& text = tok.spelling;
+    const std::size_t marker = text.find(kMarker);
     if (marker == std::string::npos) continue;
-    std::size_t open = line.find("allow(", marker + kMarker.size());
+    std::size_t open = text.find("allow(", marker + kMarker.size());
     if (open == std::string::npos) continue;
     open += std::string_view("allow(").size();
-    const std::size_t close = line.find(')', open);
+    const std::size_t close = text.find(')', open);
     if (close == std::string::npos) continue;
 
     std::set<Rule> rules;
-    std::string ids = line.substr(open, close - open);
+    std::string ids = text.substr(open, close - open);
     std::istringstream split(ids);
     std::string id;
     while (std::getline(split, id, ',')) {
@@ -190,59 +209,116 @@ Suppressions parse_suppressions(const std::vector<std::string>& raw_lines) {
     }
     if (rules.empty()) continue;
 
-    const std::size_t first = line.find_first_not_of(" \t");
-    const bool standalone_comment =
-        first != std::string::npos && line.compare(first, 2, "//") == 0;
-    const int own_line = static_cast<int>(idx) + 1;
-    out.by_line[own_line].insert(rules.begin(), rules.end());
-    if (standalone_comment) {
-      out.by_line[own_line + 1].insert(rules.begin(), rules.end());
+    const int first_line = tok.line;
+    const int newlines = static_cast<int>(
+        std::count(text.begin(), text.end(), '\n'));
+    for (int line = first_line; line <= first_line + newlines + 1; ++line) {
+      out.by_line[line].insert(rules.begin(), rules.end());
     }
   }
   return out;
 }
 
-std::vector<std::string> split_lines(std::string_view text) {
+/// Raw includes (`<iostream>` or `"common/csv.hpp"`, angle/quote kept) with
+/// their 1-based line numbers, read from the preprocessor tokens.
+std::vector<std::pair<int, std::string>> parse_includes(
+    const TokenStream& ts) {
+  std::vector<std::pair<int, std::string>> includes;
+  for (std::size_t i = 0; i + 1 < ts.tokens.size(); ++i) {
+    const Token& tok = ts.tokens[i];
+    if (!tok.in_pp || tok.kind != TokenKind::kIdentifier ||
+        tok.spelling != "include") {
+      continue;
+    }
+    const Token& arg = ts.tokens[i + 1];
+    if (arg.kind == TokenKind::kHeaderName ||
+        (arg.kind == TokenKind::kString && !arg.spelling.empty() &&
+         arg.spelling.front() == '"')) {
+      includes.emplace_back(arg.line, arg.spelling);
+    }
+  }
+  return includes;
+}
+
+/// Render the token stream back into per-line text with comment bodies and
+/// literal contents blanked, byte-compatible with the character scanner
+/// this replaced: block comments become a single space (newlines kept),
+/// line comments vanish, string literals collapse to `""` (prefix and UDL
+/// suffix kept), char literals to a space, digit separators to spaces.
+std::vector<std::string> render_stripped(const TokenStream& ts,
+                                         std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  const auto emit_newlines_in = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end && i < text.size(); ++i) {
+      if (text[i] == '\n') out += '\n';
+    }
+  };
+  std::size_t cursor = 0;
+  for (const Token& tok : ts.tokens) {
+    if (tok.begin > cursor) {
+      out.append(text.substr(cursor, tok.begin - cursor));
+    }
+    cursor = tok.end;
+    switch (tok.kind) {
+      case TokenKind::kIdentifier:
+      case TokenKind::kPunct:
+      case TokenKind::kHeaderName:
+        out.append(text.substr(tok.begin, tok.end - tok.begin));
+        break;
+      case TokenKind::kNumber:
+        for (std::size_t i = tok.begin; i < tok.end; ++i) {
+          out += text[i] == '\'' ? ' ' : text[i];
+        }
+        break;
+      case TokenKind::kComment: {
+        const std::string_view raw =
+            text.substr(tok.begin, tok.end - tok.begin);
+        if (raw.rfind("/*", 0) == 0) out += ' ';
+        emit_newlines_in(tok.begin, tok.end);
+        break;
+      }
+      case TokenKind::kString:
+      case TokenKind::kRawString: {
+        const std::string& sp = tok.spelling;
+        const std::size_t first = sp.find('"');
+        const std::size_t last = sp.rfind('"');
+        if (first != std::string::npos) out.append(sp, 0, first);
+        out += "\"\"";
+        emit_newlines_in(tok.begin, tok.end);
+        if (last != std::string::npos && last > first) {
+          out.append(sp, last + 1, std::string::npos);  // UDL suffix
+        }
+        break;
+      }
+      case TokenKind::kChar: {
+        const std::string& sp = tok.spelling;
+        const std::size_t first = sp.find('\'');
+        const std::size_t last = sp.rfind('\'');
+        if (first != std::string::npos) out.append(sp, 0, first);
+        out += ' ';
+        emit_newlines_in(tok.begin, tok.end);
+        if (last != std::string::npos && last > first) {
+          out.append(sp, last + 1, std::string::npos);
+        }
+        break;
+      }
+    }
+  }
+  if (cursor < text.size()) out.append(text.substr(cursor));
+
   std::vector<std::string> lines;
   std::size_t start = 0;
-  while (start <= text.size()) {
-    std::size_t nl = text.find('\n', start);
-    if (nl == std::string_view::npos) {
-      lines.emplace_back(text.substr(start));
+  while (start <= out.size()) {
+    const std::size_t nl = out.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.emplace_back(out.substr(start));
       break;
     }
-    lines.emplace_back(text.substr(start, nl - start));
+    lines.emplace_back(out.substr(start, nl - start));
     start = nl + 1;
   }
   return lines;
-}
-
-/// Raw includes (`<iostream>` or `"common/csv.hpp"`, angle/quote kept) with
-/// their 1-based line numbers.  Taken from raw lines because the stripper
-/// blanks the quoted form.
-std::vector<std::pair<int, std::string>> parse_includes(
-    const std::vector<std::string>& raw_lines) {
-  std::vector<std::pair<int, std::string>> includes;
-  for (std::size_t idx = 0; idx < raw_lines.size(); ++idx) {
-    const std::string& line = raw_lines[idx];
-    std::size_t pos = line.find_first_not_of(" \t");
-    if (pos == std::string::npos || line[pos] != '#') continue;
-    pos = line.find_first_not_of(" \t", pos + 1);
-    if (pos == std::string::npos || line.compare(pos, 7, "include") != 0) {
-      continue;
-    }
-    pos = line.find_first_not_of(" \t", pos + 7);
-    if (pos == std::string::npos) continue;
-    char close = 0;
-    if (line[pos] == '<') close = '>';
-    if (line[pos] == '"') close = '"';
-    if (close == 0) continue;
-    const std::size_t end = line.find(close, pos + 1);
-    if (end == std::string::npos) continue;
-    includes.emplace_back(static_cast<int>(idx) + 1,
-                          line.substr(pos, end - pos + 1));
-  }
-  return includes;
 }
 
 /// Variable names declared as std::unordered_map/set in `text`:
@@ -323,6 +399,43 @@ constexpr DeterminismToken kSteadyClockToken = {
 constexpr std::array<std::string_view, 2> kMt19937Tokens = {
     "std::mt19937", "mt19937"};
 
+/// First banned determinism source on a stripped line, honoring the same
+/// precedence the direct rule uses; empty if the line is clean.
+std::string_view banned_source_on_line(const std::string& line,
+                                       const FileContext& ctx) {
+  for (const auto& banned : kDeterminismTokens) {
+    if (has_token(line, banned.token)) return banned.token;
+  }
+  if (!ctx.is_obs_clock && has_token(line, kSteadyClockToken.token)) {
+    return kSteadyClockToken.token;
+  }
+  for (std::string_view token : kMt19937Tokens) {
+    if (has_token(line, token)) return token;
+  }
+  return {};
+}
+
+void json_escape(std::string_view in, std::string* out) {
+  for (const char c : in) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          *out += "\\u00";
+          *out += kHex[(c >> 4) & 0xf];
+          *out += kHex[c & 0xf];
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
 }  // namespace
 
 std::string_view rule_id(Rule rule) noexcept {
@@ -376,6 +489,7 @@ FileContext classify_path(std::string_view relative_path) {
   ctx.in_src = has_prefix("src/");
   ctx.in_bench = has_prefix("bench/");
   ctx.in_tests = has_prefix("tests/");
+  ctx.in_tools = has_prefix("tools/");
   ctx.is_random_impl = has_prefix("src/common/random.");
   ctx.is_error_impl = has_prefix("src/common/error.");
   ctx.is_fp_helper = has_prefix("src/common/fp.");
@@ -386,139 +500,27 @@ FileContext classify_path(std::string_view relative_path) {
 }
 
 std::vector<std::string> strip_comments_and_strings(std::string_view text) {
-  enum class State {
-    kCode,
-    kLineComment,
-    kBlockComment,
-    kString,
-    kChar,
-    kRawString,
-  };
+  return render_stripped(lex(text), text);
+}
 
-  std::vector<std::string> lines;
-  std::string current;
-  State state = State::kCode;
-  std::string raw_close;  // ")delim\"" terminator for the active raw string
-
-  const auto flush_line = [&] {
-    lines.push_back(current);
-    current.clear();
-  };
-
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    if (c == '\n') {
-      if (state == State::kLineComment) state = State::kCode;
-      // Unterminated ordinary string/char literals cannot span lines.
-      if (state == State::kString || state == State::kChar) {
-        state = State::kCode;
-      }
-      flush_line();
-      continue;
-    }
-
-    switch (state) {
-      case State::kCode: {
-        if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
-          state = State::kLineComment;
-          ++i;
-          break;
-        }
-        if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
-          state = State::kBlockComment;
-          current += ' ';  // keep token separation across the comment
-          ++i;
-          break;
-        }
-        if (c == '"') {
-          // Raw string?  The quote is raw when directly preceded by an R
-          // that (with optional u8/u/U/L encoding prefix) starts a token.
-          bool raw = false;
-          if (!current.empty() && current.back() == 'R') {
-            std::size_t r = current.size() - 1;
-            std::size_t p = r;
-            while (p > 0 && (current[p - 1] == 'u' || current[p - 1] == 'U' ||
-                             current[p - 1] == 'L' || current[p - 1] == '8')) {
-              --p;
-            }
-            if (p == 0 || !is_ident_char(current[p - 1])) raw = true;
-          }
-          if (raw) {
-            std::string delim;
-            std::size_t j = i + 1;
-            while (j < text.size() && text[j] != '(' && text[j] != '\n') {
-              delim += text[j];
-              ++j;
-            }
-            if (j < text.size() && text[j] == '(') {
-              raw_close = ")" + delim + "\"";
-              state = State::kRawString;
-              current += "\"\"";  // placeholder literal
-              i = j;              // consumed through the opening '('
-              break;
-            }
-          }
-          state = State::kString;
-          current += "\"\"";  // placeholder literal
-          break;
-        }
-        if (c == '\'') {
-          // A quote directly after an identifier/digit character is a
-          // digit separator (1'000'000), not a char literal.
-          if (!current.empty() && is_ident_char(current.back())) {
-            current += ' ';
-            break;
-          }
-          state = State::kChar;
-          current += ' ';
-          break;
-        }
-        current += c;
-        break;
-      }
-      case State::kLineComment:
-        break;  // dropped
-      case State::kBlockComment:
-        if (c == '*' && i + 1 < text.size() && text[i + 1] == '/') {
-          state = State::kCode;
-          ++i;
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && i + 1 < text.size()) {
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && i + 1 < text.size()) {
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-        }
-        break;
-      case State::kRawString: {
-        if (c == raw_close.front() &&
-            text.compare(i, raw_close.size(), raw_close) == 0) {
-          i += raw_close.size() - 1;
-          state = State::kCode;
-        }
-        break;
-      }
-    }
-  }
-  flush_line();
-  return lines;
+std::vector<Finding> apply_suppressions(std::string_view content,
+                                        std::vector<Finding> findings) {
+  const Suppressions suppressions = parse_suppressions(lex(content));
+  findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                [&](const Finding& f) {
+                                  return suppressions.allows(f.line, f.rule);
+                                }),
+                 findings.end());
+  return findings;
 }
 
 std::vector<Finding> lint_source(std::string_view file_label,
                                  std::string_view content,
                                  const FileContext& ctx) {
-  const std::vector<std::string> raw_lines = split_lines(content);
-  const std::vector<std::string> lines = strip_comments_and_strings(content);
-  const Suppressions suppressions = parse_suppressions(raw_lines);
-  const auto includes = parse_includes(raw_lines);
+  const TokenStream ts = lex(content);
+  const std::vector<std::string> lines = render_stripped(ts, content);
+  const Suppressions suppressions = parse_suppressions(ts);
+  const auto includes = parse_includes(ts);
 
   std::vector<Finding> findings;
   const auto report = [&](int line, Rule rule, std::string message) {
@@ -557,6 +559,74 @@ std::vector<Finding> lint_source(std::string_view file_label,
                  "(common/random.hpp)");
           break;
         }
+      }
+    }
+  }
+
+  // ---- determinism: one level of call indirection into parallel workers --
+  if (!ctx.is_random_impl && !ctx.in_bench) {
+    // A worker lambda that calls a file-local helper whose body reads a
+    // banned source is as nondeterministic as the direct read; the direct
+    // pass flags the definition, this pass flags the dispatch.  Helpers
+    // whose offending line carries a suppression are trusted and skipped.
+    struct Taint {
+      std::string source;
+      int def_line = 0;
+    };
+    std::map<std::string, Taint> tainted;
+    for (const LocalFunction& fn : find_local_functions(ts)) {
+      if (tainted.count(fn.name) != 0) continue;
+      const int first = ts.tokens[fn.body_first].line;
+      const int last = ts.tokens[fn.body_last].line;
+      for (int ln = first;
+           ln <= last && ln <= static_cast<int>(lines.size()); ++ln) {
+        const std::string_view hit =
+            banned_source_on_line(lines[ln - 1], ctx);
+        if (hit.empty()) continue;
+        if (suppressions.allows(ln, Rule::kDeterminism)) continue;
+        tainted[fn.name] = Taint{std::string(hit), fn.line};
+        break;
+      }
+    }
+    if (!tainted.empty()) {
+      std::vector<std::size_t> code;
+      for (std::size_t i = 0; i < ts.tokens.size(); ++i) {
+        if (ts.tokens[i].kind != TokenKind::kComment) code.push_back(i);
+      }
+      const auto sp = [&](std::size_t ci) -> std::string_view {
+        return ci < code.size()
+                   ? std::string_view(ts.tokens[code[ci]].spelling)
+                   : std::string_view();
+      };
+      std::set<int> seen_lines;
+      for (std::size_t ci = 0; ci + 1 < code.size(); ++ci) {
+        const Token& t = ts.tokens[code[ci]];
+        if (t.kind != TokenKind::kIdentifier ||
+            (t.spelling != "parallel_for" && t.spelling != "parallel_map") ||
+            sp(ci + 1) != "(") {
+          continue;
+        }
+        int depth = 0;
+        std::size_t j = ci + 1;
+        for (; j < code.size(); ++j) {
+          if (sp(j) == "(") ++depth;
+          if (sp(j) == ")" && --depth == 0) break;
+          const Token& inner = ts.tokens[code[j]];
+          if (inner.kind != TokenKind::kIdentifier ||
+              sp(j + 1) != "(") {
+            continue;
+          }
+          const auto hit = tainted.find(inner.spelling);
+          if (hit == tainted.end()) continue;
+          if (!seen_lines.insert(inner.line).second) continue;
+          report(inner.line, Rule::kDeterminism,
+                 "banned nondeterminism source '" + hit->second.source +
+                     "' reached inside a parallel_for/parallel_map worker "
+                     "via local function '" + hit->first + "' (defined at "
+                     "line " + std::to_string(hit->second.def_line) +
+                     "); hoist the read out of the parallel region");
+        }
+        ci = j;
       }
     }
   }
@@ -630,6 +700,7 @@ std::vector<Finding> lint_source(std::string_view file_label,
   }
 
   // ---- float-compare -----------------------------------------------------
+  std::set<int> float_literal_lines;  // lines the literal rule claimed
   if (!ctx.in_tests && !ctx.is_fp_helper) {
     for (std::size_t idx = 0; idx < lines.size(); ++idx) {
       const std::string& line = lines[idx];
@@ -661,6 +732,7 @@ std::vector<Finding> lint_source(std::string_view file_label,
         const std::string_view lhs = left_operand(line, pos);
         const std::string_view rhs = right_operand(line, op_end);
         if (contains_float_literal(lhs) || contains_float_literal(rhs)) {
+          float_literal_lines.insert(line_no);
           report(line_no, Rule::kFloatCompare,
                  std::string("raw ") + (eq ? "==" : "!=") +
                      " against a floating-point expression: use "
@@ -670,6 +742,84 @@ std::vector<Finding> lint_source(std::string_view file_label,
         }
         pos = op_end - 1;
       }
+    }
+  }
+
+  // ---- float-compare-var -------------------------------------------------
+  if (!ctx.in_tests && !ctx.is_fp_helper) {
+    // The literal rule above cannot see `a == b` with `double a, b`; the
+    // symbol table can.  Lines the literal rule already claimed are
+    // skipped so a comparison never yields two findings.
+    const FloatVarScan fv = scan_float_vars(ts);
+    std::vector<std::size_t> code;
+    for (std::size_t i = 0; i < ts.tokens.size(); ++i) {
+      if (ts.tokens[i].kind != TokenKind::kComment) code.push_back(i);
+    }
+    const auto sp = [&](std::size_t ci) -> std::string_view {
+      return ci < code.size()
+                 ? std::string_view(ts.tokens[code[ci]].spelling)
+                 : std::string_view();
+    };
+    // Tokens an operand expression may span; anything else ends the
+    // operand (mirrors the character-level boundary set of the literal
+    // rule, which keeps `.`, `->`, `::`, `[]` and arithmetic inside).
+    const auto operand_member = [&](std::size_t ci) {
+      const Token& t = ts.tokens[code[ci]];
+      if (t.kind == TokenKind::kIdentifier && !is_keyword(t.spelling)) {
+        return true;
+      }
+      if (t.kind == TokenKind::kNumber) return true;
+      if (t.kind != TokenKind::kPunct) return false;
+      const std::string_view s = t.spelling;
+      return s == "." || s == "->" || s == "::" || s == "[" || s == "]" ||
+             s == "*" || s == "+" || s == "-" || s == "/" || s == "%";
+    };
+    // A float-variable use inside an operand: not a member (`x.alpha`),
+    // not qualified (`ns::alpha`), not a call (`alpha(`).
+    const auto float_var_at = [&](std::size_t ci) {
+      if (fv.is_float_var_use[code[ci]] == 0) return false;
+      if (ci > 0 && (sp(ci - 1) == "." || sp(ci - 1) == "->" ||
+                     sp(ci - 1) == "::")) {
+        return false;
+      }
+      return sp(ci + 1) != "(";
+    };
+    std::set<int> seen_lines;
+    for (std::size_t ci = 1; ci + 1 < code.size(); ++ci) {
+      const Token& op = ts.tokens[code[ci]];
+      if (op.kind != TokenKind::kPunct || op.in_pp ||
+          (op.spelling != "==" && op.spelling != "!=")) {
+        continue;
+      }
+      if (sp(ci - 1) == "operator") continue;
+      if (seen_lines.count(op.line) != 0 ||
+          float_literal_lines.count(op.line) != 0) {
+        continue;
+      }
+      std::string offender;
+      for (std::size_t k = ci; k-- > 0 && operand_member(k);) {
+        if (float_var_at(k)) {
+          offender = std::string(sp(k));
+          break;
+        }
+      }
+      if (offender.empty()) {
+        for (std::size_t k = ci + 1; k < code.size() && operand_member(k);
+             ++k) {
+          if (float_var_at(k)) {
+            offender = std::string(sp(k));
+            break;
+          }
+        }
+      }
+      if (offender.empty()) continue;
+      seen_lines.insert(op.line);
+      report(op.line, Rule::kFloatCompareVar,
+             "raw " + op.spelling + " between floating-point variables: '" +
+                 offender +
+                 "' has floating type; use lazyckpt::fp::exact_eq / "
+                 "fp::exact_ne (common/fp.hpp) if exact comparison is the "
+                 "contract");
     }
   }
 
@@ -839,6 +989,41 @@ std::vector<Finding> lint_source(std::string_view file_label,
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) { return a.line < b.line; });
   return findings;
+}
+
+void sort_findings(std::vector<Finding>* findings) {
+  std::sort(findings->begin(), findings->end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              const std::string_view ra = rule_id(a.rule);
+              const std::string_view rb = rule_id(b.rule);
+              if (ra != rb) return ra < rb;
+              return a.message < b.message;
+            });
+}
+
+std::string format_finding(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": error: [" +
+         std::string(rule_id(finding.rule)) + "] " + finding.message;
+}
+
+std::string render_findings_json(std::vector<Finding> findings) {
+  sort_findings(&findings);
+  std::string out = "{\n  \"count\": " + std::to_string(findings.size()) +
+                    ",\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"file\": \"";
+    json_escape(f.file, &out);
+    out += "\", \"line\": " + std::to_string(f.line) + ", \"rule\": \"" +
+           std::string(rule_id(f.rule)) + "\", \"message\": \"";
+    json_escape(f.message, &out);
+    out += "\"}";
+  }
+  out += findings.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
 }
 
 }  // namespace lazyckpt::lint

@@ -2,7 +2,8 @@
 
 /// \file linter.hpp
 /// \brief Rule engine for `lazyckpt-lint`, the repo-aware static-analysis
-/// tool that enforces the lazyckpt determinism contract (DESIGN.md §5e).
+/// tool that enforces the lazyckpt determinism contract (DESIGN.md §5e,
+/// §5j).
 ///
 /// PR 1 and PR 2 made simulation output bit-identical across thread counts
 /// and kernel variants; that guarantee rests on source-level invariants
@@ -11,15 +12,20 @@
 /// Golden-master tests only catch violations at replay time — this engine
 /// catches them at build time, as CTest cases with the `lint` label.
 ///
-/// The scanner is deliberately line-based on comment/string-stripped text,
-/// not a compiler frontend: it builds everywhere in seconds, has zero
-/// dependencies beyond the standard library, and a new rule is ~20 lines.
-/// The cost is that rules are token-level heuristics; every rule is
-/// therefore individually suppressible at the offending line with
+/// v2 rebuilt the engine on a real C++ lexer (lexer.hpp): every rule now
+/// consumes artifacts derived from the token stream — comment/string-blind
+/// line projections for the substring heuristics, the token stream itself
+/// for the symbol-aware rules (symbols.hpp), and the repo-wide include
+/// graph for include hygiene (include_graph.hpp).  It is still not a
+/// compiler frontend: no macro expansion, no overload resolution, zero
+/// dependencies beyond the standard library.  Rules remain heuristics;
+/// every rule is therefore individually suppressible with
 ///
 ///     // lazyckpt-lint: allow(<rule-id>)
 ///
-/// either trailing the line or on a standalone comment line directly above.
+/// which silences the named rules on the comment's own line(s) and on the
+/// immediately following line — so both the trailing and the
+/// standalone-line-above placements work.
 
 #include <optional>
 #include <string>
@@ -40,6 +46,9 @@ enum class Rule {
   /// or through the obs clock shim — src/obs/clock.cpp is the single
   /// allowlisted steady_clock site, everything else goes through
   /// obs::process_clock() so tests can substitute a fake clock.
+  /// Additionally, a call from inside a parallel_for/parallel_map worker
+  /// to a file-local function whose body reads a banned source is flagged
+  /// at the call site (one level of indirection).
   kDeterminism,
   /// Iteration over std::unordered_map/std::unordered_set in a
   /// translation unit that also writes CSV/JSON/table output.  Hash
@@ -76,6 +85,17 @@ enum class Rule {
   /// (cache::atomic_write_file); a direct write could expose a partially
   /// written entry to a concurrent reader.
   kCacheIoDiscipline,
+  /// Include-what-you-use over the repo include graph
+  /// (include_graph.hpp): a direct include nothing in the file refers to
+  /// is unused; a symbol whose home header is only reached transitively
+  /// needs a direct include.  Cross-file by nature, so these findings
+  /// come from IncludeAnalyzer (driven by main.cpp), not lint_source.
+  kIncludeHygiene,
+  /// Raw ==/!= where an operand is a *variable of floating type*, found
+  /// by the brace-scoped symbol table in symbols.hpp.  Complements
+  /// kFloatCompare, which only sees literal operands: `a == b` with
+  /// `double a, b` has no literal to spot.
+  kFloatCompareVar,
 };
 
 /// Stable kebab-case identifier for `rule` ("determinism", "float-compare",
@@ -98,6 +118,7 @@ struct FileContext {
   bool in_src = false;         ///< under src/ (the library)
   bool in_bench = false;       ///< under bench/ (timing exempt)
   bool in_tests = false;       ///< under tests/ (float-compare exempt)
+  bool in_tools = false;       ///< under tools/ (include hygiene applies)
   bool is_random_impl = false;  ///< src/common/random.* (the one RNG home)
   bool is_error_impl = false;  ///< src/common/error.* (the thrower home)
   bool is_fp_helper = false;   ///< src/common/fp.hpp (approved comparators)
@@ -120,7 +141,9 @@ struct Finding {
 
 /// Replace comment text and the contents of string/char literals (including
 /// raw strings) with spaces, preserving the line structure, so token rules
-/// never fire inside literals or prose.  Exposed for the linter's own tests.
+/// never fire inside literals or prose.  Since v2 this is a rendering of
+/// the lexer's token stream, not a separate scanner.  Exposed for the
+/// linter's own tests.
 [[nodiscard]] std::vector<std::string> strip_comments_and_strings(
     std::string_view text);
 
@@ -130,5 +153,22 @@ struct Finding {
 [[nodiscard]] std::vector<Finding> lint_source(std::string_view file_label,
                                                std::string_view content,
                                                const FileContext& ctx);
+
+/// Drop findings silenced by `// lazyckpt-lint: allow(...)` comments in
+/// `content`.  lint_source applies this internally; it is exposed so
+/// cross-file findings (include hygiene) get identical suppression
+/// semantics.
+[[nodiscard]] std::vector<Finding> apply_suppressions(
+    std::string_view content, std::vector<Finding> findings);
+
+/// Canonical ordering for reports: (file, line, rule id, message).
+void sort_findings(std::vector<Finding>* findings);
+
+/// "file:line: error: [rule-id] message" — the one-line text form.
+[[nodiscard]] std::string format_finding(const Finding& finding);
+
+/// Deterministic machine-readable report: findings sorted by
+/// (file, line, rule id, message), stable key order, trailing newline.
+[[nodiscard]] std::string render_findings_json(std::vector<Finding> findings);
 
 }  // namespace lazyckpt::lint

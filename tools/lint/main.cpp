@@ -1,22 +1,37 @@
 /// \file main.cpp
-/// \brief CLI for lazyckpt-lint (see linter.hpp and DESIGN.md §5e).
+/// \brief CLI for lazyckpt-lint (see linter.hpp and DESIGN.md §5e/§5j).
 ///
 /// Usage:
-///   lazyckpt-lint [--root <repo-root>] [--list-rules] <path>...
+///   lazyckpt-lint [--root <repo-root>] [--list-rules] [--json]
+///                 [--explain] <path>...
 ///
 /// Each <path> (file or directory, relative to --root, default ".") is
 /// scanned recursively for C++ sources; findings are printed one per line
-/// as `file:line: error: [rule-id] message`.  Exit status is 0 when clean,
-/// 1 when any finding was reported, 2 on usage or I/O errors.
+/// as `file:line: error: [rule-id] message`, sorted by (file, line, rule).
+/// --json switches stdout to the deterministic machine-readable report
+/// (render_findings_json).  --explain additionally prints, per analyzed
+/// file, the justifying or indicting symbol for every direct include.
+/// Exit status is 0 when clean, 1 when any finding was reported, 2 on
+/// usage or I/O errors — including the case where the given paths match
+/// no C++ source at all, which is always a misconfiguration, never a
+/// clean run.
+///
+/// Include hygiene is cross-file: whatever paths are being linted, the
+/// analyzer also ingests src/ and tools/ under --root so the include
+/// graph and symbol index are complete, and include-hygiene findings are
+/// emitted for linted files under src/ and tools/.
 
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "include_graph.hpp"
 #include "linter.hpp"
 
 namespace {
@@ -40,10 +55,36 @@ std::string repo_relative(const fs::path& root, const fs::path& path) {
 
 int usage(std::ostream& out, int status) {
   out << "usage: lazyckpt-lint [--root <repo-root>] [--list-rules] "
-         "<path>...\n"
+         "[--json] [--explain] <path>...\n"
          "Scans C++ sources for lazyckpt determinism-contract violations.\n"
+         "  --json     deterministic machine-readable findings on stdout\n"
+         "  --explain  per file, name the symbol justifying each include\n"
          "Suppress a finding with: // lazyckpt-lint: allow(<rule-id>)\n";
   return status;
+}
+
+bool read_file(const fs::path& file, std::string* out) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+/// Collect every C++ source under `path` (or `path` itself).
+void collect_sources(const fs::path& path, std::vector<fs::path>* files) {
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    for (auto it = fs::recursive_directory_iterator(path, ec);
+         !ec && it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_regular_file(ec) && is_cpp_source(it->path())) {
+        files->push_back(it->path());
+      }
+    }
+  } else if (fs::is_regular_file(path, ec) && is_cpp_source(path)) {
+    files->push_back(path);
+  }
 }
 
 }  // namespace
@@ -52,6 +93,8 @@ int main(int argc, char** argv) {
   fs::path root = ".";
   std::vector<std::string> targets;
   bool list_rules = false;
+  bool json = false;
+  bool explain = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -60,6 +103,10 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg == "--list-rules") {
       list_rules = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--explain") {
+      explain = true;
     } else if (arg == "--help" || arg == "-h") {
       return usage(std::cout, 0);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -83,46 +130,103 @@ int main(int argc, char** argv) {
   for (const std::string& target : targets) {
     const fs::path path = root / fs::path(target);
     std::error_code ec;
-    if (fs::is_directory(path, ec)) {
-      for (auto it = fs::recursive_directory_iterator(path, ec);
-           !ec && it != fs::recursive_directory_iterator(); ++it) {
-        if (it->is_regular_file(ec) && is_cpp_source(it->path())) {
-          files.push_back(it->path());
-        }
-      }
-    } else if (fs::is_regular_file(path, ec)) {
-      files.push_back(path);
-    } else {
+    if (!fs::exists(path, ec) || ec) {
       std::cerr << "lazyckpt-lint: no such file or directory: "
                 << path.string() << "\n";
       return 2;
     }
+    collect_sources(path, &files);
   }
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  std::vector<Finding> findings;
+  if (files.empty()) {
+    std::cerr << "lazyckpt-lint: no inputs: the given paths match no C++ "
+                 "sources\n";
+    return 2;
+  }
+
+  // Load the linted files, plus everything under src/ and tools/, into the
+  // include analyzer — the graph must see headers that are not themselves
+  // being linted.
+  std::map<std::string, std::string> contents;  // relative label -> bytes
   for (const fs::path& file : files) {
-    std::ifstream in(file, std::ios::binary);
-    if (!in) {
+    std::string text;
+    if (!read_file(file, &text)) {
       std::cerr << "lazyckpt-lint: cannot read " << file.string() << "\n";
       return 2;
     }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    const std::string relative = repo_relative(root, file);
-    const auto ctx = lazyckpt::lint::classify_path(relative);
-    auto file_findings =
-        lazyckpt::lint::lint_source(relative, buffer.str(), ctx);
+    contents.emplace(repo_relative(root, file), std::move(text));
+  }
+  lazyckpt::lint::IncludeAnalyzer analyzer;
+  {
+    std::vector<fs::path> index_files;
+    collect_sources(root / "src", &index_files);
+    collect_sources(root / "tools", &index_files);
+    for (const fs::path& file : index_files) {
+      const std::string label = repo_relative(root, file);
+      if (contents.count(label) != 0) continue;
+      std::string text;
+      if (read_file(file, &text)) {
+        contents.emplace(label, std::move(text));
+      }
+    }
+    for (const auto& [label, text] : contents) {
+      analyzer.add_file(label, text);
+    }
+    analyzer.finalize();
+  }
+
+  const std::set<std::string> linted = [&] {
+    std::set<std::string> out;
+    for (const fs::path& file : files) out.insert(repo_relative(root, file));
+    return out;
+  }();
+
+  std::vector<Finding> findings;
+  for (const std::string& label : linted) {
+    const auto& text = contents.at(label);
+    const auto ctx = lazyckpt::lint::classify_path(label);
+    auto file_findings = lazyckpt::lint::lint_source(label, text, ctx);
+    if (ctx.in_src || ctx.in_tools) {
+      std::vector<Finding> include_findings;
+      for (const auto& issue : analyzer.analyze(label)) {
+        include_findings.push_back(
+            Finding{label, issue.line,
+                    lazyckpt::lint::Rule::kIncludeHygiene, issue.message});
+      }
+      include_findings = lazyckpt::lint::apply_suppressions(
+          text, std::move(include_findings));
+      file_findings.insert(file_findings.end(),
+                           std::make_move_iterator(include_findings.begin()),
+                           std::make_move_iterator(include_findings.end()));
+    }
     findings.insert(findings.end(),
                     std::make_move_iterator(file_findings.begin()),
                     std::make_move_iterator(file_findings.end()));
   }
+  lazyckpt::lint::sort_findings(&findings);
+
+  if (explain) {
+    for (const std::string& label : linted) {
+      const auto ctx = lazyckpt::lint::classify_path(label);
+      if (!ctx.in_src && !ctx.in_tools) continue;
+      const auto lines = analyzer.explain(label);
+      if (lines.empty()) continue;
+      std::cout << label << ":\n";
+      for (const std::string& line : lines) {
+        std::cout << "  " << line << "\n";
+      }
+    }
+  }
+
+  if (json) {
+    std::cout << lazyckpt::lint::render_findings_json(findings);
+    return findings.empty() ? 0 : 1;
+  }
 
   for (const Finding& finding : findings) {
-    std::cout << finding.file << ":" << finding.line << ": error: ["
-              << lazyckpt::lint::rule_id(finding.rule) << "] "
-              << finding.message << "\n";
+    std::cout << lazyckpt::lint::format_finding(finding) << "\n";
   }
   if (!findings.empty()) {
     std::cout << "lazyckpt-lint: " << findings.size() << " violation"

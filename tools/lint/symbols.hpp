@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file symbols.hpp
+/// \brief Lightweight semantic layer over the lexer (lexer.hpp): a
+/// brace-scoped symbol table of floating-typed variables and a detector
+/// for file-local function definitions (DESIGN.md §5j).
+///
+/// This is not a compiler frontend — there is no overload resolution, no
+/// templates, no cross-file name lookup.  It tracks exactly what the
+/// symbol-aware lint rules need:
+///
+///   - which identifiers name variables of floating-point type
+///     (`float`/`double`/`long double`/`real_t`) at each point in the
+///     token stream, honoring brace scoping and shadowing.  Declarations
+///     are recognized in block scope, at namespace scope, and in function
+///     parameter lists (injected into the following body scope, which
+///     also covers lambdas and for-init declarations).  Structured
+///     bindings are tracked as *non*-floating — a binding unpacks
+///     heterogeneous members, so initializer-based inference would indict
+///     the wrong names — which still shadows outer floats correctly;
+///   - which file-local functions (free functions, methods, and lambdas
+///     bound via `auto name = [...](...) {...}`) are defined in the file,
+///     with the token range of each body, so the determinism rule can
+///     follow one level of call indirection into parallel workers.
+///
+/// The deliberate precision tradeoff: unresolvable constructs (macro
+/// soup, dependent types) degrade to "not a float variable" / "not a
+/// local function", i.e. silence — a lint rule built on this layer can
+/// miss, but its positives are trustworthy.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace lazyckpt::lint {
+
+/// One tracked floating-typed variable declaration (exposed for tests).
+struct FloatVarDecl {
+  std::string name;
+  int line = 0;        ///< 1-based line of the declared name
+  int scope_depth = 0; ///< brace depth at the declaration (0 = file scope)
+};
+
+/// Result of the float-variable scan over a token stream.
+struct FloatVarScan {
+  /// Parallel to `tokens`: true where an identifier token is a *use* of a
+  /// variable whose innermost visible declaration has floating type.
+  /// Declaration sites themselves are not marked.
+  std::vector<unsigned char> is_float_var_use;
+  /// Every tracked declaration, in source order.
+  std::vector<FloatVarDecl> decls;
+};
+
+/// Scan `ts` and resolve every identifier use against the brace-scoped
+/// table of floating-typed variables.
+[[nodiscard]] FloatVarScan scan_float_vars(const TokenStream& ts);
+
+/// A function defined in this file whose body we can point at.
+struct LocalFunction {
+  std::string name;
+  int line = 0;            ///< 1-based line of the function name
+  std::size_t body_first;  ///< token index of the opening '{'
+  std::size_t body_last;   ///< token index of the matching '}'
+};
+
+/// Detect file-local function definitions: `name(...) ... {` forms (free
+/// functions and methods) and lambda bindings `auto name = [...] ... {`.
+/// Sorted by body_first; nested definitions are all reported.
+[[nodiscard]] std::vector<LocalFunction> find_local_functions(
+    const TokenStream& ts);
+
+}  // namespace lazyckpt::lint

@@ -32,6 +32,7 @@
 /// unreadable file (the error names the offending token).
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -41,10 +42,13 @@
 #include <vector>
 
 #include "cache/store.hpp"
+#include "common/fp.hpp"
 #include "common/table.hpp"
 #include "io/factory.hpp"
+#include "sim/metrics.hpp"
 #include "spec/catalog.hpp"
 #include "spec/runner.hpp"
+#include "spec/scenario.hpp"
 #include "spec/sweep.hpp"
 #include "stats/factory.hpp"
 
@@ -238,7 +242,7 @@ struct MetricDelta {
 
   [[nodiscard]] double delta() const noexcept { return b - a; }
   [[nodiscard]] double ratio() const noexcept {
-    return a != 0.0 ? b / a : 0.0;
+    return !fp::is_zero(a) ? b / a : 0.0;
   }
 };
 
@@ -307,7 +311,7 @@ void print_compare_table(const spec::ScenarioResult& a,
   for (const auto& d : metric_deltas(a.aggregate, b.aggregate)) {
     table.add_row({d.metric, TextTable::num(d.a), TextTable::num(d.b),
                    TextTable::num(d.delta()),
-                   d.a != 0.0 ? TextTable::num(d.ratio()) : "n/a"});
+                   !fp::is_zero(d.a) ? TextTable::num(d.ratio()) : "n/a"});
   }
   std::printf("%s\n", table.to_string().c_str());
 }

@@ -5,12 +5,15 @@
 ///   lazyckpt-trace validate  <trace.json>
 ///   lazyckpt-trace summarize [--top N] <trace.json>
 ///   lazyckpt-trace export    [--out <file.csv>] <trace.json>
+///   lazyckpt-trace diff      [--top N] <a.json> <b.json>
 ///
 /// `validate` checks the document is structurally sound trace_event JSON
 /// (required keys, monotone per-thread timestamps, balanced span nesting)
 /// and exits 0/1.  `summarize` prints a top-N self-time profile of the
 /// spans.  `export` emits every complete span as a CSV row for external
-/// analysis.  Exit status is 0 on success, 1 when validation fails, 2 on
+/// analysis.  `diff` compares two traces' self-time profiles per span,
+/// sorted by |delta| (B minus A) — the before/after view for performance
+/// work.  Exit status is 0 on success, 1 when validation fails, 2 on
 /// usage or I/O errors.
 
 #include <cstdlib>
@@ -31,6 +34,7 @@ int usage(std::ostream& out, int status) {
          "  validate               check trace_event structure; exit 0/1\n"
          "  summarize [--top N]    top-N spans by self time (default 10)\n"
          "  export [--out <csv>]   complete spans as CSV (default stdout)\n"
+         "  diff [--top N] <a> <b> per-span self-time deltas (B minus A)\n"
          "Traces come from LAZYCKPT_TRACE=<path> on any bench binary.\n";
   return status;
 }
@@ -52,8 +56,10 @@ int main(int argc, char** argv) {
   if (command == "--help" || command == "-h") return usage(std::cout, 0);
 
   std::string path;
+  std::string second_path;
   std::string out_path;
   std::size_t top_n = 10;
+  const bool wants_two_inputs = command == "diff";
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--top") {
@@ -72,24 +78,48 @@ int main(int argc, char** argv) {
       return usage(std::cerr, 2);
     } else if (path.empty()) {
       path = arg;
+    } else if (wants_two_inputs && second_path.empty()) {
+      second_path = arg;
     } else {
       return usage(std::cerr, 2);
     }
   }
   if (path.empty()) return usage(std::cerr, 2);
-
-  std::string text;
-  if (!read_file(path, text)) {
-    std::cerr << "lazyckpt-trace: cannot read " << path << "\n";
-    return 2;
+  if (wants_two_inputs && second_path.empty()) {
+    std::cerr << "lazyckpt-trace: diff needs two trace files\n";
+    return usage(std::cerr, 2);
   }
 
+  const auto load_trace = [](const std::string& file, ParsedTrace* trace) {
+    std::string text;
+    if (!read_file(file, text)) {
+      std::cerr << "lazyckpt-trace: cannot read " << file << "\n";
+      return 2;
+    }
+    try {
+      *trace = lazyckpt::tracetool::parse_trace(text);
+    } catch (const lazyckpt::tracetool::ParseError& error) {
+      std::cerr << "lazyckpt-trace: " << file << ": " << error.what() << "\n";
+      return 1;
+    }
+    return 0;
+  };
+
   ParsedTrace trace;
-  try {
-    trace = lazyckpt::tracetool::parse_trace(text);
-  } catch (const lazyckpt::tracetool::ParseError& error) {
-    std::cerr << "lazyckpt-trace: " << path << ": " << error.what() << "\n";
-    return 1;
+  if (const int status = load_trace(path, &trace); status != 0) {
+    return status;
+  }
+
+  if (command == "diff") {
+    ParsedTrace second;
+    if (const int status = load_trace(second_path, &second); status != 0) {
+      return status;
+    }
+    const auto deltas =
+        lazyckpt::tracetool::diff_profiles(lazyckpt::tracetool::summarize(trace),
+                                           lazyckpt::tracetool::summarize(second));
+    std::cout << lazyckpt::tracetool::render_diff(deltas, top_n);
+    return 0;
   }
 
   if (command == "validate") {

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <limits>
 #include <map>
 
 namespace lazyckpt::tracetool {
@@ -381,6 +381,61 @@ std::string render_summary(const std::vector<SpanStat>& stats,
   if (shown < stats.size()) {
     std::snprintf(line, sizeof(line), "... %zu more span name(s)\n",
                   stats.size() - shown);
+    out += line;
+  }
+  return out;
+}
+
+std::vector<SpanDelta> diff_profiles(const std::vector<SpanStat>& a,
+                                     const std::vector<SpanStat>& b) {
+  std::map<std::string, SpanDelta> by_name;
+  for (const SpanStat& stat : a) {
+    SpanDelta& d = by_name[stat.name];
+    d.name = stat.name;
+    d.count_a = stat.count;
+    d.self_a_us = stat.self_us;
+  }
+  for (const SpanStat& stat : b) {
+    SpanDelta& d = by_name[stat.name];
+    d.name = stat.name;
+    d.count_b = stat.count;
+    d.self_b_us = stat.self_us;
+  }
+  std::vector<SpanDelta> deltas;
+  deltas.reserve(by_name.size());
+  for (auto& [name, delta] : by_name) deltas.push_back(std::move(delta));
+  std::stable_sort(deltas.begin(), deltas.end(),
+                   [](const SpanDelta& x, const SpanDelta& y) {
+                     const double dx = std::abs(x.delta_us());
+                     const double dy = std::abs(y.delta_us());
+                     if (dx > dy) return true;
+                     if (dx < dy) return false;
+                     return x.name < y.name;
+                   });
+  return deltas;
+}
+
+std::string render_diff(const std::vector<SpanDelta>& deltas,
+                        std::size_t top_n) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-32s %8s %8s %14s %14s %14s\n", "span",
+                "count_a", "count_b", "self_a_ms", "self_b_ms", "delta_ms");
+  out += line;
+  const std::size_t shown = std::min(top_n, deltas.size());
+  for (std::size_t i = 0; i < shown; ++i) {
+    const SpanDelta& d = deltas[i];
+    std::snprintf(line, sizeof(line),
+                  "%-32s %8llu %8llu %14.3f %14.3f %+14.3f\n", d.name.c_str(),
+                  static_cast<unsigned long long>(d.count_a),
+                  static_cast<unsigned long long>(d.count_b),
+                  d.self_a_us / 1000.0, d.self_b_us / 1000.0,
+                  d.delta_us() / 1000.0);
+    out += line;
+  }
+  if (shown < deltas.size()) {
+    std::snprintf(line, sizeof(line), "... %zu more span name(s)\n",
+                  deltas.size() - shown);
     out += line;
   }
   return out;

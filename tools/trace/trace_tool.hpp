@@ -73,4 +73,28 @@ struct SpanStat {
 /// one line per B/E pair, in end order per thread.
 [[nodiscard]] std::string export_spans_csv(const ParsedTrace& trace);
 
+/// Per-span self-time change between two profiles (B minus A).  A span
+/// missing from one side contributes zero count/self time there, so
+/// additions and removals show up as full-magnitude deltas.
+struct SpanDelta {
+  std::string name;
+  std::uint64_t count_a = 0;
+  std::uint64_t count_b = 0;
+  double self_a_us = 0.0;
+  double self_b_us = 0.0;
+  [[nodiscard]] double delta_us() const noexcept {
+    return self_b_us - self_a_us;
+  }
+};
+
+/// Join two summarize() profiles by span name.  Sorted by |delta| self
+/// time descending, then name, so the output is deterministic for a given
+/// pair of traces; diff_profiles(b, a) is the exact negation.
+[[nodiscard]] std::vector<SpanDelta> diff_profiles(
+    const std::vector<SpanStat>& a, const std::vector<SpanStat>& b);
+
+/// Fixed-width delta table of the top `top_n` spans by |delta| self time.
+[[nodiscard]] std::string render_diff(const std::vector<SpanDelta>& deltas,
+                                      std::size_t top_n);
+
 }  // namespace lazyckpt::tracetool
