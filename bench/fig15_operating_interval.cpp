@@ -2,6 +2,10 @@
 /// checkpoint intervals (the interval a site actually uses, which may be
 /// far from the true OCI).  Left panel: checkpoint savings; right panel:
 /// runtime relative to the base case at the same interval.
+///
+/// Runs entirely on the catalog scenario fig15-petascale-20K: machine,
+/// workload, replicas, and seed all come from the spec layer, with only
+/// the policy and the operating interval varied per row.
 
 #include "bench_common.hpp"
 
@@ -10,28 +14,19 @@ using namespace lazyckpt::bench;
 
 int main() {
   print_banner("Fig. 15 — iLazy across operating checkpoint intervals");
-  const auto& hero = kPetascale20K;
-  const double beta = 0.5;
-  const double true_oci = core::daly_oci(beta, hero.mtbf_hours);
+  const auto& scenario = spec::builtin_scenario("fig15-petascale-20K");
+  const double true_oci = spec::simulation_config(scenario).alpha_oci_hours;
   print_params("W=500 h, beta=0.5 h, k=0.6, MTBF 11 h, Daly OCI " +
                TextTable::num(true_oci) + " h, 120 replicas, seed 15");
-
-  const auto weibull =
-      stats::Weibull::from_mtbf_and_shape(hero.mtbf_hours, 0.6);
-  const io::ConstantStorage storage(beta, beta);
 
   TextTable table({"operating interval (h)", "base ckpt (h)",
                    "ilazy ckpt saving", "base T (h)", "ilazy T change",
                    "vs OCI runtime"});
-  const auto oci_baseline = evaluate(hero, beta, "static-oci", 0.6, 120, 15);
+  const auto oci_baseline = run_scenario_policy(scenario, scenario.policy);
   for (const double interval : {1.0, 2.0, 2.98, 4.0, 6.0, 9.0, 12.0}) {
-    auto config = hero_config(hero, beta);
-    config.alpha_oci_hours = interval;
     const auto base =
-        sim::run_replicas(config, *core::make_policy("static-oci"), weibull,
-                          storage, 120, 15);
-    const auto lazy = sim::run_replicas(
-        config, *core::make_policy("ilazy:0.6"), weibull, storage, 120, 15);
+        run_scenario_policy(scenario, scenario.policy, interval);
+    const auto lazy = run_scenario_policy(scenario, "ilazy:0.6", interval);
     table.add_row(
         {TextTable::num(interval), TextTable::num(base.mean_checkpoint_hours),
          TextTable::percent(saving(base.mean_checkpoint_hours,

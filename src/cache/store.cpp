@@ -1,6 +1,7 @@
 #include "cache/store.hpp"
 
 #include <utility>
+#include <vector>
 
 #include "cache/atomic_io.hpp"
 #include "cache/serialize.hpp"
@@ -72,7 +73,12 @@ void ResultStore::put_in_memory(const CacheKey& key,
 
 std::optional<spec::ScenarioResult> ResultStore::fetch(
     const spec::Scenario& scenario_as_run) {
-  obs::TraceSpan span("cache.lookup");
+  obs::TraceSpan span(
+      "cache.lookup",
+      obs::enabled() ? std::vector<obs::TraceArg>{obs::TraceArg::str(
+                           "scenario", scenario_as_run.name)}
+                     : std::vector<obs::TraceArg>{});
+  obs::flow_step("spec.flow", obs::current_flow());
   const CacheKey key = derive_key(scenario_as_run);
 
   std::lock_guard<std::mutex> lock(mutex_);
@@ -80,6 +86,7 @@ std::optional<spec::ScenarioResult> ResultStore::fetch(
   if (const MemoryEntry* entry = find_in_memory(key)) {
     ++stats_.hits;
     if (obs::enabled()) CacheObs::get().hits.add();
+    span.end_arg(obs::TraceArg::str("result", "hit"));
     return entry->result;
   }
 
@@ -98,6 +105,7 @@ std::optional<spec::ScenarioResult> ResultStore::fetch(
         put_in_memory(key, *outcome.result);
         ++stats_.hits;
         if (obs::enabled()) CacheObs::get().hits.add();
+        span.end_arg(obs::TraceArg::str("result", "hit"));
         return std::move(outcome.result);
       }
     }
@@ -105,6 +113,7 @@ std::optional<spec::ScenarioResult> ResultStore::fetch(
 
   ++stats_.misses;
   if (obs::enabled()) CacheObs::get().misses.add();
+  span.end_arg(obs::TraceArg::str("result", "miss"));
   return std::nullopt;
 }
 

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 
 namespace lazyckpt::obs {
 
@@ -31,10 +32,22 @@ const Clock& process_clock() noexcept {
       override_clock != nullptr) {
     return *override_clock;
   }
-  // Function-local static: epoch fixed at first telemetry read, init is
+  // Function-local statics: epoch fixed at first telemetry read, init is
   // thread-safe, and no global constructor runs in untraced processes.
-  static const SteadyClock default_clock;
-  return default_clock;
+  // LAZYCKPT_FAKE_CLOCK=<ns> pins the default source to a constant — the
+  // shell-level spelling of ScopedClockOverride(FakeClock), used to make
+  // `lazyckpt-run --report` output byte-identical across reruns.
+  static const Clock* const default_clock = []() -> const Clock* {
+    if (const char* env = std::getenv("LAZYCKPT_FAKE_CLOCK");
+        env != nullptr && *env != '\0') {
+      static FakeClock fake;
+      fake.set_ns(static_cast<TimeNs>(std::strtoull(env, nullptr, 10)));
+      return &fake;
+    }
+    static const SteadyClock steady;
+    return &steady;
+  }();
+  return *default_clock;
 }
 
 ScopedClockOverride::ScopedClockOverride(const Clock& clock) noexcept

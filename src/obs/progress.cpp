@@ -1,0 +1,88 @@
+#include "obs/progress.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace lazyckpt::obs {
+
+ProgressTicker::ProgressTicker(Options options)
+    : out_(options.out != nullptr ? options.out : stderr),
+      interval_ms_(options.interval_ms > 0 ? options.interval_ms : 500) {
+  thread_ = std::thread([this] { run(); });
+}
+
+ProgressTicker::~ProgressTicker() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void ProgressTicker::begin(std::string label, std::uint64_t total,
+                           const char* gauge_name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  label_ = std::move(label);
+  total_ = total;
+  gauge_name_ = gauge_name;
+  start_ns_ = process_clock().now_ns();
+  active_ = true;
+  // A fresh task starts from zero even if a previous run left the gauge
+  // at its old final value.  Writing a gauge is telemetry-to-telemetry;
+  // no result path reads it.
+  metrics().gauge(gauge_name).set(0.0);
+}
+
+void ProgressTicker::finish() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!active_) return;
+  active_ = false;
+  const std::uint64_t done = static_cast<std::uint64_t>(
+      metrics().gauge(gauge_name_).value());
+  const TimeNs elapsed_ns = process_clock().now_ns() - start_ns_;
+  std::fprintf(out_, "lazyckpt: %s done %llu/%llu replicas in %.1fs\n",
+               label_.c_str(), static_cast<unsigned long long>(done),
+               static_cast<unsigned long long>(total_),
+               static_cast<double>(elapsed_ns) / 1e9);
+  std::fflush(out_);
+}
+
+void ProgressTicker::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_));
+    if (stop_) return;
+    if (active_) tick();
+  }
+}
+
+void ProgressTicker::tick() {
+  // Called with mutex_ held.
+  const std::uint64_t done = static_cast<std::uint64_t>(
+      metrics().gauge(gauge_name_).value());
+  const TimeNs elapsed_ns = process_clock().now_ns() - start_ns_;
+  const double elapsed_s = static_cast<double>(elapsed_ns) / 1e9;
+  if (elapsed_s <= 0.0) {
+    // Fake-clock runs (LAZYCKPT_FAKE_CLOCK) have no elapsed time to rate
+    // against; stay quiet rather than print a meaningless line.
+    return;
+  }
+  const double rate = static_cast<double>(done) / elapsed_s;
+  if (rate > 0.0 && done < total_) {
+    const double eta_s = static_cast<double>(total_ - done) / rate;
+    std::fprintf(out_,
+                 "lazyckpt: %s %llu/%llu replicas | %.1f/s | ETA %.0fs\n",
+                 label_.c_str(), static_cast<unsigned long long>(done),
+                 static_cast<unsigned long long>(total_), rate, eta_s);
+  } else {
+    std::fprintf(out_, "lazyckpt: %s %llu/%llu replicas\n", label_.c_str(),
+                 static_cast<unsigned long long>(done),
+                 static_cast<unsigned long long>(total_));
+  }
+  std::fflush(out_);
+}
+
+}  // namespace lazyckpt::obs

@@ -1,0 +1,78 @@
+#include "obs/prometheus.hpp"
+
+#include <cstdio>
+
+namespace lazyckpt::obs {
+namespace {
+
+/// Registry name → Prometheus name: `lazyckpt_` prefix, dots to
+/// underscores.  Registry names are lowercase `[a-z0-9_.]` by the
+/// metric-name-style lint rule, so the result is always a valid
+/// Prometheus identifier.
+std::string prometheus_name(const std::string& name) {
+  std::string out = "lazyckpt_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) out += c == '.' ? '_' : c;
+  return out;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_count(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(snapshot.entries.size() * 96);
+  for (const MetricValue& entry : snapshot.entries) {
+    const std::string name = prometheus_name(entry.name);
+    switch (entry.kind) {
+      case MetricValue::Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " ";
+        append_count(out, entry.count);
+        out += '\n';
+        break;
+      case MetricValue::Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " ";
+        append_double(out, entry.value);
+        out += '\n';
+        break;
+      case MetricValue::Kind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < entry.bucket_bounds.size(); ++b) {
+          cumulative += b < entry.bucket_counts.size()
+                            ? entry.bucket_counts[b]
+                            : 0;
+          out += name + "_bucket{le=\"";
+          append_double(out, entry.bucket_bounds[b]);
+          out += "\"} ";
+          append_count(out, cumulative);
+          out += '\n';
+        }
+        out += name + "_bucket{le=\"+Inf\"} ";
+        append_count(out, entry.count);
+        out += '\n';
+        out += name + "_sum ";
+        append_double(out, entry.sum);
+        out += '\n';
+        out += name + "_count ";
+        append_count(out, entry.count);
+        out += '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lazyckpt::obs

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file prometheus.hpp
+/// \brief Prometheus text-exposition rendering of a metrics snapshot
+/// (DESIGN.md §5f) — the `/stats` payload a future lazyckpt-serve exposes.
+///
+/// Output is deterministic for a given snapshot: one `# TYPE` comment plus
+/// its sample lines per instrument, in snapshot (lexicographic name)
+/// order.  Metric names are mangled to the Prometheus grammar: the
+/// registry's lowercase dot-separated names (`cache.hits`) become
+/// underscore-separated names under a `lazyckpt_` prefix
+/// (`lazyckpt_cache_hits`).  Histograms expand to the conventional
+/// `_bucket{le="..."}` / `_sum` / `_count` series with cumulative bucket
+/// counts and a trailing `le="+Inf"` bucket.
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace lazyckpt::obs {
+
+/// Render `snapshot` in Prometheus text exposition format (version 0.0.4).
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+}  // namespace lazyckpt::obs

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file report.hpp
+/// \brief Deterministic run reports (DESIGN.md §5f): one canonical JSON
+/// document per run — metrics snapshot, per-span self-time rollup, cache
+/// stats, machine block — wired as `lazyckpt-run --report <path>`.
+///
+/// Rendering is a pure function of its inputs: fixed key order, name- or
+/// self-time-ordered listings, fixed number formatting.  Under a FakeClock
+/// (ScopedClockOverride in tests, LAZYCKPT_FAKE_CLOCK=<ns> from a shell)
+/// the same run therefore produces byte-identical reports, which the
+/// golden test pins.  Bump kRunReportSchemaVersion whenever a key is
+/// added, removed, or reordered (EXPERIMENTS.md records the history).
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace lazyckpt::obs {
+
+/// Version of the report document layout.
+inline constexpr int kRunReportSchemaVersion = 1;
+
+/// Everything a report renders.  Callers assemble this explicitly — the
+/// renderer reads no globals, which is what makes the output testable
+/// byte-for-byte.
+struct RunReportInputs {
+  std::string tool;                     ///< e.g. "lazyckpt-run"
+  std::vector<std::string> scenarios;   ///< canonical names, in run order
+  /// Machine block: key → pre-rendered JSON value (caller quotes strings),
+  /// emitted in the given order.
+  std::vector<std::pair<std::string, std::string>> machine;
+  MetricsSnapshot metrics;              ///< obs::metrics().snapshot()
+  std::vector<TraceEvent> events;       ///< obs::snapshot_events()
+  bool has_cache = false;               ///< emit the "cache" block
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_bytes_read = 0;
+  std::uint64_t cache_bytes_written = 0;
+  std::uint64_t cache_evictions = 0;
+};
+
+/// Aggregated B/E pairs for one span name, in integer nanoseconds (no
+/// float accumulation, so the rollup itself is exact).
+struct SpanRollup {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;  ///< inclusive
+  std::uint64_t self_ns = 0;   ///< total minus time in child spans
+};
+
+/// Aggregate complete spans per name (per-thread stacks, child time
+/// attributed to the child).  Sorted by self time descending, then name —
+/// deterministic for a given event sequence.
+[[nodiscard]] std::vector<SpanRollup> rollup_spans(
+    const std::vector<TraceEvent>& events);
+
+/// Render the canonical report document.  Always ends with a newline.
+[[nodiscard]] std::string render_run_report(const RunReportInputs& inputs);
+
+/// render_run_report + write to `path`.  Returns false (leaving no partial
+/// file behind, best effort) when the file cannot be written.
+bool write_run_report_file(const RunReportInputs& inputs,
+                           const std::string& path);
+
+}  // namespace lazyckpt::obs

@@ -79,13 +79,71 @@ void append_timestamp_us(std::string& out, TimeNs ts_ns) {
 
 namespace detail {
 
+TraceEvent make_event(const char* name, EventKind kind, std::uint32_t tid) {
+  TraceEvent event;
+  event.name = name;
+  event.kind = kind;
+  event.tid = tid;
+  event.ts_ns = process_clock().now_ns();
+  return event;
+}
+
 void record_event(const char* name, EventKind kind, double value) {
   ThreadBuffer& buffer = thread_buffer();
-  buffer.events.push_back(
-      TraceEvent{name, kind, buffer.tid, process_clock().now_ns(), value});
+  TraceEvent event = make_event(name, kind, buffer.tid);
+  event.value = value;
+  buffer.events.push_back(std::move(event));
+}
+
+void record_event_args(const char* name, EventKind kind,
+                       std::vector<TraceArg> args) {
+  ThreadBuffer& buffer = thread_buffer();
+  TraceEvent event = make_event(name, kind, buffer.tid);
+  event.args = std::move(args);
+  buffer.events.push_back(std::move(event));
+}
+
+void record_flow(const char* name, EventKind kind, std::uint64_t flow) {
+  ThreadBuffer& buffer = thread_buffer();
+  TraceEvent event = make_event(name, kind, buffer.tid);
+  event.flow = flow;
+  buffer.events.push_back(std::move(event));
 }
 
 }  // namespace detail
+
+namespace {
+
+// Flow-id state: a monotone mint plus the currently published id.  Both
+// are telemetry-only — they never feed results, so cross-thread ordering
+// of mints does not matter.
+std::atomic<std::uint64_t> g_next_flow_id{1};
+std::atomic<std::uint64_t> g_current_flow{0};
+
+}  // namespace
+
+FlowId new_flow_id() noexcept {
+  return g_next_flow_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+FlowId current_flow() noexcept {
+  return g_current_flow.load(std::memory_order_relaxed);
+}
+
+ScopedFlow::ScopedFlow(const char* name, FlowId id)
+    : name_(name),
+      id_(id),
+      previous_(g_current_flow.load(std::memory_order_relaxed)) {
+  if (id_ == 0) return;
+  flow_begin(name_, id_);
+  g_current_flow.store(id_, std::memory_order_relaxed);
+}
+
+ScopedFlow::~ScopedFlow() {
+  if (id_ == 0) return;
+  flow_end(name_, id_);
+  g_current_flow.store(previous_, std::memory_order_relaxed);
+}
 
 void set_enabled(bool on) noexcept {
   detail::g_enabled.store(on, std::memory_order_relaxed);
@@ -95,8 +153,16 @@ void record_begin(const char* name) {
   detail::record_event(name, EventKind::kBegin, 0.0);
 }
 
+void record_begin(const char* name, std::vector<TraceArg> args) {
+  detail::record_event_args(name, EventKind::kBegin, std::move(args));
+}
+
 void record_end(const char* name) {
   detail::record_event(name, EventKind::kEnd, 0.0);
+}
+
+void record_end(const char* name, std::vector<TraceArg> args) {
+  detail::record_event_args(name, EventKind::kEnd, std::move(args));
 }
 
 std::vector<TraceEvent> drain_events() {
@@ -107,8 +173,22 @@ std::vector<TraceEvent> drain_events() {
   for (const auto& buffer : reg.buffers) total += buffer->events.size();
   out.reserve(total);
   for (const auto& buffer : reg.buffers) {
-    out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+    out.insert(out.end(), std::make_move_iterator(buffer->events.begin()),
+               std::make_move_iterator(buffer->events.end()));
     buffer->events.clear();
+  }
+  return out;
+}
+
+std::vector<TraceEvent> snapshot_events() {
+  BufferRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<TraceEvent> out;
+  std::size_t total = 0;
+  for (const auto& buffer : reg.buffers) total += buffer->events.size();
+  out.reserve(total);
+  for (const auto& buffer : reg.buffers) {
+    out.insert(out.end(), buffer->events.begin(), buffer->events.end());
   }
   return out;
 }
@@ -135,6 +215,15 @@ std::string render_chrome_trace(const std::vector<TraceEvent>& events) {
       case EventKind::kCounter:
         out += 'C';
         break;
+      case EventKind::kFlowBegin:
+        out += 's';
+        break;
+      case EventKind::kFlowStep:
+        out += 't';
+        break;
+      case EventKind::kFlowEnd:
+        out += 'f';
+        break;
     }
     out += "\", \"pid\": 1, \"tid\": ";
     out += std::to_string(event.tid);
@@ -147,6 +236,33 @@ std::string render_chrome_trace(const std::vector<TraceEvent>& events) {
       std::snprintf(buf, sizeof(buf), "%.17g", event.value);
       out += ", \"args\": {\"value\": ";
       out += buf;
+      out += "}";
+    } else if (event.kind == EventKind::kFlowBegin ||
+               event.kind == EventKind::kFlowStep ||
+               event.kind == EventKind::kFlowEnd) {
+      out += ", \"id\": ";
+      out += std::to_string(event.flow);
+      // Bind the flow end to the enclosing slice, not the next one, so
+      // Perfetto draws the arrow into the span that consumed the request.
+      if (event.kind == EventKind::kFlowEnd) out += ", \"bp\": \"e\"";
+    } else if (!event.args.empty()) {
+      out += ", \"args\": {";
+      for (std::size_t a = 0; a < event.args.size(); ++a) {
+        const TraceArg& arg = event.args[a];
+        if (a > 0) out += ", ";
+        out += '"';
+        append_escaped(out, arg.key);
+        out += "\": ";
+        if (arg.is_number) {
+          char buf[40];
+          std::snprintf(buf, sizeof(buf), "%.17g", arg.number);
+          out += buf;
+        } else {
+          out += '"';
+          append_escaped(out, arg.text.c_str());
+          out += '"';
+        }
+      }
       out += "}";
     }
     out += "}";

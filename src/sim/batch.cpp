@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <cstdlib>
 #include <limits>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
@@ -730,6 +731,14 @@ std::vector<RunMetrics> run_replicas_batched(
   parallel_for(blocks, [&](std::size_t block) {
     const std::size_t begin = block * batch_size;
     const std::size_t count = std::min(batch_size, replicas - begin);
+    const obs::TraceSpan block_span(
+        "sim.block",
+        obs_on ? std::vector<obs::TraceArg>{
+                     obs::TraceArg::num("first", static_cast<double>(begin)),
+                     obs::TraceArg::num("count", static_cast<double>(count)),
+                     obs::TraceArg::num("batch",
+                                        static_cast<double>(batch_size))}
+               : std::vector<obs::TraceArg>{});
     simulate_batch(config, policy, inter_arrival, storage,
                    std::span<Rng>(streams).subspan(begin, count),
                    std::span<RunMetrics>(results).subspan(begin, count));
@@ -737,6 +746,9 @@ std::vector<RunMetrics> run_replicas_batched(
       const std::size_t finished =
           done.fetch_add(count, std::memory_order_relaxed) + count;
       obs::counter("sim.replicas_done", static_cast<double>(finished));
+      obs::metrics().gauge("sim.replicas_done")
+          .record_max(static_cast<double>(finished));
+      obs::flow_step("spec.flow", obs::current_flow());
     }
   });
   return results;

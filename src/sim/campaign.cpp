@@ -66,7 +66,14 @@ CampaignResult run_campaign(const CampaignConfig& config,
     allocation.compute_hours = remaining;
     allocation.time_budget_hours = config.allocation_hours;
 
-    const obs::TraceSpan allocation_span("sim.campaign.allocation");
+    const obs::TraceSpan allocation_span(
+        "sim.campaign.allocation",
+        obs::enabled()
+            ? std::vector<obs::TraceArg>{
+                  obs::TraceArg::num(
+                      "index", static_cast<double>(result.allocations_used)),
+                  obs::TraceArg::num("remaining_hours", remaining)}
+            : std::vector<obs::TraceArg>{});
     if (obs::enabled()) {
       obs::metrics().counter("campaign.allocations").add();
     }
@@ -136,6 +143,9 @@ std::vector<CampaignResult> run_campaign_replicas(
       if (finished % heartbeat_every == 0 || finished == replicas) {
         obs::counter("sim.campaign_replicas_done",
                      static_cast<double>(finished));
+        obs::metrics().gauge("sim.campaign_replicas_done")
+            .record_max(static_cast<double>(finished));
+        obs::flow_step("spec.flow", obs::current_flow());
       }
     }
     return result;

@@ -9,6 +9,7 @@
 #include "common/fp.hpp"
 #include "common/parallel.hpp"
 #include "core/policy/periodic.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/batch.hpp"
 
@@ -21,7 +22,14 @@ std::vector<RunMetrics> run_replicas_raw(const SimulationConfig& config,
                                          std::size_t replicas,
                                          std::uint64_t seed) {
   require(replicas >= 1, "run_replicas needs replicas >= 1");
-  const obs::TraceSpan span("sim.run_replicas");
+  const obs::TraceSpan span(
+      "sim.run_replicas",
+      obs::enabled()
+          ? std::vector<obs::TraceArg>{
+                obs::TraceArg::num("replicas", static_cast<double>(replicas)),
+                obs::TraceArg::num("batch", static_cast<double>(
+                                                batch_size_from_env()))}
+          : std::vector<obs::TraceArg>{});
 
   // Batched fast path: lockstep SoA kernel over blocks of replicas
   // (sim/batch.hpp), bit-identical to the per-replica loop below for the
@@ -76,6 +84,9 @@ std::vector<RunMetrics> run_replicas_raw(const SimulationConfig& config,
           done.fetch_add(1, std::memory_order_relaxed) + 1;
       if (finished % heartbeat_every == 0 || finished == replicas) {
         obs::counter("sim.replicas_done", static_cast<double>(finished));
+        obs::metrics().gauge("sim.replicas_done")
+            .record_max(static_cast<double>(finished));
+        obs::flow_step("spec.flow", obs::current_flow());
       }
     }
     return metrics;

@@ -136,6 +136,18 @@ std::vector<Scenario> build_catalog() {
   });
 
   catalog.push_back(Scenario{
+      .name = "fig15-petascale-20K",
+      .title = "Fig. 15: iLazy across operating checkpoint intervals",
+      .distribution = "weibull:mtbf=11,k=0.6",
+      .storage = "constant:beta=0.5",
+      .policy = "static-oci",
+      .mtbf_hint_hours = 11.0,
+      .shape_hint = 0.6,
+      .replicas = 120,
+      .seed = 15,
+  });
+
+  catalog.push_back(Scenario{
       .name = "fig16",
       .title = "Fig. 16: iLazy vs linearly increasing intervals",
       .distribution = "weibull:mtbf=11,k=0.6",

@@ -1,11 +1,14 @@
 #include "spec/runner.hpp"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "common/error.hpp"
 #include "core/model/oci.hpp"
 #include "core/policy/factory.hpp"
 #include "io/factory.hpp"
+#include "obs/trace.hpp"
 #include "stats/factory.hpp"
 
 namespace lazyckpt::spec {
@@ -70,6 +73,23 @@ ScenarioResult ScenarioRunner::run(const Scenario& scenario) const {
         std::min(result.scenario.replicas, options_.max_replicas);
   }
   const Scenario& run_as = result.scenario;
+
+  // One span and one flow per request: the span's args say *what* ran
+  // (scenario, policy, replicas); the flow id links this request through
+  // cache lookup, campaign allocations, and per-worker replica blocks
+  // across threads (DESIGN.md §5f).  Telemetry only — no result reads it.
+  const bool telemetry = obs::enabled();
+  const obs::TraceSpan span(
+      "spec.run",
+      telemetry
+          ? std::vector<obs::TraceArg>{
+                obs::TraceArg::str("scenario", run_as.name),
+                obs::TraceArg::str("policy", run_as.policy),
+                obs::TraceArg::num("replicas",
+                                   static_cast<double>(run_as.replicas))}
+          : std::vector<obs::TraceArg>{});
+  const obs::ScopedFlow flow("spec.flow",
+                             telemetry ? obs::new_flow_id() : 0);
 
   // The cache is keyed on the scenario as run (post-clamping), so a hit
   // replays exactly what a fresh computation of `run_as` would produce.

@@ -800,6 +800,66 @@ void f(double a, double b) {
   EXPECT_TRUE(lint_at("src/sim/engine.cpp", above).empty());
 }
 
+// ---- metric-name-style ----------------------------------------------------
+
+TEST(LintMetricNameStyle, FlagsNonConformingNamesAtRegistration) {
+  const std::string violating = R"(
+void f() {
+  obs::metrics().counter("CacheHits").add();
+  obs::metrics().gauge("replicas").record_max(1);
+  const obs::TraceSpan span("Sim.Block");
+  obs::flow_step("spec flow", obs::current_flow());
+}
+)";
+  const auto findings = lint_at("src/sim/engine.cpp", violating);
+  ASSERT_EQ(findings.size(), 4u);
+  for (const auto& finding : findings) {
+    EXPECT_EQ(finding.rule, lint::Rule::kMetricNameStyle);
+  }
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_NE(findings[0].message.find("\"CacheHits\""), std::string::npos);
+  EXPECT_EQ(findings[1].line, 4);  // dotless: one segment is not enough
+  EXPECT_EQ(findings[2].line, 5);  // TraceSpan declaration form
+  EXPECT_EQ(findings[3].line, 6);  // space is not a separator
+}
+
+TEST(LintMetricNameStyle, ConformingAndDynamicNamesPass) {
+  const std::string clean = R"(
+void f(const char* dynamic) {
+  obs::metrics().counter("cache.hits").add();
+  obs::metrics().gauge("sim.replicas_done").record_max(1);
+  obs::metrics().histogram("cr.write_latency_seconds", bounds).observe(x);
+  const obs::TraceSpan span("sim.dispatch.batch");
+  const obs::ScopedFlow flow("spec.flow", obs::new_flow_id());
+  obs::record_begin("cr.crc32");
+  obs::record_end("cr.crc32");
+  obs::metrics().counter(dynamic).add();
+}
+)";
+  EXPECT_TRUE(lint_at("src/sim/engine.cpp", clean).empty());
+}
+
+TEST(LintMetricNameStyle, OnlyAppliesUnderSrc) {
+  const std::string snippet = R"(
+void f() {
+  obs::metrics().counter("CacheHits").add();
+}
+)";
+  EXPECT_TRUE(lint_at("bench/fig05_oci_vs_hourly.cpp", snippet).empty());
+  EXPECT_TRUE(lint_at("tests/test_obs.cpp", snippet).empty());
+  EXPECT_FALSE(lint_at("src/cache/store.cpp", snippet).empty());
+}
+
+TEST(LintMetricNameStyle, Suppressible) {
+  const std::string suppressed = R"(
+void f() {
+  // lazyckpt-lint: allow(metric-name-style)
+  obs::metrics().counter("LegacyName").add();
+}
+)";
+  EXPECT_TRUE(lint_at("src/sim/engine.cpp", suppressed).empty());
+}
+
 // ---- determinism via local-function indirection --------------------------
 
 TEST(LintDeterminismIndirection, FlagsBannedSourceViaLocalHelper) {

@@ -19,8 +19,12 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/random.hpp"
@@ -32,6 +36,7 @@
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/failure_source.hpp"
+#include "sim/sweep.hpp"
 #include "stats/exponential.hpp"
 #include "trace_tool.hpp"
 
@@ -330,6 +335,171 @@ TEST_F(ObsTest, TraceToolDiffRoundTripsThroughRecorder) {
   EXPECT_EQ(truncated.find("gamma"), std::string::npos);
 }
 
+// ---- span arguments and flow events --------------------------------------
+
+/// Byte-exact golden for the argument and flow serialization added in
+/// DESIGN.md §5f: string args quoted, numeric args as %.17g, flow events
+/// with a numeric "id" and "bp": "e" on the end.
+TEST_F(ObsTest, FakeClockArgsAndFlowsRenderExactJson) {
+  obs::FakeClock clock;
+  const obs::ScopedClockOverride override_scope(clock);
+  obs::set_enabled(true);
+
+  clock.set_ns(1'000);
+  {
+    obs::TraceSpan span("spec.run", {obs::TraceArg::str("scenario", "fig13"),
+                                     obs::TraceArg::num("replicas", 200.0)});
+    clock.set_ns(2'000);
+    obs::flow_begin("spec.flow", 7);
+    clock.set_ns(3'000);
+    obs::flow_step("spec.flow", 7);
+    clock.set_ns(4'000);
+    obs::flow_end("spec.flow", 7);
+    clock.set_ns(5'000);
+    span.end_arg(obs::TraceArg::str("cache", "miss"));
+  }
+
+  const std::string json = obs::render_chrome_trace(obs::drain_events());
+  const std::string expected =
+      "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n"
+      "{\"name\": \"spec.run\", \"cat\": \"lazyckpt\", \"ph\": \"B\", "
+      "\"pid\": 1, \"tid\": 0, \"ts\": 1.000, "
+      "\"args\": {\"scenario\": \"fig13\", \"replicas\": 200}},\n"
+      "{\"name\": \"spec.flow\", \"cat\": \"lazyckpt\", \"ph\": \"s\", "
+      "\"pid\": 1, \"tid\": 0, \"ts\": 2.000, \"id\": 7},\n"
+      "{\"name\": \"spec.flow\", \"cat\": \"lazyckpt\", \"ph\": \"t\", "
+      "\"pid\": 1, \"tid\": 0, \"ts\": 3.000, \"id\": 7},\n"
+      "{\"name\": \"spec.flow\", \"cat\": \"lazyckpt\", \"ph\": \"f\", "
+      "\"pid\": 1, \"tid\": 0, \"ts\": 4.000, \"id\": 7, \"bp\": \"e\"},\n"
+      "{\"name\": \"spec.run\", \"cat\": \"lazyckpt\", \"ph\": \"E\", "
+      "\"pid\": 1, \"tid\": 0, \"ts\": 5.000, "
+      "\"args\": {\"cache\": \"miss\"}}\n"
+      "]}\n";
+  EXPECT_EQ(json, expected);
+
+  // Round trip through the actual lazyckpt-trace engine.
+  const tracetool::ParsedTrace trace = tracetool::parse_trace(json);
+  ASSERT_EQ(trace.events.size(), 5u);
+  EXPECT_TRUE(tracetool::validate(trace).empty());
+
+  ASSERT_EQ(trace.events[0].args.size(), 2u);
+  EXPECT_EQ(trace.events[0].args[0].first, "scenario");
+  EXPECT_EQ(trace.events[0].args[0].second, "fig13");
+  EXPECT_EQ(trace.events[0].args[1].first, "replicas");
+  EXPECT_EQ(trace.events[0].args[1].second, "200");
+  EXPECT_TRUE(trace.events[1].has_flow_id);
+  EXPECT_EQ(trace.events[1].flow_id, 7u);
+  EXPECT_EQ(trace.events[3].phase, 'f');
+  ASSERT_EQ(trace.events[4].args.size(), 1u);
+  EXPECT_EQ(trace.events[4].args[0].first, "cache");
+  EXPECT_EQ(trace.events[4].args[0].second, "miss");
+
+  // summarize surfaces the union of begin+end arg keys, sorted.
+  const auto stats = tracetool::summarize(trace);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].name, "spec.run");
+  const std::vector<std::string> want_keys = {"cache", "replicas",
+                                              "scenario"};
+  EXPECT_EQ(stats[0].arg_keys, want_keys);
+  const std::string table = tracetool::render_summary(stats, 10);
+  EXPECT_NE(table.find("cache,replicas,scenario"), std::string::npos)
+      << table;
+
+  // The CSV export joins begin and end args into one quoted-as-needed
+  // column.
+  const std::string csv = tracetool::export_spans_csv(trace);
+  EXPECT_NE(csv.find("scenario=fig13;replicas=200;cache=miss"),
+            std::string::npos)
+      << csv;
+}
+
+TEST_F(ObsTest, ValidatorRejectsUnbalancedFlows) {
+  obs::FakeClock clock;
+  const obs::ScopedClockOverride override_scope(clock);
+  obs::set_enabled(true);
+
+  clock.set_ns(1'000);
+  obs::flow_begin("spec.flow", 9);  // begin with no matching end
+  const tracetool::ParsedTrace trace =
+      tracetool::parse_trace(obs::render_chrome_trace(obs::drain_events()));
+  const auto problems = tracetool::validate(trace);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("flow 9"), std::string::npos) << problems[0];
+  EXPECT_NE(problems[0].find("end"), std::string::npos) << problems[0];
+}
+
+TEST_F(ObsTest, ScopedFlowBalancesAndPublishesCurrentFlow) {
+  obs::set_enabled(true);
+  EXPECT_EQ(obs::current_flow(), 0u);
+  const obs::FlowId id = obs::new_flow_id();
+  ASSERT_NE(id, 0u);
+  {
+    const obs::ScopedFlow flow("spec.flow", id);
+    EXPECT_EQ(obs::current_flow(), id);
+  }
+  EXPECT_EQ(obs::current_flow(), 0u);
+
+  const auto events = obs::drain_events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, obs::EventKind::kFlowBegin);
+  EXPECT_EQ(events[0].flow, id);
+  EXPECT_EQ(events[1].kind, obs::EventKind::kFlowEnd);
+  EXPECT_EQ(events[1].flow, id);
+
+  // An id of 0 makes the scope inert: nothing recorded, nothing published.
+  {
+    const obs::ScopedFlow inert("spec.flow", 0);
+    EXPECT_EQ(obs::current_flow(), 0u);
+  }
+  EXPECT_EQ(obs::buffered_event_count(), 0u);
+}
+
+// ---- critical path --------------------------------------------------------
+
+TEST_F(ObsTest, CriticalPathWalksTheHeaviestChain) {
+  obs::FakeClock clock;
+  const obs::ScopedClockOverride override_scope(clock);
+  obs::set_enabled(true);
+
+  clock.set_ns(1'000);
+  obs::record_begin("root");
+  clock.set_ns(2'000);
+  obs::record_begin("child.heavy");
+  clock.set_ns(5'000);
+  obs::record_end("child.heavy");
+  clock.set_ns(6'000);
+  obs::record_begin("child.light");
+  clock.set_ns(7'000);
+  obs::record_end("child.light");
+  clock.set_ns(10'000);
+  obs::record_end("root");
+  clock.set_ns(20'000);
+  obs::record_begin("other.root");
+  clock.set_ns(21'000);
+  obs::record_end("other.root");
+
+  const tracetool::ParsedTrace trace =
+      tracetool::parse_trace(obs::render_chrome_trace(obs::drain_events()));
+  const auto path = tracetool::critical_path(trace);
+  ASSERT_EQ(path.size(), 2u);
+  // root is the heaviest root (9 µs > 1 µs); its heaviest child is
+  // child.heavy (3 µs > 1 µs).
+  EXPECT_EQ(path[0].name, "root");
+  EXPECT_NEAR(path[0].total_us, 9.0, 1e-9);
+  EXPECT_NEAR(path[0].self_us, 5.0, 1e-9);
+  EXPECT_EQ(path[1].name, "child.heavy");
+  EXPECT_NEAR(path[1].total_us, 3.0, 1e-9);
+  EXPECT_NEAR(path[1].self_us, 3.0, 1e-9);
+
+  const std::string rendered = tracetool::render_critical_path(path);
+  EXPECT_EQ(rendered, tracetool::render_critical_path(path));
+  EXPECT_NE(rendered.find("root"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("  child.heavy"), std::string::npos) << rendered;
+
+  // No complete spans → empty path.
+  EXPECT_TRUE(tracetool::critical_path(tracetool::ParsedTrace{}).empty());
+}
+
 // ---- observe, never perturb ---------------------------------------------
 
 sim::RunMetrics run_reference_sim() {
@@ -383,6 +553,89 @@ TEST_F(ObsTest, EnabledSimulationFlushesEngineCounters) {
   const obs::MetricValue* dispatch = snap.find("sim.dispatch.fast");
   ASSERT_NE(dispatch, nullptr);
   EXPECT_GE(dispatch->count, 1u);
+}
+
+/// The ISSUE's cross-thread flow contract: a ScopedFlow opened on the main
+/// thread is picked up by replica workers on an 8-thread sweep, and the
+/// resulting trace still resolves every flow id to exactly one balanced
+/// begin/end pair (steps land on worker tids in between).
+TEST_F(ObsTest, FlowIdsBalanceAcrossEightWorkerThreads) {
+  obs::set_enabled(true);
+
+  const char* old_threads = std::getenv("LAZYCKPT_THREADS");
+  const std::string saved = old_threads != nullptr ? old_threads : "";
+  const bool had_old = old_threads != nullptr;
+  setenv("LAZYCKPT_THREADS", "8", 1);
+  // Pin the batch size well below replicas/8 so the batched dispatch fans
+  // the sweep into many blocks (one heartbeat + flow step each) — enough
+  // that the work-stealing loop hands blocks to more than one worker.
+  const char* old_batch = std::getenv("LAZYCKPT_BATCH");
+  const std::string saved_batch = old_batch != nullptr ? old_batch : "";
+  const bool had_batch = old_batch != nullptr;
+  setenv("LAZYCKPT_BATCH", "8", 1);
+
+  sim::SimulationConfig config;
+  config.compute_hours = 120.0;
+  config.alpha_oci_hours = core::daly_oci(0.5, 11.0);
+  config.mtbf_hint_hours = 11.0;
+  config.shape_hint = 0.6;
+  const io::ConstantStorage storage(0.5, 0.5, 2.0);
+  const auto policy = core::make_policy("ilazy:0.6");
+  const stats::Exponential mtbf = stats::Exponential::from_mean(11.0);
+
+  const obs::FlowId id = obs::new_flow_id();
+  {
+    const obs::ScopedFlow flow("spec.flow", id);
+    (void)sim::run_replicas(config, *policy, mtbf, storage, 512, 9005);
+    // The pool hands blocks to whichever worker wins the work-stealing
+    // race, so which tids carry the sweep's steps is timing-dependent.
+    // For a deterministic cross-thread check, step the flow from eight
+    // explicit threads: each gets its own trace buffer (a fresh tid) and
+    // reads the published id through obs::current_flow().
+    std::vector<std::thread> steppers;
+    steppers.reserve(8);
+    for (int i = 0; i < 8; ++i) {
+      steppers.emplace_back(
+          [] { obs::flow_step("spec.flow", obs::current_flow()); });
+    }
+    for (std::thread& t : steppers) t.join();
+  }
+  if (had_old) {
+    setenv("LAZYCKPT_THREADS", saved.c_str(), 1);
+  } else {
+    unsetenv("LAZYCKPT_THREADS");
+  }
+  if (had_batch) {
+    setenv("LAZYCKPT_BATCH", saved_batch.c_str(), 1);
+  } else {
+    unsetenv("LAZYCKPT_BATCH");
+  }
+
+  const std::string json = obs::render_chrome_trace(obs::drain_events());
+  const tracetool::ParsedTrace trace = tracetool::parse_trace(json);
+  EXPECT_TRUE(tracetool::validate(trace).empty());
+
+  std::map<std::uint64_t, std::uint64_t> starts;
+  std::map<std::uint64_t, std::uint64_t> ends;
+  std::size_t steps = 0;
+  std::set<std::uint64_t> step_tids;
+  for (const tracetool::Event& event : trace.events) {
+    if (event.phase == 's') ++starts[event.flow_id];
+    if (event.phase == 'f') ++ends[event.flow_id];
+    if (event.phase == 't') {
+      ++steps;
+      step_tids.insert(event.tid);
+    }
+  }
+  ASSERT_EQ(starts.size(), 1u);
+  EXPECT_EQ(starts.begin()->first, id);
+  EXPECT_EQ(starts.begin()->second, 1u);
+  ASSERT_EQ(ends.size(), 1u);
+  EXPECT_EQ(ends.begin()->second, 1u);
+  // 512 replicas in 8-wide batches: one heartbeat step per block, plus
+  // the eight explicit stepper threads on eight distinct tids.
+  EXPECT_GE(steps, 16u);
+  EXPECT_GE(step_tids.size(), 8u);
 }
 
 }  // namespace

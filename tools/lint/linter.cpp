@@ -16,7 +16,7 @@ namespace lazyckpt::lint {
 
 namespace {
 
-constexpr std::array<std::pair<Rule, std::string_view>, 9> kRuleIds = {{
+constexpr std::array<std::pair<Rule, std::string_view>, 10> kRuleIds = {{
     {Rule::kDeterminism, "determinism"},
     {Rule::kUnorderedOutputOrder, "unordered-output-order"},
     {Rule::kFloatCompare, "float-compare"},
@@ -26,9 +26,11 @@ constexpr std::array<std::pair<Rule, std::string_view>, 9> kRuleIds = {{
     {Rule::kCacheIoDiscipline, "cache-io-discipline"},
     {Rule::kIncludeHygiene, "include-hygiene"},
     {Rule::kFloatCompareVar, "float-compare-var"},
+    {Rule::kMetricNameStyle, "metric-name-style"},
 }};
 
-constexpr std::array<std::pair<Rule, std::string_view>, 9> kRuleRationales = {{
+constexpr std::array<std::pair<Rule, std::string_view>, 10> kRuleRationales =
+    {{
     {Rule::kDeterminism,
      "all randomness flows through common/random pre-split streams; "
      "wall-clock reads are allowed only in bench/ or via the obs clock "
@@ -64,6 +66,11 @@ constexpr std::array<std::pair<Rule, std::string_view>, 9> kRuleRationales = {{
      "raw ==/!= between variables the symbol table (symbols.hpp) knows "
      "to have floating type; intentional exact comparison must go "
      "through lazyckpt::fp (common/fp.hpp)"},
+    {Rule::kMetricNameStyle,
+     "metric and trace span names registered from src/ are one shared "
+     "namespace keyed by the obs registry, the run report, and the "
+     "Prometheus exposition; they must be lowercase dot-separated "
+     "([a-z][a-z0-9_]* segments, at least two), e.g. cache.hits"},
 }};
 
 bool is_ident_char(char c) {
@@ -983,6 +990,90 @@ std::vector<Finding> lint_source(std::string_view file_label,
           break;  // one diagnostic per line
         }
       }
+    }
+  }
+
+  // ---- metric-name-style -------------------------------------------------
+  if (ctx.in_src) {
+    // Registration sites take the name as their first argument:
+    // obs::metrics().counter("cache.hits"), obs::instant("cr.x"),
+    // TraceSpan span("sim.block", ...).  The check walks the raw token
+    // stream — the stripped lines blank literal contents, which is
+    // exactly the text this rule needs to read.  Non-literal names
+    // (variables, concatenations) are skipped: they cannot be judged
+    // statically.
+    constexpr std::array<std::string_view, 9> kRegistrars = {
+        "counter",    "gauge",      "histogram", "instant", "record_begin",
+        "record_end", "flow_begin", "flow_step", "flow_end",
+    };
+    constexpr std::array<std::string_view, 2> kSpanTypes = {"TraceSpan",
+                                                            "ScopedFlow"};
+    // Lowercase dot-separated: at least two [a-z][a-z0-9_]* segments.
+    const auto name_ok = [](std::string_view name) {
+      std::size_t segments = 0;
+      std::size_t pos = 0;
+      while (pos <= name.size()) {
+        const std::size_t dot = name.find('.', pos);
+        const std::string_view segment = name.substr(
+            pos, dot == std::string_view::npos ? name.size() - pos
+                                               : dot - pos);
+        if (segment.empty()) return false;
+        if (segment.front() < 'a' || segment.front() > 'z') return false;
+        for (const char c : segment) {
+          const bool valid = (c >= 'a' && c <= 'z') ||
+                             (c >= '0' && c <= '9') || c == '_';
+          if (!valid) return false;
+        }
+        ++segments;
+        if (dot == std::string_view::npos) break;
+        pos = dot + 1;
+      }
+      return segments >= 2;
+    };
+    std::vector<std::size_t> code;
+    for (std::size_t i = 0; i < ts.tokens.size(); ++i) {
+      if (ts.tokens[i].kind != TokenKind::kComment) code.push_back(i);
+    }
+    const auto tok = [&](std::size_t ci) -> const Token* {
+      return ci < code.size() ? &ts.tokens[code[ci]] : nullptr;
+    };
+    for (std::size_t ci = 0; ci < code.size(); ++ci) {
+      const Token& t = ts.tokens[code[ci]];
+      if (t.kind != TokenKind::kIdentifier || t.in_pp) continue;
+      const bool registrar =
+          std::find(kRegistrars.begin(), kRegistrars.end(), t.spelling) !=
+          kRegistrars.end();
+      const bool span_type =
+          std::find(kSpanTypes.begin(), kSpanTypes.end(), t.spelling) !=
+          kSpanTypes.end();
+      if (!registrar && !span_type) continue;
+      std::size_t next = ci + 1;
+      if (span_type) {
+        // The declaration form `TraceSpan span(...)`: skip the variable.
+        if (const Token* n = tok(next);
+            n != nullptr && n->kind == TokenKind::kIdentifier) {
+          ++next;
+        }
+      }
+      const Token* paren = tok(next);
+      if (paren == nullptr || paren->kind != TokenKind::kPunct ||
+          paren->spelling != "(") {
+        continue;
+      }
+      const Token* arg = tok(next + 1);
+      if (arg == nullptr || arg->kind != TokenKind::kString) continue;
+      const std::size_t open = arg->spelling.find('"');
+      const std::size_t close = arg->spelling.rfind('"');
+      if (open == std::string::npos || close <= open) continue;
+      const std::string name =
+          arg->spelling.substr(open + 1, close - open - 1);
+      if (name_ok(name)) continue;
+      report(t.line, Rule::kMetricNameStyle,
+             "metric/span name \"" + name +
+                 "\" is not lowercase dot-separated: the obs registry, run "
+                 "reports, and the Prometheus exposition share this "
+                 "namespace (want at least two [a-z][a-z0-9_]* segments, "
+                 "e.g. \"cache.hits\")");
     }
   }
 

@@ -27,6 +27,11 @@
 ///                     <d> (default: $LAZYCKPT_CACHE when set); prints
 ///                     "cache hits=H misses=M" on stderr afterwards
 ///     --no-cache      ignore --cache-dir and $LAZYCKPT_CACHE
+///     --report <path> write the canonical JSON run report (metrics,
+///                     span rollup, cache stats, machine block) to <path>
+///                     — byte-identical across reruns under a fake clock
+///     --progress      heartbeat "done/total | rate | ETA" lines on
+///                     stderr while replicas run (also: LAZYCKPT_PROGRESS)
 ///
 /// Exit status: 0 on success, 1 on any malformed spec, unknown name, or
 /// unreadable file (the error names the offending token).
@@ -38,6 +43,7 @@
 #include <exception>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -45,6 +51,10 @@
 #include "common/fp.hpp"
 #include "common/table.hpp"
 #include "io/factory.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "sim/metrics.hpp"
 #include "spec/catalog.hpp"
 #include "spec/runner.hpp"
@@ -55,6 +65,10 @@
 namespace {
 
 using namespace lazyckpt;
+
+// LAZYCKPT_TRACE=<path> works on the driver exactly like on the benches:
+// a file-scope session flushes the trace after main returns.
+const obs::TraceEnvSession trace_env_session{};
 
 constexpr std::size_t kSmokeReplicas = 3;
 
@@ -74,6 +88,9 @@ void print_usage(std::FILE* out) {
                "  --cache-dir <d> content-addressed result cache "
                "(default: $LAZYCKPT_CACHE)\n"
                "  --no-cache      disable the result cache\n"
+               "  --report <path> write the canonical JSON run report\n"
+               "  --progress      heartbeat lines on stderr "
+               "(also: LAZYCKPT_PROGRESS)\n"
                "  --help          this message\n",
                kSmokeReplicas);
 }
@@ -369,7 +386,13 @@ int main(int argc, char** argv) {
   bool force_json = false;
   bool compare = false;
   bool no_cache = false;
+  bool progress = false;
+  if (const char* env = std::getenv("LAZYCKPT_PROGRESS");
+      env != nullptr && *env != '\0' && std::string(env) != "0") {
+    progress = true;
+  }
   std::string cache_dir;
+  std::string report_path;
   if (const char* env = std::getenv("LAZYCKPT_CACHE")) cache_dir = env;
   std::vector<spec::Scenario> scenarios;
   std::vector<std::string> sweep_files;
@@ -399,6 +422,18 @@ int main(int argc, char** argv) {
       }
       if (arg == "--no-cache") {
         no_cache = true;
+        continue;
+      }
+      if (arg == "--progress") {
+        progress = true;
+        continue;
+      }
+      if (arg == "--report") {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "lazyckpt-run: --report needs a path\n");
+          return 1;
+        }
+        report_path = argv[++i];
         continue;
       }
       if (arg == "--cache-dir") {
@@ -462,6 +497,30 @@ int main(int argc, char** argv) {
     if (store.has_value()) options.cache = &*store;
     const spec::ScenarioRunner runner(options);
 
+    // Reports and the heartbeat both read the obs registry, so either
+    // flag turns recording on — telemetry observes, never perturbs, so
+    // the tables/JSON on stdout stay byte-identical either way.
+    if (!report_path.empty() || progress) obs::set_enabled(true);
+    std::optional<obs::ProgressTicker> ticker;
+    if (progress) ticker.emplace();
+    std::vector<std::string> run_names;
+
+    // Every scenario run goes through here: the ticker learns the task's
+    // label/denominator, and the report learns the scenario order.
+    const auto run_one = [&](const spec::Scenario& scenario) {
+      std::size_t total = scenario.replicas;
+      if (smoke) total = std::min(total, kSmokeReplicas);
+      if (ticker.has_value()) {
+        ticker->begin(scenario.name, total,
+                      scenario.is_campaign() ? "sim.campaign_replicas_done"
+                                             : "sim.replicas_done");
+      }
+      auto result = runner.run(scenario);
+      if (ticker.has_value()) ticker->finish();
+      run_names.push_back(scenario.name);
+      return result;
+    };
+
     // Stats go to stderr at every exit from here on, so "run 2 of the
     // same grid must be 100% hits" is assertable from a shell.
     const auto report_cache = [&store] {
@@ -471,6 +530,41 @@ int main(int argc, char** argv) {
                    "lazyckpt-run: cache hits=%llu misses=%llu\n",
                    static_cast<unsigned long long>(stats.hits),
                    static_cast<unsigned long long>(stats.misses));
+    };
+
+    // Canonical JSON run report (--report).  Assembled from the obs
+    // registry and the trace buffers (snapshot, not drain — a pending
+    // LAZYCKPT_TRACE flush still sees every event).
+    const auto write_report = [&] {
+      if (report_path.empty()) return;
+      obs::RunReportInputs inputs;
+      inputs.tool = "lazyckpt-run";
+      inputs.scenarios = run_names;
+      inputs.machine.emplace_back(
+          "hardware_concurrency",
+          std::to_string(std::thread::hardware_concurrency()));
+      const char* threads_env = std::getenv("LAZYCKPT_THREADS");
+      inputs.machine.emplace_back(
+          "lazyckpt_threads",
+          threads_env != nullptr
+              ? "\"" + json_escape(threads_env) + "\""
+              : std::string("null"));
+      inputs.machine.emplace_back("smoke", smoke ? "true" : "false");
+      inputs.metrics = obs::metrics().snapshot();
+      inputs.events = obs::snapshot_events();
+      if (store.has_value()) {
+        const cache::StoreStats stats = store->stats();
+        inputs.has_cache = true;
+        inputs.cache_hits = stats.hits;
+        inputs.cache_misses = stats.misses;
+        inputs.cache_bytes_read = stats.bytes_read;
+        inputs.cache_bytes_written = stats.bytes_written;
+        inputs.cache_evictions = stats.evictions;
+      }
+      if (!obs::write_run_report_file(inputs, report_path)) {
+        std::fprintf(stderr, "lazyckpt-run: cannot write report %s\n",
+                     report_path.c_str());
+      }
     };
 
     if (!sweep_files.empty()) {
@@ -497,7 +591,7 @@ int main(int argc, char** argv) {
       std::vector<SweepRow> rows;
       rows.reserve(points.size());
       for (const auto& point : points) {
-        rows.push_back(SweepRow{point, runner.run(point.scenario)});
+        rows.push_back(SweepRow{point, run_one(point.scenario)});
       }
       if (force_json) {
         print_sweep_json(rows);
@@ -505,6 +599,7 @@ int main(int argc, char** argv) {
         print_sweep_table(rows);
       }
       report_cache();
+      write_report();
       return 0;
     }
 
@@ -522,19 +617,20 @@ int main(int argc, char** argv) {
                      "scenarios only\n");
         return 1;
       }
-      const auto a = runner.run(scenarios[0]);
-      const auto b = runner.run(scenarios[1]);
+      const auto a = run_one(scenarios[0]);
+      const auto b = run_one(scenarios[1]);
       if (force_json) {
         print_compare_json(a, b);
       } else {
         print_compare_table(a, b);
       }
       report_cache();
+      write_report();
       return 0;
     }
 
     for (const auto& scenario : scenarios) {
-      const auto result = runner.run(scenario);
+      const auto result = run_one(scenario);
       const bool json =
           force_json || scenario.output == spec::OutputFormat::kJson;
       if (json) {
@@ -544,6 +640,7 @@ int main(int argc, char** argv) {
       }
     }
     report_cache();
+    write_report();
   } catch (const std::exception& error) {
     std::fprintf(stderr, "lazyckpt-run: %s\n", error.what());
     return 1;

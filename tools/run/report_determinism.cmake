@@ -1,0 +1,51 @@
+# Run lazyckpt-run twice with --report under a pinned fake clock and
+# require the two report files to be byte-identical — the CLI half of the
+# run-report determinism contract (the renderer half lives in
+# tests/test_report.cpp).  Driven by the run_report_determinism CTest case
+# with: -DRUN_TOOL=<lazyckpt-run> -DOUT_DIR=<scratch dir>
+
+set(report_a "${OUT_DIR}/run-report-a.json")
+set(report_b "${OUT_DIR}/run-report-b.json")
+file(REMOVE "${report_a}" "${report_b}")
+
+foreach(report IN ITEMS "${report_a}" "${report_b}")
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env
+            "LAZYCKPT_FAKE_CLOCK=0" "LAZYCKPT_TRACE=1" "LAZYCKPT_THREADS=2"
+            "${RUN_TOOL}" --name fig13 --smoke --report "${report}"
+    RESULT_VARIABLE run_status
+    OUTPUT_VARIABLE run_output
+    ERROR_VARIABLE run_output)
+  if(NOT run_status EQUAL 0)
+    message(FATAL_ERROR
+      "lazyckpt-run --report failed (${run_status}):\n${run_output}")
+  endif()
+  if(NOT EXISTS "${report}")
+    message(FATAL_ERROR "lazyckpt-run left no report at ${report}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${report_a}" "${report_b}"
+  RESULT_VARIABLE compare_status)
+if(NOT compare_status EQUAL 0)
+  message(FATAL_ERROR
+    "run reports differ across reruns under LAZYCKPT_FAKE_CLOCK=0: "
+    "${report_a} vs ${report_b}")
+endif()
+
+# Sanity on the document itself: schema header, tool name, and a span
+# rollup that actually saw the traced run.
+file(READ "${report_a}" report_text)
+foreach(needle IN ITEMS
+    "\"schema\": \"lazyckpt-run-report\""
+    "\"tool\": \"lazyckpt-run\""
+    "\"scenarios\": [\"fig13\"]"
+    "\"spans\": [")
+  string(FIND "${report_text}" "${needle}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR
+      "report is missing '${needle}':\n${report_text}")
+  endif()
+endforeach()
+message(STATUS "run report determinism OK")

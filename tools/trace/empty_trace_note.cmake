@@ -1,0 +1,30 @@
+# An empty-but-valid trace (a run that recorded no spans) must not be an
+# error: summarize/critical-path/diff print an explicit "no spans" note
+# and exit 0.  Driven by the trace_empty_note CTest case with:
+#   -DTRACE_TOOL=<lazyckpt-trace> -DOUT_DIR=<scratch dir>
+
+set(empty_trace "${OUT_DIR}/empty_trace.json")
+file(WRITE "${empty_trace}" "{\"traceEvents\": []}\n")
+
+function(expect_note note)
+  execute_process(
+    COMMAND "${TRACE_TOOL}" ${ARGN}
+    RESULT_VARIABLE status
+    OUTPUT_VARIABLE output
+    ERROR_VARIABLE output)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR
+      "lazyckpt-trace ${ARGN} failed (${status}) on an empty trace:\n"
+      "${output}")
+  endif()
+  string(FIND "${output}" "${note}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR
+      "lazyckpt-trace ${ARGN} did not print '${note}':\n${output}")
+  endif()
+endfunction()
+
+expect_note("no spans in trace" summarize "${empty_trace}")
+expect_note("no spans in trace" critical-path "${empty_trace}")
+expect_note("no spans in either trace" diff "${empty_trace}" "${empty_trace}")
+message(STATUS "empty-trace notes OK")

@@ -2,19 +2,24 @@
 /// \brief CLI for lazyckpt-trace (see trace_tool.hpp and DESIGN.md §5f).
 ///
 /// Usage:
-///   lazyckpt-trace validate  <trace.json>
-///   lazyckpt-trace summarize [--top N] <trace.json>
-///   lazyckpt-trace export    [--out <file.csv>] <trace.json>
-///   lazyckpt-trace diff      [--top N] <a.json> <b.json>
+///   lazyckpt-trace validate      <trace.json>
+///   lazyckpt-trace summarize     [--top N] <trace.json>
+///   lazyckpt-trace export        [--out <file.csv>] <trace.json>
+///   lazyckpt-trace diff          [--top N] <a.json> <b.json>
+///   lazyckpt-trace critical-path <trace.json>
 ///
 /// `validate` checks the document is structurally sound trace_event JSON
-/// (required keys, monotone per-thread timestamps, balanced span nesting)
-/// and exits 0/1.  `summarize` prints a top-N self-time profile of the
-/// spans.  `export` emits every complete span as a CSV row for external
-/// analysis.  `diff` compares two traces' self-time profiles per span,
-/// sorted by |delta| (B minus A) — the before/after view for performance
-/// work.  Exit status is 0 on success, 1 when validation fails, 2 on
-/// usage or I/O errors.
+/// (required keys, monotone per-thread timestamps, balanced span nesting,
+/// balanced flow begin/end pairs) and exits 0/1.  `summarize` prints a
+/// top-N self-time profile of the spans, with each span's argument keys.
+/// `export` emits every complete span as a CSV row for external analysis.
+/// `diff` compares two traces' self-time profiles per span, sorted by
+/// |delta| (B minus A) — the before/after view for performance work.
+/// `critical-path` walks the longest self-time chain: the heaviest root
+/// span, then the heaviest child at each level.  Exit status is 0 on
+/// success, 1 when validation fails, 2 on usage or I/O errors.  A trace
+/// with no spans is valid: summarize/diff/critical-path print an explicit
+/// note and exit 0.
 
 #include <cstdlib>
 #include <fstream>
@@ -35,8 +40,20 @@ int usage(std::ostream& out, int status) {
          "  summarize [--top N]    top-N spans by self time (default 10)\n"
          "  export [--out <csv>]   complete spans as CSV (default stdout)\n"
          "  diff [--top N] <a> <b> per-span self-time deltas (B minus A)\n"
+         "  critical-path          longest self-time chain, root to leaf\n"
          "Traces come from LAZYCKPT_TRACE=<path> on any bench binary.\n";
   return status;
+}
+
+/// Shared "empty but valid" note: a trace with zero complete spans is not
+/// an error (a run can legitimately record only counters or nothing at
+/// all), so profile commands say so explicitly instead of printing a bare
+/// header.
+bool note_if_no_spans(const ParsedTrace& trace, std::size_t span_names) {
+  if (span_names != 0) return false;
+  std::cout << "lazyckpt-trace: no spans in trace (" << trace.events.size()
+            << " event" << (trace.events.size() == 1 ? "" : "s") << ")\n";
+  return true;
 }
 
 bool read_file(const std::string& path, std::string& out) {
@@ -118,6 +135,12 @@ int main(int argc, char** argv) {
     const auto deltas =
         lazyckpt::tracetool::diff_profiles(lazyckpt::tracetool::summarize(trace),
                                            lazyckpt::tracetool::summarize(second));
+    if (deltas.empty()) {
+      std::cout << "lazyckpt-trace: no spans in either trace ("
+                << trace.events.size() << " + " << second.events.size()
+                << " events)\n";
+      return 0;
+    }
     std::cout << lazyckpt::tracetool::render_diff(deltas, top_n);
     return 0;
   }
@@ -139,7 +162,14 @@ int main(int argc, char** argv) {
   }
   if (command == "summarize") {
     const auto stats = lazyckpt::tracetool::summarize(trace);
+    if (note_if_no_spans(trace, stats.size())) return 0;
     std::cout << lazyckpt::tracetool::render_summary(stats, top_n);
+    return 0;
+  }
+  if (command == "critical-path") {
+    const auto nodes = lazyckpt::tracetool::critical_path(trace);
+    if (note_if_no_spans(trace, nodes.size())) return 0;
+    std::cout << lazyckpt::tracetool::render_critical_path(nodes);
     return 0;
   }
   if (command == "export") {
