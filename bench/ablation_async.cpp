@@ -2,6 +2,11 @@
 /// related work cites faster-checkpoint mechanisms as complementary to
 /// Lazy/Skip; here we quantify the composition: blocking fraction sweep
 /// under static OCI and under iLazy.
+///
+/// Scenario-driven: each row is a catalog-style Scenario (the `daly` OCI
+/// sentinel reproduces hero_config's Daly(β, MTBF) derivation bitwise)
+/// run through spec::ScenarioRunner — the table is byte-identical to the
+/// pre-migration hand-wired version.
 
 #include "bench_common.hpp"
 
@@ -13,16 +18,19 @@ int main() {
   print_params("W=400 h, beta=0.5 h, k=0.6, MTBF 11 h, 120 replicas, "
                "seed 53; sigma = blocking fraction of each write");
 
-  const auto& hero = kPetascale20K;
-  const auto weibull =
-      stats::Weibull::from_mtbf_and_shape(hero.mtbf_hours, 0.6);
-  const io::ConstantStorage storage(0.5, 0.5);
-
   const auto run = [&](const std::string& spec, double sigma) {
-    auto config = hero_config(hero, 0.5, 400.0);
-    config.checkpoint_blocking_fraction = sigma;
-    return sim::run_replicas(config, *core::make_policy(spec), weibull,
-                             storage, 120, 53);
+    spec::Scenario s;
+    s.name = "ablation-async";
+    s.distribution = "weibull:mtbf=11,k=0.6";
+    s.storage = "constant:beta=0.5";
+    s.policy = spec;
+    s.compute_hours = 400.0;
+    s.mtbf_hint_hours = 11.0;
+    s.shape_hint = 0.6;
+    s.replicas = 120;
+    s.seed = 53;
+    s.blocking_fraction = sigma;
+    return spec::ScenarioRunner().run(s).aggregate;
   };
 
   const auto sync_oci = run("static-oci", 1.0);

@@ -1,8 +1,12 @@
 /// Ablation: single-level vs two-level (burst buffer + PFS) checkpointing,
 /// and iLazy layered on both — extending the paper's Obs. 7 into the
 /// storage architecture where fast checkpoints actually live.
-
-#include "sim/tiered.hpp"
+///
+/// Scenario-driven since the N-tier hierarchy landed (DESIGN.md §5k): each
+/// row is a hierarchy Scenario run through spec::ScenarioRunner, which
+/// pre-splits the per-replica RNG streams in the same order as the
+/// historical serial loop — the table is byte-identical to the pre-
+/// migration hand-wired version.
 
 #include "bench_common.hpp"
 
@@ -11,55 +15,34 @@ using namespace lazyckpt::bench;
 
 namespace {
 
-sim::TieredConfig two_level_config(int l2_every, double alpha_ref) {
-  sim::TieredConfig config;
-  config.compute_hours = 400.0;
-  config.alpha_oci_hours = alpha_ref;
-  config.mtbf_hint_hours = 11.0;
-  config.shape_hint = 0.6;
-  config.beta_l1_hours = 0.05;  // burst buffer: 10x faster than PFS
-  config.beta_l2_hours = 0.5;
-  config.gamma_l1_hours = 0.05;
-  config.gamma_l2_hours = 0.5;
-  config.l2_every = l2_every;
-  config.l1_survivable_fraction = 0.8;
-  return config;
+spec::Scenario two_level_scenario(int l2_every, double alpha_ref) {
+  spec::Scenario s;
+  s.name = "ablation-tiered";
+  s.distribution = "weibull:mtbf=11,k=0.6";
+  s.tiers = {"bb:beta=0.05,survivable=0.8",
+             "pfs:beta=0.5,every=" + std::to_string(l2_every)};
+  s.compute_hours = 400.0;
+  s.oci_hours = alpha_ref;
+  s.mtbf_hint_hours = 11.0;
+  s.shape_hint = 0.6;
+  s.replicas = 100;
+  s.seed = 43;
+  return s;
 }
 
-sim::TieredConfig single_level_config(double alpha_ref) {
+spec::Scenario single_level_scenario(double alpha_ref) {
   // Model the classic PFS-only scheme inside the same engine: both tiers
   // cost the same and every failure can restart from the last checkpoint.
-  auto config = two_level_config(1000000, alpha_ref);
-  config.beta_l1_hours = 0.5;
-  config.gamma_l1_hours = 0.5;
-  config.l1_survivable_fraction = 1.0;
-  return config;
+  auto s = two_level_scenario(1000000, alpha_ref);
+  s.tiers[0] = "bb:beta=0.5,survivable=1";
+  return s;
 }
 
-sim::TieredMetrics run_mean(const sim::TieredConfig& config,
-                            const std::string& spec) {
-  const auto weibull = stats::Weibull::from_mtbf_and_shape(11.0, 0.6);
-  sim::TieredMetrics total;
-  const std::size_t replicas = 100;
-  Rng master(43);
-  for (std::size_t i = 0; i < replicas; ++i) {
-    sim::RenewalFailureSource source(weibull.clone(), master.split());
-    const auto policy = core::make_policy(spec);
-    const auto m =
-        sim::simulate_tiered(config, *policy, source, master.split());
-    total.makespan_hours += m.makespan_hours;
-    total.l1_io_hours += m.l1_io_hours;
-    total.l2_io_hours += m.l2_io_hours;
-    total.wasted_hours += m.wasted_hours;
-    total.restart_hours += m.restart_hours;
-  }
-  const auto n = static_cast<double>(replicas);
-  total.makespan_hours /= n;
-  total.l1_io_hours /= n;
-  total.l2_io_hours /= n;
-  total.wasted_hours /= n;
-  total.restart_hours /= n;
-  return total;
+sim::HierarchyAggregate run_mean(spec::Scenario scenario,
+                                 const std::string& policy_spec) {
+  scenario.policy = policy_spec;
+  const auto result = spec::ScenarioRunner().run(scenario);
+  return *result.hierarchy;
 }
 
 }  // namespace
@@ -75,27 +58,27 @@ int main() {
 
   TextTable table({"scheme", "makespan (h)", "ckpt I/O total (h)",
                    "L2 I/O (h)", "wasted (h)"});
-  const auto row = [&](const char* label, const sim::TieredMetrics& m) {
-    table.add_row({label, TextTable::num(m.makespan_hours),
-                   TextTable::num(m.io_hours()),
-                   TextTable::num(m.l2_io_hours),
-                   TextTable::num(m.wasted_hours)});
+  const auto row = [&](const char* label, const sim::HierarchyAggregate& m) {
+    table.add_row({label, TextTable::num(m.mean_makespan_hours),
+                   TextTable::num(m.mean_io_hours()),
+                   TextTable::num(m.tiers[1].mean_io_hours),
+                   TextTable::num(m.mean_wasted_hours)});
   };
 
   row("single-level PFS, OCI",
-      run_mean(single_level_config(alpha_pfs), "static-oci"));
+      run_mean(single_level_scenario(alpha_pfs), "static-oci"));
   row("single-level PFS, iLazy",
-      run_mean(single_level_config(alpha_pfs), "ilazy:0.6"));
+      run_mean(single_level_scenario(alpha_pfs), "ilazy:0.6"));
   row("two-level, L2 every ckpt, OCI(L1)",
-      run_mean(two_level_config(1, alpha_l1), "static-oci"));
+      run_mean(two_level_scenario(1, alpha_l1), "static-oci"));
   row("two-level, L2 every 4th, OCI(L1)",
-      run_mean(two_level_config(4, alpha_l1), "static-oci"));
+      run_mean(two_level_scenario(4, alpha_l1), "static-oci"));
   row("two-level, L2 every 10th, OCI(L1)",
-      run_mean(two_level_config(10, alpha_l1), "static-oci"));
+      run_mean(two_level_scenario(10, alpha_l1), "static-oci"));
   row("two-level, L2 every 4th, iLazy",
-      run_mean(two_level_config(4, alpha_l1), "ilazy:0.6"));
+      run_mean(two_level_scenario(4, alpha_l1), "ilazy:0.6"));
   row("two-level, L2 every 10th, iLazy",
-      run_mean(two_level_config(10, alpha_l1), "ilazy:0.6"));
+      run_mean(two_level_scenario(10, alpha_l1), "ilazy:0.6"));
   std::printf("%s\n", table.to_string().c_str());
   std::printf(
       "Reading: tiering with a moderate L2 period beats single-level PFS\n"

@@ -101,6 +101,35 @@ std::string payload_for(const spec::ScenarioResult& result) {
     p += "campaign = none\n";
   }
 
+  if (result.hierarchy.has_value()) {
+    const auto& h = *result.hierarchy;
+    p += "hierarchy = ";
+    append_u64(&p, h.replicas);
+    for (const double v :
+         {h.mean_makespan_hours, h.mean_compute_hours, h.mean_wasted_hours,
+          h.mean_restart_hours, h.mean_failures,
+          h.mean_checkpoints_skipped}) {
+      p += ' ';
+      p += hex_double(v);
+    }
+    p += ' ';
+    p += std::to_string(h.tiers.size());
+    p += '\n';
+    for (const auto& tier : h.tiers) {
+      // Tier kinds are [A-Za-z0-9_.-] registry names (never spaces), so
+      // they are safe as space-separated tokens.
+      p += "htier = " + tier.kind;
+      for (const double v :
+           {tier.mean_io_hours, tier.mean_checkpoints, tier.mean_restarts}) {
+        p += ' ';
+        p += hex_double(v);
+      }
+      p += '\n';
+    }
+  } else {
+    p += "hierarchy = none\n";
+  }
+
   p += "end\n";
   return p;
 }
@@ -387,6 +416,52 @@ DeserializeOutcome deserialize_result(std::string_view bytes) {
     result.campaign = c;
   } else {
     return reject("malformed campaign line");
+  }
+
+  // Per-tier hierarchy summary (or the explicit "none").
+  if (!reader.next_line(&line)) return reject(reader.error());
+  if (!parse_fields(line, "hierarchy", &fields)) {
+    return reject("malformed hierarchy line");
+  }
+  if (fields.size() == 1 && fields[0] == "none") {
+    result.hierarchy.reset();
+  } else if (fields.size() == 8) {
+    sim::HierarchyAggregate h{};
+    std::uint64_t replicas = 0;
+    if (!parse_u64(fields[0], &replicas)) {
+      return reject("malformed hierarchy replica count");
+    }
+    h.replicas = static_cast<std::size_t>(replicas);
+    double* const targets[6] = {&h.mean_makespan_hours, &h.mean_compute_hours,
+                                &h.mean_wasted_hours, &h.mean_restart_hours,
+                                &h.mean_failures, &h.mean_checkpoints_skipped};
+    for (std::size_t i = 0; i < 6; ++i) {
+      if (!parse_hex_double(fields[i + 1], targets[i])) {
+        return reject("malformed hierarchy field");
+      }
+    }
+    std::size_t tier_count = 0;
+    if (!parse_size(fields[7], &tier_count)) {
+      return reject("malformed hierarchy tier count");
+    }
+    h.tiers.reserve(tier_count);
+    for (std::size_t t = 0; t < tier_count; ++t) {
+      if (!reader.next_line(&line)) return reject(reader.error());
+      if (!parse_fields(line, "htier", &fields) || fields.size() != 4) {
+        return reject("malformed htier line");
+      }
+      sim::TierAggregate tier{};
+      tier.kind = std::string(fields[0]);
+      if (!parse_hex_double(fields[1], &tier.mean_io_hours) ||
+          !parse_hex_double(fields[2], &tier.mean_checkpoints) ||
+          !parse_hex_double(fields[3], &tier.mean_restarts)) {
+        return reject("malformed htier field");
+      }
+      h.tiers.push_back(std::move(tier));
+    }
+    result.hierarchy = std::move(h);
+  } else {
+    return reject("malformed hierarchy line");
   }
 
   if (!reader.next_line(&line) || line != "end") {

@@ -30,11 +30,13 @@ namespace lazyckpt::cache {
 
 /// Version stamp of the on-disk result format.  Part of the cache key and
 /// of every entry header: bumping it atomically retires all old entries.
-inline constexpr int kResultFormatVersion = 1;
+/// v2 added the per-tier hierarchy summary block.
+inline constexpr int kResultFormatVersion = 2;
 
 /// Serialize `result` (scenario as run, aggregate, per-replica runs with
-/// timelines, campaign summary) into the versioned checksummed entry
-/// format.  Deterministic: equal results produce equal bytes.
+/// timelines, campaign summary, per-tier hierarchy summary) into the
+/// versioned checksummed entry format.  Deterministic: equal results
+/// produce equal bytes.
 [[nodiscard]] std::string serialize_result(const spec::ScenarioResult& result);
 
 /// Outcome of parsing an entry: exactly one of `result` / `error` is set.

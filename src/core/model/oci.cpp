@@ -1,6 +1,7 @@
 #include "core/model/oci.hpp"
 
 #include <cmath>
+#include <cstddef>
 
 #include "common/error.hpp"
 
@@ -21,6 +22,26 @@ double daly_oci(double checkpoint_time_hours, double mtbf_hours) {
   const double ratio = beta / (2.0 * m);
   const double sqrt_term = std::sqrt(2.0 * beta * m);
   return sqrt_term * (1.0 + std::sqrt(ratio) / 3.0 + ratio / 9.0) - beta;
+}
+
+double tier_weighted_beta(std::span<const double> betas,
+                          std::span<const std::uint64_t> periods) {
+  require(!betas.empty(), "tier_weighted_beta needs at least one tier");
+  require(betas.size() == periods.size(),
+          "tier_weighted_beta: betas and periods must match");
+  double effective = 0.0;
+  for (std::size_t level = 0; level < betas.size(); ++level) {
+    require_positive(betas[level], "tier_weighted_beta: beta");
+    require(periods[level] >= 1, "tier_weighted_beta: period must be >= 1");
+    effective += betas[level] / static_cast<double>(periods[level]);
+  }
+  return effective;
+}
+
+double tiered_daly_oci(std::span<const double> betas,
+                       std::span<const std::uint64_t> periods,
+                       double mtbf_hours) {
+  return daly_oci(tier_weighted_beta(betas, periods), mtbf_hours);
 }
 
 double numeric_oci(const RuntimeModel& model) {

@@ -8,6 +8,9 @@
 ///   - Daly's higher-order formula       (used throughout the paper)
 ///   - numeric minimization of the full RuntimeModel.
 
+#include <cstdint>
+#include <span>
+
 #include "core/model/runtime_model.hpp"
 
 namespace lazyckpt::core {
@@ -25,5 +28,23 @@ double daly_oci(double checkpoint_time_hours, double mtbf_hours);
 /// the feasible interval range.  Throws Error if no feasible interval
 /// exists (machine too unreliable to progress at any interval).
 double numeric_oci(const RuntimeModel& model);
+
+/// Effective per-checkpoint cost of a storage hierarchy (DESIGN.md §5k):
+/// tier k's β amortized over the `periods[k]` checkpoint boundaries
+/// between its writes,  β_eff = Σ_k β_k / periods[k].  `betas` are the
+/// per-tier checkpoint times (fastest first) and `periods` the cumulative
+/// flush periods (io::StorageHierarchy::cumulative_periods: 1 for tier 0,
+/// then products of the cadences).  Requires matching non-empty spans,
+/// β > 0 and period >= 1 throughout.
+double tier_weighted_beta(std::span<const double> betas,
+                          std::span<const std::uint64_t> periods);
+
+/// Daly's OCI with the tier-weighted effective β: the per-boundary cost a
+/// hierarchy actually pays is the amortized sum over its tiers, so the
+/// classic single-level derivation applies with β := tier_weighted_beta.
+/// Requires the same span preconditions and M > 0.
+double tiered_daly_oci(std::span<const double> betas,
+                       std::span<const std::uint64_t> periods,
+                       double mtbf_hours);
 
 }  // namespace lazyckpt::core

@@ -1,0 +1,187 @@
+#include "cr/tiered_manager.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace lazyckpt::cr {
+namespace {
+
+/// Tier-store telemetry (obs::enabled() gated), aggregated across tiers —
+/// the per-tier split stays on TieredCheckpointManager::tier_stats() where
+/// tests can read it without registry round trips.
+struct TierMetrics {
+  obs::Counter& writes = obs::metrics().counter("cr.tier.writes");
+  obs::Counter& evictions = obs::metrics().counter("cr.tier.evictions");
+  obs::Counter& bytes = obs::metrics().counter("cr.tier.bytes");
+
+  static TierMetrics& get() {
+    static TierMetrics instance;
+    return instance;
+  }
+};
+
+}  // namespace
+
+void TieredManagerConfig::validate() const {
+  require(!tiers.empty(), "TieredManagerConfig needs at least one tier");
+  for (std::size_t level = 0; level < tiers.size(); ++level) {
+    require(!tiers[level].dir.empty(),
+            "TieredManagerConfig tier " + std::to_string(level) +
+                ": dir must be set");
+  }
+  require_positive(alpha_oci_hours, "TieredManagerConfig.alpha_oci_hours");
+  require(shape_estimate > 0.0 && shape_estimate <= 1.0,
+          "TieredManagerConfig.shape_estimate must lie in (0, 1]");
+  require_positive(mtbf_estimate_hours,
+                   "TieredManagerConfig.mtbf_estimate_hours");
+  require_positive(beta_estimate_hours,
+                   "TieredManagerConfig.beta_estimate_hours");
+}
+
+TieredCheckpointManager::TieredCheckpointManager(TieredManagerConfig config,
+                                                 core::PolicyPtr policy,
+                                                 const RegionRegistry& registry,
+                                                 const Clock& clock)
+    : config_(std::move(config)),
+      policy_(std::move(policy)),
+      registry_(&registry),
+      clock_(&clock) {
+  config_.validate();
+  require(policy_ != nullptr, "TieredCheckpointManager needs a policy");
+  tier_stats_.resize(config_.tiers.size());
+  resident_.resize(config_.tiers.size());
+  start_time_ = clock_->now_hours();
+  reschedule();
+}
+
+core::PolicyContext TieredCheckpointManager::make_context() const {
+  const double now = clock_->now_hours();
+  core::PolicyContext ctx;
+  ctx.now_hours = now - start_time_;
+  ctx.time_since_failure_hours =
+      any_failure_ ? now - last_failure_time_ : now - start_time_;
+  ctx.mtbf_estimate_hours = config_.mtbf_estimate_hours;
+  ctx.alpha_oci_hours = config_.alpha_oci_hours;
+  ctx.checkpoint_time_hours = config_.beta_estimate_hours;
+  ctx.weibull_shape_estimate = config_.shape_estimate;
+  ctx.checkpoints_since_failure = boundaries_since_failure_;
+  ctx.failures_so_far = static_cast<int>(stats_.restarts);
+  return ctx;
+}
+
+void TieredCheckpointManager::reschedule() {
+  due_ = clock_->now_hours() + policy_->next_interval(make_context());
+}
+
+std::string TieredCheckpointManager::path_for(std::size_t level,
+                                              std::uint64_t sequence) const {
+  return config_.tiers[level].dir + "/checkpoint_" +
+         std::to_string(sequence) + ".ckpt";
+}
+
+void TieredCheckpointManager::evict_for_space(std::size_t level) {
+  const std::size_t capacity = config_.tiers[level].capacity;
+  if (capacity == 0 || resident_[level].size() < capacity) return;
+
+  Resident oldest = std::move(resident_[level].front());
+  resident_[level].pop_front();
+  ++tier_stats_[level].evictions;
+  const bool obs_on = obs::enabled();
+  if (obs_on) TierMetrics::get().evictions.add();
+
+  if (level + 1 >= config_.tiers.size()) {
+    // Last tier: the oldest checkpoint is retired outright.
+    std::remove(oldest.path.c_str());
+    return;
+  }
+
+  evict_for_space(level + 1);
+  const std::string target = path_for(level + 1, oldest.sequence);
+  if (std::rename(oldest.path.c_str(), target.c_str()) != 0) {
+    throw IoError("cannot evict checkpoint to tier " +
+                  std::to_string(level + 1) + ": " + target);
+  }
+  ++tier_stats_[level + 1].writes;
+  tier_stats_[level + 1].bytes += static_cast<double>(oldest.bytes);
+  if (obs_on) {
+    TierMetrics::get().writes.add();
+    TierMetrics::get().bytes.add(oldest.bytes);
+  }
+  oldest.path = target;
+  resident_[level + 1].push_back(std::move(oldest));
+}
+
+std::optional<std::string> TieredCheckpointManager::checkpoint_if_due(
+    double app_progress_hours) {
+  if (clock_->now_hours() < due_) return std::nullopt;
+
+  ++boundaries_since_failure_;
+  if (policy_->should_skip(make_context())) {
+    ++stats_.checkpoints_skipped;
+    reschedule();
+    return std::nullopt;
+  }
+
+  const obs::TraceSpan span("cr.tiered.checkpoint");
+  evict_for_space(0);
+  ++sequence_;
+  CheckpointMetadata metadata;
+  metadata.app_time_hours = app_progress_hours;
+  const std::string path = path_for(0, sequence_);
+  write_checkpoint(path, *registry_, metadata);
+  const std::uint64_t bytes = registry_->total_bytes();
+  resident_[0].push_back(Resident{sequence_, path, bytes});
+  ++tier_stats_[0].writes;
+  tier_stats_[0].bytes += static_cast<double>(bytes);
+  if (obs::enabled()) {
+    TierMetrics::get().writes.add();
+    TierMetrics::get().bytes.add(bytes);
+  }
+  ++stats_.checkpoints_written;
+  policy_->on_checkpoint_complete(make_context());
+  reschedule();
+  return path;
+}
+
+void TieredCheckpointManager::notify_failure() {
+  obs::instant("cr.tiered.failure");
+  last_failure_time_ = clock_->now_hours();
+  any_failure_ = true;
+  boundaries_since_failure_ = 0;
+  policy_->on_failure(make_context());
+  reschedule();
+}
+
+void TieredCheckpointManager::drop_tiers_below(std::size_t level) {
+  require(level <= config_.tiers.size(),
+          "drop_tiers_below: level exceeds tier count");
+  for (std::size_t k = 0; k < level; ++k) {
+    for (const Resident& entry : resident_[k]) {
+      std::remove(entry.path.c_str());
+    }
+    resident_[k].clear();
+  }
+}
+
+std::optional<std::string> TieredCheckpointManager::latest_path() const {
+  for (const auto& tier : resident_) {
+    if (!tier.empty()) return tier.back().path;
+  }
+  return std::nullopt;
+}
+
+std::optional<CheckpointMetadata> TieredCheckpointManager::restore_latest() {
+  const obs::TraceSpan span("cr.tiered.restore");
+  const auto path = latest_path();
+  if (!path) return std::nullopt;
+  CheckpointMetadata metadata = read_checkpoint(*path, *registry_);
+  ++stats_.restarts;
+  reschedule();
+  return metadata;
+}
+
+}  // namespace lazyckpt::cr

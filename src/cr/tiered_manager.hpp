@@ -1,0 +1,148 @@
+#pragma once
+
+/// \file tiered_manager.hpp
+/// \brief Adaptive checkpoint control over a multi-tier store
+/// (DESIGN.md §5k) — the prototype-library counterpart of the
+/// sim/hierarchy event loop.
+///
+/// Checkpoints land in the tier-0 directory.  Each tier holds at most
+/// `capacity` resident checkpoint files; writing into a saturated tier
+/// evicts its *oldest* checkpoint into the next tier down (a rename, not
+/// a copy — the bytes move once), cascading until the last tier, where
+/// eviction retires the file.  Restores scan the fastest tier first; a
+/// failure that breaches shallow failure domains (drop_tiers_below)
+/// deletes every copy the domains held, so the next restore falls back to
+/// the deepest surviving — and therefore older — checkpoint, exactly the
+/// semantics the simulator's severity draw models.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/policy/policy.hpp"
+#include "cr/checkpoint_file.hpp"
+#include "cr/clock.hpp"
+#include "cr/region.hpp"
+
+namespace lazyckpt::cr {
+
+/// One level of the on-disk hierarchy, fastest first.
+struct TierStoreConfig {
+  std::string dir;           ///< directory holding this tier's files
+  std::size_t capacity = 0;  ///< resident checkpoints before eviction
+                             ///< (0 = unbounded, typical for the last tier)
+};
+
+/// Static configuration of a TieredCheckpointManager.
+struct TieredManagerConfig {
+  std::vector<TierStoreConfig> tiers;  ///< at least one, fastest first
+  double alpha_oci_hours = 1.0;        ///< static reference OCI
+  double shape_estimate = 0.6;         ///< Weibull shape handed to policies
+  double mtbf_estimate_hours = 7.5;    ///< MTBF handed to the policy context
+  double beta_estimate_hours = 0.5;    ///< β handed to the policy context
+
+  /// Throws InvalidArgument on invalid values.
+  void validate() const;
+};
+
+/// Per-tier counters exposed for tests and reporting.
+struct TierStoreStats {
+  std::uint64_t writes = 0;     ///< checkpoints that entered this tier
+                                ///< (fresh writes at tier 0, evictions below)
+  std::uint64_t evictions = 0;  ///< checkpoints this tier pushed out
+  double bytes = 0.0;           ///< bytes that entered this tier
+};
+
+/// Aggregate counters across all tiers.
+struct TieredManagerStats {
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t checkpoints_skipped = 0;
+  std::uint64_t restarts = 0;
+};
+
+/// Adaptive checkpoint control over a tier hierarchy.  Not thread-safe;
+/// mirrors CheckpointManager's scheduling (policy context, due times,
+/// failure-relative state) but writes through the tier store.
+class TieredCheckpointManager {
+ public:
+  /// `registry` and `clock` must outlive the manager.  The tier
+  /// directories must already exist.
+  TieredCheckpointManager(TieredManagerConfig config, core::PolicyPtr policy,
+                          const RegionRegistry& registry, const Clock& clock);
+
+  /// Absolute clock time (hours) at which the next checkpoint is due.
+  [[nodiscard]] double next_checkpoint_due() const noexcept { return due_; }
+
+  /// If the clock has reached the due time, consult the policy (Skip may
+  /// decline), write the checkpoint into tier 0 — cascading evictions as
+  /// tiers saturate — and schedule the next one.  Returns the written
+  /// path, or nullopt when nothing was due or the boundary was skipped.
+  std::optional<std::string> checkpoint_if_due(double app_progress_hours);
+
+  /// Record a failure observed now; resets the policy's failure-relative
+  /// state and reschedules.
+  void notify_failure();
+
+  /// Simulate a failure that breached the failure domains of tiers
+  /// [0, level): their resident checkpoint files are deleted.  The next
+  /// restore falls back to the deepest surviving copy.
+  void drop_tiers_below(std::size_t level);
+
+  /// Restore the newest checkpoint on the fastest tier that still holds
+  /// one.  Returns its metadata, or nullopt when no copy survives
+  /// anywhere.  Counts as a restart and reschedules.
+  std::optional<CheckpointMetadata> restore_latest();
+
+  /// Path of the newest resident checkpoint, if any (fastest tier wins).
+  [[nodiscard]] std::optional<std::string> latest_path() const;
+
+  /// Number of checkpoint files currently resident in `level`.
+  [[nodiscard]] std::size_t resident(std::size_t level) const {
+    return resident_[level].size();
+  }
+
+  [[nodiscard]] const TieredManagerStats& stats() const noexcept {
+    return stats_;
+  }
+
+  /// Per-tier counters, same order as the configured tiers.
+  [[nodiscard]] const std::vector<TierStoreStats>& tier_stats()
+      const noexcept {
+    return tier_stats_;
+  }
+
+ private:
+  /// One resident checkpoint file.
+  struct Resident {
+    std::uint64_t sequence = 0;
+    std::string path;
+    std::uint64_t bytes = 0;
+  };
+
+  [[nodiscard]] core::PolicyContext make_context() const;
+  void reschedule();
+  [[nodiscard]] std::string path_for(std::size_t level,
+                                     std::uint64_t sequence) const;
+  /// Make room in `level` for one more file, cascading down the stack.
+  void evict_for_space(std::size_t level);
+
+  TieredManagerConfig config_;
+  core::PolicyPtr policy_;
+  const RegionRegistry* registry_;
+  const Clock* clock_;
+
+  double start_time_ = 0.0;
+  double last_failure_time_ = 0.0;
+  bool any_failure_ = false;
+  int boundaries_since_failure_ = 0;
+  std::uint64_t sequence_ = 0;
+  double due_ = 0.0;
+  TieredManagerStats stats_;
+  std::vector<TierStoreStats> tier_stats_;
+  std::vector<std::deque<Resident>> resident_;  ///< oldest first, per tier
+};
+
+}  // namespace lazyckpt::cr

@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file hierarchy.hpp
+/// \brief N-tier storage hierarchies: ordered StorageModel compositions
+/// with per-tier flush cadence, capacity, and failure-domain survivability
+/// (DESIGN.md §5k).
+///
+/// A hierarchy is an ordered list of tiers, fastest first: a node-local
+/// in-memory replica tier (ReStore-style — copies die with the node), a
+/// burst buffer, a parallel filesystem.  Every checkpoint lands on tier 0;
+/// every `every`-th copy on tier k−1 is additionally flushed to tier k, so
+/// the cadences cascade (mem every checkpoint, bb every 4th mem write, pfs
+/// every 2nd bb write = every 8th checkpoint).  Each tier carries its own
+/// β/γ source — any StorageModel, constant or bandwidth-trace-driven — a
+/// capacity (checkpoint slots before the cr manager must evict to the next
+/// tier), and a survivable fraction: the probability that a failure leaves
+/// this tier's copies readable.  Survivable fractions are non-decreasing
+/// with depth and the last tier survives everything, which models nested
+/// failure domains: process crash < node loss < cabinet loss.
+///
+/// Spec grammar (pipe-separated tiers, each a keyval mini-spec):
+///   "mem:beta=0.005|bb:beta=0.05,every=4|pfs:beta=0.5,every=2"
+/// Kinds live in a registry (mem/bb/pfs built in, differing only in their
+/// default survivable fraction) so new tier classes plug in without
+/// touching this file.  Per-tier keys: beta, gamma (default beta),
+/// size_gb, survivable, every, capacity — or a spider-trace β/γ source via
+/// span/mean/seed/offset/read_speedup (then size_gb is required and beta
+/// is disallowed).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <map>
+#include <vector>
+
+#include "common/keyval.hpp"
+#include "io/storage_model.hpp"
+
+namespace lazyckpt::io {
+
+/// One level of a storage hierarchy.  Move-only (owns its model); clone()
+/// gives replica sweeps an independent copy.
+struct StorageTier {
+  std::string kind;             ///< registry kind ("mem", "bb", "pfs", …)
+  StorageModelPtr model;        ///< β/γ/size source for this tier
+  double survivable_fraction = 1.0;  ///< failures this tier's copies survive
+  int every = 1;                ///< flush every Nth write of the tier above
+  std::size_t capacity = 0;     ///< cr eviction threshold (0 = unbounded)
+
+  [[nodiscard]] StorageTier clone() const;
+};
+
+/// An ordered, validated list of tiers, fastest (tier 0) to most durable.
+class StorageHierarchy {
+ public:
+  /// Takes ownership of `tiers` and validates the composition:
+  /// at least one tier, tier 0 with every == 1 (it receives each
+  /// checkpoint), every >= 1 throughout, β(0) > 0 and γ(0) >= 0 per tier,
+  /// survivable fractions in [0, 1] non-decreasing with depth, and the
+  /// last tier fully survivable.  Throws InvalidArgument otherwise.
+  explicit StorageHierarchy(std::vector<StorageTier> tiers);
+
+  [[nodiscard]] std::size_t size() const noexcept { return tiers_.size(); }
+  [[nodiscard]] const StorageTier& tier(std::size_t level) const {
+    return tiers_[level];
+  }
+  [[nodiscard]] const std::vector<StorageTier>& tiers() const noexcept {
+    return tiers_;
+  }
+
+  [[nodiscard]] StorageHierarchy clone() const;
+
+  /// β of each tier at `now_hours`, fastest first.
+  [[nodiscard]] std::vector<double> betas_at(double now_hours) const;
+
+  /// Checkpoints between consecutive writes of each tier: the cumulative
+  /// product of the cadences (tier 0 writes every checkpoint, tier k every
+  /// `every_1 · … · every_k` checkpoints).  Feeds the per-tier OCI math
+  /// (core::tiered_daly_oci).
+  [[nodiscard]] std::vector<std::uint64_t> cumulative_periods() const;
+
+ private:
+  std::vector<StorageTier> tiers_;
+};
+
+/// Builds one tier from its parsed spec segment.  Throws InvalidArgument
+/// on missing/unknown parameters.
+using TierBuilder = StorageTier (*)(const keyval::ParsedSpec&);
+
+/// The kind → builder table behind make_hierarchy.  Builtin kinds (mem,
+/// bb, pfs) are registered on first use; extensions add theirs via add().
+class TierRegistry {
+ public:
+  /// The process-wide registry.
+  static TierRegistry& instance();
+
+  /// Register `kind`.  Throws InvalidArgument if it is already taken.
+  void add(const std::string& kind, TierBuilder builder);
+
+  /// Parse one tier segment ("bb:beta=0.05,every=4") and build.  Throws
+  /// InvalidArgument on an unknown kind or malformed parameters.
+  [[nodiscard]] StorageTier make_tier(std::string_view spec) const;
+
+  /// Registered kinds in name order (deterministic for --list output).
+  [[nodiscard]] std::vector<std::string> kinds() const;
+
+ private:
+  TierRegistry();
+  std::map<std::string, TierBuilder, std::less<>> builders_;
+};
+
+/// Parse a pipe-separated hierarchy spec ("mem:…|bb:…|pfs:…") and build a
+/// validated StorageHierarchy via the process registry.  Throws
+/// InvalidArgument on malformed segments or an invalid composition.
+[[nodiscard]] StorageHierarchy make_hierarchy(std::string_view spec);
+
+}  // namespace lazyckpt::io

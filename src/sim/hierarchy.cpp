@@ -1,0 +1,299 @@
+#include "sim/hierarchy.hpp"
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "stats/descriptive.hpp"
+
+namespace lazyckpt::sim {
+namespace {
+
+/// Restore-depth telemetry (obs::enabled() gated): which tier each failure
+/// recovered from.  Bucket k counts restores from tier index <= k, so the
+/// exported histogram reads as a survival curve of the failure domains.
+struct HierarchySimMetrics {
+  obs::Histogram& restore_level;
+
+  static HierarchySimMetrics& get() {
+    static constexpr double kLevelBounds[] = {0.0, 1.0, 2.0, 3.0};
+    static HierarchySimMetrics instance{
+        obs::metrics().histogram("sim.tier.restore_level", kLevelBounds)};
+    return instance;
+  }
+};
+
+}  // namespace
+
+void HierarchyConfig::validate() const {
+  require_positive(compute_hours, "HierarchyConfig.compute_hours");
+  require_positive(alpha_oci_hours, "HierarchyConfig.alpha_oci_hours");
+  require_positive(mtbf_hint_hours, "HierarchyConfig.mtbf_hint_hours");
+  require(shape_hint > 0.0 && shape_hint <= 1.0,
+          "HierarchyConfig.shape_hint must lie in (0, 1]");
+  require(max_events >= 1, "HierarchyConfig.max_events must be >= 1");
+}
+
+double HierarchyRunMetrics::data_written_gb(
+    const io::StorageHierarchy& hierarchy) const {
+  double total = 0.0;
+  for (std::size_t level = 0; level < tiers.size(); ++level) {
+    total += static_cast<double>(tiers[level].checkpoints) *
+             hierarchy.tier(level).model->checkpoint_size_gb();
+  }
+  return total;
+}
+
+HierarchyRunMetrics simulate_hierarchy(const HierarchyConfig& config,
+                                       const io::StorageHierarchy& hierarchy,
+                                       core::CheckpointPolicy& policy,
+                                       FailureSource& failures,
+                                       Rng severity_rng) {
+  config.validate();
+  const std::size_t levels = hierarchy.size();
+  const bool obs_on = obs::enabled();
+
+  HierarchyRunMetrics metrics;
+  metrics.tiers.resize(levels);
+  double now = 0.0;
+  // committed[k]: work restorable from tier k (non-increasing with depth).
+  std::vector<double> committed(levels, 0.0);
+  double uncommitted = 0.0;  ///< work since the last completed checkpoint
+  double last_failure = 0.0;
+  bool any_failure = false;
+  int boundaries_since_failure = 0;
+  // writes_since[k] (k >= 1): writes to tier k-1 since the last flush to k.
+  std::vector<std::uint64_t> writes_since(levels, 0);
+  stats::MovingAverage mtbf_ma(16);
+
+  const auto make_context = [&]() {
+    core::PolicyContext ctx;
+    ctx.now_hours = now;
+    ctx.time_since_failure_hours = any_failure ? now - last_failure : now;
+    ctx.alpha_oci_hours = config.alpha_oci_hours;
+    ctx.checkpoint_time_hours = hierarchy.tier(0).model->checkpoint_time(now);
+    ctx.mtbf_estimate_hours = mtbf_ma.value_or(config.mtbf_hint_hours);
+    ctx.weibull_shape_estimate = config.shape_hint;
+    ctx.checkpoints_since_failure = boundaries_since_failure;
+    ctx.failures_so_far = static_cast<int>(metrics.failures);
+    return ctx;
+  };
+
+  // Consume the pending failure: one severity uniform picks the fastest
+  // tier whose failure domain was not breached, roll back to its state,
+  // and pay possibly repeated restarts.
+  const auto handle_failure = [&]() {
+    const double failure_time = failures.peek_next();
+    metrics.wasted_hours += failure_time - now + uncommitted;
+    uncommitted = 0.0;
+    now = failure_time;
+
+    const auto register_failure = [&]() -> double {
+      mtbf_ma.add(any_failure ? now - last_failure : now);
+      any_failure = true;
+      last_failure = now;
+      boundaries_since_failure = 0;
+      ++metrics.failures;
+      failures.pop();
+      policy.on_failure(make_context());
+
+      const double u = severity_rng.uniform();
+      std::size_t level = 0;
+      while (u >= hierarchy.tier(level).survivable_fraction) ++level;
+      if (obs_on) {
+        HierarchySimMetrics::get().restore_level.observe(
+            static_cast<double>(level));
+      }
+      ++metrics.tiers[level].restarts;
+      if (level > 0) {
+        // Copies on every faster tier died with their failure domain:
+        // everything beyond tier `level`'s last flush must be recomputed.
+        metrics.wasted_hours += committed[0] - committed[level];
+        for (std::size_t j = 0; j < level; ++j) {
+          committed[j] = committed[level];
+        }
+      }
+      return hierarchy.tier(level).model->restart_time(now);
+    };
+
+    double gamma = register_failure();
+    while (gamma > 0.0) {
+      const double next = failures.peek_next();
+      if (next < now + gamma) {
+        metrics.wasted_hours += next - now;
+        now = next;
+        gamma = register_failure();
+        continue;
+      }
+      now += gamma;
+      metrics.restart_hours += gamma;
+      break;
+    }
+  };
+
+  std::uint64_t events = 0;
+  const double work_target = config.compute_hours;
+  while (committed[0] + uncommitted < work_target) {
+    require(++events <= config.max_events,
+            "hierarchy simulation exceeded max_events");
+
+    double alpha = policy.next_interval(make_context());
+    require(std::isfinite(alpha) && alpha > 0.0,
+            "policy returned a non-positive interval");
+
+    // --- compute phase -------------------------------------------------
+    const double remaining = work_target - committed[0] - uncommitted;
+    const double chunk = std::min(alpha, remaining);
+    if (failures.peek_next() < now + chunk) {
+      handle_failure();
+      continue;
+    }
+    now += chunk;
+    uncommitted += chunk;
+    if (committed[0] + uncommitted >= work_target) break;
+
+    // --- checkpoint boundary -------------------------------------------
+    ++boundaries_since_failure;
+    if (policy.should_skip(make_context())) {
+      ++metrics.checkpoints_skipped;
+      continue;
+    }
+
+    // Tier 0 write.
+    const double beta0 = hierarchy.tier(0).model->checkpoint_time(now);
+    if (failures.peek_next() < now + beta0) {
+      handle_failure();  // torn tier-0 write: segment lost with it
+      continue;
+    }
+    now += beta0;
+    metrics.tiers[0].io_hours += beta0;
+    committed[0] += uncommitted;
+    uncommitted = 0.0;
+    ++metrics.tiers[0].checkpoints;
+    if (levels > 1) ++writes_since[1];
+    policy.on_checkpoint_complete(make_context());
+
+    // Cascading flushes: tier k absorbs every every_k-th write of tier
+    // k-1.  A torn flush leaves every shallower copy valid.
+    bool torn_flush = false;
+    for (std::size_t level = 1; level < levels; ++level) {
+      if (writes_since[level] <
+          static_cast<std::uint64_t>(hierarchy.tier(level).every)) {
+        break;
+      }
+      const double beta = hierarchy.tier(level).model->checkpoint_time(now);
+      if (failures.peek_next() < now + beta) {
+        handle_failure();  // torn flush: shallower tiers remain valid
+        torn_flush = true;
+        break;
+      }
+      now += beta;
+      metrics.tiers[level].io_hours += beta;
+      committed[level] = committed[level - 1];
+      ++metrics.tiers[level].checkpoints;
+      writes_since[level] = 0;
+      if (level + 1 < levels) ++writes_since[level + 1];
+    }
+    if (torn_flush) continue;
+  }
+
+  committed[0] += uncommitted;
+  metrics.makespan_hours = now;
+  metrics.compute_hours = committed[0];
+
+  const double attributed = metrics.compute_hours + metrics.io_hours() +
+                            metrics.wasted_hours + metrics.restart_hours;
+  require(std::abs(attributed - metrics.makespan_hours) <=
+              1e-6 * std::max(1.0, metrics.makespan_hours),
+          "internal error: hierarchy time attribution does not balance");
+  return metrics;
+}
+
+std::vector<HierarchyRunMetrics> run_hierarchy_replicas_raw(
+    const HierarchyConfig& config, const io::StorageHierarchy& hierarchy,
+    const core::CheckpointPolicy& policy,
+    const stats::Distribution& inter_arrival, std::size_t replicas,
+    std::uint64_t seed) {
+  require(replicas >= 1, "run_hierarchy_replicas needs replicas >= 1");
+  const obs::TraceSpan span(
+      "sim.run_hierarchy_replicas",
+      obs::enabled()
+          ? std::vector<obs::TraceArg>{
+                obs::TraceArg::num("replicas", static_cast<double>(replicas)),
+                obs::TraceArg::num("tiers",
+                                   static_cast<double>(hierarchy.size()))}
+          : std::vector<obs::TraceArg>{});
+
+  // Determinism contract (common/parallel.hpp): pre-split every replica's
+  // streams from the master in index order — failure source first, then
+  // severity, matching the historical serial ablation_tiered loop — so
+  // results are bit-identical for any thread count.
+  Rng master(seed);
+  std::vector<Rng> source_streams;
+  std::vector<Rng> severity_streams;
+  source_streams.reserve(replicas);
+  severity_streams.reserve(replicas);
+  for (std::size_t i = 0; i < replicas; ++i) {
+    source_streams.push_back(master.split());
+    severity_streams.push_back(master.split());
+  }
+
+  const bool shared_policy = policy.is_stateless();
+  return parallel_map(replicas, [&](std::size_t i) {
+    RenewalFailureSource source(inter_arrival, source_streams[i]);
+    if (shared_policy) {
+      return simulate_hierarchy(config, hierarchy,
+                                const_cast<core::CheckpointPolicy&>(policy),
+                                source, severity_streams[i]);
+    }
+    const core::PolicyPtr replica_policy = policy.clone();
+    return simulate_hierarchy(config, hierarchy, *replica_policy, source,
+                              severity_streams[i]);
+  });
+}
+
+HierarchyAggregate aggregate_hierarchy(
+    const io::StorageHierarchy& hierarchy,
+    std::span<const HierarchyRunMetrics> runs) {
+  require(!runs.empty(), "aggregate_hierarchy needs at least one run");
+  HierarchyAggregate out;
+  out.replicas = runs.size();
+  out.tiers.resize(hierarchy.size());
+  for (std::size_t level = 0; level < hierarchy.size(); ++level) {
+    out.tiers[level].kind = hierarchy.tier(level).kind;
+  }
+  for (const HierarchyRunMetrics& run : runs) {
+    out.mean_makespan_hours += run.makespan_hours;
+    out.mean_compute_hours += run.compute_hours;
+    out.mean_wasted_hours += run.wasted_hours;
+    out.mean_restart_hours += run.restart_hours;
+    out.mean_failures += static_cast<double>(run.failures);
+    out.mean_checkpoints_skipped +=
+        static_cast<double>(run.checkpoints_skipped);
+    for (std::size_t level = 0; level < run.tiers.size(); ++level) {
+      out.tiers[level].mean_io_hours += run.tiers[level].io_hours;
+      out.tiers[level].mean_checkpoints +=
+          static_cast<double>(run.tiers[level].checkpoints);
+      out.tiers[level].mean_restarts +=
+          static_cast<double>(run.tiers[level].restarts);
+    }
+  }
+  const double n = static_cast<double>(runs.size());
+  out.mean_makespan_hours /= n;
+  out.mean_compute_hours /= n;
+  out.mean_wasted_hours /= n;
+  out.mean_restart_hours /= n;
+  out.mean_failures /= n;
+  out.mean_checkpoints_skipped /= n;
+  for (TierAggregate& tier : out.tiers) {
+    tier.mean_io_hours /= n;
+    tier.mean_checkpoints /= n;
+    tier.mean_restarts /= n;
+  }
+  return out;
+}
+
+}  // namespace lazyckpt::sim

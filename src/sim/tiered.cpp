@@ -1,9 +1,13 @@
 #include "sim/tiered.hpp"
 
-#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "common/error.hpp"
-#include "stats/descriptive.hpp"
+#include "io/hierarchy.hpp"
+#include "io/storage_model.hpp"
+#include "sim/hierarchy.hpp"
 
 namespace lazyckpt::sim {
 
@@ -23,146 +27,52 @@ void TieredConfig::validate() const {
   require(max_events >= 1, "TieredConfig.max_events must be >= 1");
 }
 
+// Compatibility shim: the two-level scheme is exactly a two-tier
+// StorageHierarchy (burst buffer over PFS), so this maps the legacy
+// config onto sim::simulate_hierarchy and the metrics back.  The golden
+// suite in tests/test_sim_hierarchy.cpp pins this mapping to the numbers
+// the original two-level event loop produced, bit for bit.
 TieredMetrics simulate_tiered(const TieredConfig& config,
                               core::CheckpointPolicy& policy,
                               FailureSource& failures, Rng severity_rng) {
   config.validate();
 
+  std::vector<io::StorageTier> tiers(2);
+  tiers[0].kind = "bb";
+  tiers[0].model = std::make_unique<io::ConstantStorage>(
+      config.beta_l1_hours, config.gamma_l1_hours);
+  tiers[0].survivable_fraction = config.l1_survivable_fraction;
+  tiers[0].every = 1;
+  tiers[1].kind = "pfs";
+  tiers[1].model = std::make_unique<io::ConstantStorage>(
+      config.beta_l2_hours, config.gamma_l2_hours);
+  tiers[1].survivable_fraction = 1.0;
+  tiers[1].every = config.l2_every;
+  const io::StorageHierarchy hierarchy(std::move(tiers));
+
+  HierarchyConfig hierarchy_config;
+  hierarchy_config.compute_hours = config.compute_hours;
+  hierarchy_config.alpha_oci_hours = config.alpha_oci_hours;
+  hierarchy_config.mtbf_hint_hours = config.mtbf_hint_hours;
+  hierarchy_config.shape_hint = config.shape_hint;
+  hierarchy_config.max_events = config.max_events;
+
+  const HierarchyRunMetrics run = simulate_hierarchy(
+      hierarchy_config, hierarchy, policy, failures, severity_rng);
+
   TieredMetrics metrics;
-  double now = 0.0;
-  double committed_l1 = 0.0;  ///< work restorable from the burst buffer
-  double committed_l2 = 0.0;  ///< work restorable from the PFS (<= L1)
-  double uncommitted = 0.0;   ///< work since the last completed checkpoint
-  double last_failure = 0.0;
-  bool any_failure = false;
-  int boundaries_since_failure = 0;
-  std::uint64_t writes_since_l2 = 0;
-  stats::MovingAverage mtbf_ma(16);
-
-  const auto make_context = [&]() {
-    core::PolicyContext ctx;
-    ctx.now_hours = now;
-    ctx.time_since_failure_hours = any_failure ? now - last_failure : now;
-    ctx.alpha_oci_hours = config.alpha_oci_hours;
-    ctx.checkpoint_time_hours = config.beta_l1_hours;
-    ctx.mtbf_estimate_hours = mtbf_ma.value_or(config.mtbf_hint_hours);
-    ctx.weibull_shape_estimate = config.shape_hint;
-    ctx.checkpoints_since_failure = boundaries_since_failure;
-    ctx.failures_so_far = static_cast<int>(metrics.failures);
-    return ctx;
-  };
-
-  // Consume the pending failure: roll back (to L1 state if the failure is
-  // L1-survivable, else to L2 state) and pay possibly repeated restarts.
-  const auto handle_failure = [&]() {
-    const double failure_time = failures.peek_next();
-    metrics.wasted_hours += failure_time - now + uncommitted;
-    uncommitted = 0.0;
-    now = failure_time;
-
-    const auto register_failure = [&]() -> double {
-      mtbf_ma.add(any_failure ? now - last_failure : now);
-      any_failure = true;
-      last_failure = now;
-      boundaries_since_failure = 0;
-      ++metrics.failures;
-      failures.pop();
-      policy.on_failure(make_context());
-
-      const bool l1_ok =
-          severity_rng.uniform() < config.l1_survivable_fraction;
-      if (l1_ok) {
-        ++metrics.l1_restarts;
-        return config.gamma_l1_hours;
-      }
-      // Node-local state lost: everything beyond the last L2 flush must
-      // be recomputed.
-      ++metrics.l2_restarts;
-      metrics.wasted_hours += committed_l1 - committed_l2;
-      committed_l1 = committed_l2;
-      return config.gamma_l2_hours;
-    };
-
-    double gamma = register_failure();
-    while (gamma > 0.0) {
-      const double next = failures.peek_next();
-      if (next < now + gamma) {
-        metrics.wasted_hours += next - now;
-        now = next;
-        gamma = register_failure();
-        continue;
-      }
-      now += gamma;
-      metrics.restart_hours += gamma;
-      break;
-    }
-  };
-
-  std::uint64_t events = 0;
-  const double work_target = config.compute_hours;
-  while (committed_l1 + uncommitted < work_target) {
-    require(++events <= config.max_events,
-            "tiered simulation exceeded max_events");
-
-    double alpha = policy.next_interval(make_context());
-    require(std::isfinite(alpha) && alpha > 0.0,
-            "policy returned a non-positive interval");
-
-    // --- compute phase -------------------------------------------------
-    const double remaining = work_target - committed_l1 - uncommitted;
-    const double chunk = std::min(alpha, remaining);
-    if (failures.peek_next() < now + chunk) {
-      handle_failure();
-      continue;
-    }
-    now += chunk;
-    uncommitted += chunk;
-    if (committed_l1 + uncommitted >= work_target) break;
-
-    // --- checkpoint boundary -------------------------------------------
-    ++boundaries_since_failure;
-    if (policy.should_skip(make_context())) {
-      ++metrics.checkpoints_skipped;
-      continue;
-    }
-
-    // L1 write.
-    if (failures.peek_next() < now + config.beta_l1_hours) {
-      handle_failure();  // torn L1 write: segment lost with it
-      continue;
-    }
-    now += config.beta_l1_hours;
-    metrics.l1_io_hours += config.beta_l1_hours;
-    committed_l1 += uncommitted;
-    uncommitted = 0.0;
-    ++metrics.l1_checkpoints;
-    ++writes_since_l2;
-    policy.on_checkpoint_complete(make_context());
-
-    // Periodic L2 flush of the checkpoint just taken.
-    if (writes_since_l2 >= static_cast<std::uint64_t>(config.l2_every)) {
-      if (failures.peek_next() < now + config.beta_l2_hours) {
-        handle_failure();  // torn L2 flush: L1 state remains valid
-        continue;
-      }
-      now += config.beta_l2_hours;
-      metrics.l2_io_hours += config.beta_l2_hours;
-      committed_l2 = committed_l1;
-      ++metrics.l2_checkpoints;
-      writes_since_l2 = 0;
-    }
-  }
-
-  committed_l1 += uncommitted;
-  metrics.makespan_hours = now;
-  metrics.compute_hours = committed_l1;
-
-  const double attributed = metrics.compute_hours + metrics.l1_io_hours +
-                            metrics.l2_io_hours + metrics.wasted_hours +
-                            metrics.restart_hours;
-  require(std::abs(attributed - metrics.makespan_hours) <=
-              1e-6 * std::max(1.0, metrics.makespan_hours),
-          "internal error: tiered time attribution does not balance");
+  metrics.makespan_hours = run.makespan_hours;
+  metrics.compute_hours = run.compute_hours;
+  metrics.l1_io_hours = run.tiers[0].io_hours;
+  metrics.l2_io_hours = run.tiers[1].io_hours;
+  metrics.wasted_hours = run.wasted_hours;
+  metrics.restart_hours = run.restart_hours;
+  metrics.failures = run.failures;
+  metrics.l1_checkpoints = run.tiers[0].checkpoints;
+  metrics.l2_checkpoints = run.tiers[1].checkpoints;
+  metrics.checkpoints_skipped = run.checkpoints_skipped;
+  metrics.l1_restarts = run.tiers[0].restarts;
+  metrics.l2_restarts = run.tiers[1].restarts;
   return metrics;
 }
 

@@ -11,8 +11,13 @@
 /// global tier (L2).  Node-local L1 state does not survive all failures:
 /// a fraction of failures (process crashes, software) can restart from L1,
 /// the rest (node loss) must fall back to the older L2 checkpoint, losing
-/// extra work.  This module simulates that scheme exactly, with any
-/// lazyckpt checkpoint policy driving the interval.
+/// extra work.
+///
+/// Since the N-tier generalization landed (sim/hierarchy.hpp, DESIGN.md
+/// §5k) this module is a compatibility shim: simulate_tiered maps the
+/// two-level config onto a two-tier io::StorageHierarchy and runs
+/// sim::simulate_hierarchy, reproducing the original two-level event loop
+/// bit-identically (pinned by tests/test_sim_hierarchy.cpp goldens).
 
 #include <cstdint>
 

@@ -1,6 +1,9 @@
 #include "spec/catalog.hpp"
 
+#include <utility>
+
 #include "common/error.hpp"
+#include "common/keyval.hpp"
 
 namespace lazyckpt::spec {
 namespace {
@@ -231,6 +234,42 @@ std::vector<Scenario> build_catalog() {
       .replicas = 100,
       .seed = 18,
   });
+
+  // Tier crossover family (DESIGN.md §5k, bench/fig24_tier_crossover):
+  // the same machine under deepening storage hierarchies — PFS only, a
+  // burst buffer in front, and a ReStore-style in-memory replica tier in
+  // front of that.  The bench rewrites `policy` across {static-oci,
+  // ilazy:0.6, periodic:1} on these anchors; oci stays on the `daly`
+  // sentinel so each hierarchy derives its own tier-weighted Daly OCI.
+  for (const auto& [machine, mtbf] :
+       {std::pair<const char*, double>{"petascale-20K", 11.0},
+        std::pair<const char*, double>{"exascale-100K", 2.2}}) {
+    const auto tier_scenario = [&](const char* depth, const char* subtitle,
+                                   std::vector<std::string> tiers) {
+      Scenario s;
+      s.name = std::string("tier-") + depth + "-" + machine;
+      s.title = std::string("tier crossover on ") + machine + ": " + subtitle;
+      s.distribution = "weibull:mtbf=" + keyval::format_double(mtbf) +
+                       ",k=0.6";
+      s.policy = "ilazy:0.6";
+      s.tiers = std::move(tiers);
+      s.mtbf_hint_hours = mtbf;
+      s.shape_hint = 0.6;
+      s.replicas = 120;
+      s.seed = 24;
+      return s;
+    };
+    catalog.push_back(tier_scenario("pfs", "parallel filesystem only",
+                                    {"pfs:beta=0.5"}));
+    catalog.push_back(
+        tier_scenario("bb", "burst buffer + PFS flush every 4th",
+                      {"bb:beta=0.05,survivable=0.8", "pfs:beta=0.5,every=4"}));
+    catalog.push_back(
+        tier_scenario("mem3", "memory replica + burst buffer + PFS",
+                      {"mem:beta=0.005,survivable=0.5",
+                       "bb:beta=0.05,survivable=0.8,every=4",
+                       "pfs:beta=0.5,every=2"}));
+  }
 
   for (const Scenario& scenario : catalog) scenario.validate();
   return catalog;

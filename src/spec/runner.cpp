@@ -8,6 +8,7 @@
 #include "core/model/oci.hpp"
 #include "core/policy/factory.hpp"
 #include "io/factory.hpp"
+#include "io/hierarchy.hpp"
 #include "obs/trace.hpp"
 #include "stats/factory.hpp"
 
@@ -42,13 +43,60 @@ sim::SimulationConfig config_for(const Scenario& scenario,
   return config;
 }
 
+sim::HierarchyConfig hierarchy_config_for(
+    const Scenario& scenario, const stats::Distribution& inter_arrival,
+    const io::StorageHierarchy& hierarchy) {
+  const double mtbf = resolve_mtbf_hint(scenario, inter_arrival);
+  sim::HierarchyConfig config;
+  config.compute_hours = scenario.compute_hours;
+  config.alpha_oci_hours =
+      scenario.oci_hours > 0.0
+          ? scenario.oci_hours
+          : core::tiered_daly_oci(hierarchy.betas_at(0.0),
+                                  hierarchy.cumulative_periods(), mtbf);
+  config.mtbf_hint_hours = mtbf;
+  config.shape_hint = scenario.shape_hint;
+  return config;
+}
+
+/// The flattened single-level view of one hierarchy run, so hierarchy
+/// scenarios share the table/JSON/cache plumbing of ordinary ones.
+sim::RunMetrics flatten_hierarchy_run(const sim::HierarchyRunMetrics& run,
+                                      const io::StorageHierarchy& hierarchy) {
+  sim::RunMetrics flat;
+  flat.makespan_hours = run.makespan_hours;
+  flat.compute_hours = run.compute_hours;
+  flat.checkpoint_hours = run.io_hours();
+  flat.wasted_hours = run.wasted_hours;
+  flat.restart_hours = run.restart_hours;
+  flat.failures = run.failures;
+  flat.checkpoints_written = run.tiers.empty() ? 0 : run.tiers[0].checkpoints;
+  flat.checkpoints_skipped = run.checkpoints_skipped;
+  flat.data_written_gb = run.data_written_gb(hierarchy);
+  return flat;
+}
+
 }  // namespace
 
 sim::SimulationConfig simulation_config(const Scenario& scenario) {
   scenario.validate();
+  require(!scenario.is_tiered(),
+          "simulation_config: scenario '" + scenario.name +
+              "' is a hierarchy scenario (use hierarchy_config)");
   const auto inter_arrival = stats::make_distribution(scenario.distribution);
   const auto storage = io::make_storage(scenario.storage);
   return config_for(scenario, *inter_arrival, *storage);
+}
+
+sim::HierarchyConfig hierarchy_config(const Scenario& scenario) {
+  scenario.validate();
+  require(scenario.is_tiered(),
+          "hierarchy_config: scenario '" + scenario.name +
+              "' has no tier.N lines (not a hierarchy scenario)");
+  const auto inter_arrival = stats::make_distribution(scenario.distribution);
+  const io::StorageHierarchy hierarchy =
+      io::make_hierarchy(scenario.tier_spec());
+  return hierarchy_config_for(scenario, *inter_arrival, hierarchy);
 }
 
 sim::CampaignConfig campaign_config(const Scenario& scenario) {
@@ -100,8 +148,27 @@ ScenarioResult ScenarioRunner::run(const Scenario& scenario) const {
   }
 
   const auto inter_arrival = stats::make_distribution(run_as.distribution);
-  const auto storage = io::make_storage(run_as.storage);
   const auto policy = core::make_policy(run_as.policy);
+
+  if (run_as.is_tiered()) {
+    const io::StorageHierarchy hierarchy =
+        io::make_hierarchy(run_as.tier_spec());
+    const sim::HierarchyConfig config =
+        hierarchy_config_for(run_as, *inter_arrival, hierarchy);
+    const auto raw_runs = sim::run_hierarchy_replicas_raw(
+        config, hierarchy, *policy, *inter_arrival, run_as.replicas,
+        run_as.seed);
+    result.hierarchy = sim::aggregate_hierarchy(hierarchy, raw_runs);
+    result.runs.reserve(raw_runs.size());
+    for (const sim::HierarchyRunMetrics& run : raw_runs) {
+      result.runs.push_back(flatten_hierarchy_run(run, hierarchy));
+    }
+    result.aggregate = sim::aggregate(result.runs);
+    if (options_.cache != nullptr) options_.cache->store(result);
+    return result;
+  }
+
+  const auto storage = io::make_storage(run_as.storage);
 
   if (run_as.is_campaign()) {
     const sim::CampaignConfig config = campaign_config(run_as);

@@ -18,6 +18,7 @@
 
 #include "sim/campaign.hpp"
 #include "sim/engine.hpp"
+#include "sim/hierarchy.hpp"
 #include "sim/metrics.hpp"
 #include "sim/sweep.hpp"
 #include "spec/scenario.hpp"
@@ -33,12 +34,21 @@ namespace lazyckpt::spec {
 /// CampaignConfig derived from `scenario` (requires is_campaign()).
 [[nodiscard]] sim::CampaignConfig campaign_config(const Scenario& scenario);
 
+/// HierarchyConfig derived from `scenario` (requires is_tiered()): the
+/// reference OCI falls back to Daly with the tier-weighted effective β
+/// (core::tiered_daly_oci over betas_at(0) and the cumulative periods).
+[[nodiscard]] sim::HierarchyConfig hierarchy_config(const Scenario& scenario);
+
 /// Everything one scenario execution produced.
 struct ScenarioResult {
   Scenario scenario;              ///< as actually run (after any clamping)
   sim::AggregateMetrics aggregate;  ///< cross-replica summary
   std::vector<sim::RunMetrics> runs;  ///< per-replica metrics (replica mode)
   std::optional<sim::CampaignAggregate> campaign;  ///< campaign mode only
+
+  /// Per-tier means, hierarchy scenarios only.  `runs`/`aggregate` carry
+  /// the familiar flattened view (checkpoint_hours = Σ tier io).
+  std::optional<sim::HierarchyAggregate> hierarchy;
 };
 
 /// Interface the runner uses to reuse previously computed results

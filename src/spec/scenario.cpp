@@ -1,14 +1,17 @@
 #include "spec/scenario.hpp"
 
+#include <cstddef>
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/fp.hpp"
 #include "common/keyval.hpp"
 #include "core/policy/factory.hpp"
 #include "io/factory.hpp"
+#include "io/hierarchy.hpp"
 #include "stats/factory.hpp"
 
 namespace lazyckpt::spec {
@@ -50,6 +53,15 @@ OutputFormat output_from_id(std::string_view id, std::string_view context) {
 
 }  // namespace
 
+std::string Scenario::tier_spec() const {
+  std::string joined;
+  for (const std::string& tier : tiers) {
+    if (!joined.empty()) joined += '|';
+    joined += tier;
+  }
+  return joined;
+}
+
 void Scenario::validate() const {
   if (!valid_name(name)) {
     throw InvalidArgument("scenario name '" + name +
@@ -58,7 +70,27 @@ void Scenario::validate() const {
   // The factory specs must parse; building them is the only reliable check
   // and is cheap (scenarios are parsed far from any hot path).
   (void)stats::make_distribution(distribution);
-  (void)io::make_storage(storage);
+  if (is_tiered()) {
+    require(storage.empty(),
+            "scenario " + name +
+                ": storage and tier.N are mutually exclusive (a hierarchy "
+                "replaces the single-level storage model)");
+    (void)io::make_hierarchy(tier_spec());
+    require(!is_campaign(),
+            "scenario " + name + ": hierarchy scenarios do not support "
+                                 "campaign mode");
+    require(!record_timeline,
+            "scenario " + name + ": hierarchy scenarios do not support "
+                                 "record-timeline");
+    require(fp::exact_eq(blocking_fraction, 1.0),
+            "scenario " + name + ": hierarchy scenarios do not support "
+                                 "blocking-fraction (async writes)");
+    require(time_budget_hours <= 0.0,
+            "scenario " + name + ": hierarchy scenarios do not support "
+                                 "time-budget");
+  } else {
+    (void)io::make_storage(storage);
+  }
   (void)core::make_policy(policy);
 
   require_positive(compute_hours, "scenario " + name + ": compute");
@@ -85,6 +117,7 @@ void Scenario::validate() const {
 Scenario parse_scenario(std::string_view text) {
   Scenario out;
   std::set<std::string, std::less<>> seen;
+  std::vector<std::pair<std::size_t, std::string>> tier_lines;
   int line_no = 0;
 
   std::size_t start = 0;
@@ -157,9 +190,32 @@ Scenario parse_scenario(std::string_view text) {
           static_cast<std::size_t>(keyval::parse_uint(value, line));
     } else if (key == "output") {
       out.output = output_from_id(value, line);
+    } else if (key.starts_with("tier.")) {
+      const std::string_view index_text{std::string_view(key).substr(5)};
+      const std::uint64_t index = keyval::parse_uint(index_text, line);
+      if (index == 0) {
+        throw InvalidArgument("scenario line " + std::to_string(line_no) +
+                              ": tier indices start at 1");
+      }
+      tier_lines.emplace_back(static_cast<std::size_t>(index), value);
     } else {
       throw InvalidArgument("scenario line " + std::to_string(line_no) +
                             ": unknown key '" + key + "'");
+    }
+  }
+
+  if (!tier_lines.empty()) {
+    // Tier lines may appear in any order; the indices must be exactly
+    // 1..N (duplicates were already rejected by the seen-key set).
+    out.tiers.resize(tier_lines.size());
+    for (const auto& [index, value] : tier_lines) {
+      if (index > out.tiers.size()) {
+        throw InvalidArgument(
+            "scenario: tier indices must be contiguous 1.." +
+            std::to_string(out.tiers.size()) + " but found tier." +
+            std::to_string(index));
+      }
+      out.tiers[index - 1] = value;
     }
   }
 
@@ -192,7 +248,13 @@ std::string to_string(const Scenario& scenario) {
   line("name", scenario.name);
   if (!scenario.title.empty()) line("title", scenario.title);
   line("distribution", scenario.distribution);
-  line("storage", scenario.storage);
+  if (scenario.is_tiered()) {
+    for (std::size_t level = 0; level < scenario.tiers.size(); ++level) {
+      line("tier." + std::to_string(level + 1), scenario.tiers[level]);
+    }
+  } else {
+    line("storage", scenario.storage);
+  }
   line("policy", scenario.policy);
   line("compute", keyval::format_double(scenario.compute_hours));
   line("oci", scenario.oci_hours <= 0.0

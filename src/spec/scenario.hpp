@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace lazyckpt::spec {
 
@@ -41,7 +42,7 @@ struct Scenario {
   std::string title;         ///< optional one-line description
 
   std::string distribution;  ///< stats::make_distribution spec
-  std::string storage;       ///< io::make_storage spec
+  std::string storage;       ///< io::make_storage spec (single-level mode)
   std::string policy;        ///< core::make_policy spec
 
   double compute_hours = 500.0;  ///< useful work W
@@ -64,12 +65,27 @@ struct Scenario {
 
   OutputFormat output = OutputFormat::kTable;
 
+  /// Storage-hierarchy mode (DESIGN.md §5k): tier specs fastest-first,
+  /// written as `tier.1 = mem:…`, `tier.2 = bb:…`, … lines and joined
+  /// with '|' into one io::make_hierarchy spec.  Mutually exclusive with
+  /// `storage`; hierarchy scenarios run the sim/hierarchy event loop and
+  /// support neither campaign mode, timelines, async writes, nor time
+  /// budgets (validate() enforces all of this).
+  std::vector<std::string> tiers{};
+
   bool operator==(const Scenario&) const = default;
 
   /// True when this scenario runs as a campaign.
   [[nodiscard]] bool is_campaign() const noexcept {
     return allocation_hours > 0.0;
   }
+
+  /// True when this scenario runs a storage hierarchy.
+  [[nodiscard]] bool is_tiered() const noexcept { return !tiers.empty(); }
+
+  /// The tier specs joined into one io::make_hierarchy spec
+  /// ("mem:…|bb:…|pfs:…").  Empty for single-level scenarios.
+  [[nodiscard]] std::string tier_spec() const;
 
   /// Throws InvalidArgument (naming the field) unless every field is in
   /// its documented domain and the three factory specs parse.

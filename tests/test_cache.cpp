@@ -126,6 +126,25 @@ TEST(CacheSerialize, RoundTripsCampaignMode) {
   EXPECT_EQ(cache::serialize_result(*outcome.result), bytes);
 }
 
+TEST(CacheSerialize, RoundTripsTieredHierarchy) {
+  spec::Scenario scenario = spec::builtin_scenario("tier-mem3-petascale-20K");
+  scenario.replicas = 3;
+  ASSERT_TRUE(scenario.is_tiered());
+  const auto result = run_fresh(scenario);
+  ASSERT_TRUE(result.hierarchy.has_value());
+  ASSERT_EQ(result.hierarchy->tiers.size(), 3u);
+
+  const std::string bytes = cache::serialize_result(result);
+  const auto outcome = cache::deserialize_result(bytes);
+  ASSERT_TRUE(outcome.result.has_value()) << outcome.error;
+  ASSERT_TRUE(outcome.result->hierarchy.has_value());
+  // Byte-stable re-serialization implies every hexfloat field — per-tier
+  // I/O, checkpoints, and restarts included — survived exactly.
+  EXPECT_EQ(cache::serialize_result(*outcome.result), bytes);
+  EXPECT_EQ(outcome.result->hierarchy->tiers[0].kind,
+            result.hierarchy->tiers[0].kind);
+}
+
 TEST(CacheSerialize, RejectsMalformedBytesWithoutThrowing) {
   const std::string bytes = cache::serialize_result(run_fresh(small_scenario()));
 

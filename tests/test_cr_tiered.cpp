@@ -1,0 +1,214 @@
+// TieredCheckpointManager: writes land in tier 0, saturation evicts the
+// oldest copy into the next tier (a rename — the bytes move once), breached
+// failure domains drop shallow copies, and restores fall back to the
+// deepest survivor — the prototype counterpart of the simulator's
+// restore-level semantics (DESIGN.md §5k).
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/policy/factory.hpp"
+#include "cr/tiered_manager.hpp"
+
+namespace lazyckpt::cr {
+namespace {
+
+class TieredManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = std::filesystem::temp_directory_path() /
+            ("lazyckpt_tiered_test_" + std::string(info->name()) + "_" +
+             std::to_string(static_cast<long long>(::getpid())));
+    std::filesystem::remove_all(root_);
+    for (const char* tier : {"mem", "bb", "pfs"}) {
+      std::filesystem::create_directories(root_ / tier);
+    }
+    registry_.register_array("state", state_.data(), state_.size());
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  /// mem holds 2 checkpoints, bb holds 2, pfs is unbounded.
+  TieredManagerConfig config() const {
+    TieredManagerConfig cfg;
+    cfg.tiers = {{(root_ / "mem").string(), 2},
+                 {(root_ / "bb").string(), 2},
+                 {(root_ / "pfs").string(), 0}};
+    cfg.alpha_oci_hours = 2.0;
+    cfg.shape_estimate = 0.6;
+    cfg.mtbf_estimate_hours = 10.0;
+    cfg.beta_estimate_hours = 0.5;
+    return cfg;
+  }
+
+  /// Advance the clock boundary by boundary until `count` checkpoints are
+  /// written.
+  void write_checkpoints(TieredCheckpointManager& manager, VirtualClock& clock,
+                         int count) {
+    for (int i = 0; i < count; ++i) {
+      clock.set(manager.next_checkpoint_due());
+      ASSERT_TRUE(manager.checkpoint_if_due(clock.now_hours()).has_value());
+    }
+  }
+
+  std::filesystem::path root_;
+  std::vector<double> state_ = std::vector<double>(64, 1.0);
+  RegionRegistry registry_;
+};
+
+TEST_F(TieredManagerTest, WritesLandInTierZero) {
+  VirtualClock clock;
+  TieredCheckpointManager manager(config(), core::make_policy("static-oci"),
+                                  registry_, clock);
+  clock.set(2.0);
+  const auto path = manager.checkpoint_if_due(2.0);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_TRUE(std::filesystem::exists(*path));
+  EXPECT_NE(path->find("/mem/"), std::string::npos);
+  EXPECT_EQ(manager.resident(0), 1u);
+  EXPECT_EQ(manager.resident(1), 0u);
+  EXPECT_EQ(manager.stats().checkpoints_written, 1u);
+  EXPECT_EQ(manager.tier_stats()[0].writes, 1u);
+  EXPECT_GT(manager.tier_stats()[0].bytes, 0.0);
+}
+
+TEST_F(TieredManagerTest, SaturationCascadesOldestCopiesDown) {
+  VirtualClock clock;
+  TieredCheckpointManager manager(config(), core::make_policy("static-oci"),
+                                  registry_, clock);
+  // 5 writes into capacities (2, 2, inf): mem keeps the newest 2, bb the
+  // next 2, pfs the oldest 1.
+  write_checkpoints(manager, clock, 5);
+  EXPECT_EQ(manager.resident(0), 2u);
+  EXPECT_EQ(manager.resident(1), 2u);
+  EXPECT_EQ(manager.resident(2), 1u);
+  EXPECT_EQ(manager.tier_stats()[0].writes, 5u);
+  EXPECT_EQ(manager.tier_stats()[0].evictions, 3u);
+  EXPECT_EQ(manager.tier_stats()[1].writes, 3u);
+  EXPECT_EQ(manager.tier_stats()[1].evictions, 1u);
+  EXPECT_EQ(manager.tier_stats()[2].writes, 1u);
+  EXPECT_EQ(manager.tier_stats()[2].evictions, 0u);
+
+  // The newest copy is on mem; the files really moved between dirs.
+  ASSERT_TRUE(manager.latest_path().has_value());
+  EXPECT_NE(manager.latest_path()->find("/mem/"), std::string::npos);
+  std::size_t on_disk = 0;
+  for (const char* tier : {"mem", "bb", "pfs"}) {
+    for (const auto& entry :
+         std::filesystem::directory_iterator(root_ / tier)) {
+      (void)entry;
+      ++on_disk;
+    }
+  }
+  EXPECT_EQ(on_disk, 5u);
+}
+
+TEST_F(TieredManagerTest, LastTierEvictionRetiresFiles) {
+  auto cfg = config();
+  cfg.tiers = {{(root_ / "mem").string(), 1}, {(root_ / "pfs").string(), 2}};
+  VirtualClock clock;
+  TieredCheckpointManager manager(cfg, core::make_policy("static-oci"),
+                                  registry_, clock);
+  write_checkpoints(manager, clock, 5);
+  // mem keeps 1, pfs keeps 2, the 2 oldest were deleted outright.
+  EXPECT_EQ(manager.resident(0), 1u);
+  EXPECT_EQ(manager.resident(1), 2u);
+  EXPECT_EQ(manager.tier_stats()[1].evictions, 2u);
+  std::size_t on_pfs = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(root_ / "pfs")) {
+    (void)entry;
+    ++on_pfs;
+  }
+  EXPECT_EQ(on_pfs, 2u);
+}
+
+TEST_F(TieredManagerTest, DropTiersBelowFallsBackToDeeperCopy) {
+  VirtualClock clock;
+  TieredCheckpointManager manager(config(), core::make_policy("static-oci"),
+                                  registry_, clock);
+  state_.assign(state_.size(), 3.0);
+  write_checkpoints(manager, clock, 3);  // mem: #2 #3, bb: #1
+
+  // A node loss breaches the mem failure domain: both mem copies die and
+  // the restore comes from the older bb copy.
+  manager.drop_tiers_below(1);
+  EXPECT_EQ(manager.resident(0), 0u);
+  EXPECT_EQ(manager.resident(1), 1u);
+  state_.assign(state_.size(), -1.0);
+  clock.advance(0.1);
+  manager.notify_failure();
+  const auto metadata = manager.restore_latest();
+  ASSERT_TRUE(metadata.has_value());
+  EXPECT_DOUBLE_EQ(metadata->app_time_hours, 2.0);  // the 1st boundary
+  for (const double v : state_) EXPECT_DOUBLE_EQ(v, 3.0);
+  EXPECT_EQ(manager.stats().restarts, 1u);
+}
+
+TEST_F(TieredManagerTest, RestorePrefersFastestSurvivingTier) {
+  VirtualClock clock;
+  TieredCheckpointManager manager(config(), core::make_policy("static-oci"),
+                                  registry_, clock);
+  state_.assign(state_.size(), 4.0);
+  write_checkpoints(manager, clock, 3);
+  clock.advance(0.1);
+  manager.notify_failure();
+  // No domain breached: the restore reads the newest mem copy (boundary 3
+  // at t = 6.0).
+  const auto metadata = manager.restore_latest();
+  ASSERT_TRUE(metadata.has_value());
+  EXPECT_DOUBLE_EQ(metadata->app_time_hours, 6.0);
+}
+
+TEST_F(TieredManagerTest, RestoreAfterTotalLossReturnsNullopt) {
+  VirtualClock clock;
+  TieredCheckpointManager manager(config(), core::make_policy("static-oci"),
+                                  registry_, clock);
+  write_checkpoints(manager, clock, 2);
+  manager.drop_tiers_below(3);  // every domain breached
+  EXPECT_EQ(manager.resident(0), 0u);
+  EXPECT_EQ(manager.resident(1), 0u);
+  EXPECT_EQ(manager.resident(2), 0u);
+  EXPECT_FALSE(manager.restore_latest().has_value());
+  EXPECT_FALSE(manager.latest_path().has_value());
+}
+
+TEST_F(TieredManagerTest, SkipPolicyCountsSkippedBoundaries) {
+  VirtualClock clock;
+  TieredCheckpointManager manager(config(),
+                                  core::make_policy("skip1:static-oci"),
+                                  registry_, clock);
+  clock.set(2.0);
+  EXPECT_FALSE(manager.checkpoint_if_due(2.0).has_value());
+  EXPECT_EQ(manager.stats().checkpoints_skipped, 1u);
+  EXPECT_EQ(manager.stats().checkpoints_written, 0u);
+  clock.set(manager.next_checkpoint_due());
+  EXPECT_TRUE(manager.checkpoint_if_due(clock.now_hours()).has_value());
+}
+
+TEST_F(TieredManagerTest, ConfigValidation) {
+  auto cfg = config();
+  cfg.tiers.clear();
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg = config();
+  cfg.tiers[0].dir = "";
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg = config();
+  cfg.alpha_oci_hours = 0.0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  EXPECT_NO_THROW(config().validate());
+  VirtualClock clock;
+  EXPECT_THROW(
+      TieredCheckpointManager(config(), nullptr, registry_, clock),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace lazyckpt::cr

@@ -734,6 +734,28 @@ void f() {
   }
 }
 
+TEST(LintSymbols, TracksFloatMembersOfFileLocalRecords) {
+  const auto ts = lint::lex(R"(
+struct Metrics {
+  double makespan = 0.0;
+  int failures = 0;
+};
+bool f(const Metrics& a, const Metrics& b) {
+  return a.makespan < b.makespan && a.failures < b.failures;
+}
+)");
+  const auto scan = lint::scan_float_vars(ts);
+  ASSERT_EQ(scan.member_decls.size(), 1u);
+  EXPECT_EQ(scan.member_decls[0].name, "makespan");
+  std::size_t member_uses = 0;
+  for (std::size_t i = 0; i < ts.tokens.size(); ++i) {
+    if (scan.is_float_member_use[i] == 0) continue;
+    EXPECT_EQ(ts.tokens[i].spelling, "makespan") << ts.tokens[i].line;
+    ++member_uses;
+  }
+  EXPECT_EQ(member_uses, 2u);  // a.makespan and b.makespan; never failures
+}
+
 // ---- float-compare-var ---------------------------------------------------
 
 TEST(LintFloatCompareVar, FlagsRawComparisonBetweenFloatVariables) {
@@ -779,6 +801,52 @@ double x = 1.0;
 void f(int a) {
   int x = a;
   if (x == a) {}
+}
+)";
+  EXPECT_TRUE(lint_at("src/sim/engine.cpp", clean).empty());
+}
+
+TEST(LintFloatCompareVar, FlagsRawComparisonBetweenFloatMembers) {
+  const std::string violating = R"(
+struct Point {
+  double x = 0.0;
+  int id = 0;
+};
+bool same_x(const Point& a, const Point& b) {
+  return a.x == b.x;
+}
+)";
+  const auto findings = lint_at("src/sim/engine.cpp", violating);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, lint::Rule::kFloatCompareVar);
+  EXPECT_EQ(findings[0].line, 7);
+  EXPECT_NE(findings[0].message.find("'x'"), std::string::npos);
+}
+
+TEST(LintFloatCompareVar, IntMembersAndMemberHelperCallsPass) {
+  const std::string clean = R"(
+struct Point {
+  double x = 0.0;
+  int id = 0;
+  double norm() const;
+};
+bool same(const Point& a, const Point& b) {
+  if (a.id == b.id) return true;
+  return lazyckpt::fp::exact_eq(a.x, b.x);
+}
+)";
+  EXPECT_TRUE(lint_at("src/sim/engine.cpp", clean).empty());
+}
+
+TEST(LintFloatCompareVar, AmbiguousMemberNameStaysSilent) {
+  // `v` is floating in one record and integral in another: without
+  // per-expression type inference the pooled table drops it, keeping the
+  // rule's positives trustworthy.
+  const std::string clean = R"(
+struct Reading { double v = 0.0; };
+struct Count { int v = 0; };
+bool f(const Count& p, const Count& q) {
+  return p.v == q.v;
 }
 )";
   EXPECT_TRUE(lint_at("src/sim/engine.cpp", clean).empty());

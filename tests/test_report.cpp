@@ -227,6 +227,54 @@ TEST(Prometheus, RendersExactGoldenExposition) {
   EXPECT_EQ(obs::to_prometheus(snap), obs::to_prometheus(snap));
 }
 
+/// The per-tier instruments the tiered checkpoint manager and the
+/// hierarchy simulator register (src/cr/tiered_manager.cpp,
+/// src/sim/hierarchy.cpp) flow through both sinks under these exact
+/// names: the report's metrics block and the Prometheus exposition.
+TEST(Prometheus, TierMetricsRenderInReportAndExposition) {
+  obs::Registry registry;
+  registry.counter("cr.tier.writes").add(5);
+  registry.counter("cr.tier.evictions").add(2);
+  registry.counter("cr.tier.bytes").add(768);
+  const double level_bounds[] = {0.0, 1.0, 2.0, 3.0};
+  obs::Histogram& levels =
+      registry.histogram("sim.tier.restore_level", {level_bounds, 4});
+  levels.observe(0.0);
+  levels.observe(0.0);
+  levels.observe(2.0);
+
+  obs::RunReportInputs inputs;
+  inputs.tool = "unit-test";
+  inputs.metrics = registry.snapshot();
+  const std::string json = obs::render_run_report(inputs);
+  EXPECT_NE(json.find("\"cr.tier.bytes\": 768"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cr.tier.evictions\": 2"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"cr.tier.writes\": 5"), std::string::npos) << json;
+  EXPECT_NE(
+      json.find("\"sim.tier.restore_level\": {\"buckets\": [0, 1, 2, 3], "
+                "\"counts\": [2, 0, 1, 0, 0]}"),
+      std::string::npos)
+      << json;
+
+  const char kGoldenTierExposition[] =
+      "# TYPE lazyckpt_cr_tier_bytes counter\n"
+      "lazyckpt_cr_tier_bytes 768\n"
+      "# TYPE lazyckpt_cr_tier_evictions counter\n"
+      "lazyckpt_cr_tier_evictions 2\n"
+      "# TYPE lazyckpt_cr_tier_writes counter\n"
+      "lazyckpt_cr_tier_writes 5\n"
+      "# TYPE lazyckpt_sim_tier_restore_level histogram\n"
+      "lazyckpt_sim_tier_restore_level_bucket{le=\"0\"} 2\n"
+      "lazyckpt_sim_tier_restore_level_bucket{le=\"1\"} 2\n"
+      "lazyckpt_sim_tier_restore_level_bucket{le=\"2\"} 3\n"
+      "lazyckpt_sim_tier_restore_level_bucket{le=\"3\"} 3\n"
+      "lazyckpt_sim_tier_restore_level_bucket{le=\"+Inf\"} 3\n"
+      "lazyckpt_sim_tier_restore_level_sum 2\n"
+      "lazyckpt_sim_tier_restore_level_count 3\n";
+  EXPECT_EQ(obs::to_prometheus(registry.snapshot()), kGoldenTierExposition);
+}
+
 /// Split `text` into lines, dropping the trailing empty fragment.
 std::vector<std::string> split_lines(const std::string& text) {
   std::vector<std::string> lines;

@@ -63,9 +63,9 @@ constexpr std::array<std::pair<Rule, std::string_view>, 10> kRuleRationales =
      "repo-wide include graph (include_graph.hpp) flags unused direct "
      "includes and symbols reached only transitively"},
     {Rule::kFloatCompareVar,
-     "raw ==/!= between variables the symbol table (symbols.hpp) knows "
-     "to have floating type; intentional exact comparison must go "
-     "through lazyckpt::fp (common/fp.hpp)"},
+     "raw ==/!= between variables or data members the symbol table "
+     "(symbols.hpp) knows to have floating type; intentional exact "
+     "comparison must go through lazyckpt::fp (common/fp.hpp)"},
     {Rule::kMetricNameStyle,
      "metric and trace span names registered from src/ are one shared "
      "namespace keyed by the obs registry, the run report, and the "
@@ -782,7 +782,9 @@ std::vector<Finding> lint_source(std::string_view file_label,
              s == "*" || s == "+" || s == "-" || s == "/" || s == "%";
     };
     // A float-variable use inside an operand: not a member (`x.alpha`),
-    // not qualified (`ns::alpha`), not a call (`alpha(`).
+    // not qualified (`ns::alpha`), not a call (`alpha(`).  Member
+    // accesses get their own check against the file's record member
+    // table, so `a.x == b.x` with `struct P { double x; }` is caught.
     const auto float_var_at = [&](std::size_t ci) {
       if (fv.is_float_var_use[code[ci]] == 0) return false;
       if (ci > 0 && (sp(ci - 1) == "." || sp(ci - 1) == "->" ||
@@ -790,6 +792,9 @@ std::vector<Finding> lint_source(std::string_view file_label,
         return false;
       }
       return sp(ci + 1) != "(";
+    };
+    const auto float_member_at = [&](std::size_t ci) {
+      return fv.is_float_member_use[code[ci]] != 0;
     };
     std::set<int> seen_lines;
     for (std::size_t ci = 1; ci + 1 < code.size(); ++ci) {
@@ -805,7 +810,7 @@ std::vector<Finding> lint_source(std::string_view file_label,
       }
       std::string offender;
       for (std::size_t k = ci; k-- > 0 && operand_member(k);) {
-        if (float_var_at(k)) {
+        if (float_var_at(k) || float_member_at(k)) {
           offender = std::string(sp(k));
           break;
         }
@@ -813,7 +818,7 @@ std::vector<Finding> lint_source(std::string_view file_label,
       if (offender.empty()) {
         for (std::size_t k = ci + 1; k < code.size() && operand_member(k);
              ++k) {
-          if (float_var_at(k)) {
+          if (float_var_at(k) || float_member_at(k)) {
             offender = std::string(sp(k));
             break;
           }

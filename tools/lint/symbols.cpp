@@ -38,6 +38,14 @@ bool is_decl_filler(std::string_view s) {
 
 struct Scope {
   std::map<std::string, bool> vars;  // name -> is_float
+  bool is_record = false;  // a struct/class body: declarations are members
+};
+
+/// Pooled member-name verdicts across every record in the file.
+enum MemberKind : int {
+  kMemberNonFloat = 0,
+  kMemberFloat = 1,
+  kMemberAmbiguous = 2,  // floating in one record, not in another
 };
 
 }  // namespace
@@ -59,6 +67,7 @@ FloatVarScan scan_float_vars(const TokenStream& ts) {
 
   FloatVarScan out;
   out.is_float_var_use.assign(ts.tokens.size(), 0);
+  out.is_float_member_use.assign(ts.tokens.size(), 0);
 
   std::vector<Scope> scopes(1);  // file scope
   // Declarations seen inside the current parenthesized region (function
@@ -66,6 +75,11 @@ FloatVarScan scan_float_vars(const TokenStream& ts) {
   // scope, which also covers lambda bodies.
   std::vector<std::pair<std::string, bool>> pending_params;
   int paren_depth = 0;
+  // A `struct`/`class` head was seen: the next brace scope holds member
+  // declarations.  Cleared by '(' or ';' so `template <class T> void f()`
+  // and forward declarations do not mark a function body as a record.
+  bool pending_record = false;
+  std::map<std::string, int> member_kinds;  // name -> MemberKind
 
   const auto lookup = [&](std::string_view name) -> const bool* {
     for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
@@ -79,6 +93,17 @@ FloatVarScan scan_float_vars(const TokenStream& ts) {
       pending_params.emplace_back(std::string(name), is_float);
     } else {
       scopes.back().vars[std::string(name)] = is_float;
+      if (scopes.back().is_record) {
+        const int kind = is_float ? kMemberFloat : kMemberNonFloat;
+        const auto [it, inserted] =
+            member_kinds.emplace(std::string(name), kind);
+        if (!inserted && it->second != kind) it->second = kMemberAmbiguous;
+        if (is_float) {
+          out.member_decls.push_back(
+              FloatVarDecl{std::string(name), line,
+                           static_cast<int>(scopes.size()) - 1});
+        }
+      }
     }
     if (is_float) {
       out.decls.push_back(FloatVarDecl{std::string(name), line,
@@ -123,6 +148,8 @@ FloatVarScan scan_float_vars(const TokenStream& ts) {
     if (t.kind == TokenKind::kPunct) {
       if (t.spelling == "{") {
         scopes.emplace_back();
+        scopes.back().is_record = pending_record;
+        pending_record = false;
         for (const auto& [name, is_float] : pending_params) {
           scopes.back().vars[name] = is_float;
         }
@@ -131,16 +158,24 @@ FloatVarScan scan_float_vars(const TokenStream& ts) {
         if (scopes.size() > 1) scopes.pop_back();
       } else if (t.spelling == "(") {
         ++paren_depth;
+        pending_record = false;
       } else if (t.spelling == ")") {
         if (paren_depth > 0) --paren_depth;
       } else if (t.spelling == ";" && paren_depth == 0) {
         // A declaration without a body (`double f(double a);`) never
-        // opens a scope — drop its parameters.
+        // opens a scope — drop its parameters.  A ';' also ends a record
+        // forward declaration (`struct S;`).
         pending_params.clear();
+        pending_record = false;
       }
       continue;
     }
     if (t.kind != TokenKind::kIdentifier || t.in_pp) continue;
+
+    if (t.spelling == "struct" || t.spelling == "class") {
+      pending_record = true;
+      continue;
+    }
 
     // `auto` declarators: structured bindings and plain `auto name = ...`.
     // (`const auto ...` reaches here at the `auto` token itself.)
@@ -265,6 +300,23 @@ FloatVarScan scan_float_vars(const TokenStream& ts) {
     if (declared_name_tokens.count(code[ci]) != 0) continue;
     const bool* entry = lookup(t.spelling);
     if (entry != nullptr && *entry) out.is_float_var_use[code[ci]] = 1;
+  }
+
+  // Second pass: member accesses.  The pooled verdicts are only complete
+  // once every record has been scanned, so `a.x` before the definition of
+  // the struct declaring `x` still resolves.
+  for (std::size_t ci = 1; ci < code.size(); ++ci) {
+    const Token& t = tok(ci);
+    if (t.kind != TokenKind::kIdentifier || t.in_pp ||
+        is_keyword(t.spelling)) {
+      continue;
+    }
+    if (spelling(ci - 1) != "." && spelling(ci - 1) != "->") continue;
+    if (spelling(ci + 1) == "(") continue;  // method call, not a member
+    const auto it = member_kinds.find(t.spelling);
+    if (it != member_kinds.end() && it->second == kMemberFloat) {
+      out.is_float_member_use[code[ci]] = 1;
+    }
   }
 
   return out;

@@ -18,6 +18,12 @@
 ///     bindings are tracked as *non*-floating — a binding unpacks
 ///     heterogeneous members, so initializer-based inference would indict
 ///     the wrong names — which still shadows outer floats correctly;
+///   - which member accesses (`expr.name` / `expr->name`) reach a
+///     floating-typed *data member* of a struct/class defined in the
+///     file.  Member names are pooled across the file's records; a name
+///     that is floating in one record and not in another is dropped as
+///     ambiguous, keeping positives trustworthy without per-expression
+///     type inference;
 ///   - which file-local functions (free functions, methods, and lambdas
 ///     bound via `auto name = [...](...) {...}`) are defined in the file,
 ///     with the token range of each body, so the determinism rule can
@@ -49,8 +55,15 @@ struct FloatVarScan {
   /// variable whose innermost visible declaration has floating type.
   /// Declaration sites themselves are not marked.
   std::vector<unsigned char> is_float_var_use;
+  /// Parallel to `tokens`: true where an identifier token is a member
+  /// access (`expr.name` / `expr->name`, not a call) of a data member
+  /// that every record in this file declares with floating type.
+  std::vector<unsigned char> is_float_member_use;
   /// Every tracked declaration, in source order.
   std::vector<FloatVarDecl> decls;
+  /// Every floating-typed data-member declaration, in source order
+  /// (including names later dropped as ambiguous).
+  std::vector<FloatVarDecl> member_decls;
 };
 
 /// Scan `ts` and resolve every identifier use against the brace-scoped

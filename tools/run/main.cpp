@@ -51,6 +51,7 @@
 #include "common/fp.hpp"
 #include "common/table.hpp"
 #include "io/factory.hpp"
+#include "io/hierarchy.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/report.hpp"
@@ -116,6 +117,8 @@ void print_list() {
               join(stats::DistributionRegistry::instance().kinds()).c_str());
   std::printf("storage kinds:      %s\n",
               join(io::StorageRegistry::instance().kinds()).c_str());
+  std::printf("tier kinds:         %s\n",
+              join(io::TierRegistry::instance().kinds()).c_str());
   std::printf(
       "policy specs:       hourly, periodic:<h>, static-oci, dynamic-oci,\n"
       "                    ilazy[:k], bounded-ilazy:<k>, linear:<x>,\n"
@@ -143,8 +146,17 @@ void print_scenario_json(const spec::Scenario& s, const char* indent) {
   std::printf("%s\"title\": \"%s\",\n", indent, json_escape(s.title).c_str());
   std::printf("%s\"distribution\": \"%s\",\n", indent,
               json_escape(s.distribution).c_str());
-  std::printf("%s\"storage\": \"%s\",\n", indent,
-              json_escape(s.storage).c_str());
+  if (s.is_tiered()) {
+    std::printf("%s\"tiers\": [", indent);
+    for (std::size_t i = 0; i < s.tiers.size(); ++i) {
+      std::printf("%s\"%s\"", i > 0 ? ", " : "",
+                  json_escape(s.tiers[i]).c_str());
+    }
+    std::printf("],\n");
+  } else {
+    std::printf("%s\"storage\": \"%s\",\n", indent,
+                json_escape(s.storage).c_str());
+  }
   std::printf("%s\"policy\": \"%s\",\n", indent,
               json_escape(s.policy).c_str());
   std::printf("%s\"compute_hours\": %.17g,\n", indent, s.compute_hours);
@@ -186,7 +198,9 @@ void print_json(const spec::ScenarioResult& result) {
   std::printf("  },\n");
   std::printf("  \"aggregate\": {\n");
   print_aggregate_json(result.aggregate, "    ");
-  std::printf("  }%s\n", result.campaign.has_value() ? "," : "");
+  const bool more =
+      result.campaign.has_value() || result.hierarchy.has_value();
+  std::printf("  }%s\n", more ? "," : "");
   if (result.campaign.has_value()) {
     const auto& c = *result.campaign;
     std::printf("  \"campaign\": {\n");
@@ -198,6 +212,24 @@ void print_json(const spec::ScenarioResult& result) {
     std::printf("    \"mean_checkpoint_hours\": %.17g,\n",
                 c.mean_checkpoint_hours);
     std::printf("    \"completion_rate\": %.17g\n", c.completion_rate);
+    std::printf("  }%s\n", result.hierarchy.has_value() ? "," : "");
+  }
+  if (result.hierarchy.has_value()) {
+    const auto& h = *result.hierarchy;
+    std::printf("  \"hierarchy\": {\n");
+    std::printf("    \"replicas\": %zu,\n", h.replicas);
+    std::printf("    \"mean_io_hours\": %.17g,\n", h.mean_io_hours());
+    std::printf("    \"tiers\": [\n");
+    for (std::size_t i = 0; i < h.tiers.size(); ++i) {
+      const auto& tier = h.tiers[i];
+      std::printf(
+          "      {\"kind\": \"%s\", \"mean_io_hours\": %.17g, "
+          "\"mean_checkpoints\": %.17g, \"mean_restarts\": %.17g}%s\n",
+          json_escape(tier.kind).c_str(), tier.mean_io_hours,
+          tier.mean_checkpoints, tier.mean_restarts,
+          i + 1 < h.tiers.size() ? "," : "");
+    }
+    std::printf("    ]\n");
     std::printf("  }\n");
   }
   std::printf("}\n");
@@ -208,10 +240,12 @@ void print_table(const spec::ScenarioResult& result) {
   const auto& a = result.aggregate;
   print_banner("scenario: " + s.name +
                (s.title.empty() ? std::string() : " — " + s.title));
+  const std::string storage_label =
+      s.is_tiered() ? s.tier_spec() : s.storage;
   std::printf(
       "distribution %s | storage %s | policy %s\n"
       "W %s h | replicas %zu | seed %llu%s\n\n",
-      s.distribution.c_str(), s.storage.c_str(), s.policy.c_str(),
+      s.distribution.c_str(), storage_label.c_str(), s.policy.c_str(),
       TextTable::num(s.compute_hours, 0).c_str(), s.replicas,
       static_cast<unsigned long long>(s.seed),
       s.is_campaign() ? " | campaign mode" : "");
@@ -232,6 +266,20 @@ void print_table(const spec::ScenarioResult& result) {
                  TextTable::num(a.mean_checkpoints_skipped, 1), "", ""});
   table.add_row({"failures", TextTable::num(a.mean_failures, 1), "", ""});
   std::printf("%s\n", table.to_string().c_str());
+
+  if (result.hierarchy.has_value()) {
+    const auto& h = *result.hierarchy;
+    TextTable tiers({"tier", "kind", "mean I/O (h)", "mean checkpoints",
+                     "mean restores"});
+    for (std::size_t level = 0; level < h.tiers.size(); ++level) {
+      const auto& tier = h.tiers[level];
+      tiers.add_row({std::to_string(level), tier.kind,
+                     TextTable::num(tier.mean_io_hours),
+                     TextTable::num(tier.mean_checkpoints, 1),
+                     TextTable::num(tier.mean_restarts, 1)});
+    }
+    std::printf("%s\n", tiers.to_string().c_str());
+  }
 
   if (result.campaign.has_value()) {
     const auto& c = *result.campaign;
@@ -316,12 +364,14 @@ void print_compare_table(const spec::ScenarioResult& a,
   const auto& sa = a.scenario;
   const auto& sb = b.scenario;
   print_banner("compare: " + sa.name + " (A) vs " + sb.name + " (B)");
+  const std::string storage_a = sa.is_tiered() ? sa.tier_spec() : sa.storage;
+  const std::string storage_b = sb.is_tiered() ? sb.tier_spec() : sb.storage;
   std::printf(
       "A: %s | %s | policy %s | %zu replicas | seed %llu\n"
       "B: %s | %s | policy %s | %zu replicas | seed %llu\n\n",
-      sa.distribution.c_str(), sa.storage.c_str(), sa.policy.c_str(),
+      sa.distribution.c_str(), storage_a.c_str(), sa.policy.c_str(),
       sa.replicas, static_cast<unsigned long long>(sa.seed),
-      sb.distribution.c_str(), sb.storage.c_str(), sb.policy.c_str(),
+      sb.distribution.c_str(), storage_b.c_str(), sb.policy.c_str(),
       sb.replicas, static_cast<unsigned long long>(sb.seed));
 
   TextTable table({"metric", "A", "B", "delta (B-A)", "B/A"});
